@@ -1,0 +1,76 @@
+//! Criterion benches for the decision layer: one greedy evaluation, one
+//! LP solve (the optimization method's per-epoch cost — the paper invokes
+//! it every 1.5 wall hours, so it must be negligible), and the simplex
+//! solver on synthetic programs of growing size.
+
+use adaptive_core::config::ApplicationConfig;
+use adaptive_core::decision::{AlgorithmKind, DecisionInputs};
+use criterion::{criterion_group, criterion_main, Criterion};
+use lp::{Problem, Relation};
+use perfmodel::ProcTable;
+use std::hint::black_box;
+
+fn inputs(table: &ProcTable, current: &ApplicationConfig) -> DecisionInputs<'static> {
+    // Leak the borrowed pieces: criterion closures need 'static, and the
+    // handful of leaked tables is irrelevant for a bench process.
+    let table: &'static ProcTable = Box::leak(Box::new(table.clone()));
+    let current: &'static ApplicationConfig = Box::leak(Box::new(current.clone()));
+    DecisionInputs {
+        free_disk_percent: 47.0,
+        free_disk_bytes: 85_000_000_000,
+        disk_capacity_bytes: 182_000_000_000,
+        bandwidth_bps: 7e6,
+        frame_bytes: 135_000_000,
+        io_secs_per_frame: 0.9,
+        proc_table: table,
+        current,
+        dt_sim_secs: 144.0,
+        min_oi_min: 3.0,
+        max_oi_min: 25.0,
+        horizon_secs: 20.0 * 3600.0,
+    }
+}
+
+fn bench_decision_epoch(c: &mut Criterion) {
+    let table = ProcTable::from_entries((1..=48).map(|p| (p, 160.0 / p as f64)).collect());
+    let current = ApplicationConfig::initial(48, 3.0, 24.0);
+    let inp = inputs(&table, &current);
+    let mut group = c.benchmark_group("decision_epoch");
+    for kind in AlgorithmKind::both() {
+        let name = match kind {
+            AlgorithmKind::GreedyThreshold => "greedy_threshold",
+            AlgorithmKind::Optimization => "optimization_lp",
+            AlgorithmKind::StaticBaseline => "static_baseline",
+        };
+        group.bench_function(name, |b| {
+            let mut algo = kind.build();
+            b.iter(|| black_box(algo.decide(&inp)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_simplex_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simplex");
+    for n in [4usize, 8, 16, 32] {
+        // Dense feasible LP: min Σx s.t. random-ish ≥ rows, boxed vars.
+        group.bench_function(format!("{n}vars_{n}rows"), |b| {
+            let obj = vec![1.0; n];
+            let mut p = Problem::minimize(&obj);
+            for j in 0..n {
+                p.set_bounds(j, 0.0, 10.0);
+            }
+            for i in 0..n {
+                let row: Vec<f64> = (0..n)
+                    .map(|j| 1.0 + (((i * 31 + j * 17) % 7) as f64) / 7.0)
+                    .collect();
+                p.add_constraint(&row, Relation::Ge, 2.0 + (i % 3) as f64);
+            }
+            b.iter(|| black_box(p.solve().expect("solves")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_decision_epoch, bench_simplex_scaling);
+criterion_main!(benches);

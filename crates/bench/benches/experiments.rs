@@ -1,0 +1,77 @@
+//! Criterion benches over the paper's experiments.
+//!
+//! One bench per (figure-panel, algorithm): each measures the complete
+//! closed-loop DES run that regenerates the corresponding panel of
+//! Figures 5–8 (the four figures share the same six runs, so this is the
+//! cost of the entire evaluation section), plus the Table I analytic/DES
+//! fill-time computation.
+
+use adaptive_core::decision::AlgorithmKind;
+use adaptive_core::orchestrator::{Orchestrator, RunOptions};
+use criterion::{criterion_group, criterion_main, Criterion};
+use cyclone::{Mission, Site, SiteKind};
+use std::hint::black_box;
+
+fn bench_figure_runs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures_5_to_8_runs");
+    group.sample_size(10);
+    for kind in SiteKind::all() {
+        for algo in AlgorithmKind::both() {
+            let site = Site::of_kind(kind);
+            let name = format!(
+                "{}/{}",
+                site.label,
+                match algo {
+                    AlgorithmKind::GreedyThreshold => "greedy",
+                    AlgorithmKind::Optimization => "optimization",
+                    AlgorithmKind::StaticBaseline => "static",
+                }
+            );
+            // Cap the greedy cross-continent run (it otherwise idles at
+            // the 120 h default cap after stalling — the paper's dotted
+            // line, not interesting to time).
+            let opts = RunOptions {
+                wall_cap_hours: 60.0,
+                ..Default::default()
+            };
+            group.bench_function(&name, |b| {
+                b.iter(|| {
+                    let out = Orchestrator::new(
+                        Site::of_kind(kind),
+                        Mission::aila(),
+                        algo,
+                    )
+                    .with_options(opts.clone())
+                    .run();
+                    black_box(out.frames_written)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_short_mission_scaling(c: &mut Criterion) {
+    // Ablation: how does run cost scale with mission length (DES event
+    // count)? Near-linear confirms the event loop has no hidden
+    // quadratic behaviour.
+    let mut group = c.benchmark_group("mission_length_scaling");
+    group.sample_size(10);
+    for hours in [6.0, 12.0, 24.0] {
+        group.bench_function(format!("{hours}h"), |b| {
+            b.iter(|| {
+                let out = Orchestrator::new(
+                    Site::inter_department(),
+                    Mission::aila().with_duration_hours(hours),
+                    AlgorithmKind::Optimization,
+                )
+                .run();
+                black_box(out.sim_minutes)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_figure_runs, bench_short_mission_scaling);
+criterion_main!(benches);

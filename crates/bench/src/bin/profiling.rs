@@ -1,0 +1,93 @@
+//! Benchmark profiling runs — the paper's calibration procedure, run for
+//! real against our own dynamical core.
+//!
+//! "The execution times of a subset of configurations have been
+//! experimentally found by running sample WRF runs ... for different
+//! discrete number of processors, spanning the available processor space
+//! and using performance modeling or curve fitting tools to interpolate
+//! for other number of processors."
+//!
+//! This binary does exactly that with the in-repo solver: time real
+//! integration steps at several worker counts and two workloads
+//! (resolutions), fit the scaling law with `perfmodel`, and print the
+//! fitted coefficients next to held-out measurements.
+//!
+//! Note: on a single-core host (such as the reference container) the
+//! measured times are flat across worker counts — the fit then correctly
+//! reports a near-zero parallel term, which is itself a useful sanity
+//! check of the procedure.
+
+use perfmodel::{ProcTable, Sample, ScalingFit};
+use repro_bench::write_artifact;
+use std::time::Instant;
+use wrf::{ModelConfig, WrfModel};
+
+fn measure_step_secs(resolution_km: f64, threads: usize, steps: usize) -> f64 {
+    let cfg = ModelConfig::aila_default().with_resolution(resolution_km);
+    let mut model = WrfModel::new(cfg).expect("valid configuration");
+    // Warm-up step so allocations and caches settle.
+    model.advance_steps(1, threads).expect("finite");
+    let start = Instant::now();
+    model.advance_steps(steps, threads).expect("finite");
+    start.elapsed().as_secs_f64() / steps as f64
+}
+
+fn main() {
+    let worker_counts = [1usize, 2, 3, 4, 6, 8];
+    let resolutions = [24.0f64, 16.0];
+    let steps = 3;
+
+    println!("profiling the dynamical core (real measurements)\n");
+    let mut samples = Vec::new();
+    let mut csv = String::from("resolution_km,workers,secs_per_step\n");
+    for &res in &resolutions {
+        let (nx, ny) = ModelConfig::aila_default()
+            .with_resolution(res)
+            .physics_grid();
+        let work = (nx * ny) as f64;
+        println!("resolution {res} km ({nx}x{ny} grid, W = {work:.0} points):");
+        for &w in &worker_counts {
+            let t = measure_step_secs(res, w, steps);
+            println!("  {w} workers: {:.2} ms/step", t * 1e3);
+            samples.push(Sample {
+                procs: w as f64,
+                work,
+                time: t,
+            });
+            csv.push_str(&format!("{res},{w},{t:.6}\n"));
+        }
+    }
+
+    let fit = ScalingFit::fit(&samples).expect("sample design is identifiable");
+    let c = fit.coeffs();
+    println!(
+        "\nfitted law: t = {:.2e} + {:.2e}(W/p) + {:.2e}sqrt(W/p) + {:.2e}log2(p)   (R2 = {:.3})",
+        c[0],
+        c[1],
+        c[2],
+        c[3],
+        fit.r_squared()
+    );
+
+    // Held-out check: predict a worker count that was not profiled.
+    let res = resolutions[0];
+    let (nx, ny) = ModelConfig::aila_default()
+        .with_resolution(res)
+        .physics_grid();
+    let work = (nx * ny) as f64;
+    let measured = measure_step_secs(res, 5, steps);
+    let predicted = fit.predict(5.0, work);
+    println!(
+        "held-out (5 workers @ {res} km): measured {:.2} ms, fit predicts {:.2} ms",
+        measured * 1e3,
+        predicted * 1e3
+    );
+
+    // The table the decision algorithms would consume from this fit.
+    let table = ProcTable::from_fit(&fit, work, &worker_counts);
+    println!("\nderived processor table @ {res} km:");
+    for &(p, t) in table.entries() {
+        println!("  {p:>2} workers -> {:.2} ms/step", t * 1e3);
+    }
+    write_artifact("profiling_runs.csv", &csv);
+}

@@ -1,0 +1,114 @@
+//! §V headline summary: runs all six experiments (3 sites × 2 algorithms)
+//! and prints the paper's abstract-level comparison — simulation-rate
+//! gain, storage saving, completion/stall behaviour — plus a CSV of the
+//! per-run outcomes.
+//!
+//! Paper claims being checked (shape, not absolute numbers):
+//! - optimization completes the entire simulation for all three network
+//!   configurations; greedy stalls on the cross-continent link,
+//! - optimization provides ≈30% higher simulation rate,
+//! - optimization consumes ≈25–50% less storage, avoiding disk overflow,
+//! - optimization's output interval is near-constant (consistent QoS).
+
+use adaptive_core::metrics;
+use cyclone::SiteKind;
+use repro_bench::{outcome_line, run_pair, write_artifact};
+
+fn main() {
+    println!("=== §V summary: six canonical experiments ===\n");
+    let mut csv = String::from(
+        "site,algorithm,completed,ended_stalled,wall_hours,sim_minutes,frames_written,\
+         frames_shipped,frames_visualized,restarts,stalls,min_free_pct,final_free_pct\n",
+    );
+    let mut comparisons = Vec::new();
+
+    for kind in SiteKind::all() {
+        let (greedy, opt) = run_pair(kind);
+        println!("{}", outcome_line(&greedy));
+        println!("{}", outcome_line(&opt));
+        for out in [&greedy, &opt] {
+            csv.push_str(&format!(
+                "{},{},{},{},{:.3},{:.1},{},{},{},{},{},{:.2},{:.2}\n",
+                out.site_label,
+                out.algorithm.label(),
+                out.completed,
+                out.ended_stalled,
+                out.wall_hours,
+                out.sim_minutes,
+                out.frames_written,
+                out.frames_shipped,
+                out.frames_visualized,
+                out.restarts,
+                out.stalls,
+                out.min_free_disk_pct,
+                out.final_free_disk_pct,
+            ));
+        }
+        // Which force drove the LP's choices over this run?
+        if let Some(binding) = opt.series.get("binding_constraint") {
+            let mut counts = [0usize; 4];
+            for &(_, code) in &binding.points {
+                counts[(code as usize).min(3)] += 1;
+            }
+            println!(
+                "  optimization binding constraints: machine {} / disk {} / viz {} / infeasible {}",
+                counts[0], counts[1], counts[2], counts[3]
+            );
+        }
+        let c = metrics::compare(&greedy, &opt);
+        println!(
+            "  -> sim-rate gain {:+.1}%  storage saving {:+.1}%  mid-run viz gain {:+.1} sim-min  \
+             OI variation greedy {:.2} vs opt {:.2}\n",
+            c.sim_rate_gain_pct,
+            c.storage_saving_pct,
+            c.viz_progress_gain_min,
+            c.oi_variation.0,
+            c.oi_variation.1
+        );
+        comparisons.push(c);
+    }
+
+    write_artifact("summary.csv", &csv);
+
+    println!("=== paper-shape checklist ===");
+    let cross = &comparisons[2];
+    println!(
+        "optimization completes everywhere ........ {}",
+        comparisons.iter().all(|c| c.completed.1)
+    );
+    println!(
+        "greedy fails cross-continent ............. {}",
+        !cross.completed.0
+    );
+    println!(
+        "optimization ahead at mid-run viz ........ {}",
+        comparisons.iter().all(|c| c.viz_progress_gain_min > 0.0)
+    );
+    println!(
+        "optimization rate gain (paper ~30%) ...... {:+.1}% / {:+.1}% / {:+.1}%",
+        comparisons[0].sim_rate_gain_pct,
+        comparisons[1].sim_rate_gain_pct,
+        comparisons[2].sim_rate_gain_pct
+    );
+    println!(
+        "storage saving (paper ~25-50%) ........... {:+.1}% / {:+.1}% / {:+.1}%",
+        comparisons[0].storage_saving_pct,
+        comparisons[1].storage_saving_pct,
+        comparisons[2].storage_saving_pct
+    );
+    println!(
+        "OI variation (σ/μ) greedy vs opt ......... {:.2}/{:.2}  {:.2}/{:.2}  {:.2}/{:.2}",
+        comparisons[0].oi_variation.0,
+        comparisons[0].oi_variation.1,
+        comparisons[1].oi_variation.0,
+        comparisons[1].oi_variation.1,
+        comparisons[2].oi_variation.0,
+        comparisons[2].oi_variation.1
+    );
+    println!(
+        "opt OI steadier on constrained links ..... {}",
+        comparisons[1..]
+            .iter()
+            .all(|c| c.oi_variation.1 <= c.oi_variation.0 + 1e-9)
+    );
+}

@@ -1,0 +1,63 @@
+//! Table IV: simulation and visualization configurations — the three
+//! sites, their clusters, disks, and links, plus the derived quantities
+//! the framework actually consumes (profiled step times, allowed
+//! processor counts, frame I/O costs).
+
+use cyclone::{Mission, Site, SiteKind};
+use repro_bench::write_artifact;
+
+fn main() {
+    let mission = Mission::aila();
+    println!("Table IV — simulation and visualization configurations\n");
+    let mut csv = String::from(
+        "configuration,cluster,max_cores,disk_gb,bandwidth_mbps,io_mbps,restart_secs\n",
+    );
+    for site in SiteKind::all().map(Site::of_kind) {
+        println!("{}:", site.label);
+        println!("  cluster ................ {}", site.cluster.name);
+        println!("  maximum cores .......... {}", site.cluster.max_cores);
+        println!("  disk space ............. {} GB", site.disk_gb);
+        println!(
+            "  avg sim-vis bandwidth .. {} Mbps",
+            site.bandwidth_mbps
+        );
+        println!(
+            "  parallel I/O ........... {:.0} MB/s",
+            site.cluster.io_bps / 1e6
+        );
+        println!(
+            "  restart overhead ....... {:.0} s",
+            site.cluster.restart_overhead_secs
+        );
+        let t24 = site.proc_table(&mission, 24.0, false);
+        let t10 = site.proc_table(&mission, 10.0, true);
+        println!(
+            "  profiled s/step ........ {:.1} (24 km, max cores) … {:.1} (10 km + nest)",
+            t24.min_time(),
+            t10.min_time()
+        );
+        let allowed = site.allowed_procs(&mission, 24.0, true);
+        println!(
+            "  allowed cores @24 km ... {} counts in [{}, {}]",
+            allowed.len(),
+            allowed.first().expect("non-empty"),
+            allowed.last().expect("non-empty"),
+        );
+        println!(
+            "  frame @24 km ........... {:.0} MB ({:.1} s of I/O)\n",
+            mission.frame_bytes(24.0, false) as f64 / 1e6,
+            site.cluster.io_time(mission.frame_bytes(24.0, false)),
+        );
+        csv.push_str(&format!(
+            "{},{},{},{},{},{:.0},{:.0}\n",
+            site.label,
+            site.cluster.name,
+            site.cluster.max_cores,
+            site.disk_gb,
+            site.bandwidth_mbps,
+            site.cluster.io_bps / 1e6,
+            site.cluster.restart_overhead_secs,
+        ));
+    }
+    write_artifact("table4_sites.csv", &csv);
+}

@@ -1,0 +1,146 @@
+//! The application configuration file.
+//!
+//! "The application manager stores these parameters to an application
+//! configuration file. ... The WRF simulation process also periodically
+//! reads the application configuration file written by the application
+//! manager." In the DES the struct is passed directly; the online mode
+//! writes/polls a real JSON file exactly as the paper's components do.
+
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// The tunables the application manager controls.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ApplicationConfig {
+    /// Processors allocated to the simulation.
+    pub num_procs: usize,
+    /// Output interval in *simulated* minutes (inverse of the paper's
+    /// output frequency).
+    pub output_interval_min: f64,
+    /// Parent-domain resolution, km.
+    pub resolution_km: f64,
+    /// Whether the tracking nest is active.
+    pub nest_active: bool,
+    /// CRITICAL flag: free disk is so low the simulation must stall.
+    pub critical: bool,
+}
+
+impl ApplicationConfig {
+    /// Initial configuration: every algorithm starts at maximum
+    /// processors and the minimum output interval ("the greedy method
+    /// starts with the maximum number of processors ... and a lowest
+    /// output interval of 3 minutes"); the optimization method overwrites
+    /// this at its first epoch.
+    pub fn initial(max_procs: usize, min_oi_min: f64, resolution_km: f64) -> Self {
+        ApplicationConfig {
+            num_procs: max_procs,
+            output_interval_min: min_oi_min,
+            resolution_km,
+            nest_active: false,
+            critical: false,
+        }
+    }
+
+    /// True when applying `next` requires a simulation restart (anything
+    /// but the CRITICAL flag differs — processors, output interval,
+    /// resolution, or nest state).
+    pub fn requires_restart(&self, next: &ApplicationConfig) -> bool {
+        self.num_procs != next.num_procs
+            || (self.output_interval_min - next.output_interval_min).abs() > 1e-9
+            || (self.resolution_km - next.resolution_km).abs() > 1e-9
+            || self.nest_active != next.nest_active
+    }
+
+    /// Serialize to the on-disk JSON representation.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("plain struct serializes")
+    }
+
+    /// Parse the on-disk JSON representation.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// Write the configuration file (atomic via rename, so a polling
+    /// reader never sees a torn file).
+    pub fn write_file(&self, path: &Path) -> std::io::Result<()> {
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, self.to_json())?;
+        std::fs::rename(&tmp, path)
+    }
+
+    /// Read a configuration file.
+    pub fn read_file(path: &Path) -> std::io::Result<Self> {
+        let text = std::fs::read_to_string(path)?;
+        Self::from_json(&text).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ApplicationConfig {
+        ApplicationConfig::initial(48, 3.0, 24.0)
+    }
+
+    #[test]
+    fn initial_is_greedy_start() {
+        let c = cfg();
+        assert_eq!(c.num_procs, 48);
+        assert_eq!(c.output_interval_min, 3.0);
+        assert!(!c.critical);
+        assert!(!c.nest_active);
+    }
+
+    #[test]
+    fn restart_detection() {
+        let a = cfg();
+        assert!(!a.requires_restart(&a.clone()));
+        let mut b = a.clone();
+        b.critical = true;
+        assert!(!a.requires_restart(&b), "CRITICAL alone is a stall, not a restart");
+        let mut b = a.clone();
+        b.num_procs = 24;
+        assert!(a.requires_restart(&b));
+        let mut b = a.clone();
+        b.output_interval_min = 25.0;
+        assert!(a.requires_restart(&b));
+        let mut b = a.clone();
+        b.resolution_km = 21.0;
+        assert!(a.requires_restart(&b));
+        let mut b = a.clone();
+        b.nest_active = true;
+        assert!(a.requires_restart(&b));
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let c = cfg();
+        let back = ApplicationConfig::from_json(&c.to_json()).unwrap();
+        assert_eq!(c, back);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("adaptive-core-config-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("app_config.json");
+        let c = cfg();
+        c.write_file(&path).unwrap();
+        let back = ApplicationConfig::read_file(&path).unwrap();
+        assert_eq!(c, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn garbage_file_is_invalid_data() {
+        let dir = std::env::temp_dir().join("adaptive-core-config-test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.json");
+        std::fs::write(&path, "{not json").unwrap();
+        let err = ApplicationConfig::read_file(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        std::fs::remove_file(&path).ok();
+    }
+}

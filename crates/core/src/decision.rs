@@ -1,0 +1,205 @@
+//! Decision algorithms for the application manager.
+//!
+//! Both algorithms answer the same question every epoch — *how many
+//! processors, and how often should the simulation write output?* — from
+//! the same observations: free disk space, measured bandwidth, the
+//! profiled time-per-step table, and the frame cost at the current
+//! resolution.
+
+mod fixed;
+mod greedy;
+mod optimize;
+
+pub use fixed::StaticBaseline;
+pub use greedy::GreedyThreshold;
+pub use optimize::Optimization;
+
+use crate::config::ApplicationConfig;
+use perfmodel::ProcTable;
+
+/// Free-disk percentage at or below which the manager raises CRITICAL and
+/// the simulation stalls (Algorithm 1, line 2).
+pub const CRITICAL_FREE_PERCENT: f64 = 10.0;
+/// Free-disk percentage at which a stalled simulation resumes ("when the
+/// free disk space becomes sufficient again") — above the CRITICAL level
+/// with hysteresis so the system does not flap at the boundary.
+pub const RESUME_FREE_PERCENT: f64 = 15.0;
+/// Fraction of total capacity the optimization method keeps out of its
+/// disk budget: the LP plans to spend its budget `D` exactly by the end
+/// of the overflow horizon, so budgeting the full free space would steer
+/// straight into the CRITICAL band. The reserve keeps the steady state
+/// clear of it.
+pub const DISK_RESERVE_FRACTION: f64 = 0.12;
+/// Fraction of the remaining headroom (free space above the reserve) the
+/// optimization method budgets per horizon. Spending the whole headroom
+/// every epoch walks the disk down to the reserve by mission end; halving
+/// it makes the steady state genuinely steady — each epoch re-budgets, so
+/// usable space is never stranded, but consumption decelerates as the
+/// disk fills instead of accelerating.
+pub const DISK_BUDGET_FRACTION: f64 = 0.5;
+
+/// Everything a decision algorithm observes at one epoch.
+#[derive(Debug, Clone)]
+pub struct DecisionInputs<'a> {
+    /// Free disk space, percent of capacity (the `df` observation).
+    pub free_disk_percent: f64,
+    /// Free disk space in bytes (the LP's `D`, before the reserve).
+    pub free_disk_bytes: u64,
+    /// Total disk capacity in bytes (sizes the LP's reserve).
+    pub disk_capacity_bytes: u64,
+    /// Average observed sim→vis bandwidth, bytes/second (the LP's `b`).
+    pub bandwidth_bps: f64,
+    /// Bytes of one output frame at the current resolution (the LP's `O`).
+    pub frame_bytes: u64,
+    /// Seconds to write one frame through parallel I/O (the LP's `TIO`).
+    pub io_secs_per_frame: f64,
+    /// Profiled seconds-per-step for every allowed processor count at the
+    /// current resolution.
+    pub proc_table: &'a ProcTable,
+    /// Configuration currently in force.
+    pub current: &'a ApplicationConfig,
+    /// Integration step, simulated seconds (the paper's `ts`).
+    pub dt_sim_secs: f64,
+    /// Minimum output interval, simulated minutes.
+    pub min_oi_min: f64,
+    /// Maximum output interval, simulated minutes (the paper's
+    /// `upper_output_interval` = 25).
+    pub max_oi_min: f64,
+    /// Horizon over which the disk must not overflow, wall seconds (the
+    /// LP's `n`): the estimated remaining run time.
+    pub horizon_secs: f64,
+}
+
+/// Which force drove an optimization decision — the paper's three-way
+/// tension made observable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BindingConstraint {
+    /// The machine's fastest configuration was reachable: compute-bound.
+    MachineBound,
+    /// The disk-overflow horizon forced a slower step or sparser output.
+    DiskBound,
+    /// The continuous-visualization constraint set the output frequency.
+    VisualizationBound,
+    /// No feasible point: the safe corner was taken.
+    InfeasibleSafeCorner,
+}
+
+impl BindingConstraint {
+    /// Short label for logs and figure annotations.
+    pub fn label(self) -> &'static str {
+        match self {
+            BindingConstraint::MachineBound => "machine-bound",
+            BindingConstraint::DiskBound => "disk-bound",
+            BindingConstraint::VisualizationBound => "viz-bound",
+            BindingConstraint::InfeasibleSafeCorner => "infeasible",
+        }
+    }
+}
+
+/// A decision algorithm: observations in, configuration out.
+///
+/// Implementations must not set `resolution_km`/`nest_active` — those
+/// follow the pressure schedule and are applied by the manager; the
+/// algorithm decides processors and output interval. The CRITICAL flag is
+/// set by the manager from [`CRITICAL_FREE_PERCENT`], matching the paper
+/// where the manager (not the algorithm) notifies components of low disk.
+pub trait DecisionAlgorithm {
+    /// Human-readable name for logs and figure legends.
+    fn name(&self) -> &'static str;
+
+    /// Compute the next `(num_procs, output_interval_min)`.
+    fn decide(&mut self, inputs: &DecisionInputs<'_>) -> (usize, f64);
+
+    /// Which constraint bound the most recent decision, when the
+    /// algorithm can tell (the LP method reports this; heuristics return
+    /// `None`).
+    fn last_binding(&self) -> Option<BindingConstraint> {
+        None
+    }
+}
+
+/// Selector for the decision algorithms: the two the paper compares plus
+/// the implicit non-adaptive baseline it argues against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AlgorithmKind {
+    /// The reactive threshold heuristic (Algorithm 1).
+    GreedyThreshold,
+    /// The linear-programming steady-state method (§IV-B).
+    Optimization,
+    /// Non-adaptive: max processors, min interval, never reconsidered.
+    StaticBaseline,
+}
+
+impl AlgorithmKind {
+    /// Instantiate the algorithm.
+    pub fn build(self) -> Box<dyn DecisionAlgorithm + Send> {
+        match self {
+            AlgorithmKind::GreedyThreshold => Box::new(GreedyThreshold::new()),
+            AlgorithmKind::Optimization => Box::new(Optimization::new()),
+            AlgorithmKind::StaticBaseline => Box::new(StaticBaseline::new()),
+        }
+    }
+
+    /// Figure-legend label.
+    pub fn label(self) -> &'static str {
+        match self {
+            AlgorithmKind::GreedyThreshold => "Greedy-Threshold",
+            AlgorithmKind::Optimization => "Optimization Method",
+            AlgorithmKind::StaticBaseline => "Static (non-adaptive)",
+        }
+    }
+
+    /// The two algorithms the paper compares, in its order.
+    pub fn both() -> [AlgorithmKind; 2] {
+        [AlgorithmKind::GreedyThreshold, AlgorithmKind::Optimization]
+    }
+
+    /// All algorithms including the non-adaptive baseline.
+    pub fn all() -> [AlgorithmKind; 3] {
+        [
+            AlgorithmKind::StaticBaseline,
+            AlgorithmKind::GreedyThreshold,
+            AlgorithmKind::Optimization,
+        ]
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use super::*;
+    use perfmodel::ProcTable;
+
+    /// A strictly-decreasing five-entry table: 1→40s … 48→2.5s.
+    pub fn table() -> ProcTable {
+        ProcTable::from_entries(vec![
+            (1, 40.0),
+            (4, 12.0),
+            (12, 6.0),
+            (24, 4.0),
+            (48, 2.5),
+        ])
+    }
+
+    /// Inputs with sensible defaults, overridable per test.
+    pub fn inputs<'a>(
+        table: &'a ProcTable,
+        current: &'a ApplicationConfig,
+        free_percent: f64,
+    ) -> DecisionInputs<'a> {
+        let capacity = 100_000_000_000u64; // 100 GB
+        DecisionInputs {
+            free_disk_percent: free_percent,
+            free_disk_bytes: (capacity as f64 * free_percent / 100.0) as u64,
+            disk_capacity_bytes: capacity,
+            bandwidth_bps: 7e6,
+            frame_bytes: 100_000_000,
+            io_secs_per_frame: 0.7,
+            proc_table: table,
+            current,
+            dt_sim_secs: 144.0,
+            min_oi_min: 3.0,
+            max_oi_min: 25.0,
+            horizon_secs: 20.0 * 3600.0,
+        }
+    }
+}

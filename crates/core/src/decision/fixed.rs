@@ -1,0 +1,55 @@
+//! Non-adaptive baseline: the configuration a user without the framework
+//! would submit — maximum processors, output every few simulated minutes,
+//! never reconsidered.
+//!
+//! The paper invokes this implicitly: "a non-adaptive solution would
+//! result in stalling of the simulation much earlier than in the greedy
+//! algorithm". This baseline makes that claim testable: the only
+//! protection left is the manager's CRITICAL stall (without which the
+//! simulation would simply lose frames to a full disk).
+
+use super::{DecisionAlgorithm, DecisionInputs};
+
+/// Fixed configuration: `(max procs, min output interval)`, forever.
+#[derive(Debug, Clone, Default)]
+pub struct StaticBaseline {
+    _private: (),
+}
+
+impl StaticBaseline {
+    /// New instance.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl DecisionAlgorithm for StaticBaseline {
+    fn name(&self) -> &'static str {
+        "static-baseline"
+    }
+
+    fn decide(&mut self, inp: &DecisionInputs<'_>) -> (usize, f64) {
+        (inp.proc_table.fastest().0, inp.min_oi_min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ApplicationConfig;
+    use crate::decision::testutil::{inputs, table};
+
+    #[test]
+    fn ignores_every_observation() {
+        let t = table();
+        let cur = ApplicationConfig::initial(48, 3.0, 24.0);
+        let mut algo = StaticBaseline::new();
+        for free in [100.0, 50.0, 11.0, 1.0] {
+            for bw in [7.5e3, 1e8] {
+                let mut inp = inputs(&t, &cur, free);
+                inp.bandwidth_bps = bw;
+                assert_eq!(algo.decide(&inp), (48, 3.0), "free={free} bw={bw}");
+            }
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! The Greedy-Threshold algorithm — the paper's Algorithm 1, verbatim.
+//!
+//! ```text
+//! Input: oldOI, minOI, maxOI, oldtime, mintime, maxtime
+//! D ← remaining free disk space
+//! if D ≤ 10%            : set CRITICAL flag            (manager's job here)
+//! else if D ≤ 50%:
+//!     if D ≥ 25%        : newOI ← oldOI + (50−D)/25 · (maxOI − oldOI)
+//!     else if oldOI = maxOI :
+//!                         newtime ← oldtime + (25−D)/15 · (maxtime − oldtime)
+//! else if D ≥ 60%:
+//!     if oldtime > mintime : newtime ← oldtime − (D−60)/40 · (oldtime − mintime)
+//!     else if oldOI > minOI: newOI ← oldOI − (D−60)/40 · (oldOI − minOI)
+//! ```
+//!
+//! The new execution time maps to a processor count through the
+//! benchmark-profiling table, exactly as the paper does.
+
+use super::{DecisionAlgorithm, DecisionInputs};
+
+/// Reactive threshold heuristic. Thresholds are the paper's:
+/// `lowdiskspace-thresholdset = {50, 25}`,
+/// `highdiskspace-thresholdset = {60}`.
+#[derive(Debug, Clone, Default)]
+pub struct GreedyThreshold {
+    _private: (),
+}
+
+impl GreedyThreshold {
+    /// New instance.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl DecisionAlgorithm for GreedyThreshold {
+    fn name(&self) -> &'static str {
+        "greedy-threshold"
+    }
+
+    fn decide(&mut self, inp: &DecisionInputs<'_>) -> (usize, f64) {
+        let d = inp.free_disk_percent;
+        let old_oi = inp.current.output_interval_min;
+        let (min_oi, max_oi) = (inp.min_oi_min, inp.max_oi_min);
+        // Old execution time: the profiled time at the current processor
+        // count (falling back to the fastest entry if the count is no
+        // longer in the table after a resolution change).
+        let old_time = inp
+            .proc_table
+            .time_for(inp.current.num_procs)
+            .unwrap_or_else(|| inp.proc_table.min_time());
+        let min_time = inp.proc_table.min_time();
+        let max_time = inp.proc_table.max_time();
+
+        let mut new_oi = old_oi;
+        let mut new_time = old_time;
+
+        if d <= 10.0 {
+            // CRITICAL: the manager stalls the simulation; parameters
+            // stay put so the resume continues from the same settings.
+        } else if d <= 50.0 {
+            if d >= 25.0 {
+                new_oi = old_oi + (50.0 - d) / 25.0 * (max_oi - old_oi);
+            } else if (old_oi - max_oi).abs() < 1e-9 {
+                new_time = old_time + (25.0 - d) / 15.0 * (max_time - old_time);
+            } else {
+                // Below 25% with OI not yet maxed: push OI to its maximum
+                // first (the (50−D)/25 factor exceeds 1 here, clamped).
+                new_oi = max_oi;
+            }
+        } else if d >= 60.0 {
+            if old_time > min_time + 1e-9 {
+                new_time = old_time - (d - 60.0) / 40.0 * (old_time - min_time);
+            } else if old_oi > min_oi + 1e-9 {
+                new_oi = old_oi - (d - 60.0) / 40.0 * (old_oi - min_oi);
+            }
+        }
+        // 50 < D < 60: dead band, no change.
+
+        let new_oi = new_oi.clamp(min_oi, max_oi);
+        let (procs, _) = inp.proc_table.procs_closest_to_time(new_time);
+        (procs, new_oi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ApplicationConfig;
+    use crate::decision::testutil::{inputs, table};
+
+    fn current(procs: usize, oi: f64) -> ApplicationConfig {
+        ApplicationConfig {
+            num_procs: procs,
+            output_interval_min: oi,
+            resolution_km: 24.0,
+            nest_active: false,
+            critical: false,
+        }
+    }
+
+    #[test]
+    fn plenty_of_disk_keeps_max_speed_min_oi() {
+        let t = table();
+        let cur = current(48, 3.0);
+        let inp = inputs(&t, &cur, 95.0);
+        let (procs, oi) = GreedyThreshold::new().decide(&inp);
+        assert_eq!(procs, 48, "already fastest, stays fastest");
+        // oldtime == mintime, so the OI branch fires and walks OI down
+        // toward minOI (already there).
+        assert_eq!(oi, 3.0);
+    }
+
+    #[test]
+    fn moderate_pressure_increases_oi_proportionally() {
+        let t = table();
+        let cur = current(48, 5.0);
+        // D = 40: newOI = 5 + (10/25)·(25−5) = 13.
+        let inp = inputs(&t, &cur, 40.0);
+        let (procs, oi) = GreedyThreshold::new().decide(&inp);
+        assert_eq!(procs, 48, "processors untouched in the OI branch");
+        assert!((oi - 13.0).abs() < 1e-9, "oi = {oi}");
+    }
+
+    #[test]
+    fn at_threshold_50_oi_unchanged() {
+        let t = table();
+        let cur = current(48, 5.0);
+        let inp = inputs(&t, &cur, 50.0);
+        let (_, oi) = GreedyThreshold::new().decide(&inp);
+        assert!((oi - 5.0).abs() < 1e-9, "(50−50)/25 = 0 → no change");
+    }
+
+    #[test]
+    fn severe_pressure_with_maxed_oi_slows_simulation() {
+        let t = table();
+        let cur = current(48, 25.0);
+        // D = 20, oldOI = maxOI: newtime = 2.5 + (5/15)·(40−2.5) = 15.
+        let inp = inputs(&t, &cur, 20.0);
+        let (procs, oi) = GreedyThreshold::new().decide(&inp);
+        assert_eq!(oi, 25.0);
+        // Closest table time to 15.0 s is 12.0 s → 4 procs.
+        assert_eq!(procs, 4);
+    }
+
+    #[test]
+    fn severe_pressure_without_maxed_oi_maxes_oi_first() {
+        let t = table();
+        let cur = current(48, 10.0);
+        let inp = inputs(&t, &cur, 20.0);
+        let (procs, oi) = GreedyThreshold::new().decide(&inp);
+        assert_eq!(oi, 25.0, "OI forced to max before slowing the solver");
+        assert_eq!(procs, 48);
+    }
+
+    #[test]
+    fn recovery_speeds_up_first() {
+        let t = table();
+        let cur = current(4, 25.0); // slowed down earlier: 12 s/step
+        // D = 80: newtime = 12 − (20/40)·(12−2.5) = 7.25 → closest 6 s → 12 procs.
+        let inp = inputs(&t, &cur, 80.0);
+        let (procs, oi) = GreedyThreshold::new().decide(&inp);
+        assert_eq!(procs, 12);
+        assert_eq!(oi, 25.0, "OI untouched until the solver is back at full speed");
+    }
+
+    #[test]
+    fn recovery_then_decreases_oi() {
+        let t = table();
+        let cur = current(48, 25.0); // already fastest
+        // D = 100: newOI = 25 − (40/40)·(25−3) = 3.
+        let inp = inputs(&t, &cur, 100.0);
+        let (procs, oi) = GreedyThreshold::new().decide(&inp);
+        assert_eq!(procs, 48);
+        assert!((oi - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dead_band_between_50_and_60_changes_nothing() {
+        let t = table();
+        let cur = current(24, 10.0);
+        let inp = inputs(&t, &cur, 55.0);
+        let (procs, oi) = GreedyThreshold::new().decide(&inp);
+        assert_eq!(procs, 24);
+        assert!((oi - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn critical_zone_freezes_parameters() {
+        let t = table();
+        let cur = current(24, 20.0);
+        let inp = inputs(&t, &cur, 5.0);
+        let (procs, oi) = GreedyThreshold::new().decide(&inp);
+        assert_eq!(procs, 24);
+        assert!((oi - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn oi_always_within_bounds() {
+        let t = table();
+        for d in [0.0, 15.0, 30.0, 45.0, 55.0, 70.0, 100.0] {
+            for oi0 in [3.0, 10.0, 25.0] {
+                let cur = current(12, oi0);
+                let inp = inputs(&t, &cur, d);
+                let (procs, oi) = GreedyThreshold::new().decide(&inp);
+                assert!((3.0..=25.0).contains(&oi), "D={d}, oi0={oi0} → oi={oi}");
+                assert!(t.time_for(procs).is_some(), "procs from the table");
+            }
+        }
+    }
+}

@@ -1,0 +1,390 @@
+//! The optimization method — the paper's §IV-B linear program.
+//!
+//! Decision variables (after the paper's linearization by dividing the
+//! interval constraints by the number of solved frames `S`):
+//!
+//! - `t` — execution time per simulation step,
+//! - `z = F/S` — frames output per frame solved (the output frequency),
+//! - `y = T/S` — frames transferred per frame solved.
+//!
+//! ```text
+//! minimize t
+//! s.t.  t + TIO·z ≤ (O/b)·y              (Eq. 5: continuous visualization)
+//!       t ≥ (O/(D/n + b) − TIO)·z        (Eq. 6: no overflow within horizon n)
+//!       y ≤ z                            (cannot transfer unwritten frames)
+//!       TLB ≤ t ≤ TUB                    (Eq. 7: the machine's range)
+//!       LB ≤ z ≤ UB                      (Eq. 8: output-interval bounds)
+//!       0 ≤ y ≤ UB
+//! ```
+//!
+//! Because `z` does not appear in the objective, the program is solved
+//! lexicographically: first `min t`, then — with `t` pinned at its optimum
+//! — `max z`, which maximizes the temporal resolution of visualization,
+//! the paper's stated secondary objective. Eq. 9 (`OI·F = ts·S`) converts
+//! the optimal `z` to the output interval: `OI = ts / z`.
+//!
+//! Two practical notes the paper leaves implicit:
+//!
+//! - On a link faster than the machine can produce frames, Eq. 5 is
+//!   unsatisfiable at *any* setting (the visualization end is always
+//!   starved by the simulation, not by the network); the constraint is
+//!   then dropped — transfers simply idle between frames.
+//! - The optimal `t` maps to a processor count by choosing the profiled
+//!   time **closest from above**: rounding down would run faster than the
+//!   disk-overflow bound allows.
+
+use super::{BindingConstraint, DecisionAlgorithm, DecisionInputs};
+use lp::{Problem, Relation, Solution};
+
+/// LP-based steady-state decision algorithm (GLPK stand-in inside).
+#[derive(Debug, Clone, Default)]
+pub struct Optimization {
+    last_binding: Option<BindingConstraint>,
+}
+
+/// Scalar ingredients of the LP, extracted once.
+struct LpTerms {
+    o_over_b: f64,
+    tio: f64,
+    k_disk: f64,
+    t_lb: f64,
+    t_ub: f64,
+    z_lb: f64,
+    z_ub: f64,
+}
+
+impl LpTerms {
+    fn from_inputs(inp: &DecisionInputs<'_>) -> Self {
+        let o = inp.frame_bytes as f64;
+        let b = inp.bandwidth_bps.max(1.0);
+        // Disk budget: free space minus the safety reserve (the LP plans
+        // to consume its whole budget over the horizon — see
+        // [`crate::decision::DISK_RESERVE_FRACTION`]).
+        let reserve =
+            crate::decision::DISK_RESERVE_FRACTION * inp.disk_capacity_bytes as f64;
+        let d = crate::decision::DISK_BUDGET_FRACTION
+            * (inp.free_disk_bytes as f64 - reserve).max(0.0);
+        let n = inp.horizon_secs.max(1.0);
+        // z = ts/OI with both in simulated minutes; one frame per step is
+        // z = 1.
+        let ts_min = inp.dt_sim_secs / 60.0;
+        let z_lb = (ts_min / inp.max_oi_min).min(1.0);
+        LpTerms {
+            o_over_b: o / b,
+            tio: inp.io_secs_per_frame,
+            k_disk: o / (d / n + b) - inp.io_secs_per_frame,
+            t_lb: inp.proc_table.min_time(),
+            t_ub: inp.proc_table.max_time(),
+            z_lb,
+            z_ub: (ts_min / inp.min_oi_min).min(1.0).max(z_lb),
+        }
+    }
+
+    /// Build the LP with the given objective; optionally with Eq. 5, and
+    /// optionally with `t` pinned.
+    fn problem(&self, objective: [f64; 3], maximize: bool, with_eq5: bool, pin_t: Option<f64>) -> Problem {
+        let mut p = if maximize {
+            Problem::maximize(&objective)
+        } else {
+            Problem::minimize(&objective)
+        };
+        match pin_t {
+            Some(t) => p.set_bounds(0, t, t),
+            None => p.set_bounds(0, self.t_lb, self.t_ub),
+        }
+        p.set_bounds(1, self.z_lb, self.z_ub);
+        p.set_bounds(2, 0.0, self.z_ub);
+        if with_eq5 {
+            p.add_constraint(&[1.0, self.tio, -self.o_over_b], Relation::Le, 0.0);
+        }
+        p.add_constraint(&[1.0, -self.k_disk, 0.0], Relation::Ge, 0.0);
+        p.add_constraint(&[0.0, -1.0, 1.0], Relation::Le, 0.0);
+        p
+    }
+}
+
+impl Optimization {
+    /// New instance.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Render the phase-1 linear program for the given observations in
+    /// CPLEX LP text format — what a GLPK user would inspect. Variables:
+    /// `x0 = t`, `x1 = z`, `x2 = y`.
+    pub fn lp_text(inp: &DecisionInputs<'_>) -> String {
+        let terms = LpTerms::from_inputs(inp);
+        terms.problem([1.0, 0.0, 0.0], false, true, None).to_lp_format()
+    }
+
+    /// Solve lexicographically; returns `(t*, z*)`, or `None` when even
+    /// the relaxed program is infeasible (the disk is doomed within the
+    /// horizon at every allowed setting).
+    fn solve(inp: &DecisionInputs<'_>) -> Option<(f64, f64)> {
+        let terms = LpTerms::from_inputs(inp);
+        let min_t = [1.0, 0.0, 0.0];
+        let max_z = [0.0, 1.0, 0.0];
+
+        // Phase 1 with Eq. 5; drop Eq. 5 when the link outruns production.
+        let mut with_eq5 = true;
+        let t_opt = match terms.problem(min_t, false, true, None).solve().ok()? {
+            Solution::Optimal { x, .. } => x[0],
+            _ => {
+                with_eq5 = false;
+                match terms.problem(min_t, false, false, None).solve().ok()? {
+                    Solution::Optimal { x, .. } => x[0],
+                    _ => return None,
+                }
+            }
+        };
+
+        // Phase 2: pin t at the optimum, maximize temporal resolution.
+        match terms
+            .problem(max_z, true, with_eq5, Some(t_opt))
+            .solve()
+            .ok()?
+        {
+            Solution::Optimal { x, .. } => Some((t_opt, x[1])),
+            // Unreachable in exact arithmetic (phase 1's optimum is
+            // feasible here); absorb numerical corner cases safely.
+            _ => Some((t_opt, terms.z_lb)),
+        }
+    }
+}
+
+impl DecisionAlgorithm for Optimization {
+    fn name(&self) -> &'static str {
+        "optimization"
+    }
+
+    fn decide(&mut self, inp: &DecisionInputs<'_>) -> (usize, f64) {
+        match Self::solve(inp) {
+            Some((t_opt, z)) => {
+                // Classify the binding force: if the optimal step time sits
+                // above the machine's floor, the disk horizon pushed it
+                // there; otherwise, if the chosen frequency is below its
+                // ceiling, either the disk term or Eq. 5 capped z.
+                let terms = LpTerms::from_inputs(inp);
+                self.last_binding = Some(if t_opt > terms.t_lb + 1e-9 {
+                    BindingConstraint::DiskBound
+                } else if z + 1e-9 < terms.z_ub {
+                    if terms.k_disk > 0.0 && z >= t_opt / terms.k_disk - 1e-9 {
+                        BindingConstraint::DiskBound
+                    } else {
+                        BindingConstraint::VisualizationBound
+                    }
+                } else {
+                    BindingConstraint::MachineBound
+                });
+                let ts_min = inp.dt_sim_secs / 60.0;
+                let oi = (ts_min / z.max(1e-12)).clamp(inp.min_oi_min, inp.max_oi_min);
+                // Profiled time closest to t* from above (see module docs).
+                let procs = inp
+                    .proc_table
+                    .entries()
+                    .iter()
+                    .filter(|&&(_, t)| t >= t_opt - 1e-9)
+                    .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite times"))
+                    .map(|&(p, _)| p)
+                    .unwrap_or_else(|| inp.proc_table.fastest().0);
+                (procs, oi)
+            }
+            None => {
+                // Infeasible: even the slowest machine at minimum output
+                // frequency overflows within the horizon. Take the safest
+                // corner (slowest configuration, sparsest output) and let
+                // the CRITICAL machinery absorb the rest.
+                self.last_binding = Some(BindingConstraint::InfeasibleSafeCorner);
+                (inp.proc_table.slowest().0, inp.max_oi_min)
+            }
+        }
+    }
+
+    fn last_binding(&self) -> Option<BindingConstraint> {
+        self.last_binding
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ApplicationConfig;
+    use crate::decision::testutil::{inputs, table};
+
+    fn current() -> ApplicationConfig {
+        ApplicationConfig::initial(48, 3.0, 24.0)
+    }
+
+    #[test]
+    fn fast_network_full_disk_headroom_runs_flat_out() {
+        let t = table();
+        let cur = current();
+        let mut inp = inputs(&t, &cur, 90.0);
+        // 100 MB/s ≫ production rate: Eq. 5 is dropped, disk slack is
+        // huge → maximum processors, maximum output frequency.
+        inp.bandwidth_bps = 1e8;
+        let (procs, oi) = Optimization::new().decide(&inp);
+        assert_eq!(procs, 48, "min t ⇒ maximum processors");
+        assert!((oi - 3.0).abs() < 1e-6, "max temporal resolution, oi = {oi}");
+    }
+
+    #[test]
+    fn slow_network_pushes_oi_to_maximum_and_obeys_disk_bound() {
+        let t = table();
+        let cur = current();
+        let mut inp = inputs(&t, &cur, 60.0);
+        inp.bandwidth_bps = 7.5e3; // the cross-continent 60 Kbps link
+        inp.horizon_secs = 20.0 * 3600.0;
+        // Budget = half the headroom above the reserve ≈ 24 GB over the
+        // 20 h horizon → k ≈ 293 s → t ≥ 293·z_lb ≈ 28 s: the simulation
+        // must slow to the closest profiled time above that (40 s on one
+        // processor), and z is pinned at its floor → OI = 25.
+        let (procs, oi) = Optimization::new().decide(&inp);
+        assert!((oi - 25.0).abs() < 1e-6, "starving link → sparsest output, oi = {oi}");
+        assert_eq!(procs, 1);
+        assert!(t.time_for(procs).unwrap() >= 28.0);
+    }
+
+    #[test]
+    fn scarce_disk_slow_link_takes_safe_corner() {
+        let t = table();
+        let cur = current();
+        let mut inp = inputs(&t, &cur, 2.0);
+        inp.free_disk_bytes = 2_000_000_000; // 2 GB left
+        inp.bandwidth_bps = 7.5e3;
+        inp.horizon_secs = 40.0 * 3600.0;
+        // k ≈ 4674 s; even z_lb needs t ≈ 449 s > maxtime → infeasible.
+        let (procs, oi) = Optimization::new().decide(&inp);
+        assert!((oi - 25.0).abs() < 1e-6);
+        assert_eq!(procs, 1, "slowest configuration");
+    }
+
+    #[test]
+    fn binding_disk_constraint_rounds_time_up_not_down() {
+        let t = table();
+        let cur = current();
+        let mut inp = inputs(&t, &cur, 30.0);
+        inp.free_disk_bytes = 30_000_000_000;
+        inp.bandwidth_bps = 1e5; // 100 KB/s
+        inp.horizon_secs = 30.0 * 3600.0;
+        // k ≈ 264 s → t* ≈ 25.3 s, strictly between the 12 s and 40 s
+        // table entries: the mapping must choose 40 s (1 proc), because
+        // 12 s would overflow the disk within the horizon.
+        let (procs, oi) = Optimization::new().decide(&inp);
+        assert!((oi - 25.0).abs() < 1e-6, "z driven to its floor, oi = {oi}");
+        assert_eq!(procs, 1);
+        assert!(t.time_for(procs).unwrap() >= 25.3);
+    }
+
+    #[test]
+    fn moderate_link_lands_between_the_extremes() {
+        let t = table();
+        let cur = current();
+        let mut inp = inputs(&t, &cur, 95.0);
+        // O/b = 10 s: Eq. 5 feasible; with t = 2.5 it demands
+        // z ≥ 2.5/(10 − 0.7) ≈ 0.269, while the disk bound caps z at
+        // t/k ≈ 2.5/8.15 ≈ 0.307 → OI = ts/z ≈ 2.4/0.307 ≈ 7.8 min:
+        // an interior point between the 3- and 25-minute bounds.
+        inp.bandwidth_bps = 1e7;
+        let (procs, oi) = Optimization::new().decide(&inp);
+        assert_eq!(procs, 48);
+        assert!((3.5..10.0).contains(&oi), "interior OI, oi = {oi}");
+    }
+
+    #[test]
+    fn lp_text_renders_the_formulation() {
+        let t = table();
+        let cur = current();
+        let inp = inputs(&t, &cur, 60.0);
+        let text = Optimization::lp_text(&inp);
+        assert!(text.starts_with("Minimize"));
+        // Eq. 5, Eq. 6, y <= z: three constraint rows.
+        assert_eq!(text.matches("\n c").count(), 3, "{text}");
+        assert!(text.contains("x0"), "t appears");
+        assert!(text.ends_with("End\n"));
+    }
+
+    #[test]
+    fn oi_always_within_bounds_across_conditions() {
+        let t = table();
+        let cur = current();
+        for bw in [7.5e3, 1e5, 5e6, 1e8] {
+            for free in [5.0, 20.0, 50.0, 95.0] {
+                let mut inp = inputs(&t, &cur, free);
+                inp.bandwidth_bps = bw;
+                let (procs, oi) = Optimization::new().decide(&inp);
+                assert!((3.0..=25.0).contains(&oi), "bw={bw} free={free} oi={oi}");
+                assert!(t.time_for(procs).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn binding_diagnostics_classify_the_regimes() {
+        let t = table();
+        let cur = current();
+        let mut algo = Optimization::new();
+        assert_eq!(algo.last_binding(), None, "no decision yet");
+
+        // Plentiful everything: machine-bound at full frequency.
+        let mut inp = inputs(&t, &cur, 90.0);
+        inp.bandwidth_bps = 1e8;
+        algo.decide(&inp);
+        assert_eq!(
+            algo.last_binding(),
+            Some(BindingConstraint::MachineBound)
+        );
+
+        // Disk horizon forces a slower step (budget ≈ 24 GB over 20 h →
+        // t* ≈ 22 s, inside the table's range): disk-bound.
+        let mut inp = inputs(&t, &cur, 60.0);
+        inp.bandwidth_bps = 1e5;
+        inp.horizon_secs = 20.0 * 3600.0;
+        algo.decide(&inp);
+        assert_eq!(algo.last_binding(), Some(BindingConstraint::DiskBound));
+
+        // Impossible disk: the safe corner.
+        let mut inp = inputs(&t, &cur, 2.0);
+        inp.free_disk_bytes = 2_000_000_000;
+        inp.bandwidth_bps = 7.5e3;
+        inp.horizon_secs = 40.0 * 3600.0;
+        algo.decide(&inp);
+        assert_eq!(
+            algo.last_binding(),
+            Some(BindingConstraint::InfeasibleSafeCorner)
+        );
+    }
+
+    #[test]
+    fn chosen_time_never_violates_the_disk_bound_when_feasible() {
+        // Property-style sweep: whenever the LP is feasible, the profiled
+        // time of the chosen processor count satisfies t ≥ k·z(OI).
+        let t = table();
+        let cur = current();
+        for bw in [7.5e3, 5e4, 1e6, 7e6] {
+            for free in [15.0, 40.0, 75.0] {
+                for horizon_h in [5.0, 20.0, 60.0] {
+                    let mut inp = inputs(&t, &cur, free);
+                    inp.bandwidth_bps = bw;
+                    inp.horizon_secs = horizon_h * 3600.0;
+                    let (procs, oi) = Optimization::new().decide(&inp);
+                    let terms_k = inp.frame_bytes as f64
+                        / (inp.free_disk_bytes as f64 / inp.horizon_secs + bw)
+                        - inp.io_secs_per_frame;
+                    let z = (inp.dt_sim_secs / 60.0) / oi;
+                    let chosen_t = t.time_for(procs).unwrap();
+                    // Feasible iff the bound fits under maxtime at z_lb.
+                    let feasible = terms_k * (inp.dt_sim_secs / 60.0) / inp.max_oi_min
+                        <= t.max_time() + 1e-9;
+                    if feasible {
+                        assert!(
+                            chosen_t >= terms_k * z - 1e-6,
+                            "bw={bw} free={free} n={horizon_h}: t={chosen_t} < k·z={}",
+                            terms_k * z
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,323 @@
+//! Multi-site visualization fan-out.
+//!
+//! The paper motivates remote visualization with "joint analysis by a
+//! geographically distributed climate science community" but evaluates a
+//! single visualization site. This module extends the frame pipeline to
+//! *N* receivers over heterogeneous links, which surfaces a policy
+//! question the single-site design never faces: **when may the simulation
+//! site reclaim a frame's disk space?**
+//!
+//! - [`ReleasePolicy::AllReceived`] — only after every site has the frame
+//!   (archival semantics; one overseas dial-up link holds the whole
+//!   system's storage hostage),
+//! - [`ReleasePolicy::Quorum`]`(k)` — after `k` sites have it (the
+//!   stragglers keep streaming from their queues, but a frame still on
+//!   disk only for laggards no longer counts against the simulation),
+//! - [`ReleasePolicy::FirstReceived`] — as soon as anyone has it (the
+//!   paper's single-site behaviour, generalized; laggards' unserved
+//!   queues are dropped when space is reclaimed).
+//!
+//! The fan-out runs on the same DES substrate as the main orchestrator
+//! and is exercised by the `multi_site_viz` example and the fan-out
+//! integration tests.
+
+use des::{run_until_empty, Scheduler, Series, SeriesSet};
+use resources::{Disk, Network};
+use std::collections::HashMap;
+
+/// One remote visualization site.
+#[derive(Debug)]
+pub struct ReceiverSpec {
+    /// Site label for reports.
+    pub label: String,
+    /// The sim→site link.
+    pub network: Network,
+}
+
+/// When the simulation site may free a frame's bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReleasePolicy {
+    /// Free once every receiver holds the frame.
+    AllReceived,
+    /// Free once this many receivers hold the frame.
+    Quorum(usize),
+    /// Free as soon as the first receiver holds the frame.
+    FirstReceived,
+}
+
+impl ReleasePolicy {
+    fn threshold(&self, receivers: usize) -> usize {
+        match *self {
+            ReleasePolicy::AllReceived => receivers,
+            ReleasePolicy::Quorum(k) => k.clamp(1, receivers),
+            ReleasePolicy::FirstReceived => 1,
+        }
+    }
+}
+
+/// Fan-out experiment configuration: a producer writing fixed-cadence
+/// frames against a finite disk, broadcast to every receiver.
+#[derive(Debug)]
+pub struct FanOutConfig {
+    /// Simulation-site disk.
+    pub disk: Disk,
+    /// Bytes per frame.
+    pub frame_bytes: u64,
+    /// Wall seconds between produced frames.
+    pub production_interval_secs: f64,
+    /// Frames to produce.
+    pub frames: u64,
+    /// The receivers.
+    pub receivers: Vec<ReceiverSpec>,
+    /// Space-reclamation policy.
+    pub policy: ReleasePolicy,
+}
+
+/// What a fan-out run observed.
+#[derive(Debug)]
+pub struct FanOutOutcome {
+    /// Frames successfully written (dropped writes hit a full disk).
+    pub frames_produced: u64,
+    /// Frames dropped on a full disk.
+    pub frames_dropped: u64,
+    /// Frames delivered per receiver, in receiver order.
+    pub delivered: Vec<u64>,
+    /// Wall seconds when the last *policy-satisfying* delivery happened.
+    pub wall_secs: f64,
+    /// Lowest free-disk percentage observed.
+    pub min_free_pct: f64,
+    /// `free_disk_pct` plus one `delivered:<label>` series per receiver.
+    pub series: SeriesSet,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Ev {
+    Produce,
+    Delivered { receiver: usize, frame: u64 },
+}
+
+struct World {
+    cfg: FanOutConfig,
+    disk_free_series: Series,
+    delivered_series: Vec<Series>,
+    // Per-receiver FIFO backlog (frame ids awaiting transfer) + busy flag.
+    queues: Vec<Vec<u64>>,
+    busy: Vec<bool>,
+    // How many receivers have each in-flight frame; bytes freed at the
+    // policy threshold.
+    received_count: HashMap<u64, usize>,
+    next_frame: u64,
+    produced: u64,
+    dropped: u64,
+    delivered: Vec<u64>,
+    min_free_pct: f64,
+    threshold: usize,
+}
+
+impl World {
+    fn kick(&mut self, r: usize, sched: &mut Scheduler<Ev>) {
+        if self.busy[r] || self.queues[r].is_empty() {
+            return;
+        }
+        let frame = self.queues[r].remove(0);
+        self.busy[r] = true;
+        self.cfg.receivers[r].network.step();
+        let secs = self.cfg.receivers[r]
+            .network
+            .transfer_time(self.cfg.frame_bytes);
+        sched.schedule_in(secs, Ev::Delivered { receiver: r, frame });
+    }
+
+    fn record_disk(&mut self, now: des::SimTime) {
+        let pct = self.cfg.disk.free_percent();
+        self.min_free_pct = self.min_free_pct.min(pct);
+        self.disk_free_series.record(now, pct);
+    }
+}
+
+/// Run the fan-out to completion (all frames produced and every queue
+/// drained or dropped).
+pub fn run_fanout(cfg: FanOutConfig) -> FanOutOutcome {
+    assert!(!cfg.receivers.is_empty(), "fan-out needs receivers");
+    assert!(cfg.frame_bytes > 0 && cfg.frames > 0);
+    let n = cfg.receivers.len();
+    let threshold = cfg.policy.threshold(n);
+    let delivered_series = cfg
+        .receivers
+        .iter()
+        .map(|r| Series::new(format!("delivered:{}", r.label)))
+        .collect();
+    let mut world = World {
+        threshold,
+        disk_free_series: Series::new("free_disk_pct"),
+        delivered_series,
+        queues: vec![Vec::new(); n],
+        busy: vec![false; n],
+        received_count: HashMap::new(),
+        next_frame: 0,
+        produced: 0,
+        dropped: 0,
+        delivered: vec![0; n],
+        min_free_pct: 100.0,
+        cfg,
+    };
+    let mut sched: Scheduler<Ev> = Scheduler::new();
+    sched.schedule_in(world.cfg.production_interval_secs, Ev::Produce);
+
+    let mut last_release_secs = 0.0f64;
+    run_until_empty(&mut sched, &mut world, |w, now, ev, sched| {
+        match ev {
+            Ev::Produce => {
+                let id = w.next_frame;
+                w.next_frame += 1;
+                if w.cfg.disk.write(w.cfg.frame_bytes).is_ok() {
+                    w.produced += 1;
+                    w.received_count.insert(id, 0);
+                    for r in 0..w.queues.len() {
+                        w.queues[r].push(id);
+                        w.kick(r, sched);
+                    }
+                } else {
+                    w.dropped += 1;
+                }
+                w.record_disk(now);
+                if w.next_frame < w.cfg.frames {
+                    sched.schedule_in(w.cfg.production_interval_secs, Ev::Produce);
+                }
+            }
+            Ev::Delivered { receiver, frame } => {
+                w.busy[receiver] = false;
+                w.delivered[receiver] += 1;
+                w.delivered_series[receiver].record(now, w.delivered[receiver] as f64);
+                if let Some(count) = w.received_count.get_mut(&frame) {
+                    *count += 1;
+                    if *count == w.threshold {
+                        w.cfg.disk.free_bytes(w.cfg.frame_bytes);
+                        last_release_secs = now.as_secs();
+                        w.record_disk(now);
+                        // FirstReceived semantics: laggards' queued copies
+                        // of this frame are dropped with the bytes.
+                        if w.threshold == 1 {
+                            for q in &mut w.queues {
+                                q.retain(|&f| f != frame);
+                            }
+                        }
+                    }
+                }
+                w.kick(receiver, sched);
+            }
+        }
+        true
+    });
+
+    let mut series = SeriesSet::new();
+    series.push(world.disk_free_series);
+    for s in world.delivered_series {
+        series.push(s);
+    }
+    FanOutOutcome {
+        frames_produced: world.produced,
+        frames_dropped: world.dropped,
+        delivered: world.delivered,
+        wall_secs: last_release_secs,
+        min_free_pct: world.min_free_pct,
+        series,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn receivers() -> Vec<ReceiverSpec> {
+        vec![
+            ReceiverSpec {
+                label: "campus".into(),
+                network: Network::ideal(7e6),
+            },
+            ReceiverSpec {
+                label: "national".into(),
+                network: Network::ideal(5e6),
+            },
+            ReceiverSpec {
+                label: "overseas".into(),
+                network: Network::ideal(7.5e3),
+            },
+        ]
+    }
+
+    fn cfg(policy: ReleasePolicy) -> FanOutConfig {
+        FanOutConfig {
+            disk: Disk::new(2_000_000_000), // 2 GB
+            frame_bytes: 100_000_000,       // 100 MB → disk holds 20 frames
+            production_interval_secs: 30.0,
+            frames: 40,
+            receivers: receivers(),
+            policy,
+        }
+    }
+
+    #[test]
+    fn all_received_is_hostage_to_the_slowest_link() {
+        let out = run_fanout(cfg(ReleasePolicy::AllReceived));
+        // 100 MB over 7.5 KB/s ≈ 3.7 h per frame: the disk fills long
+        // before the overseas site drains anything.
+        assert!(out.frames_dropped > 0, "{out:?}");
+        assert!(out.min_free_pct < 5.0);
+    }
+
+    #[test]
+    fn quorum_two_decouples_the_straggler() {
+        let out = run_fanout(cfg(ReleasePolicy::Quorum(2)));
+        // The two fast sites clear each frame in ~34 s ≈ the production
+        // cadence, so nothing is dropped...
+        assert_eq!(out.frames_dropped, 0, "{out:?}");
+        assert_eq!(out.delivered[0], 40);
+        assert_eq!(out.delivered[1], 40);
+        // ... and the overseas site still receives whatever it can.
+        assert!(out.delivered[2] >= 1);
+    }
+
+    #[test]
+    fn first_received_matches_single_site_behaviour() {
+        let out = run_fanout(cfg(ReleasePolicy::FirstReceived));
+        assert_eq!(out.frames_dropped, 0);
+        assert_eq!(out.delivered[0], 40, "fastest site gets everything");
+        // Straggler queues are trimmed when bytes are reclaimed.
+        assert!(out.delivered[2] < 40);
+    }
+
+    #[test]
+    fn policies_order_disk_pressure() {
+        let all = run_fanout(cfg(ReleasePolicy::AllReceived));
+        let quorum = run_fanout(cfg(ReleasePolicy::Quorum(2)));
+        let first = run_fanout(cfg(ReleasePolicy::FirstReceived));
+        assert!(all.min_free_pct <= quorum.min_free_pct + 1e-9);
+        assert!(quorum.min_free_pct <= first.min_free_pct + 1e-9);
+    }
+
+    #[test]
+    fn delivery_series_are_monotone() {
+        let out = run_fanout(cfg(ReleasePolicy::Quorum(2)));
+        for r in ["campus", "national", "overseas"] {
+            let s = out
+                .series
+                .get(&format!("delivered:{r}"))
+                .expect("series per receiver");
+            assert!(s.is_monotone_non_decreasing());
+        }
+        assert!(out.series.get("free_disk_pct").is_some());
+    }
+
+    #[test]
+    fn quorum_clamps_to_receiver_count() {
+        let mut c = cfg(ReleasePolicy::Quorum(99));
+        c.frames = 3;
+        c.production_interval_secs = 1e5; // plenty of drain time
+        let out = run_fanout(c);
+        // Quorum(99) over 3 receivers behaves like AllReceived: with the
+        // slow production cadence everything eventually clears.
+        assert_eq!(out.frames_dropped, 0);
+        assert_eq!(out.delivered, vec![3, 3, 3]);
+    }
+}

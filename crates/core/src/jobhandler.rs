@@ -1,0 +1,174 @@
+//! The job handler: simulation-process lifecycle.
+//!
+//! "The job handler starts, stops and restarts the simulation process
+//! whenever the application configuration changes" and stalls it while
+//! the CRITICAL flag is set. This module is the explicit state machine
+//! for that lifecycle — the orchestrator (and the online mode) drive it
+//! and it enforces that transitions are legal and counted.
+
+/// Where the simulation process is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimProcessState {
+    /// Solving time steps (or writing output).
+    Running,
+    /// Stalled on the CRITICAL flag / a full disk.
+    Stalled,
+    /// Stopped; being rescheduled with a new configuration.
+    Restarting,
+}
+
+/// Lifecycle state machine with transition counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobHandler {
+    state: SimProcessState,
+    restarts: u32,
+    stalls: u32,
+}
+
+impl Default for JobHandler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl JobHandler {
+    /// The simulation starts out running.
+    pub fn new() -> Self {
+        JobHandler {
+            state: SimProcessState::Running,
+            restarts: 0,
+            stalls: 0,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> SimProcessState {
+        self.state
+    }
+
+    /// Completed restarts so far.
+    pub fn restarts(&self) -> u32 {
+        self.restarts
+    }
+
+    /// Stall episodes so far.
+    pub fn stalls(&self) -> u32 {
+        self.stalls
+    }
+
+    /// True when the process is advancing the simulation.
+    pub fn is_running(&self) -> bool {
+        self.state == SimProcessState::Running
+    }
+
+    /// Stop the process for rescheduling with a new configuration.
+    ///
+    /// # Panics
+    /// If a restart is already in flight (the handler serializes
+    /// restarts; overlapping ones indicate an orchestration bug).
+    pub fn begin_restart(&mut self) {
+        assert_ne!(
+            self.state,
+            SimProcessState::Restarting,
+            "restart already in flight"
+        );
+        self.state = SimProcessState::Restarting;
+    }
+
+    /// The rescheduled process is up again.
+    ///
+    /// # Panics
+    /// If no restart was in flight.
+    pub fn finish_restart(&mut self) {
+        assert_eq!(self.state, SimProcessState::Restarting, "no restart in flight");
+        self.restarts += 1;
+        self.state = SimProcessState::Running;
+    }
+
+    /// Stall on CRITICAL. Stalling while restarting is legal (the new
+    /// process comes up stalled); stalling twice is idempotent.
+    pub fn stall(&mut self) {
+        if self.state != SimProcessState::Stalled {
+            self.stalls += 1;
+            self.state = SimProcessState::Stalled;
+        }
+    }
+
+    /// Resume from a stall.
+    ///
+    /// # Panics
+    /// If the process is not stalled.
+    pub fn resume(&mut self) {
+        assert_eq!(self.state, SimProcessState::Stalled, "not stalled");
+        self.state = SimProcessState::Running;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_running() {
+        let h = JobHandler::new();
+        assert!(h.is_running());
+        assert_eq!(h.restarts(), 0);
+        assert_eq!(h.stalls(), 0);
+    }
+
+    #[test]
+    fn restart_cycle_counts() {
+        let mut h = JobHandler::new();
+        h.begin_restart();
+        assert_eq!(h.state(), SimProcessState::Restarting);
+        assert!(!h.is_running());
+        h.finish_restart();
+        assert!(h.is_running());
+        assert_eq!(h.restarts(), 1);
+    }
+
+    #[test]
+    fn stall_resume_cycle_counts() {
+        let mut h = JobHandler::new();
+        h.stall();
+        h.stall(); // idempotent
+        assert_eq!(h.stalls(), 1);
+        assert_eq!(h.state(), SimProcessState::Stalled);
+        h.resume();
+        assert!(h.is_running());
+        h.stall();
+        assert_eq!(h.stalls(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "restart already in flight")]
+    fn double_restart_panics() {
+        let mut h = JobHandler::new();
+        h.begin_restart();
+        h.begin_restart();
+    }
+
+    #[test]
+    #[should_panic(expected = "no restart in flight")]
+    fn finish_without_begin_panics() {
+        let mut h = JobHandler::new();
+        h.finish_restart();
+    }
+
+    #[test]
+    #[should_panic(expected = "not stalled")]
+    fn resume_without_stall_panics() {
+        let mut h = JobHandler::new();
+        h.resume();
+    }
+
+    #[test]
+    fn stall_during_restart_is_legal() {
+        let mut h = JobHandler::new();
+        h.begin_restart();
+        h.stall();
+        assert_eq!(h.state(), SimProcessState::Stalled);
+        h.resume();
+        assert!(h.is_running());
+    }
+}

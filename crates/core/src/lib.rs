@@ -1,0 +1,49 @@
+//! The adaptive framework — the paper's primary contribution.
+//!
+//! Components mirror the paper's Figure 2 one-to-one:
+//!
+//! - [`config::ApplicationConfig`] — the *application configuration file*
+//!   through which the manager steers the other components (number of
+//!   processors, output interval, resolution, CRITICAL flag),
+//! - [`manager::ApplicationManager`] — periodically observes free disk
+//!   space and measured bandwidth and invokes a decision algorithm,
+//! - [`decision`] — the two decision algorithms: the reactive
+//!   [`decision::GreedyThreshold`] (the paper's Algorithm 1) and the
+//!   linear-programming [`decision::Optimization`] (paper §IV-B, solved
+//!   with our own simplex instead of GLPK),
+//! - [`jobhandler::JobHandler`] — starts, stalls, and restarts the
+//!   simulation process when the configuration changes,
+//! - [`orchestrator::Orchestrator`] — the closed loop on a discrete-event
+//!   clock: simulation steps, parallel I/O, the frame sender/receiver
+//!   pair, the visualization process, decision epochs, restarts and
+//!   stalls — producing the exact time series plotted in Figures 5–8,
+//! - [`online`] — the same pipeline as real communicating threads (live
+//!   daemons) for demonstration and end-to-end testing.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use adaptive_core::decision::AlgorithmKind;
+//! use adaptive_core::orchestrator::Orchestrator;
+//! use cyclone::{Mission, Site};
+//!
+//! let outcome = Orchestrator::new(
+//!     Site::inter_department(),
+//!     Mission::aila().with_duration_hours(3.0),
+//!     AlgorithmKind::Optimization,
+//! )
+//! .run();
+//! assert!(outcome.completed);
+//! assert!(outcome.frames_visualized > 0);
+//! ```
+
+pub mod config;
+pub mod decision;
+pub mod fanout;
+pub mod jobhandler;
+pub mod manager;
+pub mod metrics;
+pub mod net_transport;
+pub mod online;
+pub mod orchestrator;
+pub mod steering;

@@ -1,0 +1,196 @@
+//! The application manager.
+//!
+//! "The application manager is the primary component that makes our
+//! framework adaptive to resource configuration changes. It invokes a
+//! decision algorithm periodically ... The decision algorithm considers as
+//! input the bandwidth of the network between the climate simulation and
+//! visualization sites, the available free disk space, and the resolutions
+//! of climate simulations." It also raises the CRITICAL flag when free
+//! disk is very low.
+
+use crate::config::ApplicationConfig;
+use crate::decision::{
+    AlgorithmKind, BindingConstraint, DecisionAlgorithm, DecisionInputs,
+    CRITICAL_FREE_PERCENT,
+};
+use perfmodel::ProcTable;
+use resources::{BandwidthProbe, Disk, Network};
+
+/// Per-epoch context the orchestrator supplies (everything that depends on
+/// the current resolution and nest state).
+#[derive(Debug, Clone)]
+pub struct EpochContext<'a> {
+    /// Bytes of one frame at the current resolution/nest state.
+    pub frame_bytes: u64,
+    /// Seconds of parallel I/O per frame.
+    pub io_secs_per_frame: f64,
+    /// Profiled time-per-step table at the current resolution/nest state.
+    pub proc_table: &'a ProcTable,
+    /// Integration step, simulated seconds.
+    pub dt_sim_secs: f64,
+    /// Output-interval bounds, simulated minutes.
+    pub min_oi_min: f64,
+    /// See [`crate::decision::DecisionInputs::max_oi_min`].
+    pub max_oi_min: f64,
+    /// Disk-overflow horizon, wall seconds.
+    pub horizon_secs: f64,
+}
+
+/// The manager: owns the decision algorithm and the bandwidth probe.
+pub struct ApplicationManager {
+    algorithm: Box<dyn DecisionAlgorithm + Send>,
+    probe: BandwidthProbe,
+    epochs: u64,
+}
+
+impl ApplicationManager {
+    /// Manager running the given decision algorithm.
+    pub fn new(kind: AlgorithmKind) -> Self {
+        ApplicationManager {
+            algorithm: kind.build(),
+            probe: BandwidthProbe::new(),
+            epochs: 0,
+        }
+    }
+
+    /// Name of the active decision algorithm.
+    pub fn algorithm_name(&self) -> &'static str {
+        self.algorithm.name()
+    }
+
+    /// Number of decision epochs run so far.
+    pub fn epochs(&self) -> u64 {
+        self.epochs
+    }
+
+    /// Last averaged bandwidth observation, bytes/second.
+    pub fn observed_bandwidth_bps(&self) -> Option<f64> {
+        self.probe.average_bps()
+    }
+
+    /// Which constraint bound the most recent decision (LP method only).
+    pub fn last_binding(&self) -> Option<BindingConstraint> {
+        self.algorithm.last_binding()
+    }
+
+    /// One decision epoch: measure bandwidth (the paper's 1 GB timing),
+    /// read free disk (`df`), run the algorithm, and assemble the next
+    /// application configuration. Resolution and nest state pass through
+    /// from `current` — they follow the pressure schedule, not the
+    /// algorithm.
+    pub fn epoch(
+        &mut self,
+        disk: &Disk,
+        network: &mut Network,
+        ctx: &EpochContext<'_>,
+        current: &ApplicationConfig,
+    ) -> ApplicationConfig {
+        self.epochs += 1;
+        let bandwidth_bps = self.probe.measure(network);
+        let free_pct = disk.free_percent();
+        let inputs = DecisionInputs {
+            free_disk_percent: free_pct,
+            free_disk_bytes: disk.free(),
+            disk_capacity_bytes: disk.capacity(),
+            bandwidth_bps,
+            frame_bytes: ctx.frame_bytes,
+            io_secs_per_frame: ctx.io_secs_per_frame,
+            proc_table: ctx.proc_table,
+            current,
+            dt_sim_secs: ctx.dt_sim_secs,
+            min_oi_min: ctx.min_oi_min,
+            max_oi_min: ctx.max_oi_min,
+            horizon_secs: ctx.horizon_secs,
+        };
+        let (num_procs, output_interval_min) = self.algorithm.decide(&inputs);
+        // Output intervals are whole simulated minutes (as in the paper:
+        // 3, 25, ...), rounded *up*: the algorithms compute the highest
+        // safe output frequency, so quantization must not exceed it.
+        // Quantizing also keeps an epoch-to-epoch jitter of a fraction of
+        // a minute from triggering needless restarts.
+        let mut output_interval_min = output_interval_min
+            .ceil()
+            .clamp(ctx.min_oi_min, ctx.max_oi_min);
+        // QoS deadband: a reconfiguration costs a checkpoint-restart, so
+        // interval nudges smaller than two simulated minutes (bandwidth-
+        // probe noise, epoch-to-epoch drift of the disk term) are not
+        // worth acting on — this is what keeps the optimization method's
+        // visualization cadence steady between genuine regime changes.
+        if (output_interval_min - current.output_interval_min).abs() < 2.0 {
+            output_interval_min = current.output_interval_min;
+        }
+        ApplicationConfig {
+            num_procs,
+            output_interval_min,
+            resolution_km: current.resolution_km,
+            nest_active: current.nest_active,
+            critical: free_pct <= CRITICAL_FREE_PERCENT,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perfmodel::ProcTable;
+
+    fn ctx(table: &ProcTable) -> EpochContext<'_> {
+        EpochContext {
+            frame_bytes: 100_000_000,
+            io_secs_per_frame: 0.7,
+            proc_table: table,
+            dt_sim_secs: 144.0,
+            min_oi_min: 3.0,
+            max_oi_min: 25.0,
+            horizon_secs: 20.0 * 3600.0,
+        }
+    }
+
+    fn table() -> ProcTable {
+        ProcTable::from_entries(vec![(1, 40.0), (12, 6.0), (48, 2.5)])
+    }
+
+    #[test]
+    fn epoch_produces_config_and_counts() {
+        let t = table();
+        let mut mgr = ApplicationManager::new(AlgorithmKind::Optimization);
+        assert_eq!(mgr.algorithm_name(), "optimization");
+        assert_eq!(mgr.epochs(), 0);
+        assert!(mgr.observed_bandwidth_bps().is_none());
+
+        let disk = Disk::new(1_000_000_000);
+        let mut net = Network::ideal(7e6);
+        let current = ApplicationConfig::initial(48, 3.0, 24.0);
+        let cfg = mgr.epoch(&disk, &mut net, &ctx(&t), &current);
+        assert_eq!(mgr.epochs(), 1);
+        assert!(mgr.observed_bandwidth_bps().is_some());
+        assert!(!cfg.critical, "empty disk is not critical");
+        assert_eq!(cfg.resolution_km, 24.0, "resolution passes through");
+        assert!((3.0..=25.0).contains(&cfg.output_interval_min));
+    }
+
+    #[test]
+    fn critical_flag_raised_at_ten_percent() {
+        let t = table();
+        let mut mgr = ApplicationManager::new(AlgorithmKind::GreedyThreshold);
+        let mut disk = Disk::new(1_000_000_000);
+        disk.write(920_000_000).unwrap(); // 8% free
+        let mut net = Network::ideal(7e6);
+        let current = ApplicationConfig::initial(48, 3.0, 24.0);
+        let cfg = mgr.epoch(&disk, &mut net, &ctx(&t), &current);
+        assert!(cfg.critical);
+    }
+
+    #[test]
+    fn nest_state_passes_through() {
+        let t = table();
+        let mut mgr = ApplicationManager::new(AlgorithmKind::GreedyThreshold);
+        let disk = Disk::new(1_000_000_000);
+        let mut net = Network::ideal(7e6);
+        let mut current = ApplicationConfig::initial(48, 3.0, 18.0);
+        current.nest_active = true;
+        let cfg = mgr.epoch(&disk, &mut net, &ctx(&t), &current);
+        assert!(cfg.nest_active);
+        assert_eq!(cfg.resolution_km, 18.0);
+    }
+}

@@ -1,0 +1,288 @@
+//! TCP frame transport — the frame sender/receiver daemons as real
+//! network programs.
+//!
+//! The DES and in-process online modes model the link; this module is the
+//! deployable path: a receiver daemon listens on a socket at the
+//! visualization site, the sender connects from the simulation site, and
+//! frames travel as length-prefixed [`ncdf`] blobs. The wire format is
+//! deliberately trivial:
+//!
+//! ```text
+//! magic "AFRM" | u32 LE payload length | payload (one encoded Dataset)
+//! ```
+//!
+//! The receiver decodes each frame, feeds the eye tracker, and acks with
+//! a single byte so the sender can pace itself (the paper's sender also
+//! ships frames strictly one at a time).
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use viz::TrackLog;
+
+const FRAME_MAGIC: &[u8; 4] = b"AFRM";
+/// Upper bound on a frame payload (defends the receiver against a corrupt
+/// length prefix).
+const MAX_FRAME_BYTES: u32 = 1 << 30;
+
+/// Transport failures.
+#[derive(Debug)]
+pub enum TransportError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// The peer sent something that is not a frame.
+    BadFrame(&'static str),
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::Io(e) => write!(f, "transport I/O error: {e}"),
+            TransportError::BadFrame(m) => write!(f, "bad frame: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+impl From<std::io::Error> for TransportError {
+    fn from(e: std::io::Error) -> Self {
+        TransportError::Io(e)
+    }
+}
+
+/// Frame sender: the simulation site's end of the link.
+pub struct FrameSender {
+    stream: TcpStream,
+}
+
+impl FrameSender {
+    /// Connect to a receiver daemon.
+    pub fn connect(addr: SocketAddr) -> Result<Self, TransportError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(FrameSender { stream })
+    }
+
+    /// Ship one encoded frame and wait for the ack.
+    pub fn send(&mut self, payload: &[u8]) -> Result<(), TransportError> {
+        if payload.len() as u64 > MAX_FRAME_BYTES as u64 {
+            return Err(TransportError::BadFrame("payload exceeds frame limit"));
+        }
+        self.stream.write_all(FRAME_MAGIC)?;
+        self.stream
+            .write_all(&(payload.len() as u32).to_le_bytes())?;
+        self.stream.write_all(payload)?;
+        let mut ack = [0u8; 1];
+        self.stream.read_exact(&mut ack)?;
+        if ack[0] != b'+' {
+            return Err(TransportError::BadFrame("receiver rejected the frame"));
+        }
+        Ok(())
+    }
+}
+
+/// Handle to a running receiver daemon.
+pub struct FrameReceiver {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    frames: Arc<AtomicU64>,
+    handle: Option<std::thread::JoinHandle<TrackLog>>,
+}
+
+impl FrameReceiver {
+    /// Start a receiver daemon on `127.0.0.1` (ephemeral port). It
+    /// accepts one sender connection at a time, decodes frames, and
+    /// accumulates the cyclone track until stopped.
+    pub fn start() -> Result<Self, TransportError> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let frames = Arc::new(AtomicU64::new(0));
+        let t_stop = Arc::clone(&stop);
+        let t_frames = Arc::clone(&frames);
+        let handle = std::thread::spawn(move || {
+            let mut track = TrackLog::new();
+            while !t_stop.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        stream.set_nodelay(true).ok();
+                        // Blocking per-connection I/O with a short timeout
+                        // so the stop flag is honored.
+                        stream
+                            .set_read_timeout(Some(std::time::Duration::from_millis(50)))
+                            .ok();
+                        serve_connection(stream, &t_stop, &t_frames, &mut track);
+                    }
+                    Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(std::time::Duration::from_millis(5));
+                    }
+                    Err(_) => break,
+                }
+            }
+            track
+        });
+        Ok(FrameReceiver {
+            addr,
+            stop,
+            frames,
+            handle: Some(handle),
+        })
+    }
+
+    /// Address the sender should connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Frames decoded so far.
+    pub fn frames_received(&self) -> u64 {
+        self.frames.load(Ordering::SeqCst)
+    }
+
+    /// Stop the daemon and return the accumulated track.
+    pub fn shutdown(mut self) -> TrackLog {
+        self.stop.store(true, Ordering::SeqCst);
+        self.handle
+            .take()
+            .expect("handle present until shutdown")
+            .join()
+            .expect("receiver thread panicked")
+    }
+}
+
+impl Drop for FrameReceiver {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn serve_connection(
+    mut stream: TcpStream,
+    stop: &AtomicBool,
+    frames: &AtomicU64,
+    track: &mut TrackLog,
+) {
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let mut header = [0u8; 8];
+        match read_exact_interruptible(&mut stream, &mut header, stop) {
+            Ok(true) => {}
+            _ => return, // peer gone or stop requested
+        }
+        if &header[..4] != FRAME_MAGIC {
+            return; // protocol violation: drop the connection
+        }
+        let len = u32::from_le_bytes([header[4], header[5], header[6], header[7]]);
+        if len > MAX_FRAME_BYTES {
+            return;
+        }
+        let mut payload = vec![0u8; len as usize];
+        match read_exact_interruptible(&mut stream, &mut payload, stop) {
+            Ok(true) => {}
+            _ => return,
+        }
+        let ok = match ncdf::Dataset::from_bytes(&payload) {
+            Ok(ds) => {
+                track.ingest(&ds);
+                frames.fetch_add(1, Ordering::SeqCst);
+                true
+            }
+            Err(_) => false,
+        };
+        let ack = if ok { b"+" } else { b"-" };
+        if stream.write_all(ack).is_err() {
+            return;
+        }
+    }
+}
+
+/// `read_exact` that keeps retrying across read timeouts so the stop flag
+/// stays responsive. Returns `Ok(false)` on orderly EOF before any byte.
+fn read_exact_interruptible(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    stop: &AtomicBool,
+) -> Result<bool, std::io::Error> {
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        if stop.load(Ordering::SeqCst) {
+            return Ok(false);
+        }
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => return Ok(false),
+            Ok(n) => filled += n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wrf::{ModelConfig, WrfModel};
+
+    #[test]
+    fn frames_cross_a_real_socket_and_get_tracked() {
+        let receiver = FrameReceiver::start().expect("bind localhost");
+        let mut sender = FrameSender::connect(receiver.addr()).expect("connect");
+
+        let mut model =
+            WrfModel::new(ModelConfig::aila_default().with_decimation(16)).expect("valid");
+        for _ in 0..3 {
+            model
+                .advance_to_minutes(model.sim_minutes() + 120.0, 1)
+                .expect("finite");
+            let bytes = model.frame().to_bytes();
+            sender.send(&bytes).expect("frame accepted");
+        }
+        assert_eq!(receiver.frames_received(), 3);
+        let track = receiver.shutdown();
+        assert_eq!(track.fixes().len(), 3);
+        // The remote track matches the model's truth.
+        let (lon, lat) = model.eye_lonlat();
+        let last = track.fixes().last().expect("fixes recorded");
+        assert!((last.lon - lon).abs() < 2.0);
+        assert!((last.lat - lat).abs() < 2.0);
+    }
+
+    #[test]
+    fn garbage_payload_is_nacked_not_fatal() {
+        let receiver = FrameReceiver::start().expect("bind");
+        let mut sender = FrameSender::connect(receiver.addr()).expect("connect");
+        let err = sender.send(b"definitely not a dataset").unwrap_err();
+        assert!(matches!(err, TransportError::BadFrame(_)));
+        // The connection survives: a valid frame still goes through.
+        let model =
+            WrfModel::new(ModelConfig::aila_default().with_decimation(16)).expect("valid");
+        sender
+            .send(&model.frame().to_bytes())
+            .expect("valid frame after a nack");
+        assert_eq!(receiver.frames_received(), 1);
+    }
+
+    #[test]
+    fn empty_payload_is_nacked() {
+        let receiver = FrameReceiver::start().expect("bind");
+        let mut sender = FrameSender::connect(receiver.addr()).expect("connect");
+        // Zero bytes is not a decodable dataset; the receiver nacks it and
+        // the connection stays usable.
+        let err = sender.send(&[]).unwrap_err();
+        assert!(matches!(err, TransportError::BadFrame(_)));
+        assert_eq!(receiver.frames_received(), 0);
+    }
+}

@@ -1,0 +1,983 @@
+//! The closed loop on a virtual clock.
+//!
+//! This is the paper's Figure 2 brought together: the simulation process
+//! solves steps and writes frames through parallel I/O; the frame sender
+//! ships the oldest frame over the wide-area link and the receiver hands
+//! it to the visualization process; the application manager wakes every
+//! 1.5 wall-clock hours, reads `df` and the bandwidth probe, and runs a
+//! decision algorithm; the job handler restarts the simulation (with a
+//! checkpoint-restart penalty) whenever the configuration changes and
+//! stalls it on CRITICAL.
+//!
+//! Everything advances on the DES clock, so one 20–40-wall-hour
+//! experiment runs in well under a second while producing the exact time
+//! series of Figures 5–8: simulated-time progress, free-disk percentage,
+//! visualization progress, processor count, and output interval — all
+//! against wall-clock time.
+
+use crate::config::ApplicationConfig;
+use crate::decision::{AlgorithmKind, BindingConstraint, RESUME_FREE_PERCENT};
+use crate::jobhandler::{JobHandler, SimProcessState};
+use crate::manager::{ApplicationManager, EpochContext};
+use crate::steering::{SteeringCommand, SteeringState};
+
+/// An injected resource fault, applied at a scripted wall time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Fault {
+    /// Scale the sim→vis link's effective bandwidth by `factor`
+    /// (e.g. 0.02 = a WAN segment collapsing to 2 %); `1.0` restores it.
+    LinkDegradation {
+        /// Multiplier on the nominal bandwidth; must be positive.
+        factor: f64,
+    },
+}
+use cyclone::{Mission, Site};
+use des::{run_until_empty, EventId, Scheduler, Series, SeriesSet, SimTime};
+use perfmodel::ProcTable;
+use resources::{FrameStore, Network};
+use std::collections::HashMap;
+use wrf::WrfModel;
+
+/// Knobs for one experiment run.
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    /// Give up (as the paper's dotted lines do) after this much wall time.
+    pub wall_cap_hours: f64,
+    /// Threads for the physics integrator (1 keeps runs deterministic and
+    /// is plenty for decimated grids).
+    pub physics_threads: usize,
+    /// Seed for the network-variability walk.
+    pub seed: u64,
+    /// Period of the stalled-disk re-check, wall seconds.
+    pub stall_probe_secs: f64,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            wall_cap_hours: 120.0,
+            physics_threads: 1,
+            seed: 42,
+            stall_probe_secs: 600.0,
+        }
+    }
+}
+
+/// Everything a run produces.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Algorithm that produced this run.
+    pub algorithm: AlgorithmKind,
+    /// Site label (`inter-department`, ...).
+    pub site_label: &'static str,
+    /// True when the full mission was simulated before the wall cap.
+    pub completed: bool,
+    /// True when the run ended (capped) while stalled on disk space.
+    pub ended_stalled: bool,
+    /// Wall-clock hours consumed (to completion or the cap).
+    pub wall_hours: f64,
+    /// Simulated minutes reached.
+    pub sim_minutes: f64,
+    /// The figure time series (`sim_progress`, `free_disk_pct`,
+    /// `viz_progress`, `procs`, `output_interval`).
+    pub series: SeriesSet,
+    /// Frames written to the simulation-site disk.
+    pub frames_written: u64,
+    /// Frames whose transfer to the visualization site completed.
+    pub frames_shipped: u64,
+    /// Frames rendered at the visualization site.
+    pub frames_visualized: u64,
+    /// Frames dropped because the disk was completely full.
+    pub frames_dropped: u64,
+    /// Completed restarts (configuration/resolution changes).
+    pub restarts: u32,
+    /// Stall episodes.
+    pub stalls: u32,
+    /// Wall hours at the first stall, if the run ever stalled.
+    pub first_stall_wall_hours: Option<f64>,
+    /// Steering commands applied during the run.
+    pub steering_commands_applied: u32,
+    /// Lowest free-disk percentage ever observed.
+    pub min_free_disk_pct: f64,
+    /// Free-disk percentage at the end of the run.
+    pub final_free_disk_pct: f64,
+}
+
+impl RunOutcome {
+    /// Average simulation rate over the run, simulated minutes per wall
+    /// hour.
+    pub fn sim_rate_min_per_hour(&self) -> f64 {
+        if self.wall_hours > 0.0 {
+            self.sim_minutes / self.wall_hours
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The experiment driver.
+pub struct Orchestrator {
+    site: Site,
+    mission: Mission,
+    algorithm: AlgorithmKind,
+    options: RunOptions,
+    steering_script: Vec<(f64, SteeringCommand)>,
+    fault_script: Vec<(f64, Fault)>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Ev {
+    /// One solve step finished.
+    Step,
+    /// One frame finished writing through parallel I/O.
+    FrameDone { sim_min: f64, bytes: u64 },
+    /// One frame finished crossing the network.
+    TransferDone { id: u64 },
+    /// The visualization process finished rendering a frame.
+    RenderDone { sim_min: f64 },
+    /// Application-manager decision epoch.
+    Decision,
+    /// Checkpoint-restart finished; the new configuration is live.
+    RestartDone,
+    /// Periodic re-check while stalled with a full disk.
+    StallProbe,
+    /// A scripted steering command from the visualization end arrives.
+    Steering(SteeringCommand),
+    /// A scripted resource fault strikes.
+    Fault(Fault),
+}
+
+struct World {
+    site: Site,
+    mission: Mission,
+    options: RunOptions,
+    manager: ApplicationManager,
+    handler: JobHandler,
+    model: WrfModel,
+    store: FrameStore,
+    net: Network,
+    config: ApplicationConfig,
+    pending_config: Option<ApplicationConfig>,
+    next_output_min: f64,
+    io_pending: bool,
+    sender_busy: bool,
+    step_event: Option<EventId>,
+    completed: bool,
+    tables: HashMap<(u64, bool), ProcTable>,
+    // Series.
+    sim_progress: Series,
+    free_disk: Series,
+    viz_progress: Series,
+    procs_series: Series,
+    oi_series: Series,
+    binding_series: Series,
+    // Counters.
+    frames_dropped: u64,
+    frames_visualized: u64,
+    min_free_pct: f64,
+    first_stall: Option<f64>,
+    steering: SteeringState,
+}
+
+impl World {
+    fn proc_table(&mut self, res_km: f64, nest: bool) -> &ProcTable {
+        let key = (res_km.to_bits(), nest);
+        let (site, mission) = (&self.site, &self.mission);
+        self.tables
+            .entry(key)
+            .or_insert_with(|| site.proc_table(mission, res_km, nest))
+    }
+
+    /// Wall seconds per solve step under the active configuration.
+    fn step_wall_secs(&mut self) -> f64 {
+        let (res, nest, procs) = (
+            self.config.resolution_km,
+            self.config.nest_active,
+            self.config.num_procs,
+        );
+        let table = self.proc_table(res, nest);
+        table
+            .time_for(procs)
+            .unwrap_or_else(|| table.procs_closest_to_time(f64::INFINITY).1)
+    }
+
+    fn frame_bytes(&self) -> u64 {
+        self.mission
+            .frame_bytes(self.config.resolution_km, self.config.nest_active)
+    }
+
+    fn io_secs(&self) -> f64 {
+        self.site.cluster.io_time(self.frame_bytes())
+    }
+
+    /// Estimated remaining wall time (the LP's overflow horizon `n`).
+    ///
+    /// Deliberately pessimistic: the pressure schedule will refine the
+    /// grid toward its finest stage, where steps are smaller *and* each
+    /// costs more, so the remaining mission is costed at the finest
+    /// resolution with the nest active. A horizon estimated from the
+    /// current (coarse) stage would let the early epochs write far too
+    /// eagerly — the greedy algorithm's exact failure mode.
+    fn horizon_secs(&mut self) -> f64 {
+        let remaining_min = (self.mission.duration_minutes() - self.model.sim_minutes()).max(0.0);
+        let finest = self.mission.schedule.finest_km();
+        let dt = self.mission.dt_secs(finest);
+        let steps = remaining_min * 60.0 / dt;
+        // Cost the horizon at *maximum* cores, independent of the current
+        // allocation: if it tracked the chosen processor count, slowing
+        // down would lengthen the horizon, which tightens the overflow
+        // constraint, which slows down further — a death spiral.
+        let t = self.proc_table(finest, true).min_time();
+        (steps * t).max(self.mission.decision_interval_hours * 3600.0)
+    }
+
+    fn record_disk(&mut self, now: SimTime) {
+        let pct = self.store.disk().free_percent();
+        self.min_free_pct = self.min_free_pct.min(pct);
+        self.free_disk.record(now, pct);
+    }
+
+    fn record_config(&mut self, now: SimTime) {
+        self.procs_series.record(now, self.config.num_procs as f64);
+        self.oi_series.record(now, self.config.output_interval_min);
+    }
+
+    fn record_sim(&mut self, now: SimTime) {
+        self.sim_progress.record(now, self.model.sim_minutes());
+    }
+
+    /// Remember when the first stall happened (for the non-adaptive-
+    /// baseline comparison: "stalls much earlier").
+    fn note_stall(&mut self, now: SimTime) {
+        if self.first_stall.is_none() {
+            self.first_stall = Some(now.as_hours());
+        }
+    }
+
+    /// Start the next transfer if the link is free and frames are waiting.
+    fn kick_sender(&mut self, sched: &mut Scheduler<Ev>) {
+        if self.sender_busy || !self.store.has_pending() {
+            return;
+        }
+        let meta = self.store.begin_transfer().expect("pending checked");
+        self.net.step();
+        let secs = self.net.transfer_time(meta.bytes);
+        self.sender_busy = true;
+        sched.schedule_in(secs, Ev::TransferDone { id: meta.id });
+    }
+
+    /// Schedule the next solve step.
+    fn schedule_step(&mut self, sched: &mut Scheduler<Ev>) {
+        debug_assert!(self.handler.is_running());
+        debug_assert!(!self.io_pending);
+        let t = self.step_wall_secs();
+        self.step_event = Some(sched.schedule_in(t, Ev::Step));
+    }
+
+    fn cancel_step(&mut self, sched: &mut Scheduler<Ev>) {
+        if let Some(id) = self.step_event.take() {
+            sched.cancel(id);
+        }
+    }
+
+    /// Begin a checkpoint-stop-restart with `next` as the target
+    /// configuration.
+    fn begin_restart(&mut self, next: ApplicationConfig, sched: &mut Scheduler<Ev>) {
+        self.cancel_step(sched);
+        self.handler.begin_restart();
+        self.pending_config = Some(next);
+        sched.schedule_in(self.site.cluster.restart_overhead_secs, Ev::RestartDone);
+    }
+
+    /// The pressure schedule's prescription given the current state
+    /// (with coarsening hysteresis — see
+    /// [`cyclone::ResolutionSchedule::apply_with_hysteresis`]).
+    fn scheduled_resolution(&self) -> (f64, bool) {
+        let p = self.model.min_pressure_hpa();
+        let scheduled = self.mission.schedule.apply_with_hysteresis(
+            p,
+            self.config.resolution_km,
+            self.config.nest_active,
+        );
+        self.steering.effective_resolution(scheduled)
+    }
+}
+
+impl Orchestrator {
+    /// New experiment: one site, one mission, one algorithm.
+    pub fn new(site: Site, mission: Mission, algorithm: AlgorithmKind) -> Self {
+        Orchestrator {
+            site,
+            mission,
+            algorithm,
+            options: RunOptions::default(),
+            steering_script: Vec::new(),
+            fault_script: Vec::new(),
+        }
+    }
+
+    /// Override run options.
+    pub fn with_options(mut self, options: RunOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Script steering commands: each fires at the given wall hour, as if
+    /// a scientist at the visualization end issued it then (reproducible
+    /// stand-in for live interaction; the online mode carries the same
+    /// commands over a channel).
+    pub fn with_steering(mut self, script: Vec<(f64, SteeringCommand)>) -> Self {
+        self.steering_script = script;
+        self
+    }
+
+    /// Script resource faults (failure injection): each fires at the
+    /// given wall hour. The framework has no special handling for faults
+    /// — the point is to observe the *decision algorithms* absorbing them
+    /// through their ordinary observations (the bandwidth probe sees a
+    /// degraded link at the next epoch and re-plans).
+    pub fn with_faults(mut self, script: Vec<(f64, Fault)>) -> Self {
+        self.fault_script = script;
+        self
+    }
+
+    /// Run the experiment to completion (or the wall cap) and collect the
+    /// outcome.
+    pub fn run(self) -> RunOutcome {
+        let Orchestrator {
+            site,
+            mission,
+            algorithm,
+            options,
+            steering_script,
+            fault_script,
+        } = self;
+        let model = WrfModel::new(mission.model).expect("mission model config is valid");
+        let store = FrameStore::new(site.make_disk());
+        let net = site.make_network(options.seed);
+        let initial = ApplicationConfig::initial(
+            site.cluster.max_cores,
+            mission.min_output_interval_min,
+            mission.model.resolution_km,
+        );
+        let min_oi = mission.min_output_interval_min;
+
+        let mut world = World {
+            manager: ApplicationManager::new(algorithm),
+            handler: JobHandler::new(),
+            model,
+            store,
+            net,
+            config: initial,
+            pending_config: None,
+            next_output_min: min_oi,
+            io_pending: false,
+            sender_busy: false,
+            step_event: None,
+            completed: false,
+            tables: HashMap::new(),
+            sim_progress: Series::new("sim_progress"),
+            free_disk: Series::new("free_disk_pct"),
+            viz_progress: Series::new("viz_progress"),
+            procs_series: Series::new("procs"),
+            oi_series: Series::new("output_interval"),
+            binding_series: Series::new("binding_constraint"),
+            frames_dropped: 0,
+            frames_visualized: 0,
+            min_free_pct: 100.0,
+            first_stall: None,
+            steering: SteeringState::new(),
+            site,
+            mission,
+            options,
+        };
+
+        let mut sched: Scheduler<Ev> = Scheduler::new();
+        // Epoch zero runs before the simulation starts (the optimization
+        // method "adapts the frequency of output to the best possible
+        // value ... from the beginning of the simulations"), with no
+        // restart penalty — it *is* the starting configuration.
+        for (wall_hours, cmd) in steering_script {
+            sched.schedule_at(SimTime::from_hours(wall_hours.max(0.0)), Ev::Steering(cmd));
+        }
+        for (wall_hours, fault) in fault_script {
+            sched.schedule_at(SimTime::from_hours(wall_hours.max(0.0)), Ev::Fault(fault));
+        }
+        initial_epoch(&mut world);
+        world.next_output_min = world.config.output_interval_min;
+        world.record_config(SimTime::ZERO);
+        world.record_disk(SimTime::ZERO);
+        world.record_sim(SimTime::ZERO);
+        world.schedule_step(&mut sched);
+        sched.schedule_at(
+            SimTime::from_hours(world.mission.decision_interval_hours),
+            Ev::Decision,
+        );
+
+        let wall_cap = SimTime::from_hours(world.options.wall_cap_hours);
+        run_until_empty(&mut sched, &mut world, |w, now, ev, sched| {
+            if now > wall_cap {
+                return false;
+            }
+            handle(w, now, ev, sched)
+        });
+
+        let ended_stalled = world.handler.state() == SimProcessState::Stalled;
+        let final_free = world.store.disk().free_percent();
+        RunOutcome {
+            algorithm,
+            site_label: world.site.label,
+            completed: world.completed,
+            ended_stalled,
+            wall_hours: if world.completed {
+                world
+                    .sim_progress
+                    .points
+                    .last()
+                    .map(|&(t, _)| t / 3600.0)
+                    .unwrap_or(0.0)
+            } else {
+                world.options.wall_cap_hours
+            },
+            sim_minutes: world.model.sim_minutes(),
+            frames_written: world.store.frames_stored(),
+            frames_shipped: world.store.frames_shipped(),
+            frames_visualized: world.frames_visualized,
+            frames_dropped: world.frames_dropped,
+            restarts: world.handler.restarts(),
+            stalls: world.handler.stalls(),
+            first_stall_wall_hours: world.first_stall,
+            steering_commands_applied: world.steering.commands_applied,
+            min_free_disk_pct: world.min_free_pct,
+            final_free_disk_pct: final_free,
+            series: {
+                let mut s = SeriesSet::new();
+                s.push(world.sim_progress);
+                s.push(world.free_disk);
+                s.push(world.viz_progress);
+                s.push(world.procs_series);
+                s.push(world.oi_series);
+                s.push(world.binding_series);
+                s
+            },
+        }
+    }
+}
+
+/// One DES event. Returns false to halt the run.
+fn handle(w: &mut World, now: SimTime, ev: Ev, sched: &mut Scheduler<Ev>) -> bool {
+    match ev {
+        Ev::Step => {
+            w.step_event = None;
+            w.model
+                .advance_steps(1, w.options.physics_threads)
+                .expect("integrator stays finite on mission configurations");
+            w.record_sim(now);
+
+            if w.model.sim_minutes() >= w.mission.duration_minutes() {
+                w.completed = true;
+                return false; // Mission accomplished; the figures end here.
+            }
+
+            // The pressure schedule may prescribe a reconfiguration
+            // ("whenever WRF finds the values of its certain variables
+            // drop below a certain threshold, it stops and the job handler
+            // reschedules it").
+            let (res, nest) = w.scheduled_resolution();
+            if res != w.config.resolution_km || nest != w.config.nest_active {
+                let mut next = w.config.clone();
+                next.resolution_km = res;
+                next.nest_active = nest;
+                w.begin_restart(next, sched);
+                return true;
+            }
+
+            if w.model.sim_minutes() + 1e-9 >= w.next_output_min {
+                // Write a history frame; I/O blocks the solver.
+                w.io_pending = true;
+                let bytes = w.frame_bytes();
+                sched.schedule_in(
+                    w.io_secs(),
+                    Ev::FrameDone {
+                        sim_min: w.model.sim_minutes(),
+                        bytes,
+                    },
+                );
+            } else {
+                w.schedule_step(sched);
+            }
+        }
+
+        Ev::FrameDone { sim_min, bytes } => {
+            w.io_pending = false;
+            match w.store.store(sim_min, bytes) {
+                Ok(_) => {
+                    w.next_output_min = sim_min + w.config.output_interval_min;
+                    w.kick_sender(sched);
+                }
+                Err(_) => {
+                    // Disk completely full: drop the frame and stall until
+                    // transfers free space.
+                    w.frames_dropped += 1;
+                    if w.handler.state() != SimProcessState::Stalled {
+                        w.handler.stall();
+                        w.note_stall(now);
+                        sched.schedule_in(w.options.stall_probe_secs, Ev::StallProbe);
+                    }
+                }
+            }
+            w.record_disk(now);
+            if w.handler.is_running() {
+                w.schedule_step(sched);
+            }
+        }
+
+        Ev::TransferDone { id } => {
+            w.sender_busy = false;
+            let meta = w
+                .store
+                .complete_transfer(id)
+                .expect("transfer was begun by kick_sender");
+            w.record_disk(now);
+            sched.schedule_in(
+                w.site.render_secs_per_frame,
+                Ev::RenderDone {
+                    sim_min: meta.sim_minutes,
+                },
+            );
+            w.kick_sender(sched);
+            // Freed space may un-stall the simulation.
+            maybe_resume(w, sched);
+        }
+
+        Ev::RenderDone { sim_min } => {
+            w.frames_visualized += 1;
+            w.viz_progress.record(now, sim_min);
+        }
+
+        Ev::Decision => {
+            if w.completed {
+                return true;
+            }
+            let horizon = w.horizon_secs();
+            let (res, nest) = (w.config.resolution_km, w.config.nest_active);
+            let frame_bytes = w.frame_bytes();
+            let io_secs = w.io_secs();
+            let dt = w.model.dt_secs();
+            let (min_oi, max_oi) = (
+                w.mission.min_output_interval_min,
+                w.steering.effective_max_oi(
+                    w.mission.min_output_interval_min,
+                    w.mission.max_output_interval_min,
+                ),
+            );
+            // Split borrows: the table lives in a map on `w`; clone it so
+            // the manager can borrow the rest of the world.
+            let table = w.proc_table(res, nest).clone();
+            let ctx = EpochContext {
+                frame_bytes,
+                io_secs_per_frame: io_secs,
+                proc_table: &table,
+                dt_sim_secs: dt,
+                min_oi_min: min_oi,
+                max_oi_min: max_oi,
+                horizon_secs: horizon,
+            };
+            let next = w
+                .manager
+                .epoch(w.store.disk(), &mut w.net, &ctx, &w.config);
+            if let Some(binding) = w.manager.last_binding() {
+                w.binding_series.record(now, binding_code(binding));
+            }
+            w.record_disk(now);
+
+            match w.handler.state() {
+                SimProcessState::Running => {
+                    if next.critical {
+                        w.cancel_step(sched);
+                        w.handler.stall();
+                        w.note_stall(now);
+                        w.config.critical = true;
+                    } else if w.config.requires_restart(&next) {
+                        w.begin_restart(next, sched);
+                    }
+                }
+                SimProcessState::Stalled => {
+                    if !next.critical
+                        && w.store.disk().free_percent() >= RESUME_FREE_PERCENT
+                    {
+                        w.handler.resume();
+                        w.config.critical = false;
+                        if w.config.requires_restart(&next) {
+                            w.begin_restart(next, sched);
+                        } else if !w.io_pending {
+                            w.schedule_step(sched);
+                        }
+                    }
+                }
+                SimProcessState::Restarting => {
+                    // A restart is in flight; the next epoch will see the
+                    // new configuration.
+                }
+            }
+            w.record_config(now);
+            sched.schedule_in(
+                w.mission.decision_interval_hours * 3600.0,
+                Ev::Decision,
+            );
+        }
+
+        Ev::RestartDone => {
+            let next = w
+                .pending_config
+                .take()
+                .expect("restart completion implies a pending configuration");
+            if next.resolution_km != w.config.resolution_km {
+                w.model
+                    .set_resolution(next.resolution_km)
+                    .expect("schedule resolutions are valid");
+            }
+            if next.nest_active && !w.model.has_nest() {
+                w.model.spawn_nest();
+            } else if !next.nest_active && w.model.has_nest() {
+                w.model.despawn_nest();
+            }
+            let critical = w.config.critical;
+            w.config = next;
+            w.config.critical = critical;
+            w.handler.finish_restart();
+            w.record_config(now);
+            if critical {
+                // Came up stalled (CRITICAL still set).
+                w.handler.stall();
+                w.note_stall(now);
+            } else if !w.io_pending {
+                w.schedule_step(sched);
+            }
+        }
+
+        Ev::Steering(cmd) => {
+            w.steering.apply(cmd);
+            // Respond immediately where the command demands it: a tighter
+            // temporal-resolution cap than the running interval, or a
+            // resolution pin different from the live grid, triggers a
+            // reconfiguration right away (when the process is running and
+            // not already mid-restart).
+            if w.handler.is_running() && !w.completed {
+                let mut next = w.config.clone();
+                let cap = w.steering.effective_max_oi(
+                    w.mission.min_output_interval_min,
+                    w.mission.max_output_interval_min,
+                );
+                if next.output_interval_min > cap {
+                    next.output_interval_min = cap;
+                }
+                let (res, nest_active) = w.scheduled_resolution();
+                next.resolution_km = res;
+                next.nest_active = nest_active;
+                if w.config.requires_restart(&next) {
+                    w.begin_restart(next, sched);
+                }
+            }
+        }
+
+        Ev::Fault(fault) => match fault {
+            Fault::LinkDegradation { factor } => {
+                w.net.set_degradation(factor);
+            }
+        },
+
+        Ev::StallProbe => {
+            if w.handler.state() == SimProcessState::Stalled
+                && !maybe_resume(w, sched) {
+                    sched.schedule_in(w.options.stall_probe_secs, Ev::StallProbe);
+                }
+        }
+    }
+    true
+}
+
+/// Numeric code for a binding constraint so it fits a time series
+/// (0 machine, 1 disk, 2 visualization, 3 infeasible).
+pub fn binding_code(b: BindingConstraint) -> f64 {
+    match b {
+        BindingConstraint::MachineBound => 0.0,
+        BindingConstraint::DiskBound => 1.0,
+        BindingConstraint::VisualizationBound => 2.0,
+        BindingConstraint::InfeasibleSafeCorner => 3.0,
+    }
+}
+
+/// Epoch zero: decide the starting configuration (applied directly, no
+/// restart — the simulation has not been launched yet).
+fn initial_epoch(w: &mut World) {
+    let horizon = w.horizon_secs();
+    let (res, nest) = (w.config.resolution_km, w.config.nest_active);
+    let frame_bytes = w.frame_bytes();
+    let io_secs = w.io_secs();
+    let dt = w.model.dt_secs();
+    let (min_oi, max_oi) = (
+        w.mission.min_output_interval_min,
+        w.steering.effective_max_oi(
+            w.mission.min_output_interval_min,
+            w.mission.max_output_interval_min,
+        ),
+    );
+    let table = w.proc_table(res, nest).clone();
+    let ctx = EpochContext {
+        frame_bytes,
+        io_secs_per_frame: io_secs,
+        proc_table: &table,
+        dt_sim_secs: dt,
+        min_oi_min: min_oi,
+        max_oi_min: max_oi,
+        horizon_secs: horizon,
+    };
+    let next = w.manager.epoch(w.store.disk(), &mut w.net, &ctx, &w.config);
+    debug_assert!(!next.critical, "a fresh disk cannot be critical");
+    w.config = next;
+}
+
+/// Resume a stalled simulation once enough disk has been freed. Returns
+/// true when the simulation resumed.
+fn maybe_resume(w: &mut World, sched: &mut Scheduler<Ev>) -> bool {
+    if w.handler.state() == SimProcessState::Stalled
+        && w.store.disk().free_percent() >= RESUME_FREE_PERCENT
+    {
+        w.handler.resume();
+        w.config.critical = false;
+        if !w.io_pending {
+            w.schedule_step(sched);
+        }
+        true
+    } else {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn short_mission(hours: f64) -> Mission {
+        Mission::aila().with_duration_hours(hours)
+    }
+
+    #[test]
+    fn optimization_completes_a_short_inter_department_mission() {
+        let out = Orchestrator::new(
+            Site::inter_department(),
+            short_mission(3.0),
+            AlgorithmKind::Optimization,
+        )
+        .run();
+        assert!(out.completed);
+        assert!(!out.ended_stalled);
+        assert_eq!(out.sim_minutes, out.sim_minutes.max(180.0));
+        assert!(out.frames_written > 0);
+        assert!(out.frames_visualized > 0);
+        assert!(out.frames_visualized <= out.frames_shipped);
+        assert!(out.frames_shipped <= out.frames_written);
+        assert!(out.sim_rate_min_per_hour() > 0.0);
+    }
+
+    #[test]
+    fn greedy_completes_a_short_mission_too() {
+        let out = Orchestrator::new(
+            Site::inter_department(),
+            short_mission(3.0),
+            AlgorithmKind::GreedyThreshold,
+        )
+        .run();
+        assert!(out.completed);
+        assert!(out.frames_written > out.frames_shipped / 2);
+    }
+
+    #[test]
+    fn series_are_recorded_and_monotone_where_required() {
+        let out = Orchestrator::new(
+            Site::inter_department(),
+            short_mission(4.0),
+            AlgorithmKind::Optimization,
+        )
+        .run();
+        let sim = out.series.get("sim_progress").unwrap();
+        assert!(!sim.is_empty());
+        assert!(sim.is_monotone_non_decreasing(), "simulated time never rewinds");
+        let viz = out.series.get("viz_progress").unwrap();
+        assert!(
+            viz.is_monotone_non_decreasing(),
+            "frames are visualized in sim-time order (FIFO shipping)"
+        );
+        let disk = out.series.get("free_disk_pct").unwrap();
+        assert!(disk.min_value().unwrap() >= 0.0);
+        assert!(disk.max_value().unwrap() <= 100.0);
+        assert!(out.series.get("procs").is_some());
+        assert!(out.series.get("output_interval").is_some());
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let run = || {
+            Orchestrator::new(
+                Site::intra_country(),
+                short_mission(3.0),
+                AlgorithmKind::GreedyThreshold,
+            )
+            .run()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.sim_minutes, b.sim_minutes);
+        assert_eq!(a.frames_written, b.frames_written);
+        assert_eq!(a.wall_hours, b.wall_hours);
+        assert_eq!(
+            a.series.get("free_disk_pct").unwrap().points,
+            b.series.get("free_disk_pct").unwrap().points
+        );
+    }
+
+    #[test]
+    fn cross_continent_greedy_starves_the_disk() {
+        // A 30-simulated-hour mission on the 60 Kbps link shows the
+        // greedy pathology: the disk fills and the minimum free
+        // percentage dives far below the optimization method's.
+        let mission = short_mission(30.0);
+        let greedy = Orchestrator::new(
+            Site::cross_continent(),
+            mission.clone(),
+            AlgorithmKind::GreedyThreshold,
+        )
+        .run();
+        let opt = Orchestrator::new(
+            Site::cross_continent(),
+            mission,
+            AlgorithmKind::Optimization,
+        )
+        .run();
+        assert!(
+            greedy.min_free_disk_pct < opt.min_free_disk_pct,
+            "greedy {:.1}% vs optimization {:.1}%",
+            greedy.min_free_disk_pct,
+            opt.min_free_disk_pct
+        );
+        assert!(opt.frames_written < greedy.frames_written);
+    }
+
+    #[test]
+    fn full_disk_drops_frames_and_emergency_stalls() {
+        // A disk that holds barely two frames: the CRITICAL band (10 %)
+        // is smaller than one frame, so the write-rejection path (not
+        // just the manager's CRITICAL) must engage.
+        let mut site = Site::cross_continent();
+        site.disk_gb = 0.3; // 300 MB vs ≈136 MB frames
+        let out = Orchestrator::new(
+            site,
+            short_mission(6.0),
+            AlgorithmKind::StaticBaseline,
+        )
+        .with_options(RunOptions {
+            wall_cap_hours: 6.0,
+            ..Default::default()
+        })
+        .run();
+        assert!(out.frames_dropped > 0, "{out:?}");
+        assert!(out.stalls >= 1, "emergency stall engaged");
+        assert!(out.first_stall_wall_hours.is_some());
+        // Accounting still conserves frames.
+        assert!(out.frames_dropped + out.frames_shipped <= out.frames_written + out.frames_dropped);
+    }
+
+    #[test]
+    fn wall_cap_halts_unfinishable_runs() {
+        let opts = RunOptions {
+            wall_cap_hours: 0.5,
+            ..Default::default()
+        };
+        let out = Orchestrator::new(
+            Site::cross_continent(),
+            short_mission(60.0),
+            AlgorithmKind::GreedyThreshold,
+        )
+        .with_options(opts)
+        .run();
+        assert!(!out.completed);
+        assert!(out.wall_hours <= 0.5 + 1e-9);
+    }
+
+    #[test]
+    fn steering_tightens_the_output_interval() {
+        // Cross-continent optimization settles at OI = 25; a scientist
+        // requesting 10-minute frames at hour 0.5 must pull it down.
+        let mission = short_mission(12.0);
+        let free = Orchestrator::new(
+            Site::cross_continent(),
+            mission.clone(),
+            AlgorithmKind::Optimization,
+        )
+        .run();
+        let steered = Orchestrator::new(
+            Site::cross_continent(),
+            mission,
+            AlgorithmKind::Optimization,
+        )
+        .with_steering(vec![(
+            0.5,
+            crate::steering::SteeringCommand::RequestTemporalResolution { max_oi_min: 10.0 },
+        )])
+        .run();
+        assert_eq!(steered.steering_commands_applied, 1);
+        assert!(
+            steered.frames_written > free.frames_written,
+            "tighter interval means more frames: {} vs {}",
+            steered.frames_written,
+            free.frames_written
+        );
+        let oi = steered.series.get("output_interval").unwrap();
+        assert!(oi.last_value().unwrap() <= 10.0 + 1e-9);
+    }
+
+    #[test]
+    fn steering_pins_and_releases_resolution() {
+        let mission = short_mission(8.0);
+        let out = Orchestrator::new(
+            Site::inter_department(),
+            mission,
+            AlgorithmKind::Optimization,
+        )
+        // The 8-simulated-hour fire mission takes only ~0.2 wall hours, so
+        // the commands land early in the run.
+        .with_steering(vec![
+            (
+                0.02,
+                crate::steering::SteeringCommand::PinResolution { km: 12.0 },
+            ),
+            (0.1, crate::steering::SteeringCommand::Release),
+        ])
+        .run();
+        assert!(out.completed);
+        assert_eq!(out.steering_commands_applied, 2);
+        // The pin forced a restart to 12 km long before the pressure
+        // schedule would have (the cyclone is far above 988 hPa at 8 h).
+        assert!(out.restarts >= 2, "pin + release each reconfigure");
+    }
+
+    #[test]
+    fn restarts_happen_when_the_cyclone_intensifies() {
+        // 32 simulated hours crosses the 995 hPa nest threshold (the
+        // dynamic field crosses it around t ≈ 28 h), which must trigger
+        // at least one reconfiguration restart.
+        let out = Orchestrator::new(
+            Site::inter_department(),
+            short_mission(32.0),
+            AlgorithmKind::Optimization,
+        )
+        .run();
+        assert!(out.completed);
+        assert!(out.restarts >= 1, "nest spawn requires a restart");
+        // Output interval stayed within mission bounds throughout.
+        let oi = out.series.get("output_interval").unwrap();
+        assert!(oi.min_value().unwrap() >= 3.0 - 1e-9);
+        assert!(oi.max_value().unwrap() <= 25.0 + 1e-9);
+    }
+}

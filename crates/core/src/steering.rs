@@ -1,0 +1,135 @@
+//! Computational steering — the paper's future work, implemented.
+//!
+//! "We also intend to investigate interactive simulation/visualization,
+//! so that user input based on the visualization can steer the
+//! simulation." A scientist watching the remote visualization can:
+//!
+//! - **request temporal resolution** — cap the output interval below the
+//!   mission maximum while something interesting unfolds (the decision
+//!   algorithms then optimize within the tightened bound),
+//! - **pin the spatial resolution** — override the pressure schedule with
+//!   an explicit grid (e.g. hold 10 km over landfall even as the cyclone
+//!   weakens),
+//! - **release** — hand control back to the schedule and mission bounds.
+//!
+//! Commands are timestamped and applied by the orchestrator at their wall
+//! time (scripted interaction for reproducible experiments); the online
+//! mode forwards them over a channel from the visualization thread, which
+//! is the live interactive path.
+
+use serde::{Deserialize, Serialize};
+
+/// One steering command from the visualization end.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SteeringCommand {
+    /// Tighten the maximum output interval to this many simulated minutes
+    /// (clamped to the mission's `[min, max]` band).
+    RequestTemporalResolution {
+        /// New ceiling for the output interval, simulated minutes.
+        max_oi_min: f64,
+    },
+    /// Override the pressure schedule with a fixed parent resolution.
+    PinResolution {
+        /// Parent resolution to hold, km.
+        km: f64,
+    },
+    /// Drop all overrides; the schedule and mission bounds rule again.
+    Release,
+}
+
+/// The steering state the orchestrator consults each epoch/step.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SteeringState {
+    /// Active output-interval ceiling, if any.
+    pub max_oi_override_min: Option<f64>,
+    /// Active resolution pin, if any.
+    pub pinned_resolution_km: Option<f64>,
+    /// Commands applied so far.
+    pub commands_applied: u32,
+}
+
+impl SteeringState {
+    /// Fresh state: no overrides.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Apply one command.
+    pub fn apply(&mut self, cmd: SteeringCommand) {
+        self.commands_applied += 1;
+        match cmd {
+            SteeringCommand::RequestTemporalResolution { max_oi_min } => {
+                self.max_oi_override_min = Some(max_oi_min);
+            }
+            SteeringCommand::PinResolution { km } => {
+                self.pinned_resolution_km = Some(km);
+            }
+            SteeringCommand::Release => {
+                self.max_oi_override_min = None;
+                self.pinned_resolution_km = None;
+            }
+        }
+    }
+
+    /// Effective maximum output interval given the mission's bounds.
+    pub fn effective_max_oi(&self, mission_min: f64, mission_max: f64) -> f64 {
+        match self.max_oi_override_min {
+            Some(cap) => cap.clamp(mission_min, mission_max),
+            None => mission_max,
+        }
+    }
+
+    /// Effective `(resolution, nest)` given the schedule's prescription.
+    pub fn effective_resolution(&self, scheduled: (f64, bool)) -> (f64, bool) {
+        match self.pinned_resolution_km {
+            // A pinned resolution keeps whatever nest state the schedule
+            // prescribes: the pin is about the parent grid.
+            Some(km) => (km, scheduled.1),
+            None => scheduled,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_defer_to_mission_and_schedule() {
+        let s = SteeringState::new();
+        assert_eq!(s.effective_max_oi(3.0, 25.0), 25.0);
+        assert_eq!(s.effective_resolution((18.0, true)), (18.0, true));
+        assert_eq!(s.commands_applied, 0);
+    }
+
+    #[test]
+    fn temporal_request_caps_within_mission_bounds() {
+        let mut s = SteeringState::new();
+        s.apply(SteeringCommand::RequestTemporalResolution { max_oi_min: 8.0 });
+        assert_eq!(s.effective_max_oi(3.0, 25.0), 8.0);
+        // Requests outside the band are clamped, not honored blindly.
+        s.apply(SteeringCommand::RequestTemporalResolution { max_oi_min: 1.0 });
+        assert_eq!(s.effective_max_oi(3.0, 25.0), 3.0);
+        s.apply(SteeringCommand::RequestTemporalResolution { max_oi_min: 99.0 });
+        assert_eq!(s.effective_max_oi(3.0, 25.0), 25.0);
+    }
+
+    #[test]
+    fn resolution_pin_overrides_schedule_but_not_nest() {
+        let mut s = SteeringState::new();
+        s.apply(SteeringCommand::PinResolution { km: 10.0 });
+        assert_eq!(s.effective_resolution((24.0, false)), (10.0, false));
+        assert_eq!(s.effective_resolution((15.0, true)), (10.0, true));
+    }
+
+    #[test]
+    fn release_restores_everything() {
+        let mut s = SteeringState::new();
+        s.apply(SteeringCommand::RequestTemporalResolution { max_oi_min: 5.0 });
+        s.apply(SteeringCommand::PinResolution { km: 12.0 });
+        s.apply(SteeringCommand::Release);
+        assert_eq!(s.effective_max_oi(3.0, 25.0), 25.0);
+        assert_eq!(s.effective_resolution((24.0, false)), (24.0, false));
+        assert_eq!(s.commands_applied, 3);
+    }
+}

@@ -1,0 +1,204 @@
+//! Property tests over the decision algorithms: for *any* plausible
+//! observation, every algorithm must return a legal configuration —
+//! processors from the profiled table, output interval within the mission
+//! band — and the optimization method's choice must satisfy its own disk
+//! constraint whenever that constraint is satisfiable.
+
+use adaptive_core::config::ApplicationConfig;
+use adaptive_core::decision::{
+    AlgorithmKind, DecisionInputs, DISK_BUDGET_FRACTION, DISK_RESERVE_FRACTION,
+};
+use perfmodel::ProcTable;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Obs {
+    free_pct: f64,
+    capacity: u64,
+    bandwidth: f64,
+    frame_bytes: u64,
+    io_secs: f64,
+    dt: f64,
+    horizon_h: f64,
+    current_procs_idx: usize,
+    current_oi: f64,
+}
+
+fn arb_obs() -> impl Strategy<Value = Obs> {
+    (
+        0.5f64..100.0,
+        50.0f64..500.0, // GB
+        1e3f64..1e8,
+        10_000_000u64..2_000_000_000,
+        0.01f64..30.0,
+        36.0f64..200.0,
+        1.0f64..80.0,
+        0usize..5,
+        3.0f64..25.0,
+    )
+        .prop_map(
+            |(free_pct, cap_gb, bandwidth, frame_bytes, io_secs, dt, horizon_h, idx, oi)| Obs {
+                free_pct,
+                capacity: (cap_gb * 1e9) as u64,
+                bandwidth,
+                frame_bytes,
+                io_secs,
+                dt,
+                horizon_h,
+                current_procs_idx: idx,
+                current_oi: oi,
+            },
+        )
+}
+
+fn table() -> ProcTable {
+    ProcTable::from_entries(vec![
+        (1, 60.0),
+        (4, 18.0),
+        (12, 8.0),
+        (24, 5.0),
+        (48, 3.2),
+    ])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn every_algorithm_returns_a_legal_configuration(obs in arb_obs()) {
+        let t = table();
+        let procs_list = [1usize, 4, 12, 24, 48];
+        let current = ApplicationConfig {
+            num_procs: procs_list[obs.current_procs_idx],
+            output_interval_min: obs.current_oi,
+            resolution_km: 24.0,
+            nest_active: false,
+            critical: false,
+        };
+        let inputs = DecisionInputs {
+            free_disk_percent: obs.free_pct,
+            free_disk_bytes: (obs.capacity as f64 * obs.free_pct / 100.0) as u64,
+            disk_capacity_bytes: obs.capacity,
+            bandwidth_bps: obs.bandwidth,
+            frame_bytes: obs.frame_bytes,
+            io_secs_per_frame: obs.io_secs,
+            proc_table: &t,
+            current: &current,
+            dt_sim_secs: obs.dt,
+            min_oi_min: 3.0,
+            max_oi_min: 25.0,
+            horizon_secs: obs.horizon_h * 3600.0,
+        };
+        for kind in AlgorithmKind::all() {
+            let mut algo = kind.build();
+            let (procs, oi) = algo.decide(&inputs);
+            prop_assert!(
+                t.time_for(procs).is_some(),
+                "{}: processor count {procs} is not a profiled configuration",
+                algo.name()
+            );
+            prop_assert!(
+                (3.0 - 1e-9..=25.0 + 1e-9).contains(&oi),
+                "{}: output interval {oi} outside the mission band",
+                algo.name()
+            );
+            prop_assert!(oi.is_finite());
+        }
+    }
+
+    #[test]
+    fn optimization_respects_its_disk_budget_when_feasible(obs in arb_obs()) {
+        let t = table();
+        let current = ApplicationConfig::initial(48, 3.0, 24.0);
+        let inputs = DecisionInputs {
+            free_disk_percent: obs.free_pct,
+            free_disk_bytes: (obs.capacity as f64 * obs.free_pct / 100.0) as u64,
+            disk_capacity_bytes: obs.capacity,
+            bandwidth_bps: obs.bandwidth,
+            frame_bytes: obs.frame_bytes,
+            io_secs_per_frame: obs.io_secs,
+            proc_table: &t,
+            current: &current,
+            dt_sim_secs: obs.dt,
+            min_oi_min: 3.0,
+            max_oi_min: 25.0,
+            horizon_secs: obs.horizon_h * 3600.0,
+        };
+        let mut algo = AlgorithmKind::Optimization.build();
+        let (procs, oi) = algo.decide(&inputs);
+        let chosen_t = t.time_for(procs).expect("from the table");
+
+        // Reconstruct the LP's disk coefficient and check the chosen
+        // configuration against it (only when the constraint was
+        // satisfiable at all — otherwise the safe corner is expected).
+        let reserve = DISK_RESERVE_FRACTION * obs.capacity as f64;
+        let budget = DISK_BUDGET_FRACTION
+            * ((obs.capacity as f64 * obs.free_pct / 100.0) - reserve).max(0.0);
+        let k = obs.frame_bytes as f64 / (budget / (obs.horizon_h * 3600.0) + obs.bandwidth)
+            - obs.io_secs;
+        let z_lb = (obs.dt / 60.0 / 25.0).min(1.0);
+        let feasible = k * z_lb <= t.max_time() + 1e-9;
+        if feasible {
+            let z = (obs.dt / 60.0) / oi;
+            prop_assert!(
+                chosen_t >= k * z - 1e-6,
+                "chosen t={chosen_t} violates disk bound k*z={} (k={k}, z={z})",
+                k * z
+            );
+        } else {
+            prop_assert_eq!(procs, t.slowest().0, "infeasible -> safe corner");
+            prop_assert!((oi - 25.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn greedy_moves_parameters_in_the_documented_direction(
+        obs in arb_obs(),
+        free_low in 26.0f64..49.0,
+        free_high in 61.0f64..100.0,
+    ) {
+        let t = table();
+        // Mid-band OI, mid-band procs.
+        let current = ApplicationConfig {
+            num_procs: 12,
+            output_interval_min: 10.0,
+            resolution_km: 24.0,
+            nest_active: false,
+            critical: false,
+        };
+        let base = DecisionInputs {
+            free_disk_percent: free_low,
+            free_disk_bytes: (obs.capacity as f64 * free_low / 100.0) as u64,
+            disk_capacity_bytes: obs.capacity,
+            bandwidth_bps: obs.bandwidth,
+            frame_bytes: obs.frame_bytes,
+            io_secs_per_frame: obs.io_secs,
+            proc_table: &t,
+            current: &current,
+            dt_sim_secs: obs.dt,
+            min_oi_min: 3.0,
+            max_oi_min: 25.0,
+            horizon_secs: obs.horizon_h * 3600.0,
+        };
+        let mut algo = AlgorithmKind::GreedyThreshold.build();
+        // Low disk (25..50): OI must not decrease.
+        let (_, oi_low) = algo.decide(&base);
+        prop_assert!(oi_low >= 10.0 - 1e-9, "low disk must not raise frequency");
+
+        // High disk (>60) at max OI and mid procs: speed up first.
+        let current_hi = ApplicationConfig {
+            num_procs: 12,
+            output_interval_min: 25.0,
+            ..current.clone()
+        };
+        let mut hi = base.clone();
+        hi.free_disk_percent = free_high;
+        hi.free_disk_bytes = (obs.capacity as f64 * free_high / 100.0) as u64;
+        hi.current = &current_hi;
+        let (procs_hi, oi_hi) = algo.decide(&hi);
+        let t_old = t.time_for(12).expect("in table");
+        let t_new = t.time_for(procs_hi).expect("in table");
+        prop_assert!(t_new <= t_old + 1e-9, "high disk must not slow down");
+        prop_assert!((oi_hi - 25.0).abs() < 1e-9, "OI untouched until full speed");
+    }
+}

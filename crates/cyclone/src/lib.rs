@@ -1,0 +1,24 @@
+//! Cyclone-Aila tracking scenario: the application layer of the paper.
+//!
+//! This crate binds the generic substrates together into the paper's
+//! concrete experiment:
+//!
+//! - [`ResolutionSchedule`] — Table III's pressure → resolution mapping
+//!   ("climate scientists ... use coarser resolutions for the initial
+//!   stages of cyclone formation and finer resolutions when the cyclone
+//!   intensifies"), plus the 995 hPa nest-spawn threshold,
+//! - [`Mission`] — the 2.5-day Aila tracking mission: model configuration,
+//!   output-interval bounds, decision epoch, the frame-size model (bytes
+//!   per history frame as a function of resolution and nest state), and
+//!   the workload measure the performance model scales with,
+//! - [`Site`] — Table IV's three resource configurations (`fire`,
+//!   `gg-blr`, `moria`) with calibrated scaling laws, disks, and
+//!   wide-area links.
+
+mod mission;
+mod schedule;
+mod sites;
+
+pub use mission::{FrameSizeModel, Mission};
+pub use schedule::{ResolutionSchedule, ScheduleStage};
+pub use sites::{Site, SiteKind};

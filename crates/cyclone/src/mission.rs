@@ -1,0 +1,231 @@
+//! The Aila tracking mission: what the framework is asked to run.
+
+use crate::schedule::ResolutionSchedule;
+use serde::{Deserialize, Serialize};
+use wrf::ModelConfig;
+
+/// History-frame size model.
+///
+/// WRF history frames carry a stack of 3-D variables over the domain; the
+/// paper's Table I quotes ~31 GB per frame for a 4486² 10-km grid, which
+/// corresponds to ~385 values per column. The experiment-scale frames here
+/// use 27 vertical levels × 14 variables (a standard WRF history set),
+/// 4 bytes each — ≈95 MB at 24 km over the Bay-of-Bengal domain, growing
+/// ≈5.8× by 10 km, plus the nest's own stack when one is active.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FrameSizeModel {
+    /// Vertical levels in the output stack.
+    pub levels: usize,
+    /// Variables written per level.
+    pub vars: usize,
+    /// Bytes per value (f32 = 4).
+    pub bytes_per_value: usize,
+}
+
+impl FrameSizeModel {
+    /// The calibrated default (see DESIGN.md §6): a 27-level × 10-variable
+    /// double-precision history stack — ≈135 MB at 24 km, ≈0.9 GB at
+    /// 10 km including the nest. Sized so that (a) at the greedy
+    /// algorithm's initial 3-minute output interval, production outruns
+    /// even the fastest site link (the disk-dive dynamics of Fig. 6), yet
+    /// (b) a full mission at the 25-minute maximum interval fits the
+    /// smallest site disk with margin (the optimization method *can*
+    /// complete cross-continent, as in the paper).
+    pub fn wrf_history() -> Self {
+        FrameSizeModel {
+            levels: 27,
+            vars: 10,
+            bytes_per_value: 8,
+        }
+    }
+
+    /// Bytes for a grid of `nx × ny` columns.
+    pub fn bytes_for_grid(&self, nx: usize, ny: usize) -> u64 {
+        (nx * ny * self.levels * self.vars * self.bytes_per_value) as u64
+    }
+}
+
+/// Everything that defines one experiment mission.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mission {
+    /// Base model configuration (resolution is overridden by the schedule
+    /// as the cyclone evolves).
+    pub model: ModelConfig,
+    /// Pressure → resolution schedule (Table III).
+    pub schedule: ResolutionSchedule,
+    /// Mission length in simulated hours (the paper simulates 2.5 days).
+    pub duration_hours: f64,
+    /// Decision-algorithm invocation period, wall-clock hours (paper: 1.5).
+    pub decision_interval_hours: f64,
+    /// Minimum output interval, simulated minutes (greedy's starting OI).
+    pub min_output_interval_min: f64,
+    /// Maximum output interval, simulated minutes (the paper's
+    /// `upper_output_interval` of 25 simulated minutes).
+    pub max_output_interval_min: f64,
+    /// Frame-size model.
+    pub frame_size: FrameSizeModel,
+}
+
+impl Mission {
+    /// The paper's mission: 60 simulated hours starting 2009-05-22 18:00
+    /// UTC, decisions every 1.5 h, output interval in [3, 25] simulated
+    /// minutes, physics decimated ×8 so a full mission integrates in
+    /// milliseconds (the nominal grids still size frames and compute).
+    pub fn aila() -> Self {
+        Mission {
+            model: ModelConfig::aila_default().with_decimation(8),
+            schedule: ResolutionSchedule::table_iii(),
+            duration_hours: 60.0,
+            decision_interval_hours: 1.5,
+            min_output_interval_min: 3.0,
+            max_output_interval_min: 25.0,
+            frame_size: FrameSizeModel::wrf_history(),
+        }
+    }
+
+    /// Builder: shorter/longer mission (tests run scaled-down missions).
+    pub fn with_duration_hours(mut self, hours: f64) -> Self {
+        assert!(hours > 0.0);
+        self.duration_hours = hours;
+        self
+    }
+
+    /// Builder: physics decimation override.
+    pub fn with_decimation(mut self, decimation: usize) -> Self {
+        self.model = self.model.with_decimation(decimation);
+        self
+    }
+
+    /// Mission length in simulated minutes.
+    pub fn duration_minutes(&self) -> f64 {
+        self.duration_hours * 60.0
+    }
+
+    /// Nominal parent grid at `res_km` (sizes frames and workload).
+    pub fn parent_grid(&self, res_km: f64) -> (usize, usize) {
+        self.model.geom.grid_size(res_km)
+    }
+
+    /// Nominal nest grid at parent resolution `res_km` (the nest runs at
+    /// `res_km / ratio` over its fixed window).
+    pub fn nest_grid(&self, res_km: f64) -> (usize, usize) {
+        let dx = res_km / self.model.nest.ratio as f64;
+        let nx = (self.model.nest.width_km / dx).round() as usize + 1;
+        let ny = (self.model.nest.height_km / dx).round() as usize + 1;
+        (nx, ny)
+    }
+
+    /// Bytes of one history frame at `res_km`, with or without the nest.
+    pub fn frame_bytes(&self, res_km: f64, has_nest: bool) -> u64 {
+        let (nx, ny) = self.parent_grid(res_km);
+        let mut bytes = self.frame_size.bytes_for_grid(nx, ny);
+        if has_nest {
+            let (nnx, nny) = self.nest_grid(res_km);
+            bytes += self.frame_size.bytes_for_grid(nnx, nny);
+        }
+        bytes
+    }
+
+    /// Workload measure for the performance model: grid points advanced
+    /// per parent step (parent + nest × substeps).
+    pub fn work_points(&self, res_km: f64, has_nest: bool) -> f64 {
+        let (nx, ny) = self.parent_grid(res_km);
+        let mut work = (nx * ny) as f64;
+        if has_nest {
+            let (nnx, nny) = self.nest_grid(res_km);
+            work += (nnx * nny * self.model.nest.ratio) as f64;
+        }
+        work
+    }
+
+    /// Integration step at `res_km`, simulated seconds.
+    pub fn dt_secs(&self, res_km: f64) -> f64 {
+        wrf::dt_for_resolution_secs(res_km)
+    }
+
+    /// Format a simulated-minutes offset as the paper's figure labels do:
+    /// `"23-May 09:00"`. Mission time zero is 2009-05-22 18:00 UTC.
+    pub fn format_sim_time(sim_minutes: f64) -> String {
+        let total = 22.0 * 1440.0 + 18.0 * 60.0 + sim_minutes;
+        let day = (total / 1440.0).floor() as i64;
+        let rem = total - day as f64 * 1440.0;
+        let hour = (rem / 60.0).floor() as i64;
+        let min = (rem - hour as f64 * 60.0).round() as i64;
+        // Carry a rounded-up minute (e.g. 59.7 → 60).
+        let (hour, min) = if min == 60 { (hour + 1, 0) } else { (hour, min) };
+        let (day, hour) = if hour == 24 { (day + 1, 0) } else { (day, hour) };
+        if day <= 31 {
+            format!("{day:02}-May {hour:02}:{min:02}")
+        } else {
+            format!("{:02}-Jun {hour:02}:{min:02}", day - 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_bytes_calibration() {
+        let m = Mission::aila();
+        let b24 = m.frame_bytes(24.0, false);
+        // ≈135 MB at 24 km (see DESIGN.md §6); tolerate grid rounding.
+        assert!(
+            (110e6..165e6).contains(&(b24 as f64)),
+            "24 km frame = {b24} bytes"
+        );
+        let b10 = m.frame_bytes(10.0, false);
+        let ratio = b10 as f64 / b24 as f64;
+        assert!(
+            (5.0..7.0).contains(&ratio),
+            "10 km frames ≈5.8× larger, got {ratio}"
+        );
+        // Nest adds its own stack.
+        assert!(m.frame_bytes(24.0, true) > b24);
+    }
+
+    #[test]
+    fn nest_grid_matches_paper_minimum() {
+        let m = Mission::aila();
+        // "a minimum nest grid size of 100x127" at the coarsest stage.
+        let (nx, ny) = m.nest_grid(24.0);
+        assert!((95..=110).contains(&nx), "nest nx = {nx}");
+        assert!((120..=135).contains(&ny), "nest ny = {ny}");
+        // Finer parent → bigger nest grid.
+        let (fx, fy) = m.nest_grid(10.0);
+        assert!(fx > 2 * nx && fy > 2 * ny);
+    }
+
+    #[test]
+    fn work_scales_superlinearly_with_refinement() {
+        let m = Mission::aila();
+        let w24 = m.work_points(24.0, true);
+        let w10 = m.work_points(10.0, true);
+        assert!(w10 > 4.0 * w24, "w24={w24}, w10={w10}");
+        assert!(m.work_points(24.0, true) > m.work_points(24.0, false));
+    }
+
+    #[test]
+    fn sim_time_formatting() {
+        assert_eq!(Mission::format_sim_time(0.0), "22-May 18:00");
+        assert_eq!(Mission::format_sim_time(6.0 * 60.0), "23-May 00:00");
+        assert_eq!(Mission::format_sim_time(15.0 * 60.0), "23-May 09:00");
+        assert_eq!(Mission::format_sim_time(54.0 * 60.0), "25-May 00:00");
+        assert_eq!(Mission::format_sim_time(60.0 * 60.0), "25-May 06:00");
+        assert_eq!(Mission::format_sim_time(25.0), "22-May 18:25");
+    }
+
+    #[test]
+    fn dt_tracks_resolution() {
+        let m = Mission::aila();
+        assert_eq!(m.dt_secs(24.0), 144.0);
+        assert_eq!(m.dt_secs(10.0), 60.0);
+    }
+
+    #[test]
+    fn duration_builder() {
+        let m = Mission::aila().with_duration_hours(6.0);
+        assert_eq!(m.duration_minutes(), 360.0);
+    }
+}

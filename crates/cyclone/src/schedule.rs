@@ -1,0 +1,200 @@
+//! Table III: simulation resolutions for different pressure values.
+
+use serde::{Deserialize, Serialize};
+
+/// One stage of the resolution schedule: when the minimum pressure drops
+/// to (or below) `pressure_hpa`, simulate at `resolution_km`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleStage {
+    /// Activation threshold, hPa.
+    pub pressure_hpa: f64,
+    /// Parent-domain resolution, km (the nest runs at a 1:3 ratio).
+    pub resolution_km: f64,
+}
+
+/// The pressure-indexed resolution schedule, finest stage last.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResolutionSchedule {
+    /// Resolution before the first threshold is reached.
+    pub default_resolution_km: f64,
+    /// Stages sorted by descending pressure threshold.
+    pub stages: Vec<ScheduleStage>,
+    /// Spawn the tracking nest when pressure first drops below this.
+    pub nest_spawn_hpa: f64,
+}
+
+impl ResolutionSchedule {
+    /// The paper's Table III: 995→24, 994→21, 992→18, 990→15, 988→12,
+    /// 986→10 km, with the nest spawned at 995 hPa.
+    pub fn table_iii() -> Self {
+        ResolutionSchedule {
+            default_resolution_km: 24.0,
+            stages: vec![
+                ScheduleStage { pressure_hpa: 995.0, resolution_km: 24.0 },
+                ScheduleStage { pressure_hpa: 994.0, resolution_km: 21.0 },
+                ScheduleStage { pressure_hpa: 992.0, resolution_km: 18.0 },
+                ScheduleStage { pressure_hpa: 990.0, resolution_km: 15.0 },
+                ScheduleStage { pressure_hpa: 988.0, resolution_km: 12.0 },
+                ScheduleStage { pressure_hpa: 986.0, resolution_km: 10.0 },
+            ],
+            nest_spawn_hpa: 995.0,
+        }
+    }
+
+    /// The resolution prescribed for a minimum pressure of `p_hpa`.
+    pub fn resolution_for(&self, p_hpa: f64) -> f64 {
+        let mut res = self.default_resolution_km;
+        for stage in &self.stages {
+            if p_hpa <= stage.pressure_hpa {
+                res = stage.resolution_km;
+            }
+        }
+        res
+    }
+
+    /// True when a nest should exist at this pressure.
+    pub fn nest_active(&self, p_hpa: f64) -> bool {
+        p_hpa < self.nest_spawn_hpa
+    }
+
+    /// Hysteresis band, hPa, for applying the schedule to a *live* run.
+    ///
+    /// Changing resolution regrids the fields, and resampling a smooth
+    /// pressure minimum perturbs it by a fraction of a hPa — enough to
+    /// bounce back across the threshold just crossed and thrash the job
+    /// handler with restarts. Refinement therefore applies immediately,
+    /// but coarsening (and nest removal) waits until the pressure has
+    /// risen this far past the threshold.
+    pub const HYSTERESIS_HPA: f64 = 1.5;
+
+    /// Schedule decision for a live run currently at `current_res_km`
+    /// with `current_nest`: returns the `(resolution, nest)` to apply,
+    /// refining eagerly and coarsening with hysteresis.
+    pub fn apply_with_hysteresis(
+        &self,
+        p_hpa: f64,
+        current_res_km: f64,
+        current_nest: bool,
+    ) -> (f64, bool) {
+        let prescribed = self.resolution_for(p_hpa);
+        let res = if prescribed < current_res_km {
+            prescribed
+        } else if prescribed > current_res_km {
+            // Coarsen only when even a deeper-by-hysteresis reading would
+            // still prescribe something coarser than the current grid.
+            let conservative = self.resolution_for(p_hpa - Self::HYSTERESIS_HPA);
+            if conservative > current_res_km {
+                prescribed
+            } else {
+                current_res_km
+            }
+        } else {
+            current_res_km
+        };
+        let nest = if self.nest_active(p_hpa) {
+            true
+        } else if current_nest {
+            // Remove the nest only once the pressure has clearly risen
+            // back above the spawn threshold.
+            self.nest_active(p_hpa - Self::HYSTERESIS_HPA)
+        } else {
+            false
+        };
+        (res, nest)
+    }
+
+    /// Finest resolution in the schedule.
+    pub fn finest_km(&self) -> f64 {
+        self.stages
+            .iter()
+            .map(|s| s.resolution_km)
+            .fold(self.default_resolution_km, f64::min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_table_iii_rows() {
+        let s = ResolutionSchedule::table_iii();
+        // Exactly the paper's pairs.
+        let rows: Vec<(f64, f64)> = s
+            .stages
+            .iter()
+            .map(|st| (st.pressure_hpa, st.resolution_km))
+            .collect();
+        assert_eq!(
+            rows,
+            vec![
+                (995.0, 24.0),
+                (994.0, 21.0),
+                (992.0, 18.0),
+                (990.0, 15.0),
+                (988.0, 12.0),
+                (986.0, 10.0)
+            ]
+        );
+    }
+
+    #[test]
+    fn resolution_refines_as_pressure_drops() {
+        let s = ResolutionSchedule::table_iii();
+        assert_eq!(s.resolution_for(1005.0), 24.0);
+        assert_eq!(s.resolution_for(995.0), 24.0);
+        assert_eq!(s.resolution_for(994.5), 24.0);
+        assert_eq!(s.resolution_for(994.0), 21.0);
+        assert_eq!(s.resolution_for(991.0), 18.0);
+        assert_eq!(s.resolution_for(990.0), 15.0);
+        assert_eq!(s.resolution_for(987.0), 12.0);
+        assert_eq!(s.resolution_for(986.0), 10.0);
+        assert_eq!(s.resolution_for(970.0), 10.0);
+    }
+
+    #[test]
+    fn nest_spawns_below_995() {
+        let s = ResolutionSchedule::table_iii();
+        assert!(!s.nest_active(996.0));
+        assert!(!s.nest_active(995.0));
+        assert!(s.nest_active(994.9));
+    }
+
+    #[test]
+    fn finest_is_10km_with_333_nest() {
+        let s = ResolutionSchedule::table_iii();
+        assert_eq!(s.finest_km(), 10.0);
+        // The paper's "finest resolution of 3.33 km" is the 1:3 nest of
+        // the 10-km stage.
+        assert!((s.finest_km() / 3.0 - 3.333).abs() < 0.01);
+    }
+
+    #[test]
+    fn hysteresis_refines_eagerly_coarsens_lazily() {
+        let s = ResolutionSchedule::table_iii();
+        // Refinement is immediate.
+        assert_eq!(s.apply_with_hysteresis(993.9, 24.0, true), (21.0, true));
+        // A wobble just above the threshold does not coarsen back...
+        assert_eq!(s.apply_with_hysteresis(994.2, 21.0, true), (21.0, true));
+        // ... but a clear rise does.
+        assert_eq!(s.apply_with_hysteresis(996.0, 21.0, true), (24.0, true));
+        // Nest removal needs the pressure clearly above the spawn level.
+        assert!(s.apply_with_hysteresis(995.5, 24.0, true).1);
+        assert!(!s.apply_with_hysteresis(997.0, 24.0, true).1);
+        // No nest stays no-nest above the threshold.
+        assert!(!s.apply_with_hysteresis(1000.0, 24.0, false).1);
+        // And spawning is immediate at the threshold.
+        assert!(s.apply_with_hysteresis(994.9, 24.0, false).1);
+    }
+
+    #[test]
+    fn monotone_schedule_means_monotone_refinement() {
+        let s = ResolutionSchedule::table_iii();
+        let mut prev = f64::INFINITY;
+        for p in (960..=1010).rev() {
+            let r = s.resolution_for(p as f64);
+            assert!(r <= prev, "resolution coarsened as pressure dropped");
+            prev = r;
+        }
+    }
+}

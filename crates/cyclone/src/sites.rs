@@ -1,0 +1,251 @@
+//! Table IV: the three simulation/visualization resource configurations.
+//!
+//! The scaling-law coefficients are calibrated (DESIGN.md §6) so that the
+//! mission's compute time at maximum cores lands in the paper's 20–26
+//! wall-hour range per site, with per-site CPU factors reflecting the
+//! hardware generations (fire: 2.64 GHz Opteron; gg-blr: 3.16 GHz Xeon;
+//! moria: 1.8 GHz Opteron).
+
+use crate::mission::Mission;
+use perfmodel::{ProcTable, ScalingFit};
+use resources::{Cluster, Disk, Network};
+use wrf::{decomp, MIN_NEST_POINTS_PER_RANK, MIN_PARENT_POINTS_PER_RANK};
+
+/// Which of the paper's three experiment settings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SiteKind {
+    /// `fire` at IISc — visualization in the same campus (56 Mbps).
+    InterDepartment,
+    /// `gg-blr` at C-DAC Bangalore over the NKN (40 Mbps).
+    IntraCountry,
+    /// `moria` at UTK, Knoxville — trans-continental link (60 Kbps).
+    CrossContinent,
+}
+
+impl SiteKind {
+    /// All three, in the paper's order.
+    pub fn all() -> [SiteKind; 3] {
+        [
+            SiteKind::InterDepartment,
+            SiteKind::IntraCountry,
+            SiteKind::CrossContinent,
+        ]
+    }
+}
+
+/// One simulation site plus its link to the visualization workstation.
+#[derive(Debug, Clone)]
+pub struct Site {
+    /// Which experiment setting this is.
+    pub kind: SiteKind,
+    /// Paper's configuration label.
+    pub label: &'static str,
+    /// The simulation cluster.
+    pub cluster: Cluster,
+    /// Stable storage available to the framework, decimal gigabytes
+    /// (Table IV's "Maximum Disk Space Used").
+    pub disk_gb: f64,
+    /// Average sim→vis bandwidth, megabits per second.
+    pub bandwidth_mbps: f64,
+    /// One-way latency of the link, seconds.
+    pub latency_secs: f64,
+    /// Multiplicative bandwidth variability half-width.
+    pub variability: f64,
+    /// Seconds the visualization workstation needs per frame (hardware-
+    /// accelerated VisIt on the GeForce 7800 GTX).
+    pub render_secs_per_frame: f64,
+}
+
+impl Site {
+    /// fire: 24 dual-core Opteron 2218 (48 cores), 182 GB, 56 Mbps.
+    pub fn inter_department() -> Self {
+        Site {
+            kind: SiteKind::InterDepartment,
+            label: "inter-department",
+            cluster: Cluster::new(
+                "fire",
+                48,
+                150e6, // gigabit-ethernet NFS-class parallel I/O
+                180.0,
+                ScalingFit::from_coeffs([0.3, 2.2e-3, 2e-3, 0.02]),
+            ),
+            disk_gb: 182.0,
+            bandwidth_mbps: 56.0,
+            latency_secs: 0.002,
+            variability: 0.15,
+            render_secs_per_frame: 2.0,
+        }
+    }
+
+    /// gg-blr: Xeon X5460 quad-cores, 90 cores used, 150 GB, 40 Mbps NKN.
+    pub fn intra_country() -> Self {
+        Site {
+            kind: SiteKind::IntraCountry,
+            label: "intra-country",
+            cluster: Cluster::new(
+                "gg-blr",
+                90,
+                400e6, // Infiniband-attached storage
+                180.0,
+                // Per-core constant above fire's despite the newer Xeons:
+                // gg-blr was a shared production cluster (the paper's
+                // intra-country run took 26 h to fire's 20 h for the same
+                // mission) — contention folded into the scaling law.
+                ScalingFit::from_coeffs([0.3, 6.0e-3, 2e-3, 0.02]),
+            ),
+            disk_gb: 150.0,
+            bandwidth_mbps: 40.0,
+            latency_secs: 0.015,
+            variability: 0.2,
+            render_secs_per_frame: 2.0,
+        }
+    }
+
+    /// moria: dual Opteron 265 (56 cores), 100 GB, 60 Kbps observed.
+    pub fn cross_continent() -> Self {
+        Site {
+            kind: SiteKind::CrossContinent,
+            label: "cross-continent",
+            cluster: Cluster::new(
+                "moria",
+                56,
+                80e6,
+                180.0,
+                ScalingFit::from_coeffs([0.3, 4.6e-3, 2e-3, 0.02]),
+            ),
+            disk_gb: 100.0,
+            bandwidth_mbps: 0.060,
+            latency_secs: 0.25,
+            variability: 0.3,
+            render_secs_per_frame: 2.0,
+        }
+    }
+
+    /// Site for a [`SiteKind`].
+    pub fn of_kind(kind: SiteKind) -> Self {
+        match kind {
+            SiteKind::InterDepartment => Self::inter_department(),
+            SiteKind::IntraCountry => Self::intra_country(),
+            SiteKind::CrossContinent => Self::cross_continent(),
+        }
+    }
+
+    /// Fresh disk of this site's capacity.
+    pub fn make_disk(&self) -> Disk {
+        Disk::from_gb(self.disk_gb)
+    }
+
+    /// Fresh sim→vis network with this site's characteristics.
+    pub fn make_network(&self, seed: u64) -> Network {
+        Network::from_mbps(self.bandwidth_mbps, self.latency_secs, self.variability, seed)
+    }
+
+    /// Processor counts this cluster admits for the mission at `res_km`,
+    /// honouring WRF's per-rank grid-point minimums for both the parent
+    /// and (when the schedule has one active) the nest.
+    pub fn allowed_procs(&self, mission: &Mission, res_km: f64, has_nest: bool) -> Vec<usize> {
+        let parent = mission.parent_grid(res_km);
+        let nest = has_nest.then(|| (mission.nest_grid(res_km), MIN_NEST_POINTS_PER_RANK));
+        decomp::allowed_proc_counts(
+            parent,
+            MIN_PARENT_POINTS_PER_RANK,
+            nest,
+            self.cluster.max_cores,
+        )
+    }
+
+    /// The profiled time-per-step table for this cluster at `res_km` —
+    /// the paper's "benchmark profiling runs with WRF" plus curve-fit
+    /// interpolation, evaluated on the allowed processor counts.
+    pub fn proc_table(&self, mission: &Mission, res_km: f64, has_nest: bool) -> ProcTable {
+        let work = mission.work_points(res_km, has_nest);
+        let allowed = self.allowed_procs(mission, res_km, has_nest);
+        ProcTable::from_fit(&self.cluster.scaling, work, &allowed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_iv_headline_numbers() {
+        let fire = Site::inter_department();
+        assert_eq!(fire.cluster.name, "fire");
+        assert_eq!(fire.cluster.max_cores, 48);
+        assert_eq!(fire.disk_gb, 182.0);
+        assert_eq!(fire.bandwidth_mbps, 56.0);
+
+        let gg = Site::intra_country();
+        assert_eq!(gg.cluster.name, "gg-blr");
+        assert_eq!(gg.cluster.max_cores, 90);
+        assert_eq!(gg.disk_gb, 150.0);
+        assert_eq!(gg.bandwidth_mbps, 40.0);
+
+        let moria = Site::cross_continent();
+        assert_eq!(moria.cluster.name, "moria");
+        assert_eq!(moria.cluster.max_cores, 56);
+        assert_eq!(moria.disk_gb, 100.0);
+        assert!((moria.bandwidth_mbps - 0.060).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_cores_are_legal_at_every_schedule_stage() {
+        let mission = Mission::aila();
+        for site in SiteKind::all().map(Site::of_kind) {
+            for res in [24.0, 21.0, 18.0, 15.0, 12.0, 10.0] {
+                let allowed = site.allowed_procs(&mission, res, true);
+                assert!(
+                    allowed.contains(&site.cluster.max_cores),
+                    "{}: {} cores illegal at {res} km",
+                    site.label,
+                    site.cluster.max_cores
+                );
+                assert!(allowed.contains(&1));
+            }
+        }
+    }
+
+    #[test]
+    fn step_times_are_calibrated_to_paper_scale() {
+        // At maximum cores and the coarsest stage, a step takes seconds;
+        // at the finest stage, tens of seconds; and moria is slower than
+        // gg-blr per step on equal work.
+        let mission = Mission::aila();
+        let fire = Site::inter_department();
+        let t24 = fire.proc_table(&mission, 24.0, true).min_time();
+        let t10 = fire.proc_table(&mission, 10.0, true).min_time();
+        assert!((2.0..20.0).contains(&t24), "fire t(48) @24km = {t24}");
+        assert!((20.0..90.0).contains(&t10), "fire t(48) @10km = {t10}");
+        assert!(t10 > 3.0 * t24);
+
+        let gg = Site::intra_country().proc_table(&mission, 24.0, true);
+        let moria = Site::cross_continent().proc_table(&mission, 24.0, true);
+        // Effective per-core step-time ordering at equal counts:
+        // fire < moria < gg-blr (gg-blr's coefficient folds in production
+        // -cluster contention — the paper's intra-country run was slower
+        // than fire's despite newer CPUs; see the constructor comment).
+        let gg48 = gg.time_for(48).unwrap();
+        let moria48 = moria.time_for(48).unwrap();
+        let fire48 = fire.proc_table(&mission, 24.0, true).time_for(48).unwrap();
+        assert!(fire48 < moria48 && moria48 < gg48);
+    }
+
+    #[test]
+    fn fewer_procs_is_slower() {
+        let mission = Mission::aila();
+        let t = Site::inter_department().proc_table(&mission, 24.0, true);
+        assert!(t.max_time() > 2.0 * t.min_time());
+        assert_eq!(t.fastest().0, 48, "max cores is fastest for this law");
+    }
+
+    #[test]
+    fn networks_and_disks_construct() {
+        for site in SiteKind::all().map(Site::of_kind) {
+            let disk = site.make_disk();
+            assert_eq!(disk.capacity(), (site.disk_gb * 1e9) as u64);
+            let net = site.make_network(1);
+            assert!((net.nominal_bps() - site.bandwidth_mbps * 1e6 / 8.0).abs() < 1.0);
+        }
+    }
+}

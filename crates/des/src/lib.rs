@@ -1,0 +1,329 @@
+//! Deterministic discrete-event simulation (DES) engine.
+//!
+//! The adaptive framework of the paper runs for 20–38 wall-clock hours per
+//! experiment. To reproduce every figure in seconds, the closed loop
+//! (simulation steps, parallel I/O, frame transfers, decision epochs,
+//! restarts, stalls) is advanced on a *virtual clock*: this crate provides
+//! the clock ([`SimTime`]), the event queue ([`Scheduler`]), and a small
+//! time-series recorder ([`Series`]) used to capture the figure data.
+//!
+//! Determinism: events scheduled for the same instant are delivered in
+//! scheduling order (a monotone sequence number breaks ties), so a run is a
+//! pure function of its inputs — a property the integration tests rely on.
+//!
+//! # Example
+//! ```
+//! use des::{Scheduler, SimTime};
+//!
+//! #[derive(Debug, PartialEq)]
+//! enum Ev { Ping, Pong }
+//!
+//! let mut sched = Scheduler::new();
+//! sched.schedule_in(1.0, Ev::Ping);
+//! sched.schedule_in(2.0, Ev::Pong);
+//! let mut seen = Vec::new();
+//! while let Some((t, e)) = sched.pop() {
+//!     seen.push((t.as_secs(), e));
+//! }
+//! assert_eq!(seen.len(), 2);
+//! assert_eq!(seen[0].1, Ev::Ping);
+//! ```
+
+mod series;
+mod time;
+
+pub use series::{Series, SeriesSet};
+pub use time::SimTime;
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::collections::HashSet;
+
+/// Identifier of a scheduled event, usable for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(u64);
+
+struct Scheduled<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    /// Reversed so that the `BinaryHeap` (a max-heap) pops the *earliest*
+    /// event; ties broken by scheduling order for determinism.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Priority queue of timed events with a virtual clock.
+///
+/// `pop` advances the clock to the popped event's timestamp. Time never
+/// moves backwards: scheduling in the past panics (it would silently
+/// corrupt causality in the orchestrator).
+pub struct Scheduler<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    cancelled: HashSet<u64>,
+    next_seq: u64,
+    now: SimTime,
+}
+
+impl<E> Default for Scheduler<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Scheduler<E> {
+    /// Create an empty scheduler with the clock at time zero.
+    pub fn new() -> Self {
+        Scheduler {
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Current virtual time (timestamp of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of live (non-cancelled) events still queued.
+    pub fn len(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+
+    /// True when no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Schedule `event` at absolute time `t`.
+    ///
+    /// # Panics
+    /// If `t` is earlier than the current clock.
+    pub fn schedule_at(&mut self, t: SimTime, event: E) -> EventId {
+        assert!(
+            t >= self.now,
+            "cannot schedule into the past: t={:?} now={:?}",
+            t,
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled {
+            time: t,
+            seq,
+            event,
+        });
+        EventId(seq)
+    }
+
+    /// Schedule `event` `dt` seconds from now. Non-finite or negative `dt`
+    /// is clamped to 0.
+    pub fn schedule_in(&mut self, dt: f64, event: E) -> EventId {
+        let dt = if dt.is_finite() && dt > 0.0 { dt } else { 0.0 };
+        self.schedule_at(self.now + dt, event)
+    }
+
+    /// Cancel a previously scheduled event. Returns `false` when the event
+    /// already fired (or was already cancelled, or never existed).
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if id.0 >= self.next_seq {
+            return false;
+        }
+        // Lazy cancellation: record the id; skip it when popped. Ids of
+        // already-fired events are never reused, so a stale id inserts a
+        // tombstone that can never match — harmless, bounded by next_seq.
+        self.cancelled.insert(id.0)
+    }
+
+    /// Pop the earliest live event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(s) = self.heap.pop() {
+            if self.cancelled.remove(&s.seq) {
+                continue;
+            }
+            self.now = s.time;
+            return Some((s.time, s.event));
+        }
+        None
+    }
+
+    /// Timestamp of the next live event without popping it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        // Drop stale cancelled entries off the top first.
+        while let Some(s) = self.heap.peek() {
+            if self.cancelled.contains(&s.seq) {
+                let s = self.heap.pop().expect("peeked entry exists");
+                self.cancelled.remove(&s.seq);
+            } else {
+                return Some(s.time);
+            }
+        }
+        None
+    }
+}
+
+/// Drive a world to completion: pop events and hand them to `handler`
+/// until the queue drains or `handler` returns `false` (stop requested).
+///
+/// Returns the final virtual time.
+pub fn run_until_empty<E, W>(
+    sched: &mut Scheduler<E>,
+    world: &mut W,
+    mut handler: impl FnMut(&mut W, SimTime, E, &mut Scheduler<E>) -> bool,
+) -> SimTime {
+    while let Some((t, e)) = sched.pop() {
+        if !handler(world, t, e, sched) {
+            break;
+        }
+    }
+    sched.now()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    enum E {
+        A,
+        B,
+        C,
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut s = Scheduler::new();
+        s.schedule_in(3.0, E::C);
+        s.schedule_in(1.0, E::A);
+        s.schedule_in(2.0, E::B);
+        assert_eq!(s.pop().unwrap().1, E::A);
+        assert_eq!(s.pop().unwrap().1, E::B);
+        assert_eq!(s.pop().unwrap().1, E::C);
+        assert!(s.pop().is_none());
+    }
+
+    #[test]
+    fn ties_break_in_scheduling_order() {
+        let mut s = Scheduler::new();
+        s.schedule_in(5.0, E::B);
+        s.schedule_in(5.0, E::A);
+        s.schedule_in(5.0, E::C);
+        let order: Vec<E> = std::iter::from_fn(|| s.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![E::B, E::A, E::C]);
+    }
+
+    #[test]
+    fn clock_advances_with_pop() {
+        let mut s = Scheduler::new();
+        s.schedule_in(2.5, E::A);
+        assert_eq!(s.now(), SimTime::ZERO);
+        let (t, _) = s.pop().unwrap();
+        assert_eq!(t, SimTime::from_secs(2.5));
+        assert_eq!(s.now(), t);
+    }
+
+    #[test]
+    fn cancel_skips_event() {
+        let mut s = Scheduler::new();
+        let id = s.schedule_in(1.0, E::A);
+        s.schedule_in(2.0, E::B);
+        assert!(s.cancel(id));
+        assert!(!s.cancel(id), "double cancel reports false");
+        assert_eq!(s.pop().unwrap().1, E::B);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn cancel_unknown_id_is_false() {
+        let mut s: Scheduler<E> = Scheduler::new();
+        assert!(!s.cancel(EventId(42)));
+    }
+
+    #[test]
+    fn len_accounts_for_cancellation() {
+        let mut s = Scheduler::new();
+        let a = s.schedule_in(1.0, E::A);
+        s.schedule_in(2.0, E::B);
+        assert_eq!(s.len(), 2);
+        s.cancel(a);
+        assert_eq!(s.len(), 1);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut s = Scheduler::new();
+        let a = s.schedule_in(1.0, E::A);
+        s.schedule_in(2.0, E::B);
+        s.cancel(a);
+        assert_eq!(s.peek_time(), Some(SimTime::from_secs(2.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_in_past_panics() {
+        let mut s = Scheduler::new();
+        s.schedule_in(5.0, E::A);
+        s.pop();
+        s.schedule_at(SimTime::from_secs(1.0), E::B);
+    }
+
+    #[test]
+    fn negative_delay_clamps_to_now() {
+        let mut s = Scheduler::new();
+        s.schedule_in(-3.0, E::A);
+        let (t, _) = s.pop().unwrap();
+        assert_eq!(t, SimTime::ZERO);
+    }
+
+    #[test]
+    fn run_until_empty_drains_and_allows_rescheduling() {
+        let mut s = Scheduler::new();
+        s.schedule_in(1.0, 3u32);
+        let mut fired = Vec::new();
+        let end = run_until_empty(&mut s, &mut fired, |fired, t, remaining, s| {
+            fired.push(t.as_secs());
+            if remaining > 0 {
+                s.schedule_in(1.0, remaining - 1);
+            }
+            true
+        });
+        assert_eq!(fired, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(end, SimTime::from_secs(4.0));
+    }
+
+    #[test]
+    fn run_until_empty_stops_on_false() {
+        let mut s = Scheduler::new();
+        for i in 0..10 {
+            s.schedule_in(i as f64, i);
+        }
+        let mut count = 0usize;
+        run_until_empty(&mut s, &mut count, |count, _, _, _| {
+            *count += 1;
+            *count < 3
+        });
+        assert_eq!(count, 3);
+        assert_eq!(s.len(), 7);
+    }
+}

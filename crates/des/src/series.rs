@@ -1,0 +1,201 @@
+//! Time-series recording for experiment figures.
+//!
+//! Each figure in the paper plots one or more quantities against wall-clock
+//! time (simulated time reached, free-disk %, visualization progress,
+//! processor count, output interval). [`Series`] captures one such curve;
+//! [`SeriesSet`] groups the curves of one experiment run and renders them to
+//! CSV for the figure harnesses.
+
+use crate::SimTime;
+use std::fmt::Write as _;
+
+/// One named curve: `(wall-clock seconds, value)` samples in record order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Series {
+    /// Curve label, used as a CSV column header.
+    pub name: String,
+    /// Samples in the order they were recorded (time is non-decreasing when
+    /// recorded from a DES run, but this is not enforced here).
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// New empty series with the given label.
+    pub fn new(name: impl Into<String>) -> Self {
+        Series {
+            name: name.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Append a sample at virtual time `t`.
+    pub fn record(&mut self, t: SimTime, value: f64) {
+        self.points.push((t.as_secs(), value));
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Last recorded value, if any.
+    pub fn last_value(&self) -> Option<f64> {
+        self.points.last().map(|&(_, v)| v)
+    }
+
+    /// Minimum recorded value (NaN-free by construction of the recorders).
+    pub fn min_value(&self) -> Option<f64> {
+        self.points.iter().map(|&(_, v)| v).fold(None, |acc, v| {
+            Some(acc.map_or(v, |a: f64| a.min(v)))
+        })
+    }
+
+    /// Maximum recorded value.
+    pub fn max_value(&self) -> Option<f64> {
+        self.points.iter().map(|&(_, v)| v).fold(None, |acc, v| {
+            Some(acc.map_or(v, |a: f64| a.max(v)))
+        })
+    }
+
+    /// Value at time `t` by step interpolation (last sample at or before
+    /// `t`); `None` before the first sample.
+    pub fn value_at(&self, t: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .take_while(|&&(pt, _)| pt <= t)
+            .last()
+            .map(|&(_, v)| v)
+    }
+
+    /// True when the recorded values never decrease over record order.
+    pub fn is_monotone_non_decreasing(&self) -> bool {
+        self.points.windows(2).all(|w| w[1].1 >= w[0].1)
+    }
+}
+
+/// A group of series from one experiment run.
+#[derive(Debug, Clone, Default)]
+pub struct SeriesSet {
+    series: Vec<Series>,
+}
+
+impl SeriesSet {
+    /// New empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a series (moves it into the set).
+    pub fn push(&mut self, s: Series) {
+        self.series.push(s);
+    }
+
+    /// Look up a series by name.
+    pub fn get(&self, name: &str) -> Option<&Series> {
+        self.series.iter().find(|s| s.name == name)
+    }
+
+    /// All series in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &Series> {
+        self.series.iter()
+    }
+
+    /// Number of series.
+    pub fn len(&self) -> usize {
+        self.series.len()
+    }
+
+    /// True when the set holds no series.
+    pub fn is_empty(&self) -> bool {
+        self.series.is_empty()
+    }
+
+    /// Render as long-format CSV: `series,wall_secs,value` rows, one per
+    /// sample. Long format keeps irregularly-sampled curves lossless.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("series,wall_secs,value\n");
+        for s in &self.series {
+            for &(t, v) in &s.points {
+                // Writing to a String cannot fail.
+                let _ = writeln!(out, "{},{t},{v}", s.name);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: f64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn record_and_query() {
+        let mut s = Series::new("disk");
+        s.record(t(0.0), 100.0);
+        s.record(t(10.0), 80.0);
+        s.record(t(20.0), 95.0);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.last_value(), Some(95.0));
+        assert_eq!(s.min_value(), Some(80.0));
+        assert_eq!(s.max_value(), Some(100.0));
+    }
+
+    #[test]
+    fn value_at_is_step_interpolation() {
+        let mut s = Series::new("x");
+        s.record(t(0.0), 1.0);
+        s.record(t(10.0), 2.0);
+        assert_eq!(s.value_at(-1.0), None);
+        assert_eq!(s.value_at(0.0), Some(1.0));
+        assert_eq!(s.value_at(5.0), Some(1.0));
+        assert_eq!(s.value_at(10.0), Some(2.0));
+        assert_eq!(s.value_at(100.0), Some(2.0));
+    }
+
+    #[test]
+    fn monotonicity_check() {
+        let mut s = Series::new("prog");
+        s.record(t(0.0), 1.0);
+        s.record(t(1.0), 1.0);
+        s.record(t(2.0), 3.0);
+        assert!(s.is_monotone_non_decreasing());
+        s.record(t(3.0), 2.0);
+        assert!(!s.is_monotone_non_decreasing());
+    }
+
+    #[test]
+    fn empty_series_queries() {
+        let s = Series::new("empty");
+        assert!(s.is_empty());
+        assert_eq!(s.last_value(), None);
+        assert_eq!(s.min_value(), None);
+        assert_eq!(s.max_value(), None);
+        assert_eq!(s.value_at(0.0), None);
+        assert!(s.is_monotone_non_decreasing());
+    }
+
+    #[test]
+    fn csv_long_format() {
+        let mut set = SeriesSet::new();
+        let mut a = Series::new("a");
+        a.record(t(1.0), 2.0);
+        set.push(a);
+        let mut b = Series::new("b");
+        b.record(t(3.0), 4.0);
+        set.push(b);
+        let csv = set.to_csv();
+        assert_eq!(csv, "series,wall_secs,value\na,1,2\nb,3,4\n");
+        assert_eq!(set.len(), 2);
+        assert!(set.get("a").is_some());
+        assert!(set.get("c").is_none());
+    }
+}

@@ -1,0 +1,167 @@
+//! Virtual time: seconds since the start of an experiment, totally ordered.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in virtual time, in seconds from the experiment start.
+///
+/// Wraps an `f64` that is guaranteed finite and non-negative, which makes a
+/// total order legal (`Ord` below). Construction from a non-finite or
+/// negative value panics — such a value always indicates a bug upstream
+/// (e.g. dividing by a zero bandwidth) and must not be silently queued.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimTime(f64);
+
+impl SimTime {
+    /// The experiment start.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// Construct from seconds.
+    ///
+    /// # Panics
+    /// If `secs` is NaN, infinite, or negative.
+    pub fn from_secs(secs: f64) -> Self {
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "SimTime must be finite and non-negative, got {secs}"
+        );
+        SimTime(secs)
+    }
+
+    /// Construct from minutes.
+    pub fn from_mins(mins: f64) -> Self {
+        Self::from_secs(mins * 60.0)
+    }
+
+    /// Construct from hours.
+    pub fn from_hours(hours: f64) -> Self {
+        Self::from_secs(hours * 3600.0)
+    }
+
+    /// Seconds since the experiment start.
+    pub fn as_secs(self) -> f64 {
+        self.0
+    }
+
+    /// Minutes since the experiment start.
+    pub fn as_mins(self) -> f64 {
+        self.0 / 60.0
+    }
+
+    /// Hours since the experiment start.
+    pub fn as_hours(self) -> f64 {
+        self.0 / 3600.0
+    }
+
+    /// Format as `HH:MM` (hours may exceed 24).
+    pub fn hhmm(self) -> String {
+        let total_mins = (self.0 / 60.0).round() as i64;
+        format!("{:02}:{:02}", total_mins / 60, total_mins % 60)
+    }
+
+    /// Saturating subtraction in seconds (never below zero).
+    pub fn saturating_sub(self, other: SimTime) -> f64 {
+        (self.0 - other.0).max(0.0)
+    }
+}
+
+impl Eq for SimTime {}
+
+impl PartialOrd for SimTime {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for SimTime {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Safe: the constructor rejects NaN.
+        self.0
+            .partial_cmp(&other.0)
+            .expect("SimTime is never NaN by construction")
+    }
+}
+
+impl Add<f64> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: f64) -> SimTime {
+        SimTime::from_secs(self.0 + rhs)
+    }
+}
+
+impl AddAssign<f64> for SimTime {
+    fn add_assign(&mut self, rhs: f64) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimTime {
+    /// Difference in seconds (may be negative when `rhs` is later).
+    type Output = f64;
+    fn sub(self, rhs: SimTime) -> f64 {
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.hhmm())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_roundtrip() {
+        let t = SimTime::from_hours(1.5);
+        assert_eq!(t.as_secs(), 5400.0);
+        assert_eq!(t.as_mins(), 90.0);
+        assert_eq!(t.as_hours(), 1.5);
+        assert_eq!(SimTime::from_mins(90.0), t);
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let a = SimTime::from_secs(1.0);
+        let b = SimTime::from_secs(2.0);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+    }
+
+    #[test]
+    fn hhmm_formats_past_24h() {
+        assert_eq!(SimTime::from_hours(26.0).hhmm(), "26:00");
+        assert_eq!(SimTime::from_mins(125.0).hhmm(), "02:05");
+        assert_eq!(SimTime::ZERO.hhmm(), "00:00");
+    }
+
+    #[test]
+    fn saturating_sub_floors_at_zero() {
+        let a = SimTime::from_secs(5.0);
+        let b = SimTime::from_secs(9.0);
+        assert_eq!(b.saturating_sub(a), 4.0);
+        assert_eq!(a.saturating_sub(b), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn nan_rejected() {
+        SimTime::from_secs(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_rejected() {
+        SimTime::from_secs(-1.0);
+    }
+
+    #[test]
+    fn sub_gives_signed_seconds() {
+        let a = SimTime::from_secs(3.0);
+        let b = SimTime::from_secs(10.0);
+        assert_eq!(b - a, 7.0);
+        assert_eq!(a - b, -7.0);
+    }
+}

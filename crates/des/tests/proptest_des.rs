@@ -1,0 +1,84 @@
+//! Property tests for the event engine: any interleaving of schedules and
+//! cancellations pops in non-decreasing time order, with scheduling order
+//! breaking ties, and the length accounting stays exact.
+
+use des::Scheduler;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Schedule an event `delay` seconds after now.
+    Schedule(f64),
+    /// Cancel the k-th not-yet-cancelled id we hold (if any).
+    Cancel(usize),
+    /// Pop one event.
+    Pop,
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0.0f64..100.0).prop_map(Op::Schedule),
+            (0usize..8).prop_map(Op::Cancel),
+            Just(Op::Pop),
+        ],
+        0..300,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn pops_are_time_ordered_with_fifo_ties(ops in arb_ops()) {
+        let mut s: Scheduler<u64> = Scheduler::new();
+        let mut live: Vec<(des::EventId, u64)> = Vec::new();
+        let mut cancelled: Vec<u64> = Vec::new();
+        let mut seq = 0u64;
+        let mut last_pop: Option<(f64, u64)> = None;
+        let mut scheduled_time = std::collections::HashMap::new();
+
+        for op in ops {
+            match op {
+                Op::Schedule(delay) => {
+                    let id = s.schedule_in(delay, seq);
+                    scheduled_time.insert(seq, s.now().as_secs() + delay.max(0.0));
+                    live.push((id, seq));
+                    seq += 1;
+                }
+                Op::Cancel(k) => {
+                    if !live.is_empty() {
+                        let (id, tag) = live.remove(k % live.len());
+                        prop_assert!(s.cancel(id), "live event cancels");
+                        cancelled.push(tag);
+                    }
+                }
+                Op::Pop => {
+                    let before = s.len();
+                    match s.pop() {
+                        Some((t, tag)) => {
+                            prop_assert!(!cancelled.contains(&tag), "cancelled events never fire");
+                            // Time order.
+                            if let Some((pt, ptag)) = last_pop {
+                                prop_assert!(t.as_secs() >= pt, "time went backwards");
+                                if (t.as_secs() - pt).abs() < f64::EPSILON
+                                    && scheduled_time[&tag] == scheduled_time[&ptag]
+                                {
+                                    prop_assert!(tag > ptag, "FIFO tie-break violated");
+                                }
+                            }
+                            // Popped tag was live.
+                            let idx = live.iter().position(|&(_, x)| x == tag);
+                            prop_assert!(idx.is_some(), "popped an unknown event");
+                            live.remove(idx.expect("checked"));
+                            prop_assert_eq!(s.len(), before - 1);
+                            last_pop = Some((t.as_secs(), tag));
+                        }
+                        None => prop_assert_eq!(before, 0, "pop on non-empty returned None"),
+                    }
+                }
+            }
+            prop_assert_eq!(s.len(), live.len(), "length accounting drifted");
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! CPLEX-LP text rendering of a [`Problem`].
+//!
+//! GLPK users inspect their models as `.lp` files; this gives our solver
+//! the same debuggability — `Problem::to_lp_format` renders any program
+//! in the standard CPLEX LP text format, loadable by GLPK/CBC/CPLEX for
+//! cross-checking our simplex against reference solvers.
+
+use crate::{Problem, Relation};
+use std::fmt::Write as _;
+
+impl Problem {
+    /// Render in CPLEX LP format. Variables are named `x0, x1, …` in
+    /// declaration order.
+    pub fn to_lp_format(&self) -> String {
+        let mut out = String::new();
+        out.push_str(if self.is_maximize() {
+            "Maximize\n obj:"
+        } else {
+            "Minimize\n obj:"
+        });
+        write_linear(&mut out, &self.user_objective());
+        out.push_str("\nSubject To\n");
+        for (i, c) in self.constraints().iter().enumerate() {
+            let _ = write!(out, " c{i}:");
+            write_linear(&mut out, &c.coeffs);
+            let rel = match c.rel {
+                Relation::Le => "<=",
+                Relation::Ge => ">=",
+                Relation::Eq => "=",
+            };
+            let _ = writeln!(out, " {rel} {}", fmt_num(c.rhs));
+        }
+        out.push_str("Bounds\n");
+        for j in 0..self.num_vars() {
+            let (lo, hi) = self.bounds(j);
+            match (lo.is_finite(), hi.is_finite()) {
+                (true, true) if lo == hi => {
+                    let _ = writeln!(out, " x{j} = {}", fmt_num(lo));
+                }
+                (true, true) => {
+                    let _ = writeln!(out, " {} <= x{j} <= {}", fmt_num(lo), fmt_num(hi));
+                }
+                (true, false) => {
+                    // The LP-format default is x >= 0; spell non-defaults.
+                    if lo != 0.0 {
+                        let _ = writeln!(out, " x{j} >= {}", fmt_num(lo));
+                    }
+                }
+                (false, true) => {
+                    let _ = writeln!(out, " -inf <= x{j} <= {}", fmt_num(hi));
+                }
+                (false, false) => {
+                    let _ = writeln!(out, " x{j} free");
+                }
+            }
+        }
+        out.push_str("End\n");
+        out
+    }
+}
+
+fn write_linear(out: &mut String, coeffs: &[f64]) {
+    let mut any = false;
+    for (j, &c) in coeffs.iter().enumerate() {
+        if c == 0.0 {
+            continue;
+        }
+        any = true;
+        if c < 0.0 {
+            let _ = write!(out, " - {} x{j}", fmt_num(-c));
+        } else {
+            let _ = write!(out, " + {} x{j}", fmt_num(c));
+        }
+    }
+    if !any {
+        out.push_str(" 0 x0");
+    }
+}
+
+fn fmt_num(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_the_papers_lp_shape() {
+        // min t s.t. t + 2z − 10y ≤ 0, t − 5z ≥ 0, y − z ≤ 0,
+        // 1.2 ≤ t ≤ 40, 0.1 ≤ z ≤ 1, 0 ≤ y ≤ 1.
+        let mut p = Problem::minimize(&[1.0, 0.0, 0.0]);
+        p.add_constraint(&[1.0, 2.0, -10.0], Relation::Le, 0.0);
+        p.add_constraint(&[1.0, -5.0, 0.0], Relation::Ge, 0.0);
+        p.add_constraint(&[0.0, -1.0, 1.0], Relation::Le, 0.0);
+        p.set_bounds(0, 1.2, 40.0);
+        p.set_bounds(1, 0.1, 1.0);
+        p.set_bounds(2, 0.0, 1.0);
+        let text = p.to_lp_format();
+        assert!(text.starts_with("Minimize\n obj: + 1 x0\n"));
+        assert!(text.contains("c0: + 1 x0 + 2 x1 - 10 x2 <= 0"));
+        assert!(text.contains("c1: + 1 x0 - 5 x1 >= 0"));
+        assert!(text.contains("1.2 <= x0 <= 40"));
+        assert!(text.contains("0.1 <= x1 <= 1"));
+        assert!(text.ends_with("End\n"));
+    }
+
+    #[test]
+    fn maximize_free_and_fixed_variables() {
+        let mut p = Problem::maximize(&[3.0, -2.0]);
+        p.set_bounds(0, f64::NEG_INFINITY, f64::INFINITY);
+        p.fix(1, 4.5);
+        p.add_constraint(&[1.0, 1.0], Relation::Eq, 7.0);
+        let text = p.to_lp_format();
+        assert!(text.starts_with("Maximize\n obj: + 3 x0 - 2 x1\n"));
+        assert!(text.contains("c0: + 1 x0 + 1 x1 = 7"));
+        assert!(text.contains("x0 free"));
+        assert!(text.contains("x1 = 4.5"));
+    }
+
+    #[test]
+    fn zero_objective_still_valid() {
+        let p = Problem::minimize(&[0.0, 0.0]);
+        let text = p.to_lp_format();
+        assert!(text.contains("obj: 0 x0"));
+        assert!(text.contains("Subject To"));
+    }
+}

@@ -1,0 +1,45 @@
+//! Linear programming by two-phase primal simplex.
+//!
+//! The paper's optimization-based decision algorithm formulates processor
+//! allocation and output frequency as a linear program and solves it with
+//! GLPK every decision epoch. This crate is the from-scratch stand-in: a
+//! dense two-phase primal simplex with general variable bounds, Dantzig
+//! pricing with a Bland's-rule fallback for anti-cycling, and explicit
+//! infeasible/unbounded verdicts.
+//!
+//! Problems in this workspace are tiny (a handful of variables and
+//! constraints, solved thousands of times across a DES run), so the dense
+//! tableau is the right representation: no sparsity bookkeeping, fully
+//! deterministic.
+//!
+//! # Example — the paper's shape of problem
+//!
+//! ```
+//! use lp::{Problem, Relation, Solution};
+//!
+//! // min t  s.t.  t + 2 z ≤ 10,  t − 3 z ≥ −1,  0.1 ≤ z ≤ 1,  t ≥ 0.5
+//! let mut p = Problem::minimize(&[1.0, 0.0]); // vars: [t, z]
+//! p.add_constraint(&[1.0, 2.0], Relation::Le, 10.0);
+//! p.add_constraint(&[1.0, -3.0], Relation::Ge, -1.0);
+//! p.set_bounds(0, 0.5, f64::INFINITY);
+//! p.set_bounds(1, 0.1, 1.0);
+//!
+//! match p.solve().unwrap() {
+//!     Solution::Optimal { x, objective } => {
+//!         assert!((objective - 0.5).abs() < 1e-9);
+//!         assert!(x[0] >= 0.5 - 1e-9);
+//!     }
+//!     other => panic!("expected optimum, got {other:?}"),
+//! }
+//! ```
+
+mod format;
+mod problem;
+mod simplex;
+
+pub use problem::{Constraint, Problem, Relation};
+pub use simplex::{LpError, Solution};
+
+/// Numerical tolerance used throughout the solver (pivot thresholds,
+/// feasibility checks, phase-1 acceptance).
+pub const EPS: f64 = 1e-9;

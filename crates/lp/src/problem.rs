@@ -1,0 +1,411 @@
+#![allow(clippy::needless_range_loop)] // dense-tableau code reads better with explicit indices
+
+//! Problem builder: objective, constraints, variable bounds.
+
+use crate::simplex::{solve_standard, LpError, Solution};
+use crate::EPS;
+
+/// Direction of one linear constraint `a·x REL b`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Relation {
+    /// `a·x ≤ b`
+    Le,
+    /// `a·x ≥ b`
+    Ge,
+    /// `a·x = b`
+    Eq,
+}
+
+/// One linear constraint over the problem's structural variables.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Constraint {
+    /// Dense coefficient row, one entry per structural variable.
+    pub coeffs: Vec<f64>,
+    /// Constraint direction.
+    pub rel: Relation,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+/// A linear program: minimize `c·x` subject to constraints and bounds.
+///
+/// Variables default to `[0, +∞)`. Use [`Problem::set_bounds`] for general
+/// bounds including free (`-∞, +∞`) variables.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Problem {
+    pub(crate) objective: Vec<f64>,
+    pub(crate) constraints: Vec<Constraint>,
+    pub(crate) lower: Vec<f64>,
+    pub(crate) upper: Vec<f64>,
+    /// True when the user asked to maximize: we minimize the negated
+    /// objective internally and negate the reported optimum back.
+    negate_reported_objective: bool,
+}
+
+impl Problem {
+    /// New minimization problem with the given objective coefficients;
+    /// the coefficient count fixes the number of structural variables.
+    pub fn minimize(objective: &[f64]) -> Self {
+        let n = objective.len();
+        Problem {
+            objective: objective.to_vec(),
+            constraints: Vec::new(),
+            lower: vec![0.0; n],
+            upper: vec![f64::INFINITY; n],
+            negate_reported_objective: false,
+        }
+    }
+
+    /// New maximization problem (internally negated: simplex minimizes).
+    pub fn maximize(objective: &[f64]) -> Self {
+        let negated: Vec<f64> = objective.iter().map(|&c| -c).collect();
+        let mut p = Self::minimize(&negated);
+        p.negate_reported_objective = true;
+        p
+    }
+
+    /// Number of structural variables.
+    pub fn num_vars(&self) -> usize {
+        self.objective.len()
+    }
+
+    /// Number of constraints added so far.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Add a constraint `coeffs·x REL rhs`.
+    ///
+    /// # Panics
+    /// If `coeffs.len()` differs from the variable count, or any value is
+    /// non-finite (a non-finite coefficient always indicates a bug in the
+    /// caller's model construction).
+    pub fn add_constraint(&mut self, coeffs: &[f64], rel: Relation, rhs: f64) {
+        assert_eq!(
+            coeffs.len(),
+            self.num_vars(),
+            "constraint arity mismatch: {} coeffs for {} vars",
+            coeffs.len(),
+            self.num_vars()
+        );
+        assert!(
+            coeffs.iter().all(|c| c.is_finite()) && rhs.is_finite(),
+            "constraint coefficients and rhs must be finite"
+        );
+        self.constraints.push(Constraint {
+            coeffs: coeffs.to_vec(),
+            rel,
+            rhs,
+        });
+    }
+
+    /// Set bounds `lo ≤ x[var] ≤ hi`. Use `f64::NEG_INFINITY` /
+    /// `f64::INFINITY` for unbounded sides.
+    ///
+    /// # Panics
+    /// If `var` is out of range, either bound is NaN, or `lo > hi`.
+    pub fn set_bounds(&mut self, var: usize, lo: f64, hi: f64) {
+        assert!(var < self.num_vars(), "variable {var} out of range");
+        assert!(!lo.is_nan() && !hi.is_nan(), "bounds must not be NaN");
+        assert!(lo <= hi, "lower bound {lo} exceeds upper bound {hi}");
+        self.lower[var] = lo;
+        self.upper[var] = hi;
+    }
+
+    /// Fix `x[var] = value`.
+    pub fn fix(&mut self, var: usize, value: f64) {
+        self.set_bounds(var, value, value);
+    }
+
+    /// True when the problem was stated as a maximization.
+    pub fn is_maximize(&self) -> bool {
+        self.negate_reported_objective
+    }
+
+    /// Objective coefficients as the user stated them (undoing the
+    /// internal negation of maximization problems).
+    pub fn user_objective(&self) -> Vec<f64> {
+        if self.negate_reported_objective {
+            self.objective.iter().map(|&c| -c).collect()
+        } else {
+            self.objective.clone()
+        }
+    }
+
+    /// The constraints added so far.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Bounds of variable `var` as `(lower, upper)`.
+    ///
+    /// # Panics
+    /// If `var` is out of range.
+    pub fn bounds(&self, var: usize) -> (f64, f64) {
+        (self.lower[var], self.upper[var])
+    }
+
+    /// Solve the program.
+    pub fn solve(&self) -> Result<Solution, LpError> {
+        let std = StandardForm::from_problem(self)?;
+        let sol = solve_standard(&std.c, &std.a, &std.b, std.n_structural_cols)?;
+        Ok(std.recover(self, sol))
+    }
+
+    /// Check a candidate point against all constraints and bounds within
+    /// tolerance `tol` — used by callers and tests to validate solutions.
+    pub fn is_feasible(&self, x: &[f64], tol: f64) -> bool {
+        if x.len() != self.num_vars() {
+            return false;
+        }
+        for (j, &xj) in x.iter().enumerate() {
+            if xj < self.lower[j] - tol || xj > self.upper[j] + tol {
+                return false;
+            }
+        }
+        self.constraints.iter().all(|c| {
+            let lhs: f64 = c.coeffs.iter().zip(x).map(|(a, b)| a * b).sum();
+            match c.rel {
+                Relation::Le => lhs <= c.rhs + tol,
+                Relation::Ge => lhs >= c.rhs - tol,
+                Relation::Eq => (lhs - c.rhs).abs() <= tol,
+            }
+        })
+    }
+
+    /// Objective value at `x` (as the user stated it, honoring
+    /// maximization sign).
+    pub fn objective_at(&self, x: &[f64]) -> f64 {
+        let v: f64 = self.objective.iter().zip(x).map(|(c, x)| c * x).sum();
+        if self.negate_reported_objective {
+            -v
+        } else {
+            v
+        }
+    }
+
+    pub(crate) fn reported_objective(&self, internal: f64) -> f64 {
+        if self.negate_reported_objective {
+            -internal
+        } else {
+            internal
+        }
+    }
+}
+
+/// Standard-form translation: min c·y, A y = b, y ≥ 0, b ≥ 0.
+///
+/// Bound handling:
+/// - finite lower `l`: substitute `x = l + y` (shift folded into rhs),
+/// - `l = −∞`, finite upper `u`: substitute `x = u − y` (sign flip),
+/// - free (`−∞, +∞`): split `x = y⁺ − y⁻`,
+/// - finite upper after shifting: extra row `y ≤ u − l`.
+struct StandardForm {
+    c: Vec<f64>,
+    a: Vec<Vec<f64>>,
+    b: Vec<f64>,
+    n_structural_cols: usize,
+    /// For each original variable: how to rebuild x from the y vector.
+    recover_plan: Vec<VarPlan>,
+}
+
+enum VarPlan {
+    /// x = offset + y[col]
+    Shifted { col: usize, offset: f64 },
+    /// x = offset − y[col]
+    Flipped { col: usize, offset: f64 },
+    /// x = y[pos] − y[neg]
+    Split { pos: usize, neg: usize },
+}
+
+impl StandardForm {
+    fn from_problem(p: &Problem) -> Result<Self, LpError> {
+        let n = p.num_vars();
+        let mut plan = Vec::with_capacity(n);
+        let mut ncols = 0usize;
+        // Extra ≤ rows created by finite upper bounds.
+        let mut ub_rows: Vec<(usize, f64)> = Vec::new();
+
+        for j in 0..n {
+            let (lo, hi) = (p.lower[j], p.upper[j]);
+            if lo.is_finite() {
+                plan.push(VarPlan::Shifted {
+                    col: ncols,
+                    offset: lo,
+                });
+                if hi.is_finite() {
+                    ub_rows.push((ncols, hi - lo));
+                }
+                ncols += 1;
+            } else if hi.is_finite() {
+                plan.push(VarPlan::Flipped {
+                    col: ncols,
+                    offset: hi,
+                });
+                ncols += 1;
+            } else {
+                plan.push(VarPlan::Split {
+                    pos: ncols,
+                    neg: ncols + 1,
+                });
+                ncols += 2;
+            }
+        }
+
+        // Objective over y, plus the constant from offsets (dropped: the
+        // solver minimizes the variable part; we report c·x directly from
+        // the recovered x instead, so no constant bookkeeping is needed).
+        let mut c = vec![0.0; ncols];
+        for j in 0..n {
+            let cj = p.objective[j];
+            match plan[j] {
+                VarPlan::Shifted { col, .. } => c[col] += cj,
+                VarPlan::Flipped { col, .. } => c[col] -= cj,
+                VarPlan::Split { pos, neg } => {
+                    c[pos] += cj;
+                    c[neg] -= cj;
+                }
+            }
+        }
+
+        let mut a: Vec<Vec<f64>> = Vec::new();
+        let mut b: Vec<f64> = Vec::new();
+
+        // Build rows with slack/surplus columns appended after structural
+        // columns. First count slacks.
+        let mut n_slack = 0usize;
+        for cst in &p.constraints {
+            if cst.rel != Relation::Eq {
+                n_slack += 1;
+            }
+        }
+        n_slack += ub_rows.len();
+
+        let total_cols = ncols + n_slack;
+        let mut c_full = c;
+        c_full.resize(total_cols, 0.0);
+
+        let mut slack_idx = ncols;
+        for cst in &p.constraints {
+            let mut row = vec![0.0; total_cols];
+            let mut rhs = cst.rhs;
+            for j in 0..n {
+                let aij = cst.coeffs[j];
+                if aij == 0.0 {
+                    continue;
+                }
+                match plan[j] {
+                    VarPlan::Shifted { col, offset } => {
+                        row[col] += aij;
+                        rhs -= aij * offset;
+                    }
+                    VarPlan::Flipped { col, offset } => {
+                        row[col] -= aij;
+                        rhs -= aij * offset;
+                    }
+                    VarPlan::Split { pos, neg } => {
+                        row[pos] += aij;
+                        row[neg] -= aij;
+                    }
+                }
+            }
+            match cst.rel {
+                Relation::Le => {
+                    row[slack_idx] = 1.0;
+                    slack_idx += 1;
+                }
+                Relation::Ge => {
+                    row[slack_idx] = -1.0;
+                    slack_idx += 1;
+                }
+                Relation::Eq => {}
+            }
+            // Standard form wants b ≥ 0.
+            if rhs < 0.0 {
+                for v in &mut row {
+                    *v = -*v;
+                }
+                rhs = -rhs;
+            }
+            a.push(row);
+            b.push(rhs);
+        }
+
+        for &(col, ub) in &ub_rows {
+            if ub < -EPS {
+                // lo > hi was already rejected by set_bounds; defensive.
+                return Err(LpError::InvalidBounds);
+            }
+            let mut row = vec![0.0; total_cols];
+            row[col] = 1.0;
+            row[slack_idx] = 1.0;
+            slack_idx += 1;
+            a.push(row);
+            b.push(ub.max(0.0));
+        }
+        debug_assert_eq!(slack_idx, total_cols);
+
+        Ok(StandardForm {
+            c: c_full,
+            a,
+            b,
+            n_structural_cols: ncols,
+            recover_plan: plan,
+        })
+    }
+
+    fn recover(&self, p: &Problem, sol: Solution) -> Solution {
+        match sol {
+            Solution::Optimal { x: y, .. } => {
+                let x: Vec<f64> = self
+                    .recover_plan
+                    .iter()
+                    .map(|plan| match *plan {
+                        VarPlan::Shifted { col, offset } => offset + y[col],
+                        VarPlan::Flipped { col, offset } => offset - y[col],
+                        VarPlan::Split { pos, neg } => y[pos] - y[neg],
+                    })
+                    .collect();
+                let internal: f64 = p.objective.iter().zip(&x).map(|(c, x)| c * x).sum();
+                Solution::Optimal {
+                    objective: p.reported_objective(internal),
+                    x,
+                }
+            }
+            other => other,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arity_mismatch_panics() {
+        let mut p = Problem::minimize(&[1.0, 2.0]);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            p.add_constraint(&[1.0], Relation::Le, 1.0)
+        }));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn feasibility_checker() {
+        let mut p = Problem::minimize(&[1.0, 1.0]);
+        p.add_constraint(&[1.0, 1.0], Relation::Le, 2.0);
+        p.set_bounds(0, 0.0, 1.0);
+        assert!(p.is_feasible(&[1.0, 1.0], 1e-9));
+        assert!(!p.is_feasible(&[1.5, 1.0], 1e-9)); // bound violated
+        assert!(!p.is_feasible(&[1.0, 1.5], 1e-9)); // constraint violated
+        assert!(!p.is_feasible(&[1.0], 1e-9)); // arity
+    }
+
+    #[test]
+    fn objective_at_honors_direction() {
+        let p = Problem::minimize(&[2.0]);
+        assert_eq!(p.objective_at(&[3.0]), 6.0);
+        let q = Problem::maximize(&[2.0]);
+        assert_eq!(q.objective_at(&[3.0]), 6.0);
+    }
+}

@@ -1,0 +1,447 @@
+#![allow(clippy::needless_range_loop)] // dense-tableau code reads better with explicit indices
+
+//! Two-phase primal simplex on the standard form
+//! `min c·y  s.t.  A y = b,  y ≥ 0,  b ≥ 0`.
+//!
+//! Phase 1 introduces one artificial variable per row and minimizes their
+//! sum; a positive phase-1 optimum certifies infeasibility. Phase 2 resumes
+//! from the phase-1 basis with the true costs. Pricing is Dantzig (most
+//! negative reduced cost) with a switch to Bland's rule after an iteration
+//! budget proportional to the tableau size, which guarantees termination on
+//! degenerate problems.
+
+use crate::EPS;
+
+/// Verdict of a solve.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Solution {
+    /// An optimal vertex was found.
+    Optimal {
+        /// Values of the structural variables, in declaration order.
+        x: Vec<f64>,
+        /// Objective value as the user stated the problem.
+        objective: f64,
+    },
+    /// The constraint system admits no feasible point.
+    Infeasible,
+    /// The objective decreases without bound over the feasible region.
+    Unbounded,
+}
+
+impl Solution {
+    /// The optimal point, when one was found.
+    pub fn optimal(&self) -> Option<(&[f64], f64)> {
+        match self {
+            Solution::Optimal { x, objective } => Some((x, *objective)),
+            _ => None,
+        }
+    }
+}
+
+/// Hard failures (distinct from infeasible/unbounded verdicts, which are
+/// legitimate answers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LpError {
+    /// Bounds were inconsistent in a way the builder could not reject.
+    InvalidBounds,
+    /// The simplex exceeded its absolute iteration ceiling — numerically
+    /// pathological input (should not happen with Bland's rule; kept as a
+    /// defensive backstop rather than looping forever).
+    IterationLimit,
+}
+
+impl std::fmt::Display for LpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LpError::InvalidBounds => write!(f, "inconsistent variable bounds"),
+            LpError::IterationLimit => write!(f, "simplex iteration limit exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for LpError {}
+
+/// Dense simplex tableau.
+///
+/// `rows[i]` holds the coefficients of row `i` over all columns plus the
+/// rhs in the last slot. `cost` is the reduced-cost row (same layout, last
+/// slot = negated objective value).
+struct Tableau {
+    m: usize,
+    n: usize,
+    rows: Vec<Vec<f64>>,
+    cost: Vec<f64>,
+    basis: Vec<usize>,
+}
+
+impl Tableau {
+    fn rhs(&self, i: usize) -> f64 {
+        self.rows[i][self.n]
+    }
+
+    /// Gauss-Jordan pivot on (row, col).
+    fn pivot(&mut self, row: usize, col: usize) {
+        let piv = self.rows[row][col];
+        debug_assert!(piv.abs() > EPS, "pivot too small: {piv}");
+        let inv = 1.0 / piv;
+        for v in &mut self.rows[row] {
+            *v *= inv;
+        }
+        // Re-normalize the pivot element exactly to kill drift.
+        self.rows[row][col] = 1.0;
+        for i in 0..self.m {
+            if i == row {
+                continue;
+            }
+            let factor = self.rows[i][col];
+            if factor != 0.0 {
+                // Split borrows: copy the pivot row once per eliminated row
+                // is avoided by indexing — clone only the needed scalar.
+                let (pivot_row, target_row) = if i < row {
+                    let (a, b) = self.rows.split_at_mut(row);
+                    (&b[0], &mut a[i])
+                } else {
+                    let (a, b) = self.rows.split_at_mut(i);
+                    (&a[row], &mut b[0])
+                };
+                for (t, &p) in target_row.iter_mut().zip(pivot_row.iter()) {
+                    *t -= factor * p;
+                }
+                target_row[col] = 0.0;
+            }
+        }
+        let factor = self.cost[col];
+        if factor != 0.0 {
+            let pivot_row = &self.rows[row];
+            for (t, &p) in self.cost.iter_mut().zip(pivot_row.iter()) {
+                *t -= factor * p;
+            }
+            self.cost[col] = 0.0;
+        }
+        self.basis[row] = col;
+    }
+
+    /// Entering column: Dantzig when `bland` is false, Bland otherwise.
+    /// Only columns `< limit` are eligible (used to bar artificials in
+    /// phase 2).
+    fn choose_entering(&self, limit: usize, bland: bool) -> Option<usize> {
+        if bland {
+            (0..limit).find(|&j| self.cost[j] < -EPS)
+        } else {
+            let mut best = None;
+            let mut best_val = -EPS;
+            for j in 0..limit {
+                if self.cost[j] < best_val {
+                    best_val = self.cost[j];
+                    best = Some(j);
+                }
+            }
+            best
+        }
+    }
+
+    /// Leaving row by the minimum ratio test; ties broken by smallest basis
+    /// index (part of Bland's guarantee). `None` means unbounded direction.
+    fn choose_leaving(&self, col: usize) -> Option<usize> {
+        let mut best: Option<(usize, f64)> = None;
+        for i in 0..self.m {
+            let a = self.rows[i][col];
+            if a > EPS {
+                let ratio = self.rhs(i) / a;
+                match best {
+                    None => best = Some((i, ratio)),
+                    Some((bi, br)) => {
+                        if ratio < br - EPS
+                            || ((ratio - br).abs() <= EPS && self.basis[i] < self.basis[bi])
+                        {
+                            best = Some((i, ratio));
+                        }
+                    }
+                }
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+
+    /// Run simplex iterations until optimal/unbounded, with a Dantzig →
+    /// Bland switch for anti-cycling.
+    fn optimize(&mut self, limit: usize) -> Result<bool, LpError> {
+        // Heuristic switch point: beyond this many iterations, degenerate
+        // cycling is plausible — fall back to Bland's rule, which cannot
+        // cycle. The absolute cap catches pathological numerics.
+        let bland_after = 50 + 10 * (self.m + self.n);
+        let hard_cap = 1000 + 200 * (self.m + self.n);
+        for iter in 0..hard_cap {
+            let bland = iter >= bland_after;
+            let Some(col) = self.choose_entering(limit, bland) else {
+                return Ok(true); // optimal
+            };
+            let Some(row) = self.choose_leaving(col) else {
+                return Ok(false); // unbounded
+            };
+            self.pivot(row, col);
+        }
+        Err(LpError::IterationLimit)
+    }
+}
+
+/// Solve `min c·y, A y = b, y ≥ 0` (b ≥ 0 required). Returns structural
+/// values `y[..n_structural]` — slack columns are the caller's internal
+/// detail but are included in the tableau.
+pub(crate) fn solve_standard(
+    c: &[f64],
+    a: &[Vec<f64>],
+    b: &[f64],
+    n_structural: usize,
+) -> Result<Solution, LpError> {
+    let m = a.len();
+    let n = c.len();
+    debug_assert!(a.iter().all(|row| row.len() == n));
+    debug_assert!(b.iter().all(|&bi| bi >= 0.0));
+    debug_assert!(n_structural <= n);
+
+    // Columns: [0..n) original (structural + slack), [n..n+m) artificial.
+    let total = n + m;
+    let mut rows = Vec::with_capacity(m);
+    for i in 0..m {
+        let mut row = Vec::with_capacity(total + 1);
+        row.extend_from_slice(&a[i]);
+        for k in 0..m {
+            row.push(if k == i { 1.0 } else { 0.0 });
+        }
+        row.push(b[i]);
+        rows.push(row);
+    }
+    let basis: Vec<usize> = (n..n + m).collect();
+
+    // Phase-1 cost: sum of artificials, expressed in reduced form over the
+    // starting basis (subtract each constraint row from the cost row).
+    let mut cost = vec![0.0; total + 1];
+    for j in n..total {
+        cost[j] = 1.0;
+    }
+    for row in &rows {
+        for (cj, &rj) in cost.iter_mut().zip(row.iter()) {
+            *cj -= rj;
+        }
+    }
+
+    let mut t = Tableau {
+        m,
+        n: total,
+        rows,
+        cost,
+        basis,
+    };
+
+    // Phase 1: all columns eligible.
+    let optimal = t.optimize(total)?;
+    debug_assert!(optimal, "phase-1 objective is bounded below by zero");
+    let phase1_obj = -t.cost[total];
+    if phase1_obj > 1e-7 {
+        return Ok(Solution::Infeasible);
+    }
+
+    // Drive any artificial still in the basis out (degenerate rows): pivot
+    // on any original column with a nonzero entry; if none, the row is
+    // redundant and harmless (its artificial stays at zero).
+    for i in 0..m {
+        if t.basis[i] >= n {
+            if let Some(col) = (0..n).find(|&j| t.rows[i][j].abs() > EPS) {
+                t.pivot(i, col);
+            }
+        }
+    }
+
+    // Phase 2: install true costs in reduced form over the current basis.
+    let mut cost = vec![0.0; total + 1];
+    cost[..n].copy_from_slice(c);
+    for i in 0..m {
+        let bi = t.basis[i];
+        let cb = cost[bi];
+        if cb != 0.0 {
+            for j in 0..=total {
+                cost[j] -= cb * t.rows[i][j];
+            }
+        }
+    }
+    t.cost = cost;
+
+    // Artificial columns are barred from entering in phase 2.
+    let optimal = t.optimize(n)?;
+    if !optimal {
+        return Ok(Solution::Unbounded);
+    }
+
+    let mut y = vec![0.0; n];
+    for i in 0..m {
+        if t.basis[i] < n {
+            y[t.basis[i]] = t.rhs(i);
+        }
+    }
+    let objective: f64 = c.iter().zip(&y).map(|(c, y)| c * y).sum();
+    Ok(Solution::Optimal {
+        x: y[..n_structural].to_vec(),
+        objective,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Problem, Relation, Solution};
+
+    fn assert_opt(p: &Problem, want_obj: f64, tol: f64) -> Vec<f64> {
+        match p.solve().unwrap() {
+            Solution::Optimal { x, objective } => {
+                assert!(
+                    (objective - want_obj).abs() < tol,
+                    "objective {objective} != expected {want_obj} (x = {x:?})"
+                );
+                assert!(p.is_feasible(&x, 1e-6), "reported optimum infeasible: {x:?}");
+                x
+            }
+            other => panic!("expected optimum, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn textbook_maximization() {
+        // max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 → obj 36 at (2, 6).
+        let mut p = Problem::maximize(&[3.0, 5.0]);
+        p.add_constraint(&[1.0, 0.0], Relation::Le, 4.0);
+        p.add_constraint(&[0.0, 2.0], Relation::Le, 12.0);
+        p.add_constraint(&[3.0, 2.0], Relation::Le, 18.0);
+        let x = assert_opt(&p, 36.0, 1e-9);
+        assert!((x[0] - 2.0).abs() < 1e-9 && (x[1] - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn minimization_with_ge_rows_needs_phase1() {
+        // min 2x + 3y s.t. x + y ≥ 4, x + 2y ≥ 6 → obj 10 at (2, 2)
+        // (vertices: (0,4)→12, (2,2)→10, (6,0)→12).
+        let mut p = Problem::minimize(&[2.0, 3.0]);
+        p.add_constraint(&[1.0, 1.0], Relation::Ge, 4.0);
+        p.add_constraint(&[1.0, 2.0], Relation::Ge, 6.0);
+        let x = assert_opt(&p, 10.0, 1e-9);
+        assert!((x[0] - 2.0).abs() < 1e-8 && (x[1] - 2.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // min x + y s.t. x + 2y = 4, x ≥ 0, y ≥ 0 → (0, 2), obj 2.
+        let mut p = Problem::minimize(&[1.0, 1.0]);
+        p.add_constraint(&[1.0, 2.0], Relation::Eq, 4.0);
+        assert_opt(&p, 2.0, 1e-9);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut p = Problem::minimize(&[1.0]);
+        p.add_constraint(&[1.0], Relation::Le, 1.0);
+        p.add_constraint(&[1.0], Relation::Ge, 2.0);
+        assert_eq!(p.solve().unwrap(), Solution::Infeasible);
+    }
+
+    #[test]
+    fn infeasible_via_bounds() {
+        let mut p = Problem::minimize(&[1.0]);
+        p.set_bounds(0, 5.0, 10.0);
+        p.add_constraint(&[1.0], Relation::Le, 4.0);
+        assert_eq!(p.solve().unwrap(), Solution::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        // min -x with x ≥ 0 unconstrained above.
+        let p = Problem::minimize(&[-1.0]);
+        assert_eq!(p.solve().unwrap(), Solution::Unbounded);
+    }
+
+    #[test]
+    fn unbounded_free_variable() {
+        let p = Problem::minimize(&[1.0]).with_free(0);
+        assert_eq!(p.solve().unwrap(), Solution::Unbounded);
+    }
+
+    #[test]
+    fn free_variable_optimum_is_negative() {
+        // min x s.t. x ≥ -7 (free var with a ≥ constraint).
+        let mut p = Problem::minimize(&[1.0]).with_free(0);
+        p.add_constraint(&[1.0], Relation::Ge, -7.0);
+        let x = assert_opt(&p, -7.0, 1e-9);
+        assert!((x[0] + 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_lower_bound() {
+        let mut p = Problem::minimize(&[1.0, 0.0]);
+        p.set_bounds(0, -3.0, 5.0);
+        p.add_constraint(&[1.0, 1.0], Relation::Ge, -1.0);
+        let x = assert_opt(&p, -3.0, 1e-9);
+        assert!((x[0] + 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn upper_bound_only_variable() {
+        // x in (-inf, 4], minimize -x → x = 4.
+        let mut p = Problem::minimize(&[-1.0]);
+        p.set_bounds(0, f64::NEG_INFINITY, 4.0);
+        let x = assert_opt(&p, -4.0, 1e-9);
+        assert!((x[0] - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fixed_variable() {
+        let mut p = Problem::minimize(&[1.0, 1.0]);
+        p.fix(0, 2.5);
+        p.add_constraint(&[1.0, 1.0], Relation::Ge, 4.0);
+        let x = assert_opt(&p, 4.0, 1e-9);
+        assert!((x[0] - 2.5).abs() < 1e-9);
+        assert!((x[1] - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Classic degeneracy: multiple constraints active at the optimum.
+        let mut p = Problem::maximize(&[10.0, -57.0, -9.0, -24.0]);
+        p.add_constraint(&[0.5, -5.5, -2.5, 9.0], Relation::Le, 0.0);
+        p.add_constraint(&[0.5, -1.5, -0.5, 1.0], Relation::Le, 0.0);
+        p.add_constraint(&[1.0, 0.0, 0.0, 0.0], Relation::Le, 1.0);
+        // Known optimum: 1 at x = (1, 0, 1, 0).
+        let x = assert_opt(&p, 1.0, 1e-7);
+        assert!((x[0] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn redundant_equalities_leave_artificial_basic_at_zero() {
+        // Same equality twice: row rank deficiency.
+        let mut p = Problem::minimize(&[1.0, 1.0]);
+        p.add_constraint(&[1.0, 1.0], Relation::Eq, 2.0);
+        p.add_constraint(&[2.0, 2.0], Relation::Eq, 4.0);
+        assert_opt(&p, 2.0, 1e-9);
+    }
+
+    #[test]
+    fn paper_shaped_lp_binding_disk_constraint() {
+        // min t s.t. t ≥ k·z − c (disk), z ≥ zmin, t ≥ tlb; with k large
+        // enough the disk constraint binds above tlb.
+        let k = 50.0;
+        let c = 1.0;
+        let zmin = 0.2;
+        let tlb = 1.2;
+        let mut p = Problem::minimize(&[1.0, 0.0]);
+        p.add_constraint(&[1.0, -k], Relation::Ge, -c);
+        p.set_bounds(0, tlb, 100.0);
+        p.set_bounds(1, zmin, 1.0);
+        let x = assert_opt(&p, k * zmin - c, 1e-9);
+        assert!((x[1] - zmin).abs() < 1e-9, "z driven to its minimum");
+    }
+
+    impl Problem {
+        /// Test helper: mark variable as free.
+        fn with_free(mut self, var: usize) -> Self {
+            self.set_bounds(var, f64::NEG_INFINITY, f64::INFINITY);
+            self
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Property tests for the simplex solver.
+//!
+//! Strategy: generate random small LPs that are feasible *by construction*
+//! (constraints are anchored around a known interior point), then check:
+//! 1. the solver reports an optimum (never infeasible),
+//! 2. the reported point is feasible,
+//! 3. no random feasible sample beats the reported optimum, and
+//! 4. for pure-≤ bounded problems, brute-force vertex enumeration agrees.
+
+use lp::{Problem, Relation, Solution};
+use proptest::prelude::*;
+
+const TOL: f64 = 1e-6;
+
+/// Random LP in 2–3 variables, guaranteed feasible at `anchor`.
+#[derive(Debug, Clone)]
+struct RandomLp {
+    problem: Problem,
+    anchor: Vec<f64>,
+}
+
+fn arb_feasible_lp() -> impl Strategy<Value = RandomLp> {
+    let nvars = 2usize..4;
+    nvars.prop_flat_map(|n| {
+        let obj = prop::collection::vec(-5.0f64..5.0, n..=n);
+        let anchor = prop::collection::vec(0.5f64..4.0, n..=n);
+        let rows = prop::collection::vec(
+            (
+                prop::collection::vec(-3.0f64..3.0, n..=n),
+                0.1f64..5.0, // slack margin at anchor
+                any::<bool>(),
+            ),
+            1..5,
+        );
+        (obj, anchor, rows).prop_map(|(obj, anchor, rows)| {
+            let mut p = Problem::minimize(&obj);
+            // Box everything so the LP is always bounded.
+            for j in 0..obj.len() {
+                p.set_bounds(j, 0.0, 10.0);
+            }
+            for (coeffs, margin, ge) in rows {
+                let at_anchor: f64 = coeffs.iter().zip(&anchor).map(|(a, b)| a * b).sum();
+                if ge {
+                    // a·x ≥ at_anchor − margin keeps the anchor feasible.
+                    p.add_constraint(&coeffs, Relation::Ge, at_anchor - margin);
+                } else {
+                    p.add_constraint(&coeffs, Relation::Le, at_anchor + margin);
+                }
+            }
+            RandomLp { problem: p, anchor }
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn anchored_lps_solve_to_feasible_optima(lp in arb_feasible_lp()) {
+        prop_assert!(lp.problem.is_feasible(&lp.anchor, TOL), "anchor must be feasible");
+        match lp.problem.solve().unwrap() {
+            Solution::Optimal { x, objective } => {
+                prop_assert!(lp.problem.is_feasible(&x, TOL), "optimum must be feasible: {x:?}");
+                // The anchor is feasible, so the optimum cannot exceed it.
+                let anchor_obj = lp.problem.objective_at(&lp.anchor);
+                prop_assert!(objective <= anchor_obj + TOL,
+                    "optimum {objective} worse than feasible anchor {anchor_obj}");
+            }
+            Solution::Infeasible => prop_assert!(false, "feasible-by-construction LP reported infeasible"),
+            Solution::Unbounded => prop_assert!(false, "boxed LP reported unbounded"),
+        }
+    }
+
+    #[test]
+    fn no_random_feasible_point_beats_the_optimum(
+        lp in arb_feasible_lp(),
+        samples in prop::collection::vec(prop::collection::vec(0.0f64..10.0, 3), 32),
+    ) {
+        if let Solution::Optimal { objective, .. } = lp.problem.solve().unwrap() {
+            let n = lp.problem.num_vars();
+            for s in samples {
+                let pt = &s[..n];
+                if lp.problem.is_feasible(pt, 0.0) {
+                    let v = lp.problem.objective_at(pt);
+                    prop_assert!(objective <= v + TOL,
+                        "sampled feasible point {pt:?} (obj {v}) beats reported optimum {objective}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn two_var_le_problems_match_vertex_enumeration(
+        obj in prop::collection::vec(-4.0f64..4.0, 2),
+        rows in prop::collection::vec((0.1f64..3.0, 0.1f64..3.0, 1.0f64..10.0), 1..5),
+    ) {
+        // min obj·x s.t. positive-coefficient ≤ rows and x in [0,10]².
+        // Always feasible (origin) and bounded (box). The optimum of an LP
+        // lies at a vertex: enumerate all pairwise intersections of active
+        // boundaries and compare.
+        let mut p = Problem::minimize(&obj);
+        p.set_bounds(0, 0.0, 10.0);
+        p.set_bounds(1, 0.0, 10.0);
+        let mut lines: Vec<(f64, f64, f64)> = vec![
+            (1.0, 0.0, 0.0), (0.0, 1.0, 0.0),   // x = 0, y = 0
+            (1.0, 0.0, 10.0), (0.0, 1.0, 10.0), // x = 10, y = 10
+        ];
+        for &(a, b, c) in &rows {
+            p.add_constraint(&[a, b], Relation::Le, c);
+            lines.push((a, b, c));
+        }
+        let mut best = f64::INFINITY;
+        for i in 0..lines.len() {
+            for j in (i + 1)..lines.len() {
+                let (a1, b1, c1) = lines[i];
+                let (a2, b2, c2) = lines[j];
+                let det = a1 * b2 - a2 * b1;
+                if det.abs() < 1e-12 { continue; }
+                let x = (c1 * b2 - c2 * b1) / det;
+                let y = (a1 * c2 - a2 * c1) / det;
+                if p.is_feasible(&[x, y], 1e-7) {
+                    best = best.min(obj[0] * x + obj[1] * y);
+                }
+            }
+        }
+        match p.solve().unwrap() {
+            Solution::Optimal { objective, .. } => {
+                prop_assert!((objective - best).abs() < 1e-5,
+                    "simplex {objective} vs vertex enumeration {best}");
+            }
+            other => prop_assert!(false, "expected optimum, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! CDL-style text description of a dataset (what `ncdump -h` prints for a
+//! NetCDF file), plus data summaries — the debugging view climate
+//! scientists expect from their file format.
+
+use crate::{AttrValue, Dataset};
+use std::fmt::Write as _;
+
+impl Dataset {
+    /// Render a CDL-like header description: dimensions, variables with
+    /// their dimension lists and attributes, and global attributes.
+    pub fn to_cdl(&self, name: &str) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "netcdf {name} {{");
+        if self.dims().next().is_some() {
+            out.push_str("dimensions:\n");
+            for d in self.dims() {
+                let _ = writeln!(out, "\t{} = {} ;", d.name, d.len);
+            }
+        }
+        if self.vars().next().is_some() {
+            out.push_str("variables:\n");
+            for v in self.vars() {
+                let dims: Vec<String> = v
+                    .shape(self)
+                    .iter()
+                    .zip(v.dims.iter())
+                    .map(|(_, id)| {
+                        self.dims()
+                            .nth(id.index())
+                            .map(|d| d.name.clone())
+                            .unwrap_or_else(|| "?".into())
+                    })
+                    .collect();
+                let ty = match v.dtype() {
+                    crate::DType::F32 => "float",
+                    crate::DType::F64 => "double",
+                    crate::DType::I32 => "int",
+                    crate::DType::U8 => "byte",
+                };
+                let _ = writeln!(out, "\t{ty} {}({}) ;", v.name, dims.join(", "));
+                for (k, val) in &v.attrs {
+                    let _ = writeln!(out, "\t\t{}:{k} = {} ;", v.name, fmt_attr(val));
+                }
+                // Data summary: count plus min/max for numeric payloads.
+                let vals = v.data.to_f64_vec();
+                if let (Some(min), Some(max)) = (
+                    vals.iter().copied().reduce(f64::min),
+                    vals.iter().copied().reduce(f64::max),
+                ) {
+                    let _ = writeln!(
+                        out,
+                        "\t\t// {} values in [{min:.4}, {max:.4}]",
+                        vals.len()
+                    );
+                }
+            }
+        }
+        if self.attrs().next().is_some() {
+            out.push_str("\n// global attributes:\n");
+            for (k, val) in self.attrs() {
+                let _ = writeln!(out, "\t\t:{k} = {} ;", fmt_attr(val));
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+fn fmt_attr(v: &AttrValue) -> String {
+    match v {
+        AttrValue::Text(s) => format!("{s:?}"),
+        AttrValue::F64(x) => format!("{x}"),
+        AttrValue::I64(x) => format!("{x}"),
+        AttrValue::F64List(xs) => xs
+            .iter()
+            .map(|x| x.to_string())
+            .collect::<Vec<_>>()
+            .join(", "),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{AttrValue, Data, Dataset};
+
+    #[test]
+    fn cdl_lists_dims_vars_and_attrs() {
+        let mut ds = Dataset::new();
+        ds.set_attr("title", AttrValue::Text("aila".into()));
+        ds.set_attr("res_km", AttrValue::F64(24.0));
+        let y = ds.add_dim("south_north", 2).unwrap();
+        let x = ds.add_dim("west_east", 3).unwrap();
+        let v = ds
+            .add_var("pressure", &[y, x], Data::F32(vec![1000.0, 1001.0, 999.0, 1002.0, 998.0, 1000.5]))
+            .unwrap();
+        v.attrs
+            .insert("units".into(), AttrValue::Text("hPa".into()));
+
+        let cdl = ds.to_cdl("frame");
+        assert!(cdl.starts_with("netcdf frame {"));
+        assert!(cdl.contains("south_north = 2 ;"));
+        assert!(cdl.contains("west_east = 3 ;"));
+        assert!(cdl.contains("float pressure(south_north, west_east) ;"));
+        assert!(cdl.contains("pressure:units = \"hPa\" ;"));
+        assert!(cdl.contains("6 values in [998.0000, 1002.0000]"));
+        assert!(cdl.contains(":title = \"aila\" ;"));
+        assert!(cdl.contains(":res_km = 24 ;"));
+        assert!(cdl.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn empty_dataset_renders_minimal_cdl() {
+        let cdl = Dataset::new().to_cdl("empty");
+        assert_eq!(cdl, "netcdf empty {\n}\n");
+    }
+
+    #[test]
+    fn real_frame_cdl_is_complete() {
+        let model = wrf_model();
+        let ds = model.frame();
+        let cdl = ds.to_cdl("history");
+        for name in ["eta", "u", "v", "qvapor", "pressure", "landmask"] {
+            assert!(cdl.contains(name), "CDL missing {name}");
+        }
+        assert!(cdl.contains(":sim_minutes"));
+    }
+
+    // Tiny local helper: build a model without a dev-dependency cycle.
+    fn wrf_model() -> TestModel {
+        TestModel
+    }
+    struct TestModel;
+    impl TestModel {
+        fn frame(&self) -> Dataset {
+            let mut ds = Dataset::new();
+            ds.set_attr("sim_minutes", AttrValue::F64(0.0));
+            let y = ds.add_dim("south_north", 2).unwrap();
+            let x = ds.add_dim("west_east", 2).unwrap();
+            for name in ["eta", "u", "v", "qvapor", "pressure"] {
+                ds.add_var(name, &[y, x], Data::F32(vec![0.0; 4])).unwrap();
+            }
+            ds.add_var("landmask", &[y, x], Data::U8(vec![0; 4])).unwrap();
+            ds
+        }
+    }
+}

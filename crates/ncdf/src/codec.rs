@@ -1,0 +1,379 @@
+//! Binary encoder/decoder for [`Dataset`].
+//!
+//! Encoding uses `bytes::BufMut` over a pre-sized `BytesMut`; decoding uses
+//! a bounds-checked cursor (never panics on truncated input — every read is
+//! validated and surfaces [`NcdfError::Truncated`]).
+
+use crate::dataset::{Dataset, Dim, DimId, Variable};
+use crate::{AttrValue, DType, Data, NcdfError, MAGIC, VERSION};
+use bytes::{BufMut, Bytes, BytesMut};
+use std::collections::BTreeMap;
+
+// Attribute wire tags.
+const ATTR_TEXT: u8 = 0;
+const ATTR_F64: u8 = 1;
+const ATTR_I64: u8 = 2;
+const ATTR_F64LIST: u8 = 3;
+
+impl Dataset {
+    /// Serialize to a single binary blob.
+    pub fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.encoded_size_hint());
+        buf.put_slice(MAGIC);
+        buf.put_u16_le(VERSION);
+        put_attrs(&mut buf, &self.attrs);
+        buf.put_u32_le(self.dims.len() as u32);
+        for d in &self.dims {
+            put_string(&mut buf, &d.name);
+            buf.put_u64_le(d.len as u64);
+        }
+        buf.put_u32_le(self.vars.len() as u32);
+        for v in &self.vars {
+            put_string(&mut buf, &v.name);
+            buf.put_u8(v.dtype().tag());
+            buf.put_u32_le(v.dims.len() as u32);
+            for &DimId(i) in &v.dims {
+                buf.put_u32_le(i);
+            }
+            put_attrs(&mut buf, &v.attrs);
+            buf.put_u64_le(v.data.len() as u64);
+            match &v.data {
+                Data::F32(xs) => xs.iter().for_each(|&x| buf.put_f32_le(x)),
+                Data::F64(xs) => xs.iter().for_each(|&x| buf.put_f64_le(x)),
+                Data::I32(xs) => xs.iter().for_each(|&x| buf.put_i32_le(x)),
+                Data::U8(xs) => buf.put_slice(xs),
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Parse a blob produced by [`Dataset::to_bytes`], validating structure
+    /// and shapes.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, NcdfError> {
+        let mut c = Cursor::new(bytes);
+        let magic = c.take(4, "magic")?;
+        if magic != MAGIC {
+            return Err(NcdfError::BadMagic);
+        }
+        let version = c.u16("version")?;
+        if version != VERSION {
+            return Err(NcdfError::UnsupportedVersion(version));
+        }
+        let attrs = get_attrs(&mut c)?;
+
+        let ndims = c.u32("dim count")? as usize;
+        c.check_count(ndims as u64, 9, "dimension")?;
+        let mut dims = Vec::with_capacity(ndims);
+        for _ in 0..ndims {
+            let name = c.string("dim name")?;
+            let len = c.u64("dim length")? as usize;
+            if dims.iter().any(|d: &Dim| d.name == name) {
+                return Err(NcdfError::DuplicateName(name));
+            }
+            dims.push(Dim { name, len });
+        }
+
+        let nvars = c.u32("var count")? as usize;
+        c.check_count(nvars as u64, 10, "variable")?;
+        let mut vars: Vec<Variable> = Vec::with_capacity(nvars);
+        for _ in 0..nvars {
+            let name = c.string("var name")?;
+            if vars.iter().any(|v| v.name == name) {
+                return Err(NcdfError::DuplicateName(name));
+            }
+            let dtype = DType::from_tag(c.u8("dtype")?)
+                .ok_or(NcdfError::BadTag(0xff))?;
+            let nd = c.u32("var ndims")? as usize;
+            c.check_count(nd as u64, 4, "variable dim")?;
+            let mut vdims = Vec::with_capacity(nd);
+            for _ in 0..nd {
+                let id = c.u32("dim id")?;
+                if id as usize >= dims.len() {
+                    return Err(NcdfError::UnknownDim(id));
+                }
+                vdims.push(DimId(id));
+            }
+            let vattrs = get_attrs(&mut c)?;
+            let count = c.u64("element count")?;
+            c.check_count(count, dtype.size() as u64, "element")?;
+            let count = count as usize;
+            let expected: usize = vdims
+                .iter()
+                .map(|&DimId(i)| dims[i as usize].len)
+                .product();
+            if expected != count {
+                return Err(NcdfError::ShapeMismatch {
+                    name,
+                    expected,
+                    actual: count,
+                });
+            }
+            let data = match dtype {
+                DType::F32 => {
+                    let raw = c.take(count * 4, "f32 payload")?;
+                    Data::F32(
+                        raw.chunks_exact(4)
+                            .map(|b| f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+                            .collect(),
+                    )
+                }
+                DType::F64 => {
+                    let raw = c.take(count * 8, "f64 payload")?;
+                    Data::F64(
+                        raw.chunks_exact(8)
+                            .map(|b| {
+                                f64::from_le_bytes([
+                                    b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+                                ])
+                            })
+                            .collect(),
+                    )
+                }
+                DType::I32 => {
+                    let raw = c.take(count * 4, "i32 payload")?;
+                    Data::I32(
+                        raw.chunks_exact(4)
+                            .map(|b| i32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+                            .collect(),
+                    )
+                }
+                DType::U8 => Data::U8(c.take(count, "u8 payload")?.to_vec()),
+            };
+            vars.push(Variable {
+                name,
+                dims: vdims,
+                attrs: vattrs,
+                data,
+            });
+        }
+        Ok(Dataset { dims, attrs, vars })
+    }
+
+    /// Rough pre-allocation size for the encoder.
+    fn encoded_size_hint(&self) -> usize {
+        let payload: usize = self
+            .vars
+            .iter()
+            .map(|v| v.data.len() * v.dtype().size())
+            .sum();
+        payload + 1024 + 64 * (self.vars.len() + self.dims.len() + self.attrs.len())
+    }
+}
+
+fn put_string(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn put_attrs(buf: &mut BytesMut, attrs: &BTreeMap<String, AttrValue>) {
+    buf.put_u32_le(attrs.len() as u32);
+    for (name, val) in attrs {
+        put_string(buf, name);
+        match val {
+            AttrValue::Text(s) => {
+                buf.put_u8(ATTR_TEXT);
+                put_string(buf, s);
+            }
+            AttrValue::F64(v) => {
+                buf.put_u8(ATTR_F64);
+                buf.put_f64_le(*v);
+            }
+            AttrValue::I64(v) => {
+                buf.put_u8(ATTR_I64);
+                buf.put_i64_le(*v);
+            }
+            AttrValue::F64List(vs) => {
+                buf.put_u8(ATTR_F64LIST);
+                buf.put_u32_le(vs.len() as u32);
+                vs.iter().for_each(|&v| buf.put_f64_le(v));
+            }
+        }
+    }
+}
+
+fn get_attrs(c: &mut Cursor<'_>) -> Result<BTreeMap<String, AttrValue>, NcdfError> {
+    let n = c.u32("attr count")? as usize;
+    c.check_count(n as u64, 5, "attribute")?;
+    let mut attrs = BTreeMap::new();
+    for _ in 0..n {
+        let name = c.string("attr name")?;
+        let tag = c.u8("attr tag")?;
+        let val = match tag {
+            ATTR_TEXT => AttrValue::Text(c.string("attr text")?),
+            ATTR_F64 => AttrValue::F64(c.f64("attr f64")?),
+            ATTR_I64 => AttrValue::I64(c.i64("attr i64")?),
+            ATTR_F64LIST => {
+                let len = c.u32("attr list len")? as usize;
+                c.check_count(len as u64, 8, "attr list element")?;
+                let mut vs = Vec::with_capacity(len);
+                for _ in 0..len {
+                    vs.push(c.f64("attr list element")?);
+                }
+                AttrValue::F64List(vs)
+            }
+            t => return Err(NcdfError::BadTag(t)),
+        };
+        if attrs.insert(name.clone(), val).is_some() {
+            return Err(NcdfError::DuplicateName(name));
+        }
+    }
+    Ok(attrs)
+}
+
+/// Bounds-checked little-endian reader.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], NcdfError> {
+        if self.remaining() < n {
+            return Err(NcdfError::Truncated { context });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self, ctx: &'static str) -> Result<u8, NcdfError> {
+        Ok(self.take(1, ctx)?[0])
+    }
+
+    fn u16(&mut self, ctx: &'static str) -> Result<u16, NcdfError> {
+        let b = self.take(2, ctx)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self, ctx: &'static str) -> Result<u32, NcdfError> {
+        let b = self.take(4, ctx)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self, ctx: &'static str) -> Result<u64, NcdfError> {
+        let b = self.take(8, ctx)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    fn i64(&mut self, ctx: &'static str) -> Result<i64, NcdfError> {
+        Ok(self.u64(ctx)? as i64)
+    }
+
+    fn f64(&mut self, ctx: &'static str) -> Result<f64, NcdfError> {
+        Ok(f64::from_bits(self.u64(ctx)?))
+    }
+
+    fn string(&mut self, ctx: &'static str) -> Result<String, NcdfError> {
+        let len = self.u32(ctx)? as usize;
+        let raw = self.take(len, ctx)?;
+        String::from_utf8(raw.to_vec()).map_err(|_| NcdfError::BadString)
+    }
+
+    /// Reject declared counts whose minimal encoding cannot fit in what is
+    /// left of the buffer — prevents attacker/corruption-driven giant
+    /// allocations before we ever read the items.
+    fn check_count(
+        &self,
+        count: u64,
+        min_item_bytes: u64,
+        context: &'static str,
+    ) -> Result<(), NcdfError> {
+        if count.saturating_mul(min_item_bytes.max(1)) > self.remaining() as u64 {
+            return Err(NcdfError::CountTooLarge { context, count });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Dataset {
+        let mut ds = Dataset::new();
+        ds.set_attr("title", AttrValue::Text("frame".into()));
+        ds.set_attr("res_km", AttrValue::F64(24.0));
+        ds.set_attr("step", AttrValue::I64(42));
+        ds.set_attr("corners", AttrValue::F64List(vec![60.0, -10.0, 120.0, 40.0]));
+        let y = ds.add_dim("y", 2).unwrap();
+        let x = ds.add_dim("x", 3).unwrap();
+        let v = ds
+            .add_var("p", &[y, x], Data::F32(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]))
+            .unwrap();
+        v.attrs
+            .insert("units".into(), AttrValue::Text("hPa".into()));
+        ds.add_var("mask", &[y, x], Data::U8(vec![0, 1, 0, 1, 0, 1]))
+            .unwrap();
+        ds.add_var("eta", &[x], Data::F64(vec![0.5, -0.5, 0.0]))
+            .unwrap();
+        ds.add_var("ids", &[x], Data::I32(vec![-1, 0, 1])).unwrap();
+        ds
+    }
+
+    #[test]
+    fn roundtrip_all_types() {
+        let ds = sample();
+        let bytes = ds.to_bytes();
+        let back = Dataset::from_bytes(&bytes).unwrap();
+        assert_eq!(ds, back);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = sample().to_bytes().to_vec();
+        bytes[0] = b'X';
+        assert_eq!(Dataset::from_bytes(&bytes), Err(NcdfError::BadMagic));
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut bytes = sample().to_bytes().to_vec();
+        bytes[4] = 0xff;
+        assert!(matches!(
+            Dataset::from_bytes(&bytes),
+            Err(NcdfError::UnsupportedVersion(_))
+        ));
+    }
+
+    #[test]
+    fn every_truncation_point_errors_not_panics() {
+        let bytes = sample().to_bytes();
+        for cut in 0..bytes.len() {
+            let r = Dataset::from_bytes(&bytes[..cut]);
+            assert!(r.is_err(), "decode of {cut}-byte prefix should fail");
+        }
+    }
+
+    #[test]
+    fn corrupt_count_does_not_overallocate() {
+        let mut bytes = sample().to_bytes().to_vec();
+        // Global attr count sits right after magic+version; blow it up.
+        bytes[6..10].copy_from_slice(&u32::MAX.to_le_bytes());
+        let r = Dataset::from_bytes(&bytes);
+        assert!(matches!(r, Err(NcdfError::CountTooLarge { .. })));
+    }
+
+    #[test]
+    fn empty_dataset_roundtrips() {
+        let ds = Dataset::new();
+        let back = Dataset::from_bytes(&ds.to_bytes()).unwrap();
+        assert_eq!(ds, back);
+    }
+
+    #[test]
+    fn payload_bytes_matches_encoded_data() {
+        let ds = sample();
+        // 6 f32 + 6 u8 + 3 f64 + 3 i32 = 24 + 6 + 24 + 12 = 66.
+        assert_eq!(ds.payload_bytes(), 66);
+        // Encoded blob is payload + bounded metadata overhead.
+        assert!(ds.to_bytes().len() as u64 >= ds.payload_bytes());
+    }
+}

@@ -1,0 +1,233 @@
+//! Dataset model: dimensions, variables, attributes.
+
+use crate::{AttrValue, Data, DType, NcdfError};
+use std::collections::BTreeMap;
+
+/// Handle to a dimension within one [`Dataset`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DimId(pub(crate) u32);
+
+impl DimId {
+    /// Position of the dimension in the dataset's declaration order.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A named axis with a fixed length.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dim {
+    /// Axis name (`south_north`, `west_east`, `bottom_top`, ...).
+    pub name: String,
+    /// Number of grid points along the axis.
+    pub len: usize,
+}
+
+/// A typed array laid out over dataset dimensions, row-major.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Variable {
+    /// Variable name (`pressure`, `u`, `v`, ...).
+    pub name: String,
+    /// Dimension handles, slowest-varying first.
+    pub dims: Vec<DimId>,
+    /// Per-variable attributes (units, description, ...).
+    pub attrs: BTreeMap<String, AttrValue>,
+    /// The payload.
+    pub data: Data,
+}
+
+impl Variable {
+    /// Element type.
+    pub fn dtype(&self) -> DType {
+        self.data.dtype()
+    }
+
+    /// Lengths of this variable's dimensions, slowest-varying first.
+    pub fn shape(&self, ds: &Dataset) -> Vec<usize> {
+        self.dims
+            .iter()
+            .map(|&DimId(i)| ds.dims[i as usize].len)
+            .collect()
+    }
+
+    /// Attribute lookup.
+    pub fn attr(&self, name: &str) -> Option<&AttrValue> {
+        self.attrs.get(name)
+    }
+}
+
+/// An in-memory dataset: the unit that one output "frame" is encoded as.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Dataset {
+    pub(crate) dims: Vec<Dim>,
+    pub(crate) attrs: BTreeMap<String, AttrValue>,
+    pub(crate) vars: Vec<Variable>,
+}
+
+impl Dataset {
+    /// New empty dataset.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declare a dimension. Names must be unique within the dataset.
+    pub fn add_dim(&mut self, name: impl Into<String>, len: usize) -> Result<DimId, NcdfError> {
+        let name = name.into();
+        if self.dims.iter().any(|d| d.name == name) {
+            return Err(NcdfError::DuplicateName(name));
+        }
+        let id = DimId(self.dims.len() as u32);
+        self.dims.push(Dim { name, len });
+        Ok(id)
+    }
+
+    /// Set (or replace) a global attribute.
+    pub fn set_attr(&mut self, name: impl Into<String>, value: AttrValue) {
+        self.attrs.insert(name.into(), value);
+    }
+
+    /// Global attribute lookup.
+    pub fn attr(&self, name: &str) -> Option<&AttrValue> {
+        self.attrs.get(name)
+    }
+
+    /// All global attributes in name order.
+    pub fn attrs(&self) -> impl Iterator<Item = (&str, &AttrValue)> {
+        self.attrs.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Add a variable whose payload must exactly fill the product of the
+    /// given dimensions.
+    pub fn add_var(
+        &mut self,
+        name: impl Into<String>,
+        dims: &[DimId],
+        data: Data,
+    ) -> Result<&mut Variable, NcdfError> {
+        let name = name.into();
+        if self.vars.iter().any(|v| v.name == name) {
+            return Err(NcdfError::DuplicateName(name));
+        }
+        for &DimId(i) in dims {
+            if i as usize >= self.dims.len() {
+                return Err(NcdfError::UnknownDim(i));
+            }
+        }
+        let expected: usize = dims
+            .iter()
+            .map(|&DimId(i)| self.dims[i as usize].len)
+            .product();
+        if expected != data.len() {
+            return Err(NcdfError::ShapeMismatch {
+                name,
+                expected,
+                actual: data.len(),
+            });
+        }
+        self.vars.push(Variable {
+            name,
+            dims: dims.to_vec(),
+            attrs: BTreeMap::new(),
+            data,
+        });
+        Ok(self.vars.last_mut().expect("just pushed"))
+    }
+
+    /// Variable lookup by name.
+    pub fn var(&self, name: &str) -> Option<&Variable> {
+        self.vars.iter().find(|v| v.name == name)
+    }
+
+    /// All variables in insertion order.
+    pub fn vars(&self) -> impl Iterator<Item = &Variable> {
+        self.vars.iter()
+    }
+
+    /// All dimensions in declaration order.
+    pub fn dims(&self) -> impl Iterator<Item = &Dim> {
+        self.dims.iter()
+    }
+
+    /// Dimension lookup by name.
+    pub fn dim(&self, name: &str) -> Option<&Dim> {
+        self.dims.iter().find(|d| d.name == name)
+    }
+
+    /// Total payload bytes across all variables (excludes header overhead).
+    /// This is the quantity the storage model charges per frame.
+    pub fn payload_bytes(&self) -> u64 {
+        self.vars
+            .iter()
+            .map(|v| (v.data.len() * v.dtype().size()) as u64)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_query() {
+        let mut ds = Dataset::new();
+        let y = ds.add_dim("y", 2).unwrap();
+        let x = ds.add_dim("x", 3).unwrap();
+        ds.set_attr("res_km", AttrValue::F64(24.0));
+        let v = ds
+            .add_var("p", &[y, x], Data::F32(vec![0.0; 6]))
+            .unwrap();
+        v.attrs
+            .insert("units".into(), AttrValue::Text("hPa".into()));
+
+        assert_eq!(ds.dim("y").unwrap().len, 2);
+        assert_eq!(ds.attr("res_km").unwrap().as_f64(), Some(24.0));
+        let p = ds.var("p").unwrap();
+        assert_eq!(p.shape(&ds), vec![2, 3]);
+        assert_eq!(p.attr("units").unwrap().as_text(), Some("hPa"));
+        assert_eq!(ds.payload_bytes(), 24);
+    }
+
+    #[test]
+    fn duplicate_dim_rejected() {
+        let mut ds = Dataset::new();
+        ds.add_dim("x", 1).unwrap();
+        assert_eq!(
+            ds.add_dim("x", 2),
+            Err(NcdfError::DuplicateName("x".into()))
+        );
+    }
+
+    #[test]
+    fn duplicate_var_rejected() {
+        let mut ds = Dataset::new();
+        let x = ds.add_dim("x", 1).unwrap();
+        ds.add_var("v", &[x], Data::U8(vec![0])).unwrap();
+        let err = ds.add_var("v", &[x], Data::U8(vec![0])).unwrap_err();
+        assert_eq!(err, NcdfError::DuplicateName("v".into()));
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let mut ds = Dataset::new();
+        let x = ds.add_dim("x", 4).unwrap();
+        let err = ds.add_var("v", &[x], Data::F32(vec![0.0; 3])).unwrap_err();
+        assert!(matches!(err, NcdfError::ShapeMismatch { expected: 4, actual: 3, .. }));
+    }
+
+    #[test]
+    fn unknown_dim_rejected() {
+        let mut ds = Dataset::new();
+        let err = ds
+            .add_var("v", &[DimId(9)], Data::F32(vec![]))
+            .unwrap_err();
+        assert_eq!(err, NcdfError::UnknownDim(9));
+    }
+
+    #[test]
+    fn scalar_variable_via_no_dims() {
+        let mut ds = Dataset::new();
+        // Empty dim list: product of nothing is 1 element — a scalar.
+        ds.add_var("t", &[], Data::F64(vec![42.0])).unwrap();
+        assert_eq!(ds.var("t").unwrap().data.as_f64(), Some(&[42.0][..]));
+    }
+}

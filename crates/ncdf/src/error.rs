@@ -1,0 +1,93 @@
+//! Error type for dataset construction and decoding.
+
+use std::fmt;
+
+/// Everything that can go wrong building or decoding a dataset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NcdfError {
+    /// Encoded blob does not start with the `NCDL` magic.
+    BadMagic,
+    /// Encoded blob has a version this library cannot read.
+    UnsupportedVersion(u16),
+    /// Decoder ran off the end of the buffer.
+    Truncated {
+        /// What the decoder was reading when the buffer ran out.
+        context: &'static str,
+    },
+    /// A length-prefixed string was not valid UTF-8.
+    BadString,
+    /// An attribute tag or dtype byte was not recognised.
+    BadTag(u8),
+    /// A dimension or variable name is used twice.
+    DuplicateName(String),
+    /// A variable references a dimension id that does not exist.
+    UnknownDim(u32),
+    /// Variable payload length disagrees with the product of its dims.
+    ShapeMismatch {
+        /// Variable whose payload is wrong.
+        name: String,
+        /// Elements implied by the dimensions.
+        expected: usize,
+        /// Elements actually supplied.
+        actual: usize,
+    },
+    /// A declared count is implausibly large for the remaining buffer
+    /// (defends against corrupt headers causing huge allocations).
+    CountTooLarge {
+        /// What the count described.
+        context: &'static str,
+        /// The declared count.
+        count: u64,
+    },
+}
+
+impl fmt::Display for NcdfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NcdfError::BadMagic => write!(f, "not an NCDL dataset (bad magic)"),
+            NcdfError::UnsupportedVersion(v) => write!(f, "unsupported format version {v}"),
+            NcdfError::Truncated { context } => write!(f, "truncated while reading {context}"),
+            NcdfError::BadString => write!(f, "length-prefixed string is not valid UTF-8"),
+            NcdfError::BadTag(t) => write!(f, "unrecognised tag byte 0x{t:02x}"),
+            NcdfError::DuplicateName(n) => write!(f, "duplicate name `{n}`"),
+            NcdfError::UnknownDim(id) => write!(f, "variable references unknown dimension {id}"),
+            NcdfError::ShapeMismatch {
+                name,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "variable `{name}`: dims imply {expected} elements, got {actual}"
+            ),
+            NcdfError::CountTooLarge { context, count } => {
+                write!(f, "declared {context} count {count} exceeds buffer capacity")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NcdfError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = NcdfError::ShapeMismatch {
+            name: "p".into(),
+            expected: 6,
+            actual: 5,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("`p`"));
+        assert!(msg.contains('6'));
+        assert!(msg.contains('5'));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&NcdfError::BadMagic);
+    }
+}

@@ -1,0 +1,223 @@
+//! Value types: element dtypes, attribute values, and typed payloads.
+
+/// Element type of a variable's payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DType {
+    /// 32-bit IEEE float (the usual WRF history type).
+    F32,
+    /// 64-bit IEEE float.
+    F64,
+    /// 32-bit signed integer.
+    I32,
+    /// Raw byte (masks, category fields).
+    U8,
+}
+
+impl DType {
+    /// Size of one element in bytes.
+    pub fn size(self) -> usize {
+        match self {
+            DType::F32 | DType::I32 => 4,
+            DType::F64 => 8,
+            DType::U8 => 1,
+        }
+    }
+
+    /// Wire tag byte.
+    pub(crate) fn tag(self) -> u8 {
+        match self {
+            DType::F32 => 0,
+            DType::F64 => 1,
+            DType::I32 => 2,
+            DType::U8 => 3,
+        }
+    }
+
+    /// Inverse of [`DType::tag`].
+    pub(crate) fn from_tag(t: u8) -> Option<Self> {
+        match t {
+            0 => Some(DType::F32),
+            1 => Some(DType::F64),
+            2 => Some(DType::I32),
+            3 => Some(DType::U8),
+            _ => None,
+        }
+    }
+}
+
+/// An attribute value attached to the dataset or to a variable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrValue {
+    /// UTF-8 text (units, descriptions, timestamps).
+    Text(String),
+    /// Scalar float (e.g. `resolution_km`).
+    F64(f64),
+    /// Scalar integer (e.g. `step_index`).
+    I64(i64),
+    /// Float list (e.g. corner coordinates).
+    F64List(Vec<f64>),
+}
+
+impl AttrValue {
+    /// The text payload, when this is a `Text` attribute.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            AttrValue::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, widening `I64` to `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            AttrValue::F64(v) => Some(*v),
+            AttrValue::I64(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// The integer payload, when this is an `I64` attribute.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            AttrValue::I64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The list payload, when this is an `F64List` attribute.
+    pub fn as_f64_list(&self) -> Option<&[f64]> {
+        match self {
+            AttrValue::F64List(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// A variable's payload: one contiguous typed array in row-major order
+/// (last dimension fastest, matching NetCDF/C conventions).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Data {
+    /// 32-bit floats.
+    F32(Vec<f32>),
+    /// 64-bit floats.
+    F64(Vec<f64>),
+    /// 32-bit signed integers.
+    I32(Vec<i32>),
+    /// Raw bytes.
+    U8(Vec<u8>),
+}
+
+impl Data {
+    /// Element type of this payload.
+    pub fn dtype(&self) -> DType {
+        match self {
+            Data::F32(_) => DType::F32,
+            Data::F64(_) => DType::F64,
+            Data::I32(_) => DType::I32,
+            Data::U8(_) => DType::U8,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        match self {
+            Data::F32(v) => v.len(),
+            Data::F64(v) => v.len(),
+            Data::I32(v) => v.len(),
+            Data::U8(v) => v.len(),
+        }
+    }
+
+    /// True when the payload holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// View as `f32` slice when this is an `F32` payload.
+    pub fn as_f32(&self) -> Option<&[f32]> {
+        match self {
+            Data::F32(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// View as `f64` slice when this is an `F64` payload.
+    pub fn as_f64(&self) -> Option<&[f64]> {
+        match self {
+            Data::F64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// View as `u8` slice when this is a `U8` payload.
+    pub fn as_u8(&self) -> Option<&[u8]> {
+        match self {
+            Data::U8(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Copy out as `f64`, converting from any numeric dtype. Useful for
+    /// renderers that do not care about the storage type.
+    pub fn to_f64_vec(&self) -> Vec<f64> {
+        match self {
+            Data::F32(v) => v.iter().map(|&x| x as f64).collect(),
+            Data::F64(v) => v.clone(),
+            Data::I32(v) => v.iter().map(|&x| x as f64).collect(),
+            Data::U8(v) => v.iter().map(|&x| x as f64).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dtype_sizes() {
+        assert_eq!(DType::F32.size(), 4);
+        assert_eq!(DType::F64.size(), 8);
+        assert_eq!(DType::I32.size(), 4);
+        assert_eq!(DType::U8.size(), 1);
+    }
+
+    #[test]
+    fn dtype_tag_roundtrip() {
+        for d in [DType::F32, DType::F64, DType::I32, DType::U8] {
+            assert_eq!(DType::from_tag(d.tag()), Some(d));
+        }
+        assert_eq!(DType::from_tag(200), None);
+    }
+
+    #[test]
+    fn attr_accessors() {
+        assert_eq!(AttrValue::Text("x".into()).as_text(), Some("x"));
+        assert_eq!(AttrValue::F64(2.5).as_f64(), Some(2.5));
+        assert_eq!(AttrValue::I64(7).as_f64(), Some(7.0));
+        assert_eq!(AttrValue::I64(7).as_i64(), Some(7));
+        assert_eq!(AttrValue::F64(1.0).as_i64(), None);
+        assert_eq!(
+            AttrValue::F64List(vec![1.0, 2.0]).as_f64_list(),
+            Some(&[1.0, 2.0][..])
+        );
+        assert_eq!(AttrValue::Text("x".into()).as_f64(), None);
+    }
+
+    #[test]
+    fn data_len_and_dtype() {
+        let d = Data::F32(vec![1.0, 2.0, 3.0]);
+        assert_eq!(d.len(), 3);
+        assert!(!d.is_empty());
+        assert_eq!(d.dtype(), DType::F32);
+        assert_eq!(d.as_f32().unwrap().len(), 3);
+        assert!(d.as_f64().is_none());
+    }
+
+    #[test]
+    fn to_f64_converts_all_dtypes() {
+        assert_eq!(Data::F32(vec![1.5]).to_f64_vec(), vec![1.5]);
+        assert_eq!(Data::F64(vec![2.5]).to_f64_vec(), vec![2.5]);
+        assert_eq!(Data::I32(vec![-3]).to_f64_vec(), vec![-3.0]);
+        assert_eq!(Data::U8(vec![9]).to_f64_vec(), vec![9.0]);
+    }
+}

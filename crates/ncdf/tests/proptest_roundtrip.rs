@@ -1,0 +1,110 @@
+//! Property tests: arbitrary datasets round-trip bit-exactly, and arbitrary
+//! byte soup never panics the decoder.
+
+use ncdf::{AttrValue, Data, Dataset};
+use proptest::prelude::*;
+
+fn arb_attr() -> impl Strategy<Value = AttrValue> {
+    prop_oneof![
+        "[a-zA-Z0-9 _:-]{0,32}".prop_map(AttrValue::Text),
+        // Finite floats only: NaN would break Dataset equality in the
+        // roundtrip assertion (the format itself carries NaN fine).
+        (-1e12f64..1e12).prop_map(AttrValue::F64),
+        any::<i64>().prop_map(AttrValue::I64),
+        prop::collection::vec(-1e6f64..1e6, 0..8).prop_map(AttrValue::F64List),
+    ]
+}
+
+fn arb_data(len: usize) -> impl Strategy<Value = Data> {
+    prop_oneof![
+        prop::collection::vec(-1e6f32..1e6, len..=len).prop_map(Data::F32),
+        prop::collection::vec(-1e12f64..1e12, len..=len).prop_map(Data::F64),
+        prop::collection::vec(any::<i32>(), len..=len).prop_map(Data::I32),
+        prop::collection::vec(any::<u8>(), len..=len).prop_map(Data::U8),
+    ]
+}
+
+fn arb_dataset() -> impl Strategy<Value = Dataset> {
+    // Dim lengths kept small so payloads stay cheap.
+    let dims = prop::collection::vec(1usize..5, 0..4);
+    let attrs = prop::collection::btree_map("[a-z_]{1,12}", arb_attr(), 0..4);
+    (dims, attrs).prop_flat_map(|(dim_lens, attrs)| {
+        let ndims = dim_lens.len();
+        // For each variable: which dims it spans (as a subset mask kept in
+        // order) — generated as booleans per dim.
+        let var_specs = prop::collection::vec(
+            (
+                prop::collection::vec(any::<bool>(), ndims..=ndims),
+                0usize..4, // payload dtype selector handled below
+            ),
+            0..4,
+        );
+        (Just(dim_lens), Just(attrs), var_specs).prop_flat_map(|(dim_lens, attrs, specs)| {
+            let mut strategies: Vec<BoxedStrategy<(Vec<usize>, Data)>> = Vec::new();
+            for (mask, _) in &specs {
+                let picked: Vec<usize> = mask
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &m)| m)
+                    .map(|(i, _)| i)
+                    .collect();
+                let len: usize = picked.iter().map(|&i| dim_lens[i]).product();
+                let picked_clone = picked.clone();
+                strategies.push(
+                    arb_data(len)
+                        .prop_map(move |d| (picked_clone.clone(), d))
+                        .boxed(),
+                );
+            }
+            let dim_lens2 = dim_lens.clone();
+            let attrs2 = attrs.clone();
+            strategies.prop_map(move |vars| {
+                let mut ds = Dataset::new();
+                let mut ids = Vec::new();
+                for (i, &len) in dim_lens2.iter().enumerate() {
+                    ids.push(ds.add_dim(format!("d{i}"), len).expect("unique dim names"));
+                }
+                for (k, v) in &attrs2 {
+                    ds.set_attr(k.clone(), v.clone());
+                }
+                for (vi, (picked, data)) in vars.into_iter().enumerate() {
+                    let vdims: Vec<_> = picked.iter().map(|&i| ids[i]).collect();
+                    ds.add_var(format!("v{vi}"), &vdims, data)
+                        .expect("shape matches by construction");
+                }
+                ds
+            })
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn roundtrip_is_identity(ds in arb_dataset()) {
+        let bytes = ds.to_bytes();
+        let back = Dataset::from_bytes(&bytes).expect("decodes");
+        prop_assert_eq!(ds, back);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        // Any outcome is fine as long as it is a Result, not a panic.
+        let _ = Dataset::from_bytes(&bytes);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_mutated_valid_blob(
+        ds in arb_dataset(),
+        flips in prop::collection::vec((any::<prop::sample::Index>(), any::<u8>()), 1..8),
+    ) {
+        let mut bytes = ds.to_bytes().to_vec();
+        if bytes.is_empty() { return Ok(()); }
+        for (idx, val) in flips {
+            let i = idx.index(bytes.len());
+            bytes[i] ^= val;
+        }
+        let _ = Dataset::from_bytes(&bytes);
+    }
+}

@@ -1,0 +1,231 @@
+//! Scaling-law fitting from profiled samples.
+
+use crate::linalg::{least_squares, LinalgError};
+use serde::{Deserialize, Serialize};
+
+/// One profiling observation: a sample run of the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Sample {
+    /// Processor count of the run.
+    pub procs: f64,
+    /// Workload measure (e.g. grid points × substeps per output step).
+    pub work: f64,
+    /// Observed seconds of execution per simulation step.
+    pub time: f64,
+}
+
+/// Why a fit could not be produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FitError {
+    /// Fewer samples than coefficients.
+    NotEnoughSamples {
+        /// Samples provided.
+        got: usize,
+        /// Samples needed.
+        need: usize,
+    },
+    /// A sample had a non-positive processor count, workload, or time.
+    InvalidSample,
+    /// The normal equations were singular (degenerate sample design).
+    Singular,
+}
+
+impl std::fmt::Display for FitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FitError::NotEnoughSamples { got, need } => {
+                write!(f, "need at least {need} samples, got {got}")
+            }
+            FitError::InvalidSample => write!(f, "samples must have positive procs/work/time"),
+            FitError::Singular => write!(f, "sample design is degenerate; vary procs and work"),
+        }
+    }
+}
+
+impl std::error::Error for FitError {}
+
+impl From<LinalgError> for FitError {
+    fn from(_: LinalgError) -> Self {
+        FitError::Singular
+    }
+}
+
+/// A fitted scaling law `t(p, W) = c0 + c1·(W/p) + c2·√(W/p) + c3·log2 p`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScalingFit {
+    coeffs: [f64; 4],
+    r2: f64,
+}
+
+/// Basis expansion of one `(procs, work)` point.
+fn basis(procs: f64, work: f64) -> [f64; 4] {
+    let per = work / procs;
+    [1.0, per, per.sqrt(), procs.log2()]
+}
+
+impl ScalingFit {
+    /// Number of samples required to identify the model.
+    pub const MIN_SAMPLES: usize = 4;
+
+    /// Fit the law to profiled samples by linear least squares.
+    pub fn fit(samples: &[Sample]) -> Result<Self, FitError> {
+        if samples.len() < Self::MIN_SAMPLES {
+            return Err(FitError::NotEnoughSamples {
+                got: samples.len(),
+                need: Self::MIN_SAMPLES,
+            });
+        }
+        if samples
+            .iter()
+            .any(|s| !(s.procs > 0.0 && s.work > 0.0 && s.time > 0.0))
+        {
+            return Err(FitError::InvalidSample);
+        }
+        let design: Vec<Vec<f64>> = samples
+            .iter()
+            .map(|s| basis(s.procs, s.work).to_vec())
+            .collect();
+        let y: Vec<f64> = samples.iter().map(|s| s.time).collect();
+        let beta = least_squares(&design, &y)?;
+        let coeffs = [beta[0], beta[1], beta[2], beta[3]];
+
+        // Coefficient of determination on the training samples.
+        let mean = y.iter().sum::<f64>() / y.len() as f64;
+        let ss_tot: f64 = y.iter().map(|v| (v - mean).powi(2)).sum();
+        let ss_res: f64 = samples
+            .iter()
+            .map(|s| {
+                let b = basis(s.procs, s.work);
+                let pred: f64 = b.iter().zip(&coeffs).map(|(x, c)| x * c).sum();
+                (pred - s.time).powi(2)
+            })
+            .sum();
+        let r2 = if ss_tot > 0.0 {
+            1.0 - ss_res / ss_tot
+        } else {
+            1.0
+        };
+        Ok(ScalingFit { coeffs, r2 })
+    }
+
+    /// Construct directly from known coefficients
+    /// `[c0, c1 (work), c2 (halo), c3 (collectives)]` — used for the
+    /// synthetic cluster models whose ground truth *is* the law.
+    pub fn from_coeffs(coeffs: [f64; 4]) -> Self {
+        ScalingFit { coeffs, r2: 1.0 }
+    }
+
+    /// Fitted coefficients `[c0, c1, c2, c3]`.
+    pub fn coeffs(&self) -> [f64; 4] {
+        self.coeffs
+    }
+
+    /// R² on the training samples (1.0 for exact fits).
+    pub fn r_squared(&self) -> f64 {
+        self.r2
+    }
+
+    /// Predicted seconds per step for `procs` processors and workload
+    /// `work`. Clamped below at a microsecond: the law can dip negative
+    /// when extrapolated far outside the sampled range, and a non-positive
+    /// step time would corrupt every downstream rate computation.
+    pub fn predict(&self, procs: f64, work: f64) -> f64 {
+        assert!(procs > 0.0 && work > 0.0, "predict needs positive inputs");
+        let b = basis(procs, work);
+        let t: f64 = b.iter().zip(&self.coeffs).map(|(x, c)| x * c).sum();
+        t.max(1e-6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn truth() -> ScalingFit {
+        // A plausible cluster: 0.05 s overhead, 2e-6 s per point,
+        // 1e-4·√(W/p) halo, 0.01·log2 p collectives.
+        ScalingFit::from_coeffs([0.05, 2e-6, 1e-4, 0.01])
+    }
+
+    fn samples_from_truth(truth: &ScalingFit, work: f64, procs: &[f64]) -> Vec<Sample> {
+        procs
+            .iter()
+            .map(|&p| Sample {
+                procs: p,
+                work,
+                time: truth.predict(p, work),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn exact_data_reproduces_predictions() {
+        let truth = truth();
+        let work = 1e6;
+        let samples = samples_from_truth(&truth, work, &[1.0, 2.0, 4.0, 8.0, 16.0, 48.0]);
+        let fit = ScalingFit::fit(&samples).unwrap();
+        assert!(fit.r_squared() > 0.999, "r2 = {}", fit.r_squared());
+        for p in [1.0, 3.0, 12.0, 48.0, 90.0] {
+            let rel = (fit.predict(p, work) - truth.predict(p, work)).abs()
+                / truth.predict(p, work);
+            assert!(rel < 1e-3, "p={p}: rel error {rel}");
+        }
+    }
+
+    #[test]
+    fn extrapolates_across_workloads() {
+        let truth = truth();
+        // Profile at two workloads so W-dependence is identifiable.
+        let mut samples = samples_from_truth(&truth, 1e6, &[1.0, 4.0, 16.0, 48.0]);
+        samples.extend(samples_from_truth(&truth, 4e6, &[2.0, 8.0, 32.0]));
+        let fit = ScalingFit::fit(&samples).unwrap();
+        let rel = (fit.predict(24.0, 2.5e6) - truth.predict(24.0, 2.5e6)).abs()
+            / truth.predict(24.0, 2.5e6);
+        assert!(rel < 0.02, "rel error {rel}");
+    }
+
+    #[test]
+    fn too_few_samples_rejected() {
+        let truth = truth();
+        let samples = samples_from_truth(&truth, 1e6, &[1.0, 2.0, 4.0]);
+        assert!(matches!(
+            ScalingFit::fit(&samples),
+            Err(FitError::NotEnoughSamples { got: 3, need: 4 })
+        ));
+    }
+
+    #[test]
+    fn invalid_sample_rejected() {
+        let mut samples = samples_from_truth(&truth(), 1e6, &[1.0, 2.0, 4.0, 8.0]);
+        samples[0].time = 0.0;
+        assert_eq!(ScalingFit::fit(&samples), Err(FitError::InvalidSample));
+    }
+
+    #[test]
+    fn prediction_never_non_positive() {
+        // Coefficients chosen to go negative for large p.
+        let fit = ScalingFit::from_coeffs([-10.0, 0.0, 0.0, 0.0]);
+        assert!(fit.predict(8.0, 1e6) > 0.0);
+    }
+
+    #[test]
+    fn noisy_fit_stays_close() {
+        let truth = truth();
+        let work = 1e6;
+        // Deterministic ±2% alternating "noise".
+        let mut samples = samples_from_truth(
+            &truth,
+            work,
+            &[1.0, 2.0, 4.0, 8.0, 12.0, 16.0, 24.0, 32.0, 48.0],
+        );
+        for (i, s) in samples.iter_mut().enumerate() {
+            s.time *= if i % 2 == 0 { 1.02 } else { 0.98 };
+        }
+        let fit = ScalingFit::fit(&samples).unwrap();
+        for p in [2.0, 8.0, 32.0] {
+            let rel =
+                (fit.predict(p, work) - truth.predict(p, work)).abs() / truth.predict(p, work);
+            assert!(rel < 0.05, "p={p}: rel error {rel}");
+        }
+    }
+}

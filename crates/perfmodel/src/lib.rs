@@ -1,0 +1,31 @@
+//! Performance modelling: scaling-law fits and time ↔ processor queries.
+//!
+//! The paper profiles WRF with sample runs "for different discrete number
+//! of processors, spanning the available processor space and using
+//! performance modeling or curve fitting tools (LAB Fit) to interpolate for
+//! other number of processors". This crate is that tool: fit a parallel
+//! scaling law to profiled `(processors, workload, seconds-per-step)`
+//! samples by linear least squares, then answer the two queries the
+//! decision algorithms need —
+//!
+//! - *forward*: predicted time per step on `p` processors, and
+//! - *inverse*: which processor count realizes a target time per step.
+//!
+//! The scaling law is linear in its coefficients:
+//!
+//! ```text
+//! t(p, W) = c0 + c1·(W/p) + c2·√(W/p) + c3·log2(p)
+//! ```
+//!
+//! `c1` captures perfectly-parallel work, `c2` halo-exchange surface
+//! communication, `c3` collective/reduction cost, `c0` fixed per-step
+//! overhead. `W` is a workload measure (grid points × substeps); the same
+//! fit then extrapolates across simulation resolutions.
+
+mod fit;
+mod linalg;
+mod table;
+
+pub use fit::{FitError, Sample, ScalingFit};
+pub use linalg::{least_squares, solve_dense, LinalgError};
+pub use table::ProcTable;

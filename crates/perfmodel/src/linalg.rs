@@ -1,0 +1,202 @@
+//! Small dense linear algebra: Gaussian elimination and least squares via
+//! the normal equations. Systems here are tiny (4×4 for the scaling law),
+//! so simplicity and determinism beat asymptotics.
+
+/// Failure modes of the dense solvers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinalgError {
+    /// Matrix is singular (or numerically so) — the model is unidentifiable
+    /// from the given samples.
+    Singular,
+    /// Input dimensions are inconsistent.
+    DimensionMismatch,
+}
+
+impl std::fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinalgError::Singular => write!(f, "matrix is singular to working precision"),
+            LinalgError::DimensionMismatch => write!(f, "inconsistent matrix dimensions"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+/// Solve `A x = b` for square `A` (row-major, `n×n`) by Gaussian
+/// elimination with partial pivoting. `A` and `b` are consumed as scratch.
+pub fn solve_dense(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Result<Vec<f64>, LinalgError> {
+    let n = b.len();
+    if a.len() != n || a.iter().any(|row| row.len() != n) {
+        return Err(LinalgError::DimensionMismatch);
+    }
+    for col in 0..n {
+        // Partial pivot: largest magnitude in this column at or below the
+        // diagonal.
+        let pivot_row = (col..n)
+            .max_by(|&i, &j| {
+                a[i][col]
+                    .abs()
+                    .partial_cmp(&a[j][col].abs())
+                    .expect("finite matrix entries")
+            })
+            .expect("non-empty range");
+        if a[pivot_row][col].abs() < 1e-12 {
+            return Err(LinalgError::Singular);
+        }
+        a.swap(col, pivot_row);
+        b.swap(col, pivot_row);
+        let piv = a[col][col];
+        for row in (col + 1)..n {
+            let factor = a[row][col] / piv;
+            if factor == 0.0 {
+                continue;
+            }
+            // Split the borrow: rows col and row are distinct (row > col).
+            let (upper, lower) = a.split_at_mut(row);
+            let src = &upper[col];
+            let dst = &mut lower[0];
+            for k in col..n {
+                dst[k] -= factor * src[k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for k in (row + 1)..n {
+            acc -= a[row][k] * x[k];
+        }
+        x[row] = acc / a[row][row];
+    }
+    Ok(x)
+}
+
+/// Least squares `min ‖X β − y‖²` via the normal equations
+/// `XᵀX β = Xᵀy`. `x` is the design matrix, one row per observation.
+///
+/// Adds a tiny ridge (1e-12 on the diagonal) so nearly-collinear designs —
+/// common when all samples share one workload — stay solvable; the bias is
+/// far below measurement noise.
+pub fn least_squares(x: &[Vec<f64>], y: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    let m = x.len();
+    if m == 0 || m != y.len() {
+        return Err(LinalgError::DimensionMismatch);
+    }
+    let n = x[0].len();
+    if x.iter().any(|row| row.len() != n) {
+        return Err(LinalgError::DimensionMismatch);
+    }
+    let mut xtx = vec![vec![0.0; n]; n];
+    let mut xty = vec![0.0; n];
+    for (row, &yi) in x.iter().zip(y) {
+        for i in 0..n {
+            xty[i] += row[i] * yi;
+            for j in 0..n {
+                xtx[i][j] += row[i] * row[j];
+            }
+        }
+    }
+    for (i, row) in xtx.iter_mut().enumerate() {
+        row[i] += 1e-12;
+    }
+    solve_dense(xtx, xty)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_identity() {
+        let a = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        let x = solve_dense(a, vec![3.0, 4.0]).unwrap();
+        assert_eq!(x, vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn solves_general_3x3() {
+        // Known system: x = [1, -2, 3].
+        let a = vec![
+            vec![2.0, 1.0, -1.0],
+            vec![-3.0, -1.0, 2.0],
+            vec![-2.0, 1.0, 2.0],
+        ];
+        let b = vec![2.0 - 2.0 - 3.0, -3.0 + 2.0 + 6.0, -2.0 - 2.0 + 6.0];
+        let x = solve_dense(a, b).unwrap();
+        for (got, want) in x.iter().zip([1.0, -2.0, 3.0]) {
+            assert!((got - want).abs() < 1e-10, "{x:?}");
+        }
+    }
+
+    #[test]
+    fn pivoting_handles_zero_diagonal() {
+        let a = vec![vec![0.0, 1.0], vec![1.0, 0.0]];
+        let x = solve_dense(a, vec![5.0, 7.0]).unwrap();
+        assert!((x[0] - 7.0).abs() < 1e-12 && (x[1] - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_rejected() {
+        let a = vec![vec![1.0, 2.0], vec![2.0, 4.0]];
+        assert_eq!(solve_dense(a, vec![1.0, 2.0]), Err(LinalgError::Singular));
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        assert_eq!(
+            solve_dense(vec![vec![1.0, 2.0]], vec![1.0]),
+            Err(LinalgError::DimensionMismatch)
+        );
+        assert_eq!(
+            least_squares(&[vec![1.0]], &[1.0, 2.0]),
+            Err(LinalgError::DimensionMismatch)
+        );
+        assert_eq!(
+            least_squares(&[], &[]),
+            Err(LinalgError::DimensionMismatch)
+        );
+    }
+
+    #[test]
+    fn least_squares_recovers_exact_line() {
+        // y = 2 + 3 x observed exactly at 4 points.
+        let xs = [0.0, 1.0, 2.0, 5.0];
+        let design: Vec<Vec<f64>> = xs.iter().map(|&x| vec![1.0, x]).collect();
+        let y: Vec<f64> = xs.iter().map(|&x| 2.0 + 3.0 * x).collect();
+        let beta = least_squares(&design, &y).unwrap();
+        assert!((beta[0] - 2.0).abs() < 1e-6);
+        assert!((beta[1] - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn least_squares_minimizes_residual_on_overdetermined_noisy_data() {
+        // y = 1 + 2x with symmetric noise; slope/intercept land between
+        // the extremes and the residual beats small perturbations.
+        let design = vec![
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+            vec![1.0, 2.0],
+            vec![1.0, 3.0],
+        ];
+        let y = vec![1.1, 2.9, 5.1, 6.9];
+        let beta = least_squares(&design, &y).unwrap();
+        let rss = |b: &[f64]| -> f64 {
+            design
+                .iter()
+                .zip(&y)
+                .map(|(row, &yi)| {
+                    let pred = row[0] * b[0] + row[1] * b[1];
+                    (pred - yi).powi(2)
+                })
+                .sum()
+        };
+        let base = rss(&beta);
+        for d in [-0.05, 0.05] {
+            assert!(base <= rss(&[beta[0] + d, beta[1]]) + 1e-12);
+            assert!(base <= rss(&[beta[0], beta[1] + d]) + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! Discrete processor table: the decision algorithms' view of the machine.
+//!
+//! Clusters admit only certain processor counts (WRF requires each MPI rank
+//! to own at least 6×6 parent grid points, and the scheduler allocates
+//! whole nodes), so the continuous scaling law is sampled onto the allowed
+//! counts once per (cluster, resolution) and queried discretely.
+
+use crate::fit::ScalingFit;
+
+/// Predicted seconds-per-step for every allowed processor count, sorted by
+/// processor count ascending.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProcTable {
+    /// `(processor count, seconds per simulation step)` sorted by count.
+    entries: Vec<(usize, f64)>,
+}
+
+impl ProcTable {
+    /// Build from a fitted law, a workload, and the allowed counts.
+    ///
+    /// # Panics
+    /// If `allowed` is empty (a cluster with no valid configuration cannot
+    /// run the mission at all — callers must catch that earlier).
+    pub fn from_fit(fit: &ScalingFit, work: f64, allowed: &[usize]) -> Self {
+        assert!(!allowed.is_empty(), "no allowed processor counts");
+        let mut entries: Vec<(usize, f64)> = allowed
+            .iter()
+            .map(|&p| (p, fit.predict(p as f64, work)))
+            .collect();
+        entries.sort_unstable_by_key(|&(p, _)| p);
+        entries.dedup_by_key(|&mut (p, _)| p);
+        ProcTable { entries }
+    }
+
+    /// Build directly from measured `(procs, time)` pairs.
+    pub fn from_entries(mut entries: Vec<(usize, f64)>) -> Self {
+        assert!(!entries.is_empty(), "no entries");
+        assert!(
+            entries.iter().all(|&(p, t)| p > 0 && t > 0.0 && t.is_finite()),
+            "entries must have positive procs and finite positive times"
+        );
+        entries.sort_unstable_by_key(|&(p, _)| p);
+        entries.dedup_by_key(|&mut (p, _)| p);
+        ProcTable { entries }
+    }
+
+    /// All `(procs, time)` entries, processor count ascending.
+    pub fn entries(&self) -> &[(usize, f64)] {
+        &self.entries
+    }
+
+    /// Predicted time on exactly `procs` processors; `None` when that count
+    /// is not an allowed configuration.
+    pub fn time_for(&self, procs: usize) -> Option<f64> {
+        self.entries
+            .iter()
+            .find(|&&(p, _)| p == procs)
+            .map(|&(_, t)| t)
+    }
+
+    /// Fastest configuration: `(procs, time)` with minimal time; ties go to
+    /// fewer processors.
+    pub fn fastest(&self) -> (usize, f64) {
+        *self
+            .entries
+            .iter()
+            .min_by(|a, b| {
+                a.1.partial_cmp(&b.1)
+                    .expect("finite times")
+                    .then(a.0.cmp(&b.0))
+            })
+            .expect("non-empty by construction")
+    }
+
+    /// Slowest configuration: `(procs, time)` with maximal time.
+    pub fn slowest(&self) -> (usize, f64) {
+        *self
+            .entries
+            .iter()
+            .max_by(|a, b| {
+                a.1.partial_cmp(&b.1)
+                    .expect("finite times")
+                    .then(b.0.cmp(&a.0))
+            })
+            .expect("non-empty by construction")
+    }
+
+    /// Minimum achievable seconds per step (the LP's `TLB`).
+    pub fn min_time(&self) -> f64 {
+        self.fastest().1
+    }
+
+    /// Maximum seconds per step across allowed configurations.
+    pub fn max_time(&self) -> f64 {
+        self.slowest().1
+    }
+
+    /// The configuration whose predicted time is closest to `target`
+    /// seconds per step (the greedy algorithm's inverse query). Ties go to
+    /// more processors (prefer faster simulation at equal distance).
+    pub fn procs_closest_to_time(&self, target: f64) -> (usize, f64) {
+        *self
+            .entries
+            .iter()
+            .min_by(|a, b| {
+                let da = (a.1 - target).abs();
+                let db = (b.1 - target).abs();
+                da.partial_cmp(&db)
+                    .expect("finite times")
+                    .then(b.0.cmp(&a.0))
+            })
+            .expect("non-empty by construction")
+    }
+
+    /// Fewest processors still achieving at most `target` seconds per step
+    /// (the optimization algorithm's inverse query: the LP returns the
+    /// minimal feasible `t`; any configuration meeting it works, and fewer
+    /// processors leave room for other jobs). `None` when no configuration
+    /// is fast enough.
+    pub fn fewest_procs_within_time(&self, target: f64) -> Option<(usize, f64)> {
+        self.entries
+            .iter()
+            .filter(|&&(_, t)| t <= target + 1e-12)
+            .min_by_key(|&&(p, _)| p)
+            .copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fit::ScalingFit;
+
+    fn table() -> ProcTable {
+        // Strictly decreasing times: 1→10s, 2→6s, 4→4s, 8→3s, 16→2.5s.
+        ProcTable::from_entries(vec![
+            (1, 10.0),
+            (2, 6.0),
+            (4, 4.0),
+            (8, 3.0),
+            (16, 2.5),
+        ])
+    }
+
+    #[test]
+    fn forward_query() {
+        let t = table();
+        assert_eq!(t.time_for(4), Some(4.0));
+        assert_eq!(t.time_for(5), None);
+    }
+
+    #[test]
+    fn extremes() {
+        let t = table();
+        assert_eq!(t.fastest(), (16, 2.5));
+        assert_eq!(t.slowest(), (1, 10.0));
+        assert_eq!(t.min_time(), 2.5);
+        assert_eq!(t.max_time(), 10.0);
+    }
+
+    #[test]
+    fn closest_inverse_query() {
+        let t = table();
+        assert_eq!(t.procs_closest_to_time(6.1), (2, 6.0));
+        assert_eq!(t.procs_closest_to_time(100.0), (1, 10.0));
+        assert_eq!(t.procs_closest_to_time(0.0), (16, 2.5));
+        // Exactly between 4.0 and 3.0 → tie → more processors.
+        assert_eq!(t.procs_closest_to_time(3.5), (8, 3.0));
+    }
+
+    #[test]
+    fn fewest_within_inverse_query() {
+        let t = table();
+        assert_eq!(t.fewest_procs_within_time(4.0), Some((4, 4.0)));
+        assert_eq!(t.fewest_procs_within_time(5.0), Some((4, 4.0)));
+        assert_eq!(t.fewest_procs_within_time(2.0), None);
+        assert_eq!(t.fewest_procs_within_time(100.0), Some((1, 10.0)));
+    }
+
+    #[test]
+    fn from_fit_respects_allowed_counts() {
+        let fit = ScalingFit::from_coeffs([0.1, 1e-5, 0.0, 0.0]);
+        let t = ProcTable::from_fit(&fit, 1e6, &[48, 12, 24, 12]);
+        let procs: Vec<usize> = t.entries().iter().map(|&(p, _)| p).collect();
+        assert_eq!(procs, vec![12, 24, 48]);
+        // More processors → strictly less time for this law.
+        assert!(t.time_for(48).unwrap() < t.time_for(12).unwrap());
+    }
+
+    #[test]
+    fn non_monotone_table_still_answers_sensibly() {
+        // Communication-bound tail: time rises again past 8 procs.
+        let t = ProcTable::from_entries(vec![(2, 5.0), (4, 3.0), (8, 2.0), (16, 2.6)]);
+        assert_eq!(t.fastest(), (8, 2.0));
+        assert_eq!(t.fewest_procs_within_time(2.6), Some((8, 2.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "no entries")]
+    fn empty_entries_panic() {
+        ProcTable::from_entries(vec![]);
+    }
+}

@@ -1,0 +1,85 @@
+//! Property tests: fits recover noise-free laws, inverse queries are
+//! consistent with forward queries, and the solver never panics on valid
+//! sample sets.
+
+use perfmodel::{ProcTable, Sample, ScalingFit};
+use proptest::prelude::*;
+
+fn arb_law() -> impl Strategy<Value = ScalingFit> {
+    (
+        0.01f64..1.0,   // c0 overhead
+        1e-7f64..1e-5,  // c1 work
+        0.0f64..1e-3,   // c2 halo
+        0.0f64..0.05,   // c3 collectives
+    )
+        .prop_map(|(c0, c1, c2, c3)| ScalingFit::from_coeffs([c0, c1, c2, c3]))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn noise_free_fit_matches_truth_at_unseen_procs(law in arb_law(), work in 1e5f64..1e7) {
+        let procs = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0];
+        let samples: Vec<Sample> = procs
+            .iter()
+            .map(|&p| Sample { procs: p, work, time: law.predict(p, work) })
+            .collect();
+        let fit = ScalingFit::fit(&samples).unwrap();
+        for p in [3.0, 6.0, 12.0, 48.0, 96.0] {
+            let truth = law.predict(p, work);
+            let got = fit.predict(p, work);
+            let rel = (got - truth).abs() / truth;
+            prop_assert!(rel < 0.01, "p={p}: truth={truth} got={got}");
+        }
+    }
+
+    #[test]
+    fn table_inverse_queries_are_consistent(law in arb_law(), work in 1e5f64..1e7) {
+        let allowed: Vec<usize> = vec![1, 2, 4, 8, 12, 16, 24, 32, 48, 64, 90];
+        let table = ProcTable::from_fit(&law, work, &allowed);
+
+        // closest: the returned entry is truly the (or a) closest.
+        for target in [0.0, table.min_time(), table.max_time(), 1.0, 5.0] {
+            let (p, t) = table.procs_closest_to_time(target);
+            prop_assert_eq!(table.time_for(p), Some(t));
+            for &(_, t2) in table.entries() {
+                prop_assert!((t - target).abs() <= (t2 - target).abs() + 1e-12);
+            }
+        }
+
+        // fewest-within: result meets the deadline and no smaller count does.
+        let mid = (table.min_time() + table.max_time()) / 2.0;
+        if let Some((p, t)) = table.fewest_procs_within_time(mid) {
+            prop_assert!(t <= mid + 1e-9);
+            for &(p2, t2) in table.entries() {
+                if p2 < p {
+                    prop_assert!(t2 > mid, "smaller count {p2} also met the deadline");
+                }
+            }
+        }
+
+        // min_time is a true lower bound over entries.
+        for &(_, t) in table.entries() {
+            prop_assert!(table.min_time() <= t + 1e-12);
+            prop_assert!(table.max_time() >= t - 1e-12);
+        }
+    }
+
+    #[test]
+    fn fit_never_panics_on_positive_samples(
+        raw in prop::collection::vec((1.0f64..128.0, 1e4f64..1e7, 1e-3f64..100.0), 4..12)
+    ) {
+        let samples: Vec<Sample> = raw
+            .into_iter()
+            .map(|(procs, work, time)| Sample { procs, work, time })
+            .collect();
+        // Arbitrary (inconsistent) samples: must return Ok or a clean error,
+        // and any produced fit must predict positive times.
+        if let Ok(fit) = ScalingFit::fit(&samples) {
+            for p in [1.0, 7.0, 100.0] {
+                prop_assert!(fit.predict(p, 1e6) > 0.0);
+            }
+        }
+    }
+}

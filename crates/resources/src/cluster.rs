@@ -1,0 +1,92 @@
+//! Cluster model: the machine the simulation runs on.
+
+use perfmodel::ScalingFit;
+
+/// A named cluster with its processor space, parallel-I/O bandwidth,
+/// restart cost, and fitted scaling law.
+///
+/// The three instances used in the experiments mirror the paper's
+/// Table IV: `fire` (IISc, 48 cores), `gg-blr` (C-DAC, 90 cores used) and
+/// `moria` (UTK, 56 cores); their constructors live in the `cyclone`
+/// crate's site presets, which also calibrate the scaling coefficients.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    /// Machine name as the paper uses it (`fire`, `gg-blr`, `moria`).
+    pub name: String,
+    /// Maximum cores the experiments may use.
+    pub max_cores: usize,
+    /// Aggregate parallel-I/O bandwidth to stable storage, bytes/second.
+    pub io_bps: f64,
+    /// Wall seconds to stop WRF, reschedule, and restart from checkpoint
+    /// with a new configuration.
+    pub restart_overhead_secs: f64,
+    /// Fitted scaling law for seconds-per-step as f(procs, work).
+    pub scaling: ScalingFit,
+}
+
+impl Cluster {
+    /// New cluster.
+    ///
+    /// # Panics
+    /// On non-positive cores, I/O bandwidth, or negative restart overhead.
+    pub fn new(
+        name: impl Into<String>,
+        max_cores: usize,
+        io_bps: f64,
+        restart_overhead_secs: f64,
+        scaling: ScalingFit,
+    ) -> Self {
+        assert!(max_cores > 0, "cluster needs at least one core");
+        assert!(io_bps > 0.0 && io_bps.is_finite(), "I/O bandwidth must be positive");
+        assert!(restart_overhead_secs >= 0.0, "restart overhead must be non-negative");
+        Cluster {
+            name: name.into(),
+            max_cores,
+            io_bps,
+            restart_overhead_secs,
+            scaling,
+        }
+    }
+
+    /// Seconds to write `bytes` through the parallel-I/O subsystem
+    /// (the LP's `TIO` for one frame).
+    pub fn io_time(&self, bytes: u64) -> f64 {
+        bytes as f64 / self.io_bps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster() -> Cluster {
+        Cluster::new(
+            "fire",
+            48,
+            2e9,
+            180.0,
+            ScalingFit::from_coeffs([0.1, 1e-6, 1e-4, 0.01]),
+        )
+    }
+
+    #[test]
+    fn io_time_is_linear_in_bytes() {
+        let c = cluster();
+        assert_eq!(c.io_time(2_000_000_000), 1.0);
+        assert_eq!(c.io_time(0), 0.0);
+    }
+
+    #[test]
+    fn scaling_law_is_queryable() {
+        let c = cluster();
+        let t1 = c.scaling.predict(1.0, 1e6);
+        let t48 = c.scaling.predict(48.0, 1e6);
+        assert!(t48 < t1, "more cores must be faster for this law");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_cores_rejected() {
+        Cluster::new("x", 0, 1.0, 0.0, ScalingFit::from_coeffs([1.0, 0.0, 0.0, 0.0]));
+    }
+}

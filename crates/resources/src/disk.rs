@@ -1,0 +1,203 @@
+//! Stable-storage model with byte-accurate accounting.
+
+use serde::{Deserialize, Serialize};
+
+/// Write rejected: the disk cannot hold the requested bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiskFull {
+    /// Bytes the write asked for.
+    pub requested: u64,
+    /// Bytes actually free.
+    pub free: u64,
+}
+
+impl std::fmt::Display for DiskFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "disk full: requested {} bytes with only {} free",
+            self.requested, self.free
+        )
+    }
+}
+
+impl std::error::Error for DiskFull {}
+
+/// A finite stable storage volume at the simulation site.
+///
+/// Invariants (checked in debug builds and enforced by the API):
+/// `used ≤ capacity` always; `used` never goes negative (freeing more than
+/// is used is a caller bug and panics).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Disk {
+    capacity: u64,
+    used: u64,
+    /// Highest `used` ever observed — the experiment's storage footprint.
+    high_water: u64,
+    /// Cumulative bytes accepted by `write`.
+    total_written: u64,
+    /// Cumulative bytes released by `free`.
+    total_freed: u64,
+}
+
+impl Disk {
+    /// New empty disk of `capacity` bytes.
+    ///
+    /// # Panics
+    /// If `capacity` is zero.
+    pub fn new(capacity: u64) -> Self {
+        assert!(capacity > 0, "disk capacity must be positive");
+        Disk {
+            capacity,
+            used: 0,
+            high_water: 0,
+            total_written: 0,
+            total_freed: 0,
+        }
+    }
+
+    /// Convenience constructor from gigabytes (10⁹ bytes, as disks are
+    /// marketed and as Table IV quotes them).
+    pub fn from_gb(gb: f64) -> Self {
+        assert!(gb > 0.0 && gb.is_finite(), "capacity must be positive");
+        Self::new((gb * 1e9) as u64)
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently occupied.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Bytes currently free.
+    pub fn free(&self) -> u64 {
+        self.capacity - self.used
+    }
+
+    /// Free space as a percentage of capacity — what the paper's manager
+    /// reads from `df` and feeds to the decision algorithms.
+    pub fn free_percent(&self) -> f64 {
+        100.0 * self.free() as f64 / self.capacity as f64
+    }
+
+    /// Occupied space as a percentage of capacity.
+    pub fn used_percent(&self) -> f64 {
+        100.0 - self.free_percent()
+    }
+
+    /// Highest occupancy ever reached, in bytes.
+    pub fn high_water(&self) -> u64 {
+        self.high_water
+    }
+
+    /// Cumulative bytes ever written.
+    pub fn total_written(&self) -> u64 {
+        self.total_written
+    }
+
+    /// True when a write of `bytes` would fit right now.
+    pub fn fits(&self, bytes: u64) -> bool {
+        bytes <= self.free()
+    }
+
+    /// Occupy `bytes`; fails (without partial effects) when they do not fit.
+    pub fn write(&mut self, bytes: u64) -> Result<(), DiskFull> {
+        if !self.fits(bytes) {
+            return Err(DiskFull {
+                requested: bytes,
+                free: self.free(),
+            });
+        }
+        self.used += bytes;
+        self.total_written += bytes;
+        self.high_water = self.high_water.max(self.used);
+        Ok(())
+    }
+
+    /// Release `bytes` previously written.
+    ///
+    /// # Panics
+    /// If more bytes are freed than are used — that is double-free
+    /// accounting in the caller, never a legitimate state.
+    pub fn free_bytes(&mut self, bytes: u64) {
+        assert!(
+            bytes <= self.used,
+            "freeing {bytes} bytes but only {} used",
+            self.used
+        );
+        self.used -= bytes;
+        self.total_freed += bytes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_and_free_accounting() {
+        let mut d = Disk::new(1000);
+        d.write(400).unwrap();
+        assert_eq!(d.used(), 400);
+        assert_eq!(d.free(), 600);
+        assert_eq!(d.free_percent(), 60.0);
+        assert_eq!(d.used_percent(), 40.0);
+        d.free_bytes(150);
+        assert_eq!(d.used(), 250);
+        assert_eq!(d.total_written(), 400);
+        assert_eq!(d.high_water(), 400);
+    }
+
+    #[test]
+    fn overfull_write_rejected_without_effect() {
+        let mut d = Disk::new(100);
+        d.write(90).unwrap();
+        let err = d.write(20).unwrap_err();
+        assert_eq!(err, DiskFull { requested: 20, free: 10 });
+        assert_eq!(d.used(), 90, "failed write must not change state");
+    }
+
+    #[test]
+    fn exact_fill_is_allowed() {
+        let mut d = Disk::new(100);
+        d.write(100).unwrap();
+        assert_eq!(d.free(), 0);
+        assert_eq!(d.free_percent(), 0.0);
+        assert!(!d.fits(1));
+        assert!(d.fits(0));
+    }
+
+    #[test]
+    fn high_water_tracks_peak_not_current() {
+        let mut d = Disk::new(100);
+        d.write(80).unwrap();
+        d.free_bytes(70);
+        d.write(30).unwrap();
+        assert_eq!(d.high_water(), 80);
+        assert_eq!(d.used(), 40);
+    }
+
+    #[test]
+    #[should_panic(expected = "freeing")]
+    fn double_free_panics() {
+        let mut d = Disk::new(100);
+        d.write(10).unwrap();
+        d.free_bytes(11);
+    }
+
+    #[test]
+    fn from_gb_uses_decimal_gigabytes() {
+        let d = Disk::from_gb(1.0);
+        assert_eq!(d.capacity(), 1_000_000_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_rejected() {
+        Disk::new(0);
+    }
+}

@@ -1,0 +1,297 @@
+//! Wide-area network model and the bandwidth probe that observes it.
+//!
+//! The paper measures "the average observed bandwidth between the
+//! simulation and visualization sites, obtained by using the time taken
+//! for sending about 1 GB message across the network". Real WAN bandwidth
+//! drifts, so the model carries a *temporally-correlated* multiplicative
+//! factor (a bounded random walk): consecutive transfers see similar — not
+//! identical — conditions, and a probe is an honest sample of the same
+//! process the frames experience.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A simulation-site → visualization-site link.
+#[derive(Debug, Clone)]
+pub struct Network {
+    /// Nominal (advertised) bandwidth, bytes per second.
+    nominal_bps: f64,
+    /// One-way latency added to every transfer, seconds.
+    latency_secs: f64,
+    /// Half-width of the multiplicative variability band (0 = ideal link).
+    variability: f64,
+    /// Current multiplicative factor in `[1−variability, 1+variability]`.
+    factor: f64,
+    /// Fault-injection multiplier (1.0 = healthy). Models route changes,
+    /// congestion collapse, or a degraded WAN segment; applied on top of
+    /// the variability walk so probes observe the degradation like any
+    /// other condition.
+    degradation: f64,
+    rng: StdRng,
+}
+
+impl Network {
+    /// New link. `variability` is clamped to `[0, 0.9]`.
+    ///
+    /// # Panics
+    /// If `nominal_bps` is not positive and finite or latency is negative.
+    pub fn new(nominal_bps: f64, latency_secs: f64, variability: f64, seed: u64) -> Self {
+        assert!(
+            nominal_bps > 0.0 && nominal_bps.is_finite(),
+            "bandwidth must be positive"
+        );
+        assert!(latency_secs >= 0.0, "latency must be non-negative");
+        Network {
+            nominal_bps,
+            latency_secs,
+            variability: variability.clamp(0.0, 0.9),
+            factor: 1.0,
+            degradation: 1.0,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Ideal link: constant bandwidth, zero latency. Used by analytic
+    /// cross-checks (Table I) where the paper assumes nominal numbers.
+    pub fn ideal(nominal_bps: f64) -> Self {
+        Self::new(nominal_bps, 0.0, 0.0, 0)
+    }
+
+    /// Convenience: megabits per second → link (as Table IV quotes rates).
+    pub fn from_mbps(mbps: f64, latency_secs: f64, variability: f64, seed: u64) -> Self {
+        Self::new(mbps * 1e6 / 8.0, latency_secs, variability, seed)
+    }
+
+    /// Nominal bandwidth in bytes per second.
+    pub fn nominal_bps(&self) -> f64 {
+        self.nominal_bps
+    }
+
+    /// Bandwidth that the *next* transfer will see, bytes/second.
+    pub fn current_bps(&self) -> f64 {
+        self.nominal_bps * self.factor * self.degradation
+    }
+
+    /// Inject (or clear, with 1.0) a fault: all subsequent transfers and
+    /// probes see the nominal bandwidth scaled by `factor`.
+    ///
+    /// # Panics
+    /// If `factor` is not positive and finite (a zero-bandwidth link makes
+    /// transfer times infinite and would corrupt the event clock; model a
+    /// dead link as a very small factor instead).
+    pub fn set_degradation(&mut self, factor: f64) {
+        assert!(
+            factor > 0.0 && factor.is_finite(),
+            "degradation factor must be positive and finite, got {factor}"
+        );
+        self.degradation = factor;
+    }
+
+    /// Current fault multiplier (1.0 = healthy).
+    pub fn degradation(&self) -> f64 {
+        self.degradation
+    }
+
+    /// Advance the variability random walk one step and return the new
+    /// effective bandwidth. Called once per transfer so conditions drift
+    /// across a run but stay correlated between neighbouring transfers.
+    pub fn step(&mut self) -> f64 {
+        if self.variability > 0.0 {
+            // Bounded random walk: move up to ±¼ of the band per step,
+            // reflected at the edges.
+            let band = self.variability;
+            let delta = self.rng.gen_range(-band / 4.0..=band / 4.0);
+            let lo = 1.0 - band;
+            let hi = 1.0 + band;
+            let mut f = self.factor + delta;
+            if f < lo {
+                f = lo + (lo - f);
+            }
+            if f > hi {
+                f = hi - (f - hi);
+            }
+            self.factor = f.clamp(lo, hi);
+        }
+        self.current_bps()
+    }
+
+    /// Seconds to move `bytes` across the link at *current* conditions
+    /// (bandwidth term + latency).
+    pub fn transfer_time(&self, bytes: u64) -> f64 {
+        self.latency_secs + bytes as f64 / self.current_bps()
+    }
+}
+
+/// The paper's bandwidth measurement: time a ~1 GB message and divide.
+///
+/// Keeps an exponential moving average so a single unlucky sample does not
+/// whipsaw the decision algorithm — the paper likewise feeds the *average
+/// observed* bandwidth to the manager.
+#[derive(Debug, Clone)]
+pub struct BandwidthProbe {
+    probe_bytes: u64,
+    ema_bps: Option<f64>,
+    alpha: f64,
+}
+
+impl Default for BandwidthProbe {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BandwidthProbe {
+    /// Probe with the paper's 1 GB message and an EMA weight of 0.5.
+    pub fn new() -> Self {
+        BandwidthProbe {
+            probe_bytes: 1_000_000_000,
+            ema_bps: None,
+            alpha: 0.5,
+        }
+    }
+
+    /// Use a custom probe size (tests; very slow links where 1 GB would be
+    /// impractical — the paper's cross-continent link moves 1 GB in ~37 h).
+    pub fn with_probe_bytes(mut self, bytes: u64) -> Self {
+        assert!(bytes > 0);
+        self.probe_bytes = bytes;
+        self
+    }
+
+    /// Take one measurement against the link and fold it into the average.
+    /// Returns the updated average observed bandwidth (bytes/second).
+    pub fn measure(&mut self, net: &mut Network) -> f64 {
+        let bps = net.step();
+        // Observed rate includes the latency penalty, as a wall-clock
+        // timing of a real message would.
+        let elapsed = net.latency_secs + self.probe_bytes as f64 / bps;
+        let observed = self.probe_bytes as f64 / elapsed;
+        let ema = match self.ema_bps {
+            None => observed,
+            Some(prev) => self.alpha * observed + (1.0 - self.alpha) * prev,
+        };
+        self.ema_bps = Some(ema);
+        ema
+    }
+
+    /// Last averaged observation, if any measurement has been taken.
+    pub fn average_bps(&self) -> Option<f64> {
+        self.ema_bps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_link_is_exact() {
+        let net = Network::ideal(1e6);
+        assert_eq!(net.transfer_time(2_000_000), 2.0);
+        assert_eq!(net.current_bps(), 1e6);
+    }
+
+    #[test]
+    fn mbps_conversion() {
+        let net = Network::from_mbps(56.0, 0.0, 0.0, 0);
+        assert!((net.nominal_bps() - 7e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn latency_adds_to_transfers() {
+        let net = Network::new(1e6, 0.25, 0.0, 0);
+        assert_eq!(net.transfer_time(1_000_000), 1.25);
+    }
+
+    #[test]
+    fn variability_stays_in_band() {
+        let mut net = Network::new(1e6, 0.0, 0.3, 42);
+        for _ in 0..1000 {
+            let bps = net.step();
+            assert!(
+                (0.7e6..=1.3e6).contains(&bps),
+                "bandwidth {bps} escaped the band"
+            );
+        }
+    }
+
+    #[test]
+    fn variability_is_deterministic_per_seed() {
+        let run = |seed| {
+            let mut net = Network::new(1e6, 0.0, 0.3, seed);
+            (0..50).map(|_| net.step()).collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn walk_is_temporally_correlated() {
+        // Adjacent steps move at most band/2 (±band/4 walk + reflection).
+        let mut net = Network::new(1e6, 0.0, 0.4, 3);
+        let mut prev = net.current_bps();
+        for _ in 0..500 {
+            let next = net.step();
+            assert!((next - prev).abs() <= 0.2e6 + 1e-6);
+            prev = next;
+        }
+    }
+
+    #[test]
+    fn probe_on_ideal_link_reports_nominal() {
+        let mut net = Network::ideal(5e6);
+        let mut probe = BandwidthProbe::new();
+        assert_eq!(probe.average_bps(), None);
+        let bw = probe.measure(&mut net);
+        assert!((bw - 5e6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn probe_ema_smooths_samples() {
+        let mut net = Network::new(1e6, 0.0, 0.5, 11);
+        let mut probe = BandwidthProbe::new();
+        let mut last = probe.measure(&mut net);
+        for _ in 0..20 {
+            let avg = probe.measure(&mut net);
+            // EMA moves at most half the distance to the new sample, so it
+            // can never leave the variability band either.
+            assert!((0.5e6..=1.5e6).contains(&avg));
+            last = avg;
+        }
+        assert!(probe.average_bps().unwrap() == last);
+    }
+
+    #[test]
+    fn probe_accounts_for_latency() {
+        // 1 MB probe over a fat but laggy pipe: observed < nominal.
+        let mut net = Network::new(1e9, 1.0, 0.0, 0);
+        let mut probe = BandwidthProbe::new().with_probe_bytes(1_000_000);
+        let bw = probe.measure(&mut net);
+        assert!(bw < 1e9 / 500.0, "latency should dominate: {bw}");
+    }
+}
+
+#[cfg(test)]
+mod degradation_tests {
+    use super::*;
+
+    #[test]
+    fn degradation_scales_transfers_and_probes() {
+        let mut net = Network::ideal(1e6);
+        assert_eq!(net.transfer_time(1_000_000), 1.0);
+        net.set_degradation(0.1);
+        assert!((net.transfer_time(1_000_000) - 10.0).abs() < 1e-9);
+        let mut probe = BandwidthProbe::new().with_probe_bytes(1_000_000);
+        let observed = probe.measure(&mut net);
+        assert!((observed - 1e5).abs() < 1.0, "probe sees the fault: {observed}");
+        net.set_degradation(1.0);
+        assert_eq!(net.transfer_time(1_000_000), 1.0);
+        assert_eq!(net.degradation(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn zero_degradation_rejected() {
+        Network::ideal(1e6).set_degradation(0.0);
+    }
+}

@@ -1,0 +1,243 @@
+//! Frame ledger on the simulation-site disk.
+//!
+//! The simulation writes history frames to stable storage; the frame
+//! sender ships the *oldest* available frame to the visualization site and
+//! the bytes are released only when that transfer completes ("the data
+//! that is transferred to the visualization site is removed from the
+//! simulation site"). This module couples the byte accounting of
+//! [`Disk`](crate::Disk) with that FIFO frame lifecycle:
+//!
+//! ```text
+//! stored ──(begin_transfer)──▶ in-flight ──(complete_transfer)──▶ gone
+//! ```
+
+use crate::{Disk, DiskFull};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Metadata of one output frame sitting on the simulation-site disk.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FrameMeta {
+    /// Monotone frame id (assigned by the store).
+    pub id: u64,
+    /// Simulated time this frame represents, in minutes from mission start.
+    pub sim_minutes: f64,
+    /// Encoded size on disk.
+    pub bytes: u64,
+}
+
+/// Errors from frame-lifecycle operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreError {
+    /// Underlying disk rejected the write.
+    Disk(DiskFull),
+    /// `complete_transfer` named a frame that is not in flight.
+    NotInFlight(u64),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Disk(e) => write!(f, "{e}"),
+            StoreError::NotInFlight(id) => write!(f, "frame {id} is not in flight"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<DiskFull> for StoreError {
+    fn from(e: DiskFull) -> Self {
+        StoreError::Disk(e)
+    }
+}
+
+/// FIFO ledger of frames on a [`Disk`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FrameStore {
+    disk: Disk,
+    pending: VecDeque<FrameMeta>,
+    in_flight: Vec<FrameMeta>,
+    next_id: u64,
+    frames_stored: u64,
+    frames_shipped: u64,
+}
+
+impl FrameStore {
+    /// New store over an empty disk.
+    pub fn new(disk: Disk) -> Self {
+        FrameStore {
+            disk,
+            pending: VecDeque::new(),
+            in_flight: Vec::new(),
+            next_id: 0,
+            frames_stored: 0,
+            frames_shipped: 0,
+        }
+    }
+
+    /// The underlying disk (for `df`-style queries).
+    pub fn disk(&self) -> &Disk {
+        &self.disk
+    }
+
+    /// Store a new frame of `bytes` representing `sim_minutes`; fails when
+    /// the disk cannot hold it.
+    pub fn store(&mut self, sim_minutes: f64, bytes: u64) -> Result<FrameMeta, StoreError> {
+        self.disk.write(bytes)?;
+        let meta = FrameMeta {
+            id: self.next_id,
+            sim_minutes,
+            bytes,
+        };
+        self.next_id += 1;
+        self.frames_stored += 1;
+        self.pending.push_back(meta);
+        Ok(meta)
+    }
+
+    /// True when at least one frame awaits transfer.
+    pub fn has_pending(&self) -> bool {
+        !self.pending.is_empty()
+    }
+
+    /// Number of frames awaiting transfer.
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Bytes awaiting transfer (not counting in-flight frames).
+    pub fn pending_bytes(&self) -> u64 {
+        self.pending.iter().map(|f| f.bytes).sum()
+    }
+
+    /// Oldest pending frame without starting its transfer.
+    pub fn peek_oldest(&self) -> Option<&FrameMeta> {
+        self.pending.front()
+    }
+
+    /// Move the oldest pending frame to the in-flight set (the sender has
+    /// begun shipping it; its bytes remain on disk until completion).
+    pub fn begin_transfer(&mut self) -> Option<FrameMeta> {
+        let meta = self.pending.pop_front()?;
+        self.in_flight.push(meta);
+        Some(meta)
+    }
+
+    /// Finish a transfer: frees the frame's bytes at the simulation site.
+    pub fn complete_transfer(&mut self, id: u64) -> Result<FrameMeta, StoreError> {
+        let idx = self
+            .in_flight
+            .iter()
+            .position(|f| f.id == id)
+            .ok_or(StoreError::NotInFlight(id))?;
+        let meta = self.in_flight.swap_remove(idx);
+        self.disk.free_bytes(meta.bytes);
+        self.frames_shipped += 1;
+        Ok(meta)
+    }
+
+    /// Abort a transfer (e.g. the link dropped): the frame returns to the
+    /// *front* of the pending queue so sim-time order is preserved.
+    pub fn abort_transfer(&mut self, id: u64) -> Result<(), StoreError> {
+        let idx = self
+            .in_flight
+            .iter()
+            .position(|f| f.id == id)
+            .ok_or(StoreError::NotInFlight(id))?;
+        let meta = self.in_flight.swap_remove(idx);
+        self.pending.push_front(meta);
+        Ok(())
+    }
+
+    /// Total frames ever stored.
+    pub fn frames_stored(&self) -> u64 {
+        self.frames_stored
+    }
+
+    /// Total frames whose transfer completed.
+    pub fn frames_shipped(&self) -> u64 {
+        self.frames_shipped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> FrameStore {
+        FrameStore::new(Disk::new(1000))
+    }
+
+    #[test]
+    fn fifo_lifecycle_frees_bytes_only_on_completion() {
+        let mut s = store();
+        let a = s.store(0.0, 300).unwrap();
+        let b = s.store(25.0, 300).unwrap();
+        assert_eq!(s.disk().used(), 600);
+        assert_eq!(s.pending_count(), 2);
+
+        let t = s.begin_transfer().unwrap();
+        assert_eq!(t.id, a.id, "oldest frame ships first");
+        assert_eq!(s.disk().used(), 600, "in-flight bytes still on disk");
+        assert_eq!(s.pending_count(), 1);
+
+        s.complete_transfer(a.id).unwrap();
+        assert_eq!(s.disk().used(), 300);
+        assert_eq!(s.frames_shipped(), 1);
+        assert_eq!(s.peek_oldest().unwrap().id, b.id);
+    }
+
+    #[test]
+    fn store_fails_when_disk_full_without_effects() {
+        let mut s = store();
+        s.store(0.0, 900).unwrap();
+        let err = s.store(1.0, 200).unwrap_err();
+        assert!(matches!(err, StoreError::Disk(_)));
+        assert_eq!(s.pending_count(), 1);
+        assert_eq!(s.frames_stored(), 1);
+    }
+
+    #[test]
+    fn complete_unknown_transfer_fails() {
+        let mut s = store();
+        s.store(0.0, 100).unwrap();
+        assert_eq!(s.complete_transfer(0), Err(StoreError::NotInFlight(0)));
+    }
+
+    #[test]
+    fn abort_restores_fifo_order() {
+        let mut s = store();
+        let a = s.store(0.0, 100).unwrap();
+        s.store(1.0, 100).unwrap();
+        let t = s.begin_transfer().unwrap();
+        s.abort_transfer(t.id).unwrap();
+        assert_eq!(s.pending_count(), 2);
+        assert_eq!(s.peek_oldest().unwrap().id, a.id, "aborted frame back at front");
+        assert_eq!(s.disk().used(), 200, "no bytes freed on abort");
+    }
+
+    #[test]
+    fn ids_are_monotone_and_unique() {
+        let mut s = store();
+        let ids: Vec<u64> = (0..5).map(|i| s.store(i as f64, 10).unwrap().id).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn pending_bytes_excludes_in_flight() {
+        let mut s = store();
+        s.store(0.0, 100).unwrap();
+        s.store(1.0, 200).unwrap();
+        assert_eq!(s.pending_bytes(), 300);
+        s.begin_transfer().unwrap();
+        assert_eq!(s.pending_bytes(), 200);
+    }
+
+    #[test]
+    fn begin_transfer_on_empty_returns_none() {
+        let mut s = store();
+        assert!(s.begin_transfer().is_none());
+        assert!(!s.has_pending());
+    }
+}

@@ -1,0 +1,86 @@
+//! Property tests: the frame store preserves disk invariants and FIFO
+//! order under arbitrary interleavings of store / ship / complete / abort.
+
+use proptest::prelude::*;
+use resources::{Disk, FrameStore};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Store(u64),
+    Begin,
+    CompleteOldestInFlight,
+    AbortNewestInFlight,
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (1u64..200).prop_map(Op::Store),
+            Just(Op::Begin),
+            Just(Op::CompleteOldestInFlight),
+            Just(Op::AbortNewestInFlight),
+        ],
+        0..200,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn invariants_hold_under_arbitrary_interleavings(ops in arb_ops()) {
+        let capacity = 2000u64;
+        let mut store = FrameStore::new(Disk::new(capacity));
+        let mut in_flight: Vec<(u64, u64)> = Vec::new(); // (id, bytes)
+        let mut expected_used = 0u64;
+        let mut last_shipped_minutes = f64::NEG_INFINITY;
+        let mut clock = 0.0f64;
+
+        for op in ops {
+            match op {
+                Op::Store(bytes) => {
+                    clock += 1.0;
+                    match store.store(clock, bytes) {
+                        Ok(meta) => {
+                            expected_used += bytes;
+                            prop_assert_eq!(meta.bytes, bytes);
+                        }
+                        Err(_) => {
+                            prop_assert!(expected_used + bytes > capacity,
+                                "store failed although {bytes} fit in {} free",
+                                capacity - expected_used);
+                        }
+                    }
+                }
+                Op::Begin => {
+                    if let Some(meta) = store.begin_transfer() {
+                        in_flight.push((meta.id, meta.bytes));
+                    }
+                }
+                Op::CompleteOldestInFlight => {
+                    if !in_flight.is_empty() {
+                        let (id, bytes) = in_flight.remove(0);
+                        let meta = store.complete_transfer(id).unwrap();
+                        prop_assert_eq!(meta.bytes, bytes);
+                        expected_used -= bytes;
+                        // FIFO begin + FIFO complete ⇒ shipped frames leave
+                        // in non-decreasing sim-time order.
+                        prop_assert!(meta.sim_minutes >= last_shipped_minutes);
+                        last_shipped_minutes = meta.sim_minutes;
+                    }
+                }
+                Op::AbortNewestInFlight => {
+                    if let Some((id, _)) = in_flight.pop() {
+                        store.abort_transfer(id).unwrap();
+                    }
+                }
+            }
+            // Core invariants after every operation.
+            prop_assert_eq!(store.disk().used(), expected_used);
+            prop_assert!(store.disk().used() <= store.disk().capacity());
+            prop_assert!(store.pending_bytes() <= store.disk().used());
+        }
+        prop_assert_eq!(store.frames_shipped() as usize,
+            store.frames_stored() as usize - store.pending_count() - in_flight.len());
+    }
+}

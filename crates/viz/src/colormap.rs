@@ -1,0 +1,133 @@
+//! Color maps for scalar fields.
+
+/// A color map: a small set of control colors interpolated linearly in
+/// RGB. Control points are evenly spaced over `[0, 1]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Colormap {
+    stops: Vec<[u8; 3]>,
+}
+
+impl Colormap {
+    /// Perceptually-ordered dark-blue → green → yellow map (viridis-like),
+    /// the default for pressure and windspeed pseudocolor.
+    pub fn viridis() -> Self {
+        Colormap {
+            stops: vec![
+                [68, 1, 84],
+                [59, 82, 139],
+                [33, 145, 140],
+                [94, 201, 98],
+                [253, 231, 37],
+            ],
+        }
+    }
+
+    /// Diverging blue → white → red map for signed perturbations.
+    pub fn blue_white_red() -> Self {
+        Colormap {
+            stops: vec![[33, 102, 172], [247, 247, 247], [178, 24, 43]],
+        }
+    }
+
+    /// Plain grayscale.
+    pub fn grayscale() -> Self {
+        Colormap {
+            stops: vec![[0, 0, 0], [255, 255, 255]],
+        }
+    }
+
+    /// Custom map from explicit stops (at least two).
+    pub fn from_stops(stops: Vec<[u8; 3]>) -> Self {
+        assert!(stops.len() >= 2, "a colormap needs at least two stops");
+        Colormap { stops }
+    }
+
+    /// Map `t ∈ [0, 1]` (clamped; NaN maps to 0) to a color.
+    pub fn map(&self, t: f64) -> [u8; 3] {
+        let t = if t.is_nan() { 0.0 } else { t.clamp(0.0, 1.0) };
+        let n = self.stops.len() - 1;
+        let scaled = t * n as f64;
+        let k = (scaled.floor() as usize).min(n - 1);
+        let f = scaled - k as f64;
+        let a = self.stops[k];
+        let b = self.stops[k + 1];
+        [
+            lerp_u8(a[0], b[0], f),
+            lerp_u8(a[1], b[1], f),
+            lerp_u8(a[2], b[2], f),
+        ]
+    }
+
+    /// Map a value within `[vmin, vmax]` (degenerate ranges map to the
+    /// middle of the map).
+    pub fn map_range(&self, v: f64, vmin: f64, vmax: f64) -> [u8; 3] {
+        if vmax <= vmin {
+            return self.map(0.5);
+        }
+        self.map((v - vmin) / (vmax - vmin))
+    }
+}
+
+fn lerp_u8(a: u8, b: u8, f: f64) -> u8 {
+    (a as f64 + (b as f64 - a as f64) * f).round() as u8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoints_hit_first_and_last_stop() {
+        let c = Colormap::viridis();
+        assert_eq!(c.map(0.0), [68, 1, 84]);
+        assert_eq!(c.map(1.0), [253, 231, 37]);
+    }
+
+    #[test]
+    fn clamps_and_handles_nan() {
+        let c = Colormap::grayscale();
+        assert_eq!(c.map(-4.0), [0, 0, 0]);
+        assert_eq!(c.map(7.0), [255, 255, 255]);
+        assert_eq!(c.map(f64::NAN), [0, 0, 0]);
+    }
+
+    #[test]
+    fn midpoint_interpolates() {
+        let c = Colormap::grayscale();
+        let [r, g, b] = c.map(0.5);
+        assert_eq!(r, g);
+        assert_eq!(g, b);
+        assert!((126..=129).contains(&r));
+    }
+
+    #[test]
+    fn map_range_normalizes() {
+        let c = Colormap::grayscale();
+        assert_eq!(c.map_range(990.0, 980.0, 1000.0), c.map(0.5));
+        assert_eq!(c.map_range(980.0, 980.0, 1000.0), c.map(0.0));
+        // Degenerate range does not divide by zero.
+        assert_eq!(c.map_range(5.0, 3.0, 3.0), c.map(0.5));
+    }
+
+    #[test]
+    fn grayscale_is_monotone() {
+        let c = Colormap::viridis();
+        // Luma increases monotonically for viridis-like maps.
+        let luma = |t: f64| {
+            let [r, g, b] = c.map(t);
+            0.2126 * r as f64 + 0.7152 * g as f64 + 0.0722 * b as f64
+        };
+        let mut prev = luma(0.0);
+        for k in 1..=20 {
+            let l = luma(k as f64 / 20.0);
+            assert!(l >= prev - 1.0, "luma dipped at {k}");
+            prev = l;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "two stops")]
+    fn single_stop_rejected() {
+        Colormap::from_stops(vec![[0, 0, 0]]);
+    }
+}

@@ -1,0 +1,153 @@
+//! Marching-squares contour extraction.
+
+use wrf::Grid2;
+
+/// One contour segment in grid coordinates: `((x0, y0), (x1, y1))`.
+pub type Segment = ((f64, f64), (f64, f64));
+
+/// Extract iso-line segments of `grid` at `level` by marching squares.
+/// Saddle cells (cases 5 and 10) are disambiguated by the cell-centre
+/// average, the standard convention.
+pub fn marching_squares(grid: &Grid2, level: f64) -> Vec<Segment> {
+    let mut segs = Vec::new();
+    let (nx, ny) = (grid.nx(), grid.ny());
+    for j in 0..ny.saturating_sub(1) {
+        for i in 0..nx.saturating_sub(1) {
+            // Corner values, counter-clockwise from bottom-left.
+            let bl = grid.at(i, j);
+            let br = grid.at(i + 1, j);
+            let tr = grid.at(i + 1, j + 1);
+            let tl = grid.at(i, j + 1);
+            let mut case = 0u8;
+            if bl > level {
+                case |= 1;
+            }
+            if br > level {
+                case |= 2;
+            }
+            if tr > level {
+                case |= 4;
+            }
+            if tl > level {
+                case |= 8;
+            }
+            if case == 0 || case == 15 {
+                continue;
+            }
+            // Edge interpolation points (fractional position of the
+            // crossing along each cell edge).
+            let frac = |a: f64, b: f64| {
+                let d = b - a;
+                if d.abs() < 1e-300 {
+                    0.5
+                } else {
+                    ((level - a) / d).clamp(0.0, 1.0)
+                }
+            };
+            let x = i as f64;
+            let y = j as f64;
+            let bottom = (x + frac(bl, br), y);
+            let right = (x + 1.0, y + frac(br, tr));
+            let top = (x + frac(tl, tr), y + 1.0);
+            let left = (x, y + frac(bl, tl));
+            match case {
+                1 | 14 => segs.push((left, bottom)),
+                2 | 13 => segs.push((bottom, right)),
+                3 | 12 => segs.push((left, right)),
+                4 | 11 => segs.push((right, top)),
+                6 | 9 => segs.push((bottom, top)),
+                7 | 8 => segs.push((left, top)),
+                5 | 10 => {
+                    // Saddle: use the centre average to pick the pairing.
+                    let centre = (bl + br + tr + tl) / 4.0;
+                    let centre_above = centre > level;
+                    if (case == 5) == centre_above {
+                        segs.push((left, top));
+                        segs.push((bottom, right));
+                    } else {
+                        segs.push((left, bottom));
+                        segs.push((right, top));
+                    }
+                }
+                _ => unreachable!("cases 0 and 15 filtered above"),
+            }
+        }
+    }
+    segs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_field_has_no_contours() {
+        let g = Grid2::from_fn(5, 5, |_, _| 1.0);
+        assert!(marching_squares(&g, 0.5).is_empty());
+        assert!(marching_squares(&g, 1.5).is_empty());
+    }
+
+    #[test]
+    fn vertical_gradient_gives_horizontal_contour() {
+        let g = Grid2::from_fn(5, 5, |_, j| j as f64);
+        let segs = marching_squares(&g, 1.5);
+        // One segment per column gap, all at y = 1.5.
+        assert_eq!(segs.len(), 4);
+        for ((_, y0), (_, y1)) in segs {
+            assert!((y0 - 1.5).abs() < 1e-12);
+            assert!((y1 - 1.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn circular_bump_gives_closed_ring() {
+        let g = Grid2::from_fn(21, 21, |i, j| {
+            let dx = i as f64 - 10.0;
+            let dy = j as f64 - 10.0;
+            (-(dx * dx + dy * dy) / 20.0).exp()
+        });
+        let segs = marching_squares(&g, 0.5);
+        assert!(!segs.is_empty());
+        // All crossing points sit near the analytic iso-radius
+        // r = √(20·ln 2) ≈ 3.72.
+        let r_iso = (20.0 * 2.0f64.ln()).sqrt();
+        for (a, b) in segs {
+            for (x, y) in [a, b] {
+                let r = ((x - 10.0).powi(2) + (y - 10.0).powi(2)).sqrt();
+                assert!(
+                    (r - r_iso).abs() < 0.8,
+                    "point ({x},{y}) at r={r}, expected ≈{r_iso}"
+                );
+            }
+        }
+        // A ring's segments form a closed loop: every endpoint appears
+        // exactly twice (within rounding).
+        let mut endpoints: Vec<(i64, i64)> = Vec::new();
+        for (a, b) in marching_squares(&g, 0.5) {
+            for (x, y) in [a, b] {
+                endpoints.push(((x * 1e6).round() as i64, (y * 1e6).round() as i64));
+            }
+        }
+        endpoints.sort_unstable();
+        for pair in endpoints.chunks(2) {
+            assert_eq!(pair[0], pair[1], "unmatched contour endpoint");
+        }
+    }
+
+    #[test]
+    fn saddle_produces_two_segments() {
+        // Checkerboard 2×2: high-low / low-high.
+        let mut g = Grid2::zeros(2, 2);
+        g.set(0, 0, 1.0);
+        g.set(1, 1, 1.0);
+        let segs = marching_squares(&g, 0.5);
+        assert_eq!(segs.len(), 2, "saddle cell yields two segments");
+    }
+
+    #[test]
+    fn level_outside_range_gives_nothing() {
+        let g = Grid2::from_fn(4, 4, |i, _| i as f64);
+        assert!(marching_squares(&g, 100.0).is_empty());
+        assert!(marching_squares(&g, -100.0).is_empty());
+    }
+}

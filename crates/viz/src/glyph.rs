@@ -1,0 +1,125 @@
+//! Oriented wind glyphs (arrows), as in the paper's vector plots.
+
+use crate::image::RgbImage;
+use wrf::Grid2;
+
+/// Draw wind arrows over an image rendered at `scale` pixels per grid
+/// cell (same orientation contract as [`crate::render::pseudocolor`]:
+/// grid row 0 at the image bottom). One arrow per `stride` cells; arrow
+/// length is `len_per_ms` pixels per m/s, capped at `stride·scale` pixels.
+pub fn draw_wind_glyphs(
+    img: &mut RgbImage,
+    u: &Grid2,
+    v: &Grid2,
+    scale: usize,
+    stride: usize,
+    len_per_ms: f64,
+    color: [u8; 3],
+) {
+    assert!(stride > 0 && scale > 0);
+    assert_eq!(u.nx(), v.nx());
+    assert_eq!(u.ny(), v.ny());
+    let h = img.height() as i64;
+    let cap = (stride * scale) as f64;
+    for j in (0..u.ny()).step_by(stride) {
+        for i in (0..u.nx()).step_by(stride) {
+            let (du, dv) = (u.at(i, j), v.at(i, j));
+            let speed = (du * du + dv * dv).sqrt();
+            if speed < 1e-9 {
+                continue;
+            }
+            let len = (speed * len_per_ms).min(cap);
+            let dirx = du / speed;
+            let diry = dv / speed;
+            let x0 = (i * scale) as f64;
+            let y0 = (h - 1) as f64 - (j * scale) as f64; // flip north-up
+            let x1 = x0 + dirx * len;
+            let y1 = y0 - diry * len; // image y grows downward
+            img.draw_line(x0 as i64, y0 as i64, x1 as i64, y1 as i64, color);
+            // Arrow head: two short barbs at ±150° from the shaft.
+            let (hx, hy) = (x1, y1);
+            for sign in [-1.0, 1.0] {
+                let ang = sign * 150.0f64.to_radians();
+                let (c, s) = (ang.cos(), ang.sin());
+                // Shaft direction in image coordinates.
+                let (sx, sy) = (dirx, -diry);
+                let bx = sx * c - sy * s;
+                let by = sx * s + sy * c;
+                let blen = (len * 0.3).max(1.0);
+                img.draw_line(
+                    hx as i64,
+                    hy as i64,
+                    (hx + bx * blen) as i64,
+                    (hy + by * blen) as i64,
+                    color,
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn count_colored(img: &RgbImage, color: [u8; 3]) -> usize {
+        let mut n = 0;
+        for y in 0..img.height() {
+            for x in 0..img.width() {
+                if img.get(x, y) == color {
+                    n += 1;
+                }
+            }
+        }
+        n
+    }
+
+    #[test]
+    fn calm_field_draws_nothing() {
+        let mut img = RgbImage::new(40, 40, [0, 0, 0]);
+        let u = Grid2::zeros(10, 10);
+        let v = Grid2::zeros(10, 10);
+        draw_wind_glyphs(&mut img, &u, &v, 4, 2, 1.0, [255, 0, 0]);
+        assert_eq!(count_colored(&img, [255, 0, 0]), 0);
+    }
+
+    #[test]
+    fn uniform_wind_draws_arrows() {
+        let mut img = RgbImage::new(40, 40, [0, 0, 0]);
+        let u = Grid2::from_fn(10, 10, |_, _| 5.0);
+        let v = Grid2::zeros(10, 10);
+        draw_wind_glyphs(&mut img, &u, &v, 4, 5, 1.0, [255, 0, 0]);
+        assert!(count_colored(&img, [255, 0, 0]) > 10);
+    }
+
+    #[test]
+    fn northward_wind_points_up_in_image() {
+        let mut img = RgbImage::new(20, 20, [0, 0, 0]);
+        let u = Grid2::zeros(1, 1);
+        let v = Grid2::from_fn(1, 1, |_, _| 10.0);
+        draw_wind_glyphs(&mut img, &u, &v, 1, 1, 1.0, [9, 9, 9]);
+        // Shaft starts at the bottom-left and rises: some colored pixel
+        // strictly above the origin row.
+        let mut top_most = img.height();
+        for y in 0..img.height() {
+            for x in 0..img.width() {
+                if img.get(x, y) == [9, 9, 9] && y < top_most {
+                    top_most = y;
+                }
+            }
+        }
+        assert!(top_most < img.height() - 1, "arrow extends upward");
+    }
+
+    #[test]
+    fn arrow_length_is_capped() {
+        let mut img = RgbImage::new(30, 30, [0, 0, 0]);
+        let u = Grid2::from_fn(3, 3, |_, _| 1e6);
+        let v = Grid2::zeros(3, 3);
+        // Extreme speed: arrows must stay within stride·scale of origin.
+        draw_wind_glyphs(&mut img, &u, &v, 2, 2, 10.0, [1, 1, 1]);
+        // The pixel at far right of the first row would only be hit by an
+        // uncapped arrow (origin x = 0.., cap = 4px + barbs).
+        assert_eq!(img.get(29, 29), [0, 0, 0]);
+    }
+}

@@ -1,0 +1,186 @@
+//! In-memory RGB raster with PPM export and simple vector drawing.
+
+/// An 8-bit RGB image, row-major, origin at the *top-left* (standard
+/// raster convention; renderers flip the south-north axis when plotting
+/// geographic fields).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RgbImage {
+    width: usize,
+    height: usize,
+    pixels: Vec<u8>,
+}
+
+impl RgbImage {
+    /// New image filled with `fill`.
+    ///
+    /// # Panics
+    /// If either extent is zero.
+    pub fn new(width: usize, height: usize, fill: [u8; 3]) -> Self {
+        assert!(width > 0 && height > 0, "image extents must be positive");
+        let mut pixels = Vec::with_capacity(width * height * 3);
+        for _ in 0..width * height {
+            pixels.extend_from_slice(&fill);
+        }
+        RgbImage {
+            width,
+            height,
+            pixels,
+        }
+    }
+
+    /// Width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Pixel at `(x, y)`.
+    pub fn get(&self, x: usize, y: usize) -> [u8; 3] {
+        let o = (y * self.width + x) * 3;
+        [self.pixels[o], self.pixels[o + 1], self.pixels[o + 2]]
+    }
+
+    /// Set pixel `(x, y)`; silently ignores out-of-bounds (convenient for
+    /// clipped vector drawing).
+    pub fn set(&mut self, x: i64, y: i64, color: [u8; 3]) {
+        if x < 0 || y < 0 || x as usize >= self.width || y as usize >= self.height {
+            return;
+        }
+        let o = (y as usize * self.width + x as usize) * 3;
+        self.pixels[o..o + 3].copy_from_slice(&color);
+    }
+
+    /// Bresenham line from `(x0, y0)` to `(x1, y1)`.
+    pub fn draw_line(&mut self, x0: i64, y0: i64, x1: i64, y1: i64, color: [u8; 3]) {
+        let dx = (x1 - x0).abs();
+        let dy = -(y1 - y0).abs();
+        let sx = if x0 < x1 { 1 } else { -1 };
+        let sy = if y0 < y1 { 1 } else { -1 };
+        let (mut x, mut y) = (x0, y0);
+        let mut err = dx + dy;
+        loop {
+            self.set(x, y, color);
+            if x == x1 && y == y1 {
+                break;
+            }
+            let e2 = 2 * err;
+            if e2 >= dy {
+                err += dy;
+                x += sx;
+            }
+            if e2 <= dx {
+                err += dx;
+                y += sy;
+            }
+        }
+    }
+
+    /// Axis-aligned rectangle outline.
+    pub fn draw_rect(&mut self, x0: i64, y0: i64, x1: i64, y1: i64, color: [u8; 3]) {
+        self.draw_line(x0, y0, x1, y0, color);
+        self.draw_line(x1, y0, x1, y1, color);
+        self.draw_line(x1, y1, x0, y1, color);
+        self.draw_line(x0, y1, x0, y0, color);
+    }
+
+    /// Filled square marker of half-width `r` centred at `(x, y)`.
+    pub fn draw_marker(&mut self, x: i64, y: i64, r: i64, color: [u8; 3]) {
+        for dy in -r..=r {
+            for dx in -r..=r {
+                self.set(x + dx, y + dy, color);
+            }
+        }
+    }
+
+    /// Raw mutable pixel buffer (RGB, row-major) — used by the parallel
+    /// renderer to hand disjoint row bands to workers.
+    pub(crate) fn pixels_mut(&mut self) -> &mut [u8] {
+        &mut self.pixels
+    }
+
+    /// Encode as binary PPM (P6) — viewable everywhere, zero dependencies.
+    pub fn to_ppm(&self) -> Vec<u8> {
+        let header = format!("P6\n{} {}\n255\n", self.width, self.height);
+        let mut out = Vec::with_capacity(header.len() + self.pixels.len());
+        out.extend_from_slice(header.as_bytes());
+        out.extend_from_slice(&self.pixels);
+        out
+    }
+
+    /// Write a PPM file.
+    pub fn save_ppm(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_ppm())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_pixels() {
+        let mut img = RgbImage::new(4, 3, [10, 20, 30]);
+        assert_eq!(img.get(0, 0), [10, 20, 30]);
+        img.set(2, 1, [255, 0, 0]);
+        assert_eq!(img.get(2, 1), [255, 0, 0]);
+        assert_eq!(img.get(2, 2), [10, 20, 30]);
+    }
+
+    #[test]
+    fn out_of_bounds_set_is_ignored() {
+        let mut img = RgbImage::new(2, 2, [0, 0, 0]);
+        img.set(-1, 0, [255, 255, 255]);
+        img.set(0, 5, [255, 255, 255]);
+        for y in 0..2 {
+            for x in 0..2 {
+                assert_eq!(img.get(x, y), [0, 0, 0]);
+            }
+        }
+    }
+
+    #[test]
+    fn line_endpoints_and_diagonal() {
+        let mut img = RgbImage::new(5, 5, [0, 0, 0]);
+        img.draw_line(0, 0, 4, 4, [255, 255, 255]);
+        assert_eq!(img.get(0, 0), [255, 255, 255]);
+        assert_eq!(img.get(4, 4), [255, 255, 255]);
+        assert_eq!(img.get(2, 2), [255, 255, 255]);
+        assert_eq!(img.get(0, 4), [0, 0, 0]);
+    }
+
+    #[test]
+    fn rect_outline_not_filled() {
+        let mut img = RgbImage::new(6, 6, [0, 0, 0]);
+        img.draw_rect(1, 1, 4, 4, [9, 9, 9]);
+        assert_eq!(img.get(1, 1), [9, 9, 9]);
+        assert_eq!(img.get(4, 1), [9, 9, 9]);
+        assert_eq!(img.get(2, 2), [0, 0, 0], "interior untouched");
+    }
+
+    #[test]
+    fn ppm_header_and_size() {
+        let img = RgbImage::new(3, 2, [1, 2, 3]);
+        let ppm = img.to_ppm();
+        assert!(ppm.starts_with(b"P6\n3 2\n255\n"));
+        assert_eq!(ppm.len(), b"P6\n3 2\n255\n".len() + 3 * 2 * 3);
+    }
+
+    #[test]
+    fn marker_clips_at_edges() {
+        let mut img = RgbImage::new(3, 3, [0, 0, 0]);
+        img.draw_marker(0, 0, 1, [5, 5, 5]);
+        assert_eq!(img.get(0, 0), [5, 5, 5]);
+        assert_eq!(img.get(1, 1), [5, 5, 5]);
+        assert_eq!(img.get(2, 2), [0, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_size_rejected() {
+        RgbImage::new(0, 5, [0, 0, 0]);
+    }
+}

@@ -1,0 +1,319 @@
+//! Line-chart rendering for the paper's figures.
+//!
+//! The figure harness binaries print the series as tables and CSV; this
+//! module additionally renders them as images in the style of the paper's
+//! Figures 5–8: wall-clock time on the x-axis, one polyline per
+//! algorithm, axis ticks with labels, and a legend.
+
+use crate::font::{glyph, text_width};
+use crate::image::RgbImage;
+
+/// One curve on a chart.
+#[derive(Debug, Clone)]
+pub struct PlotSeries {
+    /// Legend label.
+    pub label: String,
+    /// `(x, y)` samples in x order.
+    pub points: Vec<(f64, f64)>,
+    /// Line color.
+    pub color: [u8; 3],
+}
+
+/// A line chart in the paper's figure style.
+#[derive(Debug, Clone)]
+pub struct Plot {
+    /// Chart title (rendered in the 5×7 chart font; unsupported
+    /// characters appear blank).
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// Canvas width in pixels.
+    pub width: usize,
+    /// Canvas height in pixels.
+    pub height: usize,
+    series: Vec<PlotSeries>,
+}
+
+/// The paper's two-algorithm palette: greedy red, optimization blue
+/// (plus a green for baselines).
+pub const GREEDY_RED: [u8; 3] = [200, 40, 40];
+/// See [`GREEDY_RED`].
+pub const OPTIMIZATION_BLUE: [u8; 3] = [40, 60, 200];
+/// See [`GREEDY_RED`].
+pub const BASELINE_GREEN: [u8; 3] = [30, 140, 60];
+
+impl Plot {
+    /// New empty chart.
+    pub fn new(title: impl Into<String>) -> Self {
+        Plot {
+            title: title.into(),
+            x_label: String::new(),
+            y_label: String::new(),
+            width: 640,
+            height: 420,
+            series: Vec::new(),
+        }
+    }
+
+    /// Add one curve.
+    pub fn add_series(
+        &mut self,
+        label: impl Into<String>,
+        points: Vec<(f64, f64)>,
+        color: [u8; 3],
+    ) {
+        self.series.push(PlotSeries {
+            label: label.into(),
+            points,
+            color,
+        });
+    }
+
+    /// Number of curves added.
+    pub fn series_count(&self) -> usize {
+        self.series.len()
+    }
+
+    /// Render the chart.
+    ///
+    /// # Panics
+    /// If no series with at least one point was added (an empty figure is
+    /// always a harness bug).
+    pub fn render(&self) -> RgbImage {
+        let (x0, x1, y0, y1) = self.data_range();
+        let mut img = RgbImage::new(self.width, self.height, [255, 255, 255]);
+
+        // Plot area inside margins.
+        let ml = 58usize; // left (y labels)
+        let mr = 16usize;
+        let mt = 28usize; // top (title)
+        let mb = 40usize; // bottom (x labels)
+        let pw = self.width - ml - mr;
+        let ph = self.height - mt - mb;
+        let to_px = |x: f64, y: f64| -> (i64, i64) {
+            let fx = if x1 > x0 { (x - x0) / (x1 - x0) } else { 0.5 };
+            let fy = if y1 > y0 { (y - y0) / (y1 - y0) } else { 0.5 };
+            (
+                (ml as f64 + fx * pw as f64) as i64,
+                (mt as f64 + (1.0 - fy) * ph as f64) as i64,
+            )
+        };
+
+        // Axes.
+        let axis = [0, 0, 0];
+        img.draw_line(ml as i64, mt as i64, ml as i64, (mt + ph) as i64, axis);
+        img.draw_line(
+            ml as i64,
+            (mt + ph) as i64,
+            (ml + pw) as i64,
+            (mt + ph) as i64,
+            axis,
+        );
+
+        // Ticks and numeric labels (4 intervals each way).
+        for k in 0..=4 {
+            let fx = k as f64 / 4.0;
+            let x = x0 + fx * (x1 - x0);
+            let (px, _) = to_px(x, y0);
+            img.draw_line(px, (mt + ph) as i64, px, (mt + ph + 4) as i64, axis);
+            let label = fmt_tick(x);
+            draw_text(
+                &mut img,
+                px - text_width(&label) as i64 / 2,
+                (mt + ph + 8) as i64,
+                &label,
+                axis,
+            );
+
+            let fy = k as f64 / 4.0;
+            let y = y0 + fy * (y1 - y0);
+            let (_, py) = to_px(x0, y);
+            img.draw_line((ml - 4) as i64, py, ml as i64, py, axis);
+            let label = fmt_tick(y);
+            draw_text(
+                &mut img,
+                ml as i64 - 6 - text_width(&label) as i64,
+                py - 3,
+                &label,
+                axis,
+            );
+        }
+
+        // Gridlines (light).
+        for k in 1..4 {
+            let y = y0 + k as f64 / 4.0 * (y1 - y0);
+            let (_, py) = to_px(x0, y);
+            img.draw_line((ml + 1) as i64, py, (ml + pw) as i64, py, [225, 225, 225]);
+        }
+
+        // Curves.
+        for s in &self.series {
+            let mut prev: Option<(i64, i64)> = None;
+            for &(x, y) in &s.points {
+                let p = to_px(x, y);
+                if let Some(q) = prev {
+                    img.draw_line(q.0, q.1, p.0, p.1, s.color);
+                    // Thicken by a second line one pixel lower.
+                    img.draw_line(q.0, q.1 + 1, p.0, p.1 + 1, s.color);
+                }
+                prev = Some(p);
+            }
+        }
+
+        // Title, axis labels, legend. The title is centred so it clears
+        // the y-axis label at the top-left.
+        draw_text(
+            &mut img,
+            (ml + pw / 2) as i64 - text_width(&self.title) as i64 / 2,
+            8,
+            &self.title,
+            axis,
+        );
+        draw_text(
+            &mut img,
+            (ml + pw / 2) as i64 - text_width(&self.x_label) as i64 / 2,
+            (self.height - 14) as i64,
+            &self.x_label,
+            axis,
+        );
+        draw_text(&mut img, 4, (mt.saturating_sub(14)) as i64, &self.y_label, axis);
+        let mut ly = mt as i64 + 6;
+        for s in &self.series {
+            let lx = (ml + pw) as i64 - 150;
+            img.draw_line(lx, ly + 3, lx + 18, ly + 3, s.color);
+            img.draw_line(lx, ly + 4, lx + 18, ly + 4, s.color);
+            draw_text(&mut img, lx + 24, ly, &s.label, axis);
+            ly += 12;
+        }
+
+        img
+    }
+
+    fn data_range(&self) -> (f64, f64, f64, f64) {
+        let mut pts = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().copied())
+            .peekable();
+        assert!(pts.peek().is_some(), "plot has no data");
+        let (mut x0, mut x1) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut y0, mut y1) = (f64::INFINITY, f64::NEG_INFINITY);
+        for (x, y) in pts {
+            x0 = x0.min(x);
+            x1 = x1.max(x);
+            y0 = y0.min(y);
+            y1 = y1.max(y);
+        }
+        // Pad a degenerate range so the mapping stays defined.
+        if x1 <= x0 {
+            x1 = x0 + 1.0;
+        }
+        if y1 <= y0 {
+            y1 = y0 + 1.0;
+        }
+        (x0, x1, y0, y1)
+    }
+}
+
+/// Render text in the 5×7 chart font at `(x, y)` (top-left anchor).
+pub fn draw_text(img: &mut RgbImage, x: i64, y: i64, text: &str, color: [u8; 3]) {
+    let mut cx = x;
+    for c in text.chars() {
+        if let Some(rows) = glyph(c) {
+            for (dy, row) in rows.iter().enumerate() {
+                for dx in 0..5 {
+                    if row & (0x10 >> dx) != 0 {
+                        img.set(cx + dx as i64, y + dy as i64, color);
+                    }
+                }
+            }
+        }
+        cx += 6;
+    }
+}
+
+fn fmt_tick(v: f64) -> String {
+    if v.abs() >= 10.0 || v == v.trunc() {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.1}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_plot() -> Plot {
+        let mut p = Plot::new("FIG 5(A) INTER-DEPARTMENT");
+        p.x_label = "WALL CLOCK (H)".into();
+        p.y_label = "SIM (MIN)".into();
+        p.add_series(
+            "GREEDY",
+            (0..50).map(|k| (k as f64, (k * k) as f64)).collect(),
+            GREEDY_RED,
+        );
+        p.add_series(
+            "OPTIMIZATION",
+            (0..50).map(|k| (k as f64, (k * 60) as f64)).collect(),
+            OPTIMIZATION_BLUE,
+        );
+        p
+    }
+
+    fn count_color(img: &RgbImage, color: [u8; 3]) -> usize {
+        let mut n = 0;
+        for y in 0..img.height() {
+            for x in 0..img.width() {
+                if img.get(x, y) == color {
+                    n += 1;
+                }
+            }
+        }
+        n
+    }
+
+    #[test]
+    fn renders_axes_curves_and_legend() {
+        let p = sample_plot();
+        let img = p.render();
+        assert_eq!(img.width(), 640);
+        assert_eq!(img.height(), 420);
+        // Both curve colors present in quantity (curve + legend swatch).
+        assert!(count_color(&img, GREEDY_RED) > 100);
+        assert!(count_color(&img, OPTIMIZATION_BLUE) > 100);
+        // Axis black present.
+        assert!(count_color(&img, [0, 0, 0]) > 200);
+    }
+
+    #[test]
+    fn degenerate_single_point_series_renders() {
+        let mut p = Plot::new("DOT");
+        p.add_series("ONE", vec![(5.0, 5.0)], GREEDY_RED);
+        let img = p.render();
+        assert!(img.width() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no data")]
+    fn empty_plot_panics() {
+        Plot::new("EMPTY").render();
+    }
+
+    #[test]
+    fn text_rendering_marks_pixels() {
+        let mut img = RgbImage::new(80, 12, [255, 255, 255]);
+        draw_text(&mut img, 0, 0, "AILA 995", [0, 0, 0]);
+        let mut black = 0;
+        for y in 0..12 {
+            for x in 0..80 {
+                if img.get(x, y) == [0, 0, 0] {
+                    black += 1;
+                }
+            }
+        }
+        assert!(black > 40, "glyphs drawn: {black} pixels");
+    }
+}

@@ -1,0 +1,305 @@
+//! The "VisIt plug-in": render a shipped frame dataset directly.
+//!
+//! Composes the paper's figure styles from one [`ncdf::Dataset`] frame:
+//! pseudocolor of the chosen scalar, coastline contour from the land mask,
+//! wind glyphs, the nest outline (Figure 3's "finer resolution nest inside
+//! parent domain"), and the eye marker.
+
+use crate::colormap::Colormap;
+use crate::contour::marching_squares;
+use crate::glyph::draw_wind_glyphs;
+use crate::image::RgbImage;
+use crate::render::{pseudocolor_parallel, value_range, windspeed};
+use crate::track::detect_eye;
+use ncdf::Dataset;
+use wrf::Grid2;
+
+/// Which scalar drives the pseudocolor underlay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScalarField {
+    /// Surface pressure (the paper's perturbation-pressure views).
+    Pressure,
+    /// Wind magnitude (the paper's nest windspeed view).
+    Windspeed,
+    /// Raw height-field perturbation.
+    Eta,
+    /// Water-vapour mixing ratio (the moist envelope of the storm).
+    Moisture,
+}
+
+/// Rendering failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RenderError {
+    /// The frame lacks a variable the renderer needs.
+    MissingVariable(&'static str),
+    /// A variable had an unexpected shape.
+    BadShape(&'static str),
+}
+
+impl std::fmt::Display for RenderError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RenderError::MissingVariable(v) => write!(f, "frame is missing variable `{v}`"),
+            RenderError::BadShape(v) => write!(f, "variable `{v}` has an unexpected shape"),
+        }
+    }
+}
+
+impl std::error::Error for RenderError {}
+
+/// Frame renderer with composition options.
+#[derive(Debug, Clone)]
+pub struct FrameRenderer {
+    /// Scalar underlay selection.
+    pub scalar: ScalarField,
+    /// Pixels per parent grid cell.
+    pub scale: usize,
+    /// Draw wind arrows every this many cells (0 disables glyphs).
+    pub glyph_stride: usize,
+    /// Draw the coastline from the land mask.
+    pub draw_coast: bool,
+    /// Outline the nest window when the frame carries one.
+    pub draw_nest_box: bool,
+    /// Mark the eye.
+    pub draw_eye: bool,
+    /// Color map for the underlay.
+    pub colormap: Colormap,
+    /// Workers for the pseudocolor underlay (1 = serial; the paper's
+    /// "parallelize the visualization process" future work).
+    pub threads: usize,
+}
+
+impl Default for FrameRenderer {
+    fn default() -> Self {
+        FrameRenderer {
+            scalar: ScalarField::Pressure,
+            scale: 2,
+            glyph_stride: 8,
+            draw_coast: true,
+            draw_nest_box: true,
+            draw_eye: true,
+            colormap: Colormap::viridis(),
+            threads: 1,
+        }
+    }
+}
+
+/// Decode a 2-D frame variable into a [`Grid2`].
+pub fn grid_from_var(ds: &Dataset, name: &'static str) -> Result<Grid2, RenderError> {
+    let var = ds.var(name).ok_or(RenderError::MissingVariable(name))?;
+    let shape = var.shape(ds);
+    if shape.len() != 2 || shape[0] == 0 || shape[1] == 0 {
+        return Err(RenderError::BadShape(name));
+    }
+    let vals = var.data.to_f64_vec();
+    let (ny, nx) = (shape[0], shape[1]);
+    let mut g = Grid2::zeros(nx, ny);
+    g.data_mut().copy_from_slice(&vals);
+    Ok(g)
+}
+
+impl FrameRenderer {
+    /// Render one frame.
+    pub fn render(&self, ds: &Dataset) -> Result<RgbImage, RenderError> {
+        let scalar = match self.scalar {
+            ScalarField::Pressure => grid_from_var(ds, "pressure")?,
+            ScalarField::Eta => grid_from_var(ds, "eta")?,
+            ScalarField::Moisture => grid_from_var(ds, "qvapor")?,
+            ScalarField::Windspeed => {
+                let u = grid_from_var(ds, "u")?;
+                let v = grid_from_var(ds, "v")?;
+                windspeed(&u, &v)
+            }
+        };
+        let (vmin, vmax) = value_range(&scalar);
+        let mut img =
+            pseudocolor_parallel(&scalar, &self.colormap, vmin, vmax, self.scale, self.threads);
+        let h = img.height() as i64;
+        let to_px = |gx: f64, gy: f64| -> (i64, i64) {
+            (
+                (gx * self.scale as f64) as i64,
+                h - 1 - (gy * self.scale as f64) as i64,
+            )
+        };
+
+        if self.draw_coast {
+            if let Ok(mask) = grid_from_var(ds, "landmask") {
+                for (a, b) in marching_squares(&mask, 0.5) {
+                    let (x0, y0) = to_px(a.0, a.1);
+                    let (x1, y1) = to_px(b.0, b.1);
+                    img.draw_line(x0, y0, x1, y1, [40, 40, 40]);
+                }
+            }
+        }
+
+        if self.glyph_stride > 0 {
+            let u = grid_from_var(ds, "u")?;
+            let v = grid_from_var(ds, "v")?;
+            draw_wind_glyphs(
+                &mut img,
+                &u,
+                &v,
+                self.scale,
+                self.glyph_stride,
+                0.15 * self.scale as f64,
+                [255, 255, 255],
+            );
+        }
+
+        if self.draw_nest_box {
+            if let (Some(origin), Some(nest_dx), Some(parent_dx)) = (
+                ds.attr("nest_origin_km").and_then(|a| a.as_f64_list()),
+                ds.attr("nest_dx_km").and_then(|a| a.as_f64()),
+                ds.attr("physics_dx_km").and_then(|a| a.as_f64()),
+            ) {
+                if origin.len() == 2 {
+                    if let Ok(nest) = grid_from_var(ds, "nest_pressure") {
+                        let gx0 = origin[0] / parent_dx;
+                        let gy0 = origin[1] / parent_dx;
+                        let gx1 = gx0 + (nest.nx() - 1) as f64 * nest_dx / parent_dx;
+                        let gy1 = gy0 + (nest.ny() - 1) as f64 * nest_dx / parent_dx;
+                        let (x0, y0) = to_px(gx0, gy0);
+                        let (x1, y1) = to_px(gx1, gy1);
+                        img.draw_rect(x0, y0, x1, y1, [255, 0, 0]);
+                    }
+                }
+            }
+        }
+
+        if self.draw_eye {
+            if let Some(fix) = detect_eye(ds) {
+                // Convert lon/lat back to grid coordinates via the domain
+                // corner attributes.
+                if let Some(c) = ds.attr("domain_lonlat").and_then(|a| a.as_f64_list()) {
+                    if c.len() == 4 {
+                        let gx = (fix.lon - c[0]) / (c[2] - c[0]) * (scalar.nx() - 1) as f64;
+                        let gy = (fix.lat - c[1]) / (c[3] - c[1]) * (scalar.ny() - 1) as f64;
+                        let (x, y) = to_px(gx, gy);
+                        img.draw_marker(x, y, 2, [255, 64, 64]);
+                    }
+                }
+            }
+        }
+
+        Ok(img)
+    }
+
+    /// Render the nest window alone (the paper's finest-resolution view).
+    /// Errors when the frame has no nest.
+    pub fn render_nest(&self, ds: &Dataset) -> Result<RgbImage, RenderError> {
+        let scalar = match self.scalar {
+            ScalarField::Pressure | ScalarField::Eta => grid_from_var(ds, "nest_pressure")?,
+            ScalarField::Moisture => grid_from_var(ds, "nest_qvapor")?,
+            ScalarField::Windspeed => {
+                let u = grid_from_var(ds, "nest_u")?;
+                let v = grid_from_var(ds, "nest_v")?;
+                windspeed(&u, &v)
+            }
+        };
+        let (vmin, vmax) = value_range(&scalar);
+        let mut img =
+            pseudocolor_parallel(&scalar, &self.colormap, vmin, vmax, self.scale, self.threads);
+        if self.glyph_stride > 0 {
+            let u = grid_from_var(ds, "nest_u")?;
+            let v = grid_from_var(ds, "nest_v")?;
+            draw_wind_glyphs(
+                &mut img,
+                &u,
+                &v,
+                self.scale,
+                self.glyph_stride,
+                0.15 * self.scale as f64,
+                [255, 255, 255],
+            );
+        }
+        Ok(img)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wrf::{ModelConfig, WrfModel};
+
+    fn frame_with_nest() -> Dataset {
+        let mut m = WrfModel::new(ModelConfig::aila_default().with_decimation(12)).unwrap();
+        m.advance_steps(4, 1).unwrap();
+        m.spawn_nest();
+        m.frame()
+    }
+
+    #[test]
+    fn renders_all_scalar_choices() {
+        let ds = frame_with_nest();
+        for scalar in [
+            ScalarField::Pressure,
+            ScalarField::Windspeed,
+            ScalarField::Eta,
+            ScalarField::Moisture,
+        ] {
+            let r = FrameRenderer {
+                scalar,
+                ..Default::default()
+            };
+            let img = r.render(&ds).unwrap();
+            assert!(img.width() > 10 && img.height() > 10);
+        }
+    }
+
+    #[test]
+    fn image_is_not_monochrome() {
+        let ds = frame_with_nest();
+        let img = FrameRenderer::default().render(&ds).unwrap();
+        let first = img.get(0, 0);
+        let mut distinct = 0;
+        'outer: for y in 0..img.height() {
+            for x in 0..img.width() {
+                if img.get(x, y) != first {
+                    distinct += 1;
+                    if distinct > 100 {
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        assert!(distinct > 100, "a cyclone frame has structure");
+    }
+
+    #[test]
+    fn nest_view_renders() {
+        let ds = frame_with_nest();
+        let r = FrameRenderer {
+            scalar: ScalarField::Windspeed,
+            ..Default::default()
+        };
+        let img = r.render_nest(&ds).unwrap();
+        assert!(img.width() > 4);
+    }
+
+    #[test]
+    fn nest_view_without_nest_errors() {
+        let m = WrfModel::new(ModelConfig::aila_default().with_decimation(12)).unwrap();
+        let ds = m.frame();
+        assert_eq!(
+            FrameRenderer::default().render_nest(&ds),
+            Err(RenderError::MissingVariable("nest_pressure"))
+        );
+    }
+
+    #[test]
+    fn empty_dataset_errors_cleanly() {
+        let ds = Dataset::new();
+        assert!(matches!(
+            FrameRenderer::default().render(&ds),
+            Err(RenderError::MissingVariable("pressure"))
+        ));
+    }
+
+    #[test]
+    fn ppm_roundtrip_size() {
+        let ds = frame_with_nest();
+        let img = FrameRenderer::default().render(&ds).unwrap();
+        let ppm = img.to_ppm();
+        assert!(ppm.len() > img.width() * img.height() * 3);
+    }
+}

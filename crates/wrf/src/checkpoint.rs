@@ -1,0 +1,347 @@
+//! Checkpoint / restart.
+//!
+//! The paper's job handler stops WRF and "restarts WRF using WRF
+//! checkpointed data with the new application configuration". The
+//! checkpoint here is a self-contained [`ncdf`] dataset: every
+//! configuration scalar as attributes, every prognostic field as an `f64`
+//! variable — so a restore needs nothing but the bytes, and a restored
+//! model continues the trajectory bit-exactly (tested).
+
+use crate::fields::Fields;
+use crate::grid::Grid2;
+use crate::model::{ModelConfig, ModelError, WrfModel};
+use crate::nest::{Nest, NestConfig};
+use crate::solver::PhysicsParams;
+use crate::vortex::{VortexParams, VortexState};
+use crate::DomainGeom;
+use ncdf::{AttrValue, Data, Dataset, DimId};
+
+impl WrfModel {
+    /// Serialize the complete model state.
+    pub fn checkpoint(&self) -> Vec<u8> {
+        let (cfg, fields, nest, vortex, sim_secs, steps) = self.parts();
+        let mut ds = Dataset::new();
+        ds.set_attr("kind", AttrValue::Text("wrf-lite checkpoint".into()));
+        ds.set_attr(
+            "geom",
+            AttrValue::F64List(vec![
+                cfg.geom.lon_west,
+                cfg.geom.lat_south,
+                cfg.geom.lon_span,
+                cfg.geom.lat_span,
+                cfg.geom.km_per_deg_lon,
+            ]),
+        );
+        ds.set_attr(
+            "phys",
+            AttrValue::F64List(vec![
+                cfg.phys.gravity,
+                cfg.phys.mean_depth_m,
+                cfg.phys.coriolis_f0,
+                cfg.phys.beta,
+                cfg.phys.rayleigh,
+                cfg.phys.diffusion_courant,
+                cfg.phys.nudge_tau_secs,
+                cfg.phys.y_center_km,
+                cfg.phys.q_land,
+                cfg.phys.q_sea,
+                cfg.phys.q_vortex_boost,
+                cfg.phys.q_tau_secs,
+            ]),
+        );
+        ds.set_attr(
+            "vortex_params",
+            AttrValue::F64List(vec![
+                cfg.vortex.start_lon,
+                cfg.vortex.start_lat,
+                cfg.vortex.steer_east_ms,
+                cfg.vortex.steer_north_ms,
+                cfg.vortex.initial_depth_hpa,
+                cfg.vortex.max_depth_hpa,
+                cfg.vortex.deepen_rate_per_hour,
+                cfg.vortex.fill_rate_per_hour,
+                cfg.vortex.radius_km,
+                cfg.vortex.hpa_per_eta_m,
+                cfg.vortex.wind_per_depth,
+            ]),
+        );
+        ds.set_attr(
+            "nest_cfg",
+            AttrValue::F64List(vec![
+                cfg.nest.ratio as f64,
+                cfg.nest.width_km,
+                cfg.nest.height_km,
+                cfg.nest.recenter_km,
+            ]),
+        );
+        ds.set_attr("resolution_km", AttrValue::F64(cfg.resolution_km));
+        ds.set_attr("decimation", AttrValue::I64(cfg.decimation as i64));
+        ds.set_attr("sim_secs", AttrValue::F64(sim_secs));
+        ds.set_attr("steps_taken", AttrValue::I64(steps as i64));
+        ds.set_attr(
+            "vortex_state",
+            AttrValue::F64List(vec![vortex.x_km, vortex.y_km, vortex.depth_hpa]),
+        );
+
+        put_fields(&mut ds, "parent", fields);
+        if let Some(n) = nest {
+            put_fields(&mut ds, "nest", &n.fields);
+        }
+        ds.to_bytes().to_vec()
+    }
+
+    /// Rebuild a model from checkpoint bytes.
+    pub fn restore(bytes: &[u8]) -> Result<Self, ModelError> {
+        let ds = Dataset::from_bytes(bytes)
+            .map_err(|e| ModelError::BadCheckpoint(e.to_string()))?;
+        let list = |name: &str, len: usize| -> Result<Vec<f64>, ModelError> {
+            let v = ds
+                .attr(name)
+                .and_then(|a| a.as_f64_list())
+                .ok_or_else(|| ModelError::BadCheckpoint(format!("missing attr {name}")))?;
+            if v.len() != len {
+                return Err(ModelError::BadCheckpoint(format!(
+                    "attr {name} has {} values, expected {len}",
+                    v.len()
+                )));
+            }
+            Ok(v.to_vec())
+        };
+        let scalar = |name: &str| -> Result<f64, ModelError> {
+            ds.attr(name)
+                .and_then(|a| a.as_f64())
+                .ok_or_else(|| ModelError::BadCheckpoint(format!("missing attr {name}")))
+        };
+
+        let g = list("geom", 5)?;
+        let geom = DomainGeom {
+            lon_west: g[0],
+            lat_south: g[1],
+            lon_span: g[2],
+            lat_span: g[3],
+            km_per_deg_lon: g[4],
+        };
+        let p = list("phys", 12)?;
+        let phys = PhysicsParams {
+            gravity: p[0],
+            mean_depth_m: p[1],
+            coriolis_f0: p[2],
+            beta: p[3],
+            rayleigh: p[4],
+            diffusion_courant: p[5],
+            nudge_tau_secs: p[6],
+            y_center_km: p[7],
+            q_land: p[8],
+            q_sea: p[9],
+            q_vortex_boost: p[10],
+            q_tau_secs: p[11],
+        };
+        let v = list("vortex_params", 11)?;
+        let vortex_params = VortexParams {
+            start_lon: v[0],
+            start_lat: v[1],
+            steer_east_ms: v[2],
+            steer_north_ms: v[3],
+            initial_depth_hpa: v[4],
+            max_depth_hpa: v[5],
+            deepen_rate_per_hour: v[6],
+            fill_rate_per_hour: v[7],
+            radius_km: v[8],
+            hpa_per_eta_m: v[9],
+            wind_per_depth: v[10],
+        };
+        let n = list("nest_cfg", 4)?;
+        let nest_cfg = NestConfig {
+            ratio: n[0] as usize,
+            width_km: n[1],
+            height_km: n[2],
+            recenter_km: n[3],
+        };
+        let cfg = ModelConfig {
+            geom,
+            phys,
+            vortex: vortex_params,
+            nest: nest_cfg,
+            resolution_km: scalar("resolution_km")?,
+            decimation: scalar("decimation")? as usize,
+        };
+        let vs = list("vortex_state", 3)?;
+        let vortex = VortexState {
+            x_km: vs[0],
+            y_km: vs[1],
+            depth_hpa: vs[2],
+        };
+        let fields = get_fields(&ds, "parent")?;
+        let nest = if ds.var("nest_eta").is_some() {
+            let nf = get_fields(&ds, "nest")?;
+            Some(Nest::from_checkpoint(nf, nest_cfg))
+        } else {
+            None
+        };
+
+        WrfModel::from_parts(
+            cfg,
+            fields,
+            nest,
+            vortex,
+            scalar("sim_secs")?,
+            scalar("steps_taken")? as u64,
+        )
+    }
+}
+
+impl Nest {
+    /// Reassemble a nest from checkpointed fields.
+    pub(crate) fn from_checkpoint(fields: Fields, cfg: NestConfig) -> Nest {
+        Nest::from_fields(fields, cfg)
+    }
+}
+
+fn put_fields(ds: &mut Dataset, prefix: &str, f: &Fields) {
+    let y = ds
+        .add_dim(format!("{prefix}_sn"), f.ny())
+        .expect("unique dims per prefix");
+    let x = ds
+        .add_dim(format!("{prefix}_we"), f.nx())
+        .expect("unique dims per prefix");
+    ds.set_attr(
+        format!("{prefix}_meta"),
+        AttrValue::F64List(vec![f.dx_km, f.origin_x_km, f.origin_y_km]),
+    );
+    let add = |ds: &mut Dataset, name: String, g: &Grid2, dims: &[DimId]| {
+        ds.add_var(name, dims, Data::F64(g.data().to_vec()))
+            .expect("shape matches grid");
+    };
+    add(ds, format!("{prefix}_eta"), &f.eta, &[y, x]);
+    add(ds, format!("{prefix}_u"), &f.u, &[y, x]);
+    add(ds, format!("{prefix}_v"), &f.v, &[y, x]);
+    add(ds, format!("{prefix}_q"), &f.q, &[y, x]);
+}
+
+fn get_fields(ds: &Dataset, prefix: &str) -> Result<Fields, ModelError> {
+    let meta = ds
+        .attr(&format!("{prefix}_meta"))
+        .and_then(|a| a.as_f64_list())
+        .ok_or_else(|| ModelError::BadCheckpoint(format!("missing {prefix}_meta")))?;
+    if meta.len() != 3 {
+        return Err(ModelError::BadCheckpoint(format!("bad {prefix}_meta")));
+    }
+    let grid = |name: String| -> Result<Grid2, ModelError> {
+        let var = ds
+            .var(&name)
+            .ok_or_else(|| ModelError::BadCheckpoint(format!("missing var {name}")))?;
+        let shape = var.shape(ds);
+        if shape.len() != 2 {
+            return Err(ModelError::BadCheckpoint(format!("{name} is not 2-D")));
+        }
+        let data = var
+            .data
+            .as_f64()
+            .ok_or_else(|| ModelError::BadCheckpoint(format!("{name} is not f64")))?;
+        let (ny, nx) = (shape[0], shape[1]);
+        if nx == 0 || ny == 0 {
+            return Err(ModelError::BadCheckpoint(format!("{name} has empty dims")));
+        }
+        let mut g = Grid2::zeros(nx, ny);
+        g.data_mut().copy_from_slice(data);
+        Ok(g)
+    };
+    let eta = grid(format!("{prefix}_eta"))?;
+    let u = grid(format!("{prefix}_u"))?;
+    let v = grid(format!("{prefix}_v"))?;
+    let q = grid(format!("{prefix}_q"))?;
+    let same = |g: &Grid2| g.nx() == eta.nx() && g.ny() == eta.ny();
+    if !same(&u) || !same(&v) || !same(&q) {
+        return Err(ModelError::BadCheckpoint("field shapes disagree".into()));
+    }
+    if !(meta[0] > 0.0 && meta[0].is_finite()) {
+        return Err(ModelError::BadCheckpoint("non-positive grid spacing".into()));
+    }
+    let mut f = Fields::zeros(eta.nx(), eta.ny(), meta[0]);
+    f.eta = eta;
+    f.u = u;
+    f.v = v;
+    f.q = q;
+    f.origin_x_km = meta[1];
+    f.origin_y_km = meta[2];
+    Ok(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> WrfModel {
+        let cfg = ModelConfig::aila_default().with_decimation(8);
+        WrfModel::new(cfg).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_without_nest() {
+        let mut m = model();
+        m.advance_steps(7, 1).unwrap();
+        let bytes = m.checkpoint();
+        let r = WrfModel::restore(&bytes).unwrap();
+        assert_eq!(m, r);
+    }
+
+    #[test]
+    fn roundtrip_with_nest() {
+        let mut m = model();
+        m.advance_steps(3, 1).unwrap();
+        m.spawn_nest();
+        m.advance_steps(3, 1).unwrap();
+        let r = WrfModel::restore(&m.checkpoint()).unwrap();
+        assert_eq!(m, r);
+        assert!(r.has_nest());
+    }
+
+    #[test]
+    fn restart_continues_bit_exactly() {
+        // Uninterrupted run vs checkpoint-restore-continue: identical.
+        let mut a = model();
+        a.advance_steps(10, 1).unwrap();
+
+        let mut b = model();
+        b.advance_steps(4, 1).unwrap();
+        let mut b2 = WrfModel::restore(&b.checkpoint()).unwrap();
+        b2.advance_steps(6, 1).unwrap();
+
+        assert_eq!(a, b2);
+    }
+
+    #[test]
+    fn restart_on_different_thread_count_is_identical() {
+        let mut a = model();
+        a.advance_steps(8, 2).unwrap();
+
+        let mut b = model();
+        b.advance_steps(4, 1).unwrap();
+        let mut b2 = WrfModel::restore(&b.checkpoint()).unwrap();
+        // "Rescheduled on a different number of processors."
+        b2.advance_steps(4, 3).unwrap();
+        assert_eq!(a, b2);
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert!(matches!(
+            WrfModel::restore(b"not a checkpoint"),
+            Err(ModelError::BadCheckpoint(_))
+        ));
+        // Valid ncdf but missing attributes.
+        let empty = Dataset::new().to_bytes();
+        assert!(matches!(
+            WrfModel::restore(&empty),
+            Err(ModelError::BadCheckpoint(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_checkpoint_rejected() {
+        let m = model();
+        let bytes = m.checkpoint();
+        let r = WrfModel::restore(&bytes[..bytes.len() / 2]);
+        assert!(matches!(r, Err(ModelError::BadCheckpoint(_))));
+    }
+}

@@ -1,0 +1,131 @@
+//! MPI-style domain decomposition rules.
+//!
+//! "WRF simulations have limitations in the number of cores that can be
+//! used depending on the grid size. Specifically, each MPI process should
+//! have at least 6x6 parent domain grid points and 9x9 nest domain grid
+//! points to process." This module answers which processor counts a given
+//! (parent, nest) grid pair admits — the discrete processor space the
+//! decision algorithms search.
+
+/// All `(px, py)` factorizations of `p`, px ascending.
+pub fn factor_pairs(p: usize) -> Vec<(usize, usize)> {
+    assert!(p > 0, "processor count must be positive");
+    let mut out = Vec::new();
+    for px in 1..=p {
+        if p.is_multiple_of(px) {
+            out.push((px, p / px));
+        }
+    }
+    out
+}
+
+/// The most-square valid decomposition of an `nx × ny` grid over `procs`
+/// ranks with at least `min_pts × min_pts` points per rank, or `None` when
+/// no factorization qualifies.
+pub fn best_decomposition(
+    nx: usize,
+    ny: usize,
+    procs: usize,
+    min_pts: usize,
+) -> Option<(usize, usize)> {
+    factor_pairs(procs)
+        .into_iter()
+        .filter(|&(px, py)| nx / px >= min_pts && ny / py >= min_pts)
+        .min_by_key(|&(px, py)| {
+            // Squareness: minimize |log(aspect)| without floats — use the
+            // larger/smaller ratio scaled.
+            let a = px.max(py);
+            let b = px.min(py);
+            (a * 1000) / b
+        })
+}
+
+/// True when `procs` ranks can decompose the grid legally.
+pub fn is_valid(nx: usize, ny: usize, procs: usize, min_pts: usize) -> bool {
+    best_decomposition(nx, ny, procs, min_pts).is_some()
+}
+
+/// Every processor count in `1..=max_procs` for which the parent grid
+/// decomposes with ≥ `min_parent_pts`² points per rank **and** (when a
+/// nest is given) the nest grid decomposes with ≥ `min_nest_pts`² points
+/// per rank.
+pub fn allowed_proc_counts(
+    parent: (usize, usize),
+    min_parent_pts: usize,
+    nest: Option<((usize, usize), usize)>,
+    max_procs: usize,
+) -> Vec<usize> {
+    (1..=max_procs)
+        .filter(|&p| {
+            is_valid(parent.0, parent.1, p, min_parent_pts)
+                && nest.is_none_or(|((nnx, nny), min_nest)| {
+                    is_valid(nnx, nny, p, min_nest)
+                })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MIN_NEST_POINTS_PER_RANK, MIN_PARENT_POINTS_PER_RANK};
+
+    #[test]
+    fn factor_pairs_of_12() {
+        assert_eq!(
+            factor_pairs(12),
+            vec![(1, 12), (2, 6), (3, 4), (4, 3), (6, 2), (12, 1)]
+        );
+    }
+
+    #[test]
+    fn best_decomposition_prefers_square() {
+        assert_eq!(best_decomposition(100, 100, 16, 6), Some((4, 4)));
+        assert_eq!(best_decomposition(100, 100, 12, 6), Some((3, 4)));
+    }
+
+    #[test]
+    fn decomposition_respects_min_points() {
+        // 12×12 grid, 6-point minimum: only 1, 2, or 4 ranks (2×2) work.
+        assert!(is_valid(12, 12, 1, 6));
+        assert!(is_valid(12, 12, 2, 6));
+        assert!(is_valid(12, 12, 4, 6));
+        assert!(!is_valid(12, 12, 8, 6), "would need a 2×4 split → 3 rows/rank");
+        assert!(!is_valid(12, 12, 9, 6));
+    }
+
+    #[test]
+    fn allowed_counts_intersect_parent_and_nest_rules() {
+        // Parent 60×60 (6-pt rule): supports up to 100 ranks (10×10).
+        // Nest 27×27 (9-pt rule): supports at most 9 ranks (3×3).
+        let with_nest = allowed_proc_counts((60, 60), 6, Some(((27, 27), 9)), 128);
+        assert!(with_nest.contains(&1));
+        assert!(with_nest.contains(&9));
+        assert!(!with_nest.contains(&16), "nest rule caps the count");
+        let without = allowed_proc_counts((60, 60), 6, None, 128);
+        assert!(without.contains(&100));
+        assert!(without.len() > with_nest.len());
+    }
+
+    #[test]
+    fn paper_nest_grid_caps_cores() {
+        // The paper's minimum nest is 100×127 with the 9×9 rule; the parent
+        // at 24 km is ~270×230 with the 6×6 rule. The combination must
+        // still admit the experiments' 48–90 core range.
+        let counts = allowed_proc_counts(
+            (270, 230),
+            MIN_PARENT_POINTS_PER_RANK,
+            Some(((100, 127), MIN_NEST_POINTS_PER_RANK)),
+            128,
+        );
+        assert!(counts.contains(&48), "fire's 48 cores are legal");
+        assert!(counts.contains(&90), "gg-blr's 90 cores are legal");
+        assert!(counts.contains(&56), "moria's 56 cores are legal");
+    }
+
+    #[test]
+    fn one_rank_is_always_legal_for_big_grids() {
+        assert!(is_valid(10, 10, 1, 6));
+        assert!(!is_valid(5, 10, 1, 6), "grid smaller than the minimum");
+    }
+}

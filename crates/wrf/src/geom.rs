@@ -1,0 +1,185 @@
+//! Domain geometry: the forecast region, its grid, and the land/sea mask.
+//!
+//! The paper's parent domain spans 60°E–120°E and 10°S–40°N ("an area of
+//! approximately 32×10⁶ sq. km"). We work on a local Cartesian plane in
+//! kilometres with a fixed conversion at the domain's reference latitude —
+//! adequate for a reduced model — and keep the lon/lat mapping for
+//! geography (land mask, track output, figure labels).
+
+use serde::{Deserialize, Serialize};
+
+/// Kilometres per degree of latitude (spherical Earth).
+pub const KM_PER_DEG_LAT: f64 = 111.2;
+
+/// Rectangular forecast domain with a lon/lat anchor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DomainGeom {
+    /// Western edge, degrees east.
+    pub lon_west: f64,
+    /// Southern edge, degrees north (negative = south).
+    pub lat_south: f64,
+    /// East–west extent in degrees.
+    pub lon_span: f64,
+    /// South–north extent in degrees.
+    pub lat_span: f64,
+    /// Kilometres per degree of longitude at the reference latitude.
+    pub km_per_deg_lon: f64,
+}
+
+impl DomainGeom {
+    /// The paper's domain: 60°E–120°E, 10°S–40°N. Longitude scale taken at
+    /// 15°N (the cyclone's genesis latitude).
+    pub fn bay_of_bengal() -> Self {
+        DomainGeom {
+            lon_west: 60.0,
+            lat_south: -10.0,
+            lon_span: 60.0,
+            lat_span: 50.0,
+            km_per_deg_lon: KM_PER_DEG_LAT * (15.0f64).to_radians().cos(),
+        }
+    }
+
+    /// Domain width in kilometres.
+    pub fn width_km(&self) -> f64 {
+        self.lon_span * self.km_per_deg_lon
+    }
+
+    /// Domain height in kilometres.
+    pub fn height_km(&self) -> f64 {
+        self.lat_span * KM_PER_DEG_LAT
+    }
+
+    /// Grid extent `(nx, ny)` at `resolution_km` spacing (at least 2×2).
+    pub fn grid_size(&self, resolution_km: f64) -> (usize, usize) {
+        assert!(resolution_km > 0.0);
+        let nx = (self.width_km() / resolution_km).round() as usize + 1;
+        let ny = (self.height_km() / resolution_km).round() as usize + 1;
+        (nx.max(2), ny.max(2))
+    }
+
+    /// Kilometre coordinates of a lon/lat point (origin at the domain's
+    /// south-west corner).
+    pub fn lonlat_to_km(&self, lon: f64, lat: f64) -> (f64, f64) {
+        (
+            (lon - self.lon_west) * self.km_per_deg_lon,
+            (lat - self.lat_south) * KM_PER_DEG_LAT,
+        )
+    }
+
+    /// Inverse of [`DomainGeom::lonlat_to_km`].
+    pub fn km_to_lonlat(&self, x_km: f64, y_km: f64) -> (f64, f64) {
+        (
+            self.lon_west + x_km / self.km_per_deg_lon,
+            self.lat_south + y_km / KM_PER_DEG_LAT,
+        )
+    }
+
+    /// True when the kilometre point lies inside the domain.
+    pub fn contains_km(&self, x_km: f64, y_km: f64) -> bool {
+        (0.0..=self.width_km()).contains(&x_km) && (0.0..=self.height_km()).contains(&y_km)
+    }
+
+    /// Land/sea mask for the cyclone's world: a coarse Bay-of-Bengal
+    /// coastline sufficient for the intensify-over-sea / decay-over-land
+    /// lifecycle. Land is:
+    /// - the Gangetic plain and Himalayan foothills north of 21.5°N,
+    /// - the Indian peninsula west of a slanted east coast,
+    /// - the Burmese coast east of 94°E.
+    pub fn is_land(&self, lon: f64, lat: f64) -> bool {
+        if lat >= 21.5 {
+            return true;
+        }
+        // Indian east coast: runs roughly from (80°E, 8°N) to (87°E, 21.5°N).
+        let coast_lon = 80.0 + (lat - 8.0) * (7.0 / 13.5);
+        if lat >= 8.0 && lon <= coast_lon {
+            return true;
+        }
+        // Burma / Andaman coast.
+        if lon >= 94.0 && lat >= 10.0 {
+            return true;
+        }
+        false
+    }
+
+    /// Land mask at kilometre coordinates.
+    pub fn is_land_km(&self, x_km: f64, y_km: f64) -> bool {
+        let (lon, lat) = self.km_to_lonlat(x_km, y_km);
+        self.is_land(lon, lat)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bay_of_bengal_extent_matches_paper() {
+        let g = DomainGeom::bay_of_bengal();
+        // ~32 million square kilometres.
+        let area = g.width_km() * g.height_km();
+        assert!(
+            (3.0e7..4.0e7).contains(&area),
+            "area {area} outside the paper's ~3.2e7 km²"
+        );
+    }
+
+    #[test]
+    fn lonlat_km_roundtrip() {
+        let g = DomainGeom::bay_of_bengal();
+        let (x, y) = g.lonlat_to_km(88.0, 14.0);
+        let (lon, lat) = g.km_to_lonlat(x, y);
+        assert!((lon - 88.0).abs() < 1e-9);
+        assert!((lat - 14.0).abs() < 1e-9);
+        assert!(x > 0.0 && y > 0.0);
+    }
+
+    #[test]
+    fn grid_size_scales_with_resolution() {
+        let g = DomainGeom::bay_of_bengal();
+        let (nx24, ny24) = g.grid_size(24.0);
+        let (nx10, ny10) = g.grid_size(10.0);
+        assert!(nx10 > 2 * nx24 && ny10 > 2 * ny24);
+        // 24 km over ~6450 km width → ~270 points.
+        assert!((240..320).contains(&nx24), "nx24 = {nx24}");
+        assert!((200..260).contains(&ny24), "ny24 = {ny24}");
+    }
+
+    #[test]
+    fn land_mask_geography() {
+        let g = DomainGeom::bay_of_bengal();
+        assert!(!g.is_land(88.0, 14.0), "central Bay of Bengal is sea");
+        assert!(g.is_land(88.4, 22.6), "Kolkata is land");
+        assert!(g.is_land(88.3, 27.0), "Darjeeling is land");
+        assert!(g.is_land(78.0, 15.0), "Indian peninsula is land");
+        assert!(!g.is_land(90.0, 18.0), "northern bay is sea");
+        assert!(g.is_land(96.0, 18.0), "Burma is land");
+        assert!(!g.is_land(85.0, -5.0), "southern ocean is sea");
+    }
+
+    #[test]
+    fn contains_km_bounds() {
+        let g = DomainGeom::bay_of_bengal();
+        assert!(g.contains_km(0.0, 0.0));
+        assert!(g.contains_km(g.width_km(), g.height_km()));
+        assert!(!g.contains_km(-1.0, 0.0));
+        assert!(!g.contains_km(0.0, g.height_km() + 1.0));
+    }
+
+    #[test]
+    fn aila_track_crosses_coast() {
+        // The cyclone starts at sea (~88E, 14N) and ends on land near
+        // Darjeeling (~88.3E, 27N): the mask must flip along the way.
+        let g = DomainGeom::bay_of_bengal();
+        let mut crossings = 0;
+        let mut prev = g.is_land(88.0, 14.0);
+        for step in 1..=100 {
+            let lat = 14.0 + 13.0 * step as f64 / 100.0;
+            let now = g.is_land(88.0 + 0.3 * step as f64 / 100.0, lat);
+            if now != prev {
+                crossings += 1;
+            }
+            prev = now;
+        }
+        assert_eq!(crossings, 1, "exactly one landfall");
+    }
+}

@@ -1,0 +1,250 @@
+//! Dense 2-D scalar field storage with bilinear sampling.
+
+use serde::{Deserialize, Serialize};
+
+/// A row-major `ny × nx` field of `f64` values.
+///
+/// Index convention throughout the crate: `(i, j)` = (column, row) =
+/// (west–east, south–north); storage is row-major with `j` slowest, so a
+/// row is contiguous — the natural layout for the row-band parallel
+/// decomposition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Grid2 {
+    nx: usize,
+    ny: usize,
+    data: Vec<f64>,
+}
+
+impl Grid2 {
+    /// New zero-filled grid.
+    ///
+    /// # Panics
+    /// If either extent is zero.
+    pub fn zeros(nx: usize, ny: usize) -> Self {
+        assert!(nx > 0 && ny > 0, "grid extents must be positive");
+        Grid2 {
+            nx,
+            ny,
+            data: vec![0.0; nx * ny],
+        }
+    }
+
+    /// Build by evaluating `f(i, j)` at every point.
+    pub fn from_fn(nx: usize, ny: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut g = Self::zeros(nx, ny);
+        for j in 0..ny {
+            for i in 0..nx {
+                g.data[j * nx + i] = f(i, j);
+            }
+        }
+        g
+    }
+
+    /// Points west–east.
+    pub fn nx(&self) -> usize {
+        self.nx
+    }
+
+    /// Points south–north.
+    pub fn ny(&self) -> usize {
+        self.ny
+    }
+
+    /// Total number of points.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Always false (extents are positive by construction); present for
+    /// clippy's `len`-without-`is_empty` convention.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Value at `(i, j)`.
+    #[inline]
+    pub fn at(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.nx && j < self.ny);
+        self.data[j * self.nx + i]
+    }
+
+    /// Mutable value at `(i, j)`.
+    #[inline]
+    pub fn at_mut(&mut self, i: usize, j: usize) -> &mut f64 {
+        debug_assert!(i < self.nx && j < self.ny);
+        &mut self.data[j * self.nx + i]
+    }
+
+    /// Set `(i, j)`.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        *self.at_mut(i, j) = v;
+    }
+
+    /// Raw data, row-major.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Raw mutable data, row-major.
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// One row as a slice.
+    pub fn row(&self, j: usize) -> &[f64] {
+        &self.data[j * self.nx..(j + 1) * self.nx]
+    }
+
+    /// Fill every point with `v`.
+    pub fn fill(&mut self, v: f64) {
+        self.data.fill(v);
+    }
+
+    /// Minimum value and its `(i, j)` location (first occurrence).
+    pub fn min_with_pos(&self) -> (f64, usize, usize) {
+        let (idx, &v) = self
+            .data
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite field values"))
+            .expect("grids are non-empty");
+        (v, idx % self.nx, idx / self.nx)
+    }
+
+    /// Maximum value over all points.
+    pub fn max_value(&self) -> f64 {
+        self.data
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Bilinear sample at fractional coordinates `(x, y)` in grid units
+    /// (point `(i, j)` sits at `(i as f64, j as f64)`), clamped to the
+    /// domain so samples just outside the edge take the edge value.
+    pub fn sample(&self, x: f64, y: f64) -> f64 {
+        let x = x.clamp(0.0, (self.nx - 1) as f64);
+        let y = y.clamp(0.0, (self.ny - 1) as f64);
+        let i0 = x.floor() as usize;
+        let j0 = y.floor() as usize;
+        let i1 = (i0 + 1).min(self.nx - 1);
+        let j1 = (j0 + 1).min(self.ny - 1);
+        let fx = x - i0 as f64;
+        let fy = y - j0 as f64;
+        let top = self.at(i0, j1) * (1.0 - fx) + self.at(i1, j1) * fx;
+        let bot = self.at(i0, j0) * (1.0 - fx) + self.at(i1, j0) * fx;
+        bot * (1.0 - fy) + top * fy
+    }
+
+    /// Resample onto a new grid of `(nx, ny)` points spanning the same
+    /// physical extent (used when the simulation resolution changes).
+    pub fn resample(&self, nx: usize, ny: usize) -> Grid2 {
+        assert!(nx > 0 && ny > 0);
+        let sx = if nx > 1 {
+            (self.nx - 1) as f64 / (nx - 1) as f64
+        } else {
+            0.0
+        };
+        let sy = if ny > 1 {
+            (self.ny - 1) as f64 / (ny - 1) as f64
+        } else {
+            0.0
+        };
+        Grid2::from_fn(nx, ny, |i, j| self.sample(i as f64 * sx, j as f64 * sy))
+    }
+
+    /// Mean of all values.
+    pub fn mean(&self) -> f64 {
+        self.data.iter().sum::<f64>() / self.data.len() as f64
+    }
+
+    /// Sum of all values (mass diagnostic for conservation tests).
+    pub fn sum(&self) -> f64 {
+        self.data.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexing_roundtrip() {
+        let mut g = Grid2::zeros(4, 3);
+        g.set(2, 1, 7.5);
+        assert_eq!(g.at(2, 1), 7.5);
+        assert_eq!(g.data()[4 + 2], 7.5);
+        assert_eq!(g.len(), 12);
+    }
+
+    #[test]
+    fn from_fn_layout() {
+        let g = Grid2::from_fn(3, 2, |i, j| (i + 10 * j) as f64);
+        assert_eq!(g.row(0), &[0.0, 1.0, 2.0]);
+        assert_eq!(g.row(1), &[10.0, 11.0, 12.0]);
+    }
+
+    #[test]
+    fn min_with_pos_finds_first_minimum() {
+        let mut g = Grid2::zeros(3, 3);
+        g.set(1, 2, -5.0);
+        let (v, i, j) = g.min_with_pos();
+        assert_eq!((v, i, j), (-5.0, 1, 2));
+    }
+
+    #[test]
+    fn max_value_works() {
+        let g = Grid2::from_fn(3, 3, |i, j| (i * j) as f64);
+        assert_eq!(g.max_value(), 4.0);
+    }
+
+    #[test]
+    fn bilinear_sample_interpolates() {
+        let g = Grid2::from_fn(2, 2, |i, j| (i + 2 * j) as f64); // 0 1 / 2 3
+        assert_eq!(g.sample(0.0, 0.0), 0.0);
+        assert_eq!(g.sample(1.0, 1.0), 3.0);
+        assert_eq!(g.sample(0.5, 0.5), 1.5);
+        assert_eq!(g.sample(0.5, 0.0), 0.5);
+    }
+
+    #[test]
+    fn sample_clamps_outside_domain() {
+        let g = Grid2::from_fn(2, 2, |i, _| i as f64);
+        assert_eq!(g.sample(-3.0, 0.0), 0.0);
+        assert_eq!(g.sample(5.0, 0.5), 1.0);
+    }
+
+    #[test]
+    fn resample_identity() {
+        let g = Grid2::from_fn(5, 4, |i, j| (i * 3 + j) as f64);
+        let r = g.resample(5, 4);
+        assert_eq!(g, r);
+    }
+
+    #[test]
+    fn resample_preserves_linear_fields() {
+        // A plane is reproduced exactly by bilinear resampling.
+        let g = Grid2::from_fn(5, 5, |i, j| 2.0 * i as f64 + 3.0 * j as f64);
+        let r = g.resample(9, 9);
+        for j in 0..9 {
+            for i in 0..9 {
+                let want = 2.0 * (i as f64 * 0.5) + 3.0 * (j as f64 * 0.5);
+                assert!((r.at(i, j) - want).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn mean_and_sum() {
+        let g = Grid2::from_fn(2, 2, |i, j| (1 + i + 2 * j) as f64); // 1 2 3 4
+        assert_eq!(g.sum(), 10.0);
+        assert_eq!(g.mean(), 2.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_extent_rejected() {
+        Grid2::zeros(0, 3);
+    }
+}

@@ -1,0 +1,307 @@
+//! The shallow-water integrator: forward–backward time stepping.
+//!
+//! Per step, two passes:
+//!
+//! 1. **continuity** — `η' = η + dt·(−H ∇·(u,v) + ν∇²η + nudge − damp)`,
+//! 2. **momentum** — `(u,v)' from the *new* η` (forward–backward coupling,
+//!    which is stable for linear gravity waves up to CFL ≈ 1), with
+//!    Coriolis on a beta plane, Rayleigh damping, diffusion, and nudging
+//!    toward the analytic vortex.
+//!
+//! Each pass writes a fresh output array from read-only inputs, so a pass
+//! parallelizes over row bands with no synchronization beyond the barrier
+//! between passes — exactly the halo-exchange structure of the MPI
+//! decomposition it stands in for (see [`crate::par`]).
+
+use crate::fields::Fields;
+use crate::geom::DomainGeom;
+use crate::vortex::{VortexParams, VortexState};
+use serde::{Deserialize, Serialize};
+
+/// Physical and numerical parameters of the integrator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PhysicsParams {
+    /// Gravitational acceleration, m/s².
+    pub gravity: f64,
+    /// Equivalent mean depth of the shallow-water layer, m (sets the
+    /// gravity-wave speed √(gH); 500 m → 70 m/s, comfortably inside the
+    /// CFL bound for WRF's 6 s/km time-step rule).
+    pub mean_depth_m: f64,
+    /// Coriolis parameter at the domain reference latitude, 1/s.
+    pub coriolis_f0: f64,
+    /// Beta-plane gradient df/dy, 1/(m·s).
+    pub beta: f64,
+    /// Rayleigh damping rate, 1/s.
+    pub rayleigh: f64,
+    /// Diffusion strength as a Courant-like number: ν = c·dx²/dt.
+    pub diffusion_courant: f64,
+    /// Nudging relaxation time toward the analytic vortex, seconds.
+    pub nudge_tau_secs: f64,
+    /// Domain-centre y coordinate, km (beta-plane origin).
+    pub y_center_km: f64,
+    /// Background water-vapour mixing ratio over land, kg/kg.
+    pub q_land: f64,
+    /// Background water-vapour mixing ratio over sea, kg/kg.
+    pub q_sea: f64,
+    /// Extra moisture loading in the vortex core, kg/kg.
+    pub q_vortex_boost: f64,
+    /// Relaxation time of the moisture source/sink, seconds.
+    pub q_tau_secs: f64,
+}
+
+impl PhysicsParams {
+    /// Defaults for the Bay-of-Bengal domain (reference latitude 15°N).
+    pub fn bay_of_bengal() -> Self {
+        let omega = 7.292e-5;
+        let lat_ref = 15.0f64.to_radians();
+        PhysicsParams {
+            gravity: 9.81,
+            mean_depth_m: 500.0,
+            coriolis_f0: 2.0 * omega * lat_ref.sin(),
+            beta: 2.0 * omega * lat_ref.cos() / 6.371e6,
+            rayleigh: 1.0 / (12.0 * 3600.0),
+            diffusion_courant: 0.02,
+            // 30 minutes: strong enough that residual imbalance between
+            // the analytic wind and height targets cannot drift the
+            // diagnosed central pressure away from the calibrated
+            // lifecycle, weak enough that the PDE dynamics still shape the
+            // fields between targets.
+            nudge_tau_secs: 1800.0,
+            y_center_km: 2780.0,
+            q_land: 0.008,
+            q_sea: 0.016,
+            q_vortex_boost: 0.006,
+            q_tau_secs: 6.0 * 3600.0,
+        }
+    }
+
+    /// Gravity-wave speed √(gH), m/s.
+    pub fn wave_speed(&self) -> f64 {
+        (self.gravity * self.mean_depth_m).sqrt()
+    }
+
+    /// Coriolis parameter at parent-frame `y_km`.
+    #[inline]
+    pub fn coriolis_at(&self, y_km: f64) -> f64 {
+        self.coriolis_f0 + self.beta * (y_km - self.y_center_km) * 1000.0
+    }
+}
+
+/// Everything one integration step needs, borrowed.
+pub(crate) struct StepInputs<'a> {
+    pub old: &'a Fields,
+    pub vortex: &'a VortexState,
+    pub phys: &'a PhysicsParams,
+    pub vparams: &'a VortexParams,
+    pub geom: &'a DomainGeom,
+    pub dt_secs: f64,
+}
+
+impl StepInputs<'_> {
+    /// Moisture relaxation target: maritime background over sea, drier
+    /// over land, with a moist core following the vortex.
+    fn q_target(&self, x_km: f64, y_km: f64) -> f64 {
+        let base = if self.geom.is_land_km(x_km, y_km) {
+            self.phys.q_land
+        } else {
+            self.phys.q_sea
+        };
+        let r2 = (x_km - self.vortex.x_km).powi(2) + (y_km - self.vortex.y_km).powi(2);
+        let core = self.phys.q_vortex_boost
+            * (self.vortex.depth_hpa / self.vparams.max_depth_hpa)
+            * (-r2 / (2.0 * self.vparams.radius_km.powi(2))).exp();
+        base + core
+    }
+}
+
+impl StepInputs<'_> {
+    fn dx_m(&self) -> f64 {
+        self.old.dx_km * 1000.0
+    }
+
+    fn nu(&self) -> f64 {
+        self.phys.diffusion_courant * self.dx_m() * self.dx_m() / self.dt_secs
+    }
+}
+
+/// Pass 1: write new `eta` values for rows `j0..j1` into `out`, which must
+/// be the row-major slice of those rows (`(j1 − j0) · nx` values).
+pub(crate) fn step_eta_rows(inp: &StepInputs<'_>, j0: usize, j1: usize, out: &mut [f64]) {
+    let f = inp.old;
+    let (nx, ny) = (f.nx(), f.ny());
+    debug_assert_eq!(out.len(), (j1 - j0) * nx);
+    let dx = inp.dx_m();
+    let dt = inp.dt_secs;
+    let h = inp.phys.mean_depth_m;
+    let nu = inp.nu();
+    let tau = inp.phys.nudge_tau_secs;
+    let damp = inp.phys.rayleigh;
+
+    for j in j0..j1 {
+        let row = &mut out[(j - j0) * nx..(j - j0 + 1) * nx];
+        for (i, slot) in row.iter_mut().enumerate() {
+            let y = f.y_km(j);
+            let x = f.x_km(i);
+            let target = inp.vortex.target_eta(x, y, inp.vparams);
+            if i == 0 || j == 0 || i == nx - 1 || j == ny - 1 {
+                // Analytic boundary: the nudging target is the large-scale
+                // state, which is what a limited-area model's boundary
+                // forcing provides.
+                *slot = target;
+                continue;
+            }
+            let eta = f.eta.at(i, j);
+            let div = (f.u.at(i + 1, j) - f.u.at(i - 1, j)
+                + f.v.at(i, j + 1)
+                - f.v.at(i, j - 1))
+                / (2.0 * dx);
+            let lap = (f.eta.at(i + 1, j)
+                + f.eta.at(i - 1, j)
+                + f.eta.at(i, j + 1)
+                + f.eta.at(i, j - 1)
+                - 4.0 * eta)
+                / (dx * dx);
+            *slot = eta
+                + dt * (-h * div + nu * lap + (target - eta) / tau - damp * eta);
+        }
+    }
+}
+
+/// Pass 2: write new `(u, v)` for rows `j0..j1`, reading the *new* eta.
+pub(crate) fn step_uv_rows(
+    inp: &StepInputs<'_>,
+    eta_new: &[f64],
+    j0: usize,
+    j1: usize,
+    out_u: &mut [f64],
+    out_v: &mut [f64],
+) {
+    let f = inp.old;
+    let (nx, ny) = (f.nx(), f.ny());
+    debug_assert_eq!(eta_new.len(), nx * ny);
+    debug_assert_eq!(out_u.len(), (j1 - j0) * nx);
+    debug_assert_eq!(out_v.len(), (j1 - j0) * nx);
+    let dx = inp.dx_m();
+    let dt = inp.dt_secs;
+    let g = inp.phys.gravity;
+    let nu = inp.nu();
+    let tau = inp.phys.nudge_tau_secs;
+    let damp = inp.phys.rayleigh;
+    let eta_at = |i: usize, j: usize| eta_new[j * nx + i];
+
+    for j in j0..j1 {
+        let base = (j - j0) * nx;
+        for i in 0..nx {
+            let x = f.x_km(i);
+            let y = f.y_km(j);
+            let (tu, tv) = inp.vortex.target_uv(x, y, inp.vparams);
+            if i == 0 || j == 0 || i == nx - 1 || j == ny - 1 {
+                out_u[base + i] = tu;
+                out_v[base + i] = tv;
+                continue;
+            }
+            let u = f.u.at(i, j);
+            let v = f.v.at(i, j);
+            let detadx = (eta_at(i + 1, j) - eta_at(i - 1, j)) / (2.0 * dx);
+            let detady = (eta_at(i, j + 1) - eta_at(i, j - 1)) / (2.0 * dx);
+            let lap_u = (f.u.at(i + 1, j) + f.u.at(i - 1, j) + f.u.at(i, j + 1)
+                + f.u.at(i, j - 1)
+                - 4.0 * u)
+                / (dx * dx);
+            let lap_v = (f.v.at(i + 1, j) + f.v.at(i - 1, j) + f.v.at(i, j + 1)
+                + f.v.at(i, j - 1)
+                - 4.0 * v)
+                / (dx * dx);
+            let fcor = inp.phys.coriolis_at(y);
+            out_u[base + i] =
+                u + dt * (-g * detadx + fcor * v + nu * lap_u + (tu - u) / tau - damp * u);
+            out_v[base + i] =
+                v + dt * (-g * detady - fcor * u + nu * lap_v + (tv - v) / tau - damp * v);
+        }
+    }
+}
+
+/// Tracer pass: advect the moisture field with first-order upwinding,
+/// relax it toward the land/sea/vortex source profile, and diffuse. Reads
+/// only the previous state, so it can run concurrently with the
+/// continuity pass.
+pub(crate) fn step_q_rows(inp: &StepInputs<'_>, j0: usize, j1: usize, out: &mut [f64]) {
+    let f = inp.old;
+    let (nx, ny) = (f.nx(), f.ny());
+    debug_assert_eq!(out.len(), (j1 - j0) * nx);
+    let dx = inp.dx_m();
+    let dt = inp.dt_secs;
+    let nu = inp.nu();
+    let tau = inp.phys.q_tau_secs;
+
+    for j in j0..j1 {
+        let row = &mut out[(j - j0) * nx..(j - j0 + 1) * nx];
+        for (i, slot) in row.iter_mut().enumerate() {
+            let x = f.x_km(i);
+            let y = f.y_km(j);
+            let target = inp.q_target(x, y);
+            if i == 0 || j == 0 || i == nx - 1 || j == ny - 1 {
+                *slot = target;
+                continue;
+            }
+            let q = f.q.at(i, j);
+            let u = f.u.at(i, j);
+            let v = f.v.at(i, j);
+            // First-order upwind derivatives (monotone, keeps the tracer
+            // free of advective over/undershoots).
+            let dqdx = if u >= 0.0 {
+                (q - f.q.at(i - 1, j)) / dx
+            } else {
+                (f.q.at(i + 1, j) - q) / dx
+            };
+            let dqdy = if v >= 0.0 {
+                (q - f.q.at(i, j - 1)) / dx
+            } else {
+                (f.q.at(i, j + 1) - q) / dx
+            };
+            let lap = (f.q.at(i + 1, j) + f.q.at(i - 1, j) + f.q.at(i, j + 1)
+                + f.q.at(i, j - 1)
+                - 4.0 * q)
+                / (dx * dx);
+            *slot = q + dt * (-(u * dqdx + v * dqdy) + nu * lap + (target - q) / tau);
+        }
+    }
+}
+
+/// One full serial step: returns the new fields.
+pub(crate) fn step_serial(inp: &StepInputs<'_>) -> Fields {
+    let (nx, ny) = (inp.old.nx(), inp.old.ny());
+    let mut new = Fields::zeros(nx, ny, inp.old.dx_km);
+    new.origin_x_km = inp.old.origin_x_km;
+    new.origin_y_km = inp.old.origin_y_km;
+    step_eta_rows(inp, 0, ny, new.eta.data_mut());
+    step_q_rows(inp, 0, ny, new.q.data_mut());
+    // Disjoint field borrows: eta read-only, u and v written.
+    let Fields { eta, u, v, .. } = &mut new;
+    step_uv_rows(inp, eta.data(), 0, ny, u.data_mut(), v.data_mut());
+    new
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geom::DomainGeom;
+
+    #[test]
+    fn wave_speed_within_cfl_for_wrf_timestep() {
+        let p = PhysicsParams::bay_of_bengal();
+        // dt = 6 s per km of dx → Courant = c·dt/dx = 6e-3 s/m · c.
+        let courant = p.wave_speed() * 6.0 / 1000.0;
+        assert!(courant < 0.7, "Courant {courant} too close to instability");
+    }
+
+    #[test]
+    fn coriolis_changes_sign_across_equator() {
+        let g = DomainGeom::bay_of_bengal();
+        let p = PhysicsParams::bay_of_bengal();
+        let (_, y_north) = g.lonlat_to_km(90.0, 30.0);
+        let (_, y_south) = g.lonlat_to_km(90.0, -8.0);
+        assert!(p.coriolis_at(y_north) > 0.0);
+        assert!(p.coriolis_at(y_south) < 0.0);
+    }
+}

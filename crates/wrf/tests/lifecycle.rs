@@ -1,0 +1,75 @@
+//! Mission-length integration test: the dynamically-simulated pressure
+//! lifecycle must sweep the paper's Table III schedule with sensible
+//! timing, because every experiment's resolution adaptation hangs off it.
+
+use wrf::{ModelConfig, WrfModel};
+
+/// Run the full 60-hour Aila mission on a decimated physics grid and
+/// record when each Table III pressure threshold is first crossed.
+#[test]
+fn pressure_lifecycle_sweeps_table_iii() {
+    let cfg = ModelConfig::aila_default().with_decimation(8);
+    let mut model = WrfModel::new(cfg).unwrap();
+    let thresholds = [995.0, 994.0, 992.0, 990.0, 988.0, 986.0];
+    let mut crossed_at_h: Vec<Option<f64>> = vec![None; thresholds.len()];
+    let mut min_seen = f64::INFINITY;
+
+    let mut hour = 0.0;
+    while hour < 60.0 {
+        hour += 1.0;
+        model.advance_to_minutes(hour * 60.0, 1).unwrap();
+        let p = model.min_pressure_hpa();
+        min_seen = min_seen.min(p);
+        for (k, &th) in thresholds.iter().enumerate() {
+            if crossed_at_h[k].is_none() && p < th {
+                crossed_at_h[k] = Some(hour);
+            }
+        }
+    }
+
+    // Every threshold is crossed during the mission.
+    for (k, t) in crossed_at_h.iter().enumerate() {
+        assert!(
+            t.is_some(),
+            "threshold {} hPa never crossed (min seen {min_seen:.1})",
+            thresholds[k]
+        );
+    }
+    // Crossings are ordered and spread out — not all in one epoch.
+    let times: Vec<f64> = crossed_at_h.iter().map(|t| t.unwrap()).collect();
+    for w in times.windows(2) {
+        assert!(w[1] >= w[0], "crossings in order: {times:?}");
+    }
+    assert!(
+        times[0] >= 6.0 && times[0] <= 36.0,
+        "995 hPa (nest spawn) in the first day-and-a-half: {times:?}"
+    );
+    assert!(
+        times[5] - times[0] >= 10.0,
+        "schedule spread over ≥10 h: {times:?}"
+    );
+    assert!(
+        times[5] <= 55.0,
+        "deepest stage reached before landfall: {times:?}"
+    );
+    // The dynamic minimum tracks the analytic cap (not an adjustment
+    // artefact far below it).
+    assert!(
+        min_seen > 975.0 && min_seen < 990.0,
+        "peak intensity in range: {min_seen:.1} hPa"
+    );
+}
+
+/// The eye found by the dynamic fields lands near Darjeeling-ish latitudes
+/// by mission end, having started in the central bay.
+#[test]
+fn track_reaches_the_gangetic_plain() {
+    let cfg = ModelConfig::aila_default().with_decimation(8);
+    let mut model = WrfModel::new(cfg).unwrap();
+    let (lon0, lat0) = model.eye_lonlat();
+    assert!((13.0..15.5).contains(&lat0), "genesis latitude {lat0}");
+    model.advance_to_minutes(60.0 * 60.0, 1).unwrap();
+    let (lon1, lat1) = model.eye_lonlat();
+    assert!(lat1 > 20.0, "eye reached the north bay/coast: {lat1}");
+    assert!(lon1 >= lon0 - 1.0, "no westward jump: {lon0} → {lon1}");
+}

@@ -1,0 +1,110 @@
+//! Property tests for the dynamical core's numerical building blocks.
+
+use proptest::prelude::*;
+use wrf::decomp;
+use wrf::{DomainGeom, Grid2, ModelConfig, VortexParams, VortexState, WrfModel};
+
+fn arb_grid() -> impl Strategy<Value = Grid2> {
+    (2usize..12, 2usize..12)
+        .prop_flat_map(|(nx, ny)| {
+            prop::collection::vec(-1e3f64..1e3, nx * ny..=nx * ny)
+                .prop_map(move |vals| {
+                    let mut g = Grid2::zeros(nx, ny);
+                    g.data_mut().copy_from_slice(&vals);
+                    g
+                })
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn bilinear_sampling_is_bounded_by_grid_extremes(
+        g in arb_grid(),
+        x in -5.0f64..20.0,
+        y in -5.0f64..20.0,
+    ) {
+        let v = g.sample(x, y);
+        let (min, _, _) = g.min_with_pos();
+        let max = g.max_value();
+        prop_assert!(v >= min - 1e-9 && v <= max + 1e-9,
+            "sample {v} escapes [{min}, {max}]");
+    }
+
+    #[test]
+    fn resampling_is_bounded_and_idempotent_at_identity(
+        g in arb_grid(),
+        nx in 2usize..20,
+        ny in 2usize..20,
+    ) {
+        let r = g.resample(nx, ny);
+        let (min, _, _) = g.min_with_pos();
+        let max = g.max_value();
+        let (rmin, _, _) = r.min_with_pos();
+        prop_assert!(rmin >= min - 1e-9);
+        prop_assert!(r.max_value() <= max + 1e-9);
+        // Identity resample is exact.
+        let same = g.resample(g.nx(), g.ny());
+        prop_assert_eq!(&same, &g);
+    }
+
+    #[test]
+    fn vortex_depth_stays_in_bounds_for_any_step_pattern(
+        steps in prop::collection::vec(1.0f64..3600.0, 1..200),
+    ) {
+        let params = VortexParams::aila();
+        let geom = DomainGeom::bay_of_bengal();
+        let mut v = VortexState::genesis(&params, &geom);
+        for dt in steps {
+            v.advance(dt, &params, &geom);
+            prop_assert!(v.depth_hpa >= 0.0);
+            prop_assert!(v.depth_hpa <= params.max_depth_hpa + 1e-9);
+            prop_assert!(v.x_km.is_finite() && v.y_km.is_finite());
+        }
+    }
+
+    #[test]
+    fn decomposition_counts_are_internally_consistent(
+        nx in 6usize..400,
+        ny in 6usize..400,
+        max_procs in 1usize..128,
+    ) {
+        let counts = decomp::allowed_proc_counts((nx, ny), 6, None, max_procs);
+        for &p in &counts {
+            prop_assert!(p <= max_procs);
+            let (px, py) = decomp::best_decomposition(nx, ny, p, 6)
+                .expect("allowed implies decomposable");
+            prop_assert_eq!(px * py, p);
+            prop_assert!(nx / px >= 6);
+            prop_assert!(ny / py >= 6);
+        }
+        // Conversely: any count not in the list has no valid factorization.
+        for p in 1..=max_procs {
+            if !counts.contains(&p) {
+                prop_assert!(!decomp::is_valid(nx, ny, p, 6));
+            }
+        }
+    }
+
+    #[test]
+    fn integration_is_finite_and_thread_invariant(
+        steps in 1usize..10,
+        threads in 2usize..5,
+        decimation in 12usize..24,
+        resolution in prop::sample::select(vec![24.0f64, 18.0, 12.0, 10.0]),
+    ) {
+        let cfg = ModelConfig::aila_default()
+            .with_decimation(decimation)
+            .with_resolution(resolution);
+        let mut serial = WrfModel::new(cfg).expect("valid");
+        let mut parallel = serial.clone();
+        serial.advance_steps(steps, 1).expect("finite");
+        parallel.advance_steps(steps, threads).expect("finite");
+        prop_assert!(serial.fields().all_finite());
+        prop_assert_eq!(&serial, &parallel,
+            "trajectory must not depend on worker count");
+        prop_assert!(serial.min_pressure_hpa().is_finite());
+        prop_assert!(serial.min_pressure_hpa() <= 1013.5);
+    }
+}

@@ -1,0 +1,55 @@
+//! Frame inspector: write a history frame to disk, read it back, and
+//! print its CDL description — the `ncdump -h` workflow climate
+//! scientists use on WRF output, against our NetCDF stand-in.
+//!
+//! ```text
+//! cargo run --release --example frame_inspector [path.ncdl]
+//! ```
+
+use climate_adaptive::prelude::*;
+use ncdf::Dataset;
+use wrf::WrfModel;
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "results/sample_frame.ncdl".into());
+    std::fs::create_dir_all(
+        std::path::Path::new(&path)
+            .parent()
+            .unwrap_or(std::path::Path::new(".")),
+    )
+    .expect("output directory");
+
+    // Produce a frame a few hours into the mission, nest active.
+    let mission = Mission::aila();
+    let mut model = WrfModel::new(mission.model.with_decimation(8)).expect("valid");
+    model.advance_to_minutes(3.0 * 60.0, 2).expect("finite");
+    model.spawn_nest();
+    model.advance_to_minutes(4.0 * 60.0, 2).expect("finite");
+    let frame = model.frame();
+
+    // Write the encoded frame like the simulation process would.
+    let bytes = frame.to_bytes();
+    std::fs::write(&path, &bytes).expect("frame file written");
+    println!(
+        "wrote {} ({} bytes, payload {} bytes)\n",
+        path,
+        bytes.len(),
+        frame.payload_bytes()
+    );
+
+    // Read it back like the visualization plug-in would, and describe it.
+    let raw = std::fs::read(&path).expect("frame file readable");
+    let ds = Dataset::from_bytes(&raw).expect("frame decodes");
+    assert_eq!(ds, frame, "lossless round-trip through the file");
+    print!("{}", ds.to_cdl("sample_frame"));
+
+    println!(
+        "\nat {}: min pressure {:.1} hPa, max wind {:.1} m/s, nest {}",
+        Mission::format_sim_time(model.sim_minutes()),
+        model.min_pressure_hpa(),
+        model.max_wind_ms(),
+        if model.has_nest() { "active" } else { "off" },
+    );
+}

@@ -1,0 +1,55 @@
+//! # climate-adaptive
+//!
+//! Facade crate for the reproduction of *"An Adaptive Framework for
+//! Simulation and Online Remote Visualization of Critical Climate
+//! Applications in Resource-constrained Environments"* (SC 2010).
+//!
+//! The workspace implements the full coupled system from scratch:
+//!
+//! - [`wrf`] — a reduced mesoscale dynamical core (shallow-water equations
+//!   with moving nests) standing in for WRF,
+//! - [`resources`] — disk / network / cluster substrate models,
+//! - [`lp`] — a simplex linear-programming solver standing in for GLPK,
+//! - [`perfmodel`] — scaling-model curve fitting standing in for LAB Fit,
+//! - [`ncdf`] — a NetCDF-like self-describing output format,
+//! - [`viz`] — a software visualization engine standing in for VisIt,
+//! - [`cyclone`] — the cyclone-Aila tracking scenario,
+//! - [`adaptive`] — the adaptive framework itself: application manager,
+//!   greedy-threshold and LP-optimization decision algorithms, job handler,
+//!   frame transport, and the closed-loop orchestrator.
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-versus-measured record of every table and figure.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use climate_adaptive::prelude::*;
+//!
+//! // Run a scaled-down inter-department experiment with the optimization
+//! // decision algorithm and inspect the outcome.
+//! let site = Site::inter_department();
+//! let mission = Mission::aila().with_duration_hours(6.0);
+//! let outcome = Orchestrator::new(site, mission, AlgorithmKind::Optimization)
+//!     .run();
+//! assert!(outcome.completed);
+//! ```
+
+pub use adaptive_core as adaptive;
+pub use cyclone;
+pub use des;
+pub use lp;
+pub use ncdf;
+pub use perfmodel;
+pub use resources;
+pub use viz;
+pub use wrf;
+
+/// Convenience re-exports covering the common entry points.
+pub mod prelude {
+    pub use adaptive_core::config::ApplicationConfig;
+    pub use adaptive_core::decision::{AlgorithmKind, DecisionAlgorithm};
+    pub use adaptive_core::orchestrator::{Orchestrator, RunOutcome};
+    pub use cyclone::{Mission, Site};
+    pub use des::{Series, SeriesSet, SimTime};
+}

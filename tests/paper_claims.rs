@@ -1,0 +1,182 @@
+//! Integration tests asserting the paper's §V claims hold, qualitatively,
+//! on scaled-down missions (full-mission numbers are recorded by the
+//! `repro-bench` binaries and EXPERIMENTS.md; these tests guard the
+//! *shapes* in CI time).
+
+use climate_adaptive::adaptive::decision::AlgorithmKind;
+use climate_adaptive::adaptive::metrics;
+use climate_adaptive::adaptive::orchestrator::{Orchestrator, RunOptions, RunOutcome};
+use climate_adaptive::prelude::*;
+
+fn run(site: Site, hours: f64, algo: AlgorithmKind) -> RunOutcome {
+    Orchestrator::new(site, Mission::aila().with_duration_hours(hours), algo).run()
+}
+
+#[test]
+fn both_algorithms_complete_on_the_fast_link() {
+    for algo in AlgorithmKind::both() {
+        let out = run(Site::inter_department(), 8.0, algo);
+        assert!(out.completed, "{:?} failed to complete", algo);
+        assert!(!out.ended_stalled);
+        assert!(out.frames_visualized > 0);
+    }
+}
+
+#[test]
+fn greedy_overflows_cross_continent_while_optimization_survives() {
+    // The full 60-hour mission: the 60 Kbps link cannot drain the greedy
+    // method's output, so it hits CRITICAL; the optimization method plans
+    // around the starved link from epoch zero. (A capped wall clock keeps
+    // the stalled greedy run short — the paper's dotted line.)
+    let opts = RunOptions {
+        wall_cap_hours: 60.0,
+        ..Default::default()
+    };
+    let greedy = Orchestrator::new(
+        Site::cross_continent(),
+        Mission::aila(),
+        AlgorithmKind::GreedyThreshold,
+    )
+    .with_options(opts.clone())
+    .run();
+    let opt = Orchestrator::new(
+        Site::cross_continent(),
+        Mission::aila(),
+        AlgorithmKind::Optimization,
+    )
+    .with_options(opts)
+    .run();
+
+    assert!(
+        greedy.stalls > 0 || !greedy.completed,
+        "greedy should hit CRITICAL on the starved link (stalls = {}, completed = {})",
+        greedy.stalls,
+        greedy.completed
+    );
+    assert!(opt.completed, "optimization must finish the mission");
+    assert!(
+        opt.min_free_disk_pct > greedy.min_free_disk_pct,
+        "optimization keeps more free disk: {:.1}% vs {:.1}%",
+        opt.min_free_disk_pct,
+        greedy.min_free_disk_pct
+    );
+    assert!(
+        opt.min_free_disk_pct > 15.0,
+        "optimization stays clear of overflow ({:.1}%)",
+        opt.min_free_disk_pct
+    );
+}
+
+#[test]
+fn optimization_uses_less_storage_on_every_site() {
+    for site_f in [Site::inter_department, Site::intra_country] {
+        let greedy = run(site_f(), 24.0, AlgorithmKind::GreedyThreshold);
+        let opt = run(site_f(), 24.0, AlgorithmKind::Optimization);
+        let c = metrics::compare(&greedy, &opt);
+        assert!(
+            c.storage_saving_pct > 0.0,
+            "{}: optimization should save storage, got {:+.1}%",
+            greedy.site_label,
+            c.storage_saving_pct
+        );
+    }
+}
+
+#[test]
+fn optimization_leads_visualization_at_mid_run() {
+    let greedy = run(Site::intra_country(), 24.0, AlgorithmKind::GreedyThreshold);
+    let opt = run(Site::intra_country(), 24.0, AlgorithmKind::Optimization);
+    let c = metrics::compare(&greedy, &opt);
+    assert!(
+        c.viz_progress_gain_min > 0.0,
+        "optimization should lead mid-run visualization, got {:+.1} sim-min",
+        c.viz_progress_gain_min
+    );
+}
+
+#[test]
+fn frames_ship_in_simulated_time_order_everywhere() {
+    for kind_f in [Site::inter_department, Site::intra_country, Site::cross_continent] {
+        for algo in AlgorithmKind::both() {
+            let out = run(kind_f(), 6.0, algo);
+            let viz = out.series.get("viz_progress").expect("series exists");
+            assert!(
+                viz.is_monotone_non_decreasing(),
+                "{} {:?}: visualization must replay frames in order",
+                out.site_label,
+                algo
+            );
+        }
+    }
+}
+
+#[test]
+fn output_interval_respects_mission_bounds() {
+    for algo in AlgorithmKind::both() {
+        let out = run(Site::intra_country(), 24.0, algo);
+        let oi = out.series.get("output_interval").expect("series exists");
+        assert!(oi.min_value().expect("non-empty") >= 3.0 - 1e-9);
+        assert!(oi.max_value().expect("non-empty") <= 25.0 + 1e-9);
+        let procs = out.series.get("procs").expect("series exists");
+        assert!(procs.max_value().expect("non-empty") <= 90.0);
+        assert!(procs.min_value().expect("non-empty") >= 1.0);
+    }
+}
+
+#[test]
+fn disk_accounting_is_conserved() {
+    let out = run(Site::inter_department(), 10.0, AlgorithmKind::GreedyThreshold);
+    // Everything written was either shipped, dropped, or still on disk.
+    assert!(out.frames_shipped + out.frames_dropped <= out.frames_written);
+    assert!(out.frames_visualized <= out.frames_shipped);
+    let disk = out.series.get("free_disk_pct").expect("series exists");
+    assert!(disk.min_value().expect("non-empty") >= 0.0);
+    assert!(disk.max_value().expect("non-empty") <= 100.0);
+}
+
+#[test]
+fn non_adaptive_baseline_stalls_before_greedy_cross_continent() {
+    // "A non-adaptive solution would result in stalling of the simulation
+    // much earlier than in the greedy algorithm."
+    let opts = RunOptions {
+        wall_cap_hours: 24.0,
+        ..Default::default()
+    };
+    let run = |algo| {
+        Orchestrator::new(Site::cross_continent(), Mission::aila(), algo)
+            .with_options(opts.clone())
+            .run()
+    };
+    let baseline = run(AlgorithmKind::StaticBaseline);
+    let greedy = run(AlgorithmKind::GreedyThreshold);
+    let b_stall = baseline
+        .first_stall_wall_hours
+        .expect("non-adaptive run must stall on the starved link");
+    let g_stall = greedy
+        .first_stall_wall_hours
+        .expect("greedy also stalls, later");
+    assert!(
+        b_stall < g_stall,
+        "baseline stalls at {b_stall:.2} h, greedy at {g_stall:.2} h"
+    );
+    // And the baseline makes less simulation progress for the same wall.
+    assert!(baseline.sim_minutes < greedy.sim_minutes);
+}
+
+#[test]
+fn wall_cap_produces_the_papers_dotted_line() {
+    let opts = RunOptions {
+        wall_cap_hours: 2.0,
+        ..Default::default()
+    };
+    let out = Orchestrator::new(
+        Site::cross_continent(),
+        Mission::aila(),
+        AlgorithmKind::GreedyThreshold,
+    )
+    .with_options(opts)
+    .run();
+    assert!(!out.completed);
+    assert!(out.sim_minutes > 0.0, "made progress before the cap");
+    assert!(out.wall_hours <= 2.0 + 1e-9);
+}

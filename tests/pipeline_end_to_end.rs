@@ -1,0 +1,97 @@
+//! Cross-crate integration: the full data path from the dynamical core
+//! through the wire format to the visualization engine, plus checkpoint
+//! semantics under the job handler's restart discipline.
+
+use climate_adaptive::prelude::*;
+use ncdf::Dataset;
+use viz::track::detect_eye;
+use viz::{FrameRenderer, TrackLog};
+use wrf::{ModelConfig, WrfModel};
+
+#[test]
+fn frame_bytes_roundtrip_and_render() {
+    let mut model =
+        WrfModel::new(ModelConfig::aila_default().with_decimation(12)).expect("valid");
+    model.advance_to_minutes(120.0, 2).expect("finite");
+    model.spawn_nest();
+    model.advance_to_minutes(180.0, 2).expect("finite");
+
+    // Simulation site: encode.
+    let frame = model.frame();
+    let wire = frame.to_bytes();
+
+    // Visualization site: decode, render, track — from bytes alone.
+    let received = Dataset::from_bytes(&wire).expect("wire format intact");
+    assert_eq!(frame, received);
+    let img = FrameRenderer::default().render(&received).expect("renders");
+    assert!(img.width() > 0);
+    let fix = detect_eye(&received).expect("eye found");
+    assert!(fix.pressure_hpa < 1013.0);
+    let mut track = TrackLog::new();
+    track.ingest(&received);
+    assert_eq!(track.fixes().len(), 1);
+}
+
+#[test]
+fn checkpoint_restart_across_reconfiguration_is_exact() {
+    // The job handler's contract: stop, checkpoint, restart with a new
+    // processor count — the physics trajectory must be unaffected.
+    let mut reference =
+        WrfModel::new(ModelConfig::aila_default().with_decimation(12)).expect("valid");
+    reference.advance_steps(12, 1).expect("finite");
+
+    let mut a = WrfModel::new(ModelConfig::aila_default().with_decimation(12)).expect("valid");
+    a.advance_steps(5, 2).expect("finite");
+    let blob = a.checkpoint();
+    let mut b = WrfModel::restore(&blob).expect("restores");
+    b.advance_steps(7, 3).expect("finite");
+    assert_eq!(reference, b);
+}
+
+#[test]
+fn mission_schedule_consistency_between_crates() {
+    // The mission's frame-size and workload models must agree with the
+    // wrf decomposition rules for every schedule stage on every site.
+    let mission = Mission::aila();
+    for site in [
+        Site::inter_department(),
+        Site::intra_country(),
+        Site::cross_continent(),
+    ] {
+        let mut prev_bytes = 0;
+        for stage in &mission.schedule.stages {
+            let res = stage.resolution_km;
+            let bytes = mission.frame_bytes(res, true);
+            assert!(
+                bytes >= prev_bytes || res > mission.schedule.finest_km(),
+                "finer stages produce bigger frames"
+            );
+            prev_bytes = prev_bytes.max(bytes);
+            let table = site.proc_table(&mission, res, true);
+            assert!(table.min_time() > 0.0);
+            assert!(
+                table.time_for(site.cluster.max_cores).is_some(),
+                "{}: max cores legal at {res} km",
+                site.label
+            );
+        }
+    }
+}
+
+#[test]
+fn tracklog_over_a_day_matches_the_model_truth() {
+    let mut model =
+        WrfModel::new(ModelConfig::aila_default().with_decimation(12)).expect("valid");
+    let mut track = TrackLog::new();
+    for _ in 0..6 {
+        model
+            .advance_to_minutes(model.sim_minutes() + 4.0 * 60.0, 1)
+            .expect("finite");
+        track.ingest(&model.frame());
+    }
+    let last = *track.fixes().last().expect("fixes recorded");
+    let (lon, lat) = model.eye_lonlat();
+    assert!((last.lon - lon).abs() < 1.0, "viz eye ≈ model eye (lon)");
+    assert!((last.lat - lat).abs() < 1.0, "viz eye ≈ model eye (lat)");
+    assert!((last.pressure_hpa - model.min_pressure_hpa()).abs() < 1.0);
+}

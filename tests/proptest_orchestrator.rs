@@ -1,0 +1,107 @@
+//! Property tests over the full closed loop: for any site, algorithm,
+//! seed and (short) mission length, the orchestrator's accounting and
+//! series invariants must hold.
+
+use climate_adaptive::adaptive::decision::AlgorithmKind;
+use climate_adaptive::adaptive::orchestrator::{Orchestrator, RunOptions};
+use climate_adaptive::prelude::*;
+use proptest::prelude::*;
+
+fn site_of(idx: usize) -> Site {
+    match idx % 3 {
+        0 => Site::inter_department(),
+        1 => Site::intra_country(),
+        _ => Site::cross_continent(),
+    }
+}
+
+fn algo_of(idx: usize) -> AlgorithmKind {
+    AlgorithmKind::all()[idx % 3]
+}
+
+proptest! {
+    // Each case runs a full DES experiment; keep the count modest.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn closed_loop_invariants_hold(
+        site_idx in 0usize..3,
+        algo_idx in 0usize..3,
+        seed in 0u64..1000,
+        hours in 2.0f64..10.0,
+    ) {
+        let opts = RunOptions {
+            wall_cap_hours: 24.0,
+            seed,
+            ..Default::default()
+        };
+        let out = Orchestrator::new(
+            site_of(site_idx),
+            Mission::aila().with_duration_hours(hours),
+            algo_of(algo_idx),
+        )
+        .with_options(opts)
+        .run();
+
+        // Frame conservation.
+        prop_assert!(out.frames_shipped <= out.frames_written);
+        prop_assert!(out.frames_visualized <= out.frames_shipped);
+        prop_assert!(out.frames_dropped + out.frames_shipped <= out.frames_written);
+
+        // Disk bounds.
+        prop_assert!((0.0..=100.0).contains(&out.min_free_disk_pct));
+        prop_assert!((0.0..=100.0).contains(&out.final_free_disk_pct));
+        prop_assert!(out.final_free_disk_pct >= out.min_free_disk_pct - 1e-9);
+
+        // Wall/sim sanity.
+        prop_assert!(out.wall_hours <= 24.0 + 1e-9);
+        if out.completed {
+            prop_assert!(out.sim_minutes >= hours * 60.0 - 1e-6);
+            prop_assert!(!out.ended_stalled);
+        }
+
+        // Series invariants.
+        let sim = out.series.get("sim_progress").expect("recorded");
+        prop_assert!(sim.is_monotone_non_decreasing());
+        let viz = out.series.get("viz_progress").expect("recorded");
+        prop_assert!(viz.is_monotone_non_decreasing(), "FIFO shipping order");
+        let oi = out.series.get("output_interval").expect("recorded");
+        prop_assert!(oi.min_value().unwrap_or(3.0) >= 3.0 - 1e-9);
+        prop_assert!(oi.max_value().unwrap_or(25.0) <= 25.0 + 1e-9);
+        let procs = out.series.get("procs").expect("recorded");
+        prop_assert!(procs.min_value().unwrap_or(1.0) >= 1.0);
+
+        // Stall bookkeeping.
+        if out.stalls > 0 {
+            prop_assert!(out.first_stall_wall_hours.is_some());
+        } else {
+            prop_assert!(out.first_stall_wall_hours.is_none());
+        }
+    }
+
+    #[test]
+    fn runs_are_reproducible_per_seed(
+        site_idx in 0usize..3,
+        algo_idx in 0usize..3,
+        seed in 0u64..100,
+    ) {
+        let run = || {
+            Orchestrator::new(
+                site_of(site_idx),
+                Mission::aila().with_duration_hours(4.0),
+                algo_of(algo_idx),
+            )
+            .with_options(RunOptions { seed, wall_cap_hours: 24.0, ..Default::default() })
+            .run()
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(a.frames_written, b.frames_written);
+        prop_assert_eq!(a.sim_minutes, b.sim_minutes);
+        prop_assert_eq!(a.restarts, b.restarts);
+        prop_assert_eq!(
+            a.series.get("free_disk_pct").unwrap().points.len(),
+            b.series.get("free_disk_pct").unwrap().points.len()
+        );
+    }
+}
