@@ -1,0 +1,195 @@
+//! Fault model: scripted resource faults and fault plans.
+//!
+//! The framework's thesis is that *ordinary* adaptation absorbs resource
+//! faults: the bandwidth probe, `df`, and the decision algorithm see a
+//! degraded world and re-plan, with no dedicated failure-handling path in
+//! the decision logic itself. This module provides the vocabulary of
+//! faults the test harness can throw at a run — in the DES orchestrator
+//! and in the live online pipeline alike — plus [`FaultPlan`], a scripted
+//! (optionally seeded-random) schedule of them.
+//!
+//! The transport layer is the one place with explicit recovery machinery
+//! (reconnect, backoff, resume-from-last-ack — see
+//! [`crate::resilience`]): a dead receiver cannot be absorbed by widening
+//! an output interval, only by store-and-forward plus replay.
+
+/// An injected resource fault, applied at a scripted wall time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Fault {
+    /// Scale the sim→vis link's effective bandwidth by `factor`
+    /// (e.g. 0.02 = a WAN segment collapsing to 2 %); `1.0` restores it.
+    LinkDegradation {
+        /// Multiplier on the nominal bandwidth; must be positive.
+        factor: f64,
+    },
+    /// An external writer (another job sharing the scratch filesystem)
+    /// seizes up to `bytes` of the simulation-site disk and holds them for
+    /// `duration_hours` of wall time.
+    DiskPressure {
+        /// Bytes the external writer tries to take (capped at free space).
+        bytes: u64,
+        /// Wall hours until the external writer releases the space.
+        duration_hours: f64,
+    },
+    /// The visualization site becomes unreachable for `duration_hours`:
+    /// no transfer can complete, any in-flight frame is aborted back to
+    /// the pending queue, and the probe observes a dead link — so the
+    /// decision algorithm widens the output interval (store-and-forward)
+    /// instead of dropping frames.
+    ReceiverOutage {
+        /// Wall hours until the receiver is reachable again.
+        duration_hours: f64,
+    },
+    /// The simulation process crashes and the job handler relaunches it
+    /// from the last checkpoint (a restart with an extra requeue penalty;
+    /// no simulated progress is produced while it is down).
+    SimCrash,
+    /// The link's bandwidth flaps: each firing toggles between `factor`
+    /// and healthy, re-arming itself every `half_period_hours` until
+    /// `flips` transitions have happened.
+    BandwidthFlap {
+        /// Degraded-phase multiplier on the nominal bandwidth.
+        factor: f64,
+        /// Wall hours between transitions.
+        half_period_hours: f64,
+        /// Remaining transitions (the initial firing counts as one).
+        flips: u32,
+    },
+}
+
+/// A scripted schedule of faults: `(wall_hours, fault)` pairs.
+///
+/// Thin wrapper over the raw vector so random plans have one canonical
+/// generator that both the DES and online harnesses (and the property
+/// tests) share.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    /// The scripted events; not required to be sorted (the scheduler
+    /// orders them by time).
+    pub events: Vec<(f64, Fault)>,
+}
+
+impl FaultPlan {
+    /// Empty plan (a fault-free run).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Plan from explicit events.
+    pub fn from_events(events: Vec<(f64, Fault)>) -> Self {
+        FaultPlan { events }
+    }
+
+    /// Add one scripted fault.
+    pub fn push(&mut self, wall_hours: f64, fault: Fault) {
+        self.events.push((wall_hours, fault));
+    }
+
+    /// Number of scripted events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no faults are scripted.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Seeded random plan over the first `horizon_hours` of a run: 1–4
+    /// faults of mixed kinds at random times. Deterministic per seed, so a
+    /// failing property-test case can be replayed exactly.
+    pub fn random(seed: u64, horizon_hours: f64) -> Self {
+        let mut rng = SplitMix64::new(seed);
+        let n = 1 + (rng.next_u64() % 4) as usize;
+        let mut events = Vec::with_capacity(n);
+        for _ in 0..n {
+            let at = rng.unit_f64() * horizon_hours.max(0.1);
+            let fault = match rng.next_u64() % 5 {
+                0 => Fault::LinkDegradation {
+                    // 0.02 .. ~1.0: from near-collapse to harmless.
+                    factor: (0.02 + 0.98 * rng.unit_f64()).min(1.0),
+                },
+                1 => Fault::DiskPressure {
+                    bytes: 1_000_000_000 + rng.next_u64() % 50_000_000_000,
+                    duration_hours: 0.5 + 3.0 * rng.unit_f64(),
+                },
+                2 => Fault::ReceiverOutage {
+                    duration_hours: 0.25 + 2.0 * rng.unit_f64(),
+                },
+                3 => Fault::SimCrash,
+                _ => Fault::BandwidthFlap {
+                    factor: 0.05 + 0.3 * rng.unit_f64(),
+                    half_period_hours: 0.25 + rng.unit_f64(),
+                    flips: 2 + (rng.next_u64() % 5) as u32,
+                },
+            };
+            events.push((at, fault));
+        }
+        FaultPlan { events }
+    }
+}
+
+/// Small deterministic generator (SplitMix64) so fault plans do not drag
+/// in the full `rand` dependency for two dice rolls.
+#[derive(Debug, Clone)]
+pub(crate) struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    pub(crate) fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    pub(crate) fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub(crate) fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_plans_are_deterministic_per_seed() {
+        let a = FaultPlan::random(7, 12.0);
+        let b = FaultPlan::random(7, 12.0);
+        assert_eq!(a, b);
+        assert!(!a.is_empty() && a.len() <= 4);
+        let c = FaultPlan::random(8, 12.0);
+        assert_ne!(a, c, "different seeds give different plans");
+    }
+
+    #[test]
+    fn random_fault_times_stay_inside_the_horizon() {
+        for seed in 0..50 {
+            let plan = FaultPlan::random(seed, 6.0);
+            for &(at, fault) in &plan.events {
+                assert!((0.0..6.0).contains(&at), "fault at {at}");
+                if let Fault::LinkDegradation { factor } = fault {
+                    assert!(factor > 0.0 && factor <= 1.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn plan_builders_compose() {
+        let mut plan = FaultPlan::new();
+        assert!(plan.is_empty());
+        plan.push(1.0, Fault::SimCrash);
+        plan.push(2.0, Fault::ReceiverOutage { duration_hours: 0.5 });
+        assert_eq!(plan.len(), 2);
+        let same = FaultPlan::from_events(plan.events.clone());
+        assert_eq!(plan, same);
+    }
+}

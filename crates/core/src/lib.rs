@@ -40,10 +40,12 @@
 pub mod config;
 pub mod decision;
 pub mod fanout;
+pub mod fault;
 pub mod jobhandler;
 pub mod manager;
 pub mod metrics;
 pub mod net_transport;
 pub mod online;
 pub mod orchestrator;
+pub mod resilience;
 pub mod steering;

@@ -36,11 +36,19 @@ pub struct EpochContext<'a> {
     pub horizon_secs: f64,
 }
 
+/// Measured bandwidth below this fraction of the best ever observed
+/// marks an epoch as *degraded*: the link has lost most of its capacity
+/// and the decision algorithm is in the store-and-forward regime, holding
+/// frames on disk (wider output interval) instead of dropping them.
+const DEGRADED_BANDWIDTH_FRACTION: f64 = 0.25;
+
 /// The manager: owns the decision algorithm and the bandwidth probe.
 pub struct ApplicationManager {
     algorithm: Box<dyn DecisionAlgorithm + Send>,
     probe: BandwidthProbe,
     epochs: u64,
+    peak_bandwidth_bps: f64,
+    degraded_epochs: u32,
 }
 
 impl ApplicationManager {
@@ -50,6 +58,8 @@ impl ApplicationManager {
             algorithm: kind.build(),
             probe: BandwidthProbe::new(),
             epochs: 0,
+            peak_bandwidth_bps: 0.0,
+            degraded_epochs: 0,
         }
     }
 
@@ -73,6 +83,12 @@ impl ApplicationManager {
         self.algorithm.last_binding()
     }
 
+    /// Epochs that ran under a badly degraded link (below a quarter of
+    /// the best bandwidth ever measured).
+    pub fn degraded_epochs(&self) -> u32 {
+        self.degraded_epochs
+    }
+
     /// One decision epoch: measure bandwidth (the paper's 1 GB timing),
     /// read free disk (`df`), run the algorithm, and assemble the next
     /// application configuration. Resolution and nest state pass through
@@ -87,6 +103,11 @@ impl ApplicationManager {
     ) -> ApplicationConfig {
         self.epochs += 1;
         let bandwidth_bps = self.probe.measure(network);
+        if bandwidth_bps > self.peak_bandwidth_bps {
+            self.peak_bandwidth_bps = bandwidth_bps;
+        } else if bandwidth_bps < self.peak_bandwidth_bps * DEGRADED_BANDWIDTH_FRACTION {
+            self.degraded_epochs += 1;
+        }
         let free_pct = disk.free_percent();
         let inputs = DecisionInputs {
             free_disk_percent: free_pct,

@@ -22,6 +22,7 @@
 
 use crate::config::ApplicationConfig;
 use crate::decision::{AlgorithmKind, DecisionInputs, CRITICAL_FREE_PERCENT};
+use crate::fault::{Fault, FaultPlan};
 use cyclone::{Mission, Site};
 use parking_lot::Mutex;
 use resources::{Disk, FrameStore};
@@ -49,6 +50,9 @@ pub struct OnlineOptions {
     pub disk_capacity: u64,
     /// Modeled link bandwidth, bytes per modeled second.
     pub bandwidth_bps: f64,
+    /// Scripted faults, fired by a live injector thread at their modeled
+    /// wall times (same vocabulary as the DES orchestrator).
+    pub fault_plan: FaultPlan,
 }
 
 impl OnlineOptions {
@@ -62,7 +66,14 @@ impl OnlineOptions {
                 .join(format!("adaptive-online-{tag}-{}.json", std::process::id())),
             disk_capacity: 40_000_000,
             bandwidth_bps: 30_000.0,
+            fault_plan: FaultPlan::new(),
         }
+    }
+
+    /// Builder: scripted faults.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
+        self
     }
 }
 
@@ -85,6 +96,10 @@ pub struct OnlineReport {
     pub track: TrackLog,
     /// True when the mission duration was fully simulated.
     pub completed: bool,
+    /// Injected simulation crashes the process recovered from.
+    pub crashes: u64,
+    /// Receiver outages the transport recovered from (sender reconnects).
+    pub reconnects: u64,
 }
 
 /// Run the live pipeline for `mission` on `site`'s characteristics.
@@ -97,6 +112,12 @@ pub fn run_online(
     let store = Arc::new(Mutex::new(FrameStore::new(Disk::new(
         options.disk_capacity,
     ))));
+    // Live fault state, shared between the injector and the daemons: the
+    // link's current degradation factor, whether the receiver host is
+    // reachable, and a pending simulation-process crash.
+    let link_factor = Arc::new(Mutex::new(1.0f64));
+    let receiver_down = Arc::new(AtomicBool::new(false));
+    let crash_pending = Arc::new(AtomicBool::new(false));
     // Encoded frame payloads awaiting shipment, keyed by sim-minutes. A
     // real deployment keeps these on the disk the FrameStore models; here
     // the store handles byte accounting and this side table the contents.
@@ -128,6 +149,8 @@ pub fn run_online(
     let mut sim_minutes = 0.0f64;
     let mut completed = false;
     let mut track = TrackLog::new();
+    let mut crashes = 0u64;
+    let mut reconnects = 0u64;
 
     crossbeam::thread::scope(|s| {
         // --- Simulation process -------------------------------------
@@ -135,13 +158,24 @@ pub fn run_online(
         let sim_payloads = Arc::clone(&payloads);
         let sim_done = Arc::clone(&done);
         let sim_cfg_path = options.config_path.clone();
+        let sim_crash = Arc::clone(&crash_pending);
         let sim = s.spawn(move |_| {
             let mut model = WrfModel::new(mission.model).expect("valid mission model");
             let mut next_output = mission.min_output_interval_min;
             let mut stalls = 0u64;
             let mut written = 0u64;
+            let mut crashes = 0u64;
             let mut was_stalled = false;
             while model.sim_minutes() < mission.duration_minutes() {
+                if sim_crash.swap(false, Ordering::SeqCst) {
+                    // The process died; the job handler relaunches it from
+                    // the last checkpoint (restart overhead plus a requeue
+                    // penalty, compressed to a nap). Simulated state is
+                    // checkpointed, so no progress is lost — only time.
+                    crashes += 1;
+                    nap(3.0 * site.cluster.restart_overhead_secs);
+                    continue;
+                }
                 let cfg = ApplicationConfig::read_file(&sim_cfg_path)
                     .expect("manager keeps the file valid");
                 if cfg.critical {
@@ -189,21 +223,31 @@ pub fn run_online(
                 }
             }
             sim_done.store(true, Ordering::SeqCst);
-            (model.sim_minutes(), written, stalls)
+            (model.sim_minutes(), written, stalls, crashes)
         });
 
         // --- Frame sender daemon ------------------------------------
         let send_store = Arc::clone(&store);
         let send_payloads = Arc::clone(&payloads);
         let send_done = Arc::clone(&done);
+        let send_link = Arc::clone(&link_factor);
+        let send_down = Arc::clone(&receiver_down);
         let bw = options.bandwidth_bps;
         let sender = s.spawn(move |_| {
             let mut shipped = 0u64;
             loop {
+                if send_down.load(Ordering::SeqCst) {
+                    // Receiver unreachable: store-and-forward. Frames stay
+                    // on the simulation-site disk; the sender retries until
+                    // the injector restores the host.
+                    nap(300.0);
+                    continue;
+                }
                 let meta = send_store.lock().begin_transfer();
                 match meta {
                     Some(meta) => {
-                        nap(meta.bytes as f64 / bw);
+                        let factor = (*send_link.lock()).max(1e-9);
+                        nap(meta.bytes as f64 / (bw * factor));
                         let payload = {
                             let mut p = send_payloads.lock();
                             let idx = p
@@ -251,6 +295,8 @@ pub fn run_online(
         let mgr_store = Arc::clone(&store);
         let mgr_done = Arc::clone(&done);
         let mgr_cfg_path = options.config_path.clone();
+        let mgr_link = Arc::clone(&link_factor);
+        let mgr_down = Arc::clone(&receiver_down);
         let manager = s.spawn(move |_| {
             let mut algo = algorithm.build();
             let mut epochs = 0u64;
@@ -266,11 +312,21 @@ pub fn run_online(
                 // Online frames are real encodings of the decimated grid;
                 // size O accordingly from a representative frame.
                 let frame_bytes = (options.disk_capacity / 12).max(1);
+                // The probe's view of the link: degraded by faults, and
+                // effectively dead while the receiver host is down — the
+                // decision algorithm sees the outage as a bandwidth
+                // collapse and widens the output interval rather than
+                // letting frames be dropped.
+                let observed_factor = if mgr_down.load(Ordering::SeqCst) {
+                    1e-6
+                } else {
+                    (*mgr_link.lock()).max(1e-9)
+                };
                 let inputs = DecisionInputs {
                     free_disk_percent: free_pct,
                     free_disk_bytes: free_bytes,
                     disk_capacity_bytes: options.disk_capacity,
-                    bandwidth_bps: options.bandwidth_bps,
+                    bandwidth_bps: options.bandwidth_bps * observed_factor,
                     frame_bytes,
                     io_secs_per_frame: site.cluster.io_time(frame_bytes),
                     proc_table: &table,
@@ -294,16 +350,88 @@ pub fn run_online(
             epochs
         });
 
-        let (sim_min, written, sim_stalls) = sim.join().expect("simulation thread");
+        // --- Fault injector -----------------------------------------
+        let inj_store = Arc::clone(&store);
+        let inj_done = Arc::clone(&done);
+        let inj_link = Arc::clone(&link_factor);
+        let inj_down = Arc::clone(&receiver_down);
+        let inj_crash = Arc::clone(&crash_pending);
+        let mut plan = options.fault_plan.events.clone();
+        plan.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let injector = s.spawn(move |_| {
+            let mut reconnects = 0u64;
+            let mut clock_hours = 0.0f64;
+            for (at_hours, fault) in plan {
+                nap((at_hours - clock_hours).max(0.0) * 3600.0);
+                clock_hours = at_hours.max(clock_hours);
+                if inj_done.load(Ordering::SeqCst) {
+                    break;
+                }
+                match fault {
+                    Fault::LinkDegradation { factor } => {
+                        *inj_link.lock() = factor;
+                    }
+                    Fault::BandwidthFlap {
+                        factor,
+                        half_period_hours,
+                        flips,
+                    } => {
+                        for flip in 0..flips {
+                            let degraded = flip % 2 == 0;
+                            *inj_link.lock() = if degraded { factor } else { 1.0 };
+                            if flip + 1 < flips {
+                                nap(half_period_hours.max(1e-3) * 3600.0);
+                                clock_hours += half_period_hours;
+                            }
+                            if inj_done.load(Ordering::SeqCst) {
+                                break;
+                            }
+                        }
+                    }
+                    Fault::DiskPressure {
+                        bytes,
+                        duration_hours,
+                    } => {
+                        let got = inj_store.lock().seize_external(bytes);
+                        nap(duration_hours.max(1e-3) * 3600.0);
+                        clock_hours += duration_hours;
+                        inj_store.lock().release_external(got);
+                    }
+                    Fault::ReceiverOutage { duration_hours } => {
+                        inj_down.store(true, Ordering::SeqCst);
+                        nap(duration_hours.max(1e-3) * 3600.0);
+                        clock_hours += duration_hours;
+                        inj_down.store(false, Ordering::SeqCst);
+                        reconnects += 1;
+                    }
+                    Fault::SimCrash => {
+                        inj_crash.store(true, Ordering::SeqCst);
+                    }
+                }
+            }
+            // Never leave a fault latched past the end of the plan: the
+            // sender and simulation must be able to drain and finish.
+            inj_down.store(false, Ordering::SeqCst);
+            let held = inj_store.lock().external_bytes();
+            if held > 0 {
+                inj_store.lock().release_external(held);
+            }
+            reconnects
+        });
+
+        let (sim_min, written, sim_stalls, sim_crashes) =
+            sim.join().expect("simulation thread");
         sim_minutes = sim_min;
         frames_written = written;
         stalls = sim_stalls;
+        crashes = sim_crashes;
         completed = sim_minutes >= mission.duration_minutes();
         frames_shipped = sender.join().expect("sender thread");
         let (t, rendered) = viz.join().expect("viz thread");
         track = t;
         frames_rendered = rendered;
         decisions = manager.join().expect("manager thread");
+        reconnects = injector.join().expect("injector thread");
     })
     .expect("pipeline thread panicked");
 
@@ -318,6 +446,8 @@ pub fn run_online(
         stalls,
         track,
         completed,
+        crashes,
+        reconnects,
     }
 }
 
@@ -346,6 +476,62 @@ mod tests {
         assert!(!report.track.fixes().is_empty());
         let fix = report.track.fixes()[0];
         assert!((fix.lon - 88.0).abs() < 3.0);
+    }
+
+    #[test]
+    fn disk_pressure_drives_the_critical_stall_path_end_to_end() {
+        let site = Site::inter_department();
+        let mut mission = Mission::aila()
+            .with_duration_hours(3.0)
+            .with_decimation(16);
+        // Tighter epochs so the manager reacts within the fault window.
+        mission.decision_interval_hours = 0.25;
+        // An external writer seizes essentially the whole disk shortly
+        // after start and holds it long enough for several decision
+        // epochs: the manager must observe free disk below the CRITICAL
+        // threshold and write CRITICAL into the configuration file, the
+        // simulation process must stall on it, and once the space is
+        // released the manager clears the flag and the simulation resumes
+        // and completes the mission.
+        let plan = FaultPlan::from_events(vec![(
+            0.2,
+            Fault::DiskPressure {
+                bytes: u64::MAX / 2,
+                duration_hours: 1.5,
+            },
+        )]);
+        let report = run_online(
+            &site,
+            &mission,
+            AlgorithmKind::Optimization,
+            &OnlineOptions::fast("critical-stall").with_fault_plan(plan),
+        );
+        assert!(report.stalls >= 1, "CRITICAL stalled the sim: {report:?}");
+        assert!(report.completed, "resumed and finished: {report:?}");
+        assert!(report.frames_rendered > 0);
+    }
+
+    #[test]
+    fn injected_crash_and_outage_are_survived() {
+        let site = Site::inter_department();
+        let mut mission = Mission::aila()
+            .with_duration_hours(2.0)
+            .with_decimation(16);
+        mission.decision_interval_hours = 0.25;
+        let plan = FaultPlan::from_events(vec![
+            (0.1, Fault::SimCrash),
+            (0.3, Fault::ReceiverOutage { duration_hours: 0.5 }),
+        ]);
+        let report = run_online(
+            &site,
+            &mission,
+            AlgorithmKind::Optimization,
+            &OnlineOptions::fast("crash-outage").with_fault_plan(plan),
+        );
+        assert!(report.completed, "{report:?}");
+        assert_eq!(report.crashes, 1, "the crash was hit and recovered");
+        assert_eq!(report.reconnects, 1, "the outage ended in a reconnect");
+        assert!(report.frames_rendered > 0, "frames still flowed: {report:?}");
     }
 
     #[test]

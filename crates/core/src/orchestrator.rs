@@ -21,16 +21,7 @@ use crate::jobhandler::{JobHandler, SimProcessState};
 use crate::manager::{ApplicationManager, EpochContext};
 use crate::steering::{SteeringCommand, SteeringState};
 
-/// An injected resource fault, applied at a scripted wall time.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub enum Fault {
-    /// Scale the sim→vis link's effective bandwidth by `factor`
-    /// (e.g. 0.02 = a WAN segment collapsing to 2 %); `1.0` restores it.
-    LinkDegradation {
-        /// Multiplier on the nominal bandwidth; must be positive.
-        factor: f64,
-    },
-}
+pub use crate::fault::{Fault, FaultPlan};
 use cyclone::{Mission, Site};
 use des::{run_until_empty, EventId, Scheduler, Series, SeriesSet, SimTime};
 use perfmodel::ProcTable;
@@ -101,6 +92,23 @@ pub struct RunOutcome {
     pub min_free_disk_pct: f64,
     /// Free-disk percentage at the end of the run.
     pub final_free_disk_pct: f64,
+    /// Sender reconnects after receiver outages.
+    pub reconnects: u32,
+    /// Frames replayed (pushed back to the queue and re-sent) after a
+    /// lost connection.
+    pub replays: u64,
+    /// Simulation-process crashes injected (each costs a checkpoint
+    /// relaunch with a requeue penalty).
+    pub crashes: u32,
+    /// Decision epochs that ran under a badly degraded link (measured
+    /// bandwidth below a quarter of the best seen) — the store-and-
+    /// forward regime where the manager widens the output interval
+    /// rather than dropping frames.
+    pub degraded_epochs: u32,
+    /// Frames still on the simulation-site disk (pending or mid-
+    /// transfer) when the run ended; together with `frames_shipped` and
+    /// `frames_dropped` these account for every frame written.
+    pub frames_in_flight: u64,
 }
 
 impl RunOutcome {
@@ -145,6 +153,11 @@ enum Ev {
     Steering(SteeringCommand),
     /// A scripted resource fault strikes.
     Fault(Fault),
+    /// A receiver outage ends; the resilient sender reconnects and
+    /// replays whatever is pending.
+    ReceiverRestored,
+    /// An external writer releases seized disk space.
+    ExternalRelease { bytes: u64 },
 }
 
 struct World {
@@ -162,6 +175,14 @@ struct World {
     io_pending: bool,
     sender_busy: bool,
     step_event: Option<EventId>,
+    /// The in-flight transfer's (event, frame id), so a receiver outage
+    /// can cancel it and push the frame back to pending.
+    transfer_event: Option<(EventId, u64)>,
+    /// Nesting depth of overlapping receiver outages (0 = reachable).
+    outage_depth: u32,
+    /// Link degradation the faults intend, independent of outages (the
+    /// value restored when the receiver comes back).
+    link_factor: f64,
     completed: bool,
     tables: HashMap<(u64, bool), ProcTable>,
     // Series.
@@ -177,6 +198,9 @@ struct World {
     min_free_pct: f64,
     first_stall: Option<f64>,
     steering: SteeringState,
+    reconnects: u32,
+    replays: u64,
+    crashes: u32,
 }
 
 impl World {
@@ -254,16 +278,31 @@ impl World {
         }
     }
 
-    /// Start the next transfer if the link is free and frames are waiting.
+    /// Start the next transfer if the link is free, the receiver is
+    /// reachable, and frames are waiting.
     fn kick_sender(&mut self, sched: &mut Scheduler<Ev>) {
-        if self.sender_busy || !self.store.has_pending() {
+        if self.sender_busy || self.outage_depth > 0 || !self.store.has_pending() {
             return;
         }
         let meta = self.store.begin_transfer().expect("pending checked");
         self.net.step();
         let secs = self.net.transfer_time(meta.bytes);
         self.sender_busy = true;
-        sched.schedule_in(secs, Ev::TransferDone { id: meta.id });
+        let id = sched.schedule_in(secs, Ev::TransferDone { id: meta.id });
+        self.transfer_event = Some((id, meta.id));
+    }
+
+    /// Push the faults' intended link state onto the network model: a
+    /// down receiver reads as an (effectively) dead link so the bandwidth
+    /// probe and the decision algorithm see the outage through their
+    /// ordinary observations.
+    fn apply_link(&mut self) {
+        let factor = if self.outage_depth > 0 {
+            1e-6
+        } else {
+            self.link_factor
+        };
+        self.net.set_degradation(factor);
     }
 
     /// Schedule the next solve step.
@@ -341,6 +380,13 @@ impl Orchestrator {
         self
     }
 
+    /// Script a whole [`FaultPlan`] (e.g. a seeded-random one from
+    /// [`FaultPlan::random`]).
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_script = plan.events;
+        self
+    }
+
     /// Run the experiment to completion (or the wall cap) and collect the
     /// outcome.
     pub fn run(self) -> RunOutcome {
@@ -374,6 +420,9 @@ impl Orchestrator {
             io_pending: false,
             sender_busy: false,
             step_event: None,
+            transfer_event: None,
+            outage_depth: 0,
+            link_factor: 1.0,
             completed: false,
             tables: HashMap::new(),
             sim_progress: Series::new("sim_progress"),
@@ -387,6 +436,9 @@ impl Orchestrator {
             min_free_pct: 100.0,
             first_stall: None,
             steering: SteeringState::new(),
+            reconnects: 0,
+            replays: 0,
+            crashes: 0,
             site,
             mission,
             options,
@@ -450,6 +502,12 @@ impl Orchestrator {
             steering_commands_applied: world.steering.commands_applied,
             min_free_disk_pct: world.min_free_pct,
             final_free_disk_pct: final_free,
+            reconnects: world.reconnects,
+            replays: world.replays,
+            crashes: world.crashes,
+            degraded_epochs: world.manager.degraded_epochs(),
+            frames_in_flight: (world.store.pending_count() + world.store.in_flight_count())
+                as u64,
             series: {
                 let mut s = SeriesSet::new();
                 s.push(world.sim_progress);
@@ -534,6 +592,7 @@ fn handle(w: &mut World, now: SimTime, ev: Ev, sched: &mut Scheduler<Ev>) -> boo
 
         Ev::TransferDone { id } => {
             w.sender_busy = false;
+            w.transfer_event = None;
             let meta = w
                 .store
                 .complete_transfer(id)
@@ -683,9 +742,100 @@ fn handle(w: &mut World, now: SimTime, ev: Ev, sched: &mut Scheduler<Ev>) -> boo
 
         Ev::Fault(fault) => match fault {
             Fault::LinkDegradation { factor } => {
-                w.net.set_degradation(factor);
+                w.link_factor = factor;
+                w.apply_link();
+            }
+            Fault::BandwidthFlap {
+                factor,
+                half_period_hours,
+                flips,
+            } => {
+                // Toggle between degraded and healthy, and re-arm until
+                // the flip budget is spent.
+                w.link_factor = if (w.link_factor - factor).abs() < 1e-12 {
+                    1.0
+                } else {
+                    factor
+                };
+                w.apply_link();
+                if flips > 1 {
+                    sched.schedule_in(
+                        half_period_hours.max(1e-3) * 3600.0,
+                        Ev::Fault(Fault::BandwidthFlap {
+                            factor,
+                            half_period_hours,
+                            flips: flips - 1,
+                        }),
+                    );
+                }
+            }
+            Fault::DiskPressure {
+                bytes,
+                duration_hours,
+            } => {
+                let got = w.store.seize_external(bytes);
+                w.record_disk(now);
+                if got > 0 {
+                    sched.schedule_in(
+                        duration_hours.max(1e-3) * 3600.0,
+                        Ev::ExternalRelease { bytes: got },
+                    );
+                }
+            }
+            Fault::ReceiverOutage { duration_hours } => {
+                w.outage_depth += 1;
+                w.apply_link();
+                // Whatever was mid-transfer is lost with the connection;
+                // the frame goes back to the head of the queue and will be
+                // replayed from the last acked frame once the receiver is
+                // back (its bytes were never freed, so no data is lost).
+                if let Some((event, frame_id)) = w.transfer_event.take() {
+                    sched.cancel(event);
+                    w.sender_busy = false;
+                    w.store
+                        .abort_transfer(frame_id)
+                        .expect("transfer was in flight");
+                    w.replays += 1;
+                }
+                sched.schedule_in(duration_hours.max(1e-3) * 3600.0, Ev::ReceiverRestored);
+            }
+            Fault::SimCrash => {
+                // The solver process dies; the job handler relaunches it
+                // from the last checkpoint. Modeled as a restart with a
+                // requeue penalty on top of the ordinary restart overhead
+                // (crash-time requeues wait in the batch queue).
+                w.crashes += 1;
+                if w.handler.state() != SimProcessState::Restarting && !w.completed {
+                    let stalled = w.handler.state() == SimProcessState::Stalled;
+                    w.cancel_step(sched);
+                    w.handler.begin_restart();
+                    w.pending_config = Some(w.config.clone());
+                    let penalty = 3.0 * w.site.cluster.restart_overhead_secs;
+                    sched.schedule_in(penalty, Ev::RestartDone);
+                    if stalled {
+                        // Preserve the CRITICAL stall across the relaunch.
+                        w.config.critical = true;
+                    }
+                }
             }
         },
+
+        Ev::ReceiverRestored => {
+            w.outage_depth = w.outage_depth.saturating_sub(1);
+            if w.outage_depth == 0 {
+                w.apply_link();
+                // The resilient sender re-establishes the connection and
+                // resumes from the receiver's last-applied frame.
+                w.reconnects += 1;
+                w.kick_sender(sched);
+            }
+        }
+
+        Ev::ExternalRelease { bytes } => {
+            w.store.release_external(bytes);
+            w.record_disk(now);
+            maybe_resume(w, sched);
+        }
 
         Ev::StallProbe => {
             if w.handler.state() == SimProcessState::Stalled

@@ -1,0 +1,291 @@
+//! Self-healing frame transport: checksums, backoff, and the resilient
+//! sender.
+//!
+//! The v2 wire protocol (see [`crate::net_transport`]) gives every frame
+//! a sequence number and a CRC, and every ack carries the receiver's
+//! *last applied* sequence. That is enough to make the sender's recovery
+//! loop simple and exactly-once from the visualization's point of view:
+//!
+//! - on any I/O error the sender reconnects with seeded exponential
+//!   backoff plus jitter,
+//! - the receiver's handshake reports the last sequence it applied, so
+//!   the sender resumes from there — frames the receiver already has are
+//!   acknowledged without being re-applied (dedup), frames it lost are
+//!   replayed,
+//! - a frame is retired only when an ack covering its sequence arrives.
+
+use crate::net_transport::{FrameSender, TransportError};
+use std::net::SocketAddr;
+use std::time::Duration;
+
+/// IEEE 802.3 CRC-32 (the zlib/PNG polynomial), table-driven, table built
+/// at compile time.
+pub fn crc32(data: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = crc32_table();
+    let mut crc = 0xffff_ffffu32;
+    for &b in data {
+        let idx = (crc ^ b as u32) & 0xff;
+        crc = (crc >> 8) ^ TABLE[idx as usize];
+    }
+    !crc
+}
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xedb8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+/// Seeded exponential backoff with jitter.
+///
+/// Delay for attempt `k` (0-based) is `base · 2^k`, capped at `cap`, then
+/// scaled by a uniform jitter in `[0.5, 1.0]` so a fleet of senders
+/// recovering from the same outage does not reconnect in lockstep.
+/// Deterministic per seed, so tests can assert exact schedules.
+#[derive(Debug, Clone)]
+pub struct BackoffPolicy {
+    base: Duration,
+    cap: Duration,
+    max_attempts: u32,
+    rng: crate::fault::SplitMix64,
+}
+
+impl BackoffPolicy {
+    /// Default policy: 50 ms base, 2 s cap, 8 attempts.
+    pub fn new(seed: u64) -> Self {
+        BackoffPolicy {
+            base: Duration::from_millis(50),
+            cap: Duration::from_secs(2),
+            max_attempts: 8,
+            rng: crate::fault::SplitMix64::new(seed),
+        }
+    }
+
+    /// Builder: base delay.
+    pub fn with_base(mut self, base: Duration) -> Self {
+        self.base = base;
+        self
+    }
+
+    /// Builder: delay cap.
+    pub fn with_cap(mut self, cap: Duration) -> Self {
+        self.cap = cap;
+        self
+    }
+
+    /// Builder: attempts before giving up.
+    pub fn with_max_attempts(mut self, n: u32) -> Self {
+        assert!(n > 0, "at least one attempt");
+        self.max_attempts = n;
+        self
+    }
+
+    /// Attempts before giving up.
+    pub fn max_attempts(&self) -> u32 {
+        self.max_attempts
+    }
+
+    /// Jittered delay before retry number `attempt` (0-based).
+    pub fn delay(&mut self, attempt: u32) -> Duration {
+        let exp = self
+            .base
+            .saturating_mul(1u32 << attempt.min(16))
+            .min(self.cap);
+        exp.mul_f64(0.5 + 0.5 * self.rng.unit_f64())
+    }
+}
+
+/// Transport statistics the resilient sender accumulates.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SenderStats {
+    /// Frames handed to [`ResilientSender::send`] and eventually covered
+    /// by an ack.
+    pub frames_acked: u64,
+    /// Successful re-establishments of a dropped connection.
+    pub reconnects: u64,
+    /// Frame transmissions beyond the first attempt (replays after a
+    /// failure) — includes frames the receiver deduplicated.
+    pub replays: u64,
+    /// Frames the receiver reported as already applied (resume-from-ack
+    /// skipped re-applying them).
+    pub deduplicated: u64,
+}
+
+/// A [`FrameSender`] wrapper that survives receiver restarts.
+///
+/// The address is supplied by a closure so a restarted receiver may come
+/// back on a different port (tests do exactly that); `send` blocks until
+/// the frame is covered by an ack or the backoff budget is exhausted.
+pub struct ResilientSender<A: FnMut() -> SocketAddr> {
+    addr: A,
+    conn: Option<FrameSender>,
+    ever_connected: bool,
+    next_seq: u64,
+    backoff: BackoffPolicy,
+    io_timeout: Duration,
+    stats: SenderStats,
+}
+
+impl<A: FnMut() -> SocketAddr> ResilientSender<A> {
+    /// New sender over an address provider. No connection is made until
+    /// the first `send`.
+    pub fn new(addr: A, backoff: BackoffPolicy) -> Self {
+        ResilientSender {
+            addr,
+            conn: None,
+            ever_connected: false,
+            next_seq: 1,
+            backoff,
+            io_timeout: Duration::from_secs(5),
+            stats: SenderStats::default(),
+        }
+    }
+
+    /// Builder: socket connect/read/write timeout.
+    pub fn with_io_timeout(mut self, t: Duration) -> Self {
+        self.io_timeout = t;
+        self
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> SenderStats {
+        self.stats
+    }
+
+    /// Sequence number the next frame will carry.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    fn connection(&mut self) -> Result<&mut FrameSender, TransportError> {
+        if self.conn.is_none() {
+            let addr = (self.addr)();
+            let sender = FrameSender::connect_with_timeout(addr, self.io_timeout)?;
+            if self.ever_connected {
+                // Re-establishment, not the first connection of the run.
+                self.stats.reconnects += 1;
+            }
+            self.ever_connected = true;
+            self.conn = Some(sender);
+        }
+        Ok(self.conn.as_mut().expect("just inserted"))
+    }
+
+    /// Ship one frame with at-least-once delivery and exactly-once
+    /// application: retries with backoff across connection failures, and
+    /// relies on the receiver's last-applied handshake/acks to skip
+    /// frames that already landed.
+    ///
+    /// Returns the sequence number the frame was assigned.
+    pub fn send(&mut self, payload: &[u8]) -> Result<u64, TransportError> {
+        let seq = self.next_seq;
+        let mut attempt = 0u32;
+        let mut first_try = true;
+        loop {
+            let result = self.try_once(seq, payload, first_try);
+            match result {
+                Ok(deduped) => {
+                    self.next_seq = seq + 1;
+                    self.stats.frames_acked += 1;
+                    if deduped {
+                        self.stats.deduplicated += 1;
+                    }
+                    return Ok(seq);
+                }
+                Err(e @ TransportError::BadFrame(_)) => {
+                    // The payload itself is unacceptable; replaying the
+                    // same bytes cannot succeed.
+                    return Err(e);
+                }
+                Err(e) => {
+                    self.conn = None;
+                    attempt += 1;
+                    if attempt >= self.backoff.max_attempts() {
+                        return Err(e);
+                    }
+                    std::thread::sleep(self.backoff.delay(attempt - 1));
+                    first_try = false;
+                }
+            }
+        }
+    }
+
+    /// One attempt: ensure a connection, then either dedup against the
+    /// receiver's last-applied sequence or transmit. `Ok(true)` means the
+    /// receiver already had the frame.
+    fn try_once(
+        &mut self,
+        seq: u64,
+        payload: &[u8],
+        first_try: bool,
+    ) -> Result<bool, TransportError> {
+        let replay = !first_try;
+        if self.connection()?.peer_last_applied() >= seq {
+            // The previous transmission landed; only the ack was lost.
+            return Ok(true);
+        }
+        if replay {
+            self.stats.replays += 1;
+        }
+        self.conn
+            .as_mut()
+            .expect("connected above")
+            .send_seq(seq, payload)?;
+        Ok(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard check value for the IEEE polynomial.
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xe8b7_be43);
+        assert_ne!(crc32(b"frame"), crc32(b"framf"), "one-bit difference");
+    }
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let mut p = BackoffPolicy::new(1)
+            .with_base(Duration::from_millis(100))
+            .with_cap(Duration::from_millis(800));
+        let d: Vec<Duration> = (0..6).map(|k| p.delay(k)).collect();
+        for (k, d) in d.iter().enumerate() {
+            // Jitter keeps each delay within [0.5, 1.0]× the exponential.
+            let nominal = Duration::from_millis((100u64 << k).min(800));
+            assert!(*d <= nominal, "attempt {k}: {d:?} > {nominal:?}");
+            assert!(*d >= nominal / 2, "attempt {k}: {d:?} < half nominal");
+        }
+        assert!(d[5] <= Duration::from_millis(800), "cap respected");
+    }
+
+    #[test]
+    fn backoff_is_deterministic_per_seed() {
+        let delays = |seed| {
+            let mut p = BackoffPolicy::new(seed);
+            (0..5).map(|k| p.delay(k)).collect::<Vec<_>>()
+        };
+        assert_eq!(delays(9), delays(9));
+        assert_ne!(delays(9), delays(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one attempt")]
+    fn zero_attempts_rejected() {
+        BackoffPolicy::new(0).with_max_attempts(0);
+    }
+}

@@ -122,6 +122,13 @@ impl Network {
     }
 }
 
+/// Ratio beyond which a bandwidth sample is treated as a regime change
+/// rather than in-band drift. The variability walk moves the factor a
+/// bounded fraction of its band per step, so even across several steps a
+/// jump beyond 2× in either direction cannot be walk noise at the sites'
+/// settings — it is a fault appearing or clearing.
+const REGIME_RATIO: f64 = 2.0;
+
 /// The paper's bandwidth measurement: time a ~1 GB message and divide.
 ///
 /// Keeps an exponential moving average so a single unlucky sample does not
@@ -160,6 +167,13 @@ impl BandwidthProbe {
 
     /// Take one measurement against the link and fold it into the average.
     /// Returns the updated average observed bandwidth (bytes/second).
+    ///
+    /// The EMA exists to smooth in-band variability noise; a sample that
+    /// differs from the average by more than [`REGIME_RATIO`] in either
+    /// direction is a regime change (fault, route change, restored link),
+    /// not noise, and the average snaps to it immediately — otherwise a
+    /// 50× link collapse would take the better part of a mission to show
+    /// up in the decision inputs.
     pub fn measure(&mut self, net: &mut Network) -> f64 {
         let bps = net.step();
         // Observed rate includes the latency penalty, as a wall-clock
@@ -168,6 +182,9 @@ impl BandwidthProbe {
         let observed = self.probe_bytes as f64 / elapsed;
         let ema = match self.ema_bps {
             None => observed,
+            Some(prev) if observed > prev * REGIME_RATIO || observed < prev / REGIME_RATIO => {
+                observed
+            }
             Some(prev) => self.alpha * observed + (1.0 - self.alpha) * prev,
         };
         self.ema_bps = Some(ema);
@@ -259,6 +276,27 @@ mod tests {
             last = avg;
         }
         assert!(probe.average_bps().unwrap() == last);
+    }
+
+    #[test]
+    fn probe_snaps_on_regime_change() {
+        // A 10× collapse must show up in the very next average, not after
+        // half a dozen epochs of EMA convergence; same for the recovery.
+        let mut net = Network::ideal(1e7);
+        let mut probe = BandwidthProbe::new();
+        probe.measure(&mut net);
+        net.set_degradation(0.1);
+        let degraded = probe.measure(&mut net);
+        assert!(
+            (degraded - 1e6).abs() < 1.0,
+            "collapse visible immediately: {degraded}"
+        );
+        net.set_degradation(1.0);
+        let restored = probe.measure(&mut net);
+        assert!(
+            (restored - 1e7).abs() < 1.0,
+            "recovery visible immediately: {restored}"
+        );
     }
 
     #[test]

@@ -61,6 +61,7 @@ pub struct FrameStore {
     next_id: u64,
     frames_stored: u64,
     frames_shipped: u64,
+    external_bytes: u64,
 }
 
 impl FrameStore {
@@ -73,6 +74,7 @@ impl FrameStore {
             next_id: 0,
             frames_stored: 0,
             frames_shipped: 0,
+            external_bytes: 0,
         }
     }
 
@@ -159,6 +161,40 @@ impl FrameStore {
     pub fn frames_shipped(&self) -> u64 {
         self.frames_shipped
     }
+
+    /// Number of frames currently mid-transfer.
+    pub fn in_flight_count(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// An external writer (another job on the shared scratch filesystem)
+    /// grabs up to `bytes` of free space. Returns how much it actually
+    /// got (capped at what is free — the external job hits `ENOSPC` on
+    /// the rest, just like ours would).
+    pub fn seize_external(&mut self, bytes: u64) -> u64 {
+        let got = bytes.min(self.disk.free());
+        if got > 0 {
+            self.disk.write(got).expect("capped at free space");
+            self.external_bytes += got;
+        }
+        got
+    }
+
+    /// The external writer releases `bytes` of previously seized space
+    /// (capped at what it still holds).
+    pub fn release_external(&mut self, bytes: u64) -> u64 {
+        let freed = bytes.min(self.external_bytes);
+        if freed > 0 {
+            self.disk.free_bytes(freed);
+            self.external_bytes -= freed;
+        }
+        freed
+    }
+
+    /// Bytes currently held by external writers.
+    pub fn external_bytes(&self) -> u64 {
+        self.external_bytes
+    }
 }
 
 #[cfg(test)]
@@ -239,5 +275,23 @@ mod tests {
         let mut s = store();
         assert!(s.begin_transfer().is_none());
         assert!(!s.has_pending());
+    }
+
+    #[test]
+    fn external_pressure_seizes_only_free_space_and_releases_it() {
+        let mut s = store();
+        s.store(0.0, 400).unwrap();
+        let got = s.seize_external(1_000_000);
+        assert_eq!(got, 600, "capped at free space");
+        assert_eq!(s.external_bytes(), 600);
+        assert_eq!(s.disk().free(), 0);
+        // Frames still account separately: shipping one frees its bytes.
+        let t = s.begin_transfer().unwrap();
+        s.complete_transfer(t.id).unwrap();
+        assert_eq!(s.disk().free(), 400);
+        // Release is capped at what the external writer holds.
+        assert_eq!(s.release_external(10_000), 600);
+        assert_eq!(s.external_bytes(), 0);
+        assert_eq!(s.disk().free(), 1000);
     }
 }

@@ -5,8 +5,13 @@
 //! baseline under the same fault.
 
 use climate_adaptive::adaptive::decision::AlgorithmKind;
-use climate_adaptive::adaptive::orchestrator::{Fault, Orchestrator, RunOptions};
+use climate_adaptive::adaptive::net_transport::{FrameReceiver, ReceiverOptions};
+use climate_adaptive::adaptive::orchestrator::{Fault, FaultPlan, Orchestrator, RunOptions};
+use climate_adaptive::adaptive::resilience::{BackoffPolicy, ResilientSender};
 use climate_adaptive::prelude::*;
+use proptest::prelude::*;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 fn opts() -> RunOptions {
     RunOptions {
@@ -125,4 +130,145 @@ fn baseline_fares_worse_than_optimization_under_the_same_fault() {
     );
     assert!(baseline.stalls > 0, "the baseline runs into CRITICAL");
     assert_eq!(opt.stalls, 0, "optimization avoids stalling");
+}
+
+/// Encoded frames for transport tests: a short decimated run, one frame
+/// every couple of simulated hours.
+fn test_payloads(n: usize) -> Vec<Vec<u8>> {
+    let mut model = wrf::WrfModel::new(
+        wrf::ModelConfig::aila_default().with_decimation(16),
+    )
+    .expect("valid config");
+    (0..n)
+        .map(|_| {
+            model
+                .advance_to_minutes(model.sim_minutes() + 120.0, 1)
+                .expect("finite");
+            model.frame().to_bytes().to_vec()
+        })
+        .collect()
+}
+
+/// The PR's acceptance case: kill the receiver daemon mid-stream and
+/// assert the sender reconnects with backoff, replays the unacked frame,
+/// and the final track is byte-identical to a fault-free run.
+#[test]
+fn receiver_kill_mid_stream_is_healed_by_the_resilient_sender() {
+    let payloads = test_payloads(6);
+
+    // Fault-free baseline.
+    let baseline = {
+        let receiver = FrameReceiver::start().expect("bind");
+        let addr = receiver.addr();
+        let mut sender =
+            ResilientSender::new(move || addr, BackoffPolicy::new(7));
+        for p in &payloads {
+            sender.send(p).expect("healthy path");
+        }
+        receiver.shutdown().to_csv()
+    };
+
+    // Faulted run: the receiver dies while receiving frame 3 — after the
+    // bytes arrive but before the frame is applied or acked.
+    let receiver1 = FrameReceiver::start_with(ReceiverOptions {
+        kill_after_frames: Some(3),
+        ..Default::default()
+    })
+    .expect("bind");
+    let addr = Arc::new(Mutex::new(receiver1.addr()));
+
+    // Ops stand-in: notices the dead daemon and restarts it from its
+    // persisted state — on a *different* port, as a relaunched service
+    // would be.
+    let watcher_addr = Arc::clone(&addr);
+    let watcher = std::thread::spawn(move || {
+        while !receiver1.is_finished() {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let resume_seq = receiver1.last_applied();
+        let resume_track = receiver1.shutdown();
+        assert_eq!(resume_seq, 2, "frame 3 died before being applied");
+        let receiver2 = FrameReceiver::start_with(ReceiverOptions {
+            resume_track,
+            resume_seq,
+            kill_after_frames: None,
+        })
+        .expect("bind replacement");
+        *watcher_addr.lock().unwrap() = receiver2.addr();
+        receiver2
+    });
+
+    let sender_addr = Arc::clone(&addr);
+    let mut sender = ResilientSender::new(
+        move || *sender_addr.lock().unwrap(),
+        BackoffPolicy::new(11)
+            .with_base(Duration::from_millis(20))
+            .with_max_attempts(12),
+    )
+    .with_io_timeout(Duration::from_millis(300));
+    for p in &payloads {
+        sender.send(p).expect("resilient path delivers every frame");
+    }
+    let stats = sender.stats();
+    assert!(stats.reconnects >= 1, "reconnected after the kill: {stats:?}");
+    assert!(
+        stats.replays >= 1,
+        "the unacked frame was replayed: {stats:?}"
+    );
+    assert_eq!(stats.frames_acked, 6, "{stats:?}");
+
+    let receiver2 = watcher.join().expect("watcher thread");
+    assert_eq!(receiver2.last_applied(), 6, "every frame applied exactly once");
+    let healed = receiver2.shutdown().to_csv();
+    assert_eq!(healed, baseline, "track is byte-identical to the fault-free run");
+}
+
+proptest! {
+    // Each case is a full DES run under a random fault schedule; keep the
+    // count modest.
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Any random fault plan: the run must terminate (no event-loop
+    /// livelock from outages/flaps re-arming) and conserve frames —
+    /// everything written is either shipped or still sitting on the
+    /// simulation-site disk.
+    #[test]
+    fn random_fault_plans_terminate_and_conserve_frames(
+        plan_seed in 0u64..500,
+        net_seed in 0u64..100,
+        hours in 2.0f64..6.0,
+    ) {
+        let plan = FaultPlan::random(plan_seed, hours * 2.0);
+        let out = Orchestrator::new(
+            Site::inter_department(),
+            Mission::aila().with_duration_hours(hours),
+            AlgorithmKind::Optimization,
+        )
+        .with_options(RunOptions {
+            wall_cap_hours: 40.0,
+            seed: net_seed,
+            ..Default::default()
+        })
+        .with_fault_plan(plan)
+        .run();
+
+        // Termination: the DES loop returned (reaching here proves it);
+        // the wall clock is bounded by the cap.
+        prop_assert!(out.wall_hours <= 40.0 + 1e-9);
+
+        // Frame conservation: written = shipped + still-on-disk, with
+        // visualization trailing shipping.
+        prop_assert_eq!(
+            out.frames_written,
+            out.frames_shipped + out.frames_in_flight,
+            "conservation: {:?}", out
+        );
+        prop_assert!(out.frames_visualized <= out.frames_shipped);
+
+        // Fault bookkeeping is consistent with the plan's vocabulary.
+        prop_assert!((0.0..=100.0).contains(&out.min_free_disk_pct));
+        if out.completed {
+            prop_assert!(out.sim_minutes >= hours * 60.0 - 1e-6);
+        }
+    }
 }

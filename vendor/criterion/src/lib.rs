@@ -1,0 +1,117 @@
+//! Minimal offline stand-in for `criterion`.
+//!
+//! Provides the macro/struct surface the bench targets use. Instead of a
+//! statistical harness, each bench closure is smoke-run a handful of times
+//! and the best wall-clock time printed — enough to compare hot paths by
+//! eye and to keep `cargo test`/`cargo bench` compiling and running
+//! offline.
+
+use std::time::Instant;
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Per-iteration driver handed to the bench closure.
+pub struct Bencher {
+    iters: u64,
+    best_nanos: u128,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        for _ in 0..self.iters {
+            let t0 = Instant::now();
+            black_box(f());
+            let dt = t0.elapsed().as_nanos();
+            if dt < self.best_nanos {
+                self.best_nanos = dt;
+            }
+        }
+    }
+}
+
+/// Named group of benches sharing settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the smoke harness always runs a
+    /// fixed small number of iterations.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            iters: self.criterion.iters,
+            best_nanos: u128::MAX,
+        };
+        f(&mut b);
+        if b.best_nanos != u128::MAX {
+            println!(
+                "bench {}/{}: best {:.3} ms over {} iters",
+                self.name,
+                id,
+                b.best_nanos as f64 / 1e6,
+                self.criterion.iters
+            );
+        }
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Top-level bench driver.
+pub struct Criterion {
+    iters: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { iters: 3 }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = id.to_string();
+        self.benchmark_group(name.clone()).bench_function("", f);
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,789 @@
+//! Minimal offline stand-in for `proptest`.
+//!
+//! Same authoring surface (`proptest!`, `prop_assert*`, strategies,
+//! `prop_oneof!`, `any`, collections, flat-map), different engine: inputs
+//! are drawn from a deterministic per-test seeded generator and failures
+//! are reported with the case index — there is **no shrinking**. Failures
+//! reproduce exactly by re-running the same test binary because the seed
+//! is derived from the test's name.
+
+pub mod rng {
+    /// Deterministic 64-bit generator (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn new(seed: u64) -> Self {
+            Self {
+                state: seed ^ 0x9e37_79b9_7f4a_7c15,
+            }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in `[0, n)`; `n` must be nonzero.
+        pub fn below(&mut self, n: usize) -> usize {
+            assert!(n > 0, "below(0)");
+            (self.next_u64() % n as u64) as usize
+        }
+
+        /// Uniform in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+}
+
+pub mod test_runner {
+    use super::rng::TestRng;
+
+    /// Runner configuration; only `cases` is honoured.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        pub cases: u32,
+    }
+
+    impl Config {
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 32 }
+        }
+    }
+
+    /// A test-case verdict other than success.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        Fail(String),
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TestCaseError::Fail(m) => write!(f, "{m}"),
+                TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+            }
+        }
+    }
+
+    fn seed_for(name: &str) -> u64 {
+        // FNV-1a over the test name: deterministic across runs and
+        // platforms, distinct per test.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    /// Drive one `proptest!` function: `config.cases` samples from a
+    /// name-seeded generator; the first failure panics with the case
+    /// index and seed.
+    pub fn run_cases<F>(config: Config, name: &str, mut case: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        let seed = seed_for(name);
+        let mut rng = TestRng::new(seed);
+        for i in 0..config.cases {
+            match case(&mut rng) {
+                Ok(()) => {}
+                Err(TestCaseError::Reject(_)) => {}
+                Err(TestCaseError::Fail(msg)) => panic!(
+                    "proptest `{name}` failed at case {i}/{} (seed {seed:#x}): {msg}",
+                    config.cases
+                ),
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    use super::rng::TestRng;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        type Value;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy {
+                inner: Box::new(self),
+            }
+        }
+    }
+
+    /// Always yields a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+        fn sample(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.inner.sample(rng)).sample(rng)
+        }
+    }
+
+    /// Object-safe erased strategy.
+    trait DynStrategy<T> {
+        fn sample_dyn(&self, rng: &mut TestRng) -> T;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn sample_dyn(&self, rng: &mut TestRng) -> S::Value {
+            self.sample(rng)
+        }
+    }
+
+    pub struct BoxedStrategy<T> {
+        inner: Box<dyn DynStrategy<T>>,
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            self.inner.sample_dyn(rng)
+        }
+    }
+
+    /// Uniform choice between erased alternatives (`prop_oneof!`).
+    pub struct OneOf<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> OneOf<T> {
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Self { options }
+        }
+    }
+
+    impl<T> Strategy for OneOf<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.options.len());
+            self.options[i].sample(rng)
+        }
+    }
+
+    /// A `Vec` of strategies samples one value from each element.
+    impl<S: Strategy> Strategy for Vec<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            self.iter().map(|s| s.sample(rng)).collect()
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($($name:ident / $idx:tt),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A / 0);
+    tuple_strategy!(A / 0, B / 1);
+    tuple_strategy!(A / 0, B / 1, C / 2);
+    tuple_strategy!(A / 0, B / 1, C / 2, D / 3);
+    tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4);
+    tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5);
+    tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5, G / 6);
+    tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5, G / 6, H / 7);
+    tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5, G / 6, H / 7, I / 8);
+    tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5, G / 6, H / 7, I / 8, J / 9);
+    tuple_strategy!(
+        A / 0, B / 1, C / 2, D / 3, E / 4, F / 5, G / 6, H / 7, I / 8, J / 9, K / 10
+    );
+    tuple_strategy!(
+        A / 0, B / 1, C / 2, D / 3, E / 4, F / 5, G / 6, H / 7, I / 8, J / 9, K / 10, L / 11
+    );
+
+    macro_rules! float_range_strategy {
+        ($($t:ty),+) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    self.start + (self.end - self.start) * rng.unit_f64() as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (a, b) = (*self.start(), *self.end());
+                    assert!(a <= b, "empty range strategy");
+                    a + (b - a) * rng.unit_f64() as $t
+                }
+            }
+        )+};
+    }
+
+    float_range_strategy!(f32, f64);
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),+) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (a, b) = (*self.start(), *self.end());
+                    assert!(a <= b, "empty range strategy");
+                    let span = (b as i128 - a as i128) as u128 + 1;
+                    (a as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+                }
+            }
+        )+};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// `&'static str` is a pattern strategy: `"[class]{m,n}"` generates a
+    /// random string over the character class; any other string is taken
+    /// literally. Subset of the regex syntax real proptest accepts.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn sample(&self, rng: &mut TestRng) -> String {
+            match parse_pattern(self) {
+                Some((chars, lo, hi)) => {
+                    let len = lo + rng.below(hi - lo + 1);
+                    (0..len).map(|_| chars[rng.below(chars.len())]).collect()
+                }
+                None => (*self).to_owned(),
+            }
+        }
+    }
+
+    /// Parse `[class]{m,n}` / `[class]{m}` into (alphabet, m, n).
+    fn parse_pattern(pat: &str) -> Option<(Vec<char>, usize, usize)> {
+        let rest = pat.strip_prefix('[')?;
+        let close = rest.find(']')?;
+        let class: Vec<char> = rest[..close].chars().collect();
+        let mut alphabet = Vec::new();
+        let mut i = 0;
+        while i < class.len() {
+            if i + 2 < class.len() && class[i + 1] == '-' {
+                let (a, b) = (class[i] as u32, class[i + 2] as u32);
+                if a <= b {
+                    alphabet.extend((a..=b).filter_map(char::from_u32));
+                    i += 3;
+                    continue;
+                }
+            }
+            alphabet.push(class[i]);
+            i += 1;
+        }
+        if alphabet.is_empty() {
+            return None;
+        }
+        let quant = rest[close + 1..]
+            .strip_prefix('{')?
+            .strip_suffix('}')?
+            .to_owned();
+        let (lo, hi) = match quant.split_once(',') {
+            Some((a, b)) => (a.trim().parse().ok()?, b.trim().parse().ok()?),
+            None => {
+                let n = quant.trim().parse().ok()?;
+                (n, n)
+            }
+        };
+        if lo > hi {
+            return None;
+        }
+        Some((alphabet, lo, hi))
+    }
+}
+
+pub mod arbitrary {
+    use super::rng::TestRng;
+    use super::strategy::Strategy;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-range strategy.
+    pub trait Arbitrary {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! arbitrary_int {
+        ($($t:ty),+) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )+};
+    }
+
+    arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            // Finite values only, spanning a wide magnitude band.
+            let mag = rng.unit_f64() * 2e9 - 1e9;
+            mag * rng.unit_f64()
+        }
+    }
+
+    impl Arbitrary for f32 {
+        fn arbitrary(rng: &mut TestRng) -> f32 {
+            f64::arbitrary(rng) as f32
+        }
+    }
+
+    impl Arbitrary for char {
+        fn arbitrary(rng: &mut TestRng) -> char {
+            char::from_u32(rng.below(0xd800) as u32).unwrap_or('?')
+        }
+    }
+
+    /// Strategy yielding `A::arbitrary` values.
+    pub struct AnyStrategy<A> {
+        _marker: PhantomData<A>,
+    }
+
+    impl<A: Arbitrary> Strategy for AnyStrategy<A> {
+        type Value = A;
+        fn sample(&self, rng: &mut TestRng) -> A {
+            A::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `A` (`any::<u8>()` etc.).
+    pub fn any<A: Arbitrary>() -> AnyStrategy<A> {
+        AnyStrategy {
+            _marker: PhantomData,
+        }
+    }
+}
+
+pub mod collection {
+    use super::rng::TestRng;
+    use super::strategy::Strategy;
+    use std::collections::BTreeMap;
+
+    /// Inclusive size band for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl SizeRange {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            self.lo + rng.below(self.hi - self.lo + 1)
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// `Vec` of `size` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: SizeRange,
+    }
+
+    impl<K, V> Strategy for BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let target = self.size.pick(rng);
+            let mut map = BTreeMap::new();
+            // Bounded attempts: key collisions may undershoot the target,
+            // which the band's lower bound tolerates in practice (0 here).
+            for _ in 0..target.saturating_mul(4) {
+                if map.len() >= target {
+                    break;
+                }
+                map.insert(self.key.sample(rng), self.value.sample(rng));
+            }
+            map
+        }
+    }
+
+    /// `BTreeMap` with `size` entries (best effort under key collisions).
+    pub fn btree_map<K, V>(key: K, value: V, size: impl Into<SizeRange>) -> BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+    {
+        BTreeMapStrategy {
+            key,
+            value,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod sample {
+    use super::arbitrary::Arbitrary;
+    use super::rng::TestRng;
+    use super::strategy::Strategy;
+
+    /// An index into a collection of as-yet-unknown length.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct Index(u64);
+
+    impl Index {
+        /// Resolve against a concrete length (> 0).
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            (self.0 % len as u64) as usize
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            Index(rng.next_u64())
+        }
+    }
+
+    /// Uniform choice of one element of `options`.
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            self.options[rng.below(self.options.len())].clone()
+        }
+    }
+
+    /// Strategy picking uniformly from `options`.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select over empty options");
+        Select { options }
+    }
+}
+
+pub mod prelude {
+    pub use super::arbitrary::{any, Arbitrary};
+    pub use super::sample;
+    pub use super::strategy::{BoxedStrategy, Just, Strategy};
+    pub use super::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use super::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+    /// `prop::collection::vec(...)`-style paths.
+    pub use crate as prop;
+}
+
+/// Define seeded random-input tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test] // optional; added automatically when missing
+///     fn holds(x in 0u32..100, ys in prop::collection::vec(any::<bool>(), 0..8)) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            cfg = (<$crate::test_runner::Config as ::std::default::Default>::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = ($cfg:expr);) => {};
+    (cfg = ($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::test_runner::run_cases($cfg, stringify!($name), |__proptest_rng| {
+                $(let $arg = $crate::strategy::Strategy::sample(&($strat), __proptest_rng);)+
+                $body
+                ::std::result::Result::Ok(())
+            });
+        }
+        $crate::__proptest_impl! { cfg = ($cfg); $($rest)* }
+    };
+}
+
+/// Assert inside a `proptest!` body; failure fails only the current case
+/// with a formatted message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {{
+        let condition_holds: bool = $cond;
+        if !condition_holds {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(::std::format!($($fmt)+)),
+            );
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => $crate::prop_assert!(
+                *l == *r,
+                "assertion failed: `{} == {}` (left: {:?}, right: {:?})",
+                stringify!($left), stringify!($right), l, r
+            ),
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (l, r) => $crate::prop_assert!(
+                *l == *r,
+                "{} (left: {:?}, right: {:?})",
+                ::std::format!($($fmt)+), l, r
+            ),
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => $crate::prop_assert!(
+                *l != *r,
+                "assertion failed: `{} != {}` (both: {:?})",
+                stringify!($left), stringify!($right), l
+            ),
+        }
+    };
+}
+
+/// Uniform choice between strategy arms yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(::std::vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn string_pattern_strategy() {
+        let mut rng = crate::rng::TestRng::new(3);
+        for _ in 0..50 {
+            let s = Strategy::sample(&"[a-c_]{1,4}", &mut rng);
+            assert!((1..=4).contains(&s.len()), "len of {s:?}");
+            assert!(s.chars().all(|c| matches!(c, 'a'..='c' | '_')), "{s:?}");
+        }
+        let lit = Strategy::sample(&"plain", &mut rng);
+        assert_eq!(lit, "plain");
+    }
+
+    #[test]
+    fn oneof_and_collections() {
+        let mut rng = crate::rng::TestRng::new(9);
+        let strat = prop::collection::vec(prop_oneof![Just(1u32), 5u32..8], 2..6);
+        for _ in 0..50 {
+            let v = Strategy::sample(&strat, &mut rng);
+            assert!((2..6).contains(&v.len()));
+            assert!(v.iter().all(|&x| x == 1 || (5..8).contains(&x)));
+        }
+        let m = Strategy::sample(
+            &prop::collection::btree_map("[a-z]{1,3}", 0u8..10, 0..4),
+            &mut rng,
+        );
+        assert!(m.len() < 4);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+        #[test]
+        fn macro_end_to_end(
+            x in 1u64..100,
+            (lo, hi) in (0.0f64..1.0, 2.0f64..3.0),
+            idx in any::<prop::sample::Index>(),
+            flag in any::<bool>(),
+        ) {
+            if flag {
+                // Early success exits are allowed mid-body.
+                return Ok(());
+            }
+            prop_assert!((1..100).contains(&x));
+            prop_assert!(lo < hi, "bands must be ordered: {lo} vs {hi}");
+            prop_assert_eq!(idx.index(1), 0);
+            prop_assert_ne!(lo, hi);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn flat_map_composes(v in (1usize..5).prop_flat_map(|n| {
+            prop::collection::vec(0u8..10, n..=n)
+        })) {
+            prop_assert!((1..5).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_case_panics_with_index() {
+        crate::test_runner::run_cases(
+            ProptestConfig::with_cases(3),
+            "always_fails",
+            |_rng| Err(TestCaseError::fail("nope")),
+        );
+    }
+}

@@ -1,0 +1,310 @@
+//! Minimal offline stand-in for `serde`.
+//!
+//! Instead of serde's visitor architecture, serialization goes through a
+//! JSON-shaped [`Value`] tree: `Serialize` lowers a type into a `Value`,
+//! `Deserialize` lifts it back. The derive macros (re-exported from the
+//! vendored `serde_derive`) generate those two methods for named-field
+//! structs and for enums with unit/struct variants — exactly the shapes
+//! this workspace derives. `serde_json` then prints/parses the tree.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, VecDeque};
+
+/// JSON-shaped data tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    /// All numbers are carried as `f64` (adequate for this workspace:
+    /// every serialized integer is far below 2^53).
+    Num(f64),
+    Str(String),
+    Seq(Vec<Value>),
+    /// Insertion-ordered map; duplicate keys resolve to the first entry.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Map field lookup; `None` for non-maps and missing keys.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Deserialization error: a path-less human-readable message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    pub fn custom(msg: impl Into<String>) -> Self {
+        DeError(msg.into())
+    }
+
+    pub fn missing_field(ty: &str, field: &str) -> Self {
+        DeError(format!("missing field `{field}` while deserializing {ty}"))
+    }
+
+    pub fn type_mismatch(expected: &str, got: &Value) -> Self {
+        let shape = match got {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Num(_) => "number",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        };
+        DeError(format!("expected {expected}, got {shape}"))
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Lower a value into the [`Value`] tree.
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// Lift a value back out of the [`Value`] tree.
+pub trait Deserialize: Sized {
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+// --- primitives -----------------------------------------------------------
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::type_mismatch("bool", other)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::type_mismatch("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+macro_rules! float_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Num(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Num(n) => Ok(*n as $t),
+                    other => Err(DeError::type_mismatch("number", other)),
+                }
+            }
+        }
+    )*};
+}
+
+float_impls!(f32, f64);
+
+macro_rules! int_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Num(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Num(n) => {
+                        let rounded = n.round();
+                        if !n.is_finite() || (rounded - n).abs() > 1e-6 {
+                            return Err(DeError::custom(format!(
+                                "expected integer, got {n}"
+                            )));
+                        }
+                        if rounded < <$t>::MIN as f64 || rounded > <$t>::MAX as f64 {
+                            return Err(DeError::custom(format!(
+                                "integer {rounded} out of range for {}",
+                                stringify!($t)
+                            )));
+                        }
+                        Ok(rounded as $t)
+                    }
+                    other => Err(DeError::type_mismatch("integer", other)),
+                }
+            }
+        }
+    )*};
+}
+
+int_impls!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+// --- containers -----------------------------------------------------------
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::from_value(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::type_mismatch("sequence", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for VecDeque<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for VecDeque<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Vec::<T>::from_value(v).map(VecDeque::from)
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let items = Vec::<T>::from_value(v)?;
+        let got = items.len();
+        items
+            .try_into()
+            .map_err(|_| DeError::custom(format!("expected array of length {N}, got {got}")))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect())
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Map(entries) => entries
+                .iter()
+                .map(|(k, val)| Ok((k.clone(), V::from_value(val)?)))
+                .collect(),
+            other => Err(DeError::type_mismatch("map", other)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(bool::from_value(&true.to_value()), Ok(true));
+        assert_eq!(u64::from_value(&42u64.to_value()), Ok(42));
+        assert_eq!(f64::from_value(&1.5f64.to_value()), Ok(1.5));
+        assert_eq!(
+            String::from_value(&"hi".to_value()),
+            Ok(String::from("hi"))
+        );
+        assert!(u64::from_value(&Value::Num(1.5)).is_err());
+        assert!(u8::from_value(&Value::Num(300.0)).is_err());
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v = vec![1u32, 2, 3];
+        assert_eq!(Vec::<u32>::from_value(&v.to_value()), Ok(v));
+        let a = [1.0f64, 2.0, 3.0, 4.0];
+        assert_eq!(<[f64; 4]>::from_value(&a.to_value()), Ok(a));
+        assert!(<[f64; 4]>::from_value(&[1.0f64].to_value()).is_err());
+        assert_eq!(Option::<u32>::from_value(&Value::Null), Ok(None));
+        assert_eq!(Option::<u32>::from_value(&Value::Num(5.0)), Ok(Some(5)));
+    }
+
+    #[test]
+    fn map_get_finds_first() {
+        let m = Value::Map(vec![
+            ("a".into(), Value::Num(1.0)),
+            ("a".into(), Value::Num(2.0)),
+        ]);
+        assert_eq!(m.get("a"), Some(&Value::Num(1.0)));
+        assert_eq!(m.get("b"), None);
+    }
+}

@@ -1,0 +1,312 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! Hand-rolled token walking (no `syn`/`quote` — the build is offline):
+//! supports named-field structs and enums whose variants are unit or
+//! struct-like, which covers every `#[derive(Serialize, Deserialize)]` in
+//! this workspace. Anything fancier (tuple structs, generics, tuple
+//! variants, serde attributes) panics with a clear message at expansion
+//! time rather than generating wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item.shape {
+        Shape::Struct(fields) => gen_struct_serialize(&item.name, fields),
+        Shape::Enum(variants) => gen_enum_serialize(&item.name, variants),
+    };
+    code.parse().expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item.shape {
+        Shape::Struct(fields) => gen_struct_deserialize(&item.name, fields),
+        Shape::Enum(variants) => gen_enum_deserialize(&item.name, variants),
+    };
+    code.parse().expect("generated Deserialize impl parses")
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    /// Named fields, declaration order.
+    Struct(Vec<String>),
+    /// Variants: name plus named fields (empty = unit variant).
+    Enum(Vec<(String, Vec<String>)>),
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut toks = input.into_iter().peekable();
+
+    // Skip outer attributes (`#[...]`) and visibility.
+    loop {
+        match toks.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next();
+                toks.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                toks.next();
+                if let Some(TokenTree::Group(g)) = toks.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        toks.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected type name, got {other:?}"),
+    };
+
+    let body = loop {
+        match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                panic!("serde derive stand-in: generic type `{name}` is not supported")
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("serde derive stand-in: tuple struct `{name}` is not supported")
+            }
+            Some(_) => continue,
+            None => panic!("serde derive: `{name}` has no body"),
+        }
+    };
+
+    let shape = match kind.as_str() {
+        "struct" => Shape::Struct(parse_named_fields(body, &name)),
+        "enum" => Shape::Enum(parse_variants(body, &name)),
+        other => panic!("serde derive: cannot derive for `{other}`"),
+    };
+    Item { name, shape }
+}
+
+/// Parse `{ a: T, b: U, ... }` contents into field names.
+fn parse_named_fields(stream: TokenStream, ty: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut toks = stream.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility before the field name.
+        loop {
+            match toks.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    toks.next();
+                    toks.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    toks.next();
+                    if let Some(TokenTree::Group(g)) = toks.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            toks.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let field = match toks.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde derive: unexpected token in `{ty}` fields: {other:?}"),
+        };
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!(
+                "serde derive: expected `:` after field `{ty}.{field}`, got {other:?}"
+            ),
+        }
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        loop {
+            match toks.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                    depth += 1;
+                    toks.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                    depth -= 1;
+                    toks.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 0 => {
+                    toks.next();
+                    break;
+                }
+                Some(_) => {
+                    toks.next();
+                }
+                None => break,
+            }
+        }
+        fields.push(field);
+    }
+    fields
+}
+
+/// Parse enum body into `(variant, fields)` pairs.
+fn parse_variants(stream: TokenStream, ty: &str) -> Vec<(String, Vec<String>)> {
+    let mut variants = Vec::new();
+    let mut toks = stream.into_iter().peekable();
+    loop {
+        loop {
+            match toks.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    toks.next();
+                    toks.next();
+                }
+                _ => break,
+            }
+        }
+        let variant = match toks.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde derive: unexpected token in enum `{ty}`: {other:?}"),
+        };
+        let fields = match toks.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner = g.stream();
+                toks.next();
+                parse_named_fields(inner, ty)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("serde derive stand-in: tuple variant `{ty}::{variant}` is not supported")
+            }
+            _ => Vec::new(),
+        };
+        if let Some(TokenTree::Punct(p)) = toks.peek() {
+            if p.as_char() == ',' {
+                toks.next();
+            }
+        }
+        variants.push((variant, fields));
+    }
+    variants
+}
+
+fn gen_struct_serialize(name: &str, fields: &[String]) -> String {
+    let entries: String = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f})),"
+            )
+        })
+        .collect();
+    format!(
+        "#[automatically_derived]\n#[allow(unused, clippy::all)]\nimpl ::serde::Serialize for {name} {{\n\
+           fn to_value(&self) -> ::serde::Value {{\n\
+             ::serde::Value::Map(::std::vec![{entries}])\n\
+           }}\n\
+         }}"
+    )
+}
+
+fn gen_struct_deserialize(name: &str, fields: &[String]) -> String {
+    let inits: String = fields
+        .iter()
+        .map(|f| field_init(name, f, "v"))
+        .collect();
+    format!(
+        "#[automatically_derived]\n#[allow(unused, clippy::all)]\nimpl ::serde::Deserialize for {name} {{\n\
+           fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+             ::std::result::Result::Ok({name} {{ {inits} }})\n\
+           }}\n\
+         }}"
+    )
+}
+
+fn field_init(ty: &str, field: &str, source: &str) -> String {
+    format!(
+        "{field}: ::serde::Deserialize::from_value({source}.get(\"{field}\")\
+           .ok_or_else(|| ::serde::DeError::missing_field(\"{ty}\", \"{field}\"))?)?,"
+    )
+}
+
+fn gen_enum_serialize(name: &str, variants: &[(String, Vec<String>)]) -> String {
+    let arms: String = variants
+        .iter()
+        .map(|(variant, fields)| {
+            if fields.is_empty() {
+                format!(
+                    "{name}::{variant} => \
+                       ::serde::Value::Str(::std::string::String::from(\"{variant}\")),"
+                )
+            } else {
+                let binds = fields.join(", ");
+                let entries: String = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "(::std::string::String::from(\"{f}\"), \
+                               ::serde::Serialize::to_value({f})),"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "{name}::{variant} {{ {binds} }} => ::serde::Value::Map(::std::vec![\
+                       (::std::string::String::from(\"{variant}\"), \
+                        ::serde::Value::Map(::std::vec![{entries}]))]),"
+                )
+            }
+        })
+        .collect();
+    format!(
+        "#[automatically_derived]\n#[allow(unused, clippy::all)]\nimpl ::serde::Serialize for {name} {{\n\
+           fn to_value(&self) -> ::serde::Value {{\n\
+             match self {{ {arms} }}\n\
+           }}\n\
+         }}"
+    )
+}
+
+fn gen_enum_deserialize(name: &str, variants: &[(String, Vec<String>)]) -> String {
+    let unit_arms: String = variants
+        .iter()
+        .filter(|(_, fields)| fields.is_empty())
+        .map(|(variant, _)| {
+            format!("\"{variant}\" => return ::std::result::Result::Ok({name}::{variant}),")
+        })
+        .collect();
+    let struct_arms: String = variants
+        .iter()
+        .filter(|(_, fields)| !fields.is_empty())
+        .map(|(variant, fields)| {
+            let inits: String = fields
+                .iter()
+                .map(|f| field_init(name, f, "body"))
+                .collect();
+            format!(
+                "\"{variant}\" => \
+                   return ::std::result::Result::Ok({name}::{variant} {{ {inits} }}),"
+            )
+        })
+        .collect();
+    format!(
+        "#[automatically_derived]\n#[allow(unused, clippy::all)]\nimpl ::serde::Deserialize for {name} {{\n\
+           fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+             if let ::serde::Value::Str(tag) = v {{\n\
+               match tag.as_str() {{ {unit_arms} _ => {{}} }}\n\
+             }}\n\
+             if let ::serde::Value::Map(entries) = v {{\n\
+               if let ::std::option::Option::Some((tag, body)) = entries.first() {{\n\
+                 match tag.as_str() {{ {struct_arms} _ => {{}} }}\n\
+               }}\n\
+             }}\n\
+             ::std::result::Result::Err(::serde::DeError::custom(\
+               ::std::format!(\"unknown {name} variant: {{v:?}}\")))\n\
+           }}\n\
+         }}"
+    )
+}
