@@ -55,6 +55,23 @@ pub enum Fault {
         /// Remaining transitions (the initial firing counts as one).
         flips: u32,
     },
+    /// `kill -9` of the whole simulation-site pipeline — simulation,
+    /// sender, manager, all of it — at the given wall time. Unlike
+    /// [`SimCrash`](Fault::SimCrash) nothing volatile survives; the
+    /// recovery supervisor must rebuild the incarnation from the journal
+    /// and the newest valid checkpoint.
+    ProcessKill {
+        /// Wall hours into the run at which the process dies.
+        at_hours: f64,
+    },
+    /// The next kill happens mid-append: the write-ahead journal is left
+    /// with a torn final record, which replay must truncate away without
+    /// losing any committed frame.
+    TornWrite,
+    /// The next kill leaves the newest checkpoint file corrupt (flipped
+    /// bytes); recovery must fall back past it to an older valid one, or
+    /// to a cold start.
+    CorruptCheckpoint,
 }
 
 /// A scripted schedule of faults: `(wall_hours, fault)` pairs.
@@ -127,6 +144,24 @@ impl FaultPlan {
         }
         FaultPlan { events }
     }
+
+    /// Like [`random`](Self::random), but the plan additionally contains
+    /// one whole-pipeline kill (optionally preceded by a torn journal
+    /// write or a corrupt checkpoint) so the recovery supervisor is
+    /// exercised too. Deterministic per seed; `random`'s plans are left
+    /// untouched so existing seeds keep their meaning.
+    pub fn random_with_kill(seed: u64, horizon_hours: f64) -> Self {
+        let mut plan = Self::random(seed, horizon_hours);
+        let mut rng = SplitMix64::new(seed ^ 0x6b69_6c6c);
+        let at = (0.1 + 0.8 * rng.unit_f64()) * horizon_hours.max(0.1);
+        match rng.next_u64() % 3 {
+            0 => plan.push(at - 1e-3, Fault::TornWrite),
+            1 => plan.push(at - 1e-3, Fault::CorruptCheckpoint),
+            _ => {}
+        }
+        plan.push(at, Fault::ProcessKill { at_hours: at });
+        plan
+    }
 }
 
 /// Small deterministic generator (SplitMix64) so fault plans do not drag
@@ -179,6 +214,29 @@ mod tests {
                     assert!(factor > 0.0 && factor <= 1.0);
                 }
             }
+        }
+    }
+
+    #[test]
+    fn random_with_kill_adds_exactly_one_process_kill() {
+        for seed in 0..40 {
+            let plan = FaultPlan::random_with_kill(seed, 8.0);
+            let kills: Vec<f64> = plan
+                .events
+                .iter()
+                .filter_map(|&(at, f)| match f {
+                    Fault::ProcessKill { at_hours } => {
+                        assert_eq!(at, at_hours, "event time matches the payload");
+                        Some(at)
+                    }
+                    _ => None,
+                })
+                .collect();
+            assert_eq!(kills.len(), 1);
+            assert!(kills[0] > 0.0 && kills[0] < 8.0);
+            // The base plan for the same seed is a strict prefix.
+            let base = FaultPlan::random(seed, 8.0);
+            assert_eq!(&plan.events[..base.len()], &base.events[..]);
         }
     }
 

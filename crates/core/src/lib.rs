@@ -47,5 +47,6 @@ pub mod metrics;
 pub mod net_transport;
 pub mod online;
 pub mod orchestrator;
+pub mod recovery;
 pub mod resilience;
 pub mod steering;

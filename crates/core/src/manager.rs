@@ -15,6 +15,7 @@ use crate::decision::{
 };
 use perfmodel::ProcTable;
 use resources::{BandwidthProbe, Disk, Network};
+use serde::{Deserialize, Serialize};
 
 /// Per-epoch context the orchestrator supplies (everything that depends on
 /// the current resolution and nest state).
@@ -42,6 +43,20 @@ pub struct EpochContext<'a> {
 /// frames on disk (wider output interval) instead of dropping them.
 const DEGRADED_BANDWIDTH_FRACTION: f64 = 0.25;
 
+/// The durable part of the manager's epoch state — what a checkpoint
+/// carries across a process death. The bandwidth probe's moving average
+/// is deliberately volatile: a fresh incarnation re-measures the link on
+/// its first epoch, exactly as the paper's manager does at startup.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ManagerState {
+    /// Decision epochs run so far.
+    pub epochs: u64,
+    /// Best bandwidth ever measured, bytes/second.
+    pub peak_bandwidth_bps: f64,
+    /// Epochs that ran under a badly degraded link.
+    pub degraded_epochs: u32,
+}
+
 /// The manager: owns the decision algorithm and the bandwidth probe.
 pub struct ApplicationManager {
     algorithm: Box<dyn DecisionAlgorithm + Send>,
@@ -60,6 +75,29 @@ impl ApplicationManager {
             epochs: 0,
             peak_bandwidth_bps: 0.0,
             degraded_epochs: 0,
+        }
+    }
+
+    /// Snapshot the durable epoch state for a checkpoint.
+    pub fn state(&self) -> ManagerState {
+        ManagerState {
+            epochs: self.epochs,
+            peak_bandwidth_bps: self.peak_bandwidth_bps,
+            degraded_epochs: self.degraded_epochs,
+        }
+    }
+
+    /// Rebuild a manager from checkpointed state. The decision algorithm
+    /// and bandwidth probe start fresh (both are stateless across epochs
+    /// for decision purposes); the epoch counters continue where the dead
+    /// incarnation stopped.
+    pub fn restore(kind: AlgorithmKind, state: ManagerState) -> Self {
+        ApplicationManager {
+            algorithm: kind.build(),
+            probe: BandwidthProbe::new(),
+            epochs: state.epochs,
+            peak_bandwidth_bps: state.peak_bandwidth_bps,
+            degraded_epochs: state.degraded_epochs,
         }
     }
 
@@ -200,6 +238,33 @@ mod tests {
         let current = ApplicationConfig::initial(48, 3.0, 24.0);
         let cfg = mgr.epoch(&disk, &mut net, &ctx(&t), &current);
         assert!(cfg.critical);
+    }
+
+    #[test]
+    fn manager_state_roundtrips_through_serialization() {
+        let t = table();
+        let mut mgr = ApplicationManager::new(AlgorithmKind::Optimization);
+        let disk = Disk::new(1_000_000_000);
+        let mut net = Network::ideal(7e6);
+        let current = ApplicationConfig::initial(48, 3.0, 24.0);
+        for _ in 0..3 {
+            mgr.epoch(&disk, &mut net, &ctx(&t), &current);
+        }
+        let state = mgr.state();
+        assert_eq!(state.epochs, 3);
+        assert!(state.peak_bandwidth_bps > 0.0);
+
+        let json = serde_json::to_string(&state).unwrap();
+        let back: ManagerState = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, state);
+
+        let restored = ApplicationManager::restore(AlgorithmKind::Optimization, back);
+        assert_eq!(restored.epochs(), 3);
+        assert_eq!(restored.state(), state);
+        assert!(
+            restored.observed_bandwidth_bps().is_none(),
+            "probe restarts cold"
+        );
     }
 
     #[test]

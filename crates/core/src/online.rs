@@ -12,9 +12,17 @@
 //!   applies new configurations,
 //! - frames are real encoded [`ncdf`] datasets moving through a bounded
 //!   channel standing in for the wide-area link, throttled to the modeled
-//!   bandwidth,
+//!   bandwidth, with the receiver **acking** each frame after it is
+//!   applied — the sender only settles a frame in its ledger once the
+//!   remote end durably has it,
 //! - the receiver decodes frames and feeds the visualization (eye
 //!   tracking via [`viz::TrackLog`]).
+//!
+//! With [`OnlineOptions::durability`] set, the whole pipeline is
+//! crash-consistent: the frame ledger is write-ahead journaled, payloads
+//! and receiver state live in checksummed snapshot files, the model and
+//! manager checkpoint on a cadence, and [`crate::recovery`] can rebuild a
+//! killed incarnation from disk.
 //!
 //! Modeled wall time is compressed: `time_scale` real seconds per modeled
 //! second, so a multi-hour experiment plays out in real milliseconds
@@ -23,18 +31,20 @@
 use crate::config::ApplicationConfig;
 use crate::decision::{AlgorithmKind, DecisionInputs, CRITICAL_FREE_PERCENT};
 use crate::fault::{Fault, FaultPlan};
+use crate::manager::ManagerState;
+use crate::recovery::{self, CheckpointMeta, DurabilityOptions};
 use cyclone::{Mission, Site};
 use parking_lot::Mutex;
 use resources::{Disk, FrameStore};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 use viz::TrackLog;
 use wrf::WrfModel;
 
-/// Encoded frame payloads awaiting shipment, keyed by sim-minutes.
-type PayloadTable = Arc<Mutex<Vec<(f64, Vec<u8>)>>>;
+/// Encoded frame payloads awaiting shipment, keyed by frame id.
+type PayloadTable = Arc<Mutex<Vec<(u64, f64, Vec<u8>)>>>;
 
 /// Options for an online run.
 #[derive(Debug, Clone)]
@@ -53,6 +63,9 @@ pub struct OnlineOptions {
     /// Scripted faults, fired by a live injector thread at their modeled
     /// wall times (same vocabulary as the DES orchestrator).
     pub fault_plan: FaultPlan,
+    /// Crash-consistent durable state (`None` = the pre-durability
+    /// volatile pipeline, for tests and quick demos).
+    pub durability: Option<DurabilityOptions>,
 }
 
 impl OnlineOptions {
@@ -67,6 +80,7 @@ impl OnlineOptions {
             disk_capacity: 40_000_000,
             bandwidth_bps: 30_000.0,
             fault_plan: FaultPlan::new(),
+            durability: None,
         }
     }
 
@@ -75,6 +89,27 @@ impl OnlineOptions {
         self.fault_plan = plan;
         self
     }
+
+    /// Builder: crash-consistent durable state rooted at
+    /// `durability.state_dir`.
+    pub fn with_durability(mut self, durability: DurabilityOptions) -> Self {
+        self.durability = Some(durability);
+        self
+    }
+}
+
+/// How an incarnation died (set when a scripted [`Fault::ProcessKill`]
+/// fired), plus the storage damage staged to land with it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KillEvent {
+    /// Modeled wall hours into the run at which the kill fired.
+    pub at_hours: f64,
+    /// A [`Fault::TornWrite`] was staged: the supervisor tears the
+    /// journal tail before restarting.
+    pub torn_write: bool,
+    /// A [`Fault::CorruptCheckpoint`] was staged: the supervisor flips
+    /// bytes in the newest checkpoint before restarting.
+    pub corrupt_checkpoint: bool,
 }
 
 /// What an online run observed.
@@ -82,12 +117,16 @@ impl OnlineOptions {
 pub struct OnlineReport {
     /// Modeled simulated minutes reached by the simulation thread.
     pub sim_minutes: f64,
-    /// Frames written to the (virtual) simulation-site disk.
+    /// Frames written to the (virtual) simulation-site disk. In durable
+    /// mode this is the ledger's cumulative count across incarnations.
     pub frames_written: u64,
-    /// Frames that crossed the link.
+    /// Frames that crossed the link (ledger cumulative in durable mode).
     pub frames_shipped: u64,
     /// Frames decoded and visualized at the remote end.
     pub frames_rendered: u64,
+    /// Frames still on the simulation-site disk (pending + in flight)
+    /// when the run ended.
+    pub frames_in_flight: u64,
     /// Decision epochs the manager ran.
     pub decisions: u64,
     /// Stall episodes observed by the simulation thread.
@@ -100,38 +139,109 @@ pub struct OnlineReport {
     pub crashes: u64,
     /// Receiver outages the transport recovered from (sender reconnects).
     pub reconnects: u64,
+    /// Whole-pipeline kill→restart cycles the recovery supervisor drove.
+    pub recoveries: u64,
+    /// Journal replays performed while booting incarnations.
+    pub journal_replays: u64,
+    /// Frames rebuilt from a dead incarnation's disk.
+    pub frames_recovered: u64,
+    /// Free disk at the end of the run, percent.
+    pub final_free_disk_pct: f64,
+    /// Set when a scripted [`Fault::ProcessKill`] ended this incarnation;
+    /// [`crate::recovery::run_with_recovery`] consumes it.
+    pub kill: Option<KillEvent>,
 }
 
 /// Run the live pipeline for `mission` on `site`'s characteristics.
+///
+/// One call is one *incarnation*: with durability configured, a scripted
+/// [`Fault::ProcessKill`] makes every thread stop dead (no draining, no
+/// final checkpoint — the moral equivalent of `kill -9` given that the
+/// threads share our address space) and the report comes back with
+/// [`OnlineReport::kill`] set for the supervisor to act on.
 pub fn run_online(
     site: &Site,
     mission: &Mission,
     algorithm: AlgorithmKind,
     options: &OnlineOptions,
 ) -> OnlineReport {
-    let store = Arc::new(Mutex::new(FrameStore::new(Disk::new(
-        options.disk_capacity,
-    ))));
+    // --- Boot: cold, or rebuilt from a prior incarnation's disk -----
+    let boot = options.durability.as_ref().map(|d| {
+        recovery::bootstrap(d, options.disk_capacity)
+            .expect("durable state directory is usable")
+    });
+    let durable = options.durability.clone();
+    let mut journal_replays = 0u64;
+    let mut frames_recovered = 0u64;
+    let mut base_stalls = 0u64;
+    let mut base_crashes = 0u64;
+    let mut boot_model: Option<WrfModel> = None;
+    let mut boot_next_output: Option<f64> = None;
+    let mut boot_config: Option<ApplicationConfig> = None;
+    let mut boot_manager: Option<ManagerState> = None;
+    let mut boot_track = TrackLog::new();
+    let mut boot_watermark = 0u64;
+    let mut skip_outputs_through = f64::NEG_INFINITY;
+    let mut next_checkpoint_seq = 0u64;
+    let mut initial_payloads: Vec<(u64, f64, Vec<u8>)> = Vec::new();
+
+    let store = match boot {
+        Some(b) => {
+            journal_replays = b.journal_replays;
+            frames_recovered = b.frames_recovered;
+            base_stalls = b.base_stalls;
+            base_crashes = b.base_crashes;
+            boot_model = b.model;
+            boot_next_output = b.next_output_min;
+            boot_config = b.config;
+            boot_manager = b.manager;
+            boot_track = b.track;
+            boot_watermark = b.applied_watermark;
+            skip_outputs_through = b.skip_outputs_through;
+            next_checkpoint_seq = b.next_checkpoint_seq;
+            initial_payloads = b.payloads;
+            Arc::new(Mutex::new(b.store))
+        }
+        None => Arc::new(Mutex::new(FrameStore::new(Disk::new(
+            options.disk_capacity,
+        )))),
+    };
+
     // Live fault state, shared between the injector and the daemons: the
     // link's current degradation factor, whether the receiver host is
-    // reachable, and a pending simulation-process crash.
+    // reachable, a pending simulation-process crash, and the kill switch
+    // that ends the whole incarnation at once.
     let link_factor = Arc::new(Mutex::new(1.0f64));
     let receiver_down = Arc::new(AtomicBool::new(false));
     let crash_pending = Arc::new(AtomicBool::new(false));
-    // Encoded frame payloads awaiting shipment, keyed by sim-minutes. A
-    // real deployment keeps these on the disk the FrameStore models; here
-    // the store handles byte accounting and this side table the contents.
-    let payloads: PayloadTable = Arc::new(Mutex::new(Vec::new()));
+    let killed = Arc::new(AtomicBool::new(false));
+    // Encoded frame payloads awaiting shipment, keyed by frame id. In
+    // durable mode each payload also lives in a checksummed file under
+    // frames/; this table is the warm copy.
+    let payloads: PayloadTable = Arc::new(Mutex::new(initial_payloads));
     let done = Arc::new(AtomicBool::new(false));
-    // The "network": a rendezvous channel carrying encoded frames; the
-    // sender throttles itself to the modeled bandwidth before sending.
+    // Manager epoch state mirrored for the checkpointing sim thread.
+    let manager_state = Arc::new(Mutex::new(boot_manager.unwrap_or(ManagerState {
+        epochs: 0,
+        peak_bandwidth_bps: 0.0,
+        degraded_epochs: 0,
+    })));
+    // Receiver's applied watermark (last applied frame id + 1), mirrored
+    // for checkpoint metadata.
+    let watermark = Arc::new(AtomicU64::new(boot_watermark));
+    // The "network": a rendezvous channel carrying encoded frames, plus
+    // the ack path back — the sender settles a frame only after the
+    // receiver has durably applied it.
     let (frame_tx, frame_rx) = crossbeam::channel::bounded::<(u64, f64, Vec<u8>)>(1);
+    let (ack_tx, ack_rx) = crossbeam::channel::bounded::<u64>(1);
 
-    let initial = ApplicationConfig::initial(
-        site.cluster.max_cores,
-        mission.min_output_interval_min,
-        mission.model.resolution_km,
-    );
+    let initial = boot_config.clone().unwrap_or_else(|| {
+        ApplicationConfig::initial(
+            site.cluster.max_cores,
+            mission.min_output_interval_min,
+            mission.model.resolution_km,
+        )
+    });
     initial
         .write_file(&options.config_path)
         .expect("config file is writable");
@@ -141,16 +251,15 @@ pub fn run_online(
         std::thread::sleep(Duration::from_secs_f64((modeled_secs * scale).min(0.25)));
     };
 
-    let mut frames_written = 0u64;
-    let mut frames_shipped = 0u64;
-    let mut frames_rendered = 0u64;
-    let mut decisions = 0u64;
-    let mut stalls = 0u64;
     let mut sim_minutes = 0.0f64;
     let mut completed = false;
     let mut track = TrackLog::new();
+    let mut frames_rendered = 0u64;
+    let mut decisions = 0u64;
+    let mut stalls = 0u64;
     let mut crashes = 0u64;
     let mut reconnects = 0u64;
+    let mut kill_event: Option<KillEvent> = None;
 
     crossbeam::thread::scope(|s| {
         // --- Simulation process -------------------------------------
@@ -159,14 +268,37 @@ pub fn run_online(
         let sim_done = Arc::clone(&done);
         let sim_cfg_path = options.config_path.clone();
         let sim_crash = Arc::clone(&crash_pending);
+        let sim_killed = Arc::clone(&killed);
+        let sim_mgr_state = Arc::clone(&manager_state);
+        let sim_watermark = Arc::clone(&watermark);
+        let sim_durable = durable.clone();
+        let sim_boot_model = boot_model;
         let sim = s.spawn(move |_| {
-            let mut model = WrfModel::new(mission.model).expect("valid mission model");
-            let mut next_output = mission.min_output_interval_min;
+            let mut model = match sim_boot_model {
+                Some(m) => m,
+                None => WrfModel::new(mission.model).expect("valid mission model"),
+            };
+            let mut next_output =
+                boot_next_output.unwrap_or(mission.min_output_interval_min);
             let mut stalls = 0u64;
-            let mut written = 0u64;
             let mut crashes = 0u64;
             let mut was_stalled = false;
+            // Checkpoint cadence, simulated minutes (0 = disabled).
+            let ckpt_every = sim_durable
+                .as_ref()
+                .map(|d| d.checkpoint_every_min)
+                .unwrap_or(0.0);
+            let mut next_ckpt = if ckpt_every > 0.0 {
+                // First cadence boundary strictly ahead of the resume point.
+                (model.sim_minutes() / ckpt_every).floor() * ckpt_every + ckpt_every
+            } else {
+                f64::INFINITY
+            };
+            let mut ckpt_seq = next_checkpoint_seq;
             while model.sim_minutes() < mission.duration_minutes() {
+                if sim_killed.load(Ordering::SeqCst) {
+                    return (model.sim_minutes(), stalls, crashes);
+                }
                 if sim_crash.swap(false, Ordering::SeqCst) {
                     // The process died; the job handler relaunches it from
                     // the last checkpoint (restart overhead plus a requeue
@@ -206,24 +338,90 @@ pub fn run_online(
                 nap(t);
 
                 if model.sim_minutes() + 1e-9 >= next_output {
-                    let ds = model.frame();
-                    let bytes = ds.to_bytes().to_vec();
-                    let stored = sim_store
-                        .lock()
-                        .store(model.sim_minutes(), bytes.len() as u64)
-                        .is_ok();
-                    if stored {
-                        written += 1;
+                    if model.sim_minutes() <= skip_outputs_through + 1e-6 {
+                        // This output is already on the durable record from
+                        // a dead incarnation; re-simulation is bit-exact, so
+                        // advance the schedule without storing a duplicate.
                         next_output = model.sim_minutes() + cfg.output_interval_min;
-                        // Park the payload where the sender finds it.
-                        sim_payloads.lock().push((model.sim_minutes(), bytes));
+                    } else {
+                        let ds = model.frame();
+                        let bytes = ds.to_bytes().to_vec();
+                        let stored = {
+                            let mut st = sim_store.lock();
+                            // Durable order: payload file first (fsynced),
+                            // then the journal record that commits it — a
+                            // Store record in the journal implies its bytes
+                            // are on disk.
+                            let mut payload_ok = true;
+                            let mut payload_path = None;
+                            if let Some(d) = &sim_durable {
+                                let path =
+                                    recovery::frame_path(&d.frames_dir(), st.next_id());
+                                match wrf::checkpoint::write_snapshot_file(&path, &bytes)
+                                {
+                                    Ok(()) => payload_path = Some(path),
+                                    Err(_) => payload_ok = false,
+                                }
+                            }
+                            if !payload_ok {
+                                // Payload not durable ⇒ do not commit.
+                                None
+                            } else {
+                                match st.store(model.sim_minutes(), bytes.len() as u64)
+                                {
+                                    Ok(meta) => Some(meta),
+                                    Err(_) => {
+                                        if let Some(p) = payload_path {
+                                            let _ = std::fs::remove_file(p);
+                                        }
+                                        None
+                                    }
+                                }
+                            }
+                        };
+                        if let Some(meta) = stored {
+                            next_output = model.sim_minutes() + cfg.output_interval_min;
+                            // Park the payload where the sender finds it.
+                            sim_payloads.lock().push((
+                                meta.id,
+                                model.sim_minutes(),
+                                bytes,
+                            ));
+                        }
+                        // On failure the frame is dropped; CRITICAL (set by
+                        // the manager) throttles us before this is common.
                     }
-                    // On failure the frame is dropped; CRITICAL (set by
-                    // the manager) throttles us before this is common.
+                }
+
+                if model.sim_minutes() + 1e-9 >= next_ckpt {
+                    if let Some(d) = &sim_durable {
+                        let meta = CheckpointMeta {
+                            sim_minutes: model.sim_minutes(),
+                            next_output_min: next_output,
+                            config: cfg.clone(),
+                            manager: *sim_mgr_state.lock(),
+                            stalls: base_stalls + stalls,
+                            crashes: base_crashes + crashes,
+                            applied_watermark: sim_watermark.load(Ordering::SeqCst),
+                        };
+                        let dir = d.checkpoints_dir();
+                        if recovery::write_checkpoint(
+                            &dir,
+                            ckpt_seq,
+                            &meta,
+                            &model.checkpoint(),
+                        )
+                        .is_ok()
+                        {
+                            ckpt_seq += 1;
+                            recovery::prune_checkpoints(&dir, d.keep_checkpoints);
+                        }
+                    }
+                    next_ckpt += ckpt_every;
                 }
             }
             sim_done.store(true, Ordering::SeqCst);
-            (model.sim_minutes(), written, stalls, crashes)
+            (model.sim_minutes(), stalls, crashes)
         });
 
         // --- Frame sender daemon ------------------------------------
@@ -232,10 +430,13 @@ pub fn run_online(
         let send_done = Arc::clone(&done);
         let send_link = Arc::clone(&link_factor);
         let send_down = Arc::clone(&receiver_down);
+        let send_killed = Arc::clone(&killed);
         let bw = options.bandwidth_bps;
         let sender = s.spawn(move |_| {
-            let mut shipped = 0u64;
             loop {
+                if send_killed.load(Ordering::SeqCst) {
+                    break;
+                }
                 if send_down.load(Ordering::SeqCst) {
                     // Receiver unreachable: store-and-forward. Frames stay
                     // on the simulation-site disk; the sender retries until
@@ -250,21 +451,37 @@ pub fn run_online(
                         nap(meta.bytes as f64 / (bw * factor));
                         let payload = {
                             let mut p = send_payloads.lock();
-                            let idx = p
-                                .iter()
-                                .position(|(t, _)| (*t - meta.sim_minutes).abs() < 1e-9);
+                            let idx = p.iter().position(|(id, _, _)| *id == meta.id);
                             idx.map(|i| p.remove(i))
                         };
+                        match payload {
+                            Some((id, t, bytes)) => {
+                                if frame_tx.send((id, t, bytes)).is_err() {
+                                    break; // receiver gone
+                                }
+                                // Wait for the receiver's ack: only then is
+                                // the frame durably applied remotely, and
+                                // only then does the ledger settle it. A
+                                // kill between send and ack leaves the
+                                // frame in flight — recovery reconciles it
+                                // against the receiver's watermark.
+                                match ack_rx.recv() {
+                                    Ok(acked) if acked == meta.id => {}
+                                    _ => break,
+                                }
+                            }
+                            None => {
+                                // Ledger entry with no payload (recovered
+                                // from a prior incarnation whose payload
+                                // file was damaged): settle it as
+                                // shipped-and-lost so accounting stays
+                                // conserved.
+                            }
+                        }
                         send_store
                             .lock()
                             .complete_transfer(meta.id)
                             .expect("we began it");
-                        if let Some((t, bytes)) = payload {
-                            if frame_tx.send((meta.id, t, bytes)).is_err() {
-                                break; // receiver gone
-                            }
-                        }
-                        shipped += 1;
                     }
                     None => {
                         if send_done.load(Ordering::SeqCst) {
@@ -275,17 +492,43 @@ pub fn run_online(
                 }
             }
             drop(frame_tx);
-            shipped
         });
 
         // --- Frame receiver + visualization process -----------------
+        let viz_killed = Arc::clone(&killed);
+        let viz_watermark = Arc::clone(&watermark);
+        let viz_durable = durable.clone();
+        let viz_boot_track = boot_track;
         let viz = s.spawn(move |_| {
-            let mut track = TrackLog::new();
+            let mut track = viz_boot_track;
             let mut rendered = 0u64;
-            while let Ok((_id, _t, bytes)) = frame_rx.recv() {
-                if let Ok(ds) = ncdf::Dataset::from_bytes(&bytes) {
-                    track.ingest(&ds);
-                    rendered += 1;
+            while let Ok((id, _t, bytes)) = frame_rx.recv() {
+                // A kill severs the link mid-conversation: the frame that
+                // just arrived is *not* applied and never acked.
+                if viz_killed.load(Ordering::SeqCst) {
+                    break;
+                }
+                let mark = viz_watermark.load(Ordering::SeqCst);
+                if id >= mark {
+                    if let Ok(ds) = ncdf::Dataset::from_bytes(&bytes) {
+                        track.ingest(&ds);
+                        rendered += 1;
+                    }
+                    // Apply-then-persist-then-ack: the receiver's durable
+                    // state always covers everything it has acknowledged.
+                    viz_watermark.store(id + 1, Ordering::SeqCst);
+                    if let Some(d) = &viz_durable {
+                        let _ = recovery::save_receiver_state(
+                            &d.receiver_path(),
+                            id + 1,
+                            &track,
+                        );
+                    }
+                }
+                // Duplicates (already below the watermark) are acked
+                // without re-applying — replay idempotence.
+                if ack_tx.send(id).is_err() {
+                    break;
                 }
             }
             (track, rendered)
@@ -297,10 +540,13 @@ pub fn run_online(
         let mgr_cfg_path = options.config_path.clone();
         let mgr_link = Arc::clone(&link_factor);
         let mgr_down = Arc::clone(&receiver_down);
+        let mgr_killed = Arc::clone(&killed);
+        let mgr_state = Arc::clone(&manager_state);
         let manager = s.spawn(move |_| {
             let mut algo = algorithm.build();
             let mut epochs = 0u64;
-            while !mgr_done.load(Ordering::SeqCst) {
+            while !mgr_done.load(Ordering::SeqCst) && !mgr_killed.load(Ordering::SeqCst)
+            {
                 nap(mission.decision_interval_hours * 3600.0);
                 let (free_pct, free_bytes) = {
                     let st = mgr_store.lock();
@@ -322,11 +568,12 @@ pub fn run_online(
                 } else {
                     (*mgr_link.lock()).max(1e-9)
                 };
+                let observed_bps = options.bandwidth_bps * observed_factor;
                 let inputs = DecisionInputs {
                     free_disk_percent: free_pct,
                     free_disk_bytes: free_bytes,
                     disk_capacity_bytes: options.disk_capacity,
-                    bandwidth_bps: options.bandwidth_bps * observed_factor,
+                    bandwidth_bps: observed_bps,
                     frame_bytes,
                     io_secs_per_frame: site.cluster.io_time(frame_bytes),
                     proc_table: &table,
@@ -335,7 +582,7 @@ pub fn run_online(
                     min_oi_min: mission.min_output_interval_min,
                     max_oi_min: mission.max_output_interval_min,
                     horizon_secs: 12.0 * 3600.0,
-                    };
+                };
                 let (procs, oi) = algo.decide(&inputs);
                 let next = ApplicationConfig {
                     num_procs: procs,
@@ -346,6 +593,14 @@ pub fn run_online(
                 };
                 next.write_file(&mgr_cfg_path).expect("config writable");
                 epochs += 1;
+                // Mirror the durable epoch state for checkpoints.
+                let mut ms = mgr_state.lock();
+                ms.epochs += 1;
+                if observed_bps > ms.peak_bandwidth_bps {
+                    ms.peak_bandwidth_bps = observed_bps;
+                } else if observed_bps < ms.peak_bandwidth_bps * 0.25 {
+                    ms.degraded_epochs += 1;
+                }
             }
             epochs
         });
@@ -356,11 +611,15 @@ pub fn run_online(
         let inj_link = Arc::clone(&link_factor);
         let inj_down = Arc::clone(&receiver_down);
         let inj_crash = Arc::clone(&crash_pending);
+        let inj_killed = Arc::clone(&killed);
         let mut plan = options.fault_plan.events.clone();
         plan.sort_by(|a, b| a.0.total_cmp(&b.0));
         let injector = s.spawn(move |_| {
             let mut reconnects = 0u64;
             let mut clock_hours = 0.0f64;
+            let mut kill: Option<KillEvent> = None;
+            let mut torn_staged = false;
+            let mut corrupt_staged = false;
             for (at_hours, fault) in plan {
                 nap((at_hours - clock_hours).max(0.0) * 3600.0);
                 clock_hours = at_hours.max(clock_hours);
@@ -407,6 +666,21 @@ pub fn run_online(
                     Fault::SimCrash => {
                         inj_crash.store(true, Ordering::SeqCst);
                     }
+                    Fault::TornWrite => {
+                        torn_staged = true;
+                    }
+                    Fault::CorruptCheckpoint => {
+                        corrupt_staged = true;
+                    }
+                    Fault::ProcessKill { at_hours } => {
+                        kill = Some(KillEvent {
+                            at_hours,
+                            torn_write: torn_staged,
+                            corrupt_checkpoint: corrupt_staged,
+                        });
+                        inj_killed.store(true, Ordering::SeqCst);
+                        break;
+                    }
                 }
             }
             // Never leave a fault latched past the end of the plan: the
@@ -416,44 +690,79 @@ pub fn run_online(
             if held > 0 {
                 inj_store.lock().release_external(held);
             }
-            reconnects
+            (reconnects, kill)
         });
 
-        let (sim_min, written, sim_stalls, sim_crashes) =
-            sim.join().expect("simulation thread");
+        let (sim_min, sim_stalls, sim_crashes) = sim.join().expect("simulation thread");
         sim_minutes = sim_min;
-        frames_written = written;
-        stalls = sim_stalls;
-        crashes = sim_crashes;
+        stalls = base_stalls + sim_stalls;
+        crashes = base_crashes + sim_crashes;
         completed = sim_minutes >= mission.duration_minutes();
-        frames_shipped = sender.join().expect("sender thread");
+        sender.join().expect("sender thread");
         let (t, rendered) = viz.join().expect("viz thread");
         track = t;
         frames_rendered = rendered;
         decisions = manager.join().expect("manager thread");
-        reconnects = injector.join().expect("injector thread");
+        let (rc, kill) = injector.join().expect("injector thread");
+        reconnects = rc;
+        kill_event = kill;
     })
     .expect("pipeline thread panicked");
 
     std::fs::remove_file(&options.config_path).ok();
+
+    // Ledger-derived counters survive incarnations: the journal carries
+    // them across a kill, so conservation holds at the boundary.
+    let (frames_written, frames_shipped, frames_in_flight, final_free_disk_pct) = {
+        let st = store.lock();
+        (
+            st.frames_stored(),
+            st.frames_shipped(),
+            (st.pending_count() + st.in_flight_count()) as u64,
+            st.disk().free_percent(),
+        )
+    };
+
+    if completed {
+        if let Some(d) = &durable {
+            recovery::mark_completed(d);
+        }
+    }
+    let decisions = manager_state.lock().epochs.max(decisions);
 
     OnlineReport {
         sim_minutes,
         frames_written,
         frames_shipped,
         frames_rendered,
+        frames_in_flight,
         decisions,
         stalls,
         track,
         completed,
         crashes,
         reconnects,
+        recoveries: 0,
+        journal_replays,
+        frames_recovered,
+        final_free_disk_pct,
+        kill: kill_event,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::recovery::run_with_recovery;
+
+    fn unique_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "adaptive-online-state-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
 
     #[test]
     fn live_pipeline_moves_real_frames_end_to_end() {
@@ -476,6 +785,12 @@ mod tests {
         assert!(!report.track.fixes().is_empty());
         let fix = report.track.fixes()[0];
         assert!((fix.lon - 88.0).abs() < 3.0);
+        // Conservation: every written frame is shipped or still held.
+        assert_eq!(
+            report.frames_written,
+            report.frames_shipped + report.frames_in_flight,
+            "{report:?}"
+        );
     }
 
     #[test]
@@ -548,5 +863,140 @@ mod tests {
         );
         assert!(report.completed);
         assert!(report.frames_written > 0);
+    }
+
+    #[test]
+    fn durable_pipeline_survives_a_kill_and_resumes_from_disk() {
+        let site = Site::inter_department();
+        let mut mission = Mission::aila()
+            .with_duration_hours(2.0)
+            .with_decimation(16);
+        mission.decision_interval_hours = 0.5;
+        let state_dir = unique_dir("kill-resume");
+        let plan = FaultPlan::from_events(vec![(
+            0.1,
+            Fault::ProcessKill { at_hours: 0.1 },
+        )]);
+        let options = OnlineOptions::fast("kill-resume")
+            .with_fault_plan(plan)
+            .with_durability(
+                DurabilityOptions::new(&state_dir).with_checkpoint_every_min(20.0),
+            );
+        let report = run_with_recovery(
+            &site,
+            &mission,
+            AlgorithmKind::StaticBaseline,
+            &options,
+        );
+        assert!(report.completed, "{report:?}");
+        assert_eq!(report.recoveries, 1, "exactly one kill→restart: {report:?}");
+        assert!(report.journal_replays >= 1, "{report:?}");
+        assert!(report.frames_written > 0);
+        // Conservation across the incarnation boundary.
+        assert_eq!(
+            report.frames_written,
+            report.frames_shipped + report.frames_in_flight,
+            "{report:?}"
+        );
+        let _ = std::fs::remove_dir_all(&state_dir);
+    }
+
+    /// The acceptance drill: kill the pipeline mid-epoch, restart it from
+    /// disk, and require the completed remote track to be byte-identical
+    /// to a fault-free run's. StaticBaseline keeps the output interval
+    /// constant so the two schedules are comparable; the durable pipeline
+    /// must neither lose nor duplicate a single frame.
+    #[test]
+    #[ignore = "slower end-to-end recovery drill; run with -- --ignored recovery_"]
+    fn recovery_track_is_byte_identical_to_the_fault_free_run() {
+        let site = Site::inter_department();
+        let mut mission = Mission::aila()
+            .with_duration_hours(3.0)
+            .with_decimation(16);
+        mission.decision_interval_hours = 0.5;
+
+        // Control: fault-free durable run.
+        let control_dir = unique_dir("recovery-control");
+        let control = run_online(
+            &site,
+            &mission,
+            AlgorithmKind::StaticBaseline,
+            &OnlineOptions::fast("recovery-control").with_durability(
+                DurabilityOptions::new(&control_dir).with_checkpoint_every_min(30.0),
+            ),
+        );
+        assert!(control.completed, "{control:?}");
+        assert!(control.kill.is_none());
+
+        // Treatment: same mission, killed mid-run (a frame in flight is
+        // likely), restarted by the supervisor.
+        let state_dir = unique_dir("recovery-treatment");
+        let plan = FaultPlan::from_events(vec![(
+            0.12,
+            Fault::ProcessKill { at_hours: 0.12 },
+        )]);
+        let treated = run_with_recovery(
+            &site,
+            &mission,
+            AlgorithmKind::StaticBaseline,
+            &OnlineOptions::fast("recovery-treatment")
+                .with_fault_plan(plan)
+                .with_durability(
+                    DurabilityOptions::new(&state_dir).with_checkpoint_every_min(30.0),
+                ),
+        );
+        assert!(treated.completed, "{treated:?}");
+        assert_eq!(treated.recoveries, 1, "{treated:?}");
+        assert!(treated.journal_replays >= 1);
+        assert_eq!(
+            treated.track.to_csv(),
+            control.track.to_csv(),
+            "recovered track must be byte-identical to the fault-free track"
+        );
+        assert_eq!(
+            treated.frames_written,
+            treated.frames_shipped + treated.frames_in_flight,
+            "conservation across the incarnation boundary: {treated:?}"
+        );
+        let _ = std::fs::remove_dir_all(&control_dir);
+        let _ = std::fs::remove_dir_all(&state_dir);
+    }
+
+    /// Kill + torn journal write + corrupt newest checkpoint, all at
+    /// once: recovery truncates the torn tail, falls back past the bad
+    /// checkpoint, and still finishes the mission with conservation
+    /// intact.
+    #[test]
+    #[ignore = "slower end-to-end recovery drill; run with -- --ignored recovery_"]
+    fn recovery_survives_torn_journal_and_corrupt_checkpoint() {
+        let site = Site::inter_department();
+        let mut mission = Mission::aila()
+            .with_duration_hours(2.5)
+            .with_decimation(16);
+        mission.decision_interval_hours = 0.5;
+        let state_dir = unique_dir("recovery-torn");
+        let plan = FaultPlan::from_events(vec![
+            (0.08, Fault::TornWrite),
+            (0.09, Fault::CorruptCheckpoint),
+            (0.1, Fault::ProcessKill { at_hours: 0.1 }),
+        ]);
+        let report = run_with_recovery(
+            &site,
+            &mission,
+            AlgorithmKind::StaticBaseline,
+            &OnlineOptions::fast("recovery-torn")
+                .with_fault_plan(plan)
+                .with_durability(
+                    DurabilityOptions::new(&state_dir).with_checkpoint_every_min(20.0),
+                ),
+        );
+        assert!(report.completed, "{report:?}");
+        assert_eq!(report.recoveries, 1, "{report:?}");
+        assert_eq!(
+            report.frames_written,
+            report.frames_shipped + report.frames_in_flight,
+            "{report:?}"
+        );
+        let _ = std::fs::remove_dir_all(&state_dir);
     }
 }

@@ -109,6 +109,14 @@ pub struct RunOutcome {
     /// transfer) when the run ended; together with `frames_shipped` and
     /// `frames_dropped` these account for every frame written.
     pub frames_in_flight: u64,
+    /// Whole-pipeline kill→recover cycles (the recovery supervisor
+    /// rebuilding an incarnation from the journal and checkpoints).
+    pub recoveries: u32,
+    /// Write-ahead journal replays performed while recovering.
+    pub journal_replays: u32,
+    /// Frames that survived a process kill on the durable ledger and
+    /// were requeued for shipment by recovery.
+    pub frames_recovered: u64,
 }
 
 impl RunOutcome {
@@ -201,6 +209,15 @@ struct World {
     reconnects: u32,
     replays: u64,
     crashes: u32,
+    recoveries: u32,
+    journal_replays: u32,
+    frames_recovered: u64,
+    /// A [`Fault::TornWrite`] is staged to land with the next kill.
+    torn_staged: bool,
+    /// A [`Fault::CorruptCheckpoint`] is staged to land with the next
+    /// kill (recovery then falls back to an older checkpoint, which
+    /// costs extra re-simulation).
+    corrupt_staged: bool,
 }
 
 impl World {
@@ -439,6 +456,11 @@ impl Orchestrator {
             reconnects: 0,
             replays: 0,
             crashes: 0,
+            recoveries: 0,
+            journal_replays: 0,
+            frames_recovered: 0,
+            torn_staged: false,
+            corrupt_staged: false,
             site,
             mission,
             options,
@@ -505,6 +527,9 @@ impl Orchestrator {
             reconnects: world.reconnects,
             replays: world.replays,
             crashes: world.crashes,
+            recoveries: world.recoveries,
+            journal_replays: world.journal_replays,
+            frames_recovered: world.frames_recovered,
             degraded_epochs: world.manager.degraded_epochs(),
             frames_in_flight: (world.store.pending_count() + world.store.in_flight_count())
                 as u64,
@@ -713,6 +738,10 @@ fn handle(w: &mut World, now: SimTime, ev: Ev, sched: &mut Scheduler<Ev>) -> boo
             } else if !w.io_pending {
                 w.schedule_step(sched);
             }
+            // A kill aborts the in-flight transfer; the relaunched
+            // incarnation's sender resumes shipment (no-op when a
+            // transfer is already running or nothing is pending).
+            w.kick_sender(sched);
         }
 
         Ev::Steering(cmd) => {
@@ -814,6 +843,54 @@ fn handle(w: &mut World, now: SimTime, ev: Ev, sched: &mut Scheduler<Ev>) -> boo
                     sched.schedule_in(penalty, Ev::RestartDone);
                     if stalled {
                         // Preserve the CRITICAL stall across the relaunch.
+                        w.config.critical = true;
+                    }
+                }
+            }
+            Fault::TornWrite => {
+                w.torn_staged = true;
+            }
+            Fault::CorruptCheckpoint => {
+                w.corrupt_staged = true;
+            }
+            Fault::ProcessKill { .. } => {
+                // `kill -9` of the whole simulation-site pipeline. The
+                // durable ledger (journal + payload files + checkpoints)
+                // survives; everything volatile — the in-flight transfer,
+                // the scheduled step — dies with the process. The
+                // recovery supervisor replays the journal, requeues what
+                // was pending, and relaunches from the newest valid
+                // checkpoint.
+                if w.handler.state() != SimProcessState::Restarting && !w.completed {
+                    w.recoveries += 1;
+                    w.journal_replays += 1;
+                    if let Some((event, frame_id)) = w.transfer_event.take() {
+                        sched.cancel(event);
+                        w.sender_busy = false;
+                        w.store
+                            .abort_transfer(frame_id)
+                            .expect("transfer was in flight");
+                        w.replays += 1;
+                    }
+                    w.frames_recovered +=
+                        (w.store.pending_count() + w.store.in_flight_count()) as u64;
+                    let stalled = w.handler.state() == SimProcessState::Stalled;
+                    w.cancel_step(sched);
+                    w.handler.begin_restart();
+                    w.pending_config = Some(w.config.clone());
+                    // Crash-requeue penalty, plus extra re-simulation when
+                    // the newest checkpoint was corrupt and recovery had
+                    // to fall back to an older one. A torn journal tail
+                    // only loses the uncommitted record — replay truncates
+                    // it at no modeled cost.
+                    let mut penalty = 3.0 * w.site.cluster.restart_overhead_secs;
+                    if w.corrupt_staged {
+                        penalty += 2.0 * w.site.cluster.restart_overhead_secs;
+                    }
+                    w.torn_staged = false;
+                    w.corrupt_staged = false;
+                    sched.schedule_in(penalty, Ev::RestartDone);
+                    if stalled {
                         w.config.critical = true;
                     }
                 }
@@ -1110,6 +1187,72 @@ mod tests {
         // The pin forced a restart to 12 km long before the pressure
         // schedule would have (the cyclone is far above 988 hPa at 8 h).
         assert!(out.restarts >= 2, "pin + release each reconfigure");
+    }
+
+    #[test]
+    fn process_kill_recovers_on_the_durable_ledger() {
+        let free = Orchestrator::new(
+            Site::inter_department(),
+            short_mission(6.0),
+            AlgorithmKind::Optimization,
+        )
+        .run();
+        assert!(free.completed);
+        assert_eq!(free.recoveries, 0);
+        assert_eq!(free.journal_replays, 0);
+
+        let killed = Orchestrator::new(
+            Site::inter_department(),
+            short_mission(6.0),
+            AlgorithmKind::Optimization,
+        )
+        .with_faults(vec![
+            (0.04, Fault::TornWrite),
+            (0.05, Fault::ProcessKill { at_hours: 0.05 }),
+        ])
+        .run();
+        assert!(killed.completed, "recovery finished the mission");
+        assert_eq!(killed.recoveries, 1);
+        assert_eq!(killed.journal_replays, 1);
+        // Nothing written before the kill was lost: every frame is
+        // shipped, dropped, or still held at the end.
+        assert_eq!(
+            killed.frames_written,
+            killed.frames_shipped + killed.frames_dropped + killed.frames_in_flight,
+            "conservation across the kill: {killed:?}"
+        );
+        // The kill costs wall time (requeue + replay), never progress.
+        assert!(killed.wall_hours >= free.wall_hours);
+        assert_eq!(killed.sim_minutes, free.sim_minutes);
+    }
+
+    #[test]
+    fn corrupt_checkpoint_fallback_costs_extra_wall_time() {
+        let plain_kill = Orchestrator::new(
+            Site::inter_department(),
+            short_mission(6.0),
+            AlgorithmKind::Optimization,
+        )
+        .with_faults(vec![(0.05, Fault::ProcessKill { at_hours: 0.05 })])
+        .run();
+        let corrupt = Orchestrator::new(
+            Site::inter_department(),
+            short_mission(6.0),
+            AlgorithmKind::Optimization,
+        )
+        .with_faults(vec![
+            (0.04, Fault::CorruptCheckpoint),
+            (0.05, Fault::ProcessKill { at_hours: 0.05 }),
+        ])
+        .run();
+        assert!(plain_kill.completed && corrupt.completed);
+        assert_eq!(corrupt.recoveries, 1);
+        assert!(
+            corrupt.wall_hours >= plain_kill.wall_hours,
+            "falling back past a corrupt checkpoint re-simulates more: {} vs {}",
+            corrupt.wall_hours,
+            plain_kill.wall_hours
+        );
     }
 
     #[test]

@@ -18,32 +18,14 @@ use crate::net_transport::{FrameSender, TransportError};
 use std::net::SocketAddr;
 use std::time::Duration;
 
-/// IEEE 802.3 CRC-32 (the zlib/PNG polynomial), table-driven, table built
-/// at compile time.
+/// IEEE 802.3 CRC-32 (the zlib/PNG polynomial).
+///
+/// Delegates to the canonical implementation in [`resources::crc32`] —
+/// the same checksum guards the wire protocol's frames, the write-ahead
+/// journal's records, and the snapshot containers, so a single table
+/// serves them all.
 pub fn crc32(data: &[u8]) -> u32 {
-    const TABLE: [u32; 256] = crc32_table();
-    let mut crc = 0xffff_ffffu32;
-    for &b in data {
-        let idx = (crc ^ b as u32) & 0xff;
-        crc = (crc >> 8) ^ TABLE[idx as usize];
-    }
-    !crc
-}
-
-const fn crc32_table() -> [u32; 256] {
-    let mut table = [0u32; 256];
-    let mut i = 0;
-    while i < 256 {
-        let mut c = i as u32;
-        let mut k = 0;
-        while k < 8 {
-            c = if c & 1 != 0 { 0xedb8_8320 ^ (c >> 1) } else { c >> 1 };
-            k += 1;
-        }
-        table[i] = c;
-        i += 1;
-    }
-    table
+    resources::crc32(data)
 }
 
 /// Seeded exponential backoff with jitter.

@@ -22,10 +22,12 @@
 
 mod cluster;
 mod disk;
+pub mod journal;
 mod network;
 mod store;
 
 pub use cluster::Cluster;
 pub use disk::{Disk, DiskFull};
+pub use journal::crc32;
 pub use network::{BandwidthProbe, Network};
 pub use store::{FrameMeta, FrameStore, StoreError};

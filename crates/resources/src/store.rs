@@ -11,9 +11,12 @@
 //! stored ──(begin_transfer)──▶ in-flight ──(complete_transfer)──▶ gone
 //! ```
 
+use crate::journal::{self, Journal, JournalOp, ReplayReport};
 use crate::{Disk, DiskFull};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
+use std::io;
+use std::path::Path;
 
 /// Metadata of one output frame sitting on the simulation-site disk.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -53,7 +56,12 @@ impl From<DiskFull> for StoreError {
 }
 
 /// FIFO ledger of frames on a [`Disk`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Optionally backed by a write-ahead [`Journal`] (see
+/// [`open`](Self::open) / [`recover`](Self::recover)): every successful
+/// mutation is journaled with fsync-on-commit, so the exact ledger state
+/// survives a `kill -9` and is rebuilt by replaying the log.
+#[derive(Debug)]
 pub struct FrameStore {
     disk: Disk,
     pending: VecDeque<FrameMeta>,
@@ -62,10 +70,42 @@ pub struct FrameStore {
     frames_stored: u64,
     frames_shipped: u64,
     external_bytes: u64,
+    /// Durability sidecar; volatile stores have none. Excluded from
+    /// clone / equality — it is an OS resource, not ledger state.
+    journal: Option<Journal>,
+}
+
+impl Clone for FrameStore {
+    /// Clones the ledger *state*; the clone is volatile (no journal).
+    fn clone(&self) -> Self {
+        FrameStore {
+            disk: self.disk.clone(),
+            pending: self.pending.clone(),
+            in_flight: self.in_flight.clone(),
+            next_id: self.next_id,
+            frames_stored: self.frames_stored,
+            frames_shipped: self.frames_shipped,
+            external_bytes: self.external_bytes,
+            journal: None,
+        }
+    }
+}
+
+impl PartialEq for FrameStore {
+    /// Ledger-state equality; the journal handle is ignored.
+    fn eq(&self, other: &Self) -> bool {
+        self.disk == other.disk
+            && self.pending == other.pending
+            && self.in_flight == other.in_flight
+            && self.next_id == other.next_id
+            && self.frames_stored == other.frames_stored
+            && self.frames_shipped == other.frames_shipped
+            && self.external_bytes == other.external_bytes
+    }
 }
 
 impl FrameStore {
-    /// New store over an empty disk.
+    /// New volatile store over an empty disk (no journal).
     pub fn new(disk: Disk) -> Self {
         FrameStore {
             disk,
@@ -75,12 +115,101 @@ impl FrameStore {
             frames_stored: 0,
             frames_shipped: 0,
             external_bytes: 0,
+            journal: None,
+        }
+    }
+
+    /// Open a journaled store at `dir`: replays any existing log (so the
+    /// rebuilt ledger carries the prior incarnation's state) and attaches
+    /// a writer so every further mutation is durable.
+    pub fn open(disk: Disk, dir: &Path) -> io::Result<Self> {
+        Self::recover(disk, dir).map(|(store, _)| store)
+    }
+
+    /// Like [`open`](Self::open), but also returns the replay report
+    /// (ops recovered, torn-tail bytes truncated, newest stored sim time).
+    pub fn recover(disk: Disk, dir: &Path) -> io::Result<(Self, ReplayReport)> {
+        let (ops, report) = journal::replay(dir)?;
+        let mut store = FrameStore::new(disk);
+        for op in &ops {
+            store.apply(op);
+        }
+        store.journal = Some(Journal::open(dir)?);
+        Ok((store, report))
+    }
+
+    /// Apply one replayed op to the in-memory ledger without journaling.
+    /// Replay tolerates (skips) ops that no longer apply — the journal
+    /// records only successful mutations, so in practice every op lands.
+    fn apply(&mut self, op: &JournalOp) {
+        match *op {
+            JournalOp::Store { id, sim_minutes, bytes } => {
+                if self.disk.write(bytes).is_ok() {
+                    self.pending.push_back(FrameMeta { id, sim_minutes, bytes });
+                    self.next_id = self.next_id.max(id + 1);
+                    self.frames_stored += 1;
+                }
+            }
+            JournalOp::Begin { id } => {
+                if let Some(idx) = self.pending.iter().position(|f| f.id == id) {
+                    let meta = self.pending.remove(idx).expect("index just found");
+                    self.in_flight.push(meta);
+                }
+            }
+            JournalOp::Complete { id } => {
+                if let Some(idx) = self.in_flight.iter().position(|f| f.id == id) {
+                    let meta = self.in_flight.swap_remove(idx);
+                    self.disk.free_bytes(meta.bytes);
+                    self.frames_shipped += 1;
+                }
+            }
+            JournalOp::Abort { id } => {
+                if let Some(idx) = self.in_flight.iter().position(|f| f.id == id) {
+                    let meta = self.in_flight.swap_remove(idx);
+                    self.pending.push_front(meta);
+                }
+            }
+            JournalOp::Seize { bytes } => {
+                let got = bytes.min(self.disk.free());
+                if got > 0 && self.disk.write(got).is_ok() {
+                    self.external_bytes += got;
+                }
+            }
+            JournalOp::Release { bytes } => {
+                let freed = bytes.min(self.external_bytes);
+                if freed > 0 {
+                    self.disk.free_bytes(freed);
+                    self.external_bytes -= freed;
+                }
+            }
+        }
+    }
+
+    /// Commit `op` to the journal, if one is attached.
+    ///
+    /// # Panics
+    /// On journal I/O failure: a durability layer whose write-ahead log
+    /// cannot be written has lost its crash-consistency guarantee, and
+    /// carrying on would silently violate it.
+    fn commit(&mut self, op: JournalOp) {
+        if let Some(j) = self.journal.as_mut() {
+            j.append(&op).expect("write-ahead journal append failed");
         }
     }
 
     /// The underlying disk (for `df`-style queries).
     pub fn disk(&self) -> &Disk {
         &self.disk
+    }
+
+    /// The id the next stored frame will get.
+    pub fn next_id(&self) -> u64 {
+        self.next_id
+    }
+
+    /// Directory of the attached journal, if this store is durable.
+    pub fn journal_dir(&self) -> Option<&Path> {
+        self.journal.as_ref().map(|j| j.dir())
     }
 
     /// Store a new frame of `bytes` representing `sim_minutes`; fails when
@@ -95,6 +224,11 @@ impl FrameStore {
         self.next_id += 1;
         self.frames_stored += 1;
         self.pending.push_back(meta);
+        self.commit(JournalOp::Store {
+            id: meta.id,
+            sim_minutes: meta.sim_minutes,
+            bytes: meta.bytes,
+        });
         Ok(meta)
     }
 
@@ -123,6 +257,7 @@ impl FrameStore {
     pub fn begin_transfer(&mut self) -> Option<FrameMeta> {
         let meta = self.pending.pop_front()?;
         self.in_flight.push(meta);
+        self.commit(JournalOp::Begin { id: meta.id });
         Some(meta)
     }
 
@@ -136,6 +271,7 @@ impl FrameStore {
         let meta = self.in_flight.swap_remove(idx);
         self.disk.free_bytes(meta.bytes);
         self.frames_shipped += 1;
+        self.commit(JournalOp::Complete { id });
         Ok(meta)
     }
 
@@ -149,7 +285,56 @@ impl FrameStore {
             .ok_or(StoreError::NotInFlight(id))?;
         let meta = self.in_flight.swap_remove(idx);
         self.pending.push_front(meta);
+        self.commit(JournalOp::Abort { id });
         Ok(())
+    }
+
+    /// Return every in-flight frame to the pending queue (sim-time order
+    /// preserved) — a fresh incarnation has no transfers in progress, so
+    /// whatever the journal says was mid-flight must be re-sent. Returns
+    /// how many frames were requeued.
+    pub fn requeue_in_flight(&mut self) -> usize {
+        let mut ids: Vec<u64> = self.in_flight.iter().map(|f| f.id).collect();
+        // Highest id first: each abort pushes to the *front*, so the final
+        // pending order is ascending by id ahead of the existing queue.
+        ids.sort_unstable_by(|a, b| b.cmp(a));
+        for id in &ids {
+            self.abort_transfer(*id).expect("id drawn from in_flight");
+        }
+        ids.len()
+    }
+
+    /// Reconcile with the receiver's durable last-applied watermark
+    /// (`applied_watermark` = last applied frame id + 1, or 0 for none):
+    /// every frame below the watermark already reached the visualization
+    /// site, so it is completed — and its bytes freed — no matter whether
+    /// the dead incarnation had it pending or in flight. Returns how many
+    /// frames were settled this way.
+    pub fn reconcile_shipped(&mut self, applied_watermark: u64) -> u64 {
+        let mut settled = 0;
+        // In-flight frames the receiver already applied: just complete.
+        let flight: Vec<u64> = self
+            .in_flight
+            .iter()
+            .filter(|f| f.id < applied_watermark)
+            .map(|f| f.id)
+            .collect();
+        for id in flight {
+            self.complete_transfer(id).expect("id drawn from in_flight");
+            settled += 1;
+        }
+        // Pending frames below the watermark (their Complete record was
+        // lost in the crash): walk them through the normal lifecycle so
+        // the journal replays cleanly.
+        while let Some(front) = self.pending.front() {
+            if front.id >= applied_watermark {
+                break;
+            }
+            let meta = self.begin_transfer().expect("front exists");
+            self.complete_transfer(meta.id).expect("just begun");
+            settled += 1;
+        }
+        settled
     }
 
     /// Total frames ever stored.
@@ -167,17 +352,31 @@ impl FrameStore {
         self.in_flight.len()
     }
 
+    /// Pending frames in ship order (oldest first).
+    pub fn pending_frames(&self) -> impl Iterator<Item = &FrameMeta> {
+        self.pending.iter()
+    }
+
+    /// Frames currently mid-transfer (unordered).
+    pub fn in_flight_frames(&self) -> &[FrameMeta] {
+        &self.in_flight
+    }
+
     /// An external writer (another job on the shared scratch filesystem)
     /// grabs up to `bytes` of free space. Returns how much it actually
     /// got (capped at what is free — the external job hits `ENOSPC` on
     /// the rest, just like ours would).
     pub fn seize_external(&mut self, bytes: u64) -> u64 {
         let got = bytes.min(self.disk.free());
-        if got > 0 {
-            self.disk.write(got).expect("capped at free space");
+        // No unwrap here: an adversarial fault plan must never be able to
+        // abort the process through this path. If the capped write is
+        // still rejected, the external writer simply got nothing.
+        if got > 0 && self.disk.write(got).is_ok() {
             self.external_bytes += got;
+            self.commit(JournalOp::Seize { bytes: got });
+            return got;
         }
-        got
+        0
     }
 
     /// The external writer releases `bytes` of previously seized space
@@ -187,6 +386,7 @@ impl FrameStore {
         if freed > 0 {
             self.disk.free_bytes(freed);
             self.external_bytes -= freed;
+            self.commit(JournalOp::Release { bytes: freed });
         }
         freed
     }
@@ -293,5 +493,96 @@ mod tests {
         assert_eq!(s.release_external(10_000), 600);
         assert_eq!(s.external_bytes(), 0);
         assert_eq!(s.disk().free(), 1000);
+    }
+
+    #[test]
+    fn seize_external_never_panics_even_when_disk_is_exactly_full() {
+        let mut s = store();
+        s.store(0.0, 1000).unwrap();
+        assert_eq!(s.disk().free(), 0);
+        assert_eq!(s.seize_external(500), 0, "nothing free, nothing seized");
+        assert_eq!(s.seize_external(u64::MAX), 0);
+        assert_eq!(s.external_bytes(), 0);
+    }
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "adaptive-store-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn durable_store_recovers_exact_ledger_state() {
+        let dir = tmpdir("recover");
+        let mut s = FrameStore::open(Disk::new(1000), &dir).unwrap();
+        s.store(0.0, 100).unwrap();
+        s.store(15.0, 100).unwrap();
+        s.store(30.0, 100).unwrap();
+        let t = s.begin_transfer().unwrap();
+        s.complete_transfer(t.id).unwrap();
+        s.begin_transfer().unwrap();
+        s.seize_external(50);
+
+        let (r, report) = FrameStore::recover(Disk::new(1000), &dir).unwrap();
+        assert_eq!(r, s, "replayed ledger matches the live one");
+        assert_eq!(report.last_stored_sim_minutes, Some(30.0));
+        assert!(report.ops >= 7);
+    }
+
+    #[test]
+    fn recovery_requeues_in_flight_and_reconciles_shipped() {
+        let dir = tmpdir("reconcile");
+        let mut s = FrameStore::open(Disk::new(1000), &dir).unwrap();
+        for i in 0..4 {
+            s.store(i as f64 * 15.0, 100).unwrap();
+        }
+        let a = s.begin_transfer().unwrap(); // id 0, receiver applied it
+        let _b = s.begin_transfer().unwrap(); // id 1, mid-wire at the crash
+        drop(s);
+
+        let (mut r, _) = FrameStore::recover(Disk::new(1000), &dir).unwrap();
+        assert_eq!(r.in_flight_count(), 2);
+        // Receiver's durable watermark says frame 0 was applied.
+        assert_eq!(r.reconcile_shipped(a.id + 1), 1);
+        assert_eq!(r.frames_shipped(), 1);
+        assert_eq!(r.requeue_in_flight(), 1);
+        assert_eq!(r.in_flight_count(), 0);
+        let order: Vec<u64> = r.pending_frames().map(|f| f.id).collect();
+        assert_eq!(order, vec![1, 2, 3], "ship order preserved across recovery");
+        assert_eq!(r.disk().used(), 300, "frame 0's bytes were freed");
+
+        // A second recovery replays the reconciliation ops cleanly too.
+        let (r2, _) = FrameStore::recover(Disk::new(1000), &dir).unwrap();
+        assert_eq!(r2, r);
+    }
+
+    #[test]
+    fn reconcile_settles_pending_frames_below_the_watermark() {
+        let dir = tmpdir("reconcile-pending");
+        let mut s = FrameStore::open(Disk::new(1000), &dir).unwrap();
+        s.store(0.0, 100).unwrap();
+        s.store(15.0, 100).unwrap();
+        drop(s);
+        // Crash lost the Begin/Complete records for frame 0, but the
+        // receiver durably applied it.
+        let (mut r, _) = FrameStore::recover(Disk::new(1000), &dir).unwrap();
+        assert_eq!(r.reconcile_shipped(1), 1);
+        assert_eq!(r.pending_count(), 1);
+        assert_eq!(r.peek_oldest().unwrap().id, 1);
+    }
+
+    #[test]
+    fn clone_and_eq_ignore_the_journal_handle() {
+        let dir = tmpdir("clone");
+        let mut s = FrameStore::open(Disk::new(1000), &dir).unwrap();
+        s.store(0.0, 10).unwrap();
+        let c = s.clone();
+        assert_eq!(c, s);
+        assert!(c.journal_dir().is_none(), "clones are volatile");
+        assert!(s.journal_dir().is_some());
     }
 }

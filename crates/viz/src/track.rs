@@ -97,6 +97,12 @@ impl TrackLog {
         Self::default()
     }
 
+    /// Rebuild a track from previously accumulated fixes — how a
+    /// restarted visualization process resumes from its durable state.
+    pub fn from_fixes(fixes: Vec<EyeFix>) -> Self {
+        TrackLog { fixes }
+    }
+
     /// Ingest one frame; returns the fix if the frame carried one.
     pub fn ingest(&mut self, ds: &Dataset) -> Option<EyeFix> {
         let fix = detect_eye(ds)?;

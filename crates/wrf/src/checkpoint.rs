@@ -6,6 +6,13 @@
 //! configuration scalar as attributes, every prognostic field as an `f64`
 //! variable — so a restore needs nothing but the bytes, and a restored
 //! model continues the trajectory bit-exactly (tested).
+//!
+//! For crash consistency the bytes can also be written as a *snapshot
+//! file* ([`write_snapshot_file`] / [`checkpoint_to_file`]): a versioned,
+//! CRC-32-checksummed container, written tmp + fsync + atomic rename so a
+//! reader only ever sees a complete old snapshot or a complete new one —
+//! never a torn write. The recovery supervisor uses the same container
+//! for its checkpoint bundles and receiver-state snapshots.
 
 use crate::fields::Fields;
 use crate::grid::Grid2;
@@ -15,6 +22,86 @@ use crate::solver::PhysicsParams;
 use crate::vortex::{VortexParams, VortexState};
 use crate::DomainGeom;
 use ncdf::{AttrValue, Data, Dataset, DimId};
+use resources::crc32;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+/// Magic prefix of every snapshot file.
+pub const SNAPSHOT_MAGIC: [u8; 4] = *b"ACPS";
+
+/// Current snapshot container version.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Snapshot header: magic | u32 LE version | u32 LE crc32(payload) |
+/// u64 LE payload length, then the payload.
+const SNAPSHOT_HEADER_LEN: usize = 4 + 4 + 4 + 8;
+
+/// Write `payload` to `path` as a checksummed snapshot: the bytes go to a
+/// sibling `.tmp` file, are fsynced, and atomically renamed over `path`
+/// (the directory is synced too, best-effort). A crash at any point
+/// leaves either the old snapshot or the new one — never a mix.
+pub fn write_snapshot_file(path: &Path, payload: &[u8]) -> io::Result<()> {
+    let mut buf = Vec::with_capacity(SNAPSHOT_HEADER_LEN + payload.len());
+    buf.extend_from_slice(&SNAPSHOT_MAGIC);
+    buf.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+    buf.extend_from_slice(&crc32(payload).to_le_bytes());
+    buf.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    buf.extend_from_slice(payload);
+
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(&tmp)?;
+        f.write_all(&buf)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)?;
+    if let Some(parent) = path.parent() {
+        if let Ok(dir) = File::open(parent) {
+            let _ = dir.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// Read and verify a snapshot written by [`write_snapshot_file`].
+/// Corruption (bad magic, unknown version, short file, CRC mismatch)
+/// comes back as [`io::ErrorKind::InvalidData`] so callers can fall back
+/// to an older snapshot.
+pub fn read_snapshot_file(path: &Path) -> io::Result<Vec<u8>> {
+    let mut data = Vec::new();
+    File::open(path)?.read_to_end(&mut data)?;
+    let bad = |what: &str| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("snapshot {}: {what}", path.display()),
+        )
+    };
+    if data.len() < SNAPSHOT_HEADER_LEN {
+        return Err(bad("shorter than its header"));
+    }
+    if data[..4] != SNAPSHOT_MAGIC {
+        return Err(bad("bad magic"));
+    }
+    let version = u32::from_le_bytes(data[4..8].try_into().unwrap());
+    if version != SNAPSHOT_VERSION {
+        return Err(bad("unknown version"));
+    }
+    let crc = u32::from_le_bytes(data[8..12].try_into().unwrap());
+    let len = u64::from_le_bytes(data[12..20].try_into().unwrap()) as usize;
+    if data.len() != SNAPSHOT_HEADER_LEN + len {
+        return Err(bad("payload length mismatch"));
+    }
+    let payload = &data[SNAPSHOT_HEADER_LEN..];
+    if crc32(payload) != crc {
+        return Err(bad("CRC mismatch"));
+    }
+    Ok(payload.to_vec())
+}
 
 impl WrfModel {
     /// Serialize the complete model state.
@@ -88,6 +175,22 @@ impl WrfModel {
             put_fields(&mut ds, "nest", &n.fields);
         }
         ds.to_bytes().to_vec()
+    }
+
+    /// Checkpoint straight to a durable snapshot file (tmp + fsync +
+    /// atomic rename).
+    pub fn checkpoint_to_file(&self, path: &Path) -> io::Result<()> {
+        write_snapshot_file(path, &self.checkpoint())
+    }
+
+    /// Restore from a snapshot file written by
+    /// [`checkpoint_to_file`](Self::checkpoint_to_file). I/O problems and
+    /// container corruption both surface as
+    /// [`ModelError::BadCheckpoint`].
+    pub fn restore_from_file(path: &Path) -> Result<Self, ModelError> {
+        let payload = read_snapshot_file(path)
+            .map_err(|e| ModelError::BadCheckpoint(e.to_string()))?;
+        Self::restore(&payload)
     }
 
     /// Rebuild a model from checkpoint bytes.
@@ -343,5 +446,84 @@ mod tests {
         let bytes = m.checkpoint();
         let r = WrfModel::restore(&bytes[..bytes.len() / 2]);
         assert!(matches!(r, Err(ModelError::BadCheckpoint(_))));
+    }
+
+    fn tmppath(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "wrf-snapshot-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("state.acp")
+    }
+
+    #[test]
+    fn snapshot_file_roundtrip_is_bit_exact() {
+        let path = tmppath("roundtrip");
+        let mut m = model();
+        m.advance_steps(5, 1).unwrap();
+        m.checkpoint_to_file(&path).unwrap();
+        let r = WrfModel::restore_from_file(&path).unwrap();
+        assert_eq!(m, r);
+        // The tmp sibling must not linger after the atomic rename.
+        assert!(!path.with_extension("tmp").exists());
+    }
+
+    #[test]
+    fn snapshot_file_rewrite_replaces_atomically() {
+        let path = tmppath("rewrite");
+        let mut m = model();
+        m.checkpoint_to_file(&path).unwrap();
+        m.advance_steps(4, 1).unwrap();
+        m.checkpoint_to_file(&path).unwrap();
+        let r = WrfModel::restore_from_file(&path).unwrap();
+        assert_eq!(m, r, "reader sees the newest complete snapshot");
+    }
+
+    #[test]
+    fn corrupt_snapshot_file_is_invalid_data() {
+        let path = tmppath("corrupt");
+        let m = model();
+        m.checkpoint_to_file(&path).unwrap();
+        let mut data = std::fs::read(&path).unwrap();
+        let n = data.len();
+        data[n / 2] ^= 0x5a;
+        std::fs::write(&path, &data).unwrap();
+        let err = read_snapshot_file(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(matches!(
+            WrfModel::restore_from_file(&path),
+            Err(ModelError::BadCheckpoint(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_snapshot_file_is_invalid_data() {
+        let path = tmppath("short");
+        let m = model();
+        m.checkpoint_to_file(&path).unwrap();
+        let data = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &data[..data.len() - 7]).unwrap();
+        let err = read_snapshot_file(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn wrong_version_snapshot_rejected() {
+        let path = tmppath("version");
+        write_snapshot_file(&path, b"payload").unwrap();
+        let mut data = std::fs::read(&path).unwrap();
+        data[4] = 99; // version field
+        std::fs::write(&path, &data).unwrap();
+        let err = read_snapshot_file(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn missing_snapshot_is_not_found_not_invalid() {
+        let path = tmppath("absent");
+        let err = read_snapshot_file(&path.with_file_name("nope.acp")).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::NotFound);
     }
 }
