@@ -36,13 +36,9 @@ fn bench_figure_runs(c: &mut Criterion) {
             };
             group.bench_function(&name, |b| {
                 b.iter(|| {
-                    let out = Orchestrator::new(
-                        Site::of_kind(kind),
-                        Mission::aila(),
-                        algo,
-                    )
-                    .with_options(opts.clone())
-                    .run();
+                    let out = Orchestrator::new(Site::of_kind(kind), Mission::aila(), algo)
+                        .with_options(opts.clone())
+                        .run();
                     black_box(out.frames_written)
                 })
             });

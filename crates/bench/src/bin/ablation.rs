@@ -57,7 +57,9 @@ fn main() {
         wall_cap_hours: 60.0,
         ..Default::default()
     };
-    let mut csv = String::from("study,variant,site,algorithm,completed,wall_hours,min_free_pct,frames,stalls\n");
+    let mut csv = String::from(
+        "study,variant,site,algorithm,completed,wall_hours,min_free_pct,frames,stalls\n",
+    );
     let mut record = |study: &str, variant: &str, out: &RunOutcome| {
         csv.push_str(&format!(
             "{study},{variant},{},{},{},{:.2},{:.2},{},{}\n",
@@ -142,10 +144,7 @@ fn main() {
         } else {
             "ablation-ckpt-none".to_string()
         };
-        let state_dir = std::env::temp_dir().join(format!(
-            "adaptive-{tag}-{}",
-            std::process::id()
-        ));
+        let state_dir = std::env::temp_dir().join(format!("adaptive-{tag}-{}", std::process::id()));
         // Best of five repetitions: a single run is ~tens of ms, where
         // one cold fsync or a scheduler hiccup would swamp the signal.
         let mut elapsed = f64::INFINITY;
@@ -155,8 +154,7 @@ fn main() {
             if durable {
                 let _ = std::fs::remove_dir_all(&state_dir);
                 options = options.with_durability(
-                    DurabilityOptions::new(&state_dir)
-                        .with_checkpoint_every_min(cadence_min),
+                    DurabilityOptions::new(&state_dir).with_checkpoint_every_min(cadence_min),
                 );
             }
             let started = Instant::now();

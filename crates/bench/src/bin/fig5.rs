@@ -12,8 +12,7 @@ use cyclone::SiteKind;
 use repro_bench::{run_pair, sample_series, sim_label, wall_label, write_artifact};
 
 fn main() {
-    let mut csv =
-        String::from("config,algorithm,wall_secs,wall_label,sim_minutes,sim_label\n");
+    let mut csv = String::from("config,algorithm,wall_secs,wall_label,sim_minutes,sim_label\n");
     for (panel, kind) in ["a", "b", "c"].iter().zip(SiteKind::all()) {
         let (greedy, opt) = run_pair(kind);
         println!(

@@ -36,7 +36,12 @@ fn main() {
                     .map(|&(_, v)| sim_label(v))
                     .unwrap_or_else(|| "(none yet)".into())
             };
-            println!("{:>9} | {:>16} | {:>16}", wall_label(wall), fmt(&g), fmt(&o));
+            println!(
+                "{:>9} | {:>16} | {:>16}",
+                wall_label(wall),
+                fmt(&g),
+                fmt(&o)
+            );
         }
         // Mid-run comparison — the regime the paper's figures emphasise.
         let mid = greedy.wall_hours.min(opt.wall_hours) * 3600.0 / 2.0;
@@ -51,7 +56,10 @@ fn main() {
         );
         repro_bench::save_panel_plot(
             &format!("fig7{panel}_{}.ppm", greedy.site_label),
-            &format!("Fig 7({panel}) {} - visualization progress", greedy.site_label),
+            &format!(
+                "Fig 7({panel}) {} - visualization progress",
+                greedy.site_label
+            ),
             "visualized sim hours",
             "viz_progress",
             &greedy,

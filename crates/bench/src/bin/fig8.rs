@@ -12,8 +12,7 @@ use cyclone::SiteKind;
 use repro_bench::{run_pair, sample_series, wall_label, write_artifact};
 
 fn main() {
-    let mut csv =
-        String::from("config,algorithm,wall_secs,wall_label,procs,output_interval_min\n");
+    let mut csv = String::from("config,algorithm,wall_secs,wall_label,procs,output_interval_min\n");
     for (panel, kind) in ["a", "b"]
         .iter()
         .zip([SiteKind::InterDepartment, SiteKind::CrossContinent])

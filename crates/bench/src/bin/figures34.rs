@@ -33,11 +33,15 @@ fn main() {
     };
 
     for (i, &target) in epochs_min.iter().enumerate() {
-        model.advance_to_minutes(target, 2).expect("finite integration");
+        model
+            .advance_to_minutes(target, 2)
+            .expect("finite integration");
         let p = model.min_pressure_hpa();
-        let (res, nest) = mission
-            .schedule
-            .apply_with_hysteresis(p, model.config().resolution_km, model.has_nest());
+        let (res, nest) = mission.schedule.apply_with_hysteresis(
+            p,
+            model.config().resolution_km,
+            model.has_nest(),
+        );
         if nest && !model.has_nest() {
             model.spawn_nest();
         }

@@ -18,7 +18,7 @@ fn main() {
     println!("=== §V summary: six canonical experiments ===\n");
     let mut csv = String::from(
         "site,algorithm,completed,ended_stalled,wall_hours,sim_minutes,frames_written,\
-         frames_shipped,frames_visualized,restarts,stalls,min_free_pct,final_free_pct\n",
+         frames_shipped,frames_rendered,restarts,stalls,min_free_pct,final_free_pct\n",
     );
     let mut comparisons = Vec::new();
 
@@ -37,7 +37,7 @@ fn main() {
                 out.sim_minutes,
                 out.frames_written,
                 out.frames_shipped,
-                out.frames_visualized,
+                out.frames_rendered,
                 out.restarts,
                 out.stalls,
                 out.min_free_disk_pct,

@@ -13,8 +13,8 @@
 //!    orchestration machinery reproduces the arithmetic.
 
 use des::{run_until_empty, Scheduler};
-use resources::{Disk, FrameStore};
 use repro_bench::write_artifact;
+use resources::{Disk, FrameStore};
 
 /// One frame is produced per solve-plus-write cycle; the disk fills when
 /// cumulative production minus cumulative drain exceeds capacity.
@@ -121,9 +121,8 @@ fn main() {
         ("500 TB", "10 Gbps", 500e12, 10e9, "60 hours"),
     ];
     let mut csv = String::from("disk,network,analytic_secs,des_secs,paper\n");
-    for (disk_label, net_label, disk, net_bits) in paper_rows
-        .iter()
-        .map(|&(d, n, db, nb, _)| (d, n, db, nb))
+    for (disk_label, net_label, disk, net_bits) in
+        paper_rows.iter().map(|&(d, n, db, nb, _)| (d, n, db, nb))
     {
         let net = net_bits / 8.0;
         let a = analytic_fill_secs(disk, net, frame, step, io);
@@ -149,9 +148,7 @@ fn main() {
             (a - d).abs() <= slack,
             "analytic {a:.1}s vs DES {d:.1}s (slack {slack:.1}s)"
         );
-        csv.push_str(&format!(
-            "{disk_label},{net_label},{a:.1},{d:.1},{paper}\n"
-        ));
+        csv.push_str(&format!("{disk_label},{net_label},{a:.1},{d:.1},{paper}\n"));
     }
     write_artifact("table1_fill_times.csv", &csv);
 }

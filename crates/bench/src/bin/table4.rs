@@ -17,10 +17,7 @@ fn main() {
         println!("  cluster ................ {}", site.cluster.name);
         println!("  maximum cores .......... {}", site.cluster.max_cores);
         println!("  disk space ............. {} GB", site.disk_gb);
-        println!(
-            "  avg sim-vis bandwidth .. {} Mbps",
-            site.bandwidth_mbps
-        );
+        println!("  avg sim-vis bandwidth .. {} Mbps", site.bandwidth_mbps);
         println!(
             "  parallel I/O ........... {:.0} MB/s",
             site.cluster.io_bps / 1e6

@@ -122,7 +122,7 @@ pub fn outcome_line(out: &RunOutcome) -> String {
         sim_label(out.sim_minutes),
         out.frames_written,
         out.frames_shipped,
-        out.frames_visualized,
+        out.frames_rendered,
         out.restarts,
         out.stalls,
         out.min_free_disk_pct,

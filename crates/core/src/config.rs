@@ -99,7 +99,10 @@ mod tests {
         assert!(!a.requires_restart(&a.clone()));
         let mut b = a.clone();
         b.critical = true;
-        assert!(!a.requires_restart(&b), "CRITICAL alone is a stall, not a restart");
+        assert!(
+            !a.requires_restart(&b),
+            "CRITICAL alone is a stall, not a restart"
+        );
         let mut b = a.clone();
         b.num_procs = 24;
         assert!(a.requires_restart(&b));

@@ -171,13 +171,7 @@ pub(crate) mod testutil {
 
     /// A strictly-decreasing five-entry table: 1→40s … 48→2.5s.
     pub fn table() -> ProcTable {
-        ProcTable::from_entries(vec![
-            (1, 40.0),
-            (4, 12.0),
-            (12, 6.0),
-            (24, 4.0),
-            (48, 2.5),
-        ])
+        ProcTable::from_entries(vec![(1, 40.0), (4, 12.0), (12, 6.0), (24, 4.0), (48, 2.5)])
     }
 
     /// Inputs with sensible defaults, overridable per test.

@@ -157,18 +157,21 @@ mod tests {
     fn recovery_speeds_up_first() {
         let t = table();
         let cur = current(4, 25.0); // slowed down earlier: 12 s/step
-        // D = 80: newtime = 12 − (20/40)·(12−2.5) = 7.25 → closest 6 s → 12 procs.
+                                    // D = 80: newtime = 12 − (20/40)·(12−2.5) = 7.25 → closest 6 s → 12 procs.
         let inp = inputs(&t, &cur, 80.0);
         let (procs, oi) = GreedyThreshold::new().decide(&inp);
         assert_eq!(procs, 12);
-        assert_eq!(oi, 25.0, "OI untouched until the solver is back at full speed");
+        assert_eq!(
+            oi, 25.0,
+            "OI untouched until the solver is back at full speed"
+        );
     }
 
     #[test]
     fn recovery_then_decreases_oi() {
         let t = table();
         let cur = current(48, 25.0); // already fastest
-        // D = 100: newOI = 25 − (40/40)·(25−3) = 3.
+                                     // D = 100: newOI = 25 − (40/40)·(25−3) = 3.
         let inp = inputs(&t, &cur, 100.0);
         let (procs, oi) = GreedyThreshold::new().decide(&inp);
         assert_eq!(procs, 48);

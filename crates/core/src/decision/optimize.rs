@@ -60,10 +60,9 @@ impl LpTerms {
         // Disk budget: free space minus the safety reserve (the LP plans
         // to consume its whole budget over the horizon — see
         // [`crate::decision::DISK_RESERVE_FRACTION`]).
-        let reserve =
-            crate::decision::DISK_RESERVE_FRACTION * inp.disk_capacity_bytes as f64;
-        let d = crate::decision::DISK_BUDGET_FRACTION
-            * (inp.free_disk_bytes as f64 - reserve).max(0.0);
+        let reserve = crate::decision::DISK_RESERVE_FRACTION * inp.disk_capacity_bytes as f64;
+        let d =
+            crate::decision::DISK_BUDGET_FRACTION * (inp.free_disk_bytes as f64 - reserve).max(0.0);
         let n = inp.horizon_secs.max(1.0);
         // z = ts/OI with both in simulated minutes; one frame per step is
         // z = 1.
@@ -82,7 +81,13 @@ impl LpTerms {
 
     /// Build the LP with the given objective; optionally with Eq. 5, and
     /// optionally with `t` pinned.
-    fn problem(&self, objective: [f64; 3], maximize: bool, with_eq5: bool, pin_t: Option<f64>) -> Problem {
+    fn problem(
+        &self,
+        objective: [f64; 3],
+        maximize: bool,
+        with_eq5: bool,
+        pin_t: Option<f64>,
+    ) -> Problem {
         let mut p = if maximize {
             Problem::maximize(&objective)
         } else {
@@ -114,7 +119,9 @@ impl Optimization {
     /// `x0 = t`, `x1 = z`, `x2 = y`.
     pub fn lp_text(inp: &DecisionInputs<'_>) -> String {
         let terms = LpTerms::from_inputs(inp);
-        terms.problem([1.0, 0.0, 0.0], false, true, None).to_lp_format()
+        terms
+            .problem([1.0, 0.0, 0.0], false, true, None)
+            .to_lp_format()
     }
 
     /// Solve lexicographically; returns `(t*, z*)`, or `None` when even
@@ -225,7 +232,10 @@ mod tests {
         inp.bandwidth_bps = 1e8;
         let (procs, oi) = Optimization::new().decide(&inp);
         assert_eq!(procs, 48, "min t ⇒ maximum processors");
-        assert!((oi - 3.0).abs() < 1e-6, "max temporal resolution, oi = {oi}");
+        assert!(
+            (oi - 3.0).abs() < 1e-6,
+            "max temporal resolution, oi = {oi}"
+        );
     }
 
     #[test]
@@ -240,7 +250,10 @@ mod tests {
         // must slow to the closest profiled time above that (40 s on one
         // processor), and z is pinned at its floor → OI = 25.
         let (procs, oi) = Optimization::new().decide(&inp);
-        assert!((oi - 25.0).abs() < 1e-6, "starving link → sparsest output, oi = {oi}");
+        assert!(
+            (oi - 25.0).abs() < 1e-6,
+            "starving link → sparsest output, oi = {oi}"
+        );
         assert_eq!(procs, 1);
         assert!(t.time_for(procs).unwrap() >= 28.0);
     }
@@ -330,10 +343,7 @@ mod tests {
         let mut inp = inputs(&t, &cur, 90.0);
         inp.bandwidth_bps = 1e8;
         algo.decide(&inp);
-        assert_eq!(
-            algo.last_binding(),
-            Some(BindingConstraint::MachineBound)
-        );
+        assert_eq!(algo.last_binding(), Some(BindingConstraint::MachineBound));
 
         // Disk horizon forces a slower step (budget ≈ 24 GB over 20 h →
         // t* ≈ 22 s, inside the table's range): disk-bound.
@@ -374,8 +384,8 @@ mod tests {
                     let z = (inp.dt_sim_secs / 60.0) / oi;
                     let chosen_t = t.time_for(procs).unwrap();
                     // Feasible iff the bound fits under maxtime at z_lb.
-                    let feasible = terms_k * (inp.dt_sim_secs / 60.0) / inp.max_oi_min
-                        <= t.max_time() + 1e-9;
+                    let feasible =
+                        terms_k * (inp.dt_sim_secs / 60.0) / inp.max_oi_min <= t.max_time() + 1e-9;
                     if feasible {
                         assert!(
                             chosen_t >= terms_k * z - 1e-6,

@@ -245,7 +245,12 @@ mod tests {
         let mut plan = FaultPlan::new();
         assert!(plan.is_empty());
         plan.push(1.0, Fault::SimCrash);
-        plan.push(2.0, Fault::ReceiverOutage { duration_hours: 0.5 });
+        plan.push(
+            2.0,
+            Fault::ReceiverOutage {
+                duration_hours: 0.5,
+            },
+        );
         assert_eq!(plan.len(), 2);
         let same = FaultPlan::from_events(plan.events.clone());
         assert_eq!(plan, same);

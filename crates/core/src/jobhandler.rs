@@ -80,7 +80,11 @@ impl JobHandler {
     /// # Panics
     /// If no restart was in flight.
     pub fn finish_restart(&mut self) {
-        assert_eq!(self.state, SimProcessState::Restarting, "no restart in flight");
+        assert_eq!(
+            self.state,
+            SimProcessState::Restarting,
+            "no restart in flight"
+        );
         self.restarts += 1;
         self.state = SimProcessState::Running;
     }

@@ -13,12 +13,17 @@
 //!   with our own simplex instead of GLPK),
 //! - [`jobhandler::JobHandler`] — starts, stalls, and restarts the
 //!   simulation process when the configuration changes,
-//! - [`orchestrator::Orchestrator`] — the closed loop on a discrete-event
-//!   clock: simulation steps, parallel I/O, the frame sender/receiver
-//!   pair, the visualization process, decision epochs, restarts and
-//!   stalls — producing the exact time series plotted in Figures 5–8,
-//! - [`online`] — the same pipeline as real communicating threads (live
-//!   daemons) for demonstration and end-to-end testing.
+//! - [`engine::EpochEngine`] — the single epoch-driven pipeline state
+//!   machine (observe → decide → simulate-epoch → emit/transport →
+//!   persist → advance), parameterized by environment traits
+//!   ([`engine::Clock`], [`engine::FrameTransport`],
+//!   [`engine::Durability`], [`engine::FaultInjector`]),
+//! - [`orchestrator::Orchestrator`] — the DES driver: the engine on a
+//!   virtual clock with fully modeled transport — producing the exact
+//!   time series plotted in Figures 5–8,
+//! - [`online`] — the live driver: the same engine paced against the
+//!   wall clock with real encoded frames, a receiver thread, and
+//!   journal+checkpoint durability.
 //!
 //! # Quickstart
 //!
@@ -34,11 +39,12 @@
 //! )
 //! .run();
 //! assert!(outcome.completed);
-//! assert!(outcome.frames_visualized > 0);
+//! assert!(outcome.frames_rendered > 0);
 //! ```
 
 pub mod config;
 pub mod decision;
+pub mod engine;
 pub mod fanout;
 pub mod fault;
 pub mod jobhandler;

@@ -10,8 +10,7 @@
 
 use crate::config::ApplicationConfig;
 use crate::decision::{
-    AlgorithmKind, BindingConstraint, DecisionAlgorithm, DecisionInputs,
-    CRITICAL_FREE_PERCENT,
+    AlgorithmKind, BindingConstraint, DecisionAlgorithm, DecisionInputs, CRITICAL_FREE_PERCENT,
 };
 use perfmodel::ProcTable;
 use resources::{BandwidthProbe, Disk, Network};

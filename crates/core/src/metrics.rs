@@ -165,12 +165,8 @@ mod tests {
             AlgorithmKind::GreedyThreshold,
         )
         .run();
-        let o = Orchestrator::new(
-            Site::intra_country(),
-            mission,
-            AlgorithmKind::Optimization,
-        )
-        .run();
+        let o =
+            Orchestrator::new(Site::intra_country(), mission, AlgorithmKind::Optimization).run();
         compare(&g, &o);
     }
 }

@@ -122,8 +122,7 @@ impl FrameSender {
         if &hello[..4] != HANDSHAKE_MAGIC {
             return Err(TransportError::BadFrame("receiver handshake missing"));
         }
-        sender.peer_last_applied =
-            u64::from_le_bytes(hello[4..12].try_into().expect("8 bytes"));
+        sender.peer_last_applied = u64::from_le_bytes(hello[4..12].try_into().expect("8 bytes"));
         sender.next_seq = sender.peer_last_applied + 1;
         Ok(sender)
     }
@@ -456,8 +455,7 @@ mod tests {
         let err = sender.send(b"definitely not a dataset").unwrap_err();
         assert!(matches!(err, TransportError::BadFrame(_)));
         // The connection survives: a valid frame still goes through.
-        let model =
-            WrfModel::new(ModelConfig::aila_default().with_decimation(16)).expect("valid");
+        let model = WrfModel::new(ModelConfig::aila_default().with_decimation(16)).expect("valid");
         sender
             .send(&model.frame().to_bytes())
             .expect("valid frame after a nack");
@@ -479,8 +477,7 @@ mod tests {
     fn replayed_sequences_are_deduplicated() {
         let receiver = FrameReceiver::start().expect("bind");
         let mut sender = FrameSender::connect(receiver.addr()).expect("connect");
-        let model =
-            WrfModel::new(ModelConfig::aila_default().with_decimation(16)).expect("valid");
+        let model = WrfModel::new(ModelConfig::aila_default().with_decimation(16)).expect("valid");
         let bytes = model.frame().to_bytes();
         sender.send(&bytes).expect("first transmission applies");
         assert_eq!(receiver.frames_received(), 1);
@@ -497,8 +494,7 @@ mod tests {
     fn resumed_receiver_reports_its_state_in_the_handshake() {
         let receiver = FrameReceiver::start().expect("bind");
         let mut sender = FrameSender::connect(receiver.addr()).expect("connect");
-        let model =
-            WrfModel::new(ModelConfig::aila_default().with_decimation(16)).expect("valid");
+        let model = WrfModel::new(ModelConfig::aila_default().with_decimation(16)).expect("valid");
         sender.send(&model.frame().to_bytes()).expect("applied");
         let applied = receiver.last_applied();
         let track = receiver.shutdown();
@@ -520,8 +516,7 @@ mod tests {
     fn corrupted_payload_is_rejected_by_crc() {
         let receiver = FrameReceiver::start().expect("bind");
         let mut sender = FrameSender::connect(receiver.addr()).expect("connect");
-        let model =
-            WrfModel::new(ModelConfig::aila_default().with_decimation(16)).expect("valid");
+        let model = WrfModel::new(ModelConfig::aila_default().with_decimation(16)).expect("valid");
         let mut bytes = model.frame().to_bytes().to_vec();
         // Simulate on-path corruption: flip a byte after the CRC was
         // computed by hand-rolling the frame write.
@@ -592,8 +587,7 @@ mod tests {
         let mut sender =
             FrameSender::connect_with_timeout(receiver.addr(), Duration::from_millis(300))
                 .expect("connect");
-        let model =
-            WrfModel::new(ModelConfig::aila_default().with_decimation(16)).expect("valid");
+        let model = WrfModel::new(ModelConfig::aila_default().with_decimation(16)).expect("valid");
         // The receiver dies before acking this frame; the old v1 sender
         // would block forever on the ack read. Now the socket timeout
         // fires.

@@ -1,56 +1,57 @@
-//! Online mode: the pipeline as live, communicating daemons.
+//! Online mode: the pipeline live, against the wall clock.
 //!
 //! The DES orchestrator answers the paper's quantitative questions; this
 //! module demonstrates (and end-to-end tests) the *architecture*: real
-//! threads for the simulation process, the frame sender, the frame
-//! receiver + visualization process, and the application manager — glued
-//! together exactly as in the paper's Figure 2:
+//! encoded frames, a real receiver/visualization thread, a real
+//! application-configuration file on disk, real journal+checkpoint
+//! durability — glued together exactly as in the paper's Figure 2.
+//!
+//! Since the unified-engine refactor this module is a thin *driver*: the
+//! adaptation loop lives in [`crate::engine`] and [`run_online`] merely
+//! instantiates it with the live environment —
+//! [`ScaledClock`] (modeled seconds paced
+//! against real time), [`ChannelTransport`]
+//! (a bounded channel standing in for the wide-area link, with the
+//! receiver **acking** each frame after it is durably applied),
+//! [`JournalDurability`]
+//! (payload-file-before-journal ordering plus cadenced checkpoints), and
+//! [`LiveInjector`] (a scripted
+//! [`Fault::ProcessKill`] halts the incarnation dead for
+//! [`crate::recovery::run_with_recovery`] to rebuild from disk).
 //!
 //! - the manager writes the **application configuration file** (a real
 //!   JSON file) every decision epoch,
-//! - the simulation process **polls that file**, stalls on CRITICAL, and
-//!   applies new configurations,
 //! - frames are real encoded [`ncdf`] datasets moving through a bounded
-//!   channel standing in for the wide-area link, throttled to the modeled
-//!   bandwidth, with the receiver **acking** each frame after it is
-//!   applied — the sender only settles a frame in its ledger once the
-//!   remote end durably has it,
+//!   channel throttled to the modeled bandwidth,
 //! - the receiver decodes frames and feeds the visualization (eye
 //!   tracking via [`viz::TrackLog`]).
 //!
-//! With [`OnlineOptions::durability`] set, the whole pipeline is
-//! crash-consistent: the frame ledger is write-ahead journaled, payloads
-//! and receiver state live in checksummed snapshot files, the model and
-//! manager checkpoint on a cadence, and [`crate::recovery`] can rebuild a
-//! killed incarnation from disk.
-//!
 //! Modeled wall time is compressed: `time_scale` real seconds per modeled
 //! second, so a multi-hour experiment plays out in real milliseconds
-//! while every component genuinely runs concurrently.
+//! while the DES-vs-live parity test can set `time_scale = 0` and prove
+//! the decision trace identical to the orchestrator's.
 
-use crate::config::ApplicationConfig;
-use crate::decision::{AlgorithmKind, DecisionInputs, CRITICAL_FREE_PERCENT};
-use crate::fault::{Fault, FaultPlan};
-use crate::manager::ManagerState;
-use crate::recovery::{self, CheckpointMeta, DurabilityOptions};
+use crate::decision::AlgorithmKind;
+use crate::engine::{
+    ChannelTransport, EngineBoot, EngineSetup, EpochEngine, JournalDurability, LiveInjector,
+    PipelineOptions, PipelineReport, ScaledClock,
+};
+use crate::fault::FaultPlan;
+use crate::recovery::{self, DurabilityOptions};
 use cyclone::{Mission, Site};
-use parking_lot::Mutex;
-use resources::{Disk, FrameStore};
+use resources::{Disk, FrameStore, Network};
+use std::ops::{Deref, DerefMut};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
-use std::time::Duration;
-use viz::TrackLog;
-use wrf::WrfModel;
 
-/// Encoded frame payloads awaiting shipment, keyed by frame id.
-type PayloadTable = Arc<Mutex<Vec<(u64, f64, Vec<u8>)>>>;
+pub use crate::engine::KillEvent;
+pub use crate::fault::Fault;
 
-/// Options for an online run.
+/// Options for an online run: the live-only knobs plus the shared
+/// [`PipelineOptions`] (one source of defaults with the DES driver).
 #[derive(Debug, Clone)]
 pub struct OnlineOptions {
     /// Real seconds slept per modeled wall second (e.g. `2e-5` runs a
-    /// modeled hour in 72 ms).
+    /// modeled hour in 72 ms; `0` runs on a purely virtual clock).
     pub time_scale: f64,
     /// Where the application configuration file lives.
     pub config_path: PathBuf,
@@ -60,12 +61,8 @@ pub struct OnlineOptions {
     pub disk_capacity: u64,
     /// Modeled link bandwidth, bytes per modeled second.
     pub bandwidth_bps: f64,
-    /// Scripted faults, fired by a live injector thread at their modeled
-    /// wall times (same vocabulary as the DES orchestrator).
-    pub fault_plan: FaultPlan,
-    /// Crash-consistent durable state (`None` = the pre-durability
-    /// volatile pipeline, for tests and quick demos).
-    pub durability: Option<DurabilityOptions>,
+    /// Shared pipeline knobs (wall cap, fault plan, durability, ...).
+    pub pipeline: PipelineOptions,
 }
 
 impl OnlineOptions {
@@ -79,674 +76,170 @@ impl OnlineOptions {
                 .join(format!("adaptive-online-{tag}-{}.json", std::process::id())),
             disk_capacity: 40_000_000,
             bandwidth_bps: 30_000.0,
-            fault_plan: FaultPlan::new(),
-            durability: None,
+            pipeline: PipelineOptions::default(),
         }
     }
 
     /// Builder: scripted faults.
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
-        self.fault_plan = plan;
+        self.pipeline.fault_plan = plan;
         self
     }
 
     /// Builder: crash-consistent durable state rooted at
     /// `durability.state_dir`.
     pub fn with_durability(mut self, durability: DurabilityOptions) -> Self {
-        self.durability = Some(durability);
+        self.pipeline.durability = Some(durability);
         self
     }
 }
 
-/// How an incarnation died (set when a scripted [`Fault::ProcessKill`]
-/// fired), plus the storage damage staged to land with it.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct KillEvent {
-    /// Modeled wall hours into the run at which the kill fired.
-    pub at_hours: f64,
-    /// A [`Fault::TornWrite`] was staged: the supervisor tears the
-    /// journal tail before restarting.
-    pub torn_write: bool,
-    /// A [`Fault::CorruptCheckpoint`] was staged: the supervisor flips
-    /// bytes in the newest checkpoint before restarting.
-    pub corrupt_checkpoint: bool,
-}
-
-/// What an online run observed.
+/// What an online run observed: the shared [`PipelineReport`] plus the
+/// kill marker the recovery supervisor consumes. Derefs into the report
+/// (and transitively into [`crate::engine::PipelineCounters`]), so
+/// `report.frames_written`, `report.track`, `report.completed` all read
+/// as before.
 #[derive(Debug)]
 pub struct OnlineReport {
-    /// Modeled simulated minutes reached by the simulation thread.
-    pub sim_minutes: f64,
-    /// Frames written to the (virtual) simulation-site disk. In durable
-    /// mode this is the ledger's cumulative count across incarnations.
-    pub frames_written: u64,
-    /// Frames that crossed the link (ledger cumulative in durable mode).
-    pub frames_shipped: u64,
-    /// Frames decoded and visualized at the remote end.
-    pub frames_rendered: u64,
-    /// Frames still on the simulation-site disk (pending + in flight)
-    /// when the run ended.
-    pub frames_in_flight: u64,
-    /// Decision epochs the manager ran.
-    pub decisions: u64,
-    /// Stall episodes observed by the simulation thread.
-    pub stalls: u64,
-    /// The cyclone track accumulated by the visualization process.
-    pub track: TrackLog,
-    /// True when the mission duration was fully simulated.
-    pub completed: bool,
-    /// Injected simulation crashes the process recovered from.
-    pub crashes: u64,
-    /// Receiver outages the transport recovered from (sender reconnects).
-    pub reconnects: u64,
-    /// Whole-pipeline kill→restart cycles the recovery supervisor drove.
-    pub recoveries: u64,
-    /// Journal replays performed while booting incarnations.
-    pub journal_replays: u64,
-    /// Frames rebuilt from a dead incarnation's disk.
-    pub frames_recovered: u64,
-    /// Free disk at the end of the run, percent.
-    pub final_free_disk_pct: f64,
+    /// The shared engine report.
+    pub report: PipelineReport,
     /// Set when a scripted [`Fault::ProcessKill`] ended this incarnation;
     /// [`crate::recovery::run_with_recovery`] consumes it.
     pub kill: Option<KillEvent>,
 }
 
+impl Deref for OnlineReport {
+    type Target = PipelineReport;
+    fn deref(&self) -> &PipelineReport {
+        &self.report
+    }
+}
+
+impl DerefMut for OnlineReport {
+    fn deref_mut(&mut self) -> &mut PipelineReport {
+        &mut self.report
+    }
+}
+
 /// Run the live pipeline for `mission` on `site`'s characteristics.
 ///
 /// One call is one *incarnation*: with durability configured, a scripted
-/// [`Fault::ProcessKill`] makes every thread stop dead (no draining, no
+/// [`Fault::ProcessKill`] makes the engine stop dead (no draining, no
 /// final checkpoint — the moral equivalent of `kill -9` given that the
-/// threads share our address space) and the report comes back with
-/// [`OnlineReport::kill`] set for the supervisor to act on.
+/// receiver thread shares our address space) and the report comes back
+/// with [`OnlineReport::kill`] set for the supervisor to act on.
 pub fn run_online(
     site: &Site,
     mission: &Mission,
     algorithm: AlgorithmKind,
     options: &OnlineOptions,
 ) -> OnlineReport {
-    // --- Boot: cold, or rebuilt from a prior incarnation's disk -----
-    let boot = options.durability.as_ref().map(|d| {
-        recovery::bootstrap(d, options.disk_capacity)
-            .expect("durable state directory is usable")
+    // --- Boot: cold, or rebuilt from a prior incarnation's disk -------
+    let boot = options.pipeline.durability.as_ref().map(|d| {
+        recovery::bootstrap(d, options.disk_capacity).expect("durable state directory is usable")
     });
-    let durable = options.durability.clone();
-    let mut journal_replays = 0u64;
-    let mut frames_recovered = 0u64;
-    let mut base_stalls = 0u64;
-    let mut base_crashes = 0u64;
-    let mut boot_model: Option<WrfModel> = None;
-    let mut boot_next_output: Option<f64> = None;
-    let mut boot_config: Option<ApplicationConfig> = None;
-    let mut boot_manager: Option<ManagerState> = None;
-    let mut boot_track = TrackLog::new();
-    let mut boot_watermark = 0u64;
-    let mut skip_outputs_through = f64::NEG_INFINITY;
-    let mut next_checkpoint_seq = 0u64;
-    let mut initial_payloads: Vec<(u64, f64, Vec<u8>)> = Vec::new();
-
-    let store = match boot {
-        Some(b) => {
-            journal_replays = b.journal_replays;
-            frames_recovered = b.frames_recovered;
-            base_stalls = b.base_stalls;
-            base_crashes = b.base_crashes;
-            boot_model = b.model;
-            boot_next_output = b.next_output_min;
-            boot_config = b.config;
-            boot_manager = b.manager;
-            boot_track = b.track;
-            boot_watermark = b.applied_watermark;
-            skip_outputs_through = b.skip_outputs_through;
-            next_checkpoint_seq = b.next_checkpoint_seq;
-            initial_payloads = b.payloads;
-            Arc::new(Mutex::new(b.store))
-        }
-        None => Arc::new(Mutex::new(FrameStore::new(Disk::new(
-            options.disk_capacity,
-        )))),
+    let (
+        store,
+        engine_boot,
+        boot_watermark,
+        boot_track,
+        payloads,
+        next_ckpt_seq,
+        boot_replays,
+        boot_recovered,
+    ) = match boot {
+        Some(b) => (
+            b.store,
+            EngineBoot {
+                model: b.model,
+                next_output_min: b.next_output_min,
+                config: b.config,
+                manager: b.manager,
+                skip_outputs_through: b.skip_outputs_through,
+                base_stalls: b.base_stalls,
+                base_crashes: b.base_crashes,
+            },
+            b.applied_watermark,
+            b.track,
+            b.payloads,
+            b.next_checkpoint_seq,
+            b.journal_replays,
+            b.frames_recovered,
+        ),
+        None => (
+            FrameStore::new(Disk::new(options.disk_capacity)),
+            EngineBoot::default(),
+            0,
+            viz::TrackLog::new(),
+            Vec::new(),
+            0,
+            0,
+            0,
+        ),
     };
 
-    // Live fault state, shared between the injector and the daemons: the
-    // link's current degradation factor, whether the receiver host is
-    // reachable, a pending simulation-process crash, and the kill switch
-    // that ends the whole incarnation at once.
-    let link_factor = Arc::new(Mutex::new(1.0f64));
-    let receiver_down = Arc::new(AtomicBool::new(false));
-    let crash_pending = Arc::new(AtomicBool::new(false));
-    let killed = Arc::new(AtomicBool::new(false));
-    // Encoded frame payloads awaiting shipment, keyed by frame id. In
-    // durable mode each payload also lives in a checksummed file under
-    // frames/; this table is the warm copy.
-    let payloads: PayloadTable = Arc::new(Mutex::new(initial_payloads));
-    let done = Arc::new(AtomicBool::new(false));
-    // Manager epoch state mirrored for the checkpointing sim thread.
-    let manager_state = Arc::new(Mutex::new(boot_manager.unwrap_or(ManagerState {
-        epochs: 0,
-        peak_bandwidth_bps: 0.0,
-        degraded_epochs: 0,
-    })));
-    // Receiver's applied watermark (last applied frame id + 1), mirrored
-    // for checkpoint metadata.
-    let watermark = Arc::new(AtomicU64::new(boot_watermark));
-    // The "network": a rendezvous channel carrying encoded frames, plus
-    // the ack path back — the sender settles a frame only after the
-    // receiver has durably applied it.
-    let (frame_tx, frame_rx) = crossbeam::channel::bounded::<(u64, f64, Vec<u8>)>(1);
-    let (ack_tx, ack_rx) = crossbeam::channel::bounded::<u64>(1);
+    let resume_sim_minutes = engine_boot
+        .model
+        .as_ref()
+        .map(|m| m.sim_minutes())
+        .unwrap_or(0.0);
+    let durability: Option<JournalDurability> = options
+        .pipeline
+        .durability
+        .clone()
+        .map(|d| JournalDurability::new(d, resume_sim_minutes, next_ckpt_seq));
 
-    let initial = boot_config.clone().unwrap_or_else(|| {
-        ApplicationConfig::initial(
-            site.cluster.max_cores,
-            mission.min_output_interval_min,
-            mission.model.resolution_km,
-        )
-    });
-    initial
-        .write_file(&options.config_path)
-        .expect("config file is writable");
+    // Online frames are real encodings of the decimated grid; size the
+    // decision algorithm's O from a representative frame (the disk holds
+    // roughly 12 of them).
+    let decision_bytes = (options.disk_capacity / 12).max(1);
+    let receiver_path = options
+        .pipeline
+        .durability
+        .as_ref()
+        .map(|d| d.receiver_path());
+    let transport = ChannelTransport::new(
+        decision_bytes,
+        receiver_path,
+        boot_watermark,
+        boot_track,
+        payloads,
+    );
 
-    let scale = options.time_scale;
-    let nap = |modeled_secs: f64| {
-        std::thread::sleep(Duration::from_secs_f64((modeled_secs * scale).min(0.25)));
+    let setup = EngineSetup {
+        site: site.clone(),
+        mission: mission.clone(),
+        algorithm,
+        options: options.pipeline.clone(),
+        store,
+        net: Network::ideal(options.bandwidth_bps),
+        steering_script: Vec::new(),
+        publish_config: Some(options.config_path.clone()),
+        drain_on_complete: true,
+        boot: engine_boot,
     };
-
-    let mut sim_minutes = 0.0f64;
-    let mut completed = false;
-    let mut track = TrackLog::new();
-    let mut frames_rendered = 0u64;
-    let mut decisions = 0u64;
-    let mut stalls = 0u64;
-    let mut crashes = 0u64;
-    let mut reconnects = 0u64;
-    let mut kill_event: Option<KillEvent> = None;
-
-    crossbeam::thread::scope(|s| {
-        // --- Simulation process -------------------------------------
-        let sim_store = Arc::clone(&store);
-        let sim_payloads = Arc::clone(&payloads);
-        let sim_done = Arc::clone(&done);
-        let sim_cfg_path = options.config_path.clone();
-        let sim_crash = Arc::clone(&crash_pending);
-        let sim_killed = Arc::clone(&killed);
-        let sim_mgr_state = Arc::clone(&manager_state);
-        let sim_watermark = Arc::clone(&watermark);
-        let sim_durable = durable.clone();
-        let sim_boot_model = boot_model;
-        let sim = s.spawn(move |_| {
-            let mut model = match sim_boot_model {
-                Some(m) => m,
-                None => WrfModel::new(mission.model).expect("valid mission model"),
-            };
-            let mut next_output =
-                boot_next_output.unwrap_or(mission.min_output_interval_min);
-            let mut stalls = 0u64;
-            let mut crashes = 0u64;
-            let mut was_stalled = false;
-            // Checkpoint cadence, simulated minutes (0 = disabled).
-            let ckpt_every = sim_durable
-                .as_ref()
-                .map(|d| d.checkpoint_every_min)
-                .unwrap_or(0.0);
-            let mut next_ckpt = if ckpt_every > 0.0 {
-                // First cadence boundary strictly ahead of the resume point.
-                (model.sim_minutes() / ckpt_every).floor() * ckpt_every + ckpt_every
-            } else {
-                f64::INFINITY
-            };
-            let mut ckpt_seq = next_checkpoint_seq;
-            while model.sim_minutes() < mission.duration_minutes() {
-                if sim_killed.load(Ordering::SeqCst) {
-                    return (model.sim_minutes(), stalls, crashes);
-                }
-                if sim_crash.swap(false, Ordering::SeqCst) {
-                    // The process died; the job handler relaunches it from
-                    // the last checkpoint (restart overhead plus a requeue
-                    // penalty, compressed to a nap). Simulated state is
-                    // checkpointed, so no progress is lost — only time.
-                    crashes += 1;
-                    nap(3.0 * site.cluster.restart_overhead_secs);
-                    continue;
-                }
-                let cfg = ApplicationConfig::read_file(&sim_cfg_path)
-                    .expect("manager keeps the file valid");
-                if cfg.critical {
-                    if !was_stalled {
-                        stalls += 1;
-                        was_stalled = true;
-                    }
-                    nap(300.0);
-                    continue;
-                }
-                was_stalled = false;
-                // Apply schedule-driven resolution changes (the job
-                // handler's stop/restart, compressed to a nap).
-                let p = model.min_pressure_hpa();
-                let res = mission.schedule.resolution_for(p);
-                if (res - model.config().resolution_km).abs() > 1e-9 {
-                    nap(site.cluster.restart_overhead_secs);
-                    model.set_resolution(res).expect("schedule resolution");
-                }
-                if mission.schedule.nest_active(p) && !model.has_nest() {
-                    model.spawn_nest();
-                }
-
-                model.advance_steps(1, 1).expect("finite integration");
-                // Modeled compute time for this step at cfg.num_procs.
-                let work = mission.work_points(res, model.has_nest());
-                let t = site.cluster.scaling.predict(cfg.num_procs as f64, work);
-                nap(t);
-
-                if model.sim_minutes() + 1e-9 >= next_output {
-                    if model.sim_minutes() <= skip_outputs_through + 1e-6 {
-                        // This output is already on the durable record from
-                        // a dead incarnation; re-simulation is bit-exact, so
-                        // advance the schedule without storing a duplicate.
-                        next_output = model.sim_minutes() + cfg.output_interval_min;
-                    } else {
-                        let ds = model.frame();
-                        let bytes = ds.to_bytes().to_vec();
-                        let stored = {
-                            let mut st = sim_store.lock();
-                            // Durable order: payload file first (fsynced),
-                            // then the journal record that commits it — a
-                            // Store record in the journal implies its bytes
-                            // are on disk.
-                            let mut payload_ok = true;
-                            let mut payload_path = None;
-                            if let Some(d) = &sim_durable {
-                                let path =
-                                    recovery::frame_path(&d.frames_dir(), st.next_id());
-                                match wrf::checkpoint::write_snapshot_file(&path, &bytes)
-                                {
-                                    Ok(()) => payload_path = Some(path),
-                                    Err(_) => payload_ok = false,
-                                }
-                            }
-                            if !payload_ok {
-                                // Payload not durable ⇒ do not commit.
-                                None
-                            } else {
-                                match st.store(model.sim_minutes(), bytes.len() as u64)
-                                {
-                                    Ok(meta) => Some(meta),
-                                    Err(_) => {
-                                        if let Some(p) = payload_path {
-                                            let _ = std::fs::remove_file(p);
-                                        }
-                                        None
-                                    }
-                                }
-                            }
-                        };
-                        if let Some(meta) = stored {
-                            next_output = model.sim_minutes() + cfg.output_interval_min;
-                            // Park the payload where the sender finds it.
-                            sim_payloads.lock().push((
-                                meta.id,
-                                model.sim_minutes(),
-                                bytes,
-                            ));
-                        }
-                        // On failure the frame is dropped; CRITICAL (set by
-                        // the manager) throttles us before this is common.
-                    }
-                }
-
-                if model.sim_minutes() + 1e-9 >= next_ckpt {
-                    if let Some(d) = &sim_durable {
-                        let meta = CheckpointMeta {
-                            sim_minutes: model.sim_minutes(),
-                            next_output_min: next_output,
-                            config: cfg.clone(),
-                            manager: *sim_mgr_state.lock(),
-                            stalls: base_stalls + stalls,
-                            crashes: base_crashes + crashes,
-                            applied_watermark: sim_watermark.load(Ordering::SeqCst),
-                        };
-                        let dir = d.checkpoints_dir();
-                        if recovery::write_checkpoint(
-                            &dir,
-                            ckpt_seq,
-                            &meta,
-                            &model.checkpoint(),
-                        )
-                        .is_ok()
-                        {
-                            ckpt_seq += 1;
-                            recovery::prune_checkpoints(&dir, d.keep_checkpoints);
-                        }
-                    }
-                    next_ckpt += ckpt_every;
-                }
-            }
-            sim_done.store(true, Ordering::SeqCst);
-            (model.sim_minutes(), stalls, crashes)
-        });
-
-        // --- Frame sender daemon ------------------------------------
-        let send_store = Arc::clone(&store);
-        let send_payloads = Arc::clone(&payloads);
-        let send_done = Arc::clone(&done);
-        let send_link = Arc::clone(&link_factor);
-        let send_down = Arc::clone(&receiver_down);
-        let send_killed = Arc::clone(&killed);
-        let bw = options.bandwidth_bps;
-        let sender = s.spawn(move |_| {
-            loop {
-                if send_killed.load(Ordering::SeqCst) {
-                    break;
-                }
-                if send_down.load(Ordering::SeqCst) {
-                    // Receiver unreachable: store-and-forward. Frames stay
-                    // on the simulation-site disk; the sender retries until
-                    // the injector restores the host.
-                    nap(300.0);
-                    continue;
-                }
-                let meta = send_store.lock().begin_transfer();
-                match meta {
-                    Some(meta) => {
-                        let factor = (*send_link.lock()).max(1e-9);
-                        nap(meta.bytes as f64 / (bw * factor));
-                        let payload = {
-                            let mut p = send_payloads.lock();
-                            let idx = p.iter().position(|(id, _, _)| *id == meta.id);
-                            idx.map(|i| p.remove(i))
-                        };
-                        match payload {
-                            Some((id, t, bytes)) => {
-                                if frame_tx.send((id, t, bytes)).is_err() {
-                                    break; // receiver gone
-                                }
-                                // Wait for the receiver's ack: only then is
-                                // the frame durably applied remotely, and
-                                // only then does the ledger settle it. A
-                                // kill between send and ack leaves the
-                                // frame in flight — recovery reconciles it
-                                // against the receiver's watermark.
-                                match ack_rx.recv() {
-                                    Ok(acked) if acked == meta.id => {}
-                                    _ => break,
-                                }
-                            }
-                            None => {
-                                // Ledger entry with no payload (recovered
-                                // from a prior incarnation whose payload
-                                // file was damaged): settle it as
-                                // shipped-and-lost so accounting stays
-                                // conserved.
-                            }
-                        }
-                        send_store
-                            .lock()
-                            .complete_transfer(meta.id)
-                            .expect("we began it");
-                    }
-                    None => {
-                        if send_done.load(Ordering::SeqCst) {
-                            break;
-                        }
-                        nap(60.0);
-                    }
-                }
-            }
-            drop(frame_tx);
-        });
-
-        // --- Frame receiver + visualization process -----------------
-        let viz_killed = Arc::clone(&killed);
-        let viz_watermark = Arc::clone(&watermark);
-        let viz_durable = durable.clone();
-        let viz_boot_track = boot_track;
-        let viz = s.spawn(move |_| {
-            let mut track = viz_boot_track;
-            let mut rendered = 0u64;
-            while let Ok((id, _t, bytes)) = frame_rx.recv() {
-                // A kill severs the link mid-conversation: the frame that
-                // just arrived is *not* applied and never acked.
-                if viz_killed.load(Ordering::SeqCst) {
-                    break;
-                }
-                let mark = viz_watermark.load(Ordering::SeqCst);
-                if id >= mark {
-                    if let Ok(ds) = ncdf::Dataset::from_bytes(&bytes) {
-                        track.ingest(&ds);
-                        rendered += 1;
-                    }
-                    // Apply-then-persist-then-ack: the receiver's durable
-                    // state always covers everything it has acknowledged.
-                    viz_watermark.store(id + 1, Ordering::SeqCst);
-                    if let Some(d) = &viz_durable {
-                        let _ = recovery::save_receiver_state(
-                            &d.receiver_path(),
-                            id + 1,
-                            &track,
-                        );
-                    }
-                }
-                // Duplicates (already below the watermark) are acked
-                // without re-applying — replay idempotence.
-                if ack_tx.send(id).is_err() {
-                    break;
-                }
-            }
-            (track, rendered)
-        });
-
-        // --- Application manager ------------------------------------
-        let mgr_store = Arc::clone(&store);
-        let mgr_done = Arc::clone(&done);
-        let mgr_cfg_path = options.config_path.clone();
-        let mgr_link = Arc::clone(&link_factor);
-        let mgr_down = Arc::clone(&receiver_down);
-        let mgr_killed = Arc::clone(&killed);
-        let mgr_state = Arc::clone(&manager_state);
-        let manager = s.spawn(move |_| {
-            let mut algo = algorithm.build();
-            let mut epochs = 0u64;
-            while !mgr_done.load(Ordering::SeqCst) && !mgr_killed.load(Ordering::SeqCst)
-            {
-                nap(mission.decision_interval_hours * 3600.0);
-                let (free_pct, free_bytes) = {
-                    let st = mgr_store.lock();
-                    (st.disk().free_percent(), st.disk().free())
-                };
-                let current = ApplicationConfig::read_file(&mgr_cfg_path)
-                    .expect("file stays valid");
-                let table = site.proc_table(mission, current.resolution_km, current.nest_active);
-                // Online frames are real encodings of the decimated grid;
-                // size O accordingly from a representative frame.
-                let frame_bytes = (options.disk_capacity / 12).max(1);
-                // The probe's view of the link: degraded by faults, and
-                // effectively dead while the receiver host is down — the
-                // decision algorithm sees the outage as a bandwidth
-                // collapse and widens the output interval rather than
-                // letting frames be dropped.
-                let observed_factor = if mgr_down.load(Ordering::SeqCst) {
-                    1e-6
-                } else {
-                    (*mgr_link.lock()).max(1e-9)
-                };
-                let observed_bps = options.bandwidth_bps * observed_factor;
-                let inputs = DecisionInputs {
-                    free_disk_percent: free_pct,
-                    free_disk_bytes: free_bytes,
-                    disk_capacity_bytes: options.disk_capacity,
-                    bandwidth_bps: observed_bps,
-                    frame_bytes,
-                    io_secs_per_frame: site.cluster.io_time(frame_bytes),
-                    proc_table: &table,
-                    current: &current,
-                    dt_sim_secs: mission.dt_secs(current.resolution_km),
-                    min_oi_min: mission.min_output_interval_min,
-                    max_oi_min: mission.max_output_interval_min,
-                    horizon_secs: 12.0 * 3600.0,
-                };
-                let (procs, oi) = algo.decide(&inputs);
-                let next = ApplicationConfig {
-                    num_procs: procs,
-                    output_interval_min: oi,
-                    resolution_km: current.resolution_km,
-                    nest_active: current.nest_active,
-                    critical: free_pct <= CRITICAL_FREE_PERCENT,
-                };
-                next.write_file(&mgr_cfg_path).expect("config writable");
-                epochs += 1;
-                // Mirror the durable epoch state for checkpoints.
-                let mut ms = mgr_state.lock();
-                ms.epochs += 1;
-                if observed_bps > ms.peak_bandwidth_bps {
-                    ms.peak_bandwidth_bps = observed_bps;
-                } else if observed_bps < ms.peak_bandwidth_bps * 0.25 {
-                    ms.degraded_epochs += 1;
-                }
-            }
-            epochs
-        });
-
-        // --- Fault injector -----------------------------------------
-        let inj_store = Arc::clone(&store);
-        let inj_done = Arc::clone(&done);
-        let inj_link = Arc::clone(&link_factor);
-        let inj_down = Arc::clone(&receiver_down);
-        let inj_crash = Arc::clone(&crash_pending);
-        let inj_killed = Arc::clone(&killed);
-        let mut plan = options.fault_plan.events.clone();
-        plan.sort_by(|a, b| a.0.total_cmp(&b.0));
-        let injector = s.spawn(move |_| {
-            let mut reconnects = 0u64;
-            let mut clock_hours = 0.0f64;
-            let mut kill: Option<KillEvent> = None;
-            let mut torn_staged = false;
-            let mut corrupt_staged = false;
-            for (at_hours, fault) in plan {
-                nap((at_hours - clock_hours).max(0.0) * 3600.0);
-                clock_hours = at_hours.max(clock_hours);
-                if inj_done.load(Ordering::SeqCst) {
-                    break;
-                }
-                match fault {
-                    Fault::LinkDegradation { factor } => {
-                        *inj_link.lock() = factor;
-                    }
-                    Fault::BandwidthFlap {
-                        factor,
-                        half_period_hours,
-                        flips,
-                    } => {
-                        for flip in 0..flips {
-                            let degraded = flip % 2 == 0;
-                            *inj_link.lock() = if degraded { factor } else { 1.0 };
-                            if flip + 1 < flips {
-                                nap(half_period_hours.max(1e-3) * 3600.0);
-                                clock_hours += half_period_hours;
-                            }
-                            if inj_done.load(Ordering::SeqCst) {
-                                break;
-                            }
-                        }
-                    }
-                    Fault::DiskPressure {
-                        bytes,
-                        duration_hours,
-                    } => {
-                        let got = inj_store.lock().seize_external(bytes);
-                        nap(duration_hours.max(1e-3) * 3600.0);
-                        clock_hours += duration_hours;
-                        inj_store.lock().release_external(got);
-                    }
-                    Fault::ReceiverOutage { duration_hours } => {
-                        inj_down.store(true, Ordering::SeqCst);
-                        nap(duration_hours.max(1e-3) * 3600.0);
-                        clock_hours += duration_hours;
-                        inj_down.store(false, Ordering::SeqCst);
-                        reconnects += 1;
-                    }
-                    Fault::SimCrash => {
-                        inj_crash.store(true, Ordering::SeqCst);
-                    }
-                    Fault::TornWrite => {
-                        torn_staged = true;
-                    }
-                    Fault::CorruptCheckpoint => {
-                        corrupt_staged = true;
-                    }
-                    Fault::ProcessKill { at_hours } => {
-                        kill = Some(KillEvent {
-                            at_hours,
-                            torn_write: torn_staged,
-                            corrupt_checkpoint: corrupt_staged,
-                        });
-                        inj_killed.store(true, Ordering::SeqCst);
-                        break;
-                    }
-                }
-            }
-            // Never leave a fault latched past the end of the plan: the
-            // sender and simulation must be able to drain and finish.
-            inj_down.store(false, Ordering::SeqCst);
-            let held = inj_store.lock().external_bytes();
-            if held > 0 {
-                inj_store.lock().release_external(held);
-            }
-            (reconnects, kill)
-        });
-
-        let (sim_min, sim_stalls, sim_crashes) = sim.join().expect("simulation thread");
-        sim_minutes = sim_min;
-        stalls = base_stalls + sim_stalls;
-        crashes = base_crashes + sim_crashes;
-        completed = sim_minutes >= mission.duration_minutes();
-        sender.join().expect("sender thread");
-        let (t, rendered) = viz.join().expect("viz thread");
-        track = t;
-        frames_rendered = rendered;
-        decisions = manager.join().expect("manager thread");
-        let (rc, kill) = injector.join().expect("injector thread");
-        reconnects = rc;
-        kill_event = kill;
-    })
-    .expect("pipeline thread panicked");
+    let out = EpochEngine::new(
+        setup,
+        ScaledClock {
+            scale: options.time_scale,
+        },
+        transport,
+        durability,
+        LiveInjector,
+    )
+    .run();
 
     std::fs::remove_file(&options.config_path).ok();
 
-    // Ledger-derived counters survive incarnations: the journal carries
-    // them across a kill, so conservation holds at the boundary.
-    let (frames_written, frames_shipped, frames_in_flight, final_free_disk_pct) = {
-        let st = store.lock();
-        (
-            st.frames_stored(),
-            st.frames_shipped(),
-            (st.pending_count() + st.in_flight_count()) as u64,
-            st.disk().free_percent(),
-        )
-    };
-
-    if completed {
-        if let Some(d) = &durable {
-            recovery::mark_completed(d);
-        }
-    }
-    let decisions = manager_state.lock().epochs.max(decisions);
-
+    let mut report = out.report;
+    // Replays/recovered frames performed while *booting* this incarnation
+    // belong to its report; the supervisor accumulates them across
+    // incarnations.
+    report.counters.journal_replays += boot_replays;
+    report.counters.frames_recovered += boot_recovered;
     OnlineReport {
-        sim_minutes,
-        frames_written,
-        frames_shipped,
-        frames_rendered,
-        frames_in_flight,
-        decisions,
-        stalls,
-        track,
-        completed,
-        crashes,
-        reconnects,
-        recoveries: 0,
-        journal_replays,
-        frames_recovered,
-        final_free_disk_pct,
-        kill: kill_event,
+        report,
+        kill: out.kill,
     }
 }
 
@@ -768,9 +261,7 @@ mod tests {
     fn live_pipeline_moves_real_frames_end_to_end() {
         let site = Site::inter_department();
         // Heavier decimation keeps encoded frames small and the test fast.
-        let mission = Mission::aila()
-            .with_duration_hours(2.0)
-            .with_decimation(16);
+        let mission = Mission::aila().with_duration_hours(2.0).with_decimation(16);
         let report = run_online(
             &site,
             &mission,
@@ -786,33 +277,29 @@ mod tests {
         let fix = report.track.fixes()[0];
         assert!((fix.lon - 88.0).abs() < 3.0);
         // Conservation: every written frame is shipped or still held.
-        assert_eq!(
-            report.frames_written,
-            report.frames_shipped + report.frames_in_flight,
-            "{report:?}"
-        );
+        crate::engine::assert_frame_conservation(&report);
     }
 
     #[test]
     fn disk_pressure_drives_the_critical_stall_path_end_to_end() {
         let site = Site::inter_department();
-        let mut mission = Mission::aila()
-            .with_duration_hours(3.0)
-            .with_decimation(16);
+        let mut mission = Mission::aila().with_duration_hours(3.0).with_decimation(16);
         // Tighter epochs so the manager reacts within the fault window.
-        mission.decision_interval_hours = 0.25;
+        // (On the unified engine the live pipeline runs on one modeled
+        // clock, so this mission completes in ~0.2 modeled wall hours.)
+        mission.decision_interval_hours = 0.05;
         // An external writer seizes essentially the whole disk shortly
         // after start and holds it long enough for several decision
         // epochs: the manager must observe free disk below the CRITICAL
         // threshold and write CRITICAL into the configuration file, the
-        // simulation process must stall on it, and once the space is
-        // released the manager clears the flag and the simulation resumes
-        // and completes the mission.
+        // simulation must stall on it, and once the space is released the
+        // manager clears the flag and the simulation resumes and
+        // completes the mission.
         let plan = FaultPlan::from_events(vec![(
-            0.2,
+            0.04,
             Fault::DiskPressure {
                 bytes: u64::MAX / 2,
-                duration_hours: 1.5,
+                duration_hours: 0.1,
             },
         )]);
         let report = run_online(
@@ -829,13 +316,18 @@ mod tests {
     #[test]
     fn injected_crash_and_outage_are_survived() {
         let site = Site::inter_department();
-        let mut mission = Mission::aila()
-            .with_duration_hours(2.0)
-            .with_decimation(16);
+        let mut mission = Mission::aila().with_duration_hours(2.0).with_decimation(16);
         mission.decision_interval_hours = 0.25;
+        // Both faults land inside the ~0.135 modeled wall hours the
+        // mission takes on the unified engine's modeled clock.
         let plan = FaultPlan::from_events(vec![
-            (0.1, Fault::SimCrash),
-            (0.3, Fault::ReceiverOutage { duration_hours: 0.5 }),
+            (0.02, Fault::SimCrash),
+            (
+                0.05,
+                Fault::ReceiverOutage {
+                    duration_hours: 0.02,
+                },
+            ),
         ]);
         let report = run_online(
             &site,
@@ -846,15 +338,16 @@ mod tests {
         assert!(report.completed, "{report:?}");
         assert_eq!(report.crashes, 1, "the crash was hit and recovered");
         assert_eq!(report.reconnects, 1, "the outage ended in a reconnect");
-        assert!(report.frames_rendered > 0, "frames still flowed: {report:?}");
+        assert!(
+            report.frames_rendered > 0,
+            "frames still flowed: {report:?}"
+        );
     }
 
     #[test]
     fn greedy_pipeline_also_runs() {
         let site = Site::intra_country();
-        let mission = Mission::aila()
-            .with_duration_hours(1.0)
-            .with_decimation(16);
+        let mission = Mission::aila().with_duration_hours(1.0).with_decimation(16);
         let report = run_online(
             &site,
             &mission,
@@ -868,36 +361,22 @@ mod tests {
     #[test]
     fn durable_pipeline_survives_a_kill_and_resumes_from_disk() {
         let site = Site::inter_department();
-        let mut mission = Mission::aila()
-            .with_duration_hours(2.0)
-            .with_decimation(16);
+        let mut mission = Mission::aila().with_duration_hours(2.0).with_decimation(16);
         mission.decision_interval_hours = 0.5;
         let state_dir = unique_dir("kill-resume");
-        let plan = FaultPlan::from_events(vec![(
-            0.1,
-            Fault::ProcessKill { at_hours: 0.1 },
-        )]);
+        // The StaticBaseline mission finishes in ~0.047 modeled wall
+        // hours; the kill must land mid-run, after the first checkpoints.
+        let plan = FaultPlan::from_events(vec![(0.02, Fault::ProcessKill { at_hours: 0.02 })]);
         let options = OnlineOptions::fast("kill-resume")
             .with_fault_plan(plan)
-            .with_durability(
-                DurabilityOptions::new(&state_dir).with_checkpoint_every_min(20.0),
-            );
-        let report = run_with_recovery(
-            &site,
-            &mission,
-            AlgorithmKind::StaticBaseline,
-            &options,
-        );
+            .with_durability(DurabilityOptions::new(&state_dir).with_checkpoint_every_min(20.0));
+        let report = run_with_recovery(&site, &mission, AlgorithmKind::StaticBaseline, &options);
         assert!(report.completed, "{report:?}");
         assert_eq!(report.recoveries, 1, "exactly one kill→restart: {report:?}");
         assert!(report.journal_replays >= 1, "{report:?}");
         assert!(report.frames_written > 0);
         // Conservation across the incarnation boundary.
-        assert_eq!(
-            report.frames_written,
-            report.frames_shipped + report.frames_in_flight,
-            "{report:?}"
-        );
+        crate::engine::assert_frame_conservation(&report);
         let _ = std::fs::remove_dir_all(&state_dir);
     }
 
@@ -910,9 +389,7 @@ mod tests {
     #[ignore = "slower end-to-end recovery drill; run with -- --ignored recovery_"]
     fn recovery_track_is_byte_identical_to_the_fault_free_run() {
         let site = Site::inter_department();
-        let mut mission = Mission::aila()
-            .with_duration_hours(3.0)
-            .with_decimation(16);
+        let mut mission = Mission::aila().with_duration_hours(3.0).with_decimation(16);
         mission.decision_interval_hours = 0.5;
 
         // Control: fault-free durable run.
@@ -931,10 +408,7 @@ mod tests {
         // Treatment: same mission, killed mid-run (a frame in flight is
         // likely), restarted by the supervisor.
         let state_dir = unique_dir("recovery-treatment");
-        let plan = FaultPlan::from_events(vec![(
-            0.12,
-            Fault::ProcessKill { at_hours: 0.12 },
-        )]);
+        let plan = FaultPlan::from_events(vec![(0.03, Fault::ProcessKill { at_hours: 0.03 })]);
         let treated = run_with_recovery(
             &site,
             &mission,
@@ -953,11 +427,7 @@ mod tests {
             control.track.to_csv(),
             "recovered track must be byte-identical to the fault-free track"
         );
-        assert_eq!(
-            treated.frames_written,
-            treated.frames_shipped + treated.frames_in_flight,
-            "conservation across the incarnation boundary: {treated:?}"
-        );
+        crate::engine::assert_frame_conservation(&treated);
         let _ = std::fs::remove_dir_all(&control_dir);
         let _ = std::fs::remove_dir_all(&state_dir);
     }
@@ -970,15 +440,13 @@ mod tests {
     #[ignore = "slower end-to-end recovery drill; run with -- --ignored recovery_"]
     fn recovery_survives_torn_journal_and_corrupt_checkpoint() {
         let site = Site::inter_department();
-        let mut mission = Mission::aila()
-            .with_duration_hours(2.5)
-            .with_decimation(16);
+        let mut mission = Mission::aila().with_duration_hours(2.5).with_decimation(16);
         mission.decision_interval_hours = 0.5;
         let state_dir = unique_dir("recovery-torn");
         let plan = FaultPlan::from_events(vec![
-            (0.08, Fault::TornWrite),
-            (0.09, Fault::CorruptCheckpoint),
-            (0.1, Fault::ProcessKill { at_hours: 0.1 }),
+            (0.012, Fault::TornWrite),
+            (0.014, Fault::CorruptCheckpoint),
+            (0.016, Fault::ProcessKill { at_hours: 0.016 }),
         ]);
         let report = run_with_recovery(
             &site,
@@ -992,11 +460,7 @@ mod tests {
         );
         assert!(report.completed, "{report:?}");
         assert_eq!(report.recoveries, 1, "{report:?}");
-        assert_eq!(
-            report.frames_written,
-            report.frames_shipped + report.frames_in_flight,
-            "{report:?}"
-        );
+        crate::engine::assert_frame_conservation(&report);
         let _ = std::fs::remove_dir_all(&state_dir);
     }
 }

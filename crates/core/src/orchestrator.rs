@@ -9,125 +9,60 @@
 //! checkpoint-restart penalty) whenever the configuration changes and
 //! stalls it on CRITICAL.
 //!
-//! Everything advances on the DES clock, so one 20–40-wall-hour
-//! experiment runs in well under a second while producing the exact time
-//! series of Figures 5–8: simulated-time progress, free-disk percentage,
+//! Since the unified-engine refactor this module is a thin *driver*: the
+//! loop itself lives in [`crate::engine`] and the [`Orchestrator`] merely
+//! instantiates it with the discrete-event environment —
+//! [`VirtualClock`], [`ModeledTransport`], [`NoDurability`],
+//! [`ModeledInjector`]. Everything
+//! advances on the DES clock, so one 20–40-wall-hour experiment runs in
+//! well under a second while producing the exact time series of
+//! Figures 5–8: simulated-time progress, free-disk percentage,
 //! visualization progress, processor count, and output interval — all
 //! against wall-clock time.
 
-use crate::config::ApplicationConfig;
-use crate::decision::{AlgorithmKind, BindingConstraint, RESUME_FREE_PERCENT};
-use crate::jobhandler::{JobHandler, SimProcessState};
-use crate::manager::{ApplicationManager, EpochContext};
-use crate::steering::{SteeringCommand, SteeringState};
+use crate::decision::AlgorithmKind;
+use crate::engine::{
+    EngineBoot, EngineSetup, EpochEngine, InProcessTransport, ModeledInjector, ModeledTransport,
+    NoDurability, PipelineOptions, PipelineReport, VirtualClock,
+};
+use crate::steering::SteeringCommand;
 
+pub use crate::engine::binding_code;
 pub use crate::fault::{Fault, FaultPlan};
 use cyclone::{Mission, Site};
-use des::{run_until_empty, EventId, Scheduler, Series, SeriesSet, SimTime};
-use perfmodel::ProcTable;
-use resources::{FrameStore, Network};
-use std::collections::HashMap;
-use wrf::WrfModel;
+use resources::{Disk, FrameStore, Network};
+use std::ops::{Deref, DerefMut};
 
-/// Knobs for one experiment run.
-#[derive(Debug, Clone)]
-pub struct RunOptions {
-    /// Give up (as the paper's dotted lines do) after this much wall time.
-    pub wall_cap_hours: f64,
-    /// Threads for the physics integrator (1 keeps runs deterministic and
-    /// is plenty for decimated grids).
-    pub physics_threads: usize,
-    /// Seed for the network-variability walk.
-    pub seed: u64,
-    /// Period of the stalled-disk re-check, wall seconds.
-    pub stall_probe_secs: f64,
-}
+/// Knobs for one experiment run. Since the unified-engine refactor this
+/// *is* the shared [`PipelineOptions`] — one source of defaults for the
+/// DES and live drivers.
+pub type RunOptions = PipelineOptions;
 
-impl Default for RunOptions {
-    fn default() -> Self {
-        RunOptions {
-            wall_cap_hours: 120.0,
-            physics_threads: 1,
-            seed: 42,
-            stall_probe_secs: 600.0,
-        }
-    }
-}
-
-/// Everything a run produces.
+/// Everything a run produces: the shared [`PipelineReport`] plus the
+/// experiment identity (algorithm, site). Derefs into the report (and
+/// transitively into [`crate::engine::PipelineCounters`]), so
+/// `out.frames_written`, `out.series`, `out.sim_rate_min_per_hour()` all
+/// read as before.
 #[derive(Debug, Clone)]
 pub struct RunOutcome {
     /// Algorithm that produced this run.
     pub algorithm: AlgorithmKind,
     /// Site label (`inter-department`, ...).
     pub site_label: &'static str,
-    /// True when the full mission was simulated before the wall cap.
-    pub completed: bool,
-    /// True when the run ended (capped) while stalled on disk space.
-    pub ended_stalled: bool,
-    /// Wall-clock hours consumed (to completion or the cap).
-    pub wall_hours: f64,
-    /// Simulated minutes reached.
-    pub sim_minutes: f64,
-    /// The figure time series (`sim_progress`, `free_disk_pct`,
-    /// `viz_progress`, `procs`, `output_interval`).
-    pub series: SeriesSet,
-    /// Frames written to the simulation-site disk.
-    pub frames_written: u64,
-    /// Frames whose transfer to the visualization site completed.
-    pub frames_shipped: u64,
-    /// Frames rendered at the visualization site.
-    pub frames_visualized: u64,
-    /// Frames dropped because the disk was completely full.
-    pub frames_dropped: u64,
-    /// Completed restarts (configuration/resolution changes).
-    pub restarts: u32,
-    /// Stall episodes.
-    pub stalls: u32,
-    /// Wall hours at the first stall, if the run ever stalled.
-    pub first_stall_wall_hours: Option<f64>,
-    /// Steering commands applied during the run.
-    pub steering_commands_applied: u32,
-    /// Lowest free-disk percentage ever observed.
-    pub min_free_disk_pct: f64,
-    /// Free-disk percentage at the end of the run.
-    pub final_free_disk_pct: f64,
-    /// Sender reconnects after receiver outages.
-    pub reconnects: u32,
-    /// Frames replayed (pushed back to the queue and re-sent) after a
-    /// lost connection.
-    pub replays: u64,
-    /// Simulation-process crashes injected (each costs a checkpoint
-    /// relaunch with a requeue penalty).
-    pub crashes: u32,
-    /// Decision epochs that ran under a badly degraded link (measured
-    /// bandwidth below a quarter of the best seen) — the store-and-
-    /// forward regime where the manager widens the output interval
-    /// rather than dropping frames.
-    pub degraded_epochs: u32,
-    /// Frames still on the simulation-site disk (pending or mid-
-    /// transfer) when the run ended; together with `frames_shipped` and
-    /// `frames_dropped` these account for every frame written.
-    pub frames_in_flight: u64,
-    /// Whole-pipeline kill→recover cycles (the recovery supervisor
-    /// rebuilding an incarnation from the journal and checkpoints).
-    pub recoveries: u32,
-    /// Write-ahead journal replays performed while recovering.
-    pub journal_replays: u32,
-    /// Frames that survived a process kill on the durable ledger and
-    /// were requeued for shipment by recovery.
-    pub frames_recovered: u64,
+    /// The shared engine report.
+    pub report: PipelineReport,
 }
 
-impl RunOutcome {
-    /// Average simulation rate over the run, simulated minutes per wall
-    /// hour.
-    pub fn sim_rate_min_per_hour(&self) -> f64 {
-        if self.wall_hours > 0.0 {
-            self.sim_minutes / self.wall_hours
-        } else {
-            0.0
-        }
+impl Deref for RunOutcome {
+    type Target = PipelineReport;
+    fn deref(&self) -> &PipelineReport {
+        &self.report
+    }
+}
+
+impl DerefMut for RunOutcome {
+    fn deref_mut(&mut self) -> &mut PipelineReport {
+        &mut self.report
     }
 }
 
@@ -138,225 +73,10 @@ pub struct Orchestrator {
     algorithm: AlgorithmKind,
     options: RunOptions,
     steering_script: Vec<(f64, SteeringCommand)>,
-    fault_script: Vec<(f64, Fault)>,
-}
-
-#[derive(Debug, Clone, PartialEq)]
-enum Ev {
-    /// One solve step finished.
-    Step,
-    /// One frame finished writing through parallel I/O.
-    FrameDone { sim_min: f64, bytes: u64 },
-    /// One frame finished crossing the network.
-    TransferDone { id: u64 },
-    /// The visualization process finished rendering a frame.
-    RenderDone { sim_min: f64 },
-    /// Application-manager decision epoch.
-    Decision,
-    /// Checkpoint-restart finished; the new configuration is live.
-    RestartDone,
-    /// Periodic re-check while stalled with a full disk.
-    StallProbe,
-    /// A scripted steering command from the visualization end arrives.
-    Steering(SteeringCommand),
-    /// A scripted resource fault strikes.
-    Fault(Fault),
-    /// A receiver outage ends; the resilient sender reconnects and
-    /// replays whatever is pending.
-    ReceiverRestored,
-    /// An external writer releases seized disk space.
-    ExternalRelease { bytes: u64 },
-}
-
-struct World {
-    site: Site,
-    mission: Mission,
-    options: RunOptions,
-    manager: ApplicationManager,
-    handler: JobHandler,
-    model: WrfModel,
-    store: FrameStore,
-    net: Network,
-    config: ApplicationConfig,
-    pending_config: Option<ApplicationConfig>,
-    next_output_min: f64,
-    io_pending: bool,
-    sender_busy: bool,
-    step_event: Option<EventId>,
-    /// The in-flight transfer's (event, frame id), so a receiver outage
-    /// can cancel it and push the frame back to pending.
-    transfer_event: Option<(EventId, u64)>,
-    /// Nesting depth of overlapping receiver outages (0 = reachable).
-    outage_depth: u32,
-    /// Link degradation the faults intend, independent of outages (the
-    /// value restored when the receiver comes back).
-    link_factor: f64,
-    completed: bool,
-    tables: HashMap<(u64, bool), ProcTable>,
-    // Series.
-    sim_progress: Series,
-    free_disk: Series,
-    viz_progress: Series,
-    procs_series: Series,
-    oi_series: Series,
-    binding_series: Series,
-    // Counters.
-    frames_dropped: u64,
-    frames_visualized: u64,
-    min_free_pct: f64,
-    first_stall: Option<f64>,
-    steering: SteeringState,
-    reconnects: u32,
-    replays: u64,
-    crashes: u32,
-    recoveries: u32,
-    journal_replays: u32,
-    frames_recovered: u64,
-    /// A [`Fault::TornWrite`] is staged to land with the next kill.
-    torn_staged: bool,
-    /// A [`Fault::CorruptCheckpoint`] is staged to land with the next
-    /// kill (recovery then falls back to an older checkpoint, which
-    /// costs extra re-simulation).
-    corrupt_staged: bool,
-}
-
-impl World {
-    fn proc_table(&mut self, res_km: f64, nest: bool) -> &ProcTable {
-        let key = (res_km.to_bits(), nest);
-        let (site, mission) = (&self.site, &self.mission);
-        self.tables
-            .entry(key)
-            .or_insert_with(|| site.proc_table(mission, res_km, nest))
-    }
-
-    /// Wall seconds per solve step under the active configuration.
-    fn step_wall_secs(&mut self) -> f64 {
-        let (res, nest, procs) = (
-            self.config.resolution_km,
-            self.config.nest_active,
-            self.config.num_procs,
-        );
-        let table = self.proc_table(res, nest);
-        table
-            .time_for(procs)
-            .unwrap_or_else(|| table.procs_closest_to_time(f64::INFINITY).1)
-    }
-
-    fn frame_bytes(&self) -> u64 {
-        self.mission
-            .frame_bytes(self.config.resolution_km, self.config.nest_active)
-    }
-
-    fn io_secs(&self) -> f64 {
-        self.site.cluster.io_time(self.frame_bytes())
-    }
-
-    /// Estimated remaining wall time (the LP's overflow horizon `n`).
-    ///
-    /// Deliberately pessimistic: the pressure schedule will refine the
-    /// grid toward its finest stage, where steps are smaller *and* each
-    /// costs more, so the remaining mission is costed at the finest
-    /// resolution with the nest active. A horizon estimated from the
-    /// current (coarse) stage would let the early epochs write far too
-    /// eagerly — the greedy algorithm's exact failure mode.
-    fn horizon_secs(&mut self) -> f64 {
-        let remaining_min = (self.mission.duration_minutes() - self.model.sim_minutes()).max(0.0);
-        let finest = self.mission.schedule.finest_km();
-        let dt = self.mission.dt_secs(finest);
-        let steps = remaining_min * 60.0 / dt;
-        // Cost the horizon at *maximum* cores, independent of the current
-        // allocation: if it tracked the chosen processor count, slowing
-        // down would lengthen the horizon, which tightens the overflow
-        // constraint, which slows down further — a death spiral.
-        let t = self.proc_table(finest, true).min_time();
-        (steps * t).max(self.mission.decision_interval_hours * 3600.0)
-    }
-
-    fn record_disk(&mut self, now: SimTime) {
-        let pct = self.store.disk().free_percent();
-        self.min_free_pct = self.min_free_pct.min(pct);
-        self.free_disk.record(now, pct);
-    }
-
-    fn record_config(&mut self, now: SimTime) {
-        self.procs_series.record(now, self.config.num_procs as f64);
-        self.oi_series.record(now, self.config.output_interval_min);
-    }
-
-    fn record_sim(&mut self, now: SimTime) {
-        self.sim_progress.record(now, self.model.sim_minutes());
-    }
-
-    /// Remember when the first stall happened (for the non-adaptive-
-    /// baseline comparison: "stalls much earlier").
-    fn note_stall(&mut self, now: SimTime) {
-        if self.first_stall.is_none() {
-            self.first_stall = Some(now.as_hours());
-        }
-    }
-
-    /// Start the next transfer if the link is free, the receiver is
-    /// reachable, and frames are waiting.
-    fn kick_sender(&mut self, sched: &mut Scheduler<Ev>) {
-        if self.sender_busy || self.outage_depth > 0 || !self.store.has_pending() {
-            return;
-        }
-        let meta = self.store.begin_transfer().expect("pending checked");
-        self.net.step();
-        let secs = self.net.transfer_time(meta.bytes);
-        self.sender_busy = true;
-        let id = sched.schedule_in(secs, Ev::TransferDone { id: meta.id });
-        self.transfer_event = Some((id, meta.id));
-    }
-
-    /// Push the faults' intended link state onto the network model: a
-    /// down receiver reads as an (effectively) dead link so the bandwidth
-    /// probe and the decision algorithm see the outage through their
-    /// ordinary observations.
-    fn apply_link(&mut self) {
-        let factor = if self.outage_depth > 0 {
-            1e-6
-        } else {
-            self.link_factor
-        };
-        self.net.set_degradation(factor);
-    }
-
-    /// Schedule the next solve step.
-    fn schedule_step(&mut self, sched: &mut Scheduler<Ev>) {
-        debug_assert!(self.handler.is_running());
-        debug_assert!(!self.io_pending);
-        let t = self.step_wall_secs();
-        self.step_event = Some(sched.schedule_in(t, Ev::Step));
-    }
-
-    fn cancel_step(&mut self, sched: &mut Scheduler<Ev>) {
-        if let Some(id) = self.step_event.take() {
-            sched.cancel(id);
-        }
-    }
-
-    /// Begin a checkpoint-stop-restart with `next` as the target
-    /// configuration.
-    fn begin_restart(&mut self, next: ApplicationConfig, sched: &mut Scheduler<Ev>) {
-        self.cancel_step(sched);
-        self.handler.begin_restart();
-        self.pending_config = Some(next);
-        sched.schedule_in(self.site.cluster.restart_overhead_secs, Ev::RestartDone);
-    }
-
-    /// The pressure schedule's prescription given the current state
-    /// (with coarsening hysteresis — see
-    /// [`cyclone::ResolutionSchedule::apply_with_hysteresis`]).
-    fn scheduled_resolution(&self) -> (f64, bool) {
-        let p = self.model.min_pressure_hpa();
-        let scheduled = self.mission.schedule.apply_with_hysteresis(
-            p,
-            self.config.resolution_km,
-            self.config.nest_active,
-        );
-        self.steering.effective_resolution(scheduled)
-    }
+    /// When set, run with real encoded frames over an ideal link into an
+    /// in-process visualization (capacity, bandwidth) — the DES half of
+    /// the DES↔live parity harness.
+    live_emission: Option<(u64, f64)>,
 }
 
 impl Orchestrator {
@@ -368,7 +88,7 @@ impl Orchestrator {
             algorithm,
             options: RunOptions::default(),
             steering_script: Vec::new(),
-            fault_script: Vec::new(),
+            live_emission: None,
         }
     }
 
@@ -393,14 +113,24 @@ impl Orchestrator {
     /// through their ordinary observations (the bandwidth probe sees a
     /// degraded link at the next epoch and re-plans).
     pub fn with_faults(mut self, script: Vec<(f64, Fault)>) -> Self {
-        self.fault_script = script;
+        self.options.fault_plan = FaultPlan::from_events(script);
         self
     }
 
     /// Script a whole [`FaultPlan`] (e.g. a seeded-random one from
     /// [`FaultPlan::random`]).
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
-        self.fault_script = plan.events;
+        self.options.fault_plan = plan;
+        self
+    }
+
+    /// Emit *real* encoded frames (the live pipeline's emission path —
+    /// same frame bytes, same track ingestion) instead of modeled byte
+    /// counts, against a `disk_capacity`-byte disk and an ideal
+    /// `bandwidth_bps` link. The run still advances on the virtual
+    /// clock; this is the DES half of the DES↔live parity harness.
+    pub fn with_live_emission(mut self, disk_capacity: u64, bandwidth_bps: f64) -> Self {
+        self.live_emission = Some((disk_capacity, bandwidth_bps));
         self
     }
 
@@ -413,572 +143,67 @@ impl Orchestrator {
             algorithm,
             options,
             steering_script,
-            fault_script,
+            live_emission,
         } = self;
-        let model = WrfModel::new(mission.model).expect("mission model config is valid");
-        let store = FrameStore::new(site.make_disk());
-        let net = site.make_network(options.seed);
-        let initial = ApplicationConfig::initial(
-            site.cluster.max_cores,
-            mission.min_output_interval_min,
-            mission.model.resolution_km,
-        );
-        let min_oi = mission.min_output_interval_min;
-
-        let mut world = World {
-            manager: ApplicationManager::new(algorithm),
-            handler: JobHandler::new(),
-            model,
-            store,
-            net,
-            config: initial,
-            pending_config: None,
-            next_output_min: min_oi,
-            io_pending: false,
-            sender_busy: false,
-            step_event: None,
-            transfer_event: None,
-            outage_depth: 0,
-            link_factor: 1.0,
-            completed: false,
-            tables: HashMap::new(),
-            sim_progress: Series::new("sim_progress"),
-            free_disk: Series::new("free_disk_pct"),
-            viz_progress: Series::new("viz_progress"),
-            procs_series: Series::new("procs"),
-            oi_series: Series::new("output_interval"),
-            binding_series: Series::new("binding_constraint"),
-            frames_dropped: 0,
-            frames_visualized: 0,
-            min_free_pct: 100.0,
-            first_stall: None,
-            steering: SteeringState::new(),
-            reconnects: 0,
-            replays: 0,
-            crashes: 0,
-            recoveries: 0,
-            journal_replays: 0,
-            frames_recovered: 0,
-            torn_staged: false,
-            corrupt_staged: false,
-            site,
-            mission,
-            options,
-        };
-
-        let mut sched: Scheduler<Ev> = Scheduler::new();
-        // Epoch zero runs before the simulation starts (the optimization
-        // method "adapts the frequency of output to the best possible
-        // value ... from the beginning of the simulations"), with no
-        // restart penalty — it *is* the starting configuration.
-        for (wall_hours, cmd) in steering_script {
-            sched.schedule_at(SimTime::from_hours(wall_hours.max(0.0)), Ev::Steering(cmd));
-        }
-        for (wall_hours, fault) in fault_script {
-            sched.schedule_at(SimTime::from_hours(wall_hours.max(0.0)), Ev::Fault(fault));
-        }
-        initial_epoch(&mut world);
-        world.next_output_min = world.config.output_interval_min;
-        world.record_config(SimTime::ZERO);
-        world.record_disk(SimTime::ZERO);
-        world.record_sim(SimTime::ZERO);
-        world.schedule_step(&mut sched);
-        sched.schedule_at(
-            SimTime::from_hours(world.mission.decision_interval_hours),
-            Ev::Decision,
-        );
-
-        let wall_cap = SimTime::from_hours(world.options.wall_cap_hours);
-        run_until_empty(&mut sched, &mut world, |w, now, ev, sched| {
-            if now > wall_cap {
-                return false;
+        let site_label = site.label;
+        let report = match live_emission {
+            None => {
+                let store = FrameStore::new(site.make_disk());
+                let net = site.make_network(options.seed);
+                let setup = EngineSetup {
+                    site,
+                    mission,
+                    algorithm,
+                    options,
+                    store,
+                    net,
+                    steering_script,
+                    publish_config: None,
+                    drain_on_complete: false,
+                    boot: EngineBoot::default(),
+                };
+                EpochEngine::new(
+                    setup,
+                    VirtualClock,
+                    ModeledTransport,
+                    NoDurability,
+                    ModeledInjector,
+                )
+                .run()
+                .report
             }
-            handle(w, now, ev, sched)
-        });
-
-        let ended_stalled = world.handler.state() == SimProcessState::Stalled;
-        let final_free = world.store.disk().free_percent();
+            Some((capacity, bandwidth_bps)) => {
+                // Mirror the live driver's sizing: plan decisions in
+                // real-frame multiples of the scaled-down disk.
+                let transport = InProcessTransport::new((capacity / 12).max(1));
+                let setup = EngineSetup {
+                    site,
+                    mission,
+                    algorithm,
+                    options,
+                    store: FrameStore::new(Disk::new(capacity)),
+                    net: Network::ideal(bandwidth_bps),
+                    steering_script,
+                    publish_config: None,
+                    drain_on_complete: true,
+                    boot: EngineBoot::default(),
+                };
+                EpochEngine::new(
+                    setup,
+                    VirtualClock,
+                    transport,
+                    NoDurability,
+                    ModeledInjector,
+                )
+                .run()
+                .report
+            }
+        };
         RunOutcome {
             algorithm,
-            site_label: world.site.label,
-            completed: world.completed,
-            ended_stalled,
-            wall_hours: if world.completed {
-                world
-                    .sim_progress
-                    .points
-                    .last()
-                    .map(|&(t, _)| t / 3600.0)
-                    .unwrap_or(0.0)
-            } else {
-                world.options.wall_cap_hours
-            },
-            sim_minutes: world.model.sim_minutes(),
-            frames_written: world.store.frames_stored(),
-            frames_shipped: world.store.frames_shipped(),
-            frames_visualized: world.frames_visualized,
-            frames_dropped: world.frames_dropped,
-            restarts: world.handler.restarts(),
-            stalls: world.handler.stalls(),
-            first_stall_wall_hours: world.first_stall,
-            steering_commands_applied: world.steering.commands_applied,
-            min_free_disk_pct: world.min_free_pct,
-            final_free_disk_pct: final_free,
-            reconnects: world.reconnects,
-            replays: world.replays,
-            crashes: world.crashes,
-            recoveries: world.recoveries,
-            journal_replays: world.journal_replays,
-            frames_recovered: world.frames_recovered,
-            degraded_epochs: world.manager.degraded_epochs(),
-            frames_in_flight: (world.store.pending_count() + world.store.in_flight_count())
-                as u64,
-            series: {
-                let mut s = SeriesSet::new();
-                s.push(world.sim_progress);
-                s.push(world.free_disk);
-                s.push(world.viz_progress);
-                s.push(world.procs_series);
-                s.push(world.oi_series);
-                s.push(world.binding_series);
-                s
-            },
+            site_label,
+            report,
         }
-    }
-}
-
-/// One DES event. Returns false to halt the run.
-fn handle(w: &mut World, now: SimTime, ev: Ev, sched: &mut Scheduler<Ev>) -> bool {
-    match ev {
-        Ev::Step => {
-            w.step_event = None;
-            w.model
-                .advance_steps(1, w.options.physics_threads)
-                .expect("integrator stays finite on mission configurations");
-            w.record_sim(now);
-
-            if w.model.sim_minutes() >= w.mission.duration_minutes() {
-                w.completed = true;
-                return false; // Mission accomplished; the figures end here.
-            }
-
-            // The pressure schedule may prescribe a reconfiguration
-            // ("whenever WRF finds the values of its certain variables
-            // drop below a certain threshold, it stops and the job handler
-            // reschedules it").
-            let (res, nest) = w.scheduled_resolution();
-            if res != w.config.resolution_km || nest != w.config.nest_active {
-                let mut next = w.config.clone();
-                next.resolution_km = res;
-                next.nest_active = nest;
-                w.begin_restart(next, sched);
-                return true;
-            }
-
-            if w.model.sim_minutes() + 1e-9 >= w.next_output_min {
-                // Write a history frame; I/O blocks the solver.
-                w.io_pending = true;
-                let bytes = w.frame_bytes();
-                sched.schedule_in(
-                    w.io_secs(),
-                    Ev::FrameDone {
-                        sim_min: w.model.sim_minutes(),
-                        bytes,
-                    },
-                );
-            } else {
-                w.schedule_step(sched);
-            }
-        }
-
-        Ev::FrameDone { sim_min, bytes } => {
-            w.io_pending = false;
-            match w.store.store(sim_min, bytes) {
-                Ok(_) => {
-                    w.next_output_min = sim_min + w.config.output_interval_min;
-                    w.kick_sender(sched);
-                }
-                Err(_) => {
-                    // Disk completely full: drop the frame and stall until
-                    // transfers free space.
-                    w.frames_dropped += 1;
-                    if w.handler.state() != SimProcessState::Stalled {
-                        w.handler.stall();
-                        w.note_stall(now);
-                        sched.schedule_in(w.options.stall_probe_secs, Ev::StallProbe);
-                    }
-                }
-            }
-            w.record_disk(now);
-            if w.handler.is_running() {
-                w.schedule_step(sched);
-            }
-        }
-
-        Ev::TransferDone { id } => {
-            w.sender_busy = false;
-            w.transfer_event = None;
-            let meta = w
-                .store
-                .complete_transfer(id)
-                .expect("transfer was begun by kick_sender");
-            w.record_disk(now);
-            sched.schedule_in(
-                w.site.render_secs_per_frame,
-                Ev::RenderDone {
-                    sim_min: meta.sim_minutes,
-                },
-            );
-            w.kick_sender(sched);
-            // Freed space may un-stall the simulation.
-            maybe_resume(w, sched);
-        }
-
-        Ev::RenderDone { sim_min } => {
-            w.frames_visualized += 1;
-            w.viz_progress.record(now, sim_min);
-        }
-
-        Ev::Decision => {
-            if w.completed {
-                return true;
-            }
-            let horizon = w.horizon_secs();
-            let (res, nest) = (w.config.resolution_km, w.config.nest_active);
-            let frame_bytes = w.frame_bytes();
-            let io_secs = w.io_secs();
-            let dt = w.model.dt_secs();
-            let (min_oi, max_oi) = (
-                w.mission.min_output_interval_min,
-                w.steering.effective_max_oi(
-                    w.mission.min_output_interval_min,
-                    w.mission.max_output_interval_min,
-                ),
-            );
-            // Split borrows: the table lives in a map on `w`; clone it so
-            // the manager can borrow the rest of the world.
-            let table = w.proc_table(res, nest).clone();
-            let ctx = EpochContext {
-                frame_bytes,
-                io_secs_per_frame: io_secs,
-                proc_table: &table,
-                dt_sim_secs: dt,
-                min_oi_min: min_oi,
-                max_oi_min: max_oi,
-                horizon_secs: horizon,
-            };
-            let next = w
-                .manager
-                .epoch(w.store.disk(), &mut w.net, &ctx, &w.config);
-            if let Some(binding) = w.manager.last_binding() {
-                w.binding_series.record(now, binding_code(binding));
-            }
-            w.record_disk(now);
-
-            match w.handler.state() {
-                SimProcessState::Running => {
-                    if next.critical {
-                        w.cancel_step(sched);
-                        w.handler.stall();
-                        w.note_stall(now);
-                        w.config.critical = true;
-                    } else if w.config.requires_restart(&next) {
-                        w.begin_restart(next, sched);
-                    }
-                }
-                SimProcessState::Stalled => {
-                    if !next.critical
-                        && w.store.disk().free_percent() >= RESUME_FREE_PERCENT
-                    {
-                        w.handler.resume();
-                        w.config.critical = false;
-                        if w.config.requires_restart(&next) {
-                            w.begin_restart(next, sched);
-                        } else if !w.io_pending {
-                            w.schedule_step(sched);
-                        }
-                    }
-                }
-                SimProcessState::Restarting => {
-                    // A restart is in flight; the next epoch will see the
-                    // new configuration.
-                }
-            }
-            w.record_config(now);
-            sched.schedule_in(
-                w.mission.decision_interval_hours * 3600.0,
-                Ev::Decision,
-            );
-        }
-
-        Ev::RestartDone => {
-            let next = w
-                .pending_config
-                .take()
-                .expect("restart completion implies a pending configuration");
-            if next.resolution_km != w.config.resolution_km {
-                w.model
-                    .set_resolution(next.resolution_km)
-                    .expect("schedule resolutions are valid");
-            }
-            if next.nest_active && !w.model.has_nest() {
-                w.model.spawn_nest();
-            } else if !next.nest_active && w.model.has_nest() {
-                w.model.despawn_nest();
-            }
-            let critical = w.config.critical;
-            w.config = next;
-            w.config.critical = critical;
-            w.handler.finish_restart();
-            w.record_config(now);
-            if critical {
-                // Came up stalled (CRITICAL still set).
-                w.handler.stall();
-                w.note_stall(now);
-            } else if !w.io_pending {
-                w.schedule_step(sched);
-            }
-            // A kill aborts the in-flight transfer; the relaunched
-            // incarnation's sender resumes shipment (no-op when a
-            // transfer is already running or nothing is pending).
-            w.kick_sender(sched);
-        }
-
-        Ev::Steering(cmd) => {
-            w.steering.apply(cmd);
-            // Respond immediately where the command demands it: a tighter
-            // temporal-resolution cap than the running interval, or a
-            // resolution pin different from the live grid, triggers a
-            // reconfiguration right away (when the process is running and
-            // not already mid-restart).
-            if w.handler.is_running() && !w.completed {
-                let mut next = w.config.clone();
-                let cap = w.steering.effective_max_oi(
-                    w.mission.min_output_interval_min,
-                    w.mission.max_output_interval_min,
-                );
-                if next.output_interval_min > cap {
-                    next.output_interval_min = cap;
-                }
-                let (res, nest_active) = w.scheduled_resolution();
-                next.resolution_km = res;
-                next.nest_active = nest_active;
-                if w.config.requires_restart(&next) {
-                    w.begin_restart(next, sched);
-                }
-            }
-        }
-
-        Ev::Fault(fault) => match fault {
-            Fault::LinkDegradation { factor } => {
-                w.link_factor = factor;
-                w.apply_link();
-            }
-            Fault::BandwidthFlap {
-                factor,
-                half_period_hours,
-                flips,
-            } => {
-                // Toggle between degraded and healthy, and re-arm until
-                // the flip budget is spent.
-                w.link_factor = if (w.link_factor - factor).abs() < 1e-12 {
-                    1.0
-                } else {
-                    factor
-                };
-                w.apply_link();
-                if flips > 1 {
-                    sched.schedule_in(
-                        half_period_hours.max(1e-3) * 3600.0,
-                        Ev::Fault(Fault::BandwidthFlap {
-                            factor,
-                            half_period_hours,
-                            flips: flips - 1,
-                        }),
-                    );
-                }
-            }
-            Fault::DiskPressure {
-                bytes,
-                duration_hours,
-            } => {
-                let got = w.store.seize_external(bytes);
-                w.record_disk(now);
-                if got > 0 {
-                    sched.schedule_in(
-                        duration_hours.max(1e-3) * 3600.0,
-                        Ev::ExternalRelease { bytes: got },
-                    );
-                }
-            }
-            Fault::ReceiverOutage { duration_hours } => {
-                w.outage_depth += 1;
-                w.apply_link();
-                // Whatever was mid-transfer is lost with the connection;
-                // the frame goes back to the head of the queue and will be
-                // replayed from the last acked frame once the receiver is
-                // back (its bytes were never freed, so no data is lost).
-                if let Some((event, frame_id)) = w.transfer_event.take() {
-                    sched.cancel(event);
-                    w.sender_busy = false;
-                    w.store
-                        .abort_transfer(frame_id)
-                        .expect("transfer was in flight");
-                    w.replays += 1;
-                }
-                sched.schedule_in(duration_hours.max(1e-3) * 3600.0, Ev::ReceiverRestored);
-            }
-            Fault::SimCrash => {
-                // The solver process dies; the job handler relaunches it
-                // from the last checkpoint. Modeled as a restart with a
-                // requeue penalty on top of the ordinary restart overhead
-                // (crash-time requeues wait in the batch queue).
-                w.crashes += 1;
-                if w.handler.state() != SimProcessState::Restarting && !w.completed {
-                    let stalled = w.handler.state() == SimProcessState::Stalled;
-                    w.cancel_step(sched);
-                    w.handler.begin_restart();
-                    w.pending_config = Some(w.config.clone());
-                    let penalty = 3.0 * w.site.cluster.restart_overhead_secs;
-                    sched.schedule_in(penalty, Ev::RestartDone);
-                    if stalled {
-                        // Preserve the CRITICAL stall across the relaunch.
-                        w.config.critical = true;
-                    }
-                }
-            }
-            Fault::TornWrite => {
-                w.torn_staged = true;
-            }
-            Fault::CorruptCheckpoint => {
-                w.corrupt_staged = true;
-            }
-            Fault::ProcessKill { .. } => {
-                // `kill -9` of the whole simulation-site pipeline. The
-                // durable ledger (journal + payload files + checkpoints)
-                // survives; everything volatile — the in-flight transfer,
-                // the scheduled step — dies with the process. The
-                // recovery supervisor replays the journal, requeues what
-                // was pending, and relaunches from the newest valid
-                // checkpoint.
-                if w.handler.state() != SimProcessState::Restarting && !w.completed {
-                    w.recoveries += 1;
-                    w.journal_replays += 1;
-                    if let Some((event, frame_id)) = w.transfer_event.take() {
-                        sched.cancel(event);
-                        w.sender_busy = false;
-                        w.store
-                            .abort_transfer(frame_id)
-                            .expect("transfer was in flight");
-                        w.replays += 1;
-                    }
-                    w.frames_recovered +=
-                        (w.store.pending_count() + w.store.in_flight_count()) as u64;
-                    let stalled = w.handler.state() == SimProcessState::Stalled;
-                    w.cancel_step(sched);
-                    w.handler.begin_restart();
-                    w.pending_config = Some(w.config.clone());
-                    // Crash-requeue penalty, plus extra re-simulation when
-                    // the newest checkpoint was corrupt and recovery had
-                    // to fall back to an older one. A torn journal tail
-                    // only loses the uncommitted record — replay truncates
-                    // it at no modeled cost.
-                    let mut penalty = 3.0 * w.site.cluster.restart_overhead_secs;
-                    if w.corrupt_staged {
-                        penalty += 2.0 * w.site.cluster.restart_overhead_secs;
-                    }
-                    w.torn_staged = false;
-                    w.corrupt_staged = false;
-                    sched.schedule_in(penalty, Ev::RestartDone);
-                    if stalled {
-                        w.config.critical = true;
-                    }
-                }
-            }
-        },
-
-        Ev::ReceiverRestored => {
-            w.outage_depth = w.outage_depth.saturating_sub(1);
-            if w.outage_depth == 0 {
-                w.apply_link();
-                // The resilient sender re-establishes the connection and
-                // resumes from the receiver's last-applied frame.
-                w.reconnects += 1;
-                w.kick_sender(sched);
-            }
-        }
-
-        Ev::ExternalRelease { bytes } => {
-            w.store.release_external(bytes);
-            w.record_disk(now);
-            maybe_resume(w, sched);
-        }
-
-        Ev::StallProbe => {
-            if w.handler.state() == SimProcessState::Stalled
-                && !maybe_resume(w, sched) {
-                    sched.schedule_in(w.options.stall_probe_secs, Ev::StallProbe);
-                }
-        }
-    }
-    true
-}
-
-/// Numeric code for a binding constraint so it fits a time series
-/// (0 machine, 1 disk, 2 visualization, 3 infeasible).
-pub fn binding_code(b: BindingConstraint) -> f64 {
-    match b {
-        BindingConstraint::MachineBound => 0.0,
-        BindingConstraint::DiskBound => 1.0,
-        BindingConstraint::VisualizationBound => 2.0,
-        BindingConstraint::InfeasibleSafeCorner => 3.0,
-    }
-}
-
-/// Epoch zero: decide the starting configuration (applied directly, no
-/// restart — the simulation has not been launched yet).
-fn initial_epoch(w: &mut World) {
-    let horizon = w.horizon_secs();
-    let (res, nest) = (w.config.resolution_km, w.config.nest_active);
-    let frame_bytes = w.frame_bytes();
-    let io_secs = w.io_secs();
-    let dt = w.model.dt_secs();
-    let (min_oi, max_oi) = (
-        w.mission.min_output_interval_min,
-        w.steering.effective_max_oi(
-            w.mission.min_output_interval_min,
-            w.mission.max_output_interval_min,
-        ),
-    );
-    let table = w.proc_table(res, nest).clone();
-    let ctx = EpochContext {
-        frame_bytes,
-        io_secs_per_frame: io_secs,
-        proc_table: &table,
-        dt_sim_secs: dt,
-        min_oi_min: min_oi,
-        max_oi_min: max_oi,
-        horizon_secs: horizon,
-    };
-    let next = w.manager.epoch(w.store.disk(), &mut w.net, &ctx, &w.config);
-    debug_assert!(!next.critical, "a fresh disk cannot be critical");
-    w.config = next;
-}
-
-/// Resume a stalled simulation once enough disk has been freed. Returns
-/// true when the simulation resumed.
-fn maybe_resume(w: &mut World, sched: &mut Scheduler<Ev>) -> bool {
-    if w.handler.state() == SimProcessState::Stalled
-        && w.store.disk().free_percent() >= RESUME_FREE_PERCENT
-    {
-        w.handler.resume();
-        w.config.critical = false;
-        if !w.io_pending {
-            w.schedule_step(sched);
-        }
-        true
-    } else {
-        false
     }
 }
 
@@ -1002,8 +227,8 @@ mod tests {
         assert!(!out.ended_stalled);
         assert_eq!(out.sim_minutes, out.sim_minutes.max(180.0));
         assert!(out.frames_written > 0);
-        assert!(out.frames_visualized > 0);
-        assert!(out.frames_visualized <= out.frames_shipped);
+        assert!(out.frames_rendered > 0);
+        assert!(out.frames_rendered <= out.frames_shipped);
         assert!(out.frames_shipped <= out.frames_written);
         assert!(out.sim_rate_min_per_hour() > 0.0);
     }
@@ -1030,7 +255,10 @@ mod tests {
         .run();
         let sim = out.series.get("sim_progress").unwrap();
         assert!(!sim.is_empty());
-        assert!(sim.is_monotone_non_decreasing(), "simulated time never rewinds");
+        assert!(
+            sim.is_monotone_non_decreasing(),
+            "simulated time never rewinds"
+        );
         let viz = out.series.get("viz_progress").unwrap();
         assert!(
             viz.is_monotone_non_decreasing(),
@@ -1098,21 +326,17 @@ mod tests {
         // just the manager's CRITICAL) must engage.
         let mut site = Site::cross_continent();
         site.disk_gb = 0.3; // 300 MB vs ≈136 MB frames
-        let out = Orchestrator::new(
-            site,
-            short_mission(6.0),
-            AlgorithmKind::StaticBaseline,
-        )
-        .with_options(RunOptions {
-            wall_cap_hours: 6.0,
-            ..Default::default()
-        })
-        .run();
+        let out = Orchestrator::new(site, short_mission(6.0), AlgorithmKind::StaticBaseline)
+            .with_options(RunOptions {
+                wall_cap_hours: 6.0,
+                ..Default::default()
+            })
+            .run();
         assert!(out.frames_dropped > 0, "{out:?}");
         assert!(out.stalls >= 1, "emergency stall engaged");
         assert!(out.first_stall_wall_hours.is_some());
         // Accounting still conserves frames.
-        assert!(out.frames_dropped + out.frames_shipped <= out.frames_written + out.frames_dropped);
+        crate::engine::assert_frame_conservation(&out);
     }
 
     #[test]
@@ -1216,11 +440,7 @@ mod tests {
         assert_eq!(killed.journal_replays, 1);
         // Nothing written before the kill was lost: every frame is
         // shipped, dropped, or still held at the end.
-        assert_eq!(
-            killed.frames_written,
-            killed.frames_shipped + killed.frames_dropped + killed.frames_in_flight,
-            "conservation across the kill: {killed:?}"
-        );
+        crate::engine::assert_frame_conservation(&killed);
         // The kill costs wall time (requeue + replay), never progress.
         assert!(killed.wall_hours >= free.wall_hours);
         assert_eq!(killed.sim_minutes, free.sim_minutes);

@@ -15,7 +15,8 @@
 //!   receiver.acp           visualization site: applied watermark + track
 //! ```
 //!
-//! On startup [`bootstrap`] detects a prior incarnation (manifest present,
+//! On startup the (crate-internal) `bootstrap` step detects a prior
+//! incarnation (manifest present,
 //! not marked completed), replays the journal into a rebuilt
 //! [`FrameStore`], loads the newest *valid* checkpoint (falling back past
 //! corrupt ones, to a cold start if none survive), reconciles the ledger
@@ -219,7 +220,8 @@ fn parse_checkpoint(payload: &[u8]) -> Option<(CheckpointMeta, WrfModel)> {
     if rest.len() < meta_len {
         return None;
     }
-    let meta: CheckpointMeta = serde_json::from_str(std::str::from_utf8(&rest[..meta_len]).ok()?).ok()?;
+    let meta: CheckpointMeta =
+        serde_json::from_str(std::str::from_utf8(&rest[..meta_len]).ok()?).ok()?;
     let model = WrfModel::restore(&rest[meta_len..]).ok()?;
     Some((meta, model))
 }
@@ -469,9 +471,7 @@ pub(crate) fn bootstrap(d: &DurabilityOptions, disk_capacity: u64) -> io::Result
         boot.frames_recovered = boot.payloads.len() as u64;
 
         // Newest valid checkpoint, falling back past corrupt ones.
-        if let Some((meta, model, _seq, skipped)) =
-            load_newest_checkpoint(&d.checkpoints_dir())
-        {
+        if let Some((meta, model, _seq, skipped)) = load_newest_checkpoint(&d.checkpoints_dir()) {
             boot.next_output_min = Some(meta.next_output_min);
             boot.config = Some(meta.config.clone());
             boot.manager = Some(meta.manager);
@@ -504,7 +504,7 @@ const MAX_INCARNATIONS: u64 = 16;
 /// incarnation is killed, stage any torn-write / corrupt-checkpoint
 /// damage the fault plan scripted, strip the already-fired fault events,
 /// and relaunch from disk — until the mission completes (or the restart
-/// cap trips). Requires `options.durability` to be set.
+/// cap trips). Requires `options.pipeline.durability` to be set.
 pub fn run_with_recovery(
     site: &Site,
     mission: &Mission,
@@ -512,21 +512,34 @@ pub fn run_with_recovery(
     options: &OnlineOptions,
 ) -> OnlineReport {
     let durability = options
+        .pipeline
         .durability
         .clone()
-        .expect("run_with_recovery needs OnlineOptions::durability");
+        .expect("run_with_recovery needs OnlineOptions durability");
     let mut opts = options.clone();
     let mut recoveries = 0u64;
     let mut journal_replays = 0u64;
     let mut frames_recovered = 0u64;
+    // Volatile per-incarnation counters, accumulated so the final report
+    // conserves frames across incarnation boundaries (written/shipped/
+    // in-flight come ledger-cumulative from the journal already).
+    let mut frames_emitted = 0u64;
+    let mut frames_dropped = 0u64;
+    let mut frames_rendered = 0u64;
 
     loop {
         let mut report = run_online(site, mission, algorithm, &opts);
         journal_replays += report.journal_replays;
         frames_recovered += report.frames_recovered;
+        frames_emitted += report.frames_emitted;
+        frames_dropped += report.frames_dropped;
+        frames_rendered += report.frames_rendered;
         report.recoveries = recoveries;
         report.journal_replays = journal_replays;
         report.frames_recovered = frames_recovered;
+        report.frames_emitted = frames_emitted;
+        report.frames_dropped = frames_dropped;
+        report.frames_rendered = frames_rendered;
 
         let Some(kill) = report.kill else {
             return report;
@@ -545,7 +558,7 @@ pub fn run_with_recovery(
         }
         // …and drop every fault that already fired so the next
         // incarnation does not die at the same scripted instant again.
-        let mut plan = opts.fault_plan.clone();
+        let mut plan = opts.pipeline.fault_plan.clone();
         plan.events.retain(|&(at, _)| at > kill.at_hours + 1e-9);
         opts = opts.with_fault_plan(plan);
         recoveries += 1;
@@ -557,10 +570,8 @@ mod tests {
     use super::*;
 
     fn tmpdir(tag: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "adaptive-recovery-{tag}-{}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("adaptive-recovery-{tag}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         fs::create_dir_all(&dir).unwrap();
         dir
@@ -637,8 +648,18 @@ mod tests {
     fn receiver_state_roundtrips() {
         let path = tmpdir("receiver").join("receiver.acp");
         let track = TrackLog::from_fixes(vec![
-            EyeFix { sim_minutes: 15.0, lon: 88.1, lat: 14.2, pressure_hpa: 1001.5 },
-            EyeFix { sim_minutes: 30.0, lon: 88.3, lat: 14.6, pressure_hpa: 999.25 },
+            EyeFix {
+                sim_minutes: 15.0,
+                lon: 88.1,
+                lat: 14.2,
+                pressure_hpa: 1001.5,
+            },
+            EyeFix {
+                sim_minutes: 30.0,
+                lon: 88.3,
+                lat: 14.6,
+                pressure_hpa: 999.25,
+            },
         ]);
         save_receiver_state(&path, 2, &track).unwrap();
         let (watermark, got) = load_receiver_state(&path).unwrap();
@@ -664,7 +685,7 @@ mod tests {
         // A lock and manifest now exist; a second bootstrap sees a prior
         // (uncompleted) incarnation.
         let boot2 = bootstrap(&d, 1_000_000).unwrap();
-        
+
         assert_eq!(boot2.journal_replays, 1);
     }
 

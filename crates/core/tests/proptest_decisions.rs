@@ -52,13 +52,7 @@ fn arb_obs() -> impl Strategy<Value = Obs> {
 }
 
 fn table() -> ProcTable {
-    ProcTable::from_entries(vec![
-        (1, 60.0),
-        (4, 18.0),
-        (12, 8.0),
-        (24, 5.0),
-        (48, 3.2),
-    ])
+    ProcTable::from_entries(vec![(1, 60.0), (4, 18.0), (12, 8.0), (24, 5.0), (48, 3.2)])
 }
 
 proptest! {

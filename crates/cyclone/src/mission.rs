@@ -152,8 +152,16 @@ impl Mission {
         let hour = (rem / 60.0).floor() as i64;
         let min = (rem - hour as f64 * 60.0).round() as i64;
         // Carry a rounded-up minute (e.g. 59.7 → 60).
-        let (hour, min) = if min == 60 { (hour + 1, 0) } else { (hour, min) };
-        let (day, hour) = if hour == 24 { (day + 1, 0) } else { (day, hour) };
+        let (hour, min) = if min == 60 {
+            (hour + 1, 0)
+        } else {
+            (hour, min)
+        };
+        let (day, hour) = if hour == 24 {
+            (day + 1, 0)
+        } else {
+            (day, hour)
+        };
         if day <= 31 {
             format!("{day:02}-May {hour:02}:{min:02}")
         } else {

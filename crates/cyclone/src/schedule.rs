@@ -30,12 +30,30 @@ impl ResolutionSchedule {
         ResolutionSchedule {
             default_resolution_km: 24.0,
             stages: vec![
-                ScheduleStage { pressure_hpa: 995.0, resolution_km: 24.0 },
-                ScheduleStage { pressure_hpa: 994.0, resolution_km: 21.0 },
-                ScheduleStage { pressure_hpa: 992.0, resolution_km: 18.0 },
-                ScheduleStage { pressure_hpa: 990.0, resolution_km: 15.0 },
-                ScheduleStage { pressure_hpa: 988.0, resolution_km: 12.0 },
-                ScheduleStage { pressure_hpa: 986.0, resolution_km: 10.0 },
+                ScheduleStage {
+                    pressure_hpa: 995.0,
+                    resolution_km: 24.0,
+                },
+                ScheduleStage {
+                    pressure_hpa: 994.0,
+                    resolution_km: 21.0,
+                },
+                ScheduleStage {
+                    pressure_hpa: 992.0,
+                    resolution_km: 18.0,
+                },
+                ScheduleStage {
+                    pressure_hpa: 990.0,
+                    resolution_km: 15.0,
+                },
+                ScheduleStage {
+                    pressure_hpa: 988.0,
+                    resolution_km: 12.0,
+                },
+                ScheduleStage {
+                    pressure_hpa: 986.0,
+                    resolution_km: 10.0,
+                },
             ],
             nest_spawn_hpa: 995.0,
         }

@@ -137,7 +137,12 @@ impl Site {
 
     /// Fresh sim→vis network with this site's characteristics.
     pub fn make_network(&self, seed: u64) -> Network {
-        Network::from_mbps(self.bandwidth_mbps, self.latency_secs, self.variability, seed)
+        Network::from_mbps(
+            self.bandwidth_mbps,
+            self.latency_secs,
+            self.variability,
+            seed,
+        )
     }
 
     /// Processor counts this cluster admits for the mission at `res_km`,

@@ -297,7 +297,10 @@ mod tests {
                     (objective - want_obj).abs() < tol,
                     "objective {objective} != expected {want_obj} (x = {x:?})"
                 );
-                assert!(p.is_feasible(&x, 1e-6), "reported optimum infeasible: {x:?}");
+                assert!(
+                    p.is_feasible(&x, 1e-6),
+                    "reported optimum infeasible: {x:?}"
+                );
                 x
             }
             other => panic!("expected optimum, got {other:?}"),

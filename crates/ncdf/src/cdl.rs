@@ -47,11 +47,7 @@ impl Dataset {
                     vals.iter().copied().reduce(f64::min),
                     vals.iter().copied().reduce(f64::max),
                 ) {
-                    let _ = writeln!(
-                        out,
-                        "\t\t// {} values in [{min:.4}, {max:.4}]",
-                        vals.len()
-                    );
+                    let _ = writeln!(out, "\t\t// {} values in [{min:.4}, {max:.4}]", vals.len());
                 }
             }
         }
@@ -91,7 +87,11 @@ mod tests {
         let y = ds.add_dim("south_north", 2).unwrap();
         let x = ds.add_dim("west_east", 3).unwrap();
         let v = ds
-            .add_var("pressure", &[y, x], Data::F32(vec![1000.0, 1001.0, 999.0, 1002.0, 998.0, 1000.5]))
+            .add_var(
+                "pressure",
+                &[y, x],
+                Data::F32(vec![1000.0, 1001.0, 999.0, 1002.0, 998.0, 1000.5]),
+            )
             .unwrap();
         v.attrs
             .insert("units".into(), AttrValue::Text("hPa".into()));
@@ -139,7 +139,8 @@ mod tests {
             for name in ["eta", "u", "v", "qvapor", "pressure"] {
                 ds.add_var(name, &[y, x], Data::F32(vec![0.0; 4])).unwrap();
             }
-            ds.add_var("landmask", &[y, x], Data::U8(vec![0; 4])).unwrap();
+            ds.add_var("landmask", &[y, x], Data::U8(vec![0; 4]))
+                .unwrap();
             ds
         }
     }

@@ -81,8 +81,7 @@ impl Dataset {
             if vars.iter().any(|v| v.name == name) {
                 return Err(NcdfError::DuplicateName(name));
             }
-            let dtype = DType::from_tag(c.u8("dtype")?)
-                .ok_or(NcdfError::BadTag(0xff))?;
+            let dtype = DType::from_tag(c.u8("dtype")?).ok_or(NcdfError::BadTag(0xff))?;
             let nd = c.u32("var ndims")? as usize;
             c.check_count(nd as u64, 4, "variable dim")?;
             let mut vdims = Vec::with_capacity(nd);
@@ -97,10 +96,7 @@ impl Dataset {
             let count = c.u64("element count")?;
             c.check_count(count, dtype.size() as u64, "element")?;
             let count = count as usize;
-            let expected: usize = vdims
-                .iter()
-                .map(|&DimId(i)| dims[i as usize].len)
-                .product();
+            let expected: usize = vdims.iter().map(|&DimId(i)| dims[i as usize].len).product();
             if expected != count {
                 return Err(NcdfError::ShapeMismatch {
                     name,
@@ -122,9 +118,7 @@ impl Dataset {
                     Data::F64(
                         raw.chunks_exact(8)
                             .map(|b| {
-                                f64::from_le_bytes([
-                                    b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
-                                ])
+                                f64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]])
                             })
                             .collect(),
                     )
@@ -302,7 +296,10 @@ mod tests {
         ds.set_attr("title", AttrValue::Text("frame".into()));
         ds.set_attr("res_km", AttrValue::F64(24.0));
         ds.set_attr("step", AttrValue::I64(42));
-        ds.set_attr("corners", AttrValue::F64List(vec![60.0, -10.0, 120.0, 40.0]));
+        ds.set_attr(
+            "corners",
+            AttrValue::F64List(vec![60.0, -10.0, 120.0, 40.0]),
+        );
         let y = ds.add_dim("y", 2).unwrap();
         let x = ds.add_dim("x", 3).unwrap();
         let v = ds

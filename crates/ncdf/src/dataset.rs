@@ -1,6 +1,6 @@
 //! Dataset model: dimensions, variables, attributes.
 
-use crate::{AttrValue, Data, DType, NcdfError};
+use crate::{AttrValue, DType, Data, NcdfError};
 use std::collections::BTreeMap;
 
 /// Handle to a dimension within one [`Dataset`].
@@ -173,9 +173,7 @@ mod tests {
         let y = ds.add_dim("y", 2).unwrap();
         let x = ds.add_dim("x", 3).unwrap();
         ds.set_attr("res_km", AttrValue::F64(24.0));
-        let v = ds
-            .add_var("p", &[y, x], Data::F32(vec![0.0; 6]))
-            .unwrap();
+        let v = ds.add_var("p", &[y, x], Data::F32(vec![0.0; 6])).unwrap();
         v.attrs
             .insert("units".into(), AttrValue::Text("hPa".into()));
 
@@ -211,15 +209,20 @@ mod tests {
         let mut ds = Dataset::new();
         let x = ds.add_dim("x", 4).unwrap();
         let err = ds.add_var("v", &[x], Data::F32(vec![0.0; 3])).unwrap_err();
-        assert!(matches!(err, NcdfError::ShapeMismatch { expected: 4, actual: 3, .. }));
+        assert!(matches!(
+            err,
+            NcdfError::ShapeMismatch {
+                expected: 4,
+                actual: 3,
+                ..
+            }
+        ));
     }
 
     #[test]
     fn unknown_dim_rejected() {
         let mut ds = Dataset::new();
-        let err = ds
-            .add_var("v", &[DimId(9)], Data::F32(vec![]))
-            .unwrap_err();
+        let err = ds.add_var("v", &[DimId(9)], Data::F32(vec![])).unwrap_err();
         assert_eq!(err, NcdfError::UnknownDim(9));
     }
 

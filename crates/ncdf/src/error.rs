@@ -60,7 +60,10 @@ impl fmt::Display for NcdfError {
                 "variable `{name}`: dims imply {expected} elements, got {actual}"
             ),
             NcdfError::CountTooLarge { context, count } => {
-                write!(f, "declared {context} count {count} exceeds buffer capacity")
+                write!(
+                    f,
+                    "declared {context} count {count} exceeds buffer capacity"
+                )
             }
         }
     }

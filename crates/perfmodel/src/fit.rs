@@ -166,8 +166,8 @@ mod tests {
         let fit = ScalingFit::fit(&samples).unwrap();
         assert!(fit.r_squared() > 0.999, "r2 = {}", fit.r_squared());
         for p in [1.0, 3.0, 12.0, 48.0, 90.0] {
-            let rel = (fit.predict(p, work) - truth.predict(p, work)).abs()
-                / truth.predict(p, work);
+            let rel =
+                (fit.predict(p, work) - truth.predict(p, work)).abs() / truth.predict(p, work);
             assert!(rel < 1e-3, "p={p}: rel error {rel}");
         }
     }

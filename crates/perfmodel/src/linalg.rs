@@ -154,10 +154,7 @@ mod tests {
             least_squares(&[vec![1.0]], &[1.0, 2.0]),
             Err(LinalgError::DimensionMismatch)
         );
-        assert_eq!(
-            least_squares(&[], &[]),
-            Err(LinalgError::DimensionMismatch)
-        );
+        assert_eq!(least_squares(&[], &[]), Err(LinalgError::DimensionMismatch));
     }
 
     #[test]

@@ -36,7 +36,9 @@ impl ProcTable {
     pub fn from_entries(mut entries: Vec<(usize, f64)>) -> Self {
         assert!(!entries.is_empty(), "no entries");
         assert!(
-            entries.iter().all(|&(p, t)| p > 0 && t > 0.0 && t.is_finite()),
+            entries
+                .iter()
+                .all(|&(p, t)| p > 0 && t > 0.0 && t.is_finite()),
             "entries must have positive procs and finite positive times"
         );
         entries.sort_unstable_by_key(|&(p, _)| p);
@@ -133,13 +135,7 @@ mod tests {
 
     fn table() -> ProcTable {
         // Strictly decreasing times: 1→10s, 2→6s, 4→4s, 8→3s, 16→2.5s.
-        ProcTable::from_entries(vec![
-            (1, 10.0),
-            (2, 6.0),
-            (4, 4.0),
-            (8, 3.0),
-            (16, 2.5),
-        ])
+        ProcTable::from_entries(vec![(1, 10.0), (2, 6.0), (4, 4.0), (8, 3.0), (16, 2.5)])
     }
 
     #[test]

@@ -7,10 +7,10 @@ use proptest::prelude::*;
 
 fn arb_law() -> impl Strategy<Value = ScalingFit> {
     (
-        0.01f64..1.0,   // c0 overhead
-        1e-7f64..1e-5,  // c1 work
-        0.0f64..1e-3,   // c2 halo
-        0.0f64..0.05,   // c3 collectives
+        0.01f64..1.0,  // c0 overhead
+        1e-7f64..1e-5, // c1 work
+        0.0f64..1e-3,  // c2 halo
+        0.0f64..0.05,  // c3 collectives
     )
         .prop_map(|(c0, c1, c2, c3)| ScalingFit::from_coeffs([c0, c1, c2, c3]))
 }

@@ -37,8 +37,14 @@ impl Cluster {
         scaling: ScalingFit,
     ) -> Self {
         assert!(max_cores > 0, "cluster needs at least one core");
-        assert!(io_bps > 0.0 && io_bps.is_finite(), "I/O bandwidth must be positive");
-        assert!(restart_overhead_secs >= 0.0, "restart overhead must be non-negative");
+        assert!(
+            io_bps > 0.0 && io_bps.is_finite(),
+            "I/O bandwidth must be positive"
+        );
+        assert!(
+            restart_overhead_secs >= 0.0,
+            "restart overhead must be non-negative"
+        );
         Cluster {
             name: name.into(),
             max_cores,
@@ -87,6 +93,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one core")]
     fn zero_cores_rejected() {
-        Cluster::new("x", 0, 1.0, 0.0, ScalingFit::from_coeffs([1.0, 0.0, 0.0, 0.0]));
+        Cluster::new(
+            "x",
+            0,
+            1.0,
+            0.0,
+            ScalingFit::from_coeffs([1.0, 0.0, 0.0, 0.0]),
+        );
     }
 }

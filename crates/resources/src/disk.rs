@@ -157,7 +157,13 @@ mod tests {
         let mut d = Disk::new(100);
         d.write(90).unwrap();
         let err = d.write(20).unwrap_err();
-        assert_eq!(err, DiskFull { requested: 20, free: 10 });
+        assert_eq!(
+            err,
+            DiskFull {
+                requested: 20,
+                free: 10
+            }
+        );
         assert_eq!(d.used(), 90, "failed write must not change state");
     }
 

@@ -49,7 +49,11 @@ const fn crc32_table() -> [u32; 256] {
         let mut c = i as u32;
         let mut k = 0;
         while k < 8 {
-            c = if c & 1 != 0 { 0xedb8_8320 ^ (c >> 1) } else { c >> 1 };
+            c = if c & 1 != 0 {
+                0xedb8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
             k += 1;
         }
         table[i] = c;
@@ -72,7 +76,11 @@ const SEGMENT_SUFFIX: &str = ".wal";
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum JournalOp {
     /// A frame was written to the output directory.
-    Store { id: u64, sim_minutes: f64, bytes: u64 },
+    Store {
+        id: u64,
+        sim_minutes: f64,
+        bytes: u64,
+    },
     /// The oldest pending frame moved to the in-flight set.
     Begin { id: u64 },
     /// An in-flight frame's transfer completed; its bytes were freed.
@@ -98,7 +106,11 @@ impl JournalOp {
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(25);
         match *self {
-            JournalOp::Store { id, sim_minutes, bytes } => {
+            JournalOp::Store {
+                id,
+                sim_minutes,
+                bytes,
+            } => {
                 out.push(TAG_STORE);
                 out.extend_from_slice(&id.to_le_bytes());
                 out.extend_from_slice(&sim_minutes.to_le_bytes());
@@ -132,7 +144,8 @@ impl JournalOp {
     pub fn decode(payload: &[u8]) -> Option<JournalOp> {
         let (&tag, rest) = payload.split_first()?;
         let u64_at = |off: usize| -> Option<u64> {
-            rest.get(off..off + 8).map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+            rest.get(off..off + 8)
+                .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
         };
         let op = match tag {
             TAG_STORE => {
@@ -145,11 +158,21 @@ impl JournalOp {
                     bytes: u64_at(16)?,
                 }
             }
-            TAG_BEGIN => JournalOp::Begin { id: exact_u64(rest)? },
-            TAG_COMPLETE => JournalOp::Complete { id: exact_u64(rest)? },
-            TAG_ABORT => JournalOp::Abort { id: exact_u64(rest)? },
-            TAG_SEIZE => JournalOp::Seize { bytes: exact_u64(rest)? },
-            TAG_RELEASE => JournalOp::Release { bytes: exact_u64(rest)? },
+            TAG_BEGIN => JournalOp::Begin {
+                id: exact_u64(rest)?,
+            },
+            TAG_COMPLETE => JournalOp::Complete {
+                id: exact_u64(rest)?,
+            },
+            TAG_ABORT => JournalOp::Abort {
+                id: exact_u64(rest)?,
+            },
+            TAG_SEIZE => JournalOp::Seize {
+                bytes: exact_u64(rest)?,
+            },
+            TAG_RELEASE => JournalOp::Release {
+                bytes: exact_u64(rest)?,
+            },
             _ => return None,
         };
         Some(op)
@@ -260,7 +283,10 @@ impl Journal {
     fn rotate(&mut self) -> io::Result<()> {
         self.seg_index += 1;
         let path = segment_path(&self.dir, self.seg_index);
-        let mut file = OpenOptions::new().create_new(true).append(true).open(&path)?;
+        let mut file = OpenOptions::new()
+            .create_new(true)
+            .append(true)
+            .open(&path)?;
         file.write_all(&SEGMENT_MAGIC)?;
         file.sync_all()?;
         self.file = file;
@@ -383,7 +409,10 @@ pub fn simulate_torn_tail(dir: &Path, drop: u64) -> io::Result<u64> {
     };
     let path = segment_path(dir, last);
     let len = fs::metadata(&path)?.len();
-    let keep = len.saturating_sub(drop).max(SEGMENT_MAGIC.len() as u64).min(len);
+    let keep = len
+        .saturating_sub(drop)
+        .max(SEGMENT_MAGIC.len() as u64)
+        .min(len);
     truncate_file(&path, keep)?;
     Ok(len - keep)
 }
@@ -393,10 +422,8 @@ mod tests {
     use super::*;
 
     fn tmpdir(tag: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "adaptive-journal-{tag}-{}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("adaptive-journal-{tag}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         fs::create_dir_all(&dir).unwrap();
         dir
@@ -404,8 +431,16 @@ mod tests {
 
     fn sample_ops() -> Vec<JournalOp> {
         vec![
-            JournalOp::Store { id: 0, sim_minutes: 15.0, bytes: 300 },
-            JournalOp::Store { id: 1, sim_minutes: 30.0, bytes: 310 },
+            JournalOp::Store {
+                id: 0,
+                sim_minutes: 15.0,
+                bytes: 300,
+            },
+            JournalOp::Store {
+                id: 1,
+                sim_minutes: 30.0,
+                bytes: 310,
+            },
             JournalOp::Begin { id: 0 },
             JournalOp::Complete { id: 0 },
             JournalOp::Begin { id: 1 },
@@ -470,7 +505,11 @@ mod tests {
         let dropped = simulate_torn_tail(&dir, 5).unwrap();
         assert_eq!(dropped, 5);
         let (ops, report) = replay(&dir).unwrap();
-        assert_eq!(ops, sample_ops()[..7].to_vec(), "only the torn record is lost");
+        assert_eq!(
+            ops,
+            sample_ops()[..7].to_vec(),
+            "only the torn record is lost"
+        );
         assert!(report.truncated_bytes > 0);
         // Replay repaired the file: a second replay is clean and identical.
         let (ops2, report2) = replay(&dir).unwrap();
@@ -518,7 +557,11 @@ mod tests {
         // Tiny threshold: every record rotates.
         let mut j = Journal::open_with_segment_bytes(&dir, 16).unwrap();
         let ops: Vec<JournalOp> = (0..10)
-            .map(|i| JournalOp::Store { id: i, sim_minutes: i as f64, bytes: 10 })
+            .map(|i| JournalOp::Store {
+                id: i,
+                sim_minutes: i as f64,
+                bytes: 10,
+            })
             .collect();
         for op in &ops {
             j.append(op).unwrap();
@@ -542,7 +585,11 @@ mod tests {
         let dir = tmpdir("multiseg-torn");
         let mut j = Journal::open_with_segment_bytes(&dir, 40).unwrap();
         let ops: Vec<JournalOp> = (0..6)
-            .map(|i| JournalOp::Store { id: i, sim_minutes: i as f64, bytes: 10 })
+            .map(|i| JournalOp::Store {
+                id: i,
+                sim_minutes: i as f64,
+                bytes: 10,
+            })
             .collect();
         for op in &ops {
             j.append(op).unwrap();
@@ -561,7 +608,11 @@ mod tests {
         assert!(recovered.len() < ops.len());
         assert_eq!(recovered[..], ops[..recovered.len()]);
         let remaining = segment_indices(&dir).unwrap();
-        assert_eq!(remaining.last().copied(), Some(mid), "later segments deleted");
+        assert_eq!(
+            remaining.last().copied(),
+            Some(mid),
+            "later segments deleted"
+        );
     }
 
     #[test]

@@ -169,7 +169,7 @@ impl BandwidthProbe {
     /// Returns the updated average observed bandwidth (bytes/second).
     ///
     /// The EMA exists to smooth in-band variability noise; a sample that
-    /// differs from the average by more than [`REGIME_RATIO`] in either
+    /// differs from the average by more than `REGIME_RATIO` (2×) in either
     /// direction is a regime change (fault, route change, restored link),
     /// not noise, and the average snaps to it immediately — otherwise a
     /// 50× link collapse would take the better part of a mission to show
@@ -321,7 +321,10 @@ mod degradation_tests {
         assert!((net.transfer_time(1_000_000) - 10.0).abs() < 1e-9);
         let mut probe = BandwidthProbe::new().with_probe_bytes(1_000_000);
         let observed = probe.measure(&mut net);
-        assert!((observed - 1e5).abs() < 1.0, "probe sees the fault: {observed}");
+        assert!(
+            (observed - 1e5).abs() < 1.0,
+            "probe sees the fault: {observed}"
+        );
         net.set_degradation(1.0);
         assert_eq!(net.transfer_time(1_000_000), 1.0);
         assert_eq!(net.degradation(), 1.0);

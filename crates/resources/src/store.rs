@@ -143,9 +143,17 @@ impl FrameStore {
     /// records only successful mutations, so in practice every op lands.
     fn apply(&mut self, op: &JournalOp) {
         match *op {
-            JournalOp::Store { id, sim_minutes, bytes } => {
+            JournalOp::Store {
+                id,
+                sim_minutes,
+                bytes,
+            } => {
                 if self.disk.write(bytes).is_ok() {
-                    self.pending.push_back(FrameMeta { id, sim_minutes, bytes });
+                    self.pending.push_back(FrameMeta {
+                        id,
+                        sim_minutes,
+                        bytes,
+                    });
                     self.next_id = self.next_id.max(id + 1);
                     self.frames_stored += 1;
                 }
@@ -449,7 +457,11 @@ mod tests {
         let t = s.begin_transfer().unwrap();
         s.abort_transfer(t.id).unwrap();
         assert_eq!(s.pending_count(), 2);
-        assert_eq!(s.peek_oldest().unwrap().id, a.id, "aborted frame back at front");
+        assert_eq!(
+            s.peek_oldest().unwrap().id,
+            a.id,
+            "aborted frame back at front"
+        );
         assert_eq!(s.disk().used(), 200, "no bytes freed on abort");
     }
 
@@ -506,10 +518,7 @@ mod tests {
     }
 
     fn tmpdir(tag: &str) -> std::path::PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "adaptive-store-{tag}-{}",
-            std::process::id()
-        ));
+        let dir = std::env::temp_dir().join(format!("adaptive-store-{tag}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
         dir

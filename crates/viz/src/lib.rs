@@ -31,14 +31,14 @@
 //! assert!(ppm.starts_with(b"P6"));
 //! ```
 
-pub mod contour;
 mod colormap;
+pub mod contour;
 mod font;
-mod image;
 pub mod glyph;
+mod image;
 pub mod plot;
-mod renderer;
 pub mod render;
+mod renderer;
 pub mod track;
 
 pub use colormap::Colormap;

@@ -178,7 +178,13 @@ impl Plot {
             &self.x_label,
             axis,
         );
-        draw_text(&mut img, 4, (mt.saturating_sub(14)) as i64, &self.y_label, axis);
+        draw_text(
+            &mut img,
+            4,
+            (mt.saturating_sub(14)) as i64,
+            &self.y_label,
+            axis,
+        );
         let mut ly = mt as i64 + 6;
         for s in &self.series {
             let lx = (ml + pw) as i64 - 150;

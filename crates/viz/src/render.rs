@@ -7,13 +7,7 @@ use wrf::Grid2;
 /// Render a grid as a pseudocolor image, `scale` pixels per grid cell,
 /// sampling bilinearly. Row 0 of the grid (south) lands at the *bottom*
 /// of the image, matching map orientation.
-pub fn pseudocolor(
-    grid: &Grid2,
-    cmap: &Colormap,
-    vmin: f64,
-    vmax: f64,
-    scale: usize,
-) -> RgbImage {
+pub fn pseudocolor(grid: &Grid2, cmap: &Colormap, vmin: f64, vmax: f64, scale: usize) -> RgbImage {
     assert!(scale > 0, "scale must be positive");
     let w = grid.nx() * scale;
     let h = grid.ny() * scale;
@@ -120,7 +114,11 @@ pub fn with_colorbar(
     }
     for y in 0..bar_height {
         for x in 0..w {
-            let t = if w > 1 { x as f64 / (w - 1) as f64 } else { 0.0 };
+            let t = if w > 1 {
+                x as f64 / (w - 1) as f64
+            } else {
+                0.0
+            };
             out.set(
                 x as i64,
                 (h + 2 + y) as i64,

@@ -112,8 +112,14 @@ impl FrameRenderer {
             }
         };
         let (vmin, vmax) = value_range(&scalar);
-        let mut img =
-            pseudocolor_parallel(&scalar, &self.colormap, vmin, vmax, self.scale, self.threads);
+        let mut img = pseudocolor_parallel(
+            &scalar,
+            &self.colormap,
+            vmin,
+            vmax,
+            self.scale,
+            self.threads,
+        );
         let h = img.height() as i64;
         let to_px = |gx: f64, gy: f64| -> (i64, i64) {
             (
@@ -197,8 +203,14 @@ impl FrameRenderer {
             }
         };
         let (vmin, vmax) = value_range(&scalar);
-        let mut img =
-            pseudocolor_parallel(&scalar, &self.colormap, vmin, vmax, self.scale, self.threads);
+        let mut img = pseudocolor_parallel(
+            &scalar,
+            &self.colormap,
+            vmin,
+            vmax,
+            self.scale,
+            self.threads,
+        );
         if self.glyph_stride > 0 {
             let u = grid_from_var(ds, "nest_u")?;
             let v = grid_from_var(ds, "nest_v")?;

@@ -189,7 +189,8 @@ mod tests {
         let mut track = TrackLog::new();
         for _ in 0..4 {
             track.ingest(&m.frame()).expect("fix per frame");
-            m.advance_to_minutes(m.sim_minutes() + 8.0 * 60.0, 1).unwrap();
+            m.advance_to_minutes(m.sim_minutes() + 8.0 * 60.0, 1)
+                .unwrap();
         }
         assert_eq!(track.fixes().len(), 4);
         let first = track.fixes()[0];

@@ -8,7 +8,7 @@
 //! model continues the trajectory bit-exactly (tested).
 //!
 //! For crash consistency the bytes can also be written as a *snapshot
-//! file* ([`write_snapshot_file`] / [`checkpoint_to_file`]): a versioned,
+//! file* ([`write_snapshot_file`] / [`WrfModel::checkpoint_to_file`]): a versioned,
 //! CRC-32-checksummed container, written tmp + fsync + atomic rename so a
 //! reader only ever sees a complete old snapshot or a complete new one —
 //! never a torn write. The recovery supervisor uses the same container
@@ -188,15 +188,15 @@ impl WrfModel {
     /// container corruption both surface as
     /// [`ModelError::BadCheckpoint`].
     pub fn restore_from_file(path: &Path) -> Result<Self, ModelError> {
-        let payload = read_snapshot_file(path)
-            .map_err(|e| ModelError::BadCheckpoint(e.to_string()))?;
+        let payload =
+            read_snapshot_file(path).map_err(|e| ModelError::BadCheckpoint(e.to_string()))?;
         Self::restore(&payload)
     }
 
     /// Rebuild a model from checkpoint bytes.
     pub fn restore(bytes: &[u8]) -> Result<Self, ModelError> {
-        let ds = Dataset::from_bytes(bytes)
-            .map_err(|e| ModelError::BadCheckpoint(e.to_string()))?;
+        let ds =
+            Dataset::from_bytes(bytes).map_err(|e| ModelError::BadCheckpoint(e.to_string()))?;
         let list = |name: &str, len: usize| -> Result<Vec<f64>, ModelError> {
             let v = ds
                 .attr(name)
@@ -358,7 +358,9 @@ fn get_fields(ds: &Dataset, prefix: &str) -> Result<Fields, ModelError> {
         return Err(ModelError::BadCheckpoint("field shapes disagree".into()));
     }
     if !(meta[0] > 0.0 && meta[0].is_finite()) {
-        return Err(ModelError::BadCheckpoint("non-positive grid spacing".into()));
+        return Err(ModelError::BadCheckpoint(
+            "non-positive grid spacing".into(),
+        ));
     }
     let mut f = Fields::zeros(eta.nx(), eta.ny(), meta[0]);
     f.eta = eta;
@@ -449,10 +451,7 @@ mod tests {
     }
 
     fn tmppath(tag: &str) -> std::path::PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "wrf-snapshot-{tag}-{}",
-            std::process::id()
-        ));
+        let dir = std::env::temp_dir().join(format!("wrf-snapshot-{tag}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
         dir.join("state.acp")

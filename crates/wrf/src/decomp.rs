@@ -58,9 +58,7 @@ pub fn allowed_proc_counts(
     (1..=max_procs)
         .filter(|&p| {
             is_valid(parent.0, parent.1, p, min_parent_pts)
-                && nest.is_none_or(|((nnx, nny), min_nest)| {
-                    is_valid(nnx, nny, p, min_nest)
-                })
+                && nest.is_none_or(|((nnx, nny), min_nest)| is_valid(nnx, nny, p, min_nest))
         })
         .collect()
 }
@@ -90,7 +88,10 @@ mod tests {
         assert!(is_valid(12, 12, 1, 6));
         assert!(is_valid(12, 12, 2, 6));
         assert!(is_valid(12, 12, 4, 6));
-        assert!(!is_valid(12, 12, 8, 6), "would need a 2×4 split → 3 rows/rank");
+        assert!(
+            !is_valid(12, 12, 8, 6),
+            "would need a 2×4 split → 3 rows/rank"
+        );
         assert!(!is_valid(12, 12, 9, 6));
     }
 

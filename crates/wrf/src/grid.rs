@@ -114,10 +114,7 @@ impl Grid2 {
 
     /// Maximum value over all points.
     pub fn max_value(&self) -> f64 {
-        self.data
-            .iter()
-            .copied()
-            .fold(f64::NEG_INFINITY, f64::max)
+        self.data.iter().copied().fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// Bilinear sample at fractional coordinates `(x, y)` in grid units

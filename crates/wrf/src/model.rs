@@ -344,7 +344,10 @@ impl WrfModel {
         ds.set_attr("sim_minutes", AttrValue::F64(self.sim_minutes()));
         ds.set_attr("resolution_km", AttrValue::F64(self.cfg.resolution_km));
         ds.set_attr("physics_dx_km", AttrValue::F64(self.fields.dx_km));
-        ds.set_attr("hpa_per_eta_m", AttrValue::F64(self.cfg.vortex.hpa_per_eta_m));
+        ds.set_attr(
+            "hpa_per_eta_m",
+            AttrValue::F64(self.cfg.vortex.hpa_per_eta_m),
+        );
         ds.set_attr(
             "domain_lonlat",
             AttrValue::F64List(vec![
@@ -415,16 +418,7 @@ impl WrfModel {
 
     // -- checkpoint plumbing (serialization lives in `checkpoint.rs`) -----
 
-    pub(crate) fn parts(
-        &self,
-    ) -> (
-        &ModelConfig,
-        &Fields,
-        Option<&Nest>,
-        &VortexState,
-        f64,
-        u64,
-    ) {
+    pub(crate) fn parts(&self) -> (&ModelConfig, &Fields, Option<&Nest>, &VortexState, f64, u64) {
         (
             &self.cfg,
             &self.fields,
@@ -512,7 +506,11 @@ mod tests {
         let t_before = m.sim_minutes();
         m.set_resolution(18.0).unwrap();
         assert_eq!(m.config().resolution_km, 18.0);
-        assert_eq!(m.sim_minutes(), t_before, "resolution change is not time travel");
+        assert_eq!(
+            m.sim_minutes(),
+            t_before,
+            "resolution change is not time travel"
+        );
         let p_after = m.min_pressure_hpa();
         assert!(
             (p_before - p_after).abs() < 2.0,
@@ -521,7 +519,12 @@ mod tests {
         assert_eq!(m.dt_secs(), 108.0);
         // Finer grid has more points.
         let (nx, _) = m.config().physics_grid();
-        assert!(nx > ModelConfig::aila_default().with_decimation(8).physics_grid().0);
+        assert!(
+            nx > ModelConfig::aila_default()
+                .with_decimation(8)
+                .physics_grid()
+                .0
+        );
     }
 
     #[test]
@@ -587,8 +590,10 @@ mod tests {
         // Tracer bounded by its sources.
         let phys = m.config().phys;
         for &q in f.q.data() {
-            assert!(q >= phys.q_land * 0.5 && q <= (phys.q_sea + phys.q_vortex_boost) * 1.5,
-                "tracer escaped its source range: {q}");
+            assert!(
+                q >= phys.q_land * 0.5 && q <= (phys.q_sea + phys.q_vortex_boost) * 1.5,
+                "tracer escaped its source range: {q}"
+            );
         }
         // The frame carries it.
         let ds = m.frame();

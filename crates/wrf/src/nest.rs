@@ -258,9 +258,12 @@ mod tests {
         assert!((cy - vortex.y_km).abs() < parent.dx_km);
         // Interpolated minimum is near the analytic minimum at the eye.
         let (p_min, px, py) = nest.fields.min_pressure(vparams.hpa_per_eta_m);
-        let analytic =
-            crate::vortex::BASE_PRESSURE_HPA + vparams.hpa_per_eta_m * vortex.target_eta(vortex.x_km, vortex.y_km, &vparams);
-        assert!((p_min - analytic).abs() < 1.0, "p_min {p_min} vs {analytic}");
+        let analytic = crate::vortex::BASE_PRESSURE_HPA
+            + vparams.hpa_per_eta_m * vortex.target_eta(vortex.x_km, vortex.y_km, &vparams);
+        assert!(
+            (p_min - analytic).abs() < 1.0,
+            "p_min {p_min} vs {analytic}"
+        );
         let d = ((px - vortex.x_km).powi(2) + (py - vortex.y_km).powi(2)).sqrt();
         assert!(d < 2.0 * parent.dx_km);
     }
@@ -323,7 +326,8 @@ mod tests {
         let (parent, vortex, _, _, _) = parent_with_bump();
         let nest = Nest::spawn(&parent, NestConfig::aila(), vortex.x_km, vortex.y_km);
         // Parent refined 2×.
-        let fine_parent = parent.resample(parent.nx() * 2 - 1, parent.ny() * 2 - 1, parent.dx_km / 2.0);
+        let fine_parent =
+            parent.resample(parent.nx() * 2 - 1, parent.ny() * 2 - 1, parent.dx_km / 2.0);
         let rebuilt = nest.rebuild_for_parent(&fine_parent);
         assert_eq!(rebuilt.fields.dx_km, fine_parent.dx_km / 3.0);
         let (cx0, cy0) = nest.center_km();

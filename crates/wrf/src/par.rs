@@ -150,18 +150,33 @@ pub fn step_halo_ranks(
         down_tx.push(tx);
         down_rx.push(rx);
     }
-    let (result_tx, result_rx) =
-        bounded::<(usize, Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>)>(nranks);
+    let (result_tx, result_rx) = bounded::<(usize, Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>)>(nranks);
 
     crossbeam::thread::scope(|s| {
         for (r, &(j0, j1)) in bands.iter().enumerate() {
             let rows = j1 - j0;
             let inp = &inp;
             // Channel endpoints owned by this rank.
-            let send_up = if r + 1 < nranks { Some(up_tx[r].clone()) } else { None };
-            let recv_up = if r > 0 { Some(up_rx[r - 1].clone()) } else { None };
-            let send_down = if r > 0 { Some(down_tx[r - 1].clone()) } else { None };
-            let recv_down = if r + 1 < nranks { Some(down_rx[r].clone()) } else { None };
+            let send_up = if r + 1 < nranks {
+                Some(up_tx[r].clone())
+            } else {
+                None
+            };
+            let recv_up = if r > 0 {
+                Some(up_rx[r - 1].clone())
+            } else {
+                None
+            };
+            let send_down = if r > 0 {
+                Some(down_tx[r - 1].clone())
+            } else {
+                None
+            };
+            let recv_down = if r + 1 < nranks {
+                Some(down_rx[r].clone())
+            } else {
+                None
+            };
             let result_tx = result_tx.clone();
 
             s.spawn(move |_| {
@@ -250,7 +265,9 @@ mod tests {
         for j in 0..fields.ny() {
             for i in 0..fields.nx() {
                 let (x, y) = (fields.x_km(i), fields.y_km(j));
-                fields.eta.set(i, j, vortex.target_eta(x, y, &vparams) * 0.5);
+                fields
+                    .eta
+                    .set(i, j, vortex.target_eta(x, y, &vparams) * 0.5);
                 let (u, v) = vortex.target_uv(x, y, &vparams);
                 fields.u.set(i, j, u * 0.5);
                 fields.v.set(i, j, v * 0.5);

@@ -151,18 +151,13 @@ pub(crate) fn step_eta_rows(inp: &StepInputs<'_>, j0: usize, j1: usize, out: &mu
                 continue;
             }
             let eta = f.eta.at(i, j);
-            let div = (f.u.at(i + 1, j) - f.u.at(i - 1, j)
-                + f.v.at(i, j + 1)
-                - f.v.at(i, j - 1))
+            let div = (f.u.at(i + 1, j) - f.u.at(i - 1, j) + f.v.at(i, j + 1) - f.v.at(i, j - 1))
                 / (2.0 * dx);
-            let lap = (f.eta.at(i + 1, j)
-                + f.eta.at(i - 1, j)
-                + f.eta.at(i, j + 1)
-                + f.eta.at(i, j - 1)
-                - 4.0 * eta)
-                / (dx * dx);
-            *slot = eta
-                + dt * (-h * div + nu * lap + (target - eta) / tau - damp * eta);
+            let lap =
+                (f.eta.at(i + 1, j) + f.eta.at(i - 1, j) + f.eta.at(i, j + 1) + f.eta.at(i, j - 1)
+                    - 4.0 * eta)
+                    / (dx * dx);
+            *slot = eta + dt * (-h * div + nu * lap + (target - eta) / tau - damp * eta);
         }
     }
 }
@@ -204,12 +199,10 @@ pub(crate) fn step_uv_rows(
             let v = f.v.at(i, j);
             let detadx = (eta_at(i + 1, j) - eta_at(i - 1, j)) / (2.0 * dx);
             let detady = (eta_at(i, j + 1) - eta_at(i, j - 1)) / (2.0 * dx);
-            let lap_u = (f.u.at(i + 1, j) + f.u.at(i - 1, j) + f.u.at(i, j + 1)
-                + f.u.at(i, j - 1)
+            let lap_u = (f.u.at(i + 1, j) + f.u.at(i - 1, j) + f.u.at(i, j + 1) + f.u.at(i, j - 1)
                 - 4.0 * u)
                 / (dx * dx);
-            let lap_v = (f.v.at(i + 1, j) + f.v.at(i - 1, j) + f.v.at(i, j + 1)
-                + f.v.at(i, j - 1)
+            let lap_v = (f.v.at(i + 1, j) + f.v.at(i - 1, j) + f.v.at(i, j + 1) + f.v.at(i, j - 1)
                 - 4.0 * v)
                 / (dx * dx);
             let fcor = inp.phys.coriolis_at(y);
@@ -259,8 +252,7 @@ pub(crate) fn step_q_rows(inp: &StepInputs<'_>, j0: usize, j1: usize, out: &mut 
             } else {
                 (f.q.at(i, j + 1) - q) / dx
             };
-            let lap = (f.q.at(i + 1, j) + f.q.at(i - 1, j) + f.q.at(i, j + 1)
-                + f.q.at(i, j - 1)
+            let lap = (f.q.at(i + 1, j) + f.q.at(i - 1, j) + f.q.at(i, j + 1) + f.q.at(i, j - 1)
                 - 4.0 * q)
                 / (dx * dx);
             *slot = q + dt * (-(u * dqdx + v * dqdy) + nu * lap + (target - q) / tau);

@@ -257,7 +257,10 @@ mod tests {
             ((u - p.steer_east_ms).powi(2) + (v - p.steer_north_ms).powi(2)).sqrt()
         };
         let at_rm = speed(p.radius_km);
-        assert!((at_rm - 31.2).abs() < 0.5, "peak wind ≈ 31 m/s, got {at_rm}");
+        assert!(
+            (at_rm - 31.2).abs() < 0.5,
+            "peak wind ≈ 31 m/s, got {at_rm}"
+        );
         assert!(speed(50.0) < at_rm);
         assert!(speed(800.0) < at_rm * 0.3);
         // Eye itself is calm (plus steering).

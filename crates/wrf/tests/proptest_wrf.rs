@@ -5,15 +5,13 @@ use wrf::decomp;
 use wrf::{DomainGeom, Grid2, ModelConfig, VortexParams, VortexState, WrfModel};
 
 fn arb_grid() -> impl Strategy<Value = Grid2> {
-    (2usize..12, 2usize..12)
-        .prop_flat_map(|(nx, ny)| {
-            prop::collection::vec(-1e3f64..1e3, nx * ny..=nx * ny)
-                .prop_map(move |vals| {
-                    let mut g = Grid2::zeros(nx, ny);
-                    g.data_mut().copy_from_slice(&vals);
-                    g
-                })
+    (2usize..12, 2usize..12).prop_flat_map(|(nx, ny)| {
+        prop::collection::vec(-1e3f64..1e3, nx * ny..=nx * ny).prop_map(move |vals| {
+            let mut g = Grid2::zeros(nx, ny);
+            g.data_mut().copy_from_slice(&vals);
+            g
         })
+    })
 }
 
 proptest! {

@@ -26,7 +26,10 @@ fn main() {
     let outdir = std::path::Path::new("results");
     std::fs::create_dir_all(outdir).expect("results dir");
 
-    println!("tracking cyclone Aila for {} simulated hours", mission.duration_hours);
+    println!(
+        "tracking cyclone Aila for {} simulated hours",
+        mission.duration_hours
+    );
     println!(
         "{:>14} {:>10} {:>9} {:>9} {:>8} {:>6}",
         "sim time", "p_min hPa", "eye lon", "eye lat", "res km", "nest"
@@ -42,17 +45,22 @@ fn main() {
         let (lon, lat) = model.eye_lonlat();
 
         // Apply the paper's adaptation policy.
-        let (res, nest) =
-            mission
-                .schedule
-                .apply_with_hysteresis(p, current_res, model.has_nest());
+        let (res, nest) = mission
+            .schedule
+            .apply_with_hysteresis(p, current_res, model.has_nest());
         if nest && !model.has_nest() {
             model.spawn_nest();
-            println!("  >> nest spawned ({}x finer, following the eye)", model.nest().expect("just spawned").ratio());
+            println!(
+                "  >> nest spawned ({}x finer, following the eye)",
+                model.nest().expect("just spawned").ratio()
+            );
         }
         if res != current_res {
             model.set_resolution(res).expect("schedule resolution");
-            println!("  >> resolution changed to {res} km (nest {:.2} km)", res / 3.0);
+            println!(
+                "  >> resolution changed to {res} km (nest {:.2} km)",
+                res / 3.0
+            );
             current_res = res;
         }
 

@@ -17,7 +17,7 @@
 //!
 //! ```text
 //! cargo run --release --example fault_drill
-//! cargo run --release --example fault_drill -- --kill-at 0.1
+//! cargo run --release --example fault_drill -- --kill-at 0.02
 //! ```
 //!
 //! With `--kill-at <hours>` only the recovery drill runs, killing the
@@ -49,7 +49,7 @@ fn main() {
     }
     des_drill();
     transport_drill();
-    recovery_drill(0.1);
+    recovery_drill(0.02);
 }
 
 /// Hard-kill the live durable pipeline mid-mission and let the recovery
@@ -79,9 +79,8 @@ fn recovery_drill(kill_at_hours: f64) {
         &site,
         &mission,
         AlgorithmKind::StaticBaseline,
-        &OnlineOptions::fast("drill-control").with_durability(
-            DurabilityOptions::new(&control_dir).with_checkpoint_every_min(20.0),
-        ),
+        &OnlineOptions::fast("drill-control")
+            .with_durability(DurabilityOptions::new(&control_dir).with_checkpoint_every_min(20.0)),
     );
 
     let plan = FaultPlan::from_events(vec![(
@@ -149,7 +148,12 @@ fn des_drill() {
                 duration_hours: 3.0,
             },
         ),
-        (9.0, Fault::ReceiverOutage { duration_hours: 1.5 }),
+        (
+            9.0,
+            Fault::ReceiverOutage {
+                duration_hours: 1.5,
+            },
+        ),
         (5.5, Fault::SimCrash),
         (
             11.0,
@@ -161,8 +165,12 @@ fn des_drill() {
         ),
     ]);
 
-    println!("== DES drill: {} scripted faults over a full Aila mission ==", plan.len());
-    let control = Orchestrator::new(site.clone(), mission.clone(), AlgorithmKind::Optimization).run();
+    println!(
+        "== DES drill: {} scripted faults over a full Aila mission ==",
+        plan.len()
+    );
+    let control =
+        Orchestrator::new(site.clone(), mission.clone(), AlgorithmKind::Optimization).run();
     let faulted = Orchestrator::new(site, mission, AlgorithmKind::Optimization)
         .with_fault_plan(plan)
         .run();
@@ -196,9 +204,8 @@ fn des_drill() {
 fn transport_drill() {
     println!("== transport drill: receiver killed after 3 frames, restarted on a new port ==");
     let payloads: Vec<Vec<u8>> = {
-        let mut model =
-            wrf::WrfModel::new(wrf::ModelConfig::aila_default().with_decimation(16))
-                .expect("valid config");
+        let mut model = wrf::WrfModel::new(wrf::ModelConfig::aila_default().with_decimation(16))
+            .expect("valid config");
         (0..6)
             .map(|_| {
                 model
@@ -212,8 +219,7 @@ fn transport_drill() {
     // Control: a healthy receiver, for the byte-identity check.
     let control_rx = FrameReceiver::start().expect("bind");
     let control_addr = control_rx.addr();
-    let mut control_tx =
-        ResilientSender::new(move || control_addr, BackoffPolicy::new(7));
+    let mut control_tx = ResilientSender::new(move || control_addr, BackoffPolicy::new(7));
     for p in &payloads {
         control_tx.send(p).expect("healthy send");
     }
@@ -262,7 +268,10 @@ fn transport_drill() {
         "sender healed: {} frames acked, {} reconnects, {} replays, {} deduplicated",
         stats.frames_acked, stats.reconnects, stats.replays, stats.deduplicated
     );
-    println!("receiver end state: last applied seq = {}", rx2.last_applied());
+    println!(
+        "receiver end state: last applied seq = {}",
+        rx2.last_applied()
+    );
 
     let healed_track = rx2.shutdown().to_csv();
     assert_eq!(healed_track, control_track, "tracks must be byte-identical");

@@ -62,7 +62,7 @@ fn main() {
             out.completed,
             out.wall_hours,
             out.frames_written,
-            out.frames_visualized,
+            out.frames_rendered,
             out.min_free_disk_pct,
             out.steering_commands_applied,
         );
@@ -71,7 +71,9 @@ fn main() {
         "\nthe steered run wrote {:.1}x the frames over the window of interest,",
         steered.frames_written as f64 / hands_off.frames_written.max(1) as f64
     );
-    println!("paying {:.1} points of disk headroom for the extra temporal resolution —",
-        hands_off.min_free_disk_pct - steered.min_free_disk_pct);
+    println!(
+        "paying {:.1} points of disk headroom for the extra temporal resolution —",
+        hands_off.min_free_disk_pct - steered.min_free_disk_pct
+    );
     println!("the trade the scientist chose to make, applied safely by the framework.");
 }

@@ -10,9 +10,7 @@
 //! cargo run --release --example multi_site_viz
 //! ```
 
-use climate_adaptive::adaptive::fanout::{
-    run_fanout, FanOutConfig, ReceiverSpec, ReleasePolicy,
-};
+use climate_adaptive::adaptive::fanout::{run_fanout, FanOutConfig, ReceiverSpec, ReleasePolicy};
 use climate_adaptive::prelude::*;
 use resources::Disk;
 

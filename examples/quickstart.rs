@@ -38,7 +38,7 @@ fn main() {
             outcome.completed,
             outcome.wall_hours,
             outcome.frames_written,
-            outcome.frames_visualized,
+            outcome.frames_rendered,
             outcome.min_free_disk_pct,
         );
         outcomes.push(outcome);

@@ -17,14 +17,10 @@ use climate_adaptive::prelude::*;
 
 fn main() {
     let site = Site::inter_department();
-    let mission = Mission::aila()
-        .with_duration_hours(4.0)
-        .with_decimation(12);
+    let mission = Mission::aila().with_duration_hours(4.0).with_decimation(12);
     let options = OnlineOptions::fast("example");
 
-    println!(
-        "starting live pipeline: simulation + sender + receiver/viz + manager threads"
-    );
+    println!("starting live pipeline: simulation + sender + receiver/viz + manager threads");
     println!(
         "config file: {}  (the manager writes it; the simulation polls it)\n",
         options.config_path.display()

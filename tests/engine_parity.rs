@@ -1,0 +1,121 @@
+//! Driver parity over the unified epoch engine.
+//!
+//! The DES orchestrator and the live online pipeline are now thin
+//! drivers over the same `EpochEngine`; the only differences are the
+//! environment traits they plug in (clock, transport, durability, fault
+//! injector). Running the *same* mission, seed, and fault plan through
+//! both drivers — with the live driver on a purely virtual clock and
+//! the DES driver emitting real encoded frames — must therefore produce
+//! identical decision traces, identical counters, and a byte-identical
+//! remote visualization track.
+
+use climate_adaptive::adaptive::decision::AlgorithmKind;
+use climate_adaptive::adaptive::engine::assert_frame_conservation;
+use climate_adaptive::adaptive::online::{run_online, OnlineOptions};
+use climate_adaptive::adaptive::orchestrator::{Fault, FaultPlan, Orchestrator};
+use climate_adaptive::prelude::*;
+use proptest::prelude::*;
+
+fn parity_mission() -> Mission {
+    // Heavy decimation keeps real frame encoding cheap; both drivers see
+    // the exact same mission object.
+    Mission::aila().with_duration_hours(2.0).with_decimation(16)
+}
+
+/// Same mission + seed + fault plan through the DES driver (virtual
+/// clock, in-process live emission) and the live driver (virtual clock,
+/// channel transport with a real receiver thread): every decision-trace
+/// series, every counter, and the remote track must agree exactly.
+#[test]
+fn des_and_live_drivers_agree_byte_for_byte() {
+    let site = Site::inter_department();
+    let mission = parity_mission();
+    // A crash and a receiver outage, both inside the ~0.135 modeled wall
+    // hours the mission takes — parity must survive the fault paths too.
+    let plan = FaultPlan::from_events(vec![
+        (0.02, Fault::SimCrash),
+        (
+            0.05,
+            Fault::ReceiverOutage {
+                duration_hours: 0.02,
+            },
+        ),
+    ]);
+
+    let mut online_options = OnlineOptions::fast("engine-parity");
+    online_options.time_scale = 0.0; // purely virtual clock, like the DES driver
+    let disk_capacity = online_options.disk_capacity;
+    let bandwidth_bps = online_options.bandwidth_bps;
+    let live = run_online(
+        &site,
+        &mission,
+        AlgorithmKind::Optimization,
+        &online_options.with_fault_plan(plan.clone()),
+    );
+
+    let des = Orchestrator::new(site, mission, AlgorithmKind::Optimization)
+        .with_fault_plan(plan)
+        .with_live_emission(disk_capacity, bandwidth_bps)
+        .run();
+
+    assert!(des.completed, "{des:?}");
+    assert!(live.completed, "{live:?}");
+
+    // Identical decision traces and progress series.
+    for key in [
+        "procs",
+        "output_interval",
+        "sim_progress",
+        "viz_progress",
+        "free_disk_pct",
+    ] {
+        let d = des.series.get(key).expect("des series");
+        let l = live.series.get(key).expect("live series");
+        assert_eq!(
+            d.points, l.points,
+            "series `{key}` diverged between drivers"
+        );
+    }
+
+    // Byte-identical remote visualization track.
+    assert_eq!(
+        des.track.to_csv(),
+        live.track.to_csv(),
+        "remote tracks must be byte-identical"
+    );
+
+    // Every shared counter agrees (frames, stalls, crashes, reconnects,
+    // replays, decisions, disk watermarks, ...).
+    assert_eq!(des.report.counters, live.report.counters);
+
+    assert_frame_conservation(&des);
+    assert_frame_conservation(&live);
+}
+
+proptest! {
+    // Each case is a full live-driver run with real frame encoding;
+    // keep the count modest.
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// Engine-level frame conservation holds for the live driver under
+    /// any random fault plan, exactly as `fault_injection.rs` asserts it
+    /// for the DES driver — one shared helper, both drivers.
+    #[test]
+    fn live_driver_conserves_frames_under_random_fault_plans(plan_seed in 0u64..200) {
+        let site = Site::inter_department();
+        let mission = Mission::aila().with_duration_hours(1.0).with_decimation(16);
+        // Horizon in modeled wall hours: this mission finishes in well
+        // under 0.2, so most drawn faults land mid-run.
+        let plan = FaultPlan::random(plan_seed, 0.2);
+        let mut options = OnlineOptions::fast(&format!("parity-prop-{plan_seed}"));
+        options.time_scale = 0.0;
+        let report = run_online(
+            &site,
+            &mission,
+            AlgorithmKind::GreedyThreshold,
+            &options.with_fault_plan(plan),
+        );
+        assert_frame_conservation(&report);
+        prop_assert!(report.frames_emitted > 0);
+    }
+}

@@ -135,10 +135,8 @@ fn baseline_fares_worse_than_optimization_under_the_same_fault() {
 /// Encoded frames for transport tests: a short decimated run, one frame
 /// every couple of simulated hours.
 fn test_payloads(n: usize) -> Vec<Vec<u8>> {
-    let mut model = wrf::WrfModel::new(
-        wrf::ModelConfig::aila_default().with_decimation(16),
-    )
-    .expect("valid config");
+    let mut model = wrf::WrfModel::new(wrf::ModelConfig::aila_default().with_decimation(16))
+        .expect("valid config");
     (0..n)
         .map(|_| {
             model
@@ -160,8 +158,7 @@ fn receiver_kill_mid_stream_is_healed_by_the_resilient_sender() {
     let baseline = {
         let receiver = FrameReceiver::start().expect("bind");
         let addr = receiver.addr();
-        let mut sender =
-            ResilientSender::new(move || addr, BackoffPolicy::new(7));
+        let mut sender = ResilientSender::new(move || addr, BackoffPolicy::new(7));
         for p in &payloads {
             sender.send(p).expect("healthy path");
         }
@@ -210,7 +207,10 @@ fn receiver_kill_mid_stream_is_healed_by_the_resilient_sender() {
         sender.send(p).expect("resilient path delivers every frame");
     }
     let stats = sender.stats();
-    assert!(stats.reconnects >= 1, "reconnected after the kill: {stats:?}");
+    assert!(
+        stats.reconnects >= 1,
+        "reconnected after the kill: {stats:?}"
+    );
     assert!(
         stats.replays >= 1,
         "the unacked frame was replayed: {stats:?}"
@@ -218,9 +218,16 @@ fn receiver_kill_mid_stream_is_healed_by_the_resilient_sender() {
     assert_eq!(stats.frames_acked, 6, "{stats:?}");
 
     let receiver2 = watcher.join().expect("watcher thread");
-    assert_eq!(receiver2.last_applied(), 6, "every frame applied exactly once");
+    assert_eq!(
+        receiver2.last_applied(),
+        6,
+        "every frame applied exactly once"
+    );
     let healed = receiver2.shutdown().to_csv();
-    assert_eq!(healed, baseline, "track is byte-identical to the fault-free run");
+    assert_eq!(
+        healed, baseline,
+        "track is byte-identical to the fault-free run"
+    );
 }
 
 proptest! {
@@ -256,14 +263,10 @@ proptest! {
         // the wall clock is bounded by the cap.
         prop_assert!(out.wall_hours <= 40.0 + 1e-9);
 
-        // Frame conservation: written = shipped + still-on-disk, with
-        // visualization trailing shipping.
-        prop_assert_eq!(
-            out.frames_written,
-            out.frames_shipped + out.frames_in_flight,
-            "conservation: {:?}", out
-        );
-        prop_assert!(out.frames_visualized <= out.frames_shipped);
+        // Frame conservation (shared engine-level helper: emitted =
+        // written + dropped, written = shipped + still-on-disk, with
+        // visualization trailing shipping).
+        climate_adaptive::adaptive::engine::assert_frame_conservation(&out);
 
         // Fault bookkeeping is consistent with the plan's vocabulary.
         prop_assert!((0.0..=100.0).contains(&out.min_free_disk_pct));

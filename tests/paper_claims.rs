@@ -18,7 +18,7 @@ fn both_algorithms_complete_on_the_fast_link() {
         let out = run(Site::inter_department(), 8.0, algo);
         assert!(out.completed, "{:?} failed to complete", algo);
         assert!(!out.ended_stalled);
-        assert!(out.frames_visualized > 0);
+        assert!(out.frames_rendered > 0);
     }
 }
 
@@ -96,7 +96,11 @@ fn optimization_leads_visualization_at_mid_run() {
 
 #[test]
 fn frames_ship_in_simulated_time_order_everywhere() {
-    for kind_f in [Site::inter_department, Site::intra_country, Site::cross_continent] {
+    for kind_f in [
+        Site::inter_department,
+        Site::intra_country,
+        Site::cross_continent,
+    ] {
         for algo in AlgorithmKind::both() {
             let out = run(kind_f(), 6.0, algo);
             let viz = out.series.get("viz_progress").expect("series exists");
@@ -125,10 +129,14 @@ fn output_interval_respects_mission_bounds() {
 
 #[test]
 fn disk_accounting_is_conserved() {
-    let out = run(Site::inter_department(), 10.0, AlgorithmKind::GreedyThreshold);
+    let out = run(
+        Site::inter_department(),
+        10.0,
+        AlgorithmKind::GreedyThreshold,
+    );
     // Everything written was either shipped, dropped, or still on disk.
     assert!(out.frames_shipped + out.frames_dropped <= out.frames_written);
-    assert!(out.frames_visualized <= out.frames_shipped);
+    assert!(out.frames_rendered <= out.frames_shipped);
     let disk = out.series.get("free_disk_pct").expect("series exists");
     assert!(disk.min_value().expect("non-empty") >= 0.0);
     assert!(disk.max_value().expect("non-empty") <= 100.0);

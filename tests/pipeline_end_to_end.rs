@@ -10,8 +10,7 @@ use wrf::{ModelConfig, WrfModel};
 
 #[test]
 fn frame_bytes_roundtrip_and_render() {
-    let mut model =
-        WrfModel::new(ModelConfig::aila_default().with_decimation(12)).expect("valid");
+    let mut model = WrfModel::new(ModelConfig::aila_default().with_decimation(12)).expect("valid");
     model.advance_to_minutes(120.0, 2).expect("finite");
     model.spawn_nest();
     model.advance_to_minutes(180.0, 2).expect("finite");
@@ -80,8 +79,7 @@ fn mission_schedule_consistency_between_crates() {
 
 #[test]
 fn tracklog_over_a_day_matches_the_model_truth() {
-    let mut model =
-        WrfModel::new(ModelConfig::aila_default().with_decimation(12)).expect("valid");
+    let mut model = WrfModel::new(ModelConfig::aila_default().with_decimation(12)).expect("valid");
     let mut track = TrackLog::new();
     for _ in 0..6 {
         model

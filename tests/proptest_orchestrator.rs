@@ -43,10 +43,8 @@ proptest! {
         .with_options(opts)
         .run();
 
-        // Frame conservation.
-        prop_assert!(out.frames_shipped <= out.frames_written);
-        prop_assert!(out.frames_visualized <= out.frames_shipped);
-        prop_assert!(out.frames_dropped + out.frames_shipped <= out.frames_written);
+        // Frame conservation (shared engine-level helper).
+        climate_adaptive::adaptive::engine::assert_frame_conservation(&out);
 
         // Disk bounds.
         prop_assert!((0.0..=100.0).contains(&out.min_free_disk_pct));

@@ -84,7 +84,10 @@ pub mod channel {
 
     /// Create a bounded blocking channel with capacity `cap` (> 0).
     pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
-        assert!(cap > 0, "this stand-in does not support rendezvous channels");
+        assert!(
+            cap > 0,
+            "this stand-in does not support rendezvous channels"
+        );
         let chan = Arc::new(Chan {
             state: Mutex::new(State {
                 queue: VecDeque::with_capacity(cap),

@@ -271,13 +271,55 @@ pub mod strategy {
     tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5);
     tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5, G / 6);
     tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5, G / 6, H / 7);
-    tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5, G / 6, H / 7, I / 8);
-    tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5, G / 6, H / 7, I / 8, J / 9);
     tuple_strategy!(
-        A / 0, B / 1, C / 2, D / 3, E / 4, F / 5, G / 6, H / 7, I / 8, J / 9, K / 10
+        A / 0,
+        B / 1,
+        C / 2,
+        D / 3,
+        E / 4,
+        F / 5,
+        G / 6,
+        H / 7,
+        I / 8
     );
     tuple_strategy!(
-        A / 0, B / 1, C / 2, D / 3, E / 4, F / 5, G / 6, H / 7, I / 8, J / 9, K / 10, L / 11
+        A / 0,
+        B / 1,
+        C / 2,
+        D / 3,
+        E / 4,
+        F / 5,
+        G / 6,
+        H / 7,
+        I / 8,
+        J / 9
+    );
+    tuple_strategy!(
+        A / 0,
+        B / 1,
+        C / 2,
+        D / 3,
+        E / 4,
+        F / 5,
+        G / 6,
+        H / 7,
+        I / 8,
+        J / 9,
+        K / 10
+    );
+    tuple_strategy!(
+        A / 0,
+        B / 1,
+        C / 2,
+        D / 3,
+        E / 4,
+        F / 5,
+        G / 6,
+        H / 7,
+        I / 8,
+        J / 9,
+        K / 10,
+        L / 11
     );
 
     macro_rules! float_range_strategy {
@@ -700,7 +742,9 @@ macro_rules! prop_assert_ne {
             (l, r) => $crate::prop_assert!(
                 *l != *r,
                 "assertion failed: `{} != {}` (both: {:?})",
-                stringify!($left), stringify!($right), l
+                stringify!($left),
+                stringify!($right),
+                l
             ),
         }
     };
@@ -780,10 +824,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "failed at case")]
     fn failing_case_panics_with_index() {
-        crate::test_runner::run_cases(
-            ProptestConfig::with_cases(3),
-            "always_fails",
-            |_rng| Err(TestCaseError::fail("nope")),
-        );
+        crate::test_runner::run_cases(ProptestConfig::with_cases(3), "always_fails", |_rng| {
+            Err(TestCaseError::fail("nope"))
+        });
     }
 }

@@ -254,7 +254,11 @@ impl<T: Deserialize> Deserialize for Box<T> {
 
 impl<V: Serialize> Serialize for BTreeMap<String, V> {
     fn to_value(&self) -> Value {
-        Value::Map(self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect())
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
     }
 }
 
@@ -279,10 +283,7 @@ mod tests {
         assert_eq!(bool::from_value(&true.to_value()), Ok(true));
         assert_eq!(u64::from_value(&42u64.to_value()), Ok(42));
         assert_eq!(f64::from_value(&1.5f64.to_value()), Ok(1.5));
-        assert_eq!(
-            String::from_value(&"hi".to_value()),
-            Ok(String::from("hi"))
-        );
+        assert_eq!(String::from_value(&"hi".to_value()), Ok(String::from("hi")));
         assert!(u64::from_value(&Value::Num(1.5)).is_err());
         assert!(u8::from_value(&Value::Num(300.0)).is_err());
     }

@@ -124,9 +124,7 @@ fn parse_named_fields(stream: TokenStream, ty: &str) -> Vec<String> {
         };
         match toks.next() {
             Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
-            other => panic!(
-                "serde derive: expected `:` after field `{ty}.{field}`, got {other:?}"
-            ),
+            other => panic!("serde derive: expected `:` after field `{ty}.{field}`, got {other:?}"),
         }
         // Skip the type: consume until a comma at angle-bracket depth 0.
         let mut depth = 0i32;
@@ -214,10 +212,7 @@ fn gen_struct_serialize(name: &str, fields: &[String]) -> String {
 }
 
 fn gen_struct_deserialize(name: &str, fields: &[String]) -> String {
-    let inits: String = fields
-        .iter()
-        .map(|f| field_init(name, f, "v"))
-        .collect();
+    let inits: String = fields.iter().map(|f| field_init(name, f, "v")).collect();
     format!(
         "#[automatically_derived]\n#[allow(unused, clippy::all)]\nimpl ::serde::Deserialize for {name} {{\n\
            fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
@@ -283,10 +278,7 @@ fn gen_enum_deserialize(name: &str, variants: &[(String, Vec<String>)]) -> Strin
         .iter()
         .filter(|(_, fields)| !fields.is_empty())
         .map(|(variant, fields)| {
-            let inits: String = fields
-                .iter()
-                .map(|f| field_init(name, f, "body"))
-                .collect();
+            let inits: String = fields.iter().map(|f| field_init(name, f, "body")).collect();
             format!(
                 "\"{variant}\" => \
                    return ::std::result::Result::Ok({name}::{variant} {{ {inits} }}),"
