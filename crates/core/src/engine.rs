@@ -49,6 +49,42 @@ use wrf::WrfModel;
 // Shared run configuration
 // ---------------------------------------------------------------------
 
+/// How many *real* integrator workers the physics runs on.
+///
+/// The manager's decided processor count (`num_procs`) is a *modeled*
+/// quantity: it drives the performance law, the LP, and the paper's
+/// figures, and stays meaningful on any host. This knob is the *real*
+/// counterpart — the size of the persistent rank team
+/// ([`wrf::WorkerPool`]) actually integrating the PDE. Bitwise
+/// serial/parallel parity makes the two independent: following the
+/// decision changes wall time, never results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PhysicsThreads {
+    /// A fixed worker count, independent of the manager's decisions
+    /// (1 = fully deterministic scheduling, plenty for decimated grids).
+    Fixed(usize),
+    /// Size the rank team to the manager's decided processor count each
+    /// step — the paper's premise ("adding processors speeds up the
+    /// simulation") made real. The team is clamped to the host's cores.
+    FollowDecision,
+}
+
+impl Default for PhysicsThreads {
+    fn default() -> Self {
+        PhysicsThreads::Fixed(1)
+    }
+}
+
+impl PhysicsThreads {
+    /// Worker count to use given the manager's current decision.
+    pub fn resolve(self, decided_procs: usize) -> usize {
+        match self {
+            PhysicsThreads::Fixed(n) => n.max(1),
+            PhysicsThreads::FollowDecision => decided_procs.max(1),
+        }
+    }
+}
+
 /// Knobs shared by every pipeline driver (DES and live). One source of
 /// defaults, so the drivers cannot drift apart.
 #[derive(Debug, Clone)]
@@ -56,9 +92,8 @@ pub struct PipelineOptions {
     /// Give up (as the paper's dotted lines do) after this much modeled
     /// wall time.
     pub wall_cap_hours: f64,
-    /// Threads for the physics integrator (1 keeps runs deterministic and
-    /// is plenty for decimated grids).
-    pub physics_threads: usize,
+    /// Real integrator worker-team sizing (see [`PhysicsThreads`]).
+    pub physics_threads: PhysicsThreads,
     /// Seed for the network-variability walk.
     pub seed: u64,
     /// Period of the stalled-disk re-check, wall seconds.
@@ -75,7 +110,7 @@ impl Default for PipelineOptions {
     fn default() -> Self {
         PipelineOptions {
             wall_cap_hours: 120.0,
-            physics_threads: 1,
+            physics_threads: PhysicsThreads::default(),
             seed: 42,
             stall_probe_secs: 600.0,
             fault_plan: FaultPlan::new(),
@@ -1338,8 +1373,9 @@ fn handle<T: FrameTransport, D: Durability, F: FaultInjector>(
     match ev {
         Ev::Step => {
             w.step_event = None;
+            let workers = w.options.physics_threads.resolve(w.config.num_procs);
             w.model
-                .advance_steps(1, w.options.physics_threads)
+                .advance_steps(1, workers)
                 .expect("integrator stays finite on mission configurations");
             w.record_sim(now);
 
@@ -1816,7 +1852,11 @@ mod tests {
     fn pipeline_options_defaults_match_the_documented_knobs() {
         let opts = PipelineOptions::default();
         assert_eq!(opts.wall_cap_hours, 120.0);
-        assert_eq!(opts.physics_threads, 1);
+        assert_eq!(opts.physics_threads, PhysicsThreads::Fixed(1));
+        assert_eq!(opts.physics_threads.resolve(9), 1);
+        assert_eq!(PhysicsThreads::FollowDecision.resolve(9), 9);
+        assert_eq!(PhysicsThreads::FollowDecision.resolve(0), 1);
+        assert_eq!(PhysicsThreads::Fixed(0).resolve(5), 1);
         assert_eq!(opts.seed, 42);
         assert_eq!(opts.stall_probe_secs, 600.0);
         assert!(opts.fault_plan.is_empty());

@@ -92,6 +92,13 @@ impl OnlineOptions {
         self.pipeline.durability = Some(durability);
         self
     }
+
+    /// Builder: real integrator worker-team sizing (fixed count, or
+    /// follow the manager's decided processor count).
+    pub fn with_physics_threads(mut self, mode: crate::engine::PhysicsThreads) -> Self {
+        self.pipeline.physics_threads = mode;
+        self
+    }
 }
 
 /// What an online run observed: the shared [`PipelineReport`] plus the

@@ -135,6 +135,27 @@ impl ScalingFit {
         let t: f64 = b.iter().zip(&self.coeffs).map(|(x, c)| x * c).sum();
         t.max(1e-6)
     }
+
+    /// Partial derivative ∂t/∂p of the (unclamped) law at fixed workload:
+    ///
+    /// ```text
+    /// ∂t/∂p = −c1·W/p² − c2·√W/(2·p^1.5) + c3/(p·ln 2)
+    /// ```
+    ///
+    /// The sign is the paper's adaptation premise in one number: negative
+    /// means adding processors still speeds up a step (the work and halo
+    /// terms dominate), positive means the collectives term has taken over
+    /// and the law itself says to stop scaling out. The profiling binary
+    /// reports this over the measured range after every re-fit.
+    pub fn d_dt_d_procs(&self, procs: f64, work: f64) -> f64 {
+        assert!(
+            procs > 0.0 && work > 0.0,
+            "derivative needs positive inputs"
+        );
+        let [_, c1, c2, c3] = self.coeffs;
+        -c1 * work / (procs * procs) - c2 * work.sqrt() / (2.0 * procs.powf(1.5))
+            + c3 / (procs * std::f64::consts::LN_2)
+    }
 }
 
 #[cfg(test)]
@@ -206,6 +227,24 @@ mod tests {
         // Coefficients chosen to go negative for large p.
         let fit = ScalingFit::from_coeffs([-10.0, 0.0, 0.0, 0.0]);
         assert!(fit.predict(8.0, 1e6) > 0.0);
+    }
+
+    #[test]
+    fn derivative_matches_finite_differences_and_flips_sign() {
+        let truth = truth();
+        let work = 1e6;
+        for p in [1.0, 2.0, 5.5, 16.0, 100.0] {
+            let h = 1e-5 * p;
+            let fd = (truth.predict(p + h, work) - truth.predict(p - h, work)) / (2.0 * h);
+            let an = truth.d_dt_d_procs(p, work);
+            assert!(
+                (fd - an).abs() <= 1e-6 * an.abs().max(1e-9),
+                "p={p}: {fd} vs {an}"
+            );
+        }
+        // Scaling regime: more procs → faster. Collectives regime: slower.
+        assert!(truth.d_dt_d_procs(2.0, work) < 0.0);
+        assert!(truth.d_dt_d_procs(1e4, work) > 0.0);
     }
 
     #[test]

@@ -110,8 +110,26 @@ impl Fields {
         }
     }
 
+    /// Adopt the grid extents, spacing, and origin of `other` in place,
+    /// reusing existing allocations when possible. Cell values are
+    /// unspecified afterwards — this is the scratch-buffer half of the
+    /// integrator's double-buffering, and every kernel writes every cell.
+    pub fn shape_like(&mut self, other: &Fields) {
+        let (nx, ny) = (other.nx(), other.ny());
+        if self.nx() != nx || self.ny() != ny {
+            self.eta.reshape(nx, ny);
+            self.u.reshape(nx, ny);
+            self.v.reshape(nx, ny);
+            self.q.reshape(nx, ny);
+        }
+        self.dx_km = other.dx_km;
+        self.origin_x_km = other.origin_x_km;
+        self.origin_y_km = other.origin_y_km;
+    }
+
     /// True when every value in every field is finite — the integrator's
-    /// blow-up detector.
+    /// blow-up detector (now used at checkpoints and on ingest; the
+    /// per-step hot path relies on the kernels' finite probes instead).
     pub fn all_finite(&self) -> bool {
         self.eta.data().iter().all(|v| v.is_finite())
             && self.u.data().iter().all(|v| v.is_finite())

@@ -101,6 +101,16 @@ impl Grid2 {
         self.data.fill(v);
     }
 
+    /// Change the extents in place, reusing the existing allocation when
+    /// it is large enough. Values are unspecified afterwards — intended
+    /// for scratch buffers whose every cell is about to be overwritten.
+    pub fn reshape(&mut self, nx: usize, ny: usize) {
+        assert!(nx > 0 && ny > 0, "grid extents must be positive");
+        self.nx = nx;
+        self.ny = ny;
+        self.data.resize(nx * ny, 0.0);
+    }
+
     /// Minimum value and its `(i, j)` location (first occurrence).
     pub fn min_with_pos(&self) -> (f64, usize, usize) {
         let (idx, &v) = self

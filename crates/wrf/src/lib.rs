@@ -19,10 +19,13 @@
 //! steering flow. A two-way moving nest refines the cyclone region at a
 //! 1:3 ratio, exactly as the paper configures WRF.
 //!
-//! Parallelism mirrors the MPI decomposition two ways: a shared-memory
-//! row-band executor used for real speed, and an explicit halo-exchange
-//! rank solver ([`par::step_halo_ranks`]) that reproduces the message-passing
-//! structure and is tested against the serial integrator.
+//! Parallelism mirrors the MPI decomposition two ways: a persistent
+//! rank team ([`pool::WorkerPool`]) used for real speed — spawned once
+//! per model, parked on a reusable barrier between passes, double-buffered
+//! so the hot loop never allocates — and an explicit halo-exchange rank
+//! solver ([`par::HaloWorkspace`]) that reproduces the message-passing
+//! structure with reusable channels and boundary-row buffers. Both are
+//! tested bitwise against the serial integrator.
 //!
 //! # Quickstart
 //!
@@ -46,6 +49,7 @@ mod grid;
 mod model;
 mod nest;
 pub mod par;
+pub mod pool;
 mod solver;
 mod vortex;
 
@@ -54,6 +58,7 @@ pub use geom::DomainGeom;
 pub use grid::Grid2;
 pub use model::{ModelConfig, ModelError, WrfModel};
 pub use nest::{Nest, NestConfig};
+pub use pool::WorkerPool;
 pub use solver::PhysicsParams;
 pub use vortex::{VortexParams, VortexState, BASE_PRESSURE_HPA};
 

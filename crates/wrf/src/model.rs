@@ -3,7 +3,7 @@
 use crate::fields::Fields;
 use crate::geom::DomainGeom;
 use crate::nest::{Nest, NestConfig};
-use crate::par;
+use crate::pool::WorkerPool;
 use crate::solver::PhysicsParams;
 use crate::vortex::{VortexParams, VortexState};
 use crate::{dt_for_resolution_secs, Grid2};
@@ -120,6 +120,60 @@ impl ModelConfig {
     }
 }
 
+/// Ephemeral per-process machinery of a running model: the persistent
+/// integrator rank team and the double-buffer scratch fields. Not part of
+/// the model *state* — it is rebuilt lazily after clone or checkpoint
+/// restore, compares equal to everything, and is never serialized.
+#[derive(Debug)]
+struct Runtime {
+    /// Long-lived rank team; spawned on the first `advance_steps` and
+    /// resized (not respawned per step) when the worker count changes.
+    pool: Option<WorkerPool>,
+    /// Ping-pong partner of the parent `fields` buffer.
+    scratch: Fields,
+    /// Ping-pong partner of the nest fields.
+    nest_scratch: Fields,
+}
+
+impl Default for Runtime {
+    fn default() -> Self {
+        // Minimal placeholder shapes: the first step reshapes in place.
+        Runtime {
+            pool: None,
+            scratch: Fields::zeros(1, 1, 1.0),
+            nest_scratch: Fields::zeros(1, 1, 1.0),
+        }
+    }
+}
+
+impl Clone for Runtime {
+    fn clone(&self) -> Self {
+        // A cloned model gets fresh lazy machinery, not shared threads.
+        Runtime::default()
+    }
+}
+
+impl PartialEq for Runtime {
+    fn eq(&self, _: &Self) -> bool {
+        // Runtime machinery never participates in state comparisons (the
+        // restart logic compares models across different worker counts).
+        true
+    }
+}
+
+impl Runtime {
+    fn ensure_pool(&mut self, workers: usize) {
+        match &mut self.pool {
+            Some(p) => {
+                if p.workers() != workers {
+                    p.resize(workers);
+                }
+            }
+            None => self.pool = Some(WorkerPool::new(workers)),
+        }
+    }
+}
+
 /// A running simulation instance (the paper's "WRF simulation process").
 #[derive(Debug, Clone, PartialEq)]
 pub struct WrfModel {
@@ -129,6 +183,7 @@ pub struct WrfModel {
     vortex: VortexState,
     sim_secs: f64,
     steps_taken: u64,
+    runtime: Runtime,
 }
 
 impl WrfModel {
@@ -161,6 +216,7 @@ impl WrfModel {
             vortex,
             sim_secs: 0.0,
             steps_taken: 0,
+            runtime: Runtime::default(),
         })
     }
 
@@ -211,30 +267,46 @@ impl WrfModel {
     }
 
     /// Advance exactly `n` parent steps on `threads` workers.
+    ///
+    /// The rank team persists across calls; changing `threads` resizes it
+    /// once, not per step. Each step ping-pongs the prognostic buffers
+    /// through the runtime scratch fields, so the hot loop is
+    /// allocation-free, and blow-up detection rides on the kernels'
+    /// finite probes instead of an extra full-grid scan (nest feedback
+    /// and re-centre only bilinearly sample probe-covered values, which
+    /// cannot manufacture a non-finite parent point).
     pub fn advance_steps(&mut self, n: usize, threads: usize) -> Result<(), ModelError> {
+        self.runtime.ensure_pool(threads);
         for _ in 0..n {
             let dt = self.dt_secs();
+            let Runtime {
+                pool,
+                scratch,
+                nest_scratch,
+            } = &mut self.runtime;
+            let pool = pool.as_mut().expect("pool ensured above");
             // Parent step (vortex frozen during the parent pass; the nest
             // substeps advance it through the same interval).
-            let new_parent = par::step(
+            let mut probe = pool.step(
                 &self.fields,
                 &self.vortex,
                 &self.cfg.phys,
                 &self.cfg.vortex,
                 &self.cfg.geom,
                 dt,
-                threads,
+                scratch,
             );
-            self.fields = new_parent;
+            std::mem::swap(&mut self.fields, scratch);
             match &mut self.nest {
                 Some(nest) => {
-                    nest.advance_parent_step(
+                    probe += nest.advance_parent_step(
                         &mut self.vortex,
                         &self.cfg.phys,
                         &self.cfg.vortex,
                         &self.cfg.geom,
                         dt,
-                        threads,
+                        pool,
+                        nest_scratch,
                     );
                     nest.feedback(&mut self.fields);
                     let (ex, ey) = (self.vortex.x_km, self.vortex.y_km);
@@ -246,7 +318,7 @@ impl WrfModel {
             }
             self.sim_secs += dt;
             self.steps_taken += 1;
-            if !self.fields.all_finite() {
+            if !probe.is_finite() {
                 return Err(ModelError::NumericalBlowup {
                     at_sim_secs: self.sim_secs,
                 });
@@ -445,6 +517,7 @@ impl WrfModel {
             vortex,
             sim_secs,
             steps_taken,
+            runtime: Runtime::default(),
         })
     }
 }

@@ -10,7 +10,7 @@
 
 use crate::fields::Fields;
 use crate::grid::Grid2;
-use crate::par;
+use crate::pool::WorkerPool;
 use crate::solver::PhysicsParams;
 use crate::vortex::{VortexParams, VortexState};
 use serde::{Deserialize, Serialize};
@@ -89,7 +89,9 @@ impl Nest {
     }
 
     /// Advance the nest by one *parent* step: `ratio` substeps at the
-    /// finer time step.
+    /// finer time step, on the shared rank team, double-buffered through
+    /// `scratch`. Returns the accumulated finite probe of the substeps.
+    #[allow(clippy::too_many_arguments)]
     pub fn advance_parent_step(
         &mut self,
         vortex: &mut VortexState,
@@ -97,13 +99,17 @@ impl Nest {
         vparams: &VortexParams,
         geom: &crate::geom::DomainGeom,
         parent_dt_secs: f64,
-        threads: usize,
-    ) {
+        pool: &mut WorkerPool,
+        scratch: &mut Fields,
+    ) -> f64 {
         let sub_dt = parent_dt_secs / self.cfg.ratio as f64;
+        let mut probe = 0.0;
         for _ in 0..self.cfg.ratio {
-            self.fields = par::step(&self.fields, vortex, phys, vparams, geom, sub_dt, threads);
+            probe += pool.step(&self.fields, vortex, phys, vparams, geom, sub_dt, scratch);
+            std::mem::swap(&mut self.fields, scratch);
             vortex.advance(sub_dt, vparams, geom);
         }
+        probe
     }
 
     /// Two-way feedback: overwrite parent points covered by the nest
@@ -286,10 +292,21 @@ mod tests {
         let mut nest = Nest::spawn(&parent, NestConfig::aila(), vortex.x_km, vortex.y_km);
         let x0 = vortex.x_km;
         let dt = 6.0 * parent.dx_km;
-        nest.advance_parent_step(&mut vortex, &phys, &vparams, &geom, dt, 1);
+        let mut pool = WorkerPool::new(1);
+        let mut scratch = Fields::zeros(1, 1, 1.0);
+        let probe = nest.advance_parent_step(
+            &mut vortex,
+            &phys,
+            &vparams,
+            &geom,
+            dt,
+            &mut pool,
+            &mut scratch,
+        );
         let moved_km = vortex.x_km - x0;
         let expect = vparams.steer_east_ms * dt / 1000.0;
         assert!((moved_km - expect).abs() < 1e-9);
+        assert!(probe.is_finite());
         assert!(nest.fields.all_finite());
     }
 

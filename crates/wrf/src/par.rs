@@ -4,14 +4,19 @@
 //! and exchanges halo rows with neighbours every step. This module
 //! reproduces that structure two ways:
 //!
-//! - [`step`] — shared-memory row bands: each of `threads` workers writes a
-//!   disjoint band of the output arrays while reading the shared previous
-//!   state. The barrier between the continuity and momentum passes is the
-//!   scope join. This is the fast path.
-//! - [`step_halo_ranks`] — explicit message passing: each rank owns a local
-//!   band *plus halo rows*, and after the continuity pass sends its
-//!   boundary rows to its neighbours over channels before the momentum
-//!   pass reads them — a faithful miniature of the MPI halo exchange.
+//! - [`step_spawning`] — the *legacy* shared-memory path: each of
+//!   `threads` workers is spawned fresh per pass per step and writes a
+//!   disjoint row band of the output. Kept as a benchmark reference and a
+//!   second parity witness; the production fast path is the persistent
+//!   team in [`crate::pool`], which does the same band decomposition
+//!   without per-step thread creation.
+//! - [`HaloWorkspace`] / [`step_halo_ranks`] — explicit message passing:
+//!   each rank owns a local band *plus halo rows*, and after the
+//!   continuity pass sends its boundary rows to its neighbours over
+//!   channels before the momentum pass reads them — a faithful miniature
+//!   of the MPI halo exchange. The workspace owns the channels, boundary
+//!   row buffers, and per-rank full-array shims, so a reused workspace
+//!   steps without allocating.
 //!
 //! Both are tested to produce results identical (to f64 round-off — in
 //! fact bitwise, since the arithmetic per point is identical) to the
@@ -21,11 +26,9 @@
 
 use crate::fields::Fields;
 use crate::geom::DomainGeom;
-use crate::solver::{
-    step_eta_rows, step_q_rows, step_serial, step_uv_rows, PhysicsParams, StepInputs,
-};
+use crate::solver::{step_eta_q_rows, step_serial_into, step_uv_rows, PhysicsParams, StepInputs};
 use crate::vortex::{VortexParams, VortexState};
-use crossbeam::channel::bounded;
+use crossbeam::channel::{bounded, Receiver, Sender};
 
 /// Split `n` rows into at most `parts` contiguous non-empty bands.
 pub(crate) fn band_ranges(n: usize, parts: usize) -> Vec<(usize, usize)> {
@@ -42,8 +45,11 @@ pub(crate) fn band_ranges(n: usize, parts: usize) -> Vec<(usize, usize)> {
     out
 }
 
-/// Advance one integration step on `threads` shared-memory workers.
-pub fn step(
+/// Advance one integration step on `threads` freshly spawned workers
+/// (legacy path — two spawn/join rounds per step; see [`crate::pool`] for
+/// the persistent-team replacement).
+#[allow(clippy::too_many_arguments)]
+pub fn step_spawning(
     old: &Fields,
     vortex: &VortexState,
     phys: &PhysicsParams,
@@ -60,17 +66,18 @@ pub fn step(
         geom,
         dt_secs,
     };
+    let mut new = Fields::zeros(old.nx(), old.ny(), old.dx_km);
     if threads <= 1 {
-        return step_serial(&inp);
+        step_serial_into(&inp, &mut new);
+        return new;
     }
     let (nx, ny) = (old.nx(), old.ny());
     let bands = band_ranges(ny, threads);
-    let mut new = Fields::zeros(nx, ny, old.dx_km);
     new.origin_x_km = old.origin_x_km;
     new.origin_y_km = old.origin_y_km;
 
-    // Pass 1: continuity + tracer (both read only the old state), one
-    // band per worker.
+    // Pass 1: fused continuity + tracer (both read only the old state),
+    // one band per worker.
     crossbeam::thread::scope(|s| {
         let Fields { eta, q, .. } = &mut new;
         let mut rest_eta = eta.data_mut();
@@ -82,8 +89,7 @@ pub fn step(
             rest_q = tq;
             let inp = &inp;
             s.spawn(move |_| {
-                step_eta_rows(inp, j0, j1, ce);
-                step_q_rows(inp, j0, j1, cq);
+                step_eta_q_rows(inp, j0, j1, ce, cq);
             });
         }
     })
@@ -101,7 +107,9 @@ pub fn step(
             rest_u = tu;
             rest_v = tv;
             let inp = &inp;
-            s.spawn(move |_| step_uv_rows(inp, eta_new, j0, j1, cu, cv));
+            s.spawn(move |_| {
+                step_uv_rows(inp, eta_new, j0, j1, cu, cv);
+            });
         }
     })
     .expect("solver worker panicked");
@@ -109,8 +117,212 @@ pub fn step(
     new
 }
 
-/// Advance one step with `ranks` message-passing ranks and a real halo
-/// exchange of the freshly computed continuity field.
+/// One directed neighbour link: a data channel carrying a boundary row and
+/// a recycle channel returning the buffer to the sender. The recycle
+/// channel is seeded with one row buffer at construction, so the exchange
+/// ping-pongs the same two allocations forever.
+struct Link {
+    data_tx: Sender<Vec<f64>>,
+    data_rx: Receiver<Vec<f64>>,
+    recycle_tx: Sender<Vec<f64>>,
+    recycle_rx: Receiver<Vec<f64>>,
+}
+
+impl Link {
+    fn new(nx: usize) -> Self {
+        let (data_tx, data_rx) = bounded::<Vec<f64>>(1);
+        let (recycle_tx, recycle_rx) = bounded::<Vec<f64>>(1);
+        recycle_tx
+            .send(vec![0.0; nx])
+            .expect("seed recycle channel");
+        Link {
+            data_tx,
+            data_rx,
+            recycle_tx,
+            recycle_rx,
+        }
+    }
+}
+
+/// Reusable state for [`HaloWorkspace::step`]: the neighbour channels,
+/// their ping-pong row buffers, and each rank's full-array eta shim. Build
+/// once, step many times — the steady state allocates nothing.
+pub struct HaloWorkspace {
+    /// Rank count asked for at construction (grid-shape rebuilds re-clamp
+    /// from this, not from a previous grid's clamped value).
+    requested: usize,
+    ranks: usize,
+    nx: usize,
+    ny: usize,
+    /// `up[r]` carries rank r's top boundary row to rank r+1.
+    up: Vec<Link>,
+    /// `down[r]` carries rank r+1's bottom boundary row to rank r.
+    down: Vec<Link>,
+    /// Per-rank full-array shim for the momentum pass. Only the rows this
+    /// rank can see (its band ± one halo row) are refreshed each step;
+    /// everything else is stale from earlier steps and never read, because
+    /// the stencil reaches at most one row beyond the band.
+    eta_full: Vec<Vec<f64>>,
+    /// Per-rank finite probes.
+    probes: Vec<f64>,
+}
+
+impl HaloWorkspace {
+    /// Workspace for `ranks` message-passing ranks on an `nx × ny` grid.
+    pub fn new(ranks: usize, nx: usize, ny: usize) -> Self {
+        let nranks = band_ranges(ny, ranks.max(1)).len();
+        HaloWorkspace {
+            requested: ranks.max(1),
+            ranks: nranks,
+            nx,
+            ny,
+            up: (0..nranks.saturating_sub(1))
+                .map(|_| Link::new(nx))
+                .collect(),
+            down: (0..nranks.saturating_sub(1))
+                .map(|_| Link::new(nx))
+                .collect(),
+            eta_full: (0..nranks).map(|_| vec![0.0; nx * ny]).collect(),
+            probes: vec![0.0; nranks],
+        }
+    }
+
+    /// Number of ranks actually used (≤ requested: never more than rows).
+    pub fn ranks(&self) -> usize {
+        self.ranks
+    }
+
+    /// Advance one step with a real halo exchange of the freshly computed
+    /// continuity field, writing into `out`. Returns the finite probe.
+    /// Rebuilds the internal buffers only if the grid shape changed since
+    /// the last call.
+    #[allow(clippy::too_many_arguments)]
+    pub fn step(
+        &mut self,
+        old: &Fields,
+        vortex: &VortexState,
+        phys: &PhysicsParams,
+        vparams: &VortexParams,
+        geom: &DomainGeom,
+        dt_secs: f64,
+        out: &mut Fields,
+    ) -> f64 {
+        let inp = StepInputs {
+            old,
+            vortex,
+            phys,
+            vparams,
+            geom,
+            dt_secs,
+        };
+        let (nx, ny) = (old.nx(), old.ny());
+        if nx != self.nx || ny != self.ny {
+            *self = Self::new(self.requested, nx, ny);
+        }
+        if self.ranks <= 1 {
+            return step_serial_into(&inp, out);
+        }
+        out.shape_like(old);
+        let bands = band_ranges(ny, self.ranks);
+        let nranks = bands.len();
+        debug_assert_eq!(nranks, self.ranks);
+
+        crossbeam::thread::scope(|s| {
+            let Fields { eta, u, v, q, .. } = out;
+            let mut rest_eta = eta.data_mut();
+            let mut rest_u = u.data_mut();
+            let mut rest_v = v.data_mut();
+            let mut rest_q = q.data_mut();
+            let mut shims = self.eta_full.iter_mut();
+            let mut probes = self.probes.iter_mut();
+
+            for (r, &(j0, j1)) in bands.iter().enumerate() {
+                let rows = j1 - j0;
+                let (out_eta, te) = rest_eta.split_at_mut(rows * nx);
+                let (out_u, tu) = rest_u.split_at_mut(rows * nx);
+                let (out_v, tv) = rest_v.split_at_mut(rows * nx);
+                let (out_q, tq) = rest_q.split_at_mut(rows * nx);
+                rest_eta = te;
+                rest_u = tu;
+                rest_v = tv;
+                rest_q = tq;
+                let eta_full = shims.next().expect("one shim per rank");
+                let probe_slot = probes.next().expect("one probe per rank");
+                let inp = &inp;
+
+                // Channel endpoints owned by this rank. Edge r joins ranks
+                // r and r+1; `up` flows r → r+1, `down` flows r+1 → r, and
+                // each link's recycle channel flows the other way.
+                let send_up = (r + 1 < nranks).then(|| {
+                    let l = &self.up[r];
+                    (l.data_tx.clone(), l.recycle_rx.clone())
+                });
+                let recv_below = (r > 0).then(|| {
+                    let l = &self.up[r - 1];
+                    (l.data_rx.clone(), l.recycle_tx.clone())
+                });
+                let send_down = (r > 0).then(|| {
+                    let l = &self.down[r - 1];
+                    (l.data_tx.clone(), l.recycle_rx.clone())
+                });
+                let recv_above = (r + 1 < nranks).then(|| {
+                    let l = &self.down[r];
+                    (l.data_rx.clone(), l.recycle_tx.clone())
+                });
+
+                s.spawn(move |_| {
+                    // Fused continuity + tracer pass straight into this
+                    // rank's band of the output (reads shared old state;
+                    // its halo is implicit in that read-only borrow, like
+                    // the initial scatter of an MPI run).
+                    let mut probe = step_eta_q_rows(inp, j0, j1, out_eta, out_q);
+
+                    // Halo exchange of the *new* eta: fetch a recycled
+                    // buffer, fill it with the boundary row, send.
+                    if let Some((tx, ret)) = &send_up {
+                        let mut buf = ret.recv().expect("recycled row available");
+                        buf.copy_from_slice(&out_eta[(rows - 1) * nx..]);
+                        tx.send(buf).expect("neighbour alive");
+                    }
+                    if let Some((tx, ret)) = &send_down {
+                        let mut buf = ret.recv().expect("recycled row available");
+                        buf.copy_from_slice(&out_eta[..nx]);
+                        tx.send(buf).expect("neighbour alive");
+                    }
+
+                    // Refresh the visible window of the full-array shim:
+                    // own band plus received halo rows, which go straight
+                    // back to their senders once copied.
+                    eta_full[j0 * nx..j1 * nx].copy_from_slice(out_eta);
+                    if let Some((rx, ret)) = &recv_below {
+                        let buf = rx.recv().expect("neighbour alive");
+                        eta_full[(j0 - 1) * nx..j0 * nx].copy_from_slice(&buf);
+                        ret.send(buf).expect("recycle capacity");
+                    }
+                    if let Some((rx, ret)) = &recv_above {
+                        let buf = rx.recv().expect("neighbour alive");
+                        eta_full[j1 * nx..(j1 + 1) * nx].copy_from_slice(&buf);
+                        ret.send(buf).expect("recycle capacity");
+                    }
+
+                    // Momentum pass over the shim (stale outside the
+                    // window, never read there: the stencil reaches one
+                    // row beyond the band at most).
+                    probe += step_uv_rows(inp, eta_full, j0, j1, out_u, out_v);
+                    *probe_slot = probe;
+                });
+            }
+        })
+        .expect("rank panicked");
+
+        self.probes.iter().sum()
+    }
+}
+
+/// Advance one step with `ranks` message-passing ranks — convenience
+/// wrapper building a throwaway [`HaloWorkspace`]. Reuse a workspace when
+/// stepping repeatedly; this wrapper pays the channel/buffer setup every
+/// call.
 pub fn step_halo_ranks(
     old: &Fields,
     vortex: &VortexState,
@@ -120,133 +332,10 @@ pub fn step_halo_ranks(
     dt_secs: f64,
     ranks: usize,
 ) -> Fields {
-    let inp = StepInputs {
-        old,
-        vortex,
-        phys,
-        vparams,
-        geom,
-        dt_secs,
-    };
-    if ranks <= 1 {
-        return step_serial(&inp);
-    }
-    let (nx, ny) = (old.nx(), old.ny());
-    let bands = band_ranges(ny, ranks);
-    let nranks = bands.len();
-
-    // One channel per directed neighbour edge: up[r] carries rank r's top
-    // boundary row to rank r+1; down[r] carries rank r+1's bottom row to
-    // rank r.
-    let mut up_tx = Vec::new();
-    let mut up_rx = Vec::new();
-    let mut down_tx = Vec::new();
-    let mut down_rx = Vec::new();
-    for _ in 0..nranks.saturating_sub(1) {
-        let (tx, rx) = bounded::<Vec<f64>>(1);
-        up_tx.push(tx);
-        up_rx.push(rx);
-        let (tx, rx) = bounded::<Vec<f64>>(1);
-        down_tx.push(tx);
-        down_rx.push(rx);
-    }
-    let (result_tx, result_rx) = bounded::<(usize, Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>)>(nranks);
-
-    crossbeam::thread::scope(|s| {
-        for (r, &(j0, j1)) in bands.iter().enumerate() {
-            let rows = j1 - j0;
-            let inp = &inp;
-            // Channel endpoints owned by this rank.
-            let send_up = if r + 1 < nranks {
-                Some(up_tx[r].clone())
-            } else {
-                None
-            };
-            let recv_up = if r > 0 {
-                Some(up_rx[r - 1].clone())
-            } else {
-                None
-            };
-            let send_down = if r > 0 {
-                Some(down_tx[r - 1].clone())
-            } else {
-                None
-            };
-            let recv_down = if r + 1 < nranks {
-                Some(down_rx[r].clone())
-            } else {
-                None
-            };
-            let result_tx = result_tx.clone();
-
-            s.spawn(move |_| {
-                // Continuity pass on the local band (reads shared old
-                // state; its halo is implicit in that read-only borrow,
-                // like the initial scatter of an MPI run).
-                let mut eta_local = vec![0.0; rows * nx];
-                step_eta_rows(inp, j0, j1, &mut eta_local);
-                // The tracer reads only the old state: no exchange needed.
-                let mut q_local = vec![0.0; rows * nx];
-                step_q_rows(inp, j0, j1, &mut q_local);
-
-                // Halo exchange of the *new* eta: send boundary rows...
-                if let Some(tx) = &send_up {
-                    tx.send(eta_local[(rows - 1) * nx..].to_vec())
-                        .expect("neighbour alive");
-                }
-                if let Some(tx) = &send_down {
-                    tx.send(eta_local[..nx].to_vec()).expect("neighbour alive");
-                }
-                // ... and receive the neighbours' into halo rows.
-                let halo_below = recv_up.map(|rx| rx.recv().expect("neighbour alive"));
-                let halo_above = recv_down.map(|rx| rx.recv().expect("neighbour alive"));
-
-                // Assemble the extended local eta (with halos) laid out as
-                // the global array slice this rank can see: rows
-                // (j0-1)..(j1+1) clipped to the domain.
-                let jlo = j0.saturating_sub(1);
-                let jhi = (j1 + 1).min(ny);
-                let mut eta_ext = vec![0.0; (jhi - jlo) * nx];
-                if let Some(h) = &halo_below {
-                    eta_ext[..nx].copy_from_slice(h);
-                }
-                let off = (j0 - jlo) * nx;
-                eta_ext[off..off + rows * nx].copy_from_slice(&eta_local);
-                if let Some(h) = &halo_above {
-                    let tail = eta_ext.len() - nx;
-                    eta_ext[tail..].copy_from_slice(h);
-                }
-
-                // Momentum pass needs a full-array view; build a shim that
-                // is zero outside the extended window (never read there:
-                // the stencil only reaches one row beyond the band).
-                let mut eta_full = vec![0.0; nx * ny];
-                eta_full[jlo * nx..jhi * nx].copy_from_slice(&eta_ext);
-                let mut u_local = vec![0.0; rows * nx];
-                let mut v_local = vec![0.0; rows * nx];
-                step_uv_rows(inp, &eta_full, j0, j1, &mut u_local, &mut v_local);
-
-                result_tx
-                    .send((r, eta_local, u_local, v_local, q_local))
-                    .expect("main alive");
-            });
-        }
-    })
-    .expect("rank panicked");
-    drop(result_tx);
-
-    // Gather.
-    let mut new = Fields::zeros(nx, ny, old.dx_km);
-    new.origin_x_km = old.origin_x_km;
-    new.origin_y_km = old.origin_y_km;
-    while let Ok((r, eta_l, u_l, v_l, q_l)) = result_rx.recv() {
-        let (j0, j1) = bands[r];
-        new.eta.data_mut()[j0 * nx..j1 * nx].copy_from_slice(&eta_l);
-        new.u.data_mut()[j0 * nx..j1 * nx].copy_from_slice(&u_l);
-        new.v.data_mut()[j0 * nx..j1 * nx].copy_from_slice(&v_l);
-        new.q.data_mut()[j0 * nx..j1 * nx].copy_from_slice(&q_l);
-    }
-    new
+    let mut ws = HaloWorkspace::new(ranks, old.nx(), old.ny());
+    let mut out = Fields::zeros(old.nx(), old.ny(), old.dx_km);
+    ws.step(old, vortex, phys, vparams, geom, dt_secs, &mut out);
+    out
 }
 
 #[cfg(test)]
@@ -293,12 +382,12 @@ mod tests {
     }
 
     #[test]
-    fn parallel_step_matches_serial_bitwise() {
+    fn spawning_step_matches_serial_bitwise() {
         let (fields, vortex, phys, vparams, geom) = setup();
         let dt = 6.0 * fields.dx_km;
-        let serial = step(&fields, &vortex, &phys, &vparams, &geom, dt, 1);
+        let serial = step_spawning(&fields, &vortex, &phys, &vparams, &geom, dt, 1);
         for threads in [2usize, 3, 4, 7] {
-            let par = step(&fields, &vortex, &phys, &vparams, &geom, dt, threads);
+            let par = step_spawning(&fields, &vortex, &phys, &vparams, &geom, dt, threads);
             assert_eq!(serial, par, "threads = {threads}");
         }
     }
@@ -307,7 +396,7 @@ mod tests {
     fn halo_rank_step_matches_serial_bitwise() {
         let (fields, vortex, phys, vparams, geom) = setup();
         let dt = 6.0 * fields.dx_km;
-        let serial = step(&fields, &vortex, &phys, &vparams, &geom, dt, 1);
+        let serial = step_spawning(&fields, &vortex, &phys, &vparams, &geom, dt, 1);
         for ranks in [2usize, 3, 5, 8] {
             let mp = step_halo_ranks(&fields, &vortex, &phys, &vparams, &geom, dt, ranks);
             assert_eq!(serial, mp, "ranks = {ranks}");
@@ -315,11 +404,38 @@ mod tests {
     }
 
     #[test]
+    fn reused_workspace_matches_serial_across_steps() {
+        let (mut fields, mut vortex, phys, vparams, geom) = setup();
+        let dt = 6.0 * fields.dx_km;
+        let mut ws = HaloWorkspace::new(3, fields.nx(), fields.ny());
+        let mut out = Fields::zeros(1, 1, 1.0);
+        for _ in 0..4 {
+            let serial = step_spawning(&fields, &vortex, &phys, &vparams, &geom, dt, 1);
+            let probe = ws.step(&fields, &vortex, &phys, &vparams, &geom, dt, &mut out);
+            assert_eq!(serial, out);
+            assert!(probe.is_finite());
+            std::mem::swap(&mut fields, &mut out);
+            vortex.advance(dt, &vparams, &geom);
+        }
+    }
+
+    #[test]
+    fn workspace_rebuilds_on_grid_change() {
+        let (fields, vortex, phys, vparams, geom) = setup();
+        let dt = 6.0 * fields.dx_km;
+        let mut ws = HaloWorkspace::new(3, 5, 5); // wrong shape on purpose
+        let mut out = Fields::zeros(1, 1, 1.0);
+        ws.step(&fields, &vortex, &phys, &vparams, &geom, dt, &mut out);
+        let serial = step_spawning(&fields, &vortex, &phys, &vparams, &geom, dt, 1);
+        assert_eq!(serial, out);
+    }
+
+    #[test]
     fn more_ranks_than_rows_is_fine() {
         let (fields, vortex, phys, vparams, geom) = setup();
         let dt = 6.0 * fields.dx_km;
-        let serial = step(&fields, &vortex, &phys, &vparams, &geom, dt, 1);
-        let par = step(&fields, &vortex, &phys, &vparams, &geom, dt, 1000);
+        let serial = step_spawning(&fields, &vortex, &phys, &vparams, &geom, dt, 1);
+        let par = step_spawning(&fields, &vortex, &phys, &vparams, &geom, dt, 1000);
         let mp = step_halo_ranks(&fields, &vortex, &phys, &vparams, &geom, dt, 1000);
         assert_eq!(serial, par);
         assert_eq!(serial, mp);
@@ -329,10 +445,13 @@ mod tests {
     fn repeated_steps_stay_finite_and_track_vortex() {
         let (mut fields, mut vortex, phys, vparams, geom) = setup();
         let dt = 6.0 * fields.dx_km;
+        let mut pool = crate::pool::WorkerPool::with_exact_team(2);
+        let mut scratch = Fields::zeros(1, 1, 1.0);
         for _ in 0..100 {
-            fields = step(&fields, &vortex, &phys, &vparams, &geom, dt, 2);
+            let probe = pool.step(&fields, &vortex, &phys, &vparams, &geom, dt, &mut scratch);
+            std::mem::swap(&mut fields, &mut scratch);
             vortex.advance(dt, &vparams, &geom);
-            assert!(fields.all_finite());
+            assert!(probe.is_finite());
         }
         // After ~100 steps of nudging, the field minimum should sit near
         // the vortex centre.

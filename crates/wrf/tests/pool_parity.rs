@@ -1,0 +1,191 @@
+//! Property tests for the persistent rank team: every parallel execution
+//! path of the dynamical core must be *bitwise* identical to the serial
+//! step, for any grid shape, any team size, nest active or not, and
+//! across mid-run pool resizes. Parity is load-bearing — the adaptation
+//! layer retunes the worker count mid-mission, and a retune that nudged
+//! the trajectory would make every golden track and recovery byte-compare
+//! in the repo flaky.
+
+use proptest::prelude::*;
+use wrf::par::HaloWorkspace;
+use wrf::{
+    DomainGeom, Fields, ModelConfig, PhysicsParams, VortexParams, VortexState, WorkerPool, WrfModel,
+};
+
+/// Deterministic splitmix64 — cheap way to fill four grids from one seed
+/// without asking proptest for tens of thousands of shrinkable floats.
+fn splitmix(state: &mut u64) -> f64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    // Uniform in [0, 1).
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// A physically plausible random state on an arbitrary grid.
+fn random_fields(nx: usize, ny: usize, seed: u64) -> Fields {
+    let mut f = Fields::zeros(nx, ny, 27.0);
+    let mut s = seed;
+    for v in f.eta.data_mut() {
+        *v = 10.0 * splitmix(&mut s) - 5.0;
+    }
+    for v in f.u.data_mut() {
+        *v = 60.0 * splitmix(&mut s) - 30.0;
+    }
+    for v in f.v.data_mut() {
+        *v = 60.0 * splitmix(&mut s) - 30.0;
+    }
+    for v in f.q.data_mut() {
+        *v = 0.03 * splitmix(&mut s);
+    }
+    f
+}
+
+struct Scene {
+    vortex: VortexState,
+    phys: PhysicsParams,
+    vparams: VortexParams,
+    geom: DomainGeom,
+}
+
+impl Scene {
+    fn aila() -> Self {
+        let vparams = VortexParams::aila();
+        let geom = DomainGeom::bay_of_bengal();
+        Scene {
+            vortex: VortexState::genesis(&vparams, &geom),
+            phys: PhysicsParams::bay_of_bengal(),
+            vparams,
+            geom,
+        }
+    }
+
+    fn serial_step(&self, old: &Fields) -> (Fields, f64) {
+        // Team size 1 takes the serial fast path inside the pool.
+        let mut reference = WorkerPool::with_exact_team(1);
+        let mut out = Fields::zeros(1, 1, 1.0);
+        let probe = reference.step(
+            old,
+            &self.vortex,
+            &self.phys,
+            &self.vparams,
+            &self.geom,
+            120.0,
+            &mut out,
+        );
+        (out, probe)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The pooled step is bitwise identical to serial for any grid shape
+    /// and any team size, including teams larger than the row count.
+    #[test]
+    fn pooled_step_matches_serial_bitwise(
+        nx in 4usize..40,
+        ny in 4usize..40,
+        team in 1usize..=8,
+        seed in any::<u64>(),
+    ) {
+        let scene = Scene::aila();
+        let old = random_fields(nx, ny, seed);
+        let (want, want_probe) = scene.serial_step(&old);
+
+        let mut pool = WorkerPool::with_exact_team(team);
+        let mut got = Fields::zeros(1, 1, 1.0);
+        let probe = pool.step(
+            &old, &scene.vortex, &scene.phys, &scene.vparams, &scene.geom, 120.0, &mut got,
+        );
+        prop_assert_eq!(&got, &want, "team {} diverged from serial", team);
+        // The probe is a float sum reduced in band order, so its low bits
+        // may differ from the serial row order — only its finiteness is
+        // meaningful (and here everything is finite).
+        prop_assert_eq!(probe.is_finite(), want_probe.is_finite());
+    }
+
+    /// A reused halo-exchange workspace (recycled channel buffers, warm
+    /// shim rows) stays bitwise identical to serial over multiple steps.
+    #[test]
+    fn reused_halo_workspace_matches_serial_across_steps(
+        nx in 4usize..32,
+        ny in 4usize..32,
+        ranks in 1usize..=8,
+        steps in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let scene = Scene::aila();
+        let mut serial = random_fields(nx, ny, seed);
+        let mut pooled = serial.clone();
+        let mut ws = HaloWorkspace::new(ranks, nx, ny);
+        let mut out = Fields::zeros(1, 1, 1.0);
+        for step in 0..steps {
+            let (want, want_probe) = scene.serial_step(&serial);
+            serial = want;
+            let probe = ws.step(
+                &pooled, &scene.vortex, &scene.phys, &scene.vparams, &scene.geom, 120.0, &mut out,
+            );
+            std::mem::swap(&mut pooled, &mut out);
+            prop_assert_eq!(&pooled, &serial, "step {} diverged", step);
+            prop_assert_eq!(probe.is_finite(), want_probe.is_finite());
+        }
+    }
+
+    /// Resizing the pool between steps — what `FollowDecision` does when
+    /// the manager retunes the processor count — never changes results.
+    #[test]
+    fn mid_run_pool_resizes_preserve_trajectory(
+        nx in 4usize..32,
+        ny in 4usize..32,
+        teams in prop::collection::vec(1usize..=8, 2..5),
+        seed in any::<u64>(),
+    ) {
+        let scene = Scene::aila();
+        let mut serial = random_fields(nx, ny, seed);
+        let mut pooled = serial.clone();
+        let mut pool = WorkerPool::with_exact_team(teams[0]);
+        let mut out = Fields::zeros(1, 1, 1.0);
+        for &team in &teams {
+            pool.resize(team);
+            let (want, _) = scene.serial_step(&serial);
+            serial = want;
+            pool.step(
+                &pooled, &scene.vortex, &scene.phys, &scene.vparams, &scene.geom, 120.0, &mut out,
+            );
+            std::mem::swap(&mut pooled, &mut out);
+            prop_assert_eq!(&pooled, &serial, "diverged after resize to {}", team);
+        }
+    }
+}
+
+proptest! {
+    // Full-model cases integrate a real (coarse) mission grid, so run few.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The whole model — double-buffered parent step, nest substeps,
+    /// feedback, recentring — is thread-count invariant, nest or not.
+    #[test]
+    fn model_advance_is_thread_count_invariant(
+        threads in 2usize..=6,
+        with_nest in any::<bool>(),
+        steps in 1usize..3,
+    ) {
+        let cfg = ModelConfig::aila_default().with_resolution(48.0);
+        let mut reference = WrfModel::new(cfg).expect("valid configuration");
+        let mut parallel = reference.clone();
+        if with_nest {
+            reference.spawn_nest();
+            parallel.spawn_nest();
+        }
+        reference.advance_steps(steps, 1).expect("finite");
+        parallel.advance_steps(steps, threads).expect("finite");
+        prop_assert_eq!(reference.fields(), parallel.fields());
+        prop_assert_eq!(
+            reference.nest().map(|n| &n.fields),
+            parallel.nest().map(|n| &n.fields)
+        );
+    }
+}

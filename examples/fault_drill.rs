@@ -18,12 +18,18 @@
 //! ```text
 //! cargo run --release --example fault_drill
 //! cargo run --release --example fault_drill -- --kill-at 0.02
+//! cargo run --release --example fault_drill -- --physics-threads follow
 //! ```
 //!
 //! With `--kill-at <hours>` only the recovery drill runs, killing the
-//! pipeline at that modeled wall hour.
+//! pipeline at that modeled wall hour. `--physics-threads <n|follow>`
+//! sizes the *real* integrator rank team for the live runs: a fixed
+//! worker count, or `follow` to track the manager's decided processor
+//! count (the modeled knob). Results are bitwise identical either way —
+//! only wall time changes.
 
 use climate_adaptive::adaptive::decision::AlgorithmKind;
+use climate_adaptive::adaptive::engine::PhysicsThreads;
 use climate_adaptive::adaptive::net_transport::{FrameReceiver, ReceiverOptions};
 use climate_adaptive::adaptive::online::{run_online, OnlineOptions};
 use climate_adaptive::adaptive::orchestrator::{Fault, FaultPlan, Orchestrator};
@@ -36,28 +42,41 @@ use std::time::Duration;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    let physics = match args.iter().position(|a| a == "--physics-threads") {
+        None => PhysicsThreads::default(),
+        Some(i) => match args.get(i + 1).map(String::as_str) {
+            Some("follow") => PhysicsThreads::FollowDecision,
+            Some(v) => match v.parse() {
+                Ok(n) => PhysicsThreads::Fixed(n),
+                Err(_) => usage(),
+            },
+            None => usage(),
+        },
+    };
     if let Some(i) = args.iter().position(|a| a == "--kill-at") {
         let hours: f64 = args
             .get(i + 1)
             .and_then(|v| v.parse().ok())
-            .unwrap_or_else(|| {
-                eprintln!("usage: fault_drill [--kill-at <hours>]");
-                std::process::exit(2);
-            });
-        recovery_drill(hours);
+            .unwrap_or_else(|| usage());
+        recovery_drill(hours, physics);
         return;
     }
     des_drill();
     transport_drill();
-    recovery_drill(0.02);
+    recovery_drill(0.02, physics);
+}
+
+fn usage() -> ! {
+    eprintln!("usage: fault_drill [--kill-at <hours>] [--physics-threads <n|follow>]");
+    std::process::exit(2);
 }
 
 /// Hard-kill the live durable pipeline mid-mission and let the recovery
 /// supervisor restart it from disk.
-fn recovery_drill(kill_at_hours: f64) {
+fn recovery_drill(kill_at_hours: f64, physics: PhysicsThreads) {
     println!(
         "== recovery drill: live pipeline hard-killed at {kill_at_hours:.2} wall hours, \
-         restarted from durable state =="
+         restarted from durable state (physics workers: {physics:?}) =="
     );
     let site = Site::inter_department();
     let mut mission = Mission::aila().with_duration_hours(2.0).with_decimation(16);
@@ -80,6 +99,7 @@ fn recovery_drill(kill_at_hours: f64) {
         &mission,
         AlgorithmKind::StaticBaseline,
         &OnlineOptions::fast("drill-control")
+            .with_physics_threads(physics)
             .with_durability(DurabilityOptions::new(&control_dir).with_checkpoint_every_min(20.0)),
     );
 
@@ -94,6 +114,7 @@ fn recovery_drill(kill_at_hours: f64) {
         &mission,
         AlgorithmKind::StaticBaseline,
         &OnlineOptions::fast("drill-recovery")
+            .with_physics_threads(physics)
             .with_fault_plan(plan)
             .with_durability(durability),
     );
