@@ -1,0 +1,957 @@
+//! Deterministic chaos-soak harness: seeded fault storms, an invariant
+//! checker, and a shrinker.
+//!
+//! SIM-SITU's thesis (PAPERS.md) is that a modeled failure response must
+//! be validated against *systematic* stress, not single-fault anecdotes.
+//! This module generates long, composed fault storms from a seed —
+//! flapping links, crashes landing mid-recovery, disk pressure during
+//! catch-up, correlated outage+crash, WAN collapses — runs them through
+//! the DES pipeline with the degradation ladder engaged, and checks a
+//! battery of invariants over the outcome:
+//!
+//! - **Conservation / exactly-once** (`conservation`, `exactly-once`):
+//!   every emitted frame is written or dropped, every written frame is
+//!   shipped or still held, and the visualization track holds exactly one
+//!   fix per freshly delivered frame, in simulated-time order — replays
+//!   and recoveries never double-apply.
+//! - **Determinism** (`determinism`): the same storm run twice produces
+//!   byte-identical counters, series, and track — the property that makes
+//!   every failure replayable from its seed.
+//! - **Bounded staleness per rung** (`staleness`): outside fault windows,
+//!   the visualization lags the simulation by no more than the rung's
+//!   budget — the ladder trades fidelity for timeliness, not for
+//!   unbounded lag.
+//! - **Recovery budget** (`recovery-budget`): every storm completes, and
+//!   within a wall budget derived from the fault-free baseline plus the
+//!   storm's scheduled disruption — a recovery livelock (or a ladder
+//!   deadlocked at [`QosRung::Pause`]) blows this bound.
+//! - **Ladder consistency** (`ladder`): the rung series moves at most one
+//!   rung per epoch, every demotion is justified by recorded pressure,
+//!   and the counters (`deepest_rung`, demotions − promotions) agree with
+//!   the series. [`InvariantBudgets::max_rung`] can cap the ladder — the
+//!   deliberately-breakable invariant the soak tests use to prove the
+//!   harness catches and shrinks failures.
+//!
+//! When a storm fails, [`shrink`] greedily removes scheduled events while
+//! the same violation kind reproduces, yielding a minimal replayable
+//! schedule; [`StormSpec::replay_line`] prints it in one line for a bug
+//! report, and [`soak`] writes it as a CI artifact.
+
+use crate::decision::AlgorithmKind;
+use crate::fault::{Fault, FaultPlan, SplitMix64};
+use crate::orchestrator::{Orchestrator, RunOutcome};
+use crate::qos::{QosConfig, QosRung};
+use cyclone::{Mission, Site};
+use std::fmt;
+use std::path::PathBuf;
+
+// ---------------------------------------------------------------------
+// Storm specification and generation
+// ---------------------------------------------------------------------
+
+/// One fully deterministic chaos mission: a mission length, a scaled-down
+/// disk, and a scripted fault storm. Everything a failure needs to be
+/// replayed exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StormSpec {
+    /// Seed the storm was generated from (kept for the replay line even
+    /// after shrinking edits the schedule).
+    pub seed: u64,
+    /// Simulated mission length, hours.
+    pub mission_hours: f64,
+    /// Scripted fault events, `(wall_hours, fault)`.
+    pub events: Vec<(f64, Fault)>,
+    /// Simulation-site disk capacity, bytes (scaled-down live-emission
+    /// disk, sized in real-frame multiples).
+    pub disk_capacity: u64,
+    /// Ideal link bandwidth, bits per second.
+    pub bandwidth_bps: f64,
+    /// Run with the degradation ladder on.
+    pub qos: bool,
+}
+
+impl StormSpec {
+    /// Generate the storm for a seed: 1–3 composed fault motifs over a
+    /// 18–48-simulated-hour mission. Deterministic — the same seed always
+    /// yields the same storm.
+    pub fn generate(seed: u64) -> StormSpec {
+        let mut rng = SplitMix64::new(seed);
+        let mission_hours = 18.0 + 30.0 * rng.unit_f64();
+        let disk_capacity = [60_000u64, 100_000, 200_000][(rng.next_u64() % 3) as usize];
+        let motifs = 1 + (rng.next_u64() % 3) as usize;
+        let mut events = Vec::new();
+        for _ in 0..motifs {
+            push_motif(&mut rng, disk_capacity, &mut events);
+        }
+        StormSpec {
+            seed,
+            mission_hours,
+            events,
+            disk_capacity,
+            bandwidth_bps: 30_000.0,
+            qos: true,
+        }
+    }
+
+    /// The storm with its fault schedule removed — the fault-free
+    /// baseline the recovery budget is measured against.
+    pub fn baseline(&self) -> StormSpec {
+        StormSpec {
+            events: Vec::new(),
+            ..self.clone()
+        }
+    }
+
+    /// One-line replayable description, printed on failure and written
+    /// as the CI artifact.
+    pub fn replay_line(&self) -> String {
+        let events: Vec<String> = self
+            .events
+            .iter()
+            .map(|(at, f)| format!("({at:.4}, {f:?})"))
+            .collect();
+        format!(
+            "CHAOS-REPLAY seed={} mission_h={:.3} disk={} bw={} qos={} events=[{}]",
+            self.seed,
+            self.mission_hours,
+            self.disk_capacity,
+            self.bandwidth_bps,
+            self.qos,
+            events.join(", ")
+        )
+    }
+}
+
+/// Append one composed fault motif. Each motif is *survivable by
+/// construction*: collapsed links restore, flaps end on a healthy
+/// half-period, outages expire — so completion is a checkable invariant
+/// rather than a coin flip.
+fn push_motif(rng: &mut SplitMix64, disk_capacity: u64, events: &mut Vec<(f64, Fault)>) {
+    match rng.next_u64() % 6 {
+        0 => {
+            // WAN collapse: the link drops to a fraction of a percent,
+            // then restores.
+            let at = 0.05 + 0.5 * rng.unit_f64();
+            let dur = 0.1 + 0.3 * rng.unit_f64();
+            events.push((
+                at,
+                Fault::LinkDegradation {
+                    factor: 0.001 + 0.009 * rng.unit_f64(),
+                },
+            ));
+            events.push((at + dur, Fault::LinkDegradation { factor: 1.0 }));
+        }
+        1 => {
+            // Flapping link: an even flip count ends the flap healthy.
+            let at = 0.05 + 0.4 * rng.unit_f64();
+            events.push((
+                at,
+                Fault::BandwidthFlap {
+                    factor: 0.02 + 0.28 * rng.unit_f64(),
+                    half_period_hours: 0.02 + 0.06 * rng.unit_f64(),
+                    flips: 4 + 2 * (rng.next_u64() % 4) as u32,
+                },
+            ));
+        }
+        2 => {
+            // Receiver outage, then disk pressure landing exactly as the
+            // catch-up drain starts.
+            let at = 0.05 + 0.4 * rng.unit_f64();
+            let dur = 0.05 + 0.15 * rng.unit_f64();
+            events.push((
+                at,
+                Fault::ReceiverOutage {
+                    duration_hours: dur,
+                },
+            ));
+            events.push((
+                at + dur,
+                Fault::DiskPressure {
+                    bytes: disk_capacity / 2,
+                    duration_hours: 0.1 + 0.2 * rng.unit_f64(),
+                },
+            ));
+        }
+        3 => {
+            // Correlated outage + simulation crash at the same instant.
+            let at = 0.05 + 0.5 * rng.unit_f64();
+            events.push((
+                at,
+                Fault::ReceiverOutage {
+                    duration_hours: 0.05 + 0.2 * rng.unit_f64(),
+                },
+            ));
+            events.push((at, Fault::SimCrash));
+        }
+        4 => {
+            // Whole-pipeline kill, optionally with staged storage damage.
+            let at = 0.05 + 0.5 * rng.unit_f64();
+            match rng.next_u64() % 3 {
+                0 => events.push((at - 1e-3, Fault::TornWrite)),
+                1 => events.push((at - 1e-3, Fault::CorruptCheckpoint)),
+                _ => {}
+            }
+            events.push((at, Fault::ProcessKill { at_hours: at }));
+        }
+        _ => {
+            // Crash landing during the kill's recovery window.
+            let at = 0.05 + 0.5 * rng.unit_f64();
+            events.push((at, Fault::ProcessKill { at_hours: at }));
+            events.push((at + 0.01, Fault::SimCrash));
+        }
+    }
+}
+
+/// Run one storm through the DES (live-emission transport: real encoded
+/// frames, real track) and return the outcome.
+pub fn run_storm(spec: &StormSpec) -> RunOutcome {
+    let mut mission = Mission::aila()
+        .with_duration_hours(spec.mission_hours)
+        .with_decimation(16);
+    // Chaos missions decide every 6 modeled minutes so the controller
+    // gets enough epochs to walk the ladder within a sub-wall-hour storm.
+    mission.decision_interval_hours = 0.1;
+    let mut orch = Orchestrator::new(
+        Site::inter_department(),
+        mission,
+        AlgorithmKind::Optimization,
+    )
+    .with_fault_plan(FaultPlan::from_events(spec.events.clone()))
+    .with_live_emission(spec.disk_capacity, spec.bandwidth_bps);
+    if spec.qos {
+        orch = orch.with_qos(QosConfig::default());
+    }
+    orch.run()
+}
+
+// ---------------------------------------------------------------------
+// Invariants
+// ---------------------------------------------------------------------
+
+/// Budgets the invariant checker enforces. The defaults are tuned so the
+/// seeded corpus runs green while each bound still has teeth (shrinking
+/// any of them substantially makes real storms fail).
+#[derive(Debug, Clone, PartialEq)]
+pub struct InvariantBudgets {
+    /// Max visualization staleness (simulated minutes behind the solver)
+    /// per rung 0–3, checked at decision epochs outside fault windows.
+    /// [`QosRung::Pause`] is exempt: parked shipping is *meant* to lag.
+    pub staleness_min: [f64; 4],
+    /// Wall hours after a fault window inside which staleness is excused
+    /// (catch-up grace).
+    pub staleness_grace_hours: f64,
+    /// Multiplier on the fault-free baseline wall time.
+    pub recovery_factor: f64,
+    /// Multiplier on the storm's summed disruption hours.
+    pub disruption_factor: f64,
+    /// Flat wall allowance per kill or crash, hours (covers the modeled
+    /// requeue + checkpoint-fallback penalties).
+    pub per_recovery_hours: f64,
+    /// Flat margin, wall hours.
+    pub margin_hours: f64,
+    /// Cap on the deepest rung the ladder may reach (`None` = the full
+    /// ladder is allowed). Setting `Some(0)` under a collapse storm is
+    /// the deliberately-broken invariant the harness tests use.
+    pub max_rung: Option<u8>,
+}
+
+impl Default for InvariantBudgets {
+    fn default() -> Self {
+        InvariantBudgets {
+            staleness_min: [400.0, 500.0, 600.0, 900.0],
+            staleness_grace_hours: 1.0,
+            recovery_factor: 1.5,
+            disruption_factor: 3.0,
+            per_recovery_hours: 0.75,
+            margin_hours: 1.0,
+            max_rung: None,
+        }
+    }
+}
+
+/// One invariant violation, carrying enough context to read the failure
+/// without re-running the storm.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Violation {
+    /// A frame-conservation identity broke.
+    Conservation(String),
+    /// The track and the delivery counters disagree (lost or
+    /// double-applied frames).
+    ExactlyOnce(String),
+    /// Visualization staleness exceeded the rung's budget outside any
+    /// fault window.
+    Staleness {
+        /// Wall hours of the offending decision epoch.
+        wall_hours: f64,
+        /// Rung in force at that epoch.
+        rung: u8,
+        /// Observed staleness, simulated minutes.
+        staleness_min: f64,
+        /// The budget it exceeded.
+        budget_min: f64,
+    },
+    /// The run blew its wall budget (or never completed).
+    RecoveryBudget {
+        /// Wall hours the run consumed.
+        wall_hours: f64,
+        /// The budget it was allowed.
+        budget_hours: f64,
+        /// Whether the mission completed at all.
+        completed: bool,
+    },
+    /// The rung/pressure series is inconsistent with the controller's
+    /// contract.
+    Ladder(String),
+    /// Two runs of the same storm diverged.
+    Determinism(String),
+    /// The ladder went deeper than [`InvariantBudgets::max_rung`].
+    RungCap {
+        /// Deepest rung reached.
+        deepest: u8,
+        /// The configured cap.
+        cap: u8,
+    },
+}
+
+impl Violation {
+    /// Stable kind tag, used by the shrinker to demand the *same*
+    /// failure keeps reproducing as it removes events.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Violation::Conservation(_) => "conservation",
+            Violation::ExactlyOnce(_) => "exactly-once",
+            Violation::Staleness { .. } => "staleness",
+            Violation::RecoveryBudget { .. } => "recovery-budget",
+            Violation::Ladder(_) => "ladder",
+            Violation::Determinism(_) => "determinism",
+            Violation::RungCap { .. } => "rung-cap",
+        }
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::Conservation(msg) => write!(f, "[conservation] {msg}"),
+            Violation::ExactlyOnce(msg) => write!(f, "[exactly-once] {msg}"),
+            Violation::Staleness {
+                wall_hours,
+                rung,
+                staleness_min,
+                budget_min,
+            } => write!(
+                f,
+                "[staleness] {staleness_min:.1} sim-min behind at wall {wall_hours:.2} h \
+                 on rung {rung} (budget {budget_min:.0})"
+            ),
+            Violation::RecoveryBudget {
+                wall_hours,
+                budget_hours,
+                completed,
+            } => write!(
+                f,
+                "[recovery-budget] wall {wall_hours:.2} h vs budget {budget_hours:.2} h \
+                 (completed: {completed})"
+            ),
+            Violation::Ladder(msg) => write!(f, "[ladder] {msg}"),
+            Violation::Determinism(msg) => write!(f, "[determinism] {msg}"),
+            Violation::RungCap { deepest, cap } => {
+                write!(f, "[rung-cap] ladder reached rung {deepest}, cap {cap}")
+            }
+        }
+    }
+}
+
+/// Wall-hour windows during which the storm is actively disrupting the
+/// pipeline (staleness is excused inside them, and the recovery budget
+/// grows with their total length).
+fn disruption_windows(spec: &StormSpec, run_end_hours: f64) -> Vec<(f64, f64)> {
+    let mut windows = Vec::new();
+    for &(at, fault) in &spec.events {
+        match fault {
+            Fault::ReceiverOutage { duration_hours }
+            | Fault::DiskPressure { duration_hours, .. } => {
+                windows.push((at, at + duration_hours));
+            }
+            Fault::LinkDegradation { factor } if factor < 0.5 => {
+                // Degraded until the next restoring LinkDegradation.
+                let restore = spec
+                    .events
+                    .iter()
+                    .filter(|&&(t2, f2)| {
+                        t2 > at && matches!(f2, Fault::LinkDegradation { factor } if factor >= 0.5)
+                    })
+                    .map(|&(t2, _)| t2)
+                    .fold(f64::INFINITY, f64::min);
+                windows.push((at, restore.min(run_end_hours)));
+            }
+            Fault::LinkDegradation { .. } => {}
+            Fault::BandwidthFlap {
+                half_period_hours,
+                flips,
+                ..
+            } => {
+                windows.push((at, at + half_period_hours * flips as f64));
+            }
+            Fault::SimCrash
+            | Fault::ProcessKill { .. }
+            | Fault::TornWrite
+            | Fault::CorruptCheckpoint => {
+                windows.push((at, at));
+            }
+        }
+    }
+    windows
+}
+
+/// Total scheduled disruption, hours (overlaps counted once).
+fn disruption_hours(windows: &[(f64, f64)]) -> f64 {
+    let mut sorted: Vec<(f64, f64)> = windows.to_vec();
+    sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let mut total = 0.0;
+    let mut covered = f64::NEG_INFINITY;
+    for &(s, e) in &sorted {
+        let s = s.max(covered);
+        if e > s {
+            total += e - s;
+            covered = e;
+        }
+    }
+    total
+}
+
+/// Check every invariant over a finished storm. `baseline_wall_hours` is
+/// the fault-free run's wall time (see [`StormSpec::baseline`]).
+pub fn check_invariants(
+    spec: &StormSpec,
+    out: &RunOutcome,
+    baseline_wall_hours: f64,
+    budgets: &InvariantBudgets,
+) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let c = &out.counters;
+
+    // I1a — frame conservation.
+    if c.frames_emitted != c.frames_written + c.frames_dropped {
+        violations.push(Violation::Conservation(format!(
+            "emitted {} != written {} + dropped {}",
+            c.frames_emitted, c.frames_written, c.frames_dropped
+        )));
+    }
+    if c.frames_written != c.frames_shipped + c.frames_in_flight {
+        violations.push(Violation::Conservation(format!(
+            "written {} != shipped {} + in-flight {}",
+            c.frames_written, c.frames_shipped, c.frames_in_flight
+        )));
+    }
+
+    // I1b — exactly-once delivery: one track fix per freshly delivered
+    // frame, applied in simulated-time order, nothing double-applied.
+    let fixes = out.track.fixes();
+    if c.frames_rendered > c.frames_shipped {
+        violations.push(Violation::ExactlyOnce(format!(
+            "rendered {} > shipped {}",
+            c.frames_rendered, c.frames_shipped
+        )));
+    }
+    let nfix = fixes.len() as u64;
+    if nfix < c.frames_rendered || nfix > c.frames_shipped {
+        violations.push(Violation::ExactlyOnce(format!(
+            "{} track fixes vs rendered {} / shipped {}",
+            nfix, c.frames_rendered, c.frames_shipped
+        )));
+    }
+    if out.completed && (c.frames_in_flight != 0 || nfix != c.frames_rendered) {
+        violations.push(Violation::ExactlyOnce(format!(
+            "completed run left {} frames in flight, {} fixes vs {} rendered",
+            c.frames_in_flight, nfix, c.frames_rendered
+        )));
+    }
+    if let Some(w) = fixes
+        .windows(2)
+        .find(|w| w[1].sim_minutes <= w[0].sim_minutes)
+    {
+        violations.push(Violation::ExactlyOnce(format!(
+            "track order broke: fix at {} sim-min followed by {}",
+            w[0].sim_minutes, w[1].sim_minutes
+        )));
+    }
+
+    // I3 — bounded staleness per rung, outside fault windows.
+    let windows = disruption_windows(spec, out.wall_hours);
+    let excused = |wall_h: f64| {
+        wall_h < 0.2 // warm-up: the first frames are still being cut
+            || windows
+                .iter()
+                .any(|&(s, e)| wall_h >= s && wall_h <= e + budgets.staleness_grace_hours)
+    };
+    if let (Some(rung_s), Some(sim_s), Some(viz_s)) = (
+        out.series.get("qos_rung"),
+        out.series.get("sim_progress"),
+        out.series.get("viz_progress"),
+    ) {
+        for &(t, r) in &rung_s.points {
+            let rung = r as usize;
+            let wall_h = t / 3600.0;
+            if rung >= 4 || excused(wall_h) {
+                continue;
+            }
+            let sim = sim_s.value_at(t).unwrap_or(0.0);
+            let viz = viz_s.value_at(t).unwrap_or(0.0);
+            let staleness = sim - viz;
+            if staleness > budgets.staleness_min[rung] {
+                violations.push(Violation::Staleness {
+                    wall_hours: wall_h,
+                    rung: rung as u8,
+                    staleness_min: staleness,
+                    budget_min: budgets.staleness_min[rung],
+                });
+            }
+        }
+    }
+
+    // I4 — recovery budget: the storm completes, within a wall budget
+    // derived from the baseline plus the scheduled disruption.
+    let recoveries = spec
+        .events
+        .iter()
+        .filter(|(_, f)| matches!(f, Fault::SimCrash | Fault::ProcessKill { .. }))
+        .count() as f64;
+    let budget_hours = baseline_wall_hours * budgets.recovery_factor
+        + disruption_hours(&windows) * budgets.disruption_factor
+        + recoveries * budgets.per_recovery_hours
+        + budgets.margin_hours;
+    if !out.completed || out.wall_hours > budget_hours {
+        violations.push(Violation::RecoveryBudget {
+            wall_hours: out.wall_hours,
+            budget_hours,
+            completed: out.completed,
+        });
+    }
+
+    // I5 — ladder consistency between the series and the counters.
+    let qos_cfg = QosConfig::default();
+    match (out.series.get("qos_rung"), out.series.get("qos_pressure")) {
+        (Some(rung_s), Some(press_s)) if spec.qos => {
+            let mut prev = QosRung::FullRes.as_byte() as i64;
+            for (&(t, r), &(_, p)) in rung_s.points.iter().zip(&press_s.points) {
+                let r = r as i64;
+                if (r - prev).abs() > 1 {
+                    violations.push(Violation::Ladder(format!(
+                        "rung jumped {prev} -> {r} in one epoch at wall {:.2} h",
+                        t / 3600.0
+                    )));
+                }
+                if r == prev + 1 && p + 1e-9 < qos_cfg.demote_at[prev as usize] {
+                    violations.push(Violation::Ladder(format!(
+                        "demotion {prev} -> {r} at wall {:.2} h under pressure {p:.3} \
+                         (threshold {:.2})",
+                        t / 3600.0,
+                        qos_cfg.demote_at[prev as usize]
+                    )));
+                }
+                prev = r;
+            }
+            let series_deepest = rung_s.max_value().unwrap_or(0.0) as u8;
+            if series_deepest != c.deepest_rung {
+                violations.push(Violation::Ladder(format!(
+                    "deepest_rung counter {} vs series max {}",
+                    c.deepest_rung, series_deepest
+                )));
+            }
+            let final_rung = rung_s.last_value().unwrap_or(0.0) as i64;
+            if c.qos_demotions as i64 - c.qos_promotions as i64 != final_rung {
+                violations.push(Violation::Ladder(format!(
+                    "demotions {} - promotions {} != final rung {}",
+                    c.qos_demotions, c.qos_promotions, final_rung
+                )));
+            }
+        }
+        _ if spec.qos => violations.push(Violation::Ladder(
+            "qos enabled but rung/pressure series missing".into(),
+        )),
+        _ => {
+            if c.deepest_rung != 0 || c.qos_demotions != 0 {
+                violations.push(Violation::Ladder(format!(
+                    "qos disabled but deepest_rung={} demotions={}",
+                    c.deepest_rung, c.qos_demotions
+                )));
+            }
+        }
+    }
+
+    // The deliberately-breakable cap.
+    if let Some(cap) = budgets.max_rung {
+        if c.deepest_rung > cap {
+            violations.push(Violation::RungCap {
+                deepest: c.deepest_rung,
+                cap,
+            });
+        }
+    }
+
+    violations
+}
+
+/// Compare two runs of the same storm field-by-field; `Some(reason)` on
+/// the first divergence.
+pub fn compare_runs(a: &RunOutcome, b: &RunOutcome) -> Option<String> {
+    if a.counters != b.counters {
+        return Some(format!(
+            "counters diverged:\n{:?}\nvs\n{:?}",
+            a.counters, b.counters
+        ));
+    }
+    if (a.wall_hours, a.sim_minutes) != (b.wall_hours, b.sim_minutes) {
+        return Some("wall/sim totals diverged".into());
+    }
+    for name in [
+        "sim_progress",
+        "free_disk_pct",
+        "viz_progress",
+        "procs",
+        "output_interval",
+        "binding_constraint",
+        "qos_rung",
+        "qos_pressure",
+    ] {
+        let (sa, sb) = (a.series.get(name), b.series.get(name));
+        match (sa, sb) {
+            (Some(sa), Some(sb)) if sa.points != sb.points => {
+                return Some(format!("series {name:?} diverged"));
+            }
+            (Some(_), None) | (None, Some(_)) => {
+                return Some(format!("series {name:?} present in only one run"));
+            }
+            _ => {}
+        }
+    }
+    if a.track.to_csv() != b.track.to_csv() {
+        return Some("visualization track diverged".into());
+    }
+    None
+}
+
+// ---------------------------------------------------------------------
+// Shrinking
+// ---------------------------------------------------------------------
+
+/// A failing storm reduced to a minimal schedule that still reproduces
+/// the violation.
+#[derive(Debug, Clone)]
+pub struct ShrunkStorm {
+    /// The reduced spec (same seed and sizing, fewer events).
+    pub spec: StormSpec,
+    /// The violations the reduced spec still produces.
+    pub violations: Vec<Violation>,
+}
+
+/// Greedy ddmin-lite: repeatedly drop event chunks (halves first, then
+/// single events) while at least one violation of the original kinds
+/// keeps reproducing. The result is 1-minimal: removing any single
+/// remaining event makes the failure vanish.
+pub fn shrink(spec: &StormSpec, budgets: &InvariantBudgets, kinds: &[&'static str]) -> ShrunkStorm {
+    let baseline_wall = run_storm(&spec.baseline()).wall_hours;
+    let still_fails = |events: &[(f64, Fault)]| -> Option<Vec<Violation>> {
+        let candidate = StormSpec {
+            events: events.to_vec(),
+            ..spec.clone()
+        };
+        let out = run_storm(&candidate);
+        let violations = check_invariants(&candidate, &out, baseline_wall, budgets);
+        violations
+            .iter()
+            .any(|v| kinds.contains(&v.kind()))
+            .then_some(violations)
+    };
+
+    let mut events = spec.events.clone();
+    let mut violations = still_fails(&events).unwrap_or_default();
+    // Chunked passes: drop halves, quarters, ... while the failure holds.
+    let mut chunk = events.len().div_ceil(2);
+    while chunk >= 1 && !events.is_empty() {
+        let mut start = 0;
+        while start < events.len() {
+            let mut candidate = events.clone();
+            candidate.drain(start..(start + chunk).min(candidate.len()));
+            if let Some(v) = still_fails(&candidate) {
+                events = candidate;
+                violations = v;
+                // Re-scan from the front at this granularity.
+                start = 0;
+            } else {
+                start += chunk;
+            }
+        }
+        if chunk == 1 {
+            break;
+        }
+        chunk = chunk.div_ceil(2).min(events.len().max(1));
+    }
+    ShrunkStorm {
+        spec: StormSpec {
+            events,
+            ..spec.clone()
+        },
+        violations,
+    }
+}
+
+// ---------------------------------------------------------------------
+// The soak loop
+// ---------------------------------------------------------------------
+
+/// Soak configuration.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Number of seeded storms to run.
+    pub storms: u64,
+    /// First seed; storm `i` uses `seed0 + i`.
+    pub seed0: u64,
+    /// Invariant budgets.
+    pub budgets: InvariantBudgets,
+    /// Run every storm twice and require byte-identical outcomes.
+    pub verify_determinism: bool,
+    /// Shrink failing storms to a minimal schedule.
+    pub shrink_failures: bool,
+    /// Where to write replay artifacts for failing storms (`None` =
+    /// don't write; CI uploads this directory on failure).
+    pub artifact_dir: Option<PathBuf>,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            storms: 50,
+            seed0: 0xC1A05,
+            budgets: InvariantBudgets::default(),
+            verify_determinism: true,
+            shrink_failures: true,
+            artifact_dir: None,
+        }
+    }
+}
+
+/// One failing storm, with its shrunk reproduction when shrinking was
+/// enabled.
+#[derive(Debug, Clone)]
+pub struct SoakFailure {
+    /// The original generated storm.
+    pub spec: StormSpec,
+    /// Everything the invariant checker flagged.
+    pub violations: Vec<Violation>,
+    /// The minimal reproduction.
+    pub shrunk: Option<ShrunkStorm>,
+}
+
+impl SoakFailure {
+    /// Human-readable failure report with both replay lines.
+    pub fn report(&self) -> String {
+        let mut s = format!("storm seed {} failed:\n", self.spec.seed);
+        for v in &self.violations {
+            s.push_str(&format!("  {v}\n"));
+        }
+        s.push_str(&format!("  {}\n", self.spec.replay_line()));
+        if let Some(shrunk) = &self.shrunk {
+            s.push_str(&format!(
+                "shrunk to {} event(s):\n  {}\n",
+                shrunk.spec.events.len(),
+                shrunk.spec.replay_line()
+            ));
+        }
+        s
+    }
+}
+
+/// What a soak produced.
+#[derive(Debug, Clone)]
+pub struct SoakOutcome {
+    /// Storms actually run.
+    pub storms_run: u64,
+    /// Total simulated hours across all storms.
+    pub sim_hours: f64,
+    /// Total modeled wall hours across all storms.
+    pub wall_hours: f64,
+    /// Histogram of each storm's deepest rung (index = rung byte).
+    pub deepest_rung_histogram: [u64; 5],
+    /// Failing storms (empty on a green soak).
+    pub failures: Vec<SoakFailure>,
+}
+
+impl SoakOutcome {
+    /// True when every storm satisfied every invariant.
+    pub fn green(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Run `cfg.storms` seeded fault storms and check every invariant on
+/// each. Failures are shrunk to minimal replayable schedules and written
+/// to the artifact directory when one is configured.
+pub fn soak(cfg: &ChaosConfig) -> SoakOutcome {
+    let mut outcome = SoakOutcome {
+        storms_run: 0,
+        sim_hours: 0.0,
+        wall_hours: 0.0,
+        deepest_rung_histogram: [0; 5],
+        failures: Vec::new(),
+    };
+    for i in 0..cfg.storms {
+        let spec = StormSpec::generate(cfg.seed0 + i);
+        let baseline_wall = run_storm(&spec.baseline()).wall_hours;
+        let out = run_storm(&spec);
+        outcome.storms_run += 1;
+        outcome.sim_hours += out.sim_minutes / 60.0;
+        outcome.wall_hours += out.wall_hours;
+        outcome.deepest_rung_histogram[(out.deepest_rung as usize).min(4)] += 1;
+        let mut violations = check_invariants(&spec, &out, baseline_wall, &cfg.budgets);
+        if cfg.verify_determinism {
+            let again = run_storm(&spec);
+            if let Some(reason) = compare_runs(&out, &again) {
+                violations.push(Violation::Determinism(reason));
+            }
+        }
+        if violations.is_empty() {
+            continue;
+        }
+        let kinds: Vec<&'static str> = violations.iter().map(|v| v.kind()).collect();
+        let shrunk = cfg
+            .shrink_failures
+            .then(|| shrink(&spec, &cfg.budgets, &kinds));
+        let failure = SoakFailure {
+            spec,
+            violations,
+            shrunk,
+        };
+        if let Some(dir) = &cfg.artifact_dir {
+            let _ = std::fs::create_dir_all(dir);
+            let path = dir.join(format!("shrunk_storm_seed_{}.txt", failure.spec.seed));
+            let _ = std::fs::write(&path, failure.report());
+        }
+        outcome.failures.push(failure);
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn storm_generation_is_deterministic_and_survivable() {
+        for seed in 0..40u64 {
+            let a = StormSpec::generate(seed);
+            assert_eq!(a, StormSpec::generate(seed), "seed {seed} not reproducible");
+            assert!((18.0..=48.0).contains(&a.mission_hours));
+            assert!(!a.events.is_empty());
+            for &(at, fault) in &a.events {
+                assert!(
+                    (0.0..1.0).contains(&at),
+                    "fault at {at} outside the storm window"
+                );
+                match fault {
+                    Fault::BandwidthFlap { flips, .. } => {
+                        assert_eq!(flips % 2, 0, "flaps must end healthy");
+                    }
+                    Fault::LinkDegradation { factor } if factor < 0.5 => {
+                        // Every collapse is followed by a restore.
+                        assert!(
+                            a.events.iter().any(|&(t2, f2)| t2 > at
+                                && matches!(f2, Fault::LinkDegradation { factor } if factor >= 0.5)),
+                            "collapse at {at} never restores: {a:?}"
+                        );
+                    }
+                    _ => {}
+                }
+            }
+        }
+        assert_ne!(
+            StormSpec::generate(1).events,
+            StormSpec::generate(2).events,
+            "different seeds differ"
+        );
+    }
+
+    #[test]
+    fn disruption_accounting_merges_overlaps() {
+        assert_eq!(disruption_hours(&[(0.0, 1.0), (0.5, 1.5)]), 1.5);
+        assert_eq!(disruption_hours(&[(0.0, 1.0), (2.0, 3.0)]), 2.0);
+        assert_eq!(
+            disruption_hours(&[(1.0, 1.0)]),
+            0.0,
+            "point events are free"
+        );
+        let spec = StormSpec {
+            seed: 0,
+            mission_hours: 20.0,
+            events: vec![
+                (0.2, Fault::LinkDegradation { factor: 0.01 }),
+                (0.5, Fault::LinkDegradation { factor: 1.0 }),
+                (
+                    0.4,
+                    Fault::ReceiverOutage {
+                        duration_hours: 0.3,
+                    },
+                ),
+            ],
+            disk_capacity: 100_000,
+            bandwidth_bps: 30_000.0,
+            qos: true,
+        };
+        let w = disruption_windows(&spec, 10.0);
+        // Collapse runs 0.2→0.5 (restored), outage 0.4→0.7: union 0.5 h.
+        assert!((disruption_hours(&w) - 0.5).abs() < 1e-9, "{w:?}");
+    }
+
+    #[test]
+    fn one_storm_runs_green_under_default_budgets() {
+        let spec = StormSpec::generate(0xC1A05);
+        let baseline = run_storm(&spec.baseline());
+        let out = run_storm(&spec);
+        let violations = check_invariants(
+            &spec,
+            &out,
+            baseline.wall_hours,
+            &InvariantBudgets::default(),
+        );
+        assert!(
+            violations.is_empty(),
+            "storm should be green:\n{}",
+            violations
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+        assert!(out.completed);
+    }
+
+    #[test]
+    fn determinism_comparator_accepts_a_replay_and_flags_divergence() {
+        let spec = StormSpec::generate(7);
+        let a = run_storm(&spec);
+        let b = run_storm(&spec);
+        assert_eq!(compare_runs(&a, &b), None, "same storm replays identically");
+        let mut c = b.clone();
+        c.report.counters.frames_written += 1;
+        assert!(compare_runs(&a, &c).is_some());
+    }
+
+    #[test]
+    fn replay_line_is_complete_and_violations_display() {
+        let spec = StormSpec::generate(3);
+        let line = spec.replay_line();
+        assert!(line.contains("seed=3"));
+        assert!(line.contains("events=["));
+        let v = Violation::RungCap { deepest: 4, cap: 0 };
+        assert_eq!(v.kind(), "rung-cap");
+        assert!(v.to_string().contains("rung 4"));
+        let s = Violation::Staleness {
+            wall_hours: 1.0,
+            rung: 2,
+            staleness_min: 700.0,
+            budget_min: 600.0,
+        };
+        assert!(s.to_string().contains("rung 2"));
+    }
+}

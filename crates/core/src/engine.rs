@@ -30,6 +30,7 @@ use crate::decision::{AlgorithmKind, BindingConstraint, RESUME_FREE_PERCENT};
 use crate::fault::{Fault, FaultPlan};
 use crate::jobhandler::{JobHandler, SimProcessState};
 use crate::manager::{ApplicationManager, EpochContext, ManagerState};
+use crate::qos::{self, QosConfig, QosController, QosRung, QosSignals};
 use crate::recovery::{self, CheckpointMeta, DurabilityOptions};
 use crate::steering::{SteeringCommand, SteeringState};
 use cyclone::{Mission, Site};
@@ -104,6 +105,9 @@ pub struct PipelineOptions {
     /// driver models durability analytically and ignores this; the live
     /// driver journals and checkpoints under the given directory.
     pub durability: Option<DurabilityOptions>,
+    /// Closed-loop degradation controller (`None` = ladder off: every
+    /// frame ships at full resolution, exactly the pre-ladder pipeline).
+    pub qos: Option<QosConfig>,
 }
 
 impl Default for PipelineOptions {
@@ -115,6 +119,7 @@ impl Default for PipelineOptions {
             stall_probe_secs: 600.0,
             fault_plan: FaultPlan::new(),
             durability: None,
+            qos: None,
         }
     }
 }
@@ -179,6 +184,13 @@ pub struct PipelineCounters {
     pub steering_commands_applied: u64,
     /// Decision epochs the application manager ran (epoch zero included).
     pub decisions: u64,
+    /// Degradation-ladder demotions performed by the QoS controller
+    /// (0 when the ladder is off).
+    pub qos_demotions: u64,
+    /// Degradation-ladder promotions performed by the QoS controller.
+    pub qos_promotions: u64,
+    /// Deepest ladder rung ever reached (0 = stayed at full resolution).
+    pub deepest_rung: u8,
     /// Lowest free-disk percentage ever observed.
     pub min_free_disk_pct: f64,
     /// Free-disk percentage at the end of the run.
@@ -207,6 +219,9 @@ impl Default for PipelineCounters {
             journal_replays: 0,
             steering_commands_applied: 0,
             decisions: 0,
+            qos_demotions: 0,
+            qos_promotions: 0,
+            deepest_rung: 0,
             min_free_disk_pct: 100.0,
             final_free_disk_pct: 100.0,
             first_stall_wall_hours: None,
@@ -352,7 +367,15 @@ pub trait FrameTransport {
     /// Produce the frame that parallel I/O will write: returns the bytes
     /// that land on the simulation-site disk plus the encoded payload
     /// that will later cross the link (empty for a modeled transport).
-    fn emit(&mut self, model: &WrfModel, sim_min: f64, modeled_bytes: u64) -> (u64, Vec<u8>);
+    /// `rung` is the degradation rung the QoS controller has in force —
+    /// [`QosRung::FullRes`] whenever the ladder is off.
+    fn emit(
+        &mut self,
+        model: &WrfModel,
+        sim_min: f64,
+        modeled_bytes: u64,
+        rung: QosRung,
+    ) -> (u64, Vec<u8>);
 
     /// Frame size the decision algorithm should plan with. The modeled
     /// transport plans with Table-IV frame sizes; live transports plan
@@ -387,8 +410,17 @@ pub trait FrameTransport {
 pub struct ModeledTransport;
 
 impl FrameTransport for ModeledTransport {
-    fn emit(&mut self, _model: &WrfModel, _sim_min: f64, modeled_bytes: u64) -> (u64, Vec<u8>) {
-        (modeled_bytes, Vec::new())
+    fn emit(
+        &mut self,
+        _model: &WrfModel,
+        _sim_min: f64,
+        modeled_bytes: u64,
+        rung: QosRung,
+    ) -> (u64, Vec<u8>) {
+        // Scale the modeled frame by the rung's encoding ratio, exactly
+        // as the real encodings shrink live payloads.
+        let scaled = ((modeled_bytes as f64 * rung.byte_factor()).ceil() as u64).max(1);
+        (scaled, Vec::new())
     }
 
     fn park(&mut self, _id: u64, _sim_min: f64, _payload: Vec<u8>) {}
@@ -432,8 +464,14 @@ fn pop_payload(payloads: &mut Vec<(u64, Vec<u8>)>, id: u64) -> Option<Vec<u8>> {
 }
 
 impl FrameTransport for InProcessTransport {
-    fn emit(&mut self, model: &WrfModel, _sim_min: f64, _modeled_bytes: u64) -> (u64, Vec<u8>) {
-        let bytes = model.frame().to_bytes().to_vec();
+    fn emit(
+        &mut self,
+        model: &WrfModel,
+        _sim_min: f64,
+        _modeled_bytes: u64,
+        rung: QosRung,
+    ) -> (u64, Vec<u8>) {
+        let bytes = qos::encode_frame(model, rung);
         (bytes.len() as u64, bytes)
     }
 
@@ -452,9 +490,7 @@ impl FrameTransport for InProcessTransport {
         if id < self.watermark {
             return false; // duplicate below the watermark: replay idempotence
         }
-        if let Ok(ds) = ncdf::Dataset::from_bytes(&bytes) {
-            self.track.ingest(&ds);
-        }
+        qos::ingest_tagged(&mut self.track, &bytes);
         self.watermark = id + 1;
         if let Some(path) = &self.receiver_path {
             let _ = recovery::save_receiver_state(path, self.watermark, &self.track);
@@ -505,9 +541,7 @@ impl ChannelTransport {
             while let Ok((id, _t, bytes)) = frame_rx.recv() {
                 let mark = thread_mark.load(Ordering::SeqCst);
                 if id >= mark {
-                    if let Ok(ds) = ncdf::Dataset::from_bytes(&bytes) {
-                        track.ingest(&ds);
-                    }
+                    qos::ingest_tagged(&mut track, &bytes);
                     // Apply-then-persist-then-ack: the receiver's durable
                     // state always covers everything it has acknowledged.
                     thread_mark.store(id + 1, Ordering::SeqCst);
@@ -535,8 +569,14 @@ impl ChannelTransport {
 }
 
 impl FrameTransport for ChannelTransport {
-    fn emit(&mut self, model: &WrfModel, _sim_min: f64, _modeled_bytes: u64) -> (u64, Vec<u8>) {
-        let bytes = model.frame().to_bytes().to_vec();
+    fn emit(
+        &mut self,
+        model: &WrfModel,
+        _sim_min: f64,
+        _modeled_bytes: u64,
+        rung: QosRung,
+    ) -> (u64, Vec<u8>) {
+        let bytes = qos::encode_frame(model, rung);
         (bytes.len() as u64, bytes)
     }
 
@@ -929,6 +969,10 @@ struct World<T, D, F> {
     drain: bool,
     tables: HashMap<(u64, bool), ProcTable>,
     publish_config: Option<PathBuf>,
+    /// Closed-loop degradation controller (`None` = ladder off).
+    qos: Option<QosController>,
+    /// The rung currently in force ([`QosRung::FullRes`] when off).
+    rung: QosRung,
     // Series.
     sim_progress: Series,
     free_disk: Series,
@@ -936,6 +980,8 @@ struct World<T, D, F> {
     procs_series: Series,
     oi_series: Series,
     binding_series: Series,
+    qos_rung_series: Series,
+    qos_pressure_series: Series,
     // Counters.
     frames_emitted: u64,
     frames_dropped: u64,
@@ -1046,9 +1092,15 @@ impl<T: FrameTransport, D: Durability, F: FaultInjector> World<T, D, F> {
     }
 
     /// Start the next transfer if the link is free, the receiver is
-    /// reachable, and frames are waiting.
+    /// reachable, and frames are waiting. The ladder's bottom rung
+    /// (store-and-forward pause) holds the sender entirely: frames keep
+    /// accumulating on the durable store and ship when the controller
+    /// promotes again — or when the mission completes and drains.
     fn kick_sender(&mut self, sched: &mut Scheduler<Ev>) {
         if self.sender_busy || self.outage_depth > 0 || !self.store.has_pending() {
+            return;
+        }
+        if self.rung == QosRung::Pause && !self.completed {
             return;
         }
         let meta = self.store.begin_transfer().expect("pending checked");
@@ -1212,12 +1264,16 @@ where
             drain: drain_on_complete,
             tables: HashMap::new(),
             publish_config,
+            qos: options.qos.clone().map(QosController::new),
+            rung: QosRung::FullRes,
             sim_progress: Series::new("sim_progress"),
             free_disk: Series::new("free_disk_pct"),
             viz_progress: Series::new("viz_progress"),
             procs_series: Series::new("procs"),
             oi_series: Series::new("output_interval"),
             binding_series: Series::new("binding_constraint"),
+            qos_rung_series: Series::new("qos_rung"),
+            qos_pressure_series: Series::new("qos_pressure"),
             frames_emitted: 0,
             frames_dropped: 0,
             frames_rendered: 0,
@@ -1334,6 +1390,9 @@ where
             journal_replays: world.journal_replays,
             steering_commands_applied: world.steering.commands_applied as u64,
             decisions: world.manager.epochs(),
+            qos_demotions: world.qos.as_ref().map_or(0, |c| c.demotions()),
+            qos_promotions: world.qos.as_ref().map_or(0, |c| c.promotions()),
+            deepest_rung: world.qos.as_ref().map_or(0, |c| c.deepest().as_byte()),
             min_free_disk_pct: world.min_free_pct,
             final_free_disk_pct: world.store.disk().free_percent(),
             first_stall_wall_hours: world.first_stall,
@@ -1351,6 +1410,12 @@ where
                 s.push(world.procs_series);
                 s.push(world.oi_series);
                 s.push(world.binding_series);
+                if world.qos.is_some() {
+                    // Only ladder-enabled runs carry the QoS series, so
+                    // pre-ladder figure CSVs stay byte-identical.
+                    s.push(world.qos_rung_series);
+                    s.push(world.qos_pressure_series);
+                }
                 s
             },
             track,
@@ -1414,7 +1479,7 @@ fn handle<T: FrameTransport, D: Durability, F: FaultInjector>(
                     w.io_pending = true;
                     let modeled = w.frame_bytes();
                     let sim_min = w.model.sim_minutes();
-                    let (bytes, payload) = w.transport.emit(&w.model, sim_min, modeled);
+                    let (bytes, payload) = w.transport.emit(&w.model, sim_min, modeled, w.rung);
                     sched.schedule_in(
                         w.site.cluster.io_time(bytes),
                         Ev::FrameDone {
@@ -1503,7 +1568,15 @@ fn handle<T: FrameTransport, D: Durability, F: FaultInjector>(
             }
             let horizon = w.horizon_secs();
             let (res, nest) = (w.config.resolution_km, w.config.nest_active);
-            let frame_bytes = w.transport.decision_frame_bytes(w.frame_bytes());
+            // Plan with the rung currently in force: a degraded rung
+            // writes smaller frames, so the decision algorithm can keep
+            // the output cadence tight instead of starving the
+            // visualization (one-epoch lag; identity when the ladder is
+            // off).
+            let frame_bytes = {
+                let fb = w.transport.decision_frame_bytes(w.frame_bytes());
+                ((fb as f64 * w.rung.byte_factor()).ceil() as u64).max(1)
+            };
             let io_secs = w.site.cluster.io_time(frame_bytes);
             let dt = w.model.dt_secs();
             let (min_oi, max_oi) = (
@@ -1530,6 +1603,39 @@ fn handle<T: FrameTransport, D: Durability, F: FaultInjector>(
                 w.binding_series.record(now, binding_code(binding));
             }
             w.record_disk(now);
+
+            // Closed loop: fold this epoch's observations into the
+            // degradation ladder. The bandwidth measurement the manager
+            // just made doubles as the controller's link signal.
+            if let Some(ctrl) = &mut w.qos {
+                let peak = w.manager.peak_bandwidth_bps();
+                let bandwidth_frac = match w.manager.observed_bandwidth_bps() {
+                    Some(obs) if peak > 0.0 => (obs / peak).clamp(0.0, 1.0),
+                    _ => 1.0,
+                };
+                let receiver_lag_frames =
+                    (w.store.pending_count() + w.store.in_flight_count()) as u64;
+                let remaining_wall = (w.options.wall_cap_hours * 3600.0 - now.as_secs()).max(0.0);
+                let deadline_slack = if horizon > 0.0 {
+                    remaining_wall / horizon
+                } else {
+                    1.0
+                };
+                let before = w.rung;
+                w.rung = ctrl.observe(&QosSignals {
+                    bandwidth_frac,
+                    receiver_lag_frames,
+                    free_disk_pct: w.store.disk().free_percent(),
+                    deadline_slack,
+                });
+                w.qos_rung_series.record(now, w.rung.as_byte() as f64);
+                w.qos_pressure_series.record(now, ctrl.last_pressure());
+                if before == QosRung::Pause && w.rung != QosRung::Pause {
+                    // Promotion out of store-and-forward: resume shipping
+                    // the parked backlog.
+                    w.kick_sender(sched);
+                }
+            }
 
             match w.handler.state() {
                 SimProcessState::Running => {
@@ -1861,6 +1967,7 @@ mod tests {
         assert_eq!(opts.stall_probe_secs, 600.0);
         assert!(opts.fault_plan.is_empty());
         assert!(opts.durability.is_none());
+        assert!(opts.qos.is_none(), "the ladder is opt-in");
     }
 
     #[test]

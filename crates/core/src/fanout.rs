@@ -17,10 +17,18 @@
 //!   paper's single-site behaviour, generalized; laggards' unserved
 //!   queues are dropped when space is reclaimed).
 //!
+//! Each receiver also carries its own degradation rung
+//! ([`crate::qos::QosRung`]): on heterogeneous links the overseas site
+//! can take track-only fixes while the campus site takes full frames,
+//! which shrinks the straggler's transfer times by the rung's byte
+//! factor. The simulation site still stores the full-resolution frame —
+//! the rung only scales what crosses that receiver's link.
+//!
 //! The fan-out runs on the same DES substrate as the main orchestrator
 //! and is exercised by the `multi_site_viz` example and the fan-out
 //! integration tests.
 
+use crate::qos::QosRung;
 use des::{run_until_empty, Scheduler, Series, SeriesSet};
 use resources::{Disk, Network};
 use std::collections::HashMap;
@@ -32,6 +40,9 @@ pub struct ReceiverSpec {
     pub label: String,
     /// The sim→site link.
     pub network: Network,
+    /// Degradation rung this site's frames ship at (scales transfer
+    /// bytes by [`QosRung::byte_factor`]).
+    pub rung: QosRung,
 }
 
 /// When the simulation site may free a frame's bytes.
@@ -82,6 +93,11 @@ pub struct FanOutOutcome {
     pub frames_dropped: u64,
     /// Frames delivered per receiver, in receiver order.
     pub delivered: Vec<u64>,
+    /// Frames a receiver never got because the bytes were reclaimed
+    /// first (queue entries trimmed by [`ReleasePolicy::FirstReceived`]),
+    /// in receiver order. This is the data loss that policy trades for
+    /// disk headroom — zero under `AllReceived`/`Quorum`.
+    pub unserved: Vec<u64>,
     /// Wall seconds when the last *policy-satisfying* delivery happened.
     pub wall_secs: f64,
     /// Lowest free-disk percentage observed.
@@ -110,6 +126,7 @@ struct World {
     produced: u64,
     dropped: u64,
     delivered: Vec<u64>,
+    unserved: Vec<u64>,
     min_free_pct: f64,
     threshold: usize,
 }
@@ -122,9 +139,10 @@ impl World {
         let frame = self.queues[r].remove(0);
         self.busy[r] = true;
         self.cfg.receivers[r].network.step();
-        let secs = self.cfg.receivers[r]
-            .network
-            .transfer_time(self.cfg.frame_bytes);
+        // The receiver's rung scales what actually crosses its link.
+        let factor = self.cfg.receivers[r].rung.byte_factor();
+        let wire_bytes = ((self.cfg.frame_bytes as f64 * factor).ceil() as u64).max(1);
+        let secs = self.cfg.receivers[r].network.transfer_time(wire_bytes);
         sched.schedule_in(secs, Ev::Delivered { receiver: r, frame });
     }
 
@@ -158,6 +176,7 @@ pub fn run_fanout(cfg: FanOutConfig) -> FanOutOutcome {
         produced: 0,
         dropped: 0,
         delivered: vec![0; n],
+        unserved: vec![0; n],
         min_free_pct: 100.0,
         cfg,
     };
@@ -196,10 +215,13 @@ pub fn run_fanout(cfg: FanOutConfig) -> FanOutOutcome {
                         last_release_secs = now.as_secs();
                         w.record_disk(now);
                         // FirstReceived semantics: laggards' queued copies
-                        // of this frame are dropped with the bytes.
+                        // of this frame are dropped with the bytes — and
+                        // counted, so the data loss is visible per site.
                         if w.threshold == 1 {
-                            for q in &mut w.queues {
+                            for (r, q) in w.queues.iter_mut().enumerate() {
+                                let before = q.len();
                                 q.retain(|&f| f != frame);
+                                w.unserved[r] += (before - q.len()) as u64;
                             }
                         }
                     }
@@ -219,6 +241,7 @@ pub fn run_fanout(cfg: FanOutConfig) -> FanOutOutcome {
         frames_produced: world.produced,
         frames_dropped: world.dropped,
         delivered: world.delivered,
+        unserved: world.unserved,
         wall_secs: last_release_secs,
         min_free_pct: world.min_free_pct,
         series,
@@ -234,14 +257,17 @@ mod tests {
             ReceiverSpec {
                 label: "campus".into(),
                 network: Network::ideal(7e6),
+                rung: QosRung::FullRes,
             },
             ReceiverSpec {
                 label: "national".into(),
                 network: Network::ideal(5e6),
+                rung: QosRung::FullRes,
             },
             ReceiverSpec {
                 label: "overseas".into(),
                 network: Network::ideal(7.5e3),
+                rung: QosRung::FullRes,
             },
         ]
     }
@@ -285,6 +311,43 @@ mod tests {
         assert_eq!(out.delivered[0], 40, "fastest site gets everything");
         // Straggler queues are trimmed when bytes are reclaimed.
         assert!(out.delivered[2] < 40);
+    }
+
+    #[test]
+    fn first_received_data_loss_is_counted_per_laggard() {
+        let out = run_fanout(cfg(ReleasePolicy::FirstReceived));
+        // Every produced frame either reached a site or is counted as
+        // unserved for it — the loss is visible, not silent.
+        for r in 0..3 {
+            assert_eq!(
+                out.delivered[r] + out.unserved[r],
+                out.frames_produced,
+                "site {r}: delivered + unserved must cover production"
+            );
+        }
+        assert_eq!(out.unserved[0], 0, "fastest site loses nothing");
+        assert!(out.unserved[2] > 0, "the overseas laggard's loss shows up");
+    }
+
+    #[test]
+    fn blocking_policies_never_unserve() {
+        for policy in [ReleasePolicy::AllReceived, ReleasePolicy::Quorum(2)] {
+            let out = run_fanout(cfg(policy));
+            assert_eq!(out.unserved, vec![0, 0, 0], "{policy:?} holds bytes");
+        }
+    }
+
+    #[test]
+    fn per_receiver_rung_rescues_the_straggler() {
+        // Same links, but the overseas site subscribes at track-only:
+        // 100 MB shrinks to 100 KB on its link (~13 s ≪ 30 s cadence),
+        // so even AllReceived stops being hostage to it.
+        let mut c = cfg(ReleasePolicy::AllReceived);
+        c.receivers[2].rung = QosRung::TrackOnly;
+        let out = run_fanout(c);
+        assert_eq!(out.frames_dropped, 0, "{out:?}");
+        assert_eq!(out.delivered, vec![40, 40, 40]);
+        assert_eq!(out.unserved, vec![0, 0, 0]);
     }
 
     #[test]

@@ -42,6 +42,7 @@
 //! assert!(outcome.frames_rendered > 0);
 //! ```
 
+pub mod chaos;
 pub mod config;
 pub mod decision;
 pub mod engine;
@@ -53,6 +54,7 @@ pub mod metrics;
 pub mod net_transport;
 pub mod online;
 pub mod orchestrator;
+pub mod qos;
 pub mod recovery;
 pub mod resilience;
 pub mod steering;

@@ -115,6 +115,13 @@ impl ApplicationManager {
         self.probe.average_bps()
     }
 
+    /// Best bandwidth ever measured, bytes/second (0 until the first
+    /// epoch runs). The QoS controller normalizes its link signal
+    /// against this.
+    pub fn peak_bandwidth_bps(&self) -> f64 {
+        self.peak_bandwidth_bps
+    }
+
     /// Which constraint bound the most recent decision (LP method only).
     pub fn last_binding(&self) -> Option<BindingConstraint> {
         self.algorithm.last_binding()

@@ -4,18 +4,25 @@
 //! The DES and in-process online modes model the link; this module is the
 //! deployable path: a receiver daemon listens on a socket at the
 //! visualization site, the sender connects from the simulation site, and
-//! frames travel as length-prefixed [`ncdf`] blobs. Wire protocol v2
-//! makes the link restartable:
+//! frames travel as length-prefixed [`ncdf`] blobs. Wire protocol v3
+//! makes the link restartable and rung-aware:
 //!
 //! ```text
 //! handshake (receiver → sender, once per connection):
 //!     magic "AHL2" | u64 LE last-applied sequence
 //! frame (sender → receiver):
-//!     magic "AFR2" | u64 LE sequence | u32 LE payload length
-//!                  | u32 LE CRC-32 of payload | payload
+//!     magic "AFR3" | u64 LE sequence | u32 LE payload length
+//!                  | u32 LE CRC-32 of payload | u8 degradation rung
+//!                  | payload
 //! ack (receiver → sender, after every frame):
 //!     status byte | u64 LE last-applied sequence
 //! ```
+//!
+//! The rung byte (v3's addition over v2) tells the receiver how to
+//! decode the payload — full-resolution dataset, quantized dataset,
+//! thumbnail, or a bare eye fix (see [`crate::qos::QosRung`]) — so a
+//! sender walking the degradation ladder mid-stream stays decodable
+//! frame by frame. An unknown rung is a protocol violation.
 //!
 //! Sequences start at 1 (`0` = nothing applied yet). The receiver applies
 //! a frame at most once: a sequence at or below its last-applied value is
@@ -33,6 +40,7 @@
 //! hang. The recovery loop (reconnect, backoff, resume-from-last-ack)
 //! lives in [`crate::resilience::ResilientSender`].
 
+use crate::qos::{self, QosRung};
 use crate::resilience::crc32;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -41,7 +49,7 @@ use std::sync::Arc;
 use std::time::Duration;
 use viz::TrackLog;
 
-const FRAME_MAGIC: &[u8; 4] = b"AFR2";
+const FRAME_MAGIC: &[u8; 4] = b"AFR3";
 const HANDSHAKE_MAGIC: &[u8; 4] = b"AHL2";
 /// Upper bound on a frame payload (defends the receiver against a corrupt
 /// length prefix).
@@ -133,27 +141,46 @@ impl FrameSender {
         self.peer_last_applied
     }
 
-    /// Ship one frame under the next sequence number and wait for the
-    /// ack. The sequence advances only on success.
+    /// Ship one full-resolution frame under the next sequence number and
+    /// wait for the ack. The sequence advances only on success.
     pub fn send(&mut self, payload: &[u8]) -> Result<(), TransportError> {
+        self.send_rung(QosRung::FullRes, payload)
+    }
+
+    /// Ship one frame at an explicit degradation rung under the next
+    /// sequence number. The rung rides in the header so the receiver
+    /// picks the matching decoder.
+    pub fn send_rung(&mut self, rung: QosRung, payload: &[u8]) -> Result<(), TransportError> {
         let seq = self.next_seq;
-        self.send_seq(seq, payload)?;
+        self.send_seq_rung(seq, rung, payload)?;
         self.next_seq = seq + 1;
         Ok(())
     }
 
-    /// Ship one frame under an explicit sequence number and wait for the
-    /// ack. Used by the resilient sender when replaying after a
-    /// reconnect.
+    /// Ship one full-resolution frame under an explicit sequence number
+    /// and wait for the ack. Used by the resilient sender when replaying
+    /// after a reconnect.
     pub fn send_seq(&mut self, seq: u64, payload: &[u8]) -> Result<(), TransportError> {
+        self.send_seq_rung(seq, QosRung::FullRes, payload)
+    }
+
+    /// Ship one frame under an explicit sequence number and degradation
+    /// rung and wait for the ack.
+    pub fn send_seq_rung(
+        &mut self,
+        seq: u64,
+        rung: QosRung,
+        payload: &[u8],
+    ) -> Result<(), TransportError> {
         if payload.len() as u64 > MAX_FRAME_BYTES as u64 {
             return Err(TransportError::BadFrame("payload exceeds frame limit"));
         }
-        let mut header = [0u8; 20];
+        let mut header = [0u8; 21];
         header[..4].copy_from_slice(FRAME_MAGIC);
         header[4..12].copy_from_slice(&seq.to_le_bytes());
         header[12..16].copy_from_slice(&(payload.len() as u32).to_le_bytes());
         header[16..20].copy_from_slice(&crc32(payload).to_le_bytes());
+        header[20] = rung.as_byte();
         self.stream.write_all(&header)?;
         self.stream.write_all(payload)?;
         let mut ack = [0u8; 9];
@@ -323,7 +350,7 @@ fn serve_connection(
         if stop.load(Ordering::SeqCst) {
             return;
         }
-        let mut header = [0u8; 20];
+        let mut header = [0u8; 21];
         match read_exact_interruptible(&mut stream, &mut header, stop) {
             Ok(true) => {}
             _ => return, // peer gone or stop requested
@@ -337,6 +364,11 @@ fn serve_connection(
         let seq = u64::from_le_bytes(header[4..12].try_into().expect("8 bytes"));
         let len = u32::from_le_bytes(header[12..16].try_into().expect("4 bytes"));
         let crc = u32::from_le_bytes(header[16..20].try_into().expect("4 bytes"));
+        let Some(rung) = QosRung::from_byte(header[20]) else {
+            // An unknown rung is undecodable by construction: terminal nack.
+            send_ack(&mut stream, ACK_PROTOCOL, applied_now);
+            return;
+        };
         if len > MAX_FRAME_BYTES {
             send_ack(&mut stream, ACK_PROTOCOL, applied_now);
             return;
@@ -365,15 +397,23 @@ fn serve_connection(
             continue;
         }
         let ok = crc == crc32(&payload)
-            && match ncdf::Dataset::from_bytes(&payload) {
-                Ok(ds) => {
-                    track.ingest(&ds);
-                    frames.fetch_add(1, Ordering::SeqCst);
-                    last_applied.store(seq, Ordering::SeqCst);
-                    true
-                }
-                Err(_) => false,
+            && match rung {
+                // Full resolution keeps the legacy contract: a decodable
+                // dataset counts as applied even when no eye is found.
+                QosRung::FullRes => match ncdf::Dataset::from_bytes(&payload) {
+                    Ok(ds) => {
+                        track.ingest(&ds);
+                        true
+                    }
+                    Err(_) => false,
+                },
+                // Degraded rungs decode per the header's rung byte.
+                _ => qos::apply_body(track, rung, &payload),
             };
+        if ok {
+            frames.fetch_add(1, Ordering::SeqCst);
+            last_applied.store(seq, Ordering::SeqCst);
+        }
         let status = if ok { ACK_APPLIED } else { ACK_REJECTED };
         if !send_ack(&mut stream, status, last_applied.load(Ordering::SeqCst)) {
             return;
@@ -523,11 +563,12 @@ mod tests {
         let crc = crc32(&bytes);
         let idx = bytes.len() / 2;
         bytes[idx] ^= 0xff;
-        let mut header = [0u8; 20];
-        header[..4].copy_from_slice(b"AFR2");
+        let mut header = [0u8; 21];
+        header[..4].copy_from_slice(b"AFR3");
         header[4..12].copy_from_slice(&1u64.to_le_bytes());
         header[12..16].copy_from_slice(&(bytes.len() as u32).to_le_bytes());
         header[16..20].copy_from_slice(&crc.to_le_bytes());
+        header[20] = 0; // full resolution
         use std::io::Write as _;
         sender.stream.write_all(&header).unwrap();
         sender.stream.write_all(&bytes).unwrap();
@@ -547,8 +588,8 @@ mod tests {
         let mut hello = [0u8; 12];
         stream.read_exact(&mut hello).expect("handshake");
         assert_eq!(&hello[..4], b"AHL2");
-        // 20 bytes of garbage where a frame header should be.
-        stream.write_all(&[0xaau8; 20]).unwrap();
+        // 21 bytes of garbage where a frame header should be.
+        stream.write_all(&[0xaau8; 21]).unwrap();
         let mut ack = [0u8; 9];
         stream.read_exact(&mut ack).expect("terminal nack arrives");
         assert_eq!(ack[0], b'!', "explicit protocol nack");
@@ -566,15 +607,81 @@ mod tests {
             .unwrap();
         let mut hello = [0u8; 12];
         stream.read_exact(&mut hello).expect("handshake");
-        let mut header = [0u8; 20];
-        header[..4].copy_from_slice(b"AFR2");
+        let mut header = [0u8; 21];
+        header[..4].copy_from_slice(b"AFR3");
         header[4..12].copy_from_slice(&1u64.to_le_bytes());
         header[12..16].copy_from_slice(&u32::MAX.to_le_bytes());
         header[16..20].copy_from_slice(&0u32.to_le_bytes());
+        header[20] = 0;
         stream.write_all(&header).unwrap();
         let mut ack = [0u8; 9];
         stream.read_exact(&mut ack).expect("terminal nack arrives");
         assert_eq!(ack[0], b'!');
+    }
+
+    #[test]
+    fn unknown_rung_byte_gets_a_terminal_nack() {
+        let receiver = FrameReceiver::start().expect("bind");
+        let mut stream = TcpStream::connect(receiver.addr()).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let mut hello = [0u8; 12];
+        stream.read_exact(&mut hello).expect("handshake");
+        let mut header = [0u8; 21];
+        header[..4].copy_from_slice(b"AFR3");
+        header[4..12].copy_from_slice(&1u64.to_le_bytes());
+        header[12..16].copy_from_slice(&0u32.to_le_bytes());
+        header[16..20].copy_from_slice(&crc32(&[]).to_le_bytes());
+        header[20] = 9; // no such rung
+        stream.write_all(&header).unwrap();
+        let mut ack = [0u8; 9];
+        stream.read_exact(&mut ack).expect("terminal nack arrives");
+        assert_eq!(ack[0], b'!', "unknown rung is a protocol violation");
+        assert_eq!(receiver.frames_received(), 0);
+    }
+
+    #[test]
+    fn degraded_rungs_cross_the_socket_and_land_as_fixes() {
+        let receiver = FrameReceiver::start().expect("bind");
+        let mut sender = FrameSender::connect(receiver.addr()).expect("connect");
+        let mut model =
+            WrfModel::new(ModelConfig::aila_default().with_decimation(16)).expect("valid");
+
+        // Walk the ladder across one connection: the header's rung byte
+        // lets the receiver pick the right decoder frame by frame.
+        for rung in [
+            QosRung::FullRes,
+            QosRung::DeltaQuantized,
+            QosRung::Thumbnail,
+            QosRung::TrackOnly,
+        ] {
+            model
+                .advance_to_minutes(model.sim_minutes() + 60.0, 1)
+                .expect("finite");
+            let body = qos::encode_body(&model, rung);
+            sender.send_rung(rung, &body).expect("frame accepted");
+        }
+        assert_eq!(receiver.frames_received(), 4);
+        assert_eq!(receiver.last_applied(), 4);
+        let (lon, lat) = model.eye_lonlat();
+
+        // A quantized body mislabeled as full-res is rejected, not
+        // misdecoded: the rung byte is load-bearing.
+        model
+            .advance_to_minutes(model.sim_minutes() + 60.0, 1)
+            .expect("finite");
+        let body = qos::encode_body(&model, QosRung::DeltaQuantized);
+        let err = sender.send_rung(QosRung::FullRes, &body).unwrap_err();
+        assert!(matches!(err, TransportError::BadFrame(_)));
+
+        let track = receiver.shutdown();
+        assert_eq!(track.fixes().len(), 4, "every rung produced a fix");
+        // The track-only fix is the model's ground truth, bit-exact
+        // through the 32-byte fix codec.
+        let last = track.fixes().last().expect("fixes recorded");
+        assert_eq!(last.lon, lon);
+        assert_eq!(last.lat, lat);
     }
 
     #[test]

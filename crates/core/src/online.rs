@@ -99,6 +99,13 @@ impl OnlineOptions {
         self.pipeline.physics_threads = mode;
         self
     }
+
+    /// Builder: turn on the closed-loop degradation ladder (see
+    /// [`crate::qos`]).
+    pub fn with_qos(mut self, qos: crate::qos::QosConfig) -> Self {
+        self.pipeline.qos = Some(qos);
+        self
+    }
 }
 
 /// What an online run observed: the shared [`PipelineReport`] plus the

@@ -124,6 +124,13 @@ impl Orchestrator {
         self
     }
 
+    /// Turn on the closed-loop degradation ladder with the given
+    /// controller configuration (see [`crate::qos`]).
+    pub fn with_qos(mut self, qos: crate::qos::QosConfig) -> Self {
+        self.options.qos = Some(qos);
+        self
+    }
+
     /// Emit *real* encoded frames (the live pipeline's emission path —
     /// same frame bytes, same track ingestion) instead of modeled byte
     /// counts, against a `disk_capacity`-byte disk and an ideal

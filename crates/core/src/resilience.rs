@@ -1,8 +1,9 @@
 //! Self-healing frame transport: checksums, backoff, and the resilient
 //! sender.
 //!
-//! The v2 wire protocol (see [`crate::net_transport`]) gives every frame
-//! a sequence number and a CRC, and every ack carries the receiver's
+//! The v3 wire protocol (see [`crate::net_transport`]) gives every frame
+//! a sequence number, a CRC, and a degradation-rung byte, and every ack
+//! carries the receiver's
 //! *last applied* sequence. That is enough to make the sender's recovery
 //! loop simple and exactly-once from the visualization's point of view:
 //!
@@ -15,6 +16,7 @@
 //! - a frame is retired only when an ack covering its sequence arrives.
 
 use crate::net_transport::{FrameSender, TransportError};
+use crate::qos::QosRung;
 use std::net::SocketAddr;
 use std::time::Duration;
 
@@ -170,11 +172,18 @@ impl<A: FnMut() -> SocketAddr> ResilientSender<A> {
     ///
     /// Returns the sequence number the frame was assigned.
     pub fn send(&mut self, payload: &[u8]) -> Result<u64, TransportError> {
+        self.send_rung(QosRung::FullRes, payload)
+    }
+
+    /// [`Self::send`] at an explicit degradation rung: the rung byte
+    /// rides in every (re)transmission's header, so a replay after a
+    /// reconnect is still decoded the way the original would have been.
+    pub fn send_rung(&mut self, rung: QosRung, payload: &[u8]) -> Result<u64, TransportError> {
         let seq = self.next_seq;
         let mut attempt = 0u32;
         let mut first_try = true;
         loop {
-            let result = self.try_once(seq, payload, first_try);
+            let result = self.try_once(seq, rung, payload, first_try);
             match result {
                 Ok(deduped) => {
                     self.next_seq = seq + 1;
@@ -208,6 +217,7 @@ impl<A: FnMut() -> SocketAddr> ResilientSender<A> {
     fn try_once(
         &mut self,
         seq: u64,
+        rung: QosRung,
         payload: &[u8],
         first_try: bool,
     ) -> Result<bool, TransportError> {
@@ -222,7 +232,7 @@ impl<A: FnMut() -> SocketAddr> ResilientSender<A> {
         self.conn
             .as_mut()
             .expect("connected above")
-            .send_seq(seq, payload)?;
+            .send_seq_rung(seq, rung, payload)?;
         Ok(false)
     }
 }
@@ -269,5 +279,79 @@ mod tests {
     #[should_panic(expected = "at least one attempt")]
     fn zero_attempts_rejected() {
         BackoffPolicy::new(0).with_max_attempts(0);
+    }
+
+    #[test]
+    fn backoff_survives_absurd_attempt_counts() {
+        // A long outage can push the attempt counter far past the point
+        // where `base << attempt` would overflow. The delay must stay
+        // finite and capped, never panic or wrap to something tiny.
+        let cap = Duration::from_secs(2);
+        let mut p = BackoffPolicy::new(7).with_cap(cap);
+        for attempt in [17, 20, 31, 32, 63, 64, 1_000, 1_000_000, u32::MAX] {
+            let d = p.delay(attempt);
+            assert!(d <= cap, "attempt {attempt}: {d:?} exceeds the cap");
+            assert!(
+                d >= cap / 2,
+                "attempt {attempt}: {d:?} collapsed below half the cap — overflow wrap?"
+            );
+        }
+        // Also with a base large enough that the shift itself saturates
+        // (powers of two so the jitter multiply is exact in f64).
+        let mut big = BackoffPolicy::new(8)
+            .with_base(Duration::from_secs(1 << 40))
+            .with_cap(Duration::from_secs(1 << 41));
+        let d = big.delay(u32::MAX);
+        assert!(d <= Duration::from_secs(1 << 41), "saturating, capped");
+    }
+
+    #[test]
+    fn resilient_sender_resumes_after_mid_handshake_disconnect() {
+        use crate::net_transport::FrameReceiver;
+        use std::io::Write as _;
+        use std::net::TcpListener;
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+
+        // A saboteur endpoint that accepts the connection, writes only
+        // half the handshake hello, then slams the connection shut —
+        // the sender is disconnected *mid-handshake*.
+        let saboteur = TcpListener::bind(("127.0.0.1", 0)).expect("bind");
+        let saboteur_addr = saboteur.local_addr().expect("addr");
+        let sab_thread = std::thread::spawn(move || {
+            if let Ok((mut stream, _)) = saboteur.accept() {
+                stream.write_all(b"AHL2\x01\x02").ok(); // 6 of 12 bytes
+                                                        // dropped here: mid-handshake reset
+            }
+        });
+
+        let receiver = FrameReceiver::start().expect("bind real receiver");
+        let real_addr = receiver.addr();
+        let calls = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&calls);
+        let mut sender = ResilientSender::new(
+            move || {
+                // First connection goes to the saboteur, retries go to
+                // the real receiver that came back.
+                if c.fetch_add(1, Ordering::SeqCst) == 0 {
+                    saboteur_addr
+                } else {
+                    real_addr
+                }
+            },
+            BackoffPolicy::new(42).with_base(Duration::from_millis(5)),
+        )
+        .with_io_timeout(Duration::from_millis(500));
+
+        let model = wrf::WrfModel::new(wrf::ModelConfig::aila_default().with_decimation(16))
+            .expect("valid");
+        let seq = sender
+            .send(&model.frame().to_bytes())
+            .expect("recovered from the torn handshake");
+        assert_eq!(seq, 1);
+        assert_eq!(sender.stats().frames_acked, 1);
+        assert!(calls.load(Ordering::SeqCst) >= 2, "retried past the tear");
+        assert_eq!(receiver.frames_received(), 1, "frame landed after resume");
+        sab_thread.join().expect("saboteur exits");
     }
 }

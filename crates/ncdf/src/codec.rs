@@ -214,6 +214,232 @@ fn get_attrs(c: &mut Cursor<'_>) -> Result<BTreeMap<String, AttrValue>, NcdfErro
     Ok(attrs)
 }
 
+// ---------------------------------------------------------------------------
+// Quantized + delta codec (degradation-ladder rung 1)
+// ---------------------------------------------------------------------------
+
+/// Magic bytes for the quantized/delta wire format.
+pub const QUANT_MAGIC: &[u8; 4] = b"AQZ1";
+/// Version written by [`encode_quantized`].
+pub const QUANT_VERSION: u16 = 1;
+
+// Per-variable encoding tags inside an AQZ1 blob.
+const ENC_RAW: u8 = 0;
+const ENC_QUANT: u8 = 1;
+
+/// Lossy-compress a dataset: floating-point variables are quantized to
+/// 16-bit levels over their own `[min, max]` range, delta-coded against
+/// the previous element, and written as zigzag LEB128 varints; integer
+/// and byte variables pass through raw. Smooth physical fields (pressure,
+/// winds) compress to a small fraction of [`Dataset::to_bytes`] while
+/// keeping worst-case error at `(max - min) / 65535` per value.
+pub fn encode_quantized(ds: &Dataset) -> Bytes {
+    let mut buf = BytesMut::with_capacity(1024 + ds.payload_bytes() as usize / 2);
+    buf.put_slice(QUANT_MAGIC);
+    buf.put_u16_le(QUANT_VERSION);
+    put_attrs(&mut buf, &ds.attrs);
+    buf.put_u32_le(ds.dims.len() as u32);
+    for d in &ds.dims {
+        put_string(&mut buf, &d.name);
+        buf.put_u64_le(d.len as u64);
+    }
+    buf.put_u32_le(ds.vars.len() as u32);
+    for v in &ds.vars {
+        put_string(&mut buf, &v.name);
+        buf.put_u8(v.dtype().tag());
+        buf.put_u32_le(v.dims.len() as u32);
+        for &DimId(i) in &v.dims {
+            buf.put_u32_le(i);
+        }
+        put_attrs(&mut buf, &v.attrs);
+        buf.put_u64_le(v.data.len() as u64);
+        match &v.data {
+            Data::F32(xs) => {
+                buf.put_u8(ENC_QUANT);
+                let vals: Vec<f64> = xs.iter().map(|&x| x as f64).collect();
+                put_quantized(&mut buf, &vals);
+            }
+            Data::F64(xs) => {
+                buf.put_u8(ENC_QUANT);
+                put_quantized(&mut buf, xs);
+            }
+            Data::I32(xs) => {
+                buf.put_u8(ENC_RAW);
+                xs.iter().for_each(|&x| buf.put_i32_le(x));
+            }
+            Data::U8(xs) => {
+                buf.put_u8(ENC_RAW);
+                buf.put_slice(xs);
+            }
+        }
+    }
+    buf.freeze()
+}
+
+/// Decode a blob written by [`encode_quantized`] back into a [`Dataset`]
+/// (lossy for floating-point variables, exact for integer/byte ones).
+/// Fully validated: truncation, bad tags, and shape mismatches all
+/// surface as errors, never panics.
+pub fn decode_quantized(bytes: &[u8]) -> Result<Dataset, NcdfError> {
+    let mut c = Cursor::new(bytes);
+    let magic = c.take(4, "quant magic")?;
+    if magic != QUANT_MAGIC {
+        return Err(NcdfError::BadMagic);
+    }
+    let version = c.u16("quant version")?;
+    if version != QUANT_VERSION {
+        return Err(NcdfError::UnsupportedVersion(version));
+    }
+    let attrs = get_attrs(&mut c)?;
+
+    let ndims = c.u32("dim count")? as usize;
+    c.check_count(ndims as u64, 9, "dimension")?;
+    let mut dims = Vec::with_capacity(ndims);
+    for _ in 0..ndims {
+        let name = c.string("dim name")?;
+        let len = c.u64("dim length")? as usize;
+        if dims.iter().any(|d: &Dim| d.name == name) {
+            return Err(NcdfError::DuplicateName(name));
+        }
+        dims.push(Dim { name, len });
+    }
+
+    let nvars = c.u32("var count")? as usize;
+    c.check_count(nvars as u64, 11, "variable")?;
+    let mut vars: Vec<Variable> = Vec::with_capacity(nvars);
+    for _ in 0..nvars {
+        let name = c.string("var name")?;
+        if vars.iter().any(|v| v.name == name) {
+            return Err(NcdfError::DuplicateName(name));
+        }
+        let dtype = DType::from_tag(c.u8("dtype")?).ok_or(NcdfError::BadTag(0xff))?;
+        let nd = c.u32("var ndims")? as usize;
+        c.check_count(nd as u64, 4, "variable dim")?;
+        let mut vdims = Vec::with_capacity(nd);
+        for _ in 0..nd {
+            let id = c.u32("dim id")?;
+            if id as usize >= dims.len() {
+                return Err(NcdfError::UnknownDim(id));
+            }
+            vdims.push(DimId(id));
+        }
+        let vattrs = get_attrs(&mut c)?;
+        let count = c.u64("element count")?;
+        c.check_count(count, 1, "element")?;
+        let count = count as usize;
+        let expected: usize = vdims.iter().map(|&DimId(i)| dims[i as usize].len).product();
+        if expected != count {
+            return Err(NcdfError::ShapeMismatch {
+                name,
+                expected,
+                actual: count,
+            });
+        }
+        let encoding = c.u8("encoding tag")?;
+        let data = match (encoding, dtype) {
+            (ENC_QUANT, DType::F32) => {
+                let vals = get_quantized(&mut c, count)?;
+                Data::F32(vals.into_iter().map(|x| x as f32).collect())
+            }
+            (ENC_QUANT, DType::F64) => Data::F64(get_quantized(&mut c, count)?),
+            (ENC_RAW, DType::I32) => {
+                let raw = c.take(count * 4, "i32 payload")?;
+                Data::I32(
+                    raw.chunks_exact(4)
+                        .map(|b| i32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+                        .collect(),
+                )
+            }
+            (ENC_RAW, DType::U8) => Data::U8(c.take(count, "u8 payload")?.to_vec()),
+            (t, _) => return Err(NcdfError::BadTag(t)),
+        };
+        vars.push(Variable {
+            name,
+            dims: vdims,
+            attrs: vattrs,
+            data,
+        });
+    }
+    Ok(Dataset { dims, attrs, vars })
+}
+
+/// Quantize to u16 levels over `[min, max]`, delta-code, zigzag, LEB128.
+fn put_quantized(buf: &mut BytesMut, vals: &[f64]) {
+    let vmin = vals.iter().copied().fold(f64::INFINITY, f64::min);
+    let vmax = vals.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let (vmin, vmax) = if vmin.is_finite() && vmax.is_finite() {
+        (vmin, vmax)
+    } else {
+        (0.0, 0.0)
+    };
+    buf.put_f64_le(vmin);
+    buf.put_f64_le(vmax);
+    let range = vmax - vmin;
+    let mut prev: i64 = 0;
+    for &x in vals {
+        let q = if range > 0.0 {
+            (((x - vmin) / range * 65535.0).round()).clamp(0.0, 65535.0) as i64
+        } else {
+            0
+        };
+        let delta = q - prev;
+        prev = q;
+        put_varint(buf, zigzag(delta));
+    }
+}
+
+/// Inverse of [`put_quantized`]: read `count` levels and dequantize.
+fn get_quantized(c: &mut Cursor<'_>, count: usize) -> Result<Vec<f64>, NcdfError> {
+    let vmin = c.f64("quant min")?;
+    let vmax = c.f64("quant max")?;
+    let range = vmax - vmin;
+    let mut vals = Vec::with_capacity(count);
+    let mut prev: i64 = 0;
+    for _ in 0..count {
+        let delta = unzigzag(get_varint(c)?);
+        let q = (prev + delta).clamp(0, 65535);
+        prev = q;
+        vals.push(if range > 0.0 {
+            vmin + q as f64 / 65535.0 * range
+        } else {
+            vmin
+        });
+    }
+    Ok(vals)
+}
+
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+fn put_varint(buf: &mut BytesMut, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+fn get_varint(c: &mut Cursor<'_>) -> Result<u64, NcdfError> {
+    let mut v: u64 = 0;
+    for shift in (0..64).step_by(7) {
+        let byte = c.u8("varint")?;
+        v |= ((byte & 0x7f) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+    }
+    Err(NcdfError::BadTag(0x80))
+}
+
 /// Bounds-checked little-endian reader.
 struct Cursor<'a> {
     buf: &'a [u8],
@@ -363,6 +589,120 @@ mod tests {
         let ds = Dataset::new();
         let back = Dataset::from_bytes(&ds.to_bytes()).unwrap();
         assert_eq!(ds, back);
+    }
+
+    #[test]
+    fn quantized_roundtrip_bounds_error_and_preserves_structure() {
+        let ds = sample();
+        let bytes = encode_quantized(&ds);
+        let back = decode_quantized(&bytes).unwrap();
+        assert_eq!(back.dims, ds.dims);
+        assert_eq!(back.attrs, ds.attrs);
+        assert_eq!(back.vars.len(), ds.vars.len());
+        for (orig, got) in ds.vars.iter().zip(&back.vars) {
+            assert_eq!(orig.name, got.name);
+            assert_eq!(orig.dims, got.dims);
+            assert_eq!(orig.attrs, got.attrs);
+            assert_eq!(orig.dtype(), got.dtype());
+            let a = orig.data.to_f64_vec();
+            let b = got.data.to_f64_vec();
+            let range = a.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+                - a.iter().copied().fold(f64::INFINITY, f64::min);
+            let tol = match orig.dtype() {
+                DType::F32 | DType::F64 => range / 65535.0 + 1e-12,
+                DType::I32 | DType::U8 => 0.0, // raw passthrough is exact
+            };
+            for (x, y) in a.iter().zip(&b) {
+                assert!((x - y).abs() <= tol, "{} vs {} (tol {tol})", x, y);
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_compresses_smooth_fields() {
+        // A smooth 2-D field like surface pressure: neighboring levels
+        // differ by a few quantization steps, so deltas are 1-byte varints.
+        let mut ds = Dataset::new();
+        let y = ds.add_dim("y", 64).unwrap();
+        let x = ds.add_dim("x", 64).unwrap();
+        let vals: Vec<f64> = (0..64 * 64)
+            .map(|i| {
+                let (r, c) = (i / 64, i % 64);
+                1000.0
+                    - 40.0
+                        * (-((r as f64 - 32.0).powi(2) + (c as f64 - 32.0).powi(2)) / 200.0).exp()
+            })
+            .collect();
+        ds.add_var("pressure", &[y, x], Data::F64(vals)).unwrap();
+        let raw = ds.to_bytes();
+        let quant = encode_quantized(&ds);
+        assert!(
+            (quant.len() as f64) < raw.len() as f64 * 0.30,
+            "quantized {} vs raw {}",
+            quant.len(),
+            raw.len()
+        );
+        let back = decode_quantized(&quant).unwrap();
+        let a = ds.var("pressure").unwrap().data.to_f64_vec();
+        let b = back.var("pressure").unwrap().data.to_f64_vec();
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() <= 40.0 / 65535.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn quantized_every_truncation_point_errors_not_panics() {
+        let bytes = encode_quantized(&sample());
+        for cut in 0..bytes.len() {
+            let r = decode_quantized(&bytes[..cut]);
+            assert!(r.is_err(), "decode of {cut}-byte prefix should fail");
+        }
+    }
+
+    #[test]
+    fn quantized_rejects_wrong_magic_and_version() {
+        let bytes = encode_quantized(&sample());
+        let mut bad = bytes.to_vec();
+        bad[0] = b'X';
+        assert_eq!(decode_quantized(&bad), Err(NcdfError::BadMagic));
+        let mut bad = bytes.to_vec();
+        bad[4] = 0xff;
+        assert!(matches!(
+            decode_quantized(&bad),
+            Err(NcdfError::UnsupportedVersion(_))
+        ));
+        // An NCDL blob fed to the quantized decoder is a magic mismatch,
+        // and vice versa — the two formats cannot be confused.
+        assert_eq!(
+            decode_quantized(&sample().to_bytes()),
+            Err(NcdfError::BadMagic)
+        );
+        assert_eq!(Dataset::from_bytes(&bytes), Err(NcdfError::BadMagic));
+    }
+
+    #[test]
+    fn quantized_constant_field_roundtrips_exactly() {
+        let mut ds = Dataset::new();
+        let x = ds.add_dim("x", 5).unwrap();
+        ds.add_var("c", &[x], Data::F64(vec![7.25; 5])).unwrap();
+        let back = decode_quantized(&encode_quantized(&ds)).unwrap();
+        assert_eq!(back.var("c").unwrap().data.to_f64_vec(), vec![7.25; 5]);
+    }
+
+    #[test]
+    fn zigzag_varint_roundtrip_extremes() {
+        for v in [0i64, 1, -1, 65535, -65535, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+        let mut buf = BytesMut::new();
+        for v in [0u64, 1, 127, 128, 16383, 16384, u64::MAX] {
+            put_varint(&mut buf, v);
+        }
+        let frozen = buf.freeze();
+        let mut c = Cursor::new(&frozen);
+        for v in [0u64, 1, 127, 128, 16383, 16384, u64::MAX] {
+            assert_eq!(get_varint(&mut c).unwrap(), v);
+        }
     }
 
     #[test]

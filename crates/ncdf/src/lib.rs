@@ -40,7 +40,7 @@
 //! ```
 
 mod cdl;
-mod codec;
+pub mod codec;
 mod dataset;
 mod error;
 mod types;

@@ -110,6 +110,13 @@ impl TrackLog {
         Some(fix)
     }
 
+    /// Append a fix extracted elsewhere — how the track-only degradation
+    /// rung delivers: the sender ships a bare [`EyeFix`] instead of a
+    /// frame, and the receiver appends it directly.
+    pub fn push_fix(&mut self, fix: EyeFix) {
+        self.fixes.push(fix);
+    }
+
     /// All fixes in ingestion order.
     pub fn fixes(&self) -> &[EyeFix] {
         &self.fixes

@@ -19,6 +19,7 @@
 //! cargo run --release --example fault_drill
 //! cargo run --release --example fault_drill -- --kill-at 0.02
 //! cargo run --release --example fault_drill -- --physics-threads follow
+//! cargo run --release --example fault_drill -- --soak 2000 --seed 7
 //! ```
 //!
 //! With `--kill-at <hours>` only the recovery drill runs, killing the
@@ -27,7 +28,15 @@
 //! worker count, or `follow` to track the manager's decided processor
 //! count (the modeled knob). Results are bitwise identical either way —
 //! only wall time changes.
+//!
+//! With `--soak <hours>` the drill instead runs the deterministic
+//! chaos-soak harness: seeded composed fault storms through the DES,
+//! each checked against the full invariant battery, until at least that
+//! many *simulated* hours have been covered. `--seed <n>` picks the
+//! first storm seed (storm `i` uses `n + i`); failures are shrunk to a
+//! minimal replayable schedule and the process exits non-zero.
 
+use climate_adaptive::adaptive::chaos;
 use climate_adaptive::adaptive::decision::AlgorithmKind;
 use climate_adaptive::adaptive::engine::PhysicsThreads;
 use climate_adaptive::adaptive::net_transport::{FrameReceiver, ReceiverOptions};
@@ -53,6 +62,21 @@ fn main() {
             None => usage(),
         },
     };
+    if let Some(i) = args.iter().position(|a| a == "--soak") {
+        let hours: f64 = args
+            .get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| usage());
+        let seed0: u64 = match args.iter().position(|a| a == "--seed") {
+            None => 0xC1A05,
+            Some(j) => args
+                .get(j + 1)
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| usage()),
+        };
+        soak_drill(hours, seed0);
+        return;
+    }
     if let Some(i) = args.iter().position(|a| a == "--kill-at") {
         let hours: f64 = args
             .get(i + 1)
@@ -67,8 +91,58 @@ fn main() {
 }
 
 fn usage() -> ! {
-    eprintln!("usage: fault_drill [--kill-at <hours>] [--physics-threads <n|follow>]");
+    eprintln!(
+        "usage: fault_drill [--kill-at <hours>] [--physics-threads <n|follow>] \
+         [--soak <sim-hours> [--seed <n>]]"
+    );
     std::process::exit(2);
+}
+
+/// Seeded chaos storms through the DES until `target_sim_hours` of
+/// simulated time are covered, every invariant checked on every storm.
+fn soak_drill(target_sim_hours: f64, seed0: u64) {
+    println!(
+        "== chaos soak: seeded fault storms until {target_sim_hours:.0} simulated hours \
+         (first seed {seed0}) =="
+    );
+    let budgets = chaos::InvariantBudgets::default();
+    let mut sim_hours = 0.0;
+    let mut storm = 0u64;
+    let mut failures = 0u64;
+    while sim_hours < target_sim_hours {
+        let spec = chaos::StormSpec::generate(seed0 + storm);
+        let baseline_wall = chaos::run_storm(&spec.baseline()).wall_hours;
+        let out = chaos::run_storm(&spec);
+        let violations = chaos::check_invariants(&spec, &out, baseline_wall, &budgets);
+        sim_hours += out.sim_minutes / 60.0;
+        println!(
+            "storm {:>3} seed {:>7}: {} events, sim {:>4.0} h, wall {:>5.2} h, \
+             deepest rung {}, stalls {}, {} violation(s)",
+            storm,
+            spec.seed,
+            spec.events.len(),
+            out.sim_minutes / 60.0,
+            out.wall_hours,
+            out.deepest_rung,
+            out.stalls,
+            violations.len(),
+        );
+        if !violations.is_empty() {
+            failures += 1;
+            for v in &violations {
+                println!("    {v}");
+            }
+            let kinds: Vec<&'static str> = violations.iter().map(|v| v.kind()).collect();
+            let shrunk = chaos::shrink(&spec, &budgets, &kinds);
+            println!("    shrunk to {} event(s):", shrunk.spec.events.len());
+            println!("    {}", shrunk.spec.replay_line());
+        }
+        storm += 1;
+    }
+    println!("soak finished: {storm} storms, {sim_hours:.0} simulated hours, {failures} failing");
+    if failures > 0 {
+        std::process::exit(1);
+    }
 }
 
 /// Hard-kill the live durable pipeline mid-mission and let the recovery

@@ -11,22 +11,26 @@
 //! ```
 
 use climate_adaptive::adaptive::fanout::{run_fanout, FanOutConfig, ReceiverSpec, ReleasePolicy};
+use climate_adaptive::adaptive::qos::QosRung;
 use climate_adaptive::prelude::*;
 use resources::Disk;
 
-fn receivers() -> Vec<ReceiverSpec> {
+fn receivers(overseas_rung: QosRung) -> Vec<ReceiverSpec> {
     vec![
         ReceiverSpec {
             label: "campus-workstation".into(),
             network: Site::inter_department().make_network(1),
+            rung: QosRung::FullRes,
         },
         ReceiverSpec {
             label: "national-lab".into(),
             network: Site::intra_country().make_network(2),
+            rung: QosRung::FullRes,
         },
         ReceiverSpec {
             label: "overseas-collaborator".into(),
             network: Site::cross_continent().make_network(3),
+            rung: overseas_rung,
         },
     ]
 }
@@ -42,35 +46,47 @@ fn main() {
         frame as f64 / 1e6
     );
     println!(
-        "{:<22} {:>8} {:>10} {:>10} {:>10} {:>9}",
-        "policy", "dropped", "campus", "nat-lab", "overseas", "min free"
+        "{:<28} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "policy", "dropped", "campus", "nat-lab", "overseas", "unserved", "min free"
     );
-    for (name, policy) in [
-        ("AllReceived", ReleasePolicy::AllReceived),
-        ("Quorum(2)", ReleasePolicy::Quorum(2)),
-        ("FirstReceived", ReleasePolicy::FirstReceived),
+    for (name, policy, overseas_rung) in [
+        ("AllReceived", ReleasePolicy::AllReceived, QosRung::FullRes),
+        ("Quorum(2)", ReleasePolicy::Quorum(2), QosRung::FullRes),
+        (
+            "FirstReceived",
+            ReleasePolicy::FirstReceived,
+            QosRung::FullRes,
+        ),
+        (
+            "AllReceived + track-only",
+            ReleasePolicy::AllReceived,
+            QosRung::TrackOnly,
+        ),
     ] {
         let out = run_fanout(FanOutConfig {
             disk: Disk::from_gb(182.0),
             frame_bytes: frame,
             production_interval_secs: 20.0,
             frames,
-            receivers: receivers(),
+            receivers: receivers(overseas_rung),
             policy,
         });
         println!(
-            "{:<22} {:>8} {:>10} {:>10} {:>10} {:>8.1}%",
+            "{:<28} {:>8} {:>9} {:>9} {:>9} {:>9} {:>8.1}%",
             name,
             out.frames_dropped,
             out.delivered[0],
             out.delivered[1],
             out.delivered[2],
+            out.unserved[2],
             out.min_free_pct
         );
     }
     println!(
         "\nAllReceived lets the overseas link hold the simulation-site disk hostage;\n\
-         Quorum(2) keeps the fast sites live and feeds the straggler best-effort —\n\
-         the policy a distributed-community deployment of the paper's framework needs."
+         Quorum(2) keeps the fast sites live and feeds the straggler best-effort;\n\
+         FirstReceived's per-laggard data loss now shows up in the unserved column;\n\
+         and subscribing the overseas site at the track-only rung shrinks its\n\
+         transfers enough that even AllReceived stops starving the simulation."
     );
 }
