@@ -1,0 +1,140 @@
+//! DES-modeled load generator for the fan-out broker: canonical
+//! scenarios (thundering herd, outage/reconnect storm, flap squads), a
+//! client-count sweep 10^3 → 10^5, and the CSV rendering behind
+//! `results/fanout_load.csv`.
+
+use super::{run_broker, BrokerConfig, BrokerOutcome, LoadEvent, LoadScenario};
+
+/// Steady arrival of `clients` viewers over the first ten minutes —
+/// the baseline everyone else perturbs.
+pub fn steady_ramp(clients: u64) -> LoadScenario {
+    LoadScenario::single(
+        0.0,
+        LoadEvent::ArrivalRamp {
+            clients,
+            over_secs: 600.0,
+        },
+    )
+}
+
+/// All `clients` arrive at the same instant — the admission gate's
+/// worst case.
+pub fn thundering_herd(clients: u64) -> LoadScenario {
+    LoadScenario::single(
+        0.0,
+        LoadEvent::ArrivalRamp {
+            clients,
+            over_secs: 0.0,
+        },
+    )
+}
+
+/// The acceptance scenario: the fleet ramps in, then the WAN cuts every
+/// session at the half-hour mark for `outage_secs`; the whole fleet
+/// reconnects through backoff + admission and replays from its cursors.
+pub fn outage_reconnect(clients: u64, outage_secs: f64) -> LoadScenario {
+    steady_ramp(clients).then(
+        1800.0,
+        LoadEvent::MassDisconnect {
+            frac: 1.0,
+            outage_secs,
+        },
+    )
+}
+
+/// A ramped fleet plus a squad of flapping clients — breaker bait.
+pub fn ramp_with_flappers(clients: u64, flappers: u64) -> LoadScenario {
+    steady_ramp(clients).then(
+        900.0,
+        LoadEvent::FlapSquad {
+            clients: flappers,
+            period_secs: 45.0,
+        },
+    )
+}
+
+/// One row of the load sweep.
+#[derive(Debug, Clone)]
+pub struct SweepRow {
+    /// Modeled client count.
+    pub clients: u64,
+    /// Scenario label.
+    pub scenario: &'static str,
+    /// Fraction of cursor advances that were sheds (0 = lossless).
+    pub shed_rate: f64,
+    /// Worst per-tick p99 staleness, seconds.
+    pub p99_staleness_secs: f64,
+    /// Total bytes served (live + catch-up).
+    pub bytes: f64,
+    /// Seconds from outage end to full fleet recovery (NaN if n/a).
+    pub recovery_secs: f64,
+    /// Longest admission wait, seconds.
+    pub max_admission_wait_secs: f64,
+    /// Deepest QoS rung any client reached.
+    pub deepest_rung: u8,
+    /// Live-frame starvation ticks (must be 0).
+    pub starvation_ticks: u64,
+    /// Whether the run ended drained.
+    pub drained: bool,
+}
+
+impl SweepRow {
+    /// Summarize one broker outcome.
+    pub fn from_outcome(clients: u64, scenario: &'static str, out: &BrokerOutcome) -> Self {
+        let advances = out.counters.cursor_advance;
+        Self {
+            clients,
+            scenario,
+            shed_rate: if advances > 0 {
+                out.counters.frames_shed as f64 / advances as f64
+            } else {
+                0.0
+            },
+            p99_staleness_secs: out.p99_staleness_secs,
+            bytes: out.live_bytes + out.catchup_bytes,
+            recovery_secs: out.recovery_secs.unwrap_or(f64::NAN),
+            max_admission_wait_secs: out.max_admission_wait_secs,
+            deepest_rung: out.counters.deepest_rung,
+            starvation_ticks: out.counters.starvation_ticks,
+            drained: out.drained,
+        }
+    }
+}
+
+/// Sweep the outage/reconnect storm across fleet sizes, one row per
+/// (size, scenario). `outage_secs` of 7200 is the pinned two-hour WAN
+/// outage from the acceptance criteria.
+pub fn sweep(fleet_sizes: &[u64], outage_secs: f64, seed: u64) -> Vec<SweepRow> {
+    let mut rows = Vec::new();
+    for &n in fleet_sizes {
+        let ramp = run_broker(BrokerConfig::new(seed, steady_ramp(n)));
+        rows.push(SweepRow::from_outcome(n, "steady_ramp", &ramp));
+        let storm = run_broker(BrokerConfig::new(seed, outage_reconnect(n, outage_secs)));
+        rows.push(SweepRow::from_outcome(n, "outage_reconnect", &storm));
+    }
+    rows
+}
+
+/// Render sweep rows as the `results/fanout_load.csv` document.
+pub fn render_csv(rows: &[SweepRow]) -> String {
+    let mut out = String::from(
+        "clients,scenario,shed_rate,p99_staleness_secs,bytes,recovery_secs,\
+         max_admission_wait_secs,deepest_rung,starvation_ticks,drained\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{},{},{:.6},{:.1},{:.3e},{:.1},{:.2},{},{},{}\n",
+            r.clients,
+            r.scenario,
+            r.shed_rate,
+            r.p99_staleness_secs,
+            r.bytes,
+            r.recovery_secs,
+            r.max_admission_wait_secs,
+            r.deepest_rung,
+            r.starvation_ticks,
+            r.drained,
+        ));
+    }
+    out
+}

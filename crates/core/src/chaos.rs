@@ -36,7 +36,18 @@
 //! the same violation kind reproduces, yielding a minimal replayable
 //! schedule; [`StormSpec::replay_line`] prints it in one line for a bug
 //! report, and [`soak`] writes it as a CI artifact.
+//!
+//! The soak also drives the fan-out broker ([`crate::broker`]) through
+//! seeded *load* storms — thundering herds, correlated mass disconnects,
+//! link sags, flap squads — with its own invariant battery: bounded ring
+//! memory (`broker-memory`), zero live-frame starvation during catch-up
+//! (`live-starvation`), admission fairness (`admission-fairness`),
+//! cursor/frame conservation (`broker-conservation`), bounded p99
+//! staleness (`broker-staleness`), plus the shared determinism and
+//! recovery checks. Failing load storms shrink the same way
+//! ([`shrink_broker`]).
 
+use crate::broker::{run_broker, BrokerConfig, BrokerOutcome, LoadEvent, LoadScenario};
 use crate::decision::AlgorithmKind;
 use crate::fault::{Fault, FaultPlan, SplitMix64};
 use crate::orchestrator::{Orchestrator, RunOutcome};
@@ -253,6 +264,13 @@ pub struct InvariantBudgets {
     /// ladder is allowed). Setting `Some(0)` under a collapse storm is
     /// the deliberately-broken invariant the harness tests use.
     pub max_rung: Option<u8>,
+    /// Max worst-tick p99 frame staleness a broker load storm may show,
+    /// seconds. The ring retains 60 × 30 s = 1800 s of frames, and a
+    /// resume past the tail sheds down to the ring, so under the default
+    /// sizing staleness is structurally ≤ 1800 s; the default budget
+    /// leaves headroom over that. Tightening it toward zero is the
+    /// deliberately-broken invariant the broker shrink test uses.
+    pub broker_staleness_secs: f64,
 }
 
 impl Default for InvariantBudgets {
@@ -265,6 +283,7 @@ impl Default for InvariantBudgets {
             per_recovery_hours: 0.75,
             margin_hours: 1.0,
             max_rung: None,
+            broker_staleness_secs: 2400.0,
         }
     }
 }
@@ -311,6 +330,39 @@ pub enum Violation {
         /// The configured cap.
         cap: u8,
     },
+    /// The broker ring held more frames than its retention — per-client
+    /// state leaked into shared frame memory.
+    BrokerMemory {
+        /// Peak frames observed in the ring.
+        peak_frames: u64,
+        /// The configured retention bound.
+        retention: u64,
+    },
+    /// Catch-up replay starved live frames on ticks where the live pot
+    /// could afford them.
+    LiveStarvation {
+        /// Number of starved ticks.
+        ticks: u64,
+    },
+    /// Some client waited longer for admission than the whole fleet
+    /// should need to drain through the gate — lockstep retries.
+    AdmissionFairness {
+        /// Longest observed admission wait, seconds.
+        max_wait_secs: f64,
+        /// The fairness bound it exceeded.
+        bound_secs: f64,
+    },
+    /// Broker cursor bookkeeping broke: delivered + shed ≠ cursor
+    /// advances.
+    BrokerConservation(String),
+    /// Worst-tick p99 frame staleness exceeded
+    /// [`InvariantBudgets::broker_staleness_secs`].
+    BrokerStaleness {
+        /// Observed worst p99 staleness, seconds.
+        p99_secs: f64,
+        /// The budget it exceeded.
+        budget_secs: f64,
+    },
 }
 
 impl Violation {
@@ -325,6 +377,11 @@ impl Violation {
             Violation::Ladder(_) => "ladder",
             Violation::Determinism(_) => "determinism",
             Violation::RungCap { .. } => "rung-cap",
+            Violation::BrokerMemory { .. } => "broker-memory",
+            Violation::LiveStarvation { .. } => "live-starvation",
+            Violation::AdmissionFairness { .. } => "admission-fairness",
+            Violation::BrokerConservation(_) => "broker-conservation",
+            Violation::BrokerStaleness { .. } => "broker-staleness",
         }
     }
 }
@@ -358,6 +415,34 @@ impl fmt::Display for Violation {
             Violation::RungCap { deepest, cap } => {
                 write!(f, "[rung-cap] ladder reached rung {deepest}, cap {cap}")
             }
+            Violation::BrokerMemory {
+                peak_frames,
+                retention,
+            } => write!(
+                f,
+                "[broker-memory] ring held {peak_frames} frames, retention {retention}"
+            ),
+            Violation::LiveStarvation { ticks } => write!(
+                f,
+                "[live-starvation] catch-up starved live frames on {ticks} tick(s)"
+            ),
+            Violation::AdmissionFairness {
+                max_wait_secs,
+                bound_secs,
+            } => write!(
+                f,
+                "[admission-fairness] worst admission wait {max_wait_secs:.1} s, \
+                 bound {bound_secs:.1} s"
+            ),
+            Violation::BrokerConservation(msg) => write!(f, "[broker-conservation] {msg}"),
+            Violation::BrokerStaleness {
+                p99_secs,
+                budget_secs,
+            } => write!(
+                f,
+                "[broker-staleness] worst p99 staleness {p99_secs:.0} s, \
+                 budget {budget_secs:.0} s"
+            ),
         }
     }
 }
@@ -698,6 +783,269 @@ pub fn shrink(spec: &StormSpec, budgets: &InvariantBudgets, kinds: &[&'static st
 }
 
 // ---------------------------------------------------------------------
+// Broker load storms
+// ---------------------------------------------------------------------
+
+/// One deterministic broker load storm: a fleet size and a scripted
+/// schedule of herds, disconnects, sags, and flappers (seconds offsets).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BrokerStormSpec {
+    /// Seed the storm was generated from.
+    pub seed: u64,
+    /// Base fleet size ramped in at the start.
+    pub fleet: u64,
+    /// Scripted load events, `(at_secs, event)`.
+    pub events: Vec<(f64, LoadEvent)>,
+}
+
+impl BrokerStormSpec {
+    /// Generate the load storm for a seed: a base arrival ramp plus 1–3
+    /// composed load motifs. Deterministic, and survivable by
+    /// construction — sags restore, outages end with time to drain,
+    /// disconnect fractions are admissible — so a drained run is a
+    /// checkable invariant.
+    pub fn generate(seed: u64) -> BrokerStormSpec {
+        let mut rng = SplitMix64::new(seed ^ 0xB20C_E550);
+        let fleet = 200 + rng.next_u64() % 600;
+        let mut events = vec![(
+            0.0,
+            LoadEvent::ArrivalRamp {
+                clients: fleet,
+                over_secs: 600.0,
+            },
+        )];
+        let motifs = 1 + (rng.next_u64() % 3) as usize;
+        for _ in 0..motifs {
+            push_broker_motif(&mut rng, &mut events);
+        }
+        BrokerStormSpec {
+            seed,
+            fleet,
+            events,
+        }
+    }
+
+    /// The broker configuration this storm runs under (default sizing,
+    /// two-hour production horizon).
+    pub fn to_config(&self) -> BrokerConfig {
+        let mut cfg = BrokerConfig::new(
+            self.seed,
+            LoadScenario {
+                events: self.events.clone(),
+            },
+        );
+        cfg.horizon_secs = 2.0 * 3600.0;
+        cfg
+    }
+
+    /// One-line replayable description.
+    pub fn replay_line(&self) -> String {
+        let events: Vec<String> = self
+            .events
+            .iter()
+            .map(|(at, ev)| format!("({at:.1}s, {ev:?})"))
+            .collect();
+        format!(
+            "BROKER-REPLAY seed={} fleet={} events=[{}]",
+            self.seed,
+            self.fleet,
+            events.join(", ")
+        )
+    }
+}
+
+/// Append one composed broker load motif (offsets in seconds).
+fn push_broker_motif(rng: &mut SplitMix64, events: &mut Vec<(f64, LoadEvent)>) {
+    match rng.next_u64() % 4 {
+        0 => {
+            // Thundering herd: a burst of new viewers all at once.
+            let at = 600.0 * rng.unit_f64();
+            events.push((
+                at,
+                LoadEvent::ArrivalRamp {
+                    clients: 100 + rng.next_u64() % 300,
+                    over_secs: 0.0,
+                },
+            ));
+        }
+        1 => {
+            // Correlated mass disconnect; the outage always ends at
+            // least 20 minutes before the two-hour horizon, leaving the
+            // catch-up storm room to drain.
+            let at = 900.0 + 2700.0 * rng.unit_f64();
+            events.push((
+                at,
+                LoadEvent::MassDisconnect {
+                    frac: 0.3 + 0.7 * rng.unit_f64(),
+                    outage_secs: 300.0 + 2100.0 * rng.unit_f64(),
+                },
+            ));
+        }
+        2 => {
+            // Link sag — degraded but never collapsed, and it restores.
+            let at = 600.0 + 3600.0 * rng.unit_f64();
+            events.push((
+                at,
+                LoadEvent::LinkSag {
+                    factor: 0.05 + 0.45 * rng.unit_f64(),
+                    for_secs: 300.0 + 900.0 * rng.unit_f64(),
+                },
+            ));
+        }
+        _ => {
+            // Flap squad: clients that drop every period — expected to
+            // trip the breaker, which is survival, not failure.
+            let at = 300.0 + 1500.0 * rng.unit_f64();
+            events.push((
+                at,
+                LoadEvent::FlapSquad {
+                    clients: 5 + rng.next_u64() % 15,
+                    period_secs: 60.0 + 120.0 * rng.unit_f64(),
+                },
+            ));
+        }
+    }
+}
+
+/// Check the broker invariant battery over one load-storm outcome.
+pub fn check_broker_invariants(
+    spec: &BrokerStormSpec,
+    out: &BrokerOutcome,
+    budgets: &InvariantBudgets,
+) -> Vec<Violation> {
+    let cfg = spec.to_config();
+    let c = out.counters;
+    let mut violations = Vec::new();
+    if c.peak_ring_frames > cfg.retention_frames {
+        violations.push(Violation::BrokerMemory {
+            peak_frames: c.peak_ring_frames,
+            retention: cfg.retention_frames,
+        });
+    }
+    if c.starvation_ticks > 0 {
+        violations.push(Violation::LiveStarvation {
+            ticks: c.starvation_ticks,
+        });
+    }
+    if c.frames_delivered + c.frames_shed != c.cursor_advance {
+        violations.push(Violation::BrokerConservation(format!(
+            "delivered {} + shed {} != cursor advances {}",
+            c.frames_delivered, c.frames_shed, c.cursor_advance
+        )));
+    }
+    // Fairness: the virtual FIFO drains the whole population through the
+    // gate in clients/rate seconds; nobody may wait much longer than
+    // one full drain (2× covers a reconnect storm re-queueing everyone
+    // behind fresh arrivals, plus a flat margin for backoff jitter).
+    let bound = 2.0 * c.clients_total as f64 / cfg.admission_rate_per_sec + 30.0;
+    if out.max_admission_wait_secs > bound {
+        violations.push(Violation::AdmissionFairness {
+            max_wait_secs: out.max_admission_wait_secs,
+            bound_secs: bound,
+        });
+    }
+    if out.p99_staleness_secs > budgets.broker_staleness_secs {
+        violations.push(Violation::BrokerStaleness {
+            p99_secs: out.p99_staleness_secs,
+            budget_secs: budgets.broker_staleness_secs,
+        });
+    }
+    if !out.drained {
+        violations.push(Violation::RecoveryBudget {
+            wall_hours: out.wall_secs / 3600.0,
+            budget_hours: (cfg.horizon_secs * 10.0 + 3600.0) / 3600.0,
+            completed: false,
+        });
+    }
+    violations
+}
+
+/// Compare two runs of the same broker storm; `Some(reason)` on the
+/// first divergence.
+pub fn compare_broker_runs(a: &BrokerOutcome, b: &BrokerOutcome) -> Option<String> {
+    if a.counters != b.counters {
+        return Some(format!(
+            "counters diverged: {:?} vs {:?}",
+            a.counters, b.counters
+        ));
+    }
+    if a.p99_staleness_secs != b.p99_staleness_secs {
+        return Some("p99 staleness diverged".into());
+    }
+    if a.live_bytes != b.live_bytes || a.catchup_bytes != b.catchup_bytes {
+        return Some("served bytes diverged".into());
+    }
+    if a.recovery_secs != b.recovery_secs {
+        return Some("recovery time diverged".into());
+    }
+    if a.wall_secs != b.wall_secs {
+        return Some("wall time diverged".into());
+    }
+    None
+}
+
+/// A failing broker storm reduced to a minimal schedule (see
+/// [`ShrunkStorm`]).
+#[derive(Debug, Clone)]
+pub struct ShrunkBrokerStorm {
+    /// The reduced spec (same seed and fleet, fewer events).
+    pub spec: BrokerStormSpec,
+    /// The violations the reduced spec still produces.
+    pub violations: Vec<Violation>,
+}
+
+/// Greedy ddmin-lite over a broker storm's load events — the same
+/// halves-then-singles reduction as [`shrink`], demanding a violation of
+/// the original kinds keeps reproducing.
+pub fn shrink_broker(
+    spec: &BrokerStormSpec,
+    budgets: &InvariantBudgets,
+    kinds: &[&'static str],
+) -> ShrunkBrokerStorm {
+    let still_fails = |events: &[(f64, LoadEvent)]| -> Option<Vec<Violation>> {
+        let candidate = BrokerStormSpec {
+            events: events.to_vec(),
+            ..spec.clone()
+        };
+        let out = run_broker(candidate.to_config());
+        let violations = check_broker_invariants(&candidate, &out, budgets);
+        violations
+            .iter()
+            .any(|v| kinds.contains(&v.kind()))
+            .then_some(violations)
+    };
+
+    let mut events = spec.events.clone();
+    let mut violations = still_fails(&events).unwrap_or_default();
+    let mut chunk = events.len().div_ceil(2);
+    while chunk >= 1 && !events.is_empty() {
+        let mut start = 0;
+        while start < events.len() {
+            let mut candidate = events.clone();
+            candidate.drain(start..(start + chunk).min(candidate.len()));
+            if let Some(v) = still_fails(&candidate) {
+                events = candidate;
+                violations = v;
+                start = 0;
+            } else {
+                start += chunk;
+            }
+        }
+        if chunk == 1 {
+            break;
+        }
+        chunk = chunk.div_ceil(2).min(events.len().max(1));
+    }
+    ShrunkBrokerStorm {
+        spec: BrokerStormSpec {
+            events,
+            ..spec.clone()
+        },
+        violations,
+    }
+}
+
+// ---------------------------------------------------------------------
 // The soak loop
 // ---------------------------------------------------------------------
 
@@ -706,6 +1054,9 @@ pub fn shrink(spec: &StormSpec, budgets: &InvariantBudgets, kinds: &[&'static st
 pub struct ChaosConfig {
     /// Number of seeded storms to run.
     pub storms: u64,
+    /// Number of seeded broker load storms to run after the fault
+    /// storms (0 = skip the serving tier).
+    pub broker_storms: u64,
     /// First seed; storm `i` uses `seed0 + i`.
     pub seed0: u64,
     /// Invariant budgets.
@@ -723,6 +1074,7 @@ impl Default for ChaosConfig {
     fn default() -> Self {
         ChaosConfig {
             storms: 50,
+            broker_storms: 50,
             seed0: 0xC1A05,
             budgets: InvariantBudgets::default(),
             verify_determinism: true,
@@ -763,6 +1115,37 @@ impl SoakFailure {
     }
 }
 
+/// One failing broker load storm, with its shrunk reproduction when
+/// shrinking was enabled.
+#[derive(Debug, Clone)]
+pub struct BrokerSoakFailure {
+    /// The original generated load storm.
+    pub spec: BrokerStormSpec,
+    /// Everything the broker invariant checker flagged.
+    pub violations: Vec<Violation>,
+    /// The minimal reproduction.
+    pub shrunk: Option<ShrunkBrokerStorm>,
+}
+
+impl BrokerSoakFailure {
+    /// Human-readable failure report with both replay lines.
+    pub fn report(&self) -> String {
+        let mut s = format!("broker storm seed {} failed:\n", self.spec.seed);
+        for v in &self.violations {
+            s.push_str(&format!("  {v}\n"));
+        }
+        s.push_str(&format!("  {}\n", self.spec.replay_line()));
+        if let Some(shrunk) = &self.shrunk {
+            s.push_str(&format!(
+                "shrunk to {} event(s):\n  {}\n",
+                shrunk.spec.events.len(),
+                shrunk.spec.replay_line()
+            ));
+        }
+        s
+    }
+}
+
 /// What a soak produced.
 #[derive(Debug, Clone)]
 pub struct SoakOutcome {
@@ -776,12 +1159,27 @@ pub struct SoakOutcome {
     pub deepest_rung_histogram: [u64; 5],
     /// Failing storms (empty on a green soak).
     pub failures: Vec<SoakFailure>,
+    /// Broker load storms actually run.
+    pub broker_storms_run: u64,
+    /// Failing broker load storms (empty on a green soak).
+    pub broker_failures: Vec<BrokerSoakFailure>,
 }
 
 impl SoakOutcome {
-    /// True when every storm satisfied every invariant.
+    /// True when every storm — fault and load alike — satisfied every
+    /// invariant.
     pub fn green(&self) -> bool {
-        self.failures.is_empty()
+        self.failures.is_empty() && self.broker_failures.is_empty()
+    }
+
+    /// All failure reports, fault storms first.
+    pub fn failure_reports(&self) -> String {
+        self.failures
+            .iter()
+            .map(SoakFailure::report)
+            .chain(self.broker_failures.iter().map(BrokerSoakFailure::report))
+            .collect::<Vec<_>>()
+            .join("\n")
     }
 }
 
@@ -795,6 +1193,8 @@ pub fn soak(cfg: &ChaosConfig) -> SoakOutcome {
         wall_hours: 0.0,
         deepest_rung_histogram: [0; 5],
         failures: Vec::new(),
+        broker_storms_run: 0,
+        broker_failures: Vec::new(),
     };
     for i in 0..cfg.storms {
         let spec = StormSpec::generate(cfg.seed0 + i);
@@ -829,6 +1229,40 @@ pub fn soak(cfg: &ChaosConfig) -> SoakOutcome {
             let _ = std::fs::write(&path, failure.report());
         }
         outcome.failures.push(failure);
+    }
+    for i in 0..cfg.broker_storms {
+        let spec = BrokerStormSpec::generate(cfg.seed0 + i);
+        let out = run_broker(spec.to_config());
+        outcome.broker_storms_run += 1;
+        outcome.wall_hours += out.wall_secs / 3600.0;
+        let mut violations = check_broker_invariants(&spec, &out, &cfg.budgets);
+        if cfg.verify_determinism {
+            let again = run_broker(spec.to_config());
+            if let Some(reason) = compare_broker_runs(&out, &again) {
+                violations.push(Violation::Determinism(reason));
+            }
+        }
+        if violations.is_empty() {
+            continue;
+        }
+        let kinds: Vec<&'static str> = violations.iter().map(|v| v.kind()).collect();
+        let shrunk = cfg
+            .shrink_failures
+            .then(|| shrink_broker(&spec, &cfg.budgets, &kinds));
+        let failure = BrokerSoakFailure {
+            spec,
+            violations,
+            shrunk,
+        };
+        if let Some(dir) = &cfg.artifact_dir {
+            let _ = std::fs::create_dir_all(dir);
+            let path = dir.join(format!(
+                "shrunk_broker_storm_seed_{}.txt",
+                failure.spec.seed
+            ));
+            let _ = std::fs::write(&path, failure.report());
+        }
+        outcome.broker_failures.push(failure);
     }
     outcome
 }
@@ -935,6 +1369,87 @@ mod tests {
         let mut c = b.clone();
         c.report.counters.frames_written += 1;
         assert!(compare_runs(&a, &c).is_some());
+    }
+
+    #[test]
+    fn broker_storm_generation_is_deterministic_and_survivable() {
+        for seed in 0..40u64 {
+            let a = BrokerStormSpec::generate(seed);
+            assert_eq!(
+                a,
+                BrokerStormSpec::generate(seed),
+                "seed {seed} not reproducible"
+            );
+            assert!((200..800).contains(&a.fleet));
+            assert!(
+                matches!(a.events[0].1, LoadEvent::ArrivalRamp { .. }),
+                "every storm starts with the base ramp"
+            );
+            for &(at, ref ev) in &a.events {
+                assert!((0.0..4300.0).contains(&at));
+                if let LoadEvent::MassDisconnect { frac, outage_secs } = *ev {
+                    assert!((0.0..=1.0).contains(&frac));
+                    // Survivable by construction: the outage ends well
+                    // before the two-hour horizon.
+                    assert!(at + outage_secs < 2.0 * 3600.0 - 600.0);
+                }
+                if let LoadEvent::LinkSag { factor, .. } = *ev {
+                    assert!(factor >= 0.05, "sags degrade, never collapse");
+                }
+            }
+        }
+        assert_ne!(
+            BrokerStormSpec::generate(1).events,
+            BrokerStormSpec::generate(2).events
+        );
+    }
+
+    #[test]
+    fn one_broker_storm_runs_green_and_replays() {
+        let spec = BrokerStormSpec::generate(0xC1A05);
+        let out = run_broker(spec.to_config());
+        let violations = check_broker_invariants(&spec, &out, &InvariantBudgets::default());
+        assert!(
+            violations.is_empty(),
+            "broker storm should be green:\n{}",
+            violations
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+        let again = run_broker(spec.to_config());
+        assert_eq!(compare_broker_runs(&out, &again), None);
+        let mut forged = again.clone();
+        forged.counters.frames_delivered += 1;
+        assert!(compare_broker_runs(&out, &forged).is_some());
+        assert!(spec.replay_line().contains("BROKER-REPLAY"));
+    }
+
+    #[test]
+    fn broker_violations_display_their_kinds() {
+        let cases: Vec<Violation> = vec![
+            Violation::BrokerMemory {
+                peak_frames: 70,
+                retention: 60,
+            },
+            Violation::LiveStarvation { ticks: 3 },
+            Violation::AdmissionFairness {
+                max_wait_secs: 99.0,
+                bound_secs: 38.0,
+            },
+            Violation::BrokerConservation("x".into()),
+            Violation::BrokerStaleness {
+                p99_secs: 2500.0,
+                budget_secs: 2400.0,
+            },
+        ];
+        for v in cases {
+            assert!(
+                v.to_string().contains(&format!("[{}]", v.kind())),
+                "{v} missing kind tag"
+            );
+        }
     }
 
     #[test]

@@ -51,16 +51,30 @@ pub enum ReleasePolicy {
     /// Free once every receiver holds the frame.
     AllReceived,
     /// Free once this many receivers hold the frame.
+    ///
+    /// `k` larger than the (live) receiver count is clamped down to it —
+    /// a quorum bigger than the fleet can only mean "everyone", so it
+    /// behaves as [`AllReceived`](Self::AllReceived). `k == 0` is
+    /// **rejected** when the fan-out starts: a zero quorum would release
+    /// every frame the instant it is produced, silently behaving like
+    /// [`FirstReceived`](Self::FirstReceived) minus the delivery — if
+    /// that is wanted, it must be asked for by name.
     Quorum(usize),
     /// Free as soon as the first receiver holds the frame.
     FirstReceived,
 }
 
 impl ReleasePolicy {
-    fn threshold(&self, receivers: usize) -> usize {
+    /// Deliveries required before a frame's bytes may be reclaimed,
+    /// given how many receivers are still alive. With no survivors no
+    /// count can satisfy any policy, so the threshold is unreachable.
+    fn threshold(&self, alive: usize) -> usize {
+        if alive == 0 {
+            return usize::MAX;
+        }
         match *self {
-            ReleasePolicy::AllReceived => receivers,
-            ReleasePolicy::Quorum(k) => k.clamp(1, receivers),
+            ReleasePolicy::AllReceived => alive,
+            ReleasePolicy::Quorum(k) => k.clamp(1, alive),
             ReleasePolicy::FirstReceived => 1,
         }
     }
@@ -82,6 +96,12 @@ pub struct FanOutConfig {
     pub receivers: Vec<ReceiverSpec>,
     /// Space-reclamation policy.
     pub policy: ReleasePolicy,
+    /// Mid-stream receiver failures as `(receiver index, wall seconds)`:
+    /// at that instant the site dies permanently — its backlog is counted
+    /// unserved, an in-flight transfer never lands, it receives nothing
+    /// produced afterwards, and release thresholds are recomputed over
+    /// the survivors (frames the survivors already cover release then).
+    pub crashes: Vec<(usize, f64)>,
 }
 
 /// What a fan-out run observed.
@@ -94,9 +114,11 @@ pub struct FanOutOutcome {
     /// Frames delivered per receiver, in receiver order.
     pub delivered: Vec<u64>,
     /// Frames a receiver never got because the bytes were reclaimed
-    /// first (queue entries trimmed by [`ReleasePolicy::FirstReceived`]),
-    /// in receiver order. This is the data loss that policy trades for
-    /// disk headroom — zero under `AllReceived`/`Quorum`.
+    /// first (queue entries trimmed by [`ReleasePolicy::FirstReceived`])
+    /// or because the receiver crashed while they were queued or in
+    /// flight, in receiver order. This is the data loss those events
+    /// trade for disk headroom — zero under `AllReceived`/`Quorum` with
+    /// no crashes.
     pub unserved: Vec<u64>,
     /// Wall seconds when the last *policy-satisfying* delivery happened.
     pub wall_secs: f64,
@@ -110,6 +132,7 @@ pub struct FanOutOutcome {
 enum Ev {
     Produce,
     Delivered { receiver: usize, frame: u64 },
+    Crash { receiver: usize },
 }
 
 struct World {
@@ -119,8 +142,10 @@ struct World {
     // Per-receiver FIFO backlog (frame ids awaiting transfer) + busy flag.
     queues: Vec<Vec<u64>>,
     busy: Vec<bool>,
+    alive: Vec<bool>,
     // How many receivers have each in-flight frame; bytes freed at the
-    // policy threshold.
+    // policy threshold. A frame's entry is removed when it releases, so
+    // reclamation is exactly-once by construction.
     received_count: HashMap<u64, usize>,
     next_frame: u64,
     produced: u64,
@@ -129,11 +154,12 @@ struct World {
     unserved: Vec<u64>,
     min_free_pct: f64,
     threshold: usize,
+    last_release_secs: f64,
 }
 
 impl World {
     fn kick(&mut self, r: usize, sched: &mut Scheduler<Ev>) {
-        if self.busy[r] || self.queues[r].is_empty() {
+        if !self.alive[r] || self.busy[r] || self.queues[r].is_empty() {
             return;
         }
         let frame = self.queues[r].remove(0);
@@ -151,6 +177,31 @@ impl World {
         self.min_free_pct = self.min_free_pct.min(pct);
         self.disk_free_series.record(now, pct);
     }
+
+    /// Reclaim one frame's bytes. Removing the count entry first is what
+    /// makes this exactly-once: a later delivery of the same frame, or a
+    /// second threshold recomputation after another crash, finds nothing
+    /// left to free.
+    fn release(&mut self, frame: u64, now: des::SimTime) {
+        if self.received_count.remove(&frame).is_none() {
+            return;
+        }
+        self.cfg.disk.free_bytes(self.cfg.frame_bytes);
+        self.last_release_secs = now.as_secs();
+        self.record_disk(now);
+        // FirstReceived semantics only: laggards' queued copies of this
+        // frame are dropped with the bytes — and counted, so the data
+        // loss is visible per site. A Quorum that *degraded* to a
+        // threshold of one after crashes still lets stragglers stream
+        // from their queues.
+        if matches!(self.cfg.policy, ReleasePolicy::FirstReceived) {
+            for (r, q) in self.queues.iter_mut().enumerate() {
+                let before = q.len();
+                q.retain(|&f| f != frame);
+                self.unserved[r] += (before - q.len()) as u64;
+            }
+        }
+    }
 }
 
 /// Run the fan-out to completion (all frames produced and every queue
@@ -158,7 +209,20 @@ impl World {
 pub fn run_fanout(cfg: FanOutConfig) -> FanOutOutcome {
     assert!(!cfg.receivers.is_empty(), "fan-out needs receivers");
     assert!(cfg.frame_bytes > 0 && cfg.frames > 0);
+    assert!(
+        !matches!(cfg.policy, ReleasePolicy::Quorum(0)),
+        "Quorum(0) is rejected: a zero quorum would release every frame \
+         the instant it is produced — ask for FirstReceived by name, or \
+         use a quorum of at least one"
+    );
     let n = cfg.receivers.len();
+    for &(r, at) in &cfg.crashes {
+        assert!(r < n, "crash names receiver {r} but there are only {n}");
+        assert!(
+            at >= 0.0 && at.is_finite(),
+            "crash time must be finite and non-negative, got {at}"
+        );
+    }
     let threshold = cfg.policy.threshold(n);
     let delivered_series = cfg
         .receivers
@@ -171,6 +235,7 @@ pub fn run_fanout(cfg: FanOutConfig) -> FanOutOutcome {
         delivered_series,
         queues: vec![Vec::new(); n],
         busy: vec![false; n],
+        alive: vec![true; n],
         received_count: HashMap::new(),
         next_frame: 0,
         produced: 0,
@@ -178,12 +243,15 @@ pub fn run_fanout(cfg: FanOutConfig) -> FanOutOutcome {
         delivered: vec![0; n],
         unserved: vec![0; n],
         min_free_pct: 100.0,
+        last_release_secs: 0.0,
         cfg,
     };
     let mut sched: Scheduler<Ev> = Scheduler::new();
     sched.schedule_in(world.cfg.production_interval_secs, Ev::Produce);
+    for &(r, at) in &world.cfg.crashes {
+        sched.schedule_in(at, Ev::Crash { receiver: r });
+    }
 
-    let mut last_release_secs = 0.0f64;
     run_until_empty(&mut sched, &mut world, |w, now, ev, sched| {
         match ev {
             Ev::Produce => {
@@ -193,6 +261,9 @@ pub fn run_fanout(cfg: FanOutConfig) -> FanOutOutcome {
                     w.produced += 1;
                     w.received_count.insert(id, 0);
                     for r in 0..w.queues.len() {
+                        if !w.alive[r] {
+                            continue;
+                        }
                         w.queues[r].push(id);
                         w.kick(r, sched);
                     }
@@ -205,32 +276,52 @@ pub fn run_fanout(cfg: FanOutConfig) -> FanOutOutcome {
                 }
             }
             Ev::Delivered { receiver, frame } => {
+                if !w.alive[receiver] {
+                    // The transfer was mid-flight when the site died; the
+                    // frame never landed anywhere usable.
+                    w.unserved[receiver] += 1;
+                    return true;
+                }
                 w.busy[receiver] = false;
                 w.delivered[receiver] += 1;
                 w.delivered_series[receiver].record(now, w.delivered[receiver] as f64);
                 if let Some(count) = w.received_count.get_mut(&frame) {
                     *count += 1;
-                    if *count == w.threshold {
-                        w.cfg.disk.free_bytes(w.cfg.frame_bytes);
-                        last_release_secs = now.as_secs();
-                        w.record_disk(now);
-                        // FirstReceived semantics: laggards' queued copies
-                        // of this frame are dropped with the bytes — and
-                        // counted, so the data loss is visible per site.
-                        if w.threshold == 1 {
-                            for (r, q) in w.queues.iter_mut().enumerate() {
-                                let before = q.len();
-                                q.retain(|&f| f != frame);
-                                w.unserved[r] += (before - q.len()) as u64;
-                            }
-                        }
+                    if *count >= w.threshold {
+                        w.release(frame, now);
                     }
                 }
                 w.kick(receiver, sched);
             }
+            Ev::Crash { receiver } => {
+                if !w.alive[receiver] {
+                    return true;
+                }
+                w.alive[receiver] = false;
+                // Whatever the site was still owed is lost — counted,
+                // not silent. (Its in-flight frame, if any, is counted
+                // when the Delivered event fires on a dead receiver.)
+                w.unserved[receiver] += w.queues[receiver].len() as u64;
+                w.queues[receiver].clear();
+                // The policy now binds over the survivors: frames they
+                // already cover release immediately, each exactly once.
+                let alive = w.alive.iter().filter(|a| **a).count();
+                w.threshold = w.cfg.policy.threshold(alive);
+                let mut ready: Vec<u64> = w
+                    .received_count
+                    .iter()
+                    .filter(|&(_, c)| *c >= w.threshold)
+                    .map(|(&f, _)| f)
+                    .collect();
+                ready.sort_unstable();
+                for f in ready {
+                    w.release(f, now);
+                }
+            }
         }
         true
     });
+    let last_release_secs = world.last_release_secs;
 
     let mut series = SeriesSet::new();
     series.push(world.disk_free_series);
@@ -280,6 +371,7 @@ mod tests {
             frames: 40,
             receivers: receivers(),
             policy,
+            crashes: Vec::new(),
         }
     }
 
@@ -382,5 +474,68 @@ mod tests {
         // slow production cadence everything eventually clears.
         assert_eq!(out.frames_dropped, 0);
         assert_eq!(out.delivered, vec![3, 3, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "Quorum(0) is rejected")]
+    fn quorum_zero_is_rejected() {
+        run_fanout(cfg(ReleasePolicy::Quorum(0)));
+    }
+
+    #[test]
+    fn crash_mid_stream_reclaims_each_frame_exactly_once() {
+        // AllReceived is hostage to the overseas link — until that site
+        // crashes at t=100 s, after which the threshold recomputes over
+        // the two fast survivors and the run clears. Any double-free
+        // would trip the Disk accounting panic; the final free-disk
+        // sample proving all 40 frames came back exactly once.
+        let mut c = cfg(ReleasePolicy::AllReceived);
+        c.crashes = vec![(2, 100.0)];
+        let out = run_fanout(c);
+        assert_eq!(out.frames_dropped, 0, "{out:?}");
+        assert_eq!(out.delivered[0], 40);
+        assert_eq!(out.delivered[1], 40);
+        assert_eq!(out.delivered[2], 0, "overseas never finished a frame");
+        // 3 frames were owed to it when it died (one mid-flight).
+        assert_eq!(out.unserved[2], 3);
+        let free = out.series.get("free_disk_pct").expect("disk series");
+        let (_, final_pct) = *free.points.last().expect("recorded");
+        assert_eq!(final_pct, 100.0, "every frame reclaimed exactly once");
+    }
+
+    #[test]
+    fn crash_under_quorum_recomputes_threshold_over_survivors() {
+        // Quorum(2) sails while both fast sites live; when "national"
+        // crashes at t=95 s the quorum binds over campus + overseas and
+        // the run becomes hostage to the dial-up link again.
+        let mut c = cfg(ReleasePolicy::Quorum(2));
+        c.crashes = vec![(1, 95.0)];
+        let out = run_fanout(c);
+        assert!(out.frames_dropped > 0, "{out:?}");
+        assert_eq!(out.delivered[1], 2, "two frames landed before death");
+        assert_eq!(out.unserved[1], 1, "the in-flight third is counted");
+        // Quorum never trims the straggler's queue — even one degraded
+        // by a crash. Whatever overseas was queued, it eventually gets.
+        assert_eq!(out.unserved[2], 0);
+        assert!(out.delivered[2] > 0);
+    }
+
+    #[test]
+    fn crash_under_first_received_still_trims_only_laggards() {
+        // The fastest site dies mid-stream; FirstReceived keeps releasing
+        // via the next-fastest survivor, and only laggard queues are
+        // trimmed. The surviving sites' loss accounting stays exact.
+        let mut c = cfg(ReleasePolicy::FirstReceived);
+        c.crashes = vec![(0, 95.0)];
+        let out = run_fanout(c);
+        assert_eq!(out.frames_dropped, 0, "{out:?}");
+        assert_eq!(out.delivered[1], 40, "the survivor takes over");
+        assert_eq!(out.unserved[1], 0, "a releasing site is never trimmed");
+        assert!(out.unserved[2] > 0, "the laggard still pays");
+        assert_eq!(
+            out.delivered[2] + out.unserved[2],
+            out.frames_produced,
+            "surviving laggard: delivered + unserved covers production"
+        );
     }
 }

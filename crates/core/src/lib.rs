@@ -42,6 +42,7 @@
 //! assert!(outcome.frames_rendered > 0);
 //! ```
 
+pub mod broker;
 pub mod chaos;
 pub mod config;
 pub mod decision;

@@ -36,6 +36,22 @@ pub fn peak_storage_used_pct(out: &RunOutcome) -> f64 {
     100.0 - out.min_free_disk_pct
 }
 
+/// Percentile of a sample by nearest-rank (p in [0, 100]), e.g. the p99
+/// frame staleness a broker load sweep reports. NaNs are ignored; an
+/// empty (or all-NaN) sample yields 0.
+pub fn percentile(values: impl Iterator<Item = f64>, p: f64) -> f64 {
+    assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
+    let mut vals: Vec<f64> = values.filter(|v| !v.is_nan()).collect();
+    if vals.is_empty() {
+        return 0.0;
+    }
+    // Nearest-rank: smallest value with at least p% of the sample at or
+    // below it.
+    let rank = ((p / 100.0 * vals.len() as f64).ceil() as usize).clamp(1, vals.len());
+    let (_, v, _) = vals.select_nth_unstable_by(rank - 1, |a, b| a.total_cmp(b));
+    *v
+}
+
 /// Standard deviation of a series' values (population).
 pub fn series_stddev(values: impl Iterator<Item = f64>) -> f64 {
     let vals: Vec<f64> = values.collect();
@@ -124,6 +140,25 @@ mod tests {
     use crate::decision::AlgorithmKind;
     use crate::orchestrator::Orchestrator;
     use cyclone::{Mission, Site};
+
+    #[test]
+    fn percentile_nearest_rank() {
+        assert_eq!(percentile([].into_iter(), 99.0), 0.0);
+        assert_eq!(percentile([f64::NAN].into_iter(), 50.0), 0.0);
+        assert_eq!(percentile([7.0].into_iter(), 0.0), 7.0);
+        let sample = (1..=100).map(|v| v as f64);
+        assert_eq!(percentile(sample.clone(), 50.0), 50.0);
+        assert_eq!(percentile(sample.clone(), 99.0), 99.0);
+        assert_eq!(percentile(sample.clone(), 100.0), 100.0);
+        // Order independence.
+        assert_eq!(percentile([3.0, 1.0, 2.0].into_iter(), 50.0), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile out of range")]
+    fn percentile_rejects_bad_p() {
+        percentile([1.0].into_iter(), 101.0);
+    }
 
     #[test]
     fn stddev_basics() {

@@ -50,7 +50,11 @@ use std::time::Duration;
 use viz::TrackLog;
 
 const FRAME_MAGIC: &[u8; 4] = b"AFR3";
-const HANDSHAKE_MAGIC: &[u8; 4] = b"AHL2";
+/// Magic bytes opening the resume handshake ("AHL2"): the receiver's
+/// hello carries its last-applied sequence so a sender — or the broker's
+/// per-client cursors ([`crate::broker`]) — resumes exactly where the
+/// peer left off instead of replaying the stream from frame one.
+pub const HANDSHAKE_MAGIC: &[u8; 4] = b"AHL2";
 /// Upper bound on a frame payload (defends the receiver against a corrupt
 /// length prefix).
 const MAX_FRAME_BYTES: u32 = 1 << 30;

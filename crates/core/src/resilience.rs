@@ -41,6 +41,7 @@ pub struct BackoffPolicy {
     base: Duration,
     cap: Duration,
     max_attempts: u32,
+    seed: u64,
     rng: crate::fault::SplitMix64,
 }
 
@@ -51,6 +52,7 @@ impl BackoffPolicy {
             base: Duration::from_millis(50),
             cap: Duration::from_secs(2),
             max_attempts: 8,
+            seed,
             rng: crate::fault::SplitMix64::new(seed),
         }
     }
@@ -86,6 +88,28 @@ impl BackoffPolicy {
             .saturating_mul(1u32 << attempt.min(16))
             .min(self.cap);
         exp.mul_f64(0.5 + 0.5 * self.rng.unit_f64())
+    }
+
+    /// Deterministic per-client jittered delay for retry number `attempt`
+    /// (0-based), *without* consuming the policy's shared RNG stream.
+    ///
+    /// A fleet of clients recovering from the same outage must not
+    /// reconnect in lockstep, and under a DES clock the schedule must be
+    /// replayable: the jitter here is a pure function of
+    /// `(policy seed, client_id, attempt)`, so the same client draws the
+    /// same delay on every replay while distinct clients spread across
+    /// `[0.5, 1.0]×` the exponential — even when every one of them asks
+    /// at the same virtual instant. [`delay`](Self::delay) is untouched
+    /// (its sequential stream keeps its exact historical schedules).
+    pub fn client_delay(&self, client_id: u64, attempt: u32) -> Duration {
+        let exp = self
+            .base
+            .saturating_mul(1u32 << attempt.min(16))
+            .min(self.cap);
+        let mut rng = crate::fault::SplitMix64::new(
+            self.seed ^ client_id.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ ((attempt as u64) << 32),
+        );
+        exp.mul_f64(0.5 + 0.5 * rng.unit_f64())
     }
 }
 
@@ -303,6 +327,61 @@ mod tests {
             .with_cap(Duration::from_secs(1 << 41));
         let d = big.delay(u32::MAX);
         assert!(d <= Duration::from_secs(1 << 41), "saturating, capped");
+    }
+
+    #[test]
+    fn client_delay_is_pure_and_replayable() {
+        let p = BackoffPolicy::new(99);
+        // Same (seed, client, attempt) → same delay, and asking does not
+        // disturb the policy (it takes &self), so interleaving order is
+        // irrelevant — the DES replay property.
+        assert_eq!(p.client_delay(7, 3), p.client_delay(7, 3));
+        let fresh = BackoffPolicy::new(99);
+        assert_eq!(p.client_delay(7, 3), fresh.client_delay(7, 3));
+        // Different seeds draw different jitter.
+        assert_ne!(
+            BackoffPolicy::new(1).client_delay(7, 3),
+            BackoffPolicy::new(2).client_delay(7, 3)
+        );
+    }
+
+    #[test]
+    fn client_delay_spreads_a_fleet() {
+        // 1000 clients retrying the same attempt at the same virtual
+        // instant must not cluster: delays stay in the jitter band and
+        // take many distinct values.
+        let p = BackoffPolicy::new(5)
+            .with_base(Duration::from_millis(100))
+            .with_cap(Duration::from_secs(60));
+        let nominal = Duration::from_millis(400); // attempt 2 → base·4
+        let delays: Vec<Duration> = (0..1000).map(|c| p.client_delay(c, 2)).collect();
+        let mut distinct = delays.clone();
+        distinct.sort();
+        distinct.dedup();
+        assert!(
+            distinct.len() > 900,
+            "only {} distinct delays",
+            distinct.len()
+        );
+        for d in &delays {
+            assert!(
+                *d <= nominal && *d >= nominal / 2,
+                "{d:?} outside jitter band"
+            );
+        }
+    }
+
+    #[test]
+    fn client_delay_survives_absurd_attempt_counts() {
+        // Mirrors `backoff_survives_absurd_attempt_counts` for the pure
+        // per-client path: the shift saturates and the cap holds.
+        let cap = Duration::from_secs(2);
+        let p = BackoffPolicy::new(7).with_cap(cap);
+        for attempt in [17, 31, 32, 64, 1_000_000, u32::MAX] {
+            let d = p.client_delay(123, attempt);
+            assert!(d <= cap, "attempt {attempt}: {d:?} exceeds the cap");
+            assert!(d >= cap / 2, "attempt {attempt}: {d:?} below half the cap");
+        }
     }
 
     #[test]

@@ -29,5 +29,5 @@ mod store;
 pub use cluster::Cluster;
 pub use disk::{Disk, DiskFull};
 pub use journal::crc32;
-pub use network::{BandwidthProbe, Network};
+pub use network::{BandwidthProbe, Network, SharedLink};
 pub use store::{FrameMeta, FrameStore, StoreError};

@@ -122,6 +122,70 @@ impl Network {
     }
 }
 
+/// A shared egress pipe: one WAN uplink out of the simulation/broker
+/// site that *many* client sessions draw from. Unlike [`Network`] (one
+/// point-to-point link with its own variability walk), a `SharedLink`
+/// models aggregate capacity: a pacing loop asks for the byte budget of
+/// a scheduling quantum and divides it among sessions itself. The same
+/// degradation knob as [`Network::set_degradation`] lets fault plans
+/// sag the shared uplink.
+#[derive(Debug, Clone)]
+pub struct SharedLink {
+    nominal_bps: f64,
+    degradation: f64,
+}
+
+impl SharedLink {
+    /// New shared uplink with the given aggregate capacity, bytes/second.
+    ///
+    /// # Panics
+    /// If `nominal_bps` is not positive and finite.
+    pub fn new(nominal_bps: f64) -> Self {
+        assert!(
+            nominal_bps > 0.0 && nominal_bps.is_finite(),
+            "shared-link capacity must be positive"
+        );
+        SharedLink {
+            nominal_bps,
+            degradation: 1.0,
+        }
+    }
+
+    /// Aggregate capacity currently available, bytes/second.
+    pub fn current_bps(&self) -> f64 {
+        self.nominal_bps * self.degradation
+    }
+
+    /// Nominal (healthy) capacity, bytes/second.
+    pub fn nominal_bps(&self) -> f64 {
+        self.nominal_bps
+    }
+
+    /// Bytes the link can move in a scheduling quantum of `dt_secs`.
+    pub fn budget_bytes(&self, dt_secs: f64) -> f64 {
+        assert!(dt_secs >= 0.0 && dt_secs.is_finite(), "bad quantum");
+        self.current_bps() * dt_secs
+    }
+
+    /// Inject (or clear, with 1.0) a fault on the shared uplink; same
+    /// contract as [`Network::set_degradation`].
+    ///
+    /// # Panics
+    /// If `factor` is not positive and finite.
+    pub fn set_degradation(&mut self, factor: f64) {
+        assert!(
+            factor > 0.0 && factor.is_finite(),
+            "degradation factor must be positive and finite, got {factor}"
+        );
+        self.degradation = factor;
+    }
+
+    /// Current fault multiplier (1.0 = healthy).
+    pub fn degradation(&self) -> f64 {
+        self.degradation
+    }
+}
+
 /// Ratio beyond which a bandwidth sample is treated as a regime change
 /// rather than in-band drift. The variability walk moves the factor a
 /// bounded fraction of its band per step, so even across several steps a
@@ -306,6 +370,37 @@ mod tests {
         let mut probe = BandwidthProbe::new().with_probe_bytes(1_000_000);
         let bw = probe.measure(&mut net);
         assert!(bw < 1e9 / 500.0, "latency should dominate: {bw}");
+    }
+}
+
+#[cfg(test)]
+mod shared_link_tests {
+    use super::*;
+
+    #[test]
+    fn budget_scales_with_quantum_and_degradation() {
+        let mut link = SharedLink::new(1e6);
+        assert_eq!(link.budget_bytes(1.0), 1e6);
+        assert_eq!(link.budget_bytes(0.5), 5e5);
+        assert_eq!(link.budget_bytes(0.0), 0.0);
+        link.set_degradation(0.25);
+        assert_eq!(link.current_bps(), 2.5e5);
+        assert_eq!(link.budget_bytes(2.0), 5e5);
+        link.set_degradation(1.0);
+        assert_eq!(link.nominal_bps(), 1e6);
+        assert_eq!(link.degradation(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_capacity_rejected() {
+        SharedLink::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn zero_shared_degradation_rejected() {
+        SharedLink::new(1e6).set_degradation(0.0);
     }
 }
 

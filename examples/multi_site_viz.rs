@@ -70,6 +70,7 @@ fn main() {
             frames,
             receivers: receivers(overseas_rung),
             policy,
+            crashes: Vec::new(),
         });
         println!(
             "{:<28} {:>8} {:>9} {:>9} {:>9} {:>9} {:>8.1}%",

@@ -2,9 +2,10 @@
 //! degradation ladder engaged, every invariant checked on every storm,
 //! and failures shrunk to minimal replayable schedules (ISSUE 6).
 
+use climate_adaptive::adaptive::broker::{run_broker, LoadEvent};
 use climate_adaptive::adaptive::chaos::{
-    check_invariants, run_storm, shrink, soak, ChaosConfig, InvariantBudgets, ShrunkStorm,
-    StormSpec, Violation,
+    check_broker_invariants, check_invariants, run_storm, shrink, shrink_broker, soak,
+    BrokerStormSpec, ChaosConfig, InvariantBudgets, ShrunkStorm, StormSpec, Violation,
 };
 use climate_adaptive::adaptive::decision::AlgorithmKind;
 use climate_adaptive::adaptive::orchestrator::{Fault, FaultPlan, Orchestrator};
@@ -22,16 +23,12 @@ fn fifty_seeded_storms_soak_green() {
         ..ChaosConfig::default()
     };
     let out = soak(&cfg);
-    assert!(
-        out.green(),
-        "soak failures:\n{}",
-        out.failures
-            .iter()
-            .map(|f| f.report())
-            .collect::<Vec<_>>()
-            .join("\n")
-    );
+    assert!(out.green(), "soak failures:\n{}", out.failure_reports());
     assert_eq!(out.storms_run, 50);
+    // The broker load storms (thundering herds, mass disconnects, sags,
+    // flap squads) soak green alongside the fault storms.
+    assert_eq!(out.broker_storms_run, 50);
+    assert!(out.broker_failures.is_empty());
     assert!(
         out.sim_hours > 1_000.0,
         "corpus should cover >1000 simulated hours, got {:.0}",
@@ -116,6 +113,85 @@ fn broken_invariant_is_caught_and_shrunk_to_a_replayable_schedule() {
         assert!(
             !v.iter().any(|v| v.kind() == "rung-cap"),
             "shrunk schedule is not minimal: event {i} is removable"
+        );
+    }
+}
+
+/// The broker side of the harness catches and shrinks too: under a
+/// deliberately tight staleness budget, a storm with a deep link sag
+/// (padded with an irrelevant flap squad) violates `broker-staleness`,
+/// and the shrinker strips the padding down to a 1-minimal replayable
+/// schedule.
+#[test]
+fn broken_broker_invariant_is_caught_and_shrunk() {
+    let budgets = InvariantBudgets {
+        broker_staleness_secs: 120.0,
+        ..InvariantBudgets::default()
+    };
+    let spec = BrokerStormSpec {
+        seed: 77,
+        fleet: 100,
+        events: vec![
+            (
+                0.0,
+                LoadEvent::ArrivalRamp {
+                    clients: 100,
+                    over_secs: 300.0,
+                },
+            ),
+            (
+                300.0,
+                LoadEvent::FlapSquad {
+                    clients: 5,
+                    period_secs: 120.0,
+                },
+            ),
+            (
+                900.0,
+                LoadEvent::LinkSag {
+                    factor: 1e-6,
+                    for_secs: 1200.0,
+                },
+            ),
+        ],
+    };
+    let out = run_broker(spec.to_config());
+    let violations = check_broker_invariants(&spec, &out, &budgets);
+    assert!(
+        violations.iter().any(|v| v.kind() == "broker-staleness"),
+        "a 20-minute near-collapse must blow a 2-minute staleness budget: {violations:?}"
+    );
+
+    let shrunk = shrink_broker(&spec, &budgets, &["broker-staleness"]);
+    assert!(
+        shrunk.spec.events.len() < spec.events.len(),
+        "padding should be stripped: {:?}",
+        shrunk.spec.events
+    );
+    assert!(shrunk
+        .violations
+        .iter()
+        .any(|v| v.kind() == "broker-staleness"));
+    // The actual cause survives, and the schedule replays.
+    assert!(shrunk
+        .spec
+        .events
+        .iter()
+        .any(|(_, ev)| matches!(ev, LoadEvent::LinkSag { .. })));
+    let replay = run_broker(shrunk.spec.to_config());
+    let replay_violations = check_broker_invariants(&shrunk.spec, &replay, &budgets);
+    assert!(replay_violations
+        .iter()
+        .any(|v| v.kind() == "broker-staleness"));
+    // 1-minimality: removing any single surviving event clears it.
+    for i in 0..shrunk.spec.events.len() {
+        let mut fewer = shrunk.spec.clone();
+        fewer.events.remove(i);
+        let out = run_broker(fewer.to_config());
+        let v = check_broker_invariants(&fewer, &out, &budgets);
+        assert!(
+            !v.iter().any(|v| v.kind() == "broker-staleness"),
+            "shrunk broker schedule is not minimal: event {i} is removable"
         );
     }
 }
