@@ -34,14 +34,14 @@ use crate::qos::{self, QosConfig, QosController, QosRung, QosSignals};
 use crate::recovery::{self, CheckpointMeta, DurabilityOptions};
 use crate::steering::{SteeringCommand, SteeringState};
 use cyclone::{Mission, Site};
-use des::{run_until_empty, EventId, Scheduler, Series, SeriesSet, SimTime};
+use des::{EventId, Scheduler, Series, SeriesSet, ShardPoll, SimTime};
 use perfmodel::ProcTable;
-use resources::{FrameStore, Network};
+use resources::{FrameStore, Network, SharedCores, WanQueue};
 use std::collections::HashMap;
 use std::ops::{Deref, DerefMut};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 use viz::TrackLog;
 use wrf::WrfModel;
@@ -856,6 +856,37 @@ impl Default for EngineBoot {
     }
 }
 
+/// The resource models one fleet's missions contend for. Each mission
+/// touches these only inside shared-resource events, which the fleet
+/// coordinator executes in global `(time, shard)` order — so although the
+/// mutexes admit any interleaving, the *sequence* of mutations is a pure
+/// function of the mission set (see `crates/des/src/shard.rs`).
+pub struct FleetShared {
+    /// The cluster's core pool, re-partitioned at decision epochs.
+    pub cluster: Mutex<SharedCores>,
+    /// The shared sim→vis WAN link (one transfer at a time, FIFO grants).
+    pub wan: Mutex<WanQueue>,
+}
+
+/// One mission's handle into its fleet's shared resources.
+#[derive(Clone)]
+pub struct FleetHandle {
+    /// The shared resource models, one set per fleet.
+    pub shared: Arc<FleetShared>,
+    /// This mission's shard id (its member index in the shared models).
+    pub shard: usize,
+}
+
+impl FleetHandle {
+    fn wan(&self) -> std::sync::MutexGuard<'_, WanQueue> {
+        self.shared.wan.lock().expect("fleet wan lock")
+    }
+
+    fn cluster(&self) -> std::sync::MutexGuard<'_, SharedCores> {
+        self.shared.cluster.lock().expect("fleet cluster lock")
+    }
+}
+
 /// Everything a driver hands the engine besides the environment traits.
 pub struct EngineSetup {
     /// Site characteristics (cluster, link, disk, render cost).
@@ -882,6 +913,9 @@ pub struct EngineSetup {
     pub drain_on_complete: bool,
     /// Resume state from a prior incarnation.
     pub boot: EngineBoot,
+    /// Fleet mode: this mission shares the cluster core pool and the WAN
+    /// link with its fleet-mates (`None` = solo run, resources private).
+    pub fleet: Option<FleetHandle>,
 }
 
 /// What [`EpochEngine::run`] returns.
@@ -920,6 +954,10 @@ enum Ev {
     },
     /// One frame finished crossing the network.
     TransferDone { id: u64 },
+    /// Fleet mode: the sender asks for the shared WAN link. Solo runs
+    /// never schedule this — their `kick_sender` starts the transfer
+    /// inline, exactly as before the fleet split.
+    LinkRequest,
     /// The visualization process finished rendering a frame.
     RenderDone { sim_min: f64 },
     /// Application-manager decision epoch.
@@ -960,6 +998,11 @@ struct World<T, D, F> {
     /// The in-flight transfer's (event, frame id), so a receiver outage
     /// can cancel it and push the frame back to pending.
     transfer_event: Option<(EventId, u64)>,
+    /// Fleet mode: shared-resource handle (`None` = solo run).
+    fleet: Option<FleetHandle>,
+    /// Fleet mode: the sender is queued for the shared WAN link (its
+    /// grant will arrive through the per-member mailbox).
+    wan_waiting: bool,
     /// Nesting depth of overlapping receiver outages (0 = reachable).
     outage_depth: u32,
     /// Link degradation the faults intend, independent of outages (the
@@ -1103,12 +1146,84 @@ impl<T: FrameTransport, D: Durability, F: FaultInjector> World<T, D, F> {
         if self.rung == QosRung::Pause && !self.completed {
             return;
         }
+        if self.fleet.is_some() {
+            // Fleet mode: the WAN is shared, so acquisition goes through
+            // the coordinator-ordered LinkRequest event instead of
+            // starting the transfer inline. `sender_busy` holds the send
+            // slot until the request resolves.
+            self.sender_busy = true;
+            sched.schedule_in(0.0, Ev::LinkRequest);
+            return;
+        }
         let meta = self.store.begin_transfer().expect("pending checked");
         self.net.step();
         let secs = self.net.transfer_time(meta.bytes);
         self.sender_busy = true;
         let id = sched.schedule_in(secs, Ev::TransferDone { id: meta.id });
         self.transfer_event = Some((id, meta.id));
+    }
+
+    /// Begin the pending frame's transfer with the link already in hand,
+    /// completing `transfer_time` seconds after `at`. Fleet-mode only:
+    /// `at` is the request instant (immediate acquisition) or the WAN
+    /// grant instant, which never precedes this shard's clock.
+    fn start_transfer_at(&mut self, at: SimTime, sched: &mut Scheduler<Ev>) {
+        let meta = self.store.begin_transfer().expect("pending checked");
+        self.net.step();
+        let secs = self.net.transfer_time(meta.bytes);
+        let id = sched.schedule_at(at + secs, Ev::TransferDone { id: meta.id });
+        self.transfer_event = Some((id, meta.id));
+    }
+
+    /// Fleet mode: hand the shared WAN link back, granting the earliest
+    /// waiting fleet-mate (no-op solo).
+    fn release_wan(&mut self, now: SimTime) {
+        if let Some(fleet) = &self.fleet {
+            fleet.wan().release(fleet.shard, now.as_secs());
+        }
+    }
+
+    /// Fleet mode: withdraw a pending WAN wait (outage or kill struck
+    /// while queued); an already-arrived grant is passed straight on.
+    /// No-op solo or when not waiting.
+    fn cancel_wan_wait(&mut self, now: SimTime) {
+        if !self.wan_waiting {
+            return;
+        }
+        let fleet = self.fleet.clone().expect("wan_waiting implies fleet mode");
+        fleet.wan().cancel(fleet.shard, now.as_secs());
+        self.wan_waiting = false;
+        self.sender_busy = false;
+    }
+
+    /// Fleet mode: consume the WAN grant sitting in this shard's mailbox
+    /// and start the transfer at the grant instant. The request's
+    /// conditions are re-checked first — a Pause demotion (or, defensively,
+    /// an outage) that landed while queued passes the link straight on
+    /// instead of transferring.
+    fn take_wan_grant(&mut self, sched: &mut Scheduler<Ev>) {
+        let fleet = self.fleet.clone().expect("grant implies fleet mode");
+        let g = fleet.wan().take_grant(fleet.shard);
+        self.wan_waiting = false;
+        if self.outage_depth > 0 || (self.rung == QosRung::Pause && !self.completed) {
+            self.sender_busy = false;
+            fleet.wan().release(fleet.shard, g);
+            return;
+        }
+        let at = SimTime::from_secs(g);
+        debug_assert!(at >= sched.now(), "WAN grant precedes the shard clock");
+        self.start_transfer_at(at, sched);
+    }
+
+    /// Fleet mode: clamp a decided processor count to this mission's
+    /// grant from the shared core pool (identity solo). The coordinator
+    /// executes decision epochs in global `(time, shard)` order, so
+    /// contention resolves identically on every run.
+    fn clamp_shared_cores(&self, mut next: ApplicationConfig) -> ApplicationConfig {
+        if let Some(fleet) = &self.fleet {
+            next.num_procs = fleet.cluster().realloc(fleet.shard, next.num_procs);
+        }
+        next
     }
 
     /// Push the faults' intended link state onto the network model: a
@@ -1200,10 +1315,21 @@ where
     }
 
     /// Run the pipeline to completion, the wall cap, or a halting kill.
+    /// Exactly [`Self::start`], [`RunningEngine::step_one`] to a halt,
+    /// then [`RunningEngine::finish`] — the fleet layer drives the same
+    /// three pieces, one event at a time, under its coordinator.
     pub fn run(self) -> EngineOutput {
+        let mut running = self.start();
+        while running.step_one() {}
+        running.finish()
+    }
+
+    /// Build the world and seed the event queue, handing back a
+    /// [`RunningEngine`] ready to be stepped.
+    pub fn start(self) -> RunningEngine<C, T, D, F> {
         let EpochEngine {
             setup,
-            mut clock,
+            clock,
             transport,
             durability,
             injector,
@@ -1219,6 +1345,7 @@ where
             publish_config,
             drain_on_complete,
             boot,
+            fleet,
         } = setup;
 
         let cold_config = boot.config.is_none();
@@ -1258,6 +1385,8 @@ where
             sender_busy: false,
             step_event: None,
             transfer_event: None,
+            fleet,
+            wan_waiting: false,
             outage_depth: 0,
             link_factor: 1.0,
             completed: false,
@@ -1298,7 +1427,10 @@ where
             options,
         };
 
-        let mut sched: Scheduler<Ev> = Scheduler::new();
+        let mut sched: Scheduler<Ev> = match &world.fleet {
+            Some(f) => Scheduler::for_shard(f.shard),
+            None => Scheduler::new(),
+        };
         for (wall_hours, cmd) in steering_script {
             sched.schedule_at(SimTime::from_hours(wall_hours.max(0.0)), Ev::Steering(cmd));
         }
@@ -1336,26 +1468,173 @@ where
         );
 
         let wall_cap = SimTime::from_hours(world.options.wall_cap_hours);
-        let mut last_secs = 0.0f64;
-        run_until_empty(&mut sched, &mut world, |w, now, ev, sched| {
-            if now > wall_cap {
-                return false;
-            }
-            clock.pace((now.as_secs() - last_secs).max(0.0));
-            last_secs = now.as_secs();
-            if !handle(w, now, ev, sched) {
-                return false;
-            }
-            // The live drivers drain: keep the run alive after mission
-            // completion until every written frame has shipped and every
-            // shipped frame has rendered.
-            !(w.drain
-                && w.completed
-                && !w.sender_busy
-                && !w.store.has_pending()
-                && w.renders_outstanding == 0)
-        });
+        RunningEngine {
+            clock,
+            world,
+            sched,
+            wall_cap,
+            last_secs: 0.0,
+            halted: false,
+            released: false,
+        }
+    }
+}
 
+/// An engine mid-run: the world plus its event queue and pacing state.
+/// Produced by [`EpochEngine::start`]; stepped by [`Self::step_one`]
+/// (solo) or by the fleet coordinator through [`Self::fleet_poll`] /
+/// [`Self::fleet_step`]; torn down by [`Self::finish`].
+pub struct RunningEngine<C, T, D, F> {
+    clock: C,
+    world: World<T, D, F>,
+    sched: Scheduler<Ev>,
+    wall_cap: SimTime,
+    last_secs: f64,
+    /// The event loop is over (queue drained, wall cap passed, a halting
+    /// event, or the drain condition satisfied).
+    halted: bool,
+    /// Fleet mode: the shared resources have been handed back.
+    released: bool,
+}
+
+impl<C, T, D, F> RunningEngine<C, T, D, F>
+where
+    C: Clock,
+    T: FrameTransport,
+    D: Durability,
+    F: FaultInjector,
+{
+    /// Pop and handle one event. Returns `false` once the run is over:
+    /// queue drained, wall cap passed, a halting fault, or (for draining
+    /// drivers) every written frame shipped and rendered after mission
+    /// completion.
+    pub fn step_one(&mut self) -> bool {
+        if self.halted {
+            return false;
+        }
+        let Some((now, ev)) = self.sched.pop() else {
+            self.halted = true;
+            return false;
+        };
+        if now > self.wall_cap {
+            self.halted = true;
+            return false;
+        }
+        self.clock.pace((now.as_secs() - self.last_secs).max(0.0));
+        self.last_secs = now.as_secs();
+        if !handle(&mut self.world, now, ev, &mut self.sched) {
+            self.halted = true;
+            return false;
+        }
+        // The live drivers drain: keep the run alive after mission
+        // completion until every written frame has shipped and every
+        // shipped frame has rendered.
+        if self.world.drain
+            && self.world.completed
+            && !self.world.sender_busy
+            && !self.world.store.has_pending()
+            && self.world.renders_outstanding == 0
+        {
+            self.halted = true;
+            return false;
+        }
+        true
+    }
+
+    /// Classify this shard's next action for the fleet coordinator
+    /// (fleet mode only). A grant sitting in the WAN mailbox comes first
+    /// — its release event was itself horizon-gated, and the horizon
+    /// pinned this shard's clock at or below the grant instant while it
+    /// waited, so consuming it immediately is safe and deterministic.
+    /// Shared-resource events — and *any* event while the shard is
+    /// queued for the WAN — are `Gated` behind the conservative horizon;
+    /// everything else is `Local` and free-running.
+    pub fn fleet_poll(&mut self) -> ShardPoll {
+        if !self.halted {
+            let fleet = self
+                .world
+                .fleet
+                .clone()
+                .expect("fleet_poll requires fleet mode");
+            if let Some(g) = fleet.wan().grant_time(fleet.shard) {
+                return ShardPoll::Granted {
+                    time: SimTime::from_secs(g),
+                };
+            }
+            match self.sched.peek() {
+                Some((t, ev)) => {
+                    let shared = matches!(
+                        ev,
+                        Ev::LinkRequest | Ev::TransferDone { .. } | Ev::Decision | Ev::Fault(_)
+                    );
+                    return if shared || self.world.wan_waiting {
+                        ShardPoll::Gated { time: t }
+                    } else {
+                        ShardPoll::Local { time: t }
+                    };
+                }
+                None => {
+                    assert!(
+                        !self.world.wan_waiting,
+                        "waiting on the WAN with an empty queue"
+                    );
+                    self.halted = true;
+                }
+            }
+        }
+        if self.released {
+            ShardPoll::Done
+        } else {
+            // One final gated action remains: handing the shared
+            // resources back, serialized in global order like any other
+            // shared mutation.
+            ShardPoll::Gated {
+                time: self.sched.now(),
+            }
+        }
+    }
+
+    /// Execute what the immediately preceding [`Self::fleet_poll`]
+    /// described: consume a WAN grant, run one event, or (once the loop
+    /// has halted) release the shared resources.
+    pub fn fleet_step(&mut self) {
+        if !self.halted {
+            let fleet = self
+                .world
+                .fleet
+                .clone()
+                .expect("fleet_step requires fleet mode");
+            let granted = fleet.wan().grant_time(fleet.shard).is_some();
+            if granted {
+                self.world.take_wan_grant(&mut self.sched);
+                return;
+            }
+            self.step_one();
+            return;
+        }
+        let fleet = self
+            .world
+            .fleet
+            .clone()
+            .expect("fleet_step requires fleet mode");
+        let end = self.sched.now().as_secs();
+        // `cancel` covers every holding state: mid-transfer (the wall cap
+        // struck first), an unconsumed grant, still queued, or nothing.
+        fleet.wan().cancel(fleet.shard, end);
+        fleet.cluster().release_all(fleet.shard);
+        self.released = true;
+    }
+
+    /// Fleet mode: true once the halted engine has handed its shared
+    /// resources back — the shard's final gated step has run and
+    /// [`Self::finish`] may be called.
+    pub fn fleet_released(&self) -> bool {
+        self.released
+    }
+
+    /// Tear the run down and assemble the report.
+    pub fn finish(self) -> EngineOutput {
+        let mut world = self.world;
         let ended_stalled = world.handler.state() == SimProcessState::Stalled;
         let completed = world.completed;
         if completed {
@@ -1534,9 +1813,35 @@ fn handle<T: FrameTransport, D: Durability, F: FaultInjector>(
             w.maybe_checkpoint();
         }
 
+        Ev::LinkRequest => {
+            // Fleet mode only. The kick's conditions may have changed in
+            // the same instant (an outage, a Pause demotion); re-check
+            // before contending for the link.
+            let fleet = w
+                .fleet
+                .clone()
+                .expect("LinkRequest only fires in fleet mode");
+            if w.outage_depth > 0
+                || (w.rung == QosRung::Pause && !w.completed)
+                || !w.store.has_pending()
+            {
+                w.sender_busy = false;
+                return true;
+            }
+            let acquired = fleet.wan().try_acquire(fleet.shard, now.as_secs());
+            if acquired {
+                w.start_transfer_at(now, sched);
+            } else {
+                // Queued behind a fleet-mate; the grant arrives through
+                // the mailbox and `take_wan_grant` starts the transfer.
+                w.wan_waiting = true;
+            }
+        }
+
         Ev::TransferDone { id } => {
             w.sender_busy = false;
             w.transfer_event = None;
+            w.release_wan(now);
             let meta = w
                 .store
                 .complete_transfer(id)
@@ -1598,7 +1903,10 @@ fn handle<T: FrameTransport, D: Durability, F: FaultInjector>(
                 max_oi_min: max_oi,
                 horizon_secs: horizon,
             };
-            let next = w.manager.epoch(w.store.disk(), &mut w.net, &ctx, &w.config);
+            let next = {
+                let decided = w.manager.epoch(w.store.disk(), &mut w.net, &ctx, &w.config);
+                w.clamp_shared_cores(decided)
+            };
             if let Some(binding) = w.manager.last_binding() {
                 w.binding_series.record(now, binding_code(binding));
             }
@@ -1784,7 +2092,10 @@ fn handle<T: FrameTransport, D: Durability, F: FaultInjector>(
                         .abort_transfer(frame_id)
                         .expect("transfer was in flight");
                     w.replays += 1;
+                    w.release_wan(now);
                 }
+                // A queued WAN request is withdrawn with the connection.
+                w.cancel_wan_wait(now);
                 sched.schedule_in(duration_hours.max(1e-3) * 3600.0, Ev::ReceiverRestored);
             }
             Fault::SimCrash => {
@@ -1832,7 +2143,10 @@ fn handle<T: FrameTransport, D: Durability, F: FaultInjector>(
                                 .abort_transfer(frame_id)
                                 .expect("transfer was in flight");
                             w.replays += 1;
+                            w.release_wan(now);
                         }
+                        // The dying sender's queued WAN request dies too.
+                        w.cancel_wan_wait(now);
                         w.frames_recovered +=
                             (w.store.pending_count() + w.store.in_flight_count()) as u64;
                         let stalled = w.handler.state() == SimProcessState::Stalled;
@@ -1925,7 +2239,10 @@ fn initial_epoch<T: FrameTransport, D: Durability, F: FaultInjector>(w: &mut Wor
         max_oi_min: max_oi,
         horizon_secs: horizon,
     };
-    let next = w.manager.epoch(w.store.disk(), &mut w.net, &ctx, &w.config);
+    let next = {
+        let decided = w.manager.epoch(w.store.disk(), &mut w.net, &ctx, &w.config);
+        w.clamp_shared_cores(decided)
+    };
     debug_assert!(!next.critical, "a fresh disk cannot be critical");
     w.config = next;
 }

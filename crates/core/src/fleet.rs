@@ -1,0 +1,271 @@
+//! Multi-mission fleet driver: N missions, shared resources, W workers.
+//!
+//! The paper runs one critical-climate mission per site. Operationally a
+//! centre runs *ensembles* — many forecast members over the same cluster
+//! and the same outbound WAN link. This module drives N [`EpochEngine`]s
+//! as shards of one sharded DES ([`des::run_shards`]): each mission
+//! advances on its own virtual clock, and only shared-resource events
+//! (WAN acquisition/release, decision-epoch core reallocation, faults)
+//! synchronize through the conservative `(time, shard)` horizon. The
+//! result is a pure function of the mission specs — worker count changes
+//! wall time, never reports (pinned by `tests/fleet_parity.rs`).
+//!
+//! Shared resources:
+//! - [`SharedCores`] — the cluster's core pool, re-partitioned at every
+//!   mission's decision epochs (each member keeps one reserved core),
+//! - [`WanQueue`] — the sim→vis link: one transfer at a time, FIFO
+//!   grants delivered through per-member mailboxes.
+
+use crate::decision::AlgorithmKind;
+use crate::engine::{
+    EngineBoot, EngineOutput, EngineSetup, EpochEngine, FleetHandle, FleetShared, ModeledInjector,
+    ModeledTransport, NoDurability, PipelineOptions, PipelineReport, RunningEngine, VirtualClock,
+};
+use cyclone::{Mission, Site};
+use des::{run_shards, ShardPoll, ShardTask};
+use resources::{FrameStore, SharedCores, WanQueue};
+use std::sync::{Arc, Mutex};
+
+/// One mission of a fleet: a full solo-run description. Seeds and
+/// mission parameters may differ per member; the shared resources are
+/// the fleet's, not the spec's.
+pub struct MissionSpec {
+    /// Human label carried into the [`MissionOutcome`].
+    pub label: String,
+    /// Site characteristics (disk, link model, render cost). The site's
+    /// *cluster core count* is superseded by the fleet's shared pool.
+    pub site: Site,
+    /// The mission this member simulates.
+    pub mission: Mission,
+    /// Decision algorithm for the member's application manager.
+    pub algorithm: AlgorithmKind,
+    /// Run knobs; `seed` drives this member's network-variability walk.
+    pub options: PipelineOptions,
+}
+
+/// Fleet-level knobs.
+#[derive(Debug, Clone)]
+pub struct FleetOptions {
+    /// Worker threads driving the shard pool (clamped to at least 1).
+    pub workers: usize,
+    /// Cores in the shared cluster pool (must cover one reserved core
+    /// per mission).
+    pub total_cores: usize,
+}
+
+impl FleetOptions {
+    /// Fleet sized to a site's cluster with `workers` worker threads.
+    pub fn for_site(site: &Site, workers: usize) -> Self {
+        FleetOptions {
+            workers,
+            total_cores: site.cluster.max_cores,
+        }
+    }
+}
+
+/// One member's result.
+pub struct MissionOutcome {
+    /// The spec's label.
+    pub label: String,
+    /// The member's full pipeline report — identical to what a solo run
+    /// of the same spec would produce when the fleet has one member.
+    pub report: PipelineReport,
+}
+
+/// What [`run_fleet`] returns: per-member outcomes in spec order.
+pub struct FleetReport {
+    /// Outcomes, index-aligned with the input specs.
+    pub missions: Vec<MissionOutcome>,
+    /// Worker threads actually used.
+    pub workers: usize,
+    /// Shared-pool size the fleet ran with.
+    pub total_cores: usize,
+}
+
+impl FleetReport {
+    /// Members that simulated their full mission before the wall cap.
+    pub fn completed(&self) -> usize {
+        self.missions.iter().filter(|m| m.report.completed).count()
+    }
+}
+
+/// `n` members over the same site/mission template, each with a distinct
+/// network seed — the standard deterministic ensemble.
+pub fn ensemble(
+    site: &Site,
+    mission: &Mission,
+    algorithm: AlgorithmKind,
+    base: &PipelineOptions,
+    n: usize,
+) -> Vec<MissionSpec> {
+    (0..n)
+        .map(|i| {
+            let mut options = base.clone();
+            options.seed = base.seed.wrapping_add(i as u64);
+            MissionSpec {
+                label: format!("member-{i:02}"),
+                site: site.clone(),
+                mission: mission.clone(),
+                algorithm,
+                options,
+            }
+        })
+        .collect()
+}
+
+/// One fleet member as a DES shard: the running engine plus its finished
+/// output once the shard completes.
+struct MissionShard {
+    label: String,
+    engine: Option<RunningEngine<VirtualClock, ModeledTransport, NoDurability, ModeledInjector>>,
+    output: Option<EngineOutput>,
+}
+
+impl ShardTask for MissionShard {
+    fn poll(&mut self) -> ShardPoll {
+        match &mut self.engine {
+            Some(e) => e.fleet_poll(),
+            None => ShardPoll::Done,
+        }
+    }
+
+    fn step(&mut self) {
+        if let Some(e) = &mut self.engine {
+            e.fleet_step();
+            if e.fleet_released() {
+                let done = self.engine.take().expect("engine present");
+                self.output = Some(done.finish());
+            }
+        }
+    }
+}
+
+/// Run a fleet to completion and collect per-member reports.
+///
+/// Members are constructed serially in shard order, so every epoch-zero
+/// reallocation of the shared core pool happens at `t = 0` in member
+/// order — the deterministic tie-break for the only instant at which
+/// decision epochs collide by construction.
+///
+/// # Panics
+/// On an empty spec list, or when `total_cores` cannot reserve one core
+/// per member.
+pub fn run_fleet(specs: Vec<MissionSpec>, opts: &FleetOptions) -> FleetReport {
+    let n = specs.len();
+    assert!(n > 0, "fleet needs at least one mission");
+    let workers = opts.workers.max(1);
+    let shared = Arc::new(FleetShared {
+        cluster: Mutex::new(SharedCores::new(opts.total_cores, n)),
+        wan: Mutex::new(WanQueue::new(n)),
+    });
+    let shards: Vec<MissionShard> = specs
+        .into_iter()
+        .enumerate()
+        .map(|(shard, spec)| {
+            let store = FrameStore::new(spec.site.make_disk());
+            let net = spec.site.make_network(spec.options.seed);
+            let setup = EngineSetup {
+                site: spec.site,
+                mission: spec.mission,
+                algorithm: spec.algorithm,
+                options: spec.options,
+                store,
+                net,
+                steering_script: Vec::new(),
+                publish_config: None,
+                // Fleet members halt where the paper's figures end; a
+                // draining member could sit queued on the WAN with an
+                // empty event queue, which the coordinator (correctly)
+                // rejects as a wedge.
+                drain_on_complete: false,
+                boot: EngineBoot::default(),
+                fleet: Some(FleetHandle {
+                    shared: Arc::clone(&shared),
+                    shard,
+                }),
+            };
+            MissionShard {
+                label: spec.label,
+                engine: Some(
+                    EpochEngine::new(
+                        setup,
+                        VirtualClock,
+                        ModeledTransport,
+                        NoDurability,
+                        ModeledInjector,
+                    )
+                    .start(),
+                ),
+                output: None,
+            }
+        })
+        .collect();
+    let done = run_shards(shards, workers);
+    let missions = done
+        .into_iter()
+        .map(|s| {
+            let out = s.output.expect("every shard runs to completion");
+            MissionOutcome {
+                label: s.label,
+                report: out.report,
+            }
+        })
+        .collect();
+    FleetReport {
+        missions,
+        workers,
+        total_cores: opts.total_cores,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_specs(n: usize) -> Vec<MissionSpec> {
+        let site = Site::inter_department();
+        let mission = Mission::aila().with_duration_hours(2.0);
+        ensemble(
+            &site,
+            &mission,
+            AlgorithmKind::Optimization,
+            &PipelineOptions::default(),
+            n,
+        )
+    }
+
+    #[test]
+    fn fleet_of_two_completes_both_missions() {
+        let site = Site::inter_department();
+        let report = run_fleet(quick_specs(2), &FleetOptions::for_site(&site, 2));
+        assert_eq!(report.missions.len(), 2);
+        assert_eq!(
+            report.completed(),
+            2,
+            "short missions finish well under the cap"
+        );
+        for m in &report.missions {
+            assert!(m.report.frames_shipped > 0, "{} shipped nothing", m.label);
+        }
+    }
+
+    #[test]
+    fn ensemble_seeds_are_distinct() {
+        let specs = quick_specs(4);
+        let mut seeds: Vec<u64> = specs.iter().map(|s| s.options.seed).collect();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one mission")]
+    fn empty_fleet_rejected() {
+        run_fleet(
+            Vec::new(),
+            &FleetOptions {
+                workers: 1,
+                total_cores: 8,
+            },
+        );
+    }
+}

@@ -49,6 +49,7 @@ pub mod decision;
 pub mod engine;
 pub mod fanout;
 pub mod fault;
+pub mod fleet;
 pub mod jobhandler;
 pub mod manager;
 pub mod metrics;

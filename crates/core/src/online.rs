@@ -231,6 +231,7 @@ pub fn run_online(
         publish_config: Some(options.config_path.clone()),
         drain_on_complete: true,
         boot: engine_boot,
+        fleet: None,
     };
     let out = EpochEngine::new(
         setup,

@@ -168,6 +168,7 @@ impl Orchestrator {
                     publish_config: None,
                     drain_on_complete: false,
                     boot: EngineBoot::default(),
+                    fleet: None,
                 };
                 EpochEngine::new(
                     setup,
@@ -194,6 +195,7 @@ impl Orchestrator {
                     publish_config: None,
                     drain_on_complete: true,
                     boot: EngineBoot::default(),
+                    fleet: None,
                 };
                 EpochEngine::new(
                     setup,

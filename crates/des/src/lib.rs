@@ -11,6 +11,13 @@
 //! scheduling order (a monotone sequence number breaks ties), so a run is a
 //! pure function of its inputs — a property the integration tests rely on.
 //!
+//! For fleet-scale runs the queue is sharded: [`ShardClock`] is one queue +
+//! local clock per mission, and [`TimeCoordinator`]/[`run_shards`] advance
+//! many of them in parallel, synchronizing only at shared-resource events
+//! via conservative time windows (see the [`shard`] module docs).
+//! [`Scheduler`] is a thin wrapper over a single `ShardClock`, so solo runs
+//! are exactly what they always were.
+//!
 //! # Example
 //! ```
 //! use des::{Scheduler, SimTime};
@@ -30,57 +37,26 @@
 //! ```
 
 mod series;
+pub mod shard;
 mod time;
 
 pub use series::{Series, SeriesSet};
+pub use shard::{
+    run_shards, EventClass, EventId, Horizon, ShardClock, ShardPoll, ShardTask, TimeCoordinator,
+};
 pub use time::SimTime;
-
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
-use std::collections::HashSet;
-
-/// Identifier of a scheduled event, usable for cancellation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct EventId(u64);
-
-struct Scheduled<E> {
-    time: SimTime,
-    seq: u64,
-    event: E,
-}
-
-impl<E> PartialEq for Scheduled<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl<E> Eq for Scheduled<E> {}
-impl<E> PartialOrd for Scheduled<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<E> Ord for Scheduled<E> {
-    /// Reversed so that the `BinaryHeap` (a max-heap) pops the *earliest*
-    /// event; ties broken by scheduling order for determinism.
-    fn cmp(&self, other: &Self) -> Ordering {
-        other
-            .time
-            .cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
 
 /// Priority queue of timed events with a virtual clock.
 ///
 /// `pop` advances the clock to the popped event's timestamp. Time never
 /// moves backwards: scheduling in the past panics (it would silently
 /// corrupt causality in the orchestrator).
+///
+/// Since the sharded-DES split this is a façade over one [`ShardClock`];
+/// the behaviour (and the tie-break order solo parity depends on) is
+/// unchanged.
 pub struct Scheduler<E> {
-    heap: BinaryHeap<Scheduled<E>>,
-    cancelled: HashSet<u64>,
-    next_seq: u64,
-    now: SimTime,
+    clock: ShardClock<E>,
 }
 
 impl<E> Default for Scheduler<E> {
@@ -90,29 +66,42 @@ impl<E> Default for Scheduler<E> {
 }
 
 impl<E> Scheduler<E> {
-    /// Create an empty scheduler with the clock at time zero.
+    /// Create an empty scheduler with the clock at time zero (shard 0).
     pub fn new() -> Self {
+        Self::for_shard(0)
+    }
+
+    /// Create an empty scheduler whose clock is tagged with `shard` — used
+    /// by the fleet layer so each mission's queue knows its shard id.
+    pub fn for_shard(shard: usize) -> Self {
         Scheduler {
-            heap: BinaryHeap::new(),
-            cancelled: HashSet::new(),
-            next_seq: 0,
-            now: SimTime::ZERO,
+            clock: ShardClock::new(shard),
         }
+    }
+
+    /// The shard id this scheduler's clock is tagged with (0 for solo runs).
+    pub fn shard(&self) -> usize {
+        self.clock.shard()
     }
 
     /// Current virtual time (timestamp of the last popped event).
     pub fn now(&self) -> SimTime {
-        self.now
+        self.clock.now()
     }
 
     /// Number of live (non-cancelled) events still queued.
     pub fn len(&self) -> usize {
-        self.heap.len() - self.cancelled.len()
+        self.clock.len()
     }
 
     /// True when no live events remain.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.clock.is_empty()
+    }
+
+    /// Number of cancelled entries still awaiting lazy heap removal.
+    pub fn tombstones(&self) -> usize {
+        self.clock.tombstones()
     }
 
     /// Schedule `event` at absolute time `t`.
@@ -120,65 +109,34 @@ impl<E> Scheduler<E> {
     /// # Panics
     /// If `t` is earlier than the current clock.
     pub fn schedule_at(&mut self, t: SimTime, event: E) -> EventId {
-        assert!(
-            t >= self.now,
-            "cannot schedule into the past: t={:?} now={:?}",
-            t,
-            self.now
-        );
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.heap.push(Scheduled {
-            time: t,
-            seq,
-            event,
-        });
-        EventId(seq)
+        self.clock.schedule_at(t, event)
     }
 
     /// Schedule `event` `dt` seconds from now. Non-finite or negative `dt`
     /// is clamped to 0.
     pub fn schedule_in(&mut self, dt: f64, event: E) -> EventId {
-        let dt = if dt.is_finite() && dt > 0.0 { dt } else { 0.0 };
-        self.schedule_at(self.now + dt, event)
+        self.clock.schedule_in(dt, event)
     }
 
     /// Cancel a previously scheduled event. Returns `false` when the event
     /// already fired (or was already cancelled, or never existed).
     pub fn cancel(&mut self, id: EventId) -> bool {
-        if id.0 >= self.next_seq {
-            return false;
-        }
-        // Lazy cancellation: record the id; skip it when popped. Ids of
-        // already-fired events are never reused, so a stale id inserts a
-        // tombstone that can never match — harmless, bounded by next_seq.
-        self.cancelled.insert(id.0)
+        self.clock.cancel(id)
     }
 
     /// Pop the earliest live event, advancing the clock to its timestamp.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        while let Some(s) = self.heap.pop() {
-            if self.cancelled.remove(&s.seq) {
-                continue;
-            }
-            self.now = s.time;
-            return Some((s.time, s.event));
-        }
-        None
+        self.clock.pop()
     }
 
     /// Timestamp of the next live event without popping it.
     pub fn peek_time(&mut self) -> Option<SimTime> {
-        // Drop stale cancelled entries off the top first.
-        while let Some(s) = self.heap.peek() {
-            if self.cancelled.contains(&s.seq) {
-                let s = self.heap.pop().expect("peeked entry exists");
-                self.cancelled.remove(&s.seq);
-            } else {
-                return Some(s.time);
-            }
-        }
-        None
+        self.clock.peek_time()
+    }
+
+    /// Timestamp and payload of the next live event without popping it.
+    pub fn peek(&mut self) -> Option<(SimTime, &E)> {
+        self.clock.peek()
     }
 }
 
@@ -277,6 +235,66 @@ mod tests {
         s.schedule_in(2.0, E::B);
         s.cancel(a);
         assert_eq!(s.peek_time(), Some(SimTime::from_secs(2.0)));
+    }
+
+    #[test]
+    fn cancel_after_fire_is_rejected_and_keeps_len_exact() {
+        // Regression: cancelling an id that already fired used to insert a
+        // tombstone into the cancelled set, making `len()` drift (and
+        // underflow once the heap drained). It must be a no-op now.
+        let mut s = Scheduler::new();
+        let a = s.schedule_in(1.0, E::A);
+        assert_eq!(s.pop().unwrap().1, E::A);
+        assert!(!s.cancel(a), "cancel after fire must report false");
+        assert_eq!(s.len(), 0);
+        assert!(s.is_empty());
+        assert_eq!(s.tombstones(), 0);
+        // The queue stays fully usable afterwards.
+        s.schedule_in(1.0, E::B);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.pop().unwrap().1, E::B);
+    }
+
+    #[test]
+    fn long_soak_of_cancel_then_pop_does_not_drift() {
+        // Mimic the orchestrator's timeout pattern: schedule a guard, fire
+        // the real event, then (too late) cancel the guard — thousands of
+        // times, with some cancels landing before the pop and some after.
+        let mut s = Scheduler::new();
+        for round in 0..5_000u64 {
+            let guard = s.schedule_in(1.0, E::A);
+            let real = s.schedule_in(0.5, E::B);
+            if round % 2 == 0 {
+                // Timely cancel: guard never fires.
+                assert!(s.cancel(guard));
+                assert_eq!(s.pop().unwrap().1, E::B);
+            } else {
+                // Late cancel: both fire, then both cancels are stale.
+                assert_eq!(s.pop().unwrap().1, E::B);
+                assert_eq!(s.pop().unwrap().1, E::A);
+                assert!(!s.cancel(guard));
+                assert!(!s.cancel(real));
+            }
+            assert_eq!(s.len(), 0, "len drifted at round {round}");
+            assert!(s.tombstones() <= 1, "tombstones grew at round {round}");
+        }
+        assert!(s.pop().is_none());
+        assert_eq!(s.tombstones(), 0, "drained heap leaves no tombstones");
+    }
+
+    #[test]
+    fn peek_matches_next_pop() {
+        let mut s = Scheduler::new();
+        s.schedule_in(2.0, E::B);
+        let a = s.schedule_in(1.0, E::A);
+        s.cancel(a);
+        let (t, e) = {
+            let (t, e) = s.peek().expect("live event");
+            (t, *e)
+        };
+        assert_eq!((t, e), (SimTime::from_secs(2.0), E::B));
+        assert_eq!(s.pop().unwrap(), (SimTime::from_secs(2.0), E::B));
+        assert!(s.peek().is_none());
     }
 
     #[test]

@@ -61,6 +61,81 @@ impl Cluster {
     }
 }
 
+/// A cluster's core pool shared by several missions (fleet mode).
+///
+/// One core is *reserved* per member so a mission can never be starved to
+/// zero processors; the remaining `total - members` cores are contended.
+/// Each member periodically *reallocates* its demand at a decision epoch
+/// and is granted its reserve plus whatever slice of the contended pool
+/// the other members have left unclaimed, so `sum(held) <= total` always.
+/// The grant is a pure function of the call sequence, and the fleet
+/// coordinator executes reallocations in global `(time, shard)` order, so
+/// contention resolves identically on every run regardless of worker
+/// threads: at a tied decision instant the lower shard id claims first.
+#[derive(Debug, Clone)]
+pub struct SharedCores {
+    total: usize,
+    held: Vec<usize>,
+}
+
+impl SharedCores {
+    /// Pool of `total` cores shared by `members` missions, nothing held.
+    ///
+    /// # Panics
+    /// If there are no members or fewer cores than members (each member
+    /// needs its reserved core).
+    pub fn new(total: usize, members: usize) -> Self {
+        assert!(members > 0, "shared core pool needs at least one member");
+        assert!(
+            total >= members,
+            "shared core pool needs at least one core per member \
+             (total={total}, members={members})"
+        );
+        SharedCores {
+            total,
+            held: vec![0; members],
+        }
+    }
+
+    /// Total cores in the pool.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Cores currently held by `member`.
+    pub fn held(&self, member: usize) -> usize {
+        self.held[member]
+    }
+
+    /// Cores not held by anyone.
+    pub fn free(&self) -> usize {
+        self.total - self.held.iter().sum::<usize>()
+    }
+
+    /// Replace `member`'s holding with up to `want` cores (at least one —
+    /// the member's reserve). Returns the grant actually held after the
+    /// call: `1 + min(want - 1, contended cores left by the others)`.
+    pub fn realloc(&mut self, member: usize, want: usize) -> usize {
+        let members = self.held.len();
+        let others_extra: usize = self
+            .held
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != member)
+            .map(|(_, h)| h.saturating_sub(1))
+            .sum();
+        let contended_left = (self.total - members).saturating_sub(others_extra);
+        let grant = 1 + want.saturating_sub(1).min(contended_left);
+        self.held[member] = grant;
+        grant
+    }
+
+    /// Release everything `member` holds (mission complete or halted).
+    pub fn release_all(&mut self, member: usize) {
+        self.held[member] = 0;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -100,5 +175,65 @@ mod tests {
             0.0,
             ScalingFit::from_coeffs([1.0, 0.0, 0.0, 0.0]),
         );
+    }
+}
+
+#[cfg(test)]
+mod shared_cores_tests {
+    use super::*;
+
+    #[test]
+    fn realloc_grants_demand_when_uncontended() {
+        let mut pool = SharedCores::new(64, 2);
+        assert_eq!(pool.realloc(0, 48), 48);
+        assert_eq!(pool.held(0), 48);
+        assert_eq!(pool.free(), 16);
+    }
+
+    #[test]
+    fn contention_never_oversubscribes_and_first_claimer_wins() {
+        let mut pool = SharedCores::new(64, 2);
+        assert_eq!(pool.realloc(0, 48), 48);
+        // Member 1 wants 48 but only its reserve + the leftover remain.
+        assert_eq!(pool.realloc(1, 48), 16);
+        assert_eq!(pool.held(0) + pool.held(1), 64);
+        assert_eq!(pool.free(), 0);
+    }
+
+    #[test]
+    fn every_member_keeps_its_reserved_core() {
+        let mut pool = SharedCores::new(8, 4);
+        assert_eq!(pool.realloc(0, 100), 5); // 1 reserve + 4 contended
+        assert_eq!(pool.realloc(1, 100), 1); // only the reserve left
+        assert_eq!(pool.realloc(2, 100), 1);
+        let total: usize = (0..4).map(|m| pool.held(m)).sum();
+        assert!(total <= 8);
+    }
+
+    #[test]
+    fn shrinking_returns_cores_to_the_pool() {
+        let mut pool = SharedCores::new(16, 2);
+        assert_eq!(pool.realloc(0, 15), 15);
+        assert_eq!(pool.realloc(0, 4), 4);
+        assert_eq!(pool.realloc(1, 12), 12);
+    }
+
+    #[test]
+    fn release_all_frees_everything() {
+        let mut pool = SharedCores::new(16, 2);
+        pool.realloc(0, 10);
+        pool.release_all(0);
+        assert_eq!(pool.held(0), 0);
+        assert_eq!(
+            pool.realloc(1, 16),
+            15,
+            "only the peer reserve is kept back"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "one core per member")]
+    fn fewer_cores_than_members_rejected() {
+        SharedCores::new(3, 4);
     }
 }

@@ -26,8 +26,8 @@ pub mod journal;
 mod network;
 mod store;
 
-pub use cluster::Cluster;
+pub use cluster::{Cluster, SharedCores};
 pub use disk::{Disk, DiskFull};
 pub use journal::crc32;
-pub use network::{BandwidthProbe, Network, SharedLink};
+pub use network::{BandwidthProbe, Network, SharedLink, WanQueue};
 pub use store::{FrameMeta, FrameStore, StoreError};

@@ -261,6 +261,137 @@ impl BandwidthProbe {
     }
 }
 
+/// The shared wide-area uplink contended by a fleet of missions: a single
+/// transfer token with a FIFO wait queue and per-member grant mailboxes.
+///
+/// Exactly one member transfers at a time (the paper's WAN is the scarce
+/// serialized resource between the simulation site and the visualization
+/// site). A member that finds the link busy *enqueues*; on release the
+/// earliest `(request time, member)` waiter is granted. Grants are
+/// mailboxes — the releasing shard never touches the waiter's event queue;
+/// the waiter's own poll discovers the grant, stamped
+/// `max(release time, request time)` so it is always at or after both.
+///
+/// All decisions are pure functions of the call sequence; the fleet
+/// coordinator calls acquire/release in global `(time, shard)` order, so
+/// the token's history is identical on every run.
+#[derive(Debug, Clone)]
+pub struct WanQueue {
+    holder: Option<usize>,
+    /// Waiting members as `(request time secs, member)`, kept sorted.
+    waiters: Vec<(f64, usize)>,
+    /// Pending grant time per member, consumed by the member's own poll.
+    granted: Vec<Option<f64>>,
+}
+
+impl WanQueue {
+    /// A free link shared by `members` missions.
+    pub fn new(members: usize) -> Self {
+        WanQueue {
+            holder: None,
+            waiters: Vec::new(),
+            granted: vec![None; members],
+        }
+    }
+
+    /// Member currently holding (or granted) the link, if any.
+    pub fn holder(&self) -> Option<usize> {
+        self.holder
+    }
+
+    /// Number of members queued behind the holder.
+    pub fn queue_len(&self) -> usize {
+        self.waiters.len()
+    }
+
+    /// Try to take the link at time `now`. Returns `true` on success;
+    /// otherwise the member is enqueued FIFO and will receive a grant.
+    ///
+    /// # Panics
+    /// If the member already holds or is already queued (a double request
+    /// is an engine bug).
+    pub fn try_acquire(&mut self, member: usize, now: f64) -> bool {
+        assert_ne!(self.holder, Some(member), "member already holds the WAN");
+        assert!(
+            !self.waiters.iter().any(|&(_, m)| m == member),
+            "member already queued for the WAN"
+        );
+        assert!(
+            self.granted[member].is_none(),
+            "member has an unconsumed WAN grant"
+        );
+        if self.holder.is_none() {
+            self.holder = Some(member);
+            true
+        } else {
+            let entry = (now, member);
+            let pos = self.waiters.partial_cmp_insert_pos(entry);
+            self.waiters.insert(pos, entry);
+            false
+        }
+    }
+
+    /// Release the link at time `now`, passing it to the earliest waiter
+    /// (its grant mailbox is stamped `max(now, request time)`).
+    ///
+    /// # Panics
+    /// If `member` does not hold the link.
+    pub fn release(&mut self, member: usize, now: f64) {
+        assert_eq!(self.holder, Some(member), "release by non-holder");
+        self.holder = None;
+        if !self.waiters.is_empty() {
+            let (req_at, next) = self.waiters.remove(0);
+            self.holder = Some(next);
+            self.granted[next] = Some(now.max(req_at));
+        }
+    }
+
+    /// The pending grant time for `member`, if one is waiting.
+    pub fn grant_time(&self, member: usize) -> Option<f64> {
+        self.granted[member]
+    }
+
+    /// Consume `member`'s grant (it now owns the link until `release`).
+    ///
+    /// # Panics
+    /// If no grant is pending.
+    pub fn take_grant(&mut self, member: usize) -> f64 {
+        debug_assert_eq!(self.holder, Some(member));
+        self.granted[member]
+            .take()
+            .expect("take_grant without a pending grant")
+    }
+
+    /// Walk away at time `now`: drop a queued request, decline an
+    /// unconsumed grant (the link passes on), or release a held link —
+    /// whichever state the member is in. Used when an outage or mission
+    /// halt cancels interest in the link. No-op if the member has none.
+    pub fn cancel(&mut self, member: usize, now: f64) {
+        if self.granted[member].is_some() {
+            self.granted[member] = None;
+            self.release(member, now);
+        } else if self.holder == Some(member) {
+            self.release(member, now);
+        } else {
+            self.waiters.retain(|&(_, m)| m != member);
+        }
+    }
+}
+
+/// Insertion-position helper for the sorted waiter list (f64 keys are
+/// always finite here, so a partial compare is total in practice).
+trait SortedInsert {
+    fn partial_cmp_insert_pos(&self, entry: (f64, usize)) -> usize;
+}
+
+impl SortedInsert for Vec<(f64, usize)> {
+    fn partial_cmp_insert_pos(&self, entry: (f64, usize)) -> usize {
+        self.iter()
+            .position(|e| (e.0, e.1) > (entry.0, entry.1))
+            .unwrap_or(self.len())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -429,5 +560,85 @@ mod degradation_tests {
     #[should_panic(expected = "positive and finite")]
     fn zero_degradation_rejected() {
         Network::ideal(1e6).set_degradation(0.0);
+    }
+}
+
+#[cfg(test)]
+mod wan_queue_tests {
+    use super::*;
+
+    #[test]
+    fn free_link_acquires_immediately() {
+        let mut wan = WanQueue::new(2);
+        assert!(wan.try_acquire(0, 10.0));
+        assert_eq!(wan.holder(), Some(0));
+    }
+
+    #[test]
+    fn busy_link_queues_fifo_and_grants_on_release() {
+        let mut wan = WanQueue::new(3);
+        assert!(wan.try_acquire(0, 1.0));
+        assert!(!wan.try_acquire(2, 2.0));
+        assert!(!wan.try_acquire(1, 3.0));
+        assert_eq!(wan.queue_len(), 2);
+        wan.release(0, 5.0);
+        // Member 2 asked first: it is granted, stamped at the release.
+        assert_eq!(wan.holder(), Some(2));
+        assert_eq!(wan.grant_time(2), Some(5.0));
+        assert_eq!(wan.grant_time(1), None);
+        assert_eq!(wan.take_grant(2), 5.0);
+        wan.release(2, 7.0);
+        assert_eq!(wan.take_grant(1), 7.0);
+    }
+
+    #[test]
+    fn tied_request_times_grant_lower_member_first() {
+        let mut wan = WanQueue::new(3);
+        assert!(wan.try_acquire(0, 0.0));
+        assert!(!wan.try_acquire(2, 4.0));
+        assert!(!wan.try_acquire(1, 4.0));
+        wan.release(0, 6.0);
+        assert_eq!(wan.holder(), Some(1), "tie broken by member id");
+    }
+
+    #[test]
+    fn grant_time_never_precedes_the_request() {
+        let mut wan = WanQueue::new(2);
+        assert!(wan.try_acquire(0, 0.0));
+        assert!(!wan.try_acquire(1, 9.0));
+        // Release stamped earlier than the request (late-running release
+        // step): the grant is floored at the request time.
+        wan.release(0, 3.0);
+        assert_eq!(wan.take_grant(1), 9.0);
+    }
+
+    #[test]
+    fn cancel_covers_all_three_states() {
+        let mut wan = WanQueue::new(3);
+        // Cancel while holding: passes to the waiter.
+        assert!(wan.try_acquire(0, 0.0));
+        assert!(!wan.try_acquire(1, 1.0));
+        wan.cancel(0, 2.0);
+        assert_eq!(wan.holder(), Some(1));
+        assert_eq!(wan.grant_time(1), Some(2.0));
+        // Cancel an unconsumed grant: link passes on (queue empty → free).
+        wan.cancel(1, 3.0);
+        assert_eq!(wan.holder(), None);
+        assert_eq!(wan.grant_time(1), None);
+        // Cancel a queued request: silently dequeued.
+        assert!(wan.try_acquire(0, 4.0));
+        assert!(!wan.try_acquire(2, 5.0));
+        wan.cancel(2, 6.0);
+        wan.release(0, 7.0);
+        assert_eq!(wan.holder(), None, "cancelled waiter is not granted");
+        // Cancel with no interest at all: no-op.
+        wan.cancel(2, 8.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "release by non-holder")]
+    fn release_by_non_holder_panics() {
+        let mut wan = WanQueue::new(2);
+        wan.release(1, 0.0);
     }
 }

@@ -35,6 +35,14 @@
 //! many *simulated* hours have been covered. `--seed <n>` picks the
 //! first storm seed (storm `i` uses `n + i`); failures are shrunk to a
 //! minimal replayable schedule and the process exits non-zero.
+//!
+//! With `--missions <n>` (optionally `--des-shards <k>` worker threads,
+//! default 2) the drill instead throws seeded random fault storms at the
+//! *sharded* multi-mission engine: n missions contend for one cluster
+//! core pool and one WAN link while their faults abort transfers and
+//! kill processes, the whole fleet is run twice, and any divergence
+//! between the two runs exits non-zero (thread-interleaving bugs shake
+//! out here).
 
 use climate_adaptive::adaptive::chaos;
 use climate_adaptive::adaptive::decision::AlgorithmKind;
@@ -77,6 +85,21 @@ fn main() {
         soak_drill(hours, seed0);
         return;
     }
+    if let Some(i) = args.iter().position(|a| a == "--missions") {
+        let missions: usize = args
+            .get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| usage());
+        let workers: usize = match args.iter().position(|a| a == "--des-shards") {
+            None => 2,
+            Some(j) => args
+                .get(j + 1)
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| usage()),
+        };
+        fleet_drill(missions.max(1), workers.max(1));
+        return;
+    }
     if let Some(i) = args.iter().position(|a| a == "--kill-at") {
         let hours: f64 = args
             .get(i + 1)
@@ -93,9 +116,72 @@ fn main() {
 fn usage() -> ! {
     eprintln!(
         "usage: fault_drill [--kill-at <hours>] [--physics-threads <n|follow>] \
-         [--soak <sim-hours> [--seed <n>]]"
+         [--soak <sim-hours> [--seed <n>]] [--missions <n> [--des-shards <k>]]"
     );
     std::process::exit(2);
+}
+
+/// Chaos storms against the sharded multi-mission engine: every mission
+/// carries its own seeded random fault plan, all of them contend for one
+/// core pool and one WAN link, and the whole fleet must reproduce
+/// byte-identical counters on a second run.
+fn fleet_drill(missions: usize, workers: usize) {
+    use climate_adaptive::adaptive::engine::PipelineOptions;
+    use climate_adaptive::adaptive::fleet::{ensemble, run_fleet, FleetOptions};
+
+    println!("== fleet drill: {missions} mission(s), {workers} DES worker thread(s) ==");
+    let site = Site::inter_department();
+    let mission = Mission::aila().with_duration_hours(6.0);
+    let specs = || {
+        let mut specs = ensemble(
+            &site,
+            &mission,
+            AlgorithmKind::Optimization,
+            &PipelineOptions::default(),
+            missions,
+        );
+        for (i, spec) in specs.iter_mut().enumerate() {
+            // A distinct storm per mission, inside the mission's modeled
+            // wall-hour span so the faults actually land mid-run.
+            spec.options.fault_plan = FaultPlan::random(0xF1EE7 + i as u64, 1.0);
+        }
+        specs
+    };
+    let opts = FleetOptions::for_site(&site, workers);
+    let report = run_fleet(specs(), &opts);
+    for m in &report.missions {
+        let r = &m.report;
+        println!(
+            "  {}: completed={} wall {:>5.2} h, shipped {:>3}, replays {}, \
+             crashes {}, reconnects {}, stalls {}",
+            m.label,
+            r.completed,
+            r.wall_hours,
+            r.frames_shipped,
+            r.replays,
+            r.crashes,
+            r.reconnects,
+            r.stalls,
+        );
+    }
+    println!(
+        "  fleet: {}/{} completed on a {}-core shared pool",
+        report.completed(),
+        missions,
+        report.total_cores
+    );
+    let again = run_fleet(specs(), &opts);
+    let deterministic = report
+        .missions
+        .iter()
+        .zip(&again.missions)
+        .all(|(a, b)| a.report.counters == b.report.counters);
+    if deterministic {
+        println!("  re-run under fresh thread interleaving: byte-identical counters");
+    } else {
+        println!("  RE-RUN DIVERGED — sharded-DES determinism bug");
+        std::process::exit(1);
+    }
 }
 
 /// Seeded chaos storms through the DES until `target_sim_hours` of

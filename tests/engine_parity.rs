@@ -92,6 +92,87 @@ fn des_and_live_drivers_agree_byte_for_byte() {
     assert_frame_conservation(&live);
 }
 
+/// Worker counts to exercise, `FLEET_WORKERS`-overridable (the CI
+/// shard-parity job sweeps 2, 4, 8).
+fn fleet_worker_counts() -> Vec<usize> {
+    std::env::var("FLEET_WORKERS")
+        .unwrap_or_else(|_| "1,2,4,8".into())
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .collect()
+}
+
+/// The ISSUE's hard invariant: a fleet of ONE mission at any worker
+/// count produces byte-identical decision traces, counters, and
+/// visualization tracks to the solo engine — the sharded path is a pure
+/// refactor when nothing is contended.
+#[test]
+fn fleet_of_one_is_byte_identical_to_the_solo_engine() {
+    use climate_adaptive::adaptive::engine::PipelineOptions;
+    use climate_adaptive::adaptive::fleet::{run_fleet, FleetOptions, MissionSpec};
+
+    let site = Site::inter_department();
+    let mission = Mission::aila().with_duration_hours(3.0);
+    // Route the parity through the fault paths too: a crash, an outage
+    // (which in fleet mode exercises WAN release/cancel), and a kill.
+    let plan = FaultPlan::from_events(vec![
+        (0.05, Fault::SimCrash),
+        (
+            0.2,
+            Fault::ReceiverOutage {
+                duration_hours: 0.05,
+            },
+        ),
+        (0.4, Fault::ProcessKill { at_hours: 0.4 }),
+    ]);
+    let options = PipelineOptions {
+        fault_plan: plan,
+        ..Default::default()
+    };
+
+    let solo = Orchestrator::new(site.clone(), mission.clone(), AlgorithmKind::Optimization)
+        .with_options(options.clone())
+        .run();
+
+    for workers in fleet_worker_counts() {
+        let spec = MissionSpec {
+            label: "solo-parity".into(),
+            site: site.clone(),
+            mission: mission.clone(),
+            algorithm: AlgorithmKind::Optimization,
+            options: options.clone(),
+        };
+        let fleet = run_fleet(vec![spec], &FleetOptions::for_site(&site, workers));
+        let m = &fleet.missions[0].report;
+
+        assert_eq!(
+            m.counters, solo.report.counters,
+            "fleet-of-1 counters diverged at {workers} workers"
+        );
+        for series in solo.series.iter() {
+            let key = &series.name;
+            let f = m
+                .series
+                .get(key)
+                .unwrap_or_else(|| panic!("fleet run lost series `{key}`"));
+            assert_eq!(
+                f.points, series.points,
+                "series `{key}` diverged at {workers} workers"
+            );
+        }
+        assert_eq!(
+            m.track.to_csv(),
+            solo.track.to_csv(),
+            "tracks diverged at {workers} workers"
+        );
+        assert_eq!(m.completed, solo.completed);
+        assert_eq!(m.ended_stalled, solo.ended_stalled);
+        assert_eq!(m.wall_hours, solo.wall_hours);
+        assert_eq!(m.sim_minutes, solo.sim_minutes);
+        assert_frame_conservation(m);
+    }
+}
+
 proptest! {
     // Each case is a full live-driver run with real frame encoding;
     // keep the count modest.

@@ -1,0 +1,162 @@
+//! Determinism of the sharded multi-mission fleet.
+//!
+//! The fleet advances N mission engines on independent clocks and
+//! synchronizes only at shared-resource events through the conservative
+//! `(time, shard)` horizon. The contract under test: worker-thread count
+//! and OS scheduling change *wall time only* — every mission's report
+//! (decision traces, counters, progress series) is a pure function of
+//! the mission specs. Each multi-threaded configuration is run in a loop
+//! so a racy interleaving would have many chances to surface.
+
+use climate_adaptive::adaptive::decision::AlgorithmKind;
+use climate_adaptive::adaptive::engine::{PipelineCounters, PipelineOptions};
+use climate_adaptive::adaptive::fleet::{
+    ensemble, run_fleet, FleetOptions, FleetReport, MissionSpec,
+};
+use climate_adaptive::adaptive::orchestrator::{Fault, FaultPlan};
+use climate_adaptive::prelude::*;
+
+type Fingerprint = Vec<(String, PipelineCounters, Vec<(String, Vec<(f64, f64)>)>)>;
+
+/// Everything observable about a fleet run, in mission order.
+fn fingerprint(report: &FleetReport) -> Fingerprint {
+    report
+        .missions
+        .iter()
+        .map(|m| {
+            let series = m
+                .report
+                .series
+                .iter()
+                .map(|s| (s.name.clone(), s.points.clone()))
+                .collect();
+            (m.label.clone(), m.report.counters.clone(), series)
+        })
+        .collect()
+}
+
+fn quick_mission() -> Mission {
+    Mission::aila().with_duration_hours(2.0)
+}
+
+#[test]
+fn fleet_reports_are_invariant_under_worker_count() {
+    let site = Site::inter_department();
+    let specs = |n| {
+        ensemble(
+            &site,
+            &quick_mission(),
+            AlgorithmKind::Optimization,
+            &PipelineOptions::default(),
+            n,
+        )
+    };
+    let opts = |w| FleetOptions::for_site(&site, w);
+
+    let reference = fingerprint(&run_fleet(specs(4), &opts(1)));
+    for workers in [2usize, 4, 8] {
+        for round in 0..3 {
+            let run = fingerprint(&run_fleet(specs(4), &opts(workers)));
+            assert_eq!(
+                run, reference,
+                "fleet diverged at {workers} workers (round {round})"
+            );
+        }
+    }
+}
+
+/// Two missions racing for the same scarce cluster allocation must
+/// serialize identically through the coordinator on every run,
+/// regardless of thread interleaving — and the contention must actually
+/// bite (the pool is half what the two would ask for together).
+#[test]
+fn cluster_contention_serializes_deterministically() {
+    let site = Site::inter_department();
+    let mission = quick_mission();
+    let specs = || {
+        ensemble(
+            &site,
+            &mission,
+            AlgorithmKind::Optimization,
+            &PipelineOptions::default(),
+            2,
+        )
+    };
+    // A pool far below 2× the solo demand forces the epoch-by-epoch
+    // realloc race the coordinator must order.
+    let scarce = FleetOptions {
+        workers: 2,
+        total_cores: (site.cluster.max_cores / 2).max(2),
+    };
+
+    let reference_run = run_fleet(specs(), &scarce);
+    let reference = fingerprint(&reference_run);
+
+    // The shared pool must have constrained someone: nobody can hold the
+    // solo-sized allocation when the pool is half of twice that.
+    let max_procs_seen: f64 = reference_run
+        .missions
+        .iter()
+        .flat_map(|m| m.report.series.get("procs").unwrap().points.iter())
+        .map(|&(_, p)| p)
+        .fold(0.0, f64::max);
+    assert!(
+        max_procs_seen <= scarce.total_cores as f64,
+        "a mission held {max_procs_seen} cores from a {}-core pool",
+        scarce.total_cores
+    );
+
+    for round in 0..10 {
+        let run = fingerprint(&run_fleet(specs(), &scarce));
+        assert_eq!(run, reference, "contended fleet diverged (round {round})");
+    }
+    // And the single-threaded coordinator agrees with the racy one.
+    let serial = fingerprint(&run_fleet(
+        specs(),
+        &FleetOptions {
+            workers: 1,
+            ..scarce
+        },
+    ));
+    assert_eq!(serial, reference, "workers=1 and workers=2 disagree");
+}
+
+/// Fault storms (WAN aborts, kills, crashes) hit every shared-resource
+/// path; the fleet must stay deterministic through them.
+#[test]
+fn faulted_fleet_is_deterministic_across_workers() {
+    let site = Site::inter_department();
+    let mission = quick_mission();
+    let specs = || -> Vec<MissionSpec> {
+        let mut specs = ensemble(
+            &site,
+            &mission,
+            AlgorithmKind::Optimization,
+            &PipelineOptions::default(),
+            3,
+        );
+        for (i, spec) in specs.iter_mut().enumerate() {
+            spec.options.fault_plan = FaultPlan::from_events(vec![
+                (0.02 + 0.01 * i as f64, Fault::SimCrash),
+                (
+                    0.05 + 0.01 * i as f64,
+                    Fault::ReceiverOutage {
+                        duration_hours: 0.03,
+                    },
+                ),
+                (0.08, Fault::ProcessKill { at_hours: 0.08 }),
+            ]);
+        }
+        specs
+    };
+    let reference = fingerprint(&run_fleet(specs(), &FleetOptions::for_site(&site, 1)));
+    for workers in [2usize, 4] {
+        for round in 0..3 {
+            let run = fingerprint(&run_fleet(specs(), &FleetOptions::for_site(&site, workers)));
+            assert_eq!(
+                run, reference,
+                "faulted fleet diverged at {workers} workers (round {round})"
+            );
+        }
+    }
+}
