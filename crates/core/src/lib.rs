@@ -59,4 +59,5 @@ pub mod orchestrator;
 pub mod qos;
 pub mod recovery;
 pub mod resilience;
+pub mod server;
 pub mod steering;

@@ -46,10 +46,10 @@ use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use viz::TrackLog;
 
-const FRAME_MAGIC: &[u8; 4] = b"AFR3";
+pub(crate) const FRAME_MAGIC: &[u8; 4] = b"AFR3";
 /// Magic bytes opening the resume handshake ("AHL2"): the receiver's
 /// hello carries its last-applied sequence so a sender — or the broker's
 /// per-client cursors ([`crate::broker`]) — resumes exactly where the
@@ -57,21 +57,28 @@ const FRAME_MAGIC: &[u8; 4] = b"AFR3";
 pub const HANDSHAKE_MAGIC: &[u8; 4] = b"AHL2";
 /// Upper bound on a frame payload (defends the receiver against a corrupt
 /// length prefix).
-const MAX_FRAME_BYTES: u32 = 1 << 30;
+pub(crate) const MAX_FRAME_BYTES: u32 = 1 << 30;
 /// Default socket connect/read/write timeout for senders.
 const DEFAULT_IO_TIMEOUT: Duration = Duration::from_secs(5);
 
-const ACK_APPLIED: u8 = b'+';
-const ACK_REJECTED: u8 = b'-';
-const ACK_PROTOCOL: u8 = b'!';
+pub(crate) const ACK_APPLIED: u8 = b'+';
+pub(crate) const ACK_REJECTED: u8 = b'-';
+pub(crate) const ACK_PROTOCOL: u8 = b'!';
 
 /// Transport failures.
 #[derive(Debug)]
 pub enum TransportError {
     /// Socket-level failure.
     Io(std::io::Error),
-    /// The peer sent something that is not a frame.
+    /// The peer sent something that is not a frame. Terminal for the
+    /// payload: resending the same bytes cannot succeed.
     BadFrame(&'static str),
+    /// The resume handshake went wrong: the hello was cut short, stalled
+    /// past the handshake deadline, or carried the wrong magic. Unlike
+    /// [`BadFrame`](Self::BadFrame) this is *retryable* — a fresh
+    /// connection may find a healthy peer — and a resilient sender counts
+    /// the successful retry as a reconnect.
+    Handshake(&'static str),
     /// The peer stopped responding within the socket timeout.
     Timeout,
 }
@@ -81,6 +88,7 @@ impl std::fmt::Display for TransportError {
         match self {
             TransportError::Io(e) => write!(f, "transport I/O error: {e}"),
             TransportError::BadFrame(m) => write!(f, "bad frame: {m}"),
+            TransportError::Handshake(m) => write!(f, "handshake failed: {m}"),
             TransportError::Timeout => write!(f, "transport timeout"),
         }
     }
@@ -102,6 +110,7 @@ impl From<std::io::Error> for TransportError {
 }
 
 /// Frame sender: the simulation site's end of the link.
+#[derive(Debug)]
 pub struct FrameSender {
     stream: TcpStream,
     next_seq: u64,
@@ -130,9 +139,12 @@ impl FrameSender {
             peer_last_applied: 0,
         };
         let mut hello = [0u8; 12];
-        sender.read_exact_to(&mut hello)?;
+        read_exact_deadline(&mut sender.stream, &mut hello, timeout)?;
+        // Restore the steady-state socket timeout the deadline loop
+        // tightened per-read.
+        sender.stream.set_read_timeout(Some(timeout))?;
         if &hello[..4] != HANDSHAKE_MAGIC {
-            return Err(TransportError::BadFrame("receiver handshake missing"));
+            return Err(TransportError::Handshake("bad handshake magic"));
         }
         sender.peer_last_applied = u64::from_le_bytes(hello[4..12].try_into().expect("8 bytes"));
         sender.next_seq = sender.peer_last_applied + 1;
@@ -425,6 +437,40 @@ fn serve_connection(
     }
 }
 
+/// `read_exact` under one *overall* deadline: the per-read socket timeout
+/// shrinks to the time remaining, so a peer trickling one byte per
+/// almost-timeout cannot stretch a 12-byte hello into `12 × timeout` —
+/// the whole read is bounded by `deadline`. Short reads (EOF mid-buffer)
+/// and deadline expiry both surface as the typed
+/// [`TransportError::Handshake`], never a hang.
+pub(crate) fn read_exact_deadline(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    deadline: Duration,
+) -> Result<(), TransportError> {
+    let t0 = Instant::now();
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        let remaining = deadline.saturating_sub(t0.elapsed());
+        if remaining.is_zero() {
+            return Err(TransportError::Handshake("handshake deadline exceeded"));
+        }
+        stream.set_read_timeout(Some(remaining))?;
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => return Err(TransportError::Handshake("hello cut short")),
+            Ok(n) => filled += n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                return Err(TransportError::Handshake("handshake deadline exceeded"));
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(())
+}
+
 /// Write a status byte plus the last-applied sequence; false on failure.
 fn send_ack(stream: &mut TcpStream, status: u8, last_applied: u64) -> bool {
     let mut ack = [0u8; 9];
@@ -686,6 +732,119 @@ mod tests {
         let last = track.fixes().last().expect("fixes recorded");
         assert_eq!(last.lon, lon);
         assert_eq!(last.lat, lat);
+    }
+
+    #[test]
+    fn short_read_hello_is_a_typed_handshake_error() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let imposter = std::thread::spawn(move || {
+            let (mut conn, _) = listener.accept().expect("accept");
+            // Four of the twelve hello bytes, then a clean close: the
+            // old `read_exact` surfaced this as a bare I/O error (or, on
+            // a half-open peer, a hang).
+            let _ = conn.write_all(b"AHL2");
+        });
+        let err = FrameSender::connect_with_timeout(addr, Duration::from_millis(500)).unwrap_err();
+        assert!(
+            matches!(err, TransportError::Handshake("hello cut short")),
+            "got {err:?}"
+        );
+        imposter.join().expect("imposter thread");
+    }
+
+    #[test]
+    fn stalled_handshake_fails_at_the_deadline_not_per_byte() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let imposter = std::thread::spawn(move || {
+            let (mut conn, _) = listener.accept().expect("accept");
+            // Slow-loris hello: one byte per tick, each tick inside a
+            // naive per-read timeout. Only an overall deadline bounds
+            // this; per-read timeouts alone would tolerate it for
+            // 12 x timeout.
+            let mut hello = [0u8; 12];
+            hello[..4].copy_from_slice(b"AHL2");
+            for b in hello {
+                if conn.write_all(&[b]).is_err() {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(60));
+            }
+        });
+        let started = Instant::now();
+        let err = FrameSender::connect_with_timeout(addr, Duration::from_millis(200)).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                TransportError::Handshake("handshake deadline exceeded")
+            ),
+            "got {err:?}"
+        );
+        assert!(
+            started.elapsed() < Duration::from_millis(900),
+            "the whole handshake is bounded by one deadline, \
+             took {:?}",
+            started.elapsed()
+        );
+        imposter.join().expect("imposter thread");
+    }
+
+    #[test]
+    fn garbage_hello_magic_is_retryable_and_counts_a_reconnect() {
+        use crate::resilience::{BackoffPolicy, ResilientSender};
+
+        let fake = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let fake_addr = fake.local_addr().expect("addr");
+        let imposter = std::thread::spawn(move || {
+            let (mut conn, _) = fake.accept().expect("accept");
+            // Right length, wrong magic. This must classify as the
+            // retryable Handshake error — a terminal BadFrame here would
+            // stop the sender from ever trying a healthy replacement.
+            let _ = conn.write_all(b"XXXX\x00\x00\x00\x00\x00\x00\x00\x00");
+        });
+        let err = FrameSender::connect_with_timeout(fake_addr, Duration::from_millis(500))
+            .expect_err("wrong magic is refused");
+        assert!(
+            matches!(err, TransportError::Handshake("bad handshake magic")),
+            "got {err:?}"
+        );
+        imposter.join().expect("imposter thread");
+
+        // The resilient sender retries past the imposter onto a healthy
+        // receiver and books the recovery as a reconnect.
+        let fake2 = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let fake2_addr = fake2.local_addr().expect("addr");
+        let imposter2 = std::thread::spawn(move || {
+            let (mut conn, _) = fake2.accept().expect("accept");
+            let _ = conn.write_all(b"XXXX\x00\x00\x00\x00\x00\x00\x00\x00");
+        });
+        let receiver = FrameReceiver::start().expect("bind");
+        let real_addr = receiver.addr();
+        let mut calls = 0u32;
+        let mut sender = ResilientSender::new(
+            move || {
+                calls += 1;
+                if calls == 1 {
+                    fake2_addr
+                } else {
+                    real_addr
+                }
+            },
+            BackoffPolicy::new(7).with_base(Duration::from_millis(5)),
+        )
+        .with_io_timeout(Duration::from_millis(500));
+        let model = WrfModel::new(ModelConfig::aila_default().with_decimation(16)).expect("valid");
+        sender
+            .send(&model.frame().to_bytes())
+            .expect("retried onto the healthy receiver");
+        assert_eq!(
+            sender.stats().reconnects,
+            1,
+            "the failed handshake counted as a reconnect"
+        );
+        assert_eq!(receiver.frames_received(), 1);
+        imposter2.join().expect("imposter thread");
     }
 
     #[test]

@@ -41,6 +41,13 @@ pub struct BackoffPolicy {
     base: Duration,
     cap: Duration,
     max_attempts: u32,
+    /// Total wall-clock retry budget: once the *sum* of delays handed out
+    /// reaches this, [`checked_delay`](Self::checked_delay) refuses
+    /// further retries. `None` = attempts-only bound (the historical
+    /// behavior).
+    max_total_delay: Option<Duration>,
+    /// Sum of every delay handed out so far (saturating).
+    spent: Duration,
     seed: u64,
     rng: crate::fault::SplitMix64,
 }
@@ -52,6 +59,8 @@ impl BackoffPolicy {
             base: Duration::from_millis(50),
             cap: Duration::from_secs(2),
             max_attempts: 8,
+            max_total_delay: None,
+            spent: Duration::ZERO,
             seed,
             rng: crate::fault::SplitMix64::new(seed),
         }
@@ -76,9 +85,30 @@ impl BackoffPolicy {
         self
     }
 
+    /// Builder: total retry wall-clock budget. A policy with a large
+    /// `max_attempts` but a capped per-retry delay can still spin against
+    /// a permanently dead receiver for `attempts × cap`; the wall budget
+    /// bounds the *sum* of sleeps instead, so exhaustion arrives in
+    /// bounded time regardless of the attempt count.
+    pub fn with_max_total_delay(mut self, budget: Duration) -> Self {
+        self.max_total_delay = Some(budget);
+        self
+    }
+
     /// Attempts before giving up.
     pub fn max_attempts(&self) -> u32 {
         self.max_attempts
+    }
+
+    /// The total retry wall-clock budget, if one is set.
+    pub fn max_total_delay(&self) -> Option<Duration> {
+        self.max_total_delay
+    }
+
+    /// Total delay handed out so far (saturating sum over
+    /// [`delay`](Self::delay) and [`checked_delay`](Self::checked_delay)).
+    pub fn total_delay_spent(&self) -> Duration {
+        self.spent
     }
 
     /// Jittered delay before retry number `attempt` (0-based).
@@ -87,7 +117,29 @@ impl BackoffPolicy {
             .base
             .saturating_mul(1u32 << attempt.min(16))
             .min(self.cap);
-        exp.mul_f64(0.5 + 0.5 * self.rng.unit_f64())
+        let d = exp.mul_f64(0.5 + 0.5 * self.rng.unit_f64());
+        self.spent = self.spent.saturating_add(d);
+        d
+    }
+
+    /// [`delay`](Self::delay) under the wall-clock budget: `None` once
+    /// the budget is exhausted (the caller must stop retrying), otherwise
+    /// the jittered delay clamped so the cumulative sleep never exceeds
+    /// the budget. Without a budget this never refuses.
+    ///
+    /// Saturates rather than overflows: a budget of [`Duration::MAX`]
+    /// never exhausts, and absurd attempt counts keep the per-retry delay
+    /// capped exactly as [`delay`](Self::delay) does.
+    pub fn checked_delay(&mut self, attempt: u32) -> Option<Duration> {
+        let Some(budget) = self.max_total_delay else {
+            return Some(self.delay(attempt));
+        };
+        let remaining = budget.checked_sub(self.spent)?;
+        if remaining.is_zero() {
+            return None;
+        }
+        let d = self.delay(attempt).min(remaining);
+        Some(d)
     }
 
     /// Deterministic per-client jittered delay for retry number `attempt`
@@ -127,6 +179,10 @@ pub struct SenderStats {
     /// Frames the receiver reported as already applied (resume-from-ack
     /// skipped re-applying them).
     pub deduplicated: u64,
+    /// Sends abandoned because the retry *wall-clock* budget
+    /// ([`BackoffPolicy::with_max_total_delay`]) ran out — a permanently
+    /// dead receiver surfaces here in bounded time.
+    pub retry_budget_exhausted: u64,
 }
 
 /// A [`FrameSender`] wrapper that survives receiver restarts.
@@ -178,12 +234,16 @@ impl<A: FnMut() -> SocketAddr> ResilientSender<A> {
     fn connection(&mut self) -> Result<&mut FrameSender, TransportError> {
         if self.conn.is_none() {
             let addr = (self.addr)();
+            let reattempt = self.ever_connected;
+            // Mark the attempt *before* connecting: a torn or garbage
+            // handshake is a connection event too, so the establishment
+            // that follows it counts as a reconnect, not a first contact.
+            self.ever_connected = true;
             let sender = FrameSender::connect_with_timeout(addr, self.io_timeout)?;
-            if self.ever_connected {
+            if reattempt {
                 // Re-establishment, not the first connection of the run.
                 self.stats.reconnects += 1;
             }
-            self.ever_connected = true;
             self.conn = Some(sender);
         }
         Ok(self.conn.as_mut().expect("just inserted"))
@@ -228,7 +288,15 @@ impl<A: FnMut() -> SocketAddr> ResilientSender<A> {
                     if attempt >= self.backoff.max_attempts() {
                         return Err(e);
                     }
-                    std::thread::sleep(self.backoff.delay(attempt - 1));
+                    match self.backoff.checked_delay(attempt - 1) {
+                        Some(d) => std::thread::sleep(d),
+                        None => {
+                            // Wall-clock retry budget exhausted: give up
+                            // in bounded time even though attempts remain.
+                            self.stats.retry_budget_exhausted += 1;
+                            return Err(e);
+                        }
+                    }
                     first_try = false;
                 }
             }
@@ -327,6 +395,96 @@ mod tests {
             .with_cap(Duration::from_secs(1 << 41));
         let d = big.delay(u32::MAX);
         assert!(d <= Duration::from_secs(1 << 41), "saturating, capped");
+    }
+
+    #[test]
+    fn retry_wall_budget_exhausts_in_bounded_time() {
+        // 1000 attempts × 2 s cap would spin for ~half an hour against a
+        // dead receiver; the wall budget bounds the total sleep instead.
+        let budget = Duration::from_millis(400);
+        let mut p = BackoffPolicy::new(3)
+            .with_base(Duration::from_millis(100))
+            .with_cap(Duration::from_millis(200))
+            .with_max_attempts(1000)
+            .with_max_total_delay(budget);
+        let mut total = Duration::ZERO;
+        let mut attempts = 0u32;
+        while let Some(d) = p.checked_delay(attempts) {
+            total += d;
+            attempts += 1;
+            assert!(attempts < 100, "budget never exhausted");
+        }
+        assert!(
+            total <= budget,
+            "slept {total:?} past the {budget:?} budget"
+        );
+        assert!(attempts >= 2, "a 400 ms budget affords at least two waits");
+        assert!(attempts < 1000, "exhausted long before the attempt bound");
+    }
+
+    #[test]
+    fn retry_budget_overflow_and_saturation_edges() {
+        // Duration::MAX budget: the saturating spent-counter must never
+        // wrap into a spurious exhaustion, even with enormous delays.
+        let mut p = BackoffPolicy::new(11)
+            .with_base(Duration::from_secs(1 << 40))
+            .with_cap(Duration::from_secs(1 << 41))
+            .with_max_total_delay(Duration::MAX);
+        for attempt in [0, 31, 64, u32::MAX] {
+            let d = p.checked_delay(attempt).expect("MAX budget never refuses");
+            assert!(d <= Duration::from_secs(1 << 41));
+        }
+        // Zero budget: refused immediately, nothing slept.
+        let mut z = BackoffPolicy::new(11).with_max_total_delay(Duration::ZERO);
+        assert_eq!(z.checked_delay(0), None);
+        assert_eq!(z.total_delay_spent(), Duration::ZERO);
+        // No budget: checked_delay behaves exactly like delay (same RNG
+        // stream) and never refuses.
+        let mut a = BackoffPolicy::new(13);
+        let mut b = BackoffPolicy::new(13);
+        for k in 0..6 {
+            assert_eq!(a.checked_delay(k), Some(b.delay(k)));
+        }
+        // The final grant is clamped so the cumulative sleep never
+        // exceeds the budget, then the next call refuses.
+        let budget = Duration::from_millis(150);
+        let mut c = BackoffPolicy::new(17)
+            .with_base(Duration::from_millis(100))
+            .with_cap(Duration::from_millis(100))
+            .with_max_total_delay(budget);
+        let mut total = Duration::ZERO;
+        while let Some(d) = c.checked_delay(0) {
+            total += d;
+        }
+        assert!(total <= budget);
+    }
+
+    #[test]
+    fn resilient_sender_counts_retry_budget_exhaustion() {
+        use std::net::TcpListener;
+        // A listener that never accepts: loopback connects land in the
+        // backlog but no hello ever arrives, so every attempt times out —
+        // and the wall budget (not the 1000-attempt bound) ends the send.
+        let dead = TcpListener::bind(("127.0.0.1", 0)).expect("bind");
+        let addr = dead.local_addr().expect("addr");
+        let mut sender = ResilientSender::new(
+            move || addr,
+            BackoffPolicy::new(21)
+                .with_base(Duration::from_millis(10))
+                .with_cap(Duration::from_millis(20))
+                .with_max_attempts(1000)
+                .with_max_total_delay(Duration::from_millis(100)),
+        )
+        .with_io_timeout(Duration::from_millis(100));
+        let started = std::time::Instant::now();
+        let err = sender.send(b"doomed").unwrap_err();
+        assert!(!matches!(err, TransportError::BadFrame(_)), "I/O, not nack");
+        assert_eq!(sender.stats().retry_budget_exhausted, 1);
+        assert_eq!(sender.stats().frames_acked, 0);
+        assert!(
+            started.elapsed() < Duration::from_secs(30),
+            "exhaustion must arrive in bounded wall time"
+        );
     }
 
     #[test]

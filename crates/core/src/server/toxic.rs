@@ -1,0 +1,538 @@
+//! Deterministic socket fault proxy: a loopback man-in-the-middle that
+//! turns the chaos harness's *modeled* faults into real wire behavior.
+//!
+//! The proxy sits between a viewer and the [`FrameServer`], forwarding
+//! bytes both ways and injecting one seeded [`Toxic`] per connection:
+//! added latency/jitter, a bandwidth cap, an abrupt reset after N
+//! bytes, a half-open partition (the peer vanishes without a FIN),
+//! slow-loris trickle forwarding, or a torn mid-handshake disconnect
+//! that cuts the client hello short. Which connection gets which toxic
+//! is a pure function of the plan's seed and the connection index
+//! (SplitMix64, like [`crate::fault::FaultPlan`]), so a storm replays
+//! from one `u64` — the *fault schedule* is deterministic even though
+//! real-socket interleaving is not, which is exactly why the soak's
+//! invariants must hold for every interleaving.
+//!
+//! Roughly half of all connections are left healthy so retries through
+//! the proxy eventually make progress, mirroring the chaos harness's
+//! storm-with-recovery shape.
+
+use super::FrameServer;
+use crate::fault::SplitMix64;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// One per-connection fault.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Toxic {
+    /// Delay each forwarded chunk by `base_ms` plus seeded jitter.
+    Latency { base_ms: u64, jitter_ms: u64 },
+    /// Cap server→client throughput.
+    BandwidthCap { bytes_per_sec: u64 },
+    /// Abruptly close both directions after forwarding this many
+    /// server→client bytes (pending unread data turns the close into a
+    /// real RST on Linux).
+    Reset { after_bytes: u64 },
+    /// After this many server→client bytes, keep *reading* both peers
+    /// but forward nothing: each side sees a silent, still-open socket —
+    /// the classic half-open partition only deadlines can detect.
+    HalfOpen { after_bytes: u64 },
+    /// Forward server→client traffic a few bytes per tick: a slow-loris
+    /// reader as seen by the server's write path.
+    SlowLoris { bytes_per_tick: usize, tick_ms: u64 },
+    /// Forward only this many client→server bytes (fewer than the
+    /// 20-byte hello), then close both: a torn mid-handshake disconnect.
+    TornHandshake { after_bytes: u64 },
+}
+
+/// Seeded per-connection toxic assignment.
+#[derive(Debug, Clone)]
+pub struct ToxicPlan {
+    seed: u64,
+}
+
+impl ToxicPlan {
+    /// A storm plan; every fault decision derives from `seed`.
+    pub fn storm(seed: u64) -> Self {
+        Self { seed }
+    }
+
+    /// The toxic (if any) for the `idx`-th accepted connection. Pure:
+    /// the same (seed, idx) always maps to the same fault.
+    pub fn for_connection(&self, idx: u64) -> Option<Toxic> {
+        let mut rng = SplitMix64::new(self.seed ^ idx.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        // Half the connections stay healthy so retries drain the storm.
+        if rng.unit_f64() < 0.5 {
+            return None;
+        }
+        Some(match rng.next_u64() % 6 {
+            0 => Toxic::Latency {
+                base_ms: 5 + rng.next_u64() % 20,
+                jitter_ms: 1 + rng.next_u64() % 10,
+            },
+            1 => Toxic::BandwidthCap {
+                bytes_per_sec: 2_000 + rng.next_u64() % 8_000,
+            },
+            2 => Toxic::Reset {
+                after_bytes: 30 + rng.next_u64() % 400,
+            },
+            3 => Toxic::HalfOpen {
+                after_bytes: 30 + rng.next_u64() % 400,
+            },
+            4 => Toxic::SlowLoris {
+                bytes_per_tick: 3 + (rng.next_u64() % 8) as usize,
+                tick_ms: 5 + rng.next_u64() % 15,
+            },
+            _ => Toxic::TornHandshake {
+                after_bytes: rng.next_u64() % 19,
+            },
+        })
+    }
+}
+
+/// Proxy counters (informational; the invariants live server/viewer
+/// side).
+#[derive(Debug, Default)]
+pub struct ToxicCounters {
+    /// Connections accepted.
+    pub connections: AtomicU64,
+    /// Connections that received a toxic.
+    pub faulted: AtomicU64,
+    /// Abrupt resets injected.
+    pub resets: AtomicU64,
+    /// Half-open partitions entered.
+    pub half_opens: AtomicU64,
+    /// Handshakes torn mid-hello.
+    pub torn_handshakes: AtomicU64,
+}
+
+/// Final tallies from [`ToxicProxy::shutdown`].
+#[derive(Debug, Clone, Copy)]
+pub struct ToxicReport {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Connections that received a toxic.
+    pub faulted: u64,
+    /// Abrupt resets injected.
+    pub resets: u64,
+    /// Half-open partitions entered.
+    pub half_opens: u64,
+    /// Handshakes torn mid-hello.
+    pub torn_handshakes: u64,
+}
+
+/// The loopback man-in-the-middle.
+pub struct ToxicProxy {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    counters: Arc<ToxicCounters>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl ToxicProxy {
+    /// Start a proxy in front of `upstream` (usually
+    /// [`FrameServer::addr`]).
+    pub fn start(upstream: SocketAddr, plan: ToxicPlan) -> Result<Self, std::io::Error> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let counters = Arc::new(ToxicCounters::default());
+        let accept = {
+            let stop = Arc::clone(&stop);
+            let counters = Arc::clone(&counters);
+            std::thread::Builder::new()
+                .name("toxic-accept".into())
+                .spawn(move || {
+                    let mut idx = 0u64;
+                    let mut pumps: Vec<JoinHandle<()>> = Vec::new();
+                    loop {
+                        if stop.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        match listener.accept() {
+                            Ok((client, _)) => {
+                                counters.connections.fetch_add(1, Ordering::SeqCst);
+                                let toxic = plan.for_connection(idx);
+                                if toxic.is_some() {
+                                    counters.faulted.fetch_add(1, Ordering::SeqCst);
+                                }
+                                let seed = plan.seed ^ idx;
+                                idx += 1;
+                                match TcpStream::connect_timeout(&upstream, Duration::from_secs(2))
+                                {
+                                    Ok(server) => pumps.push(spawn_connection(
+                                        client,
+                                        server,
+                                        toxic,
+                                        seed,
+                                        Arc::clone(&stop),
+                                        Arc::clone(&counters),
+                                    )),
+                                    Err(_) => drop(client),
+                                }
+                            }
+                            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                                std::thread::sleep(Duration::from_millis(5));
+                            }
+                            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+                        }
+                    }
+                    for p in pumps {
+                        let _ = p.join();
+                    }
+                })
+                .expect("spawn toxic accept thread")
+        };
+        Ok(Self {
+            addr,
+            stop,
+            counters,
+            accept: Some(accept),
+        })
+    }
+
+    /// The address viewers should connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop the proxy, dropping every in-flight connection.
+    pub fn shutdown(mut self) -> ToxicReport {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        ToxicReport {
+            connections: self.counters.connections.load(Ordering::SeqCst),
+            faulted: self.counters.faulted.load(Ordering::SeqCst),
+            resets: self.counters.resets.load(Ordering::SeqCst),
+            half_opens: self.counters.half_opens.load(Ordering::SeqCst),
+            torn_handshakes: self.counters.torn_handshakes.load(Ordering::SeqCst),
+        }
+    }
+}
+
+impl Drop for ToxicProxy {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Per-connection state shared by the two pump threads.
+struct ConnState {
+    stop: Arc<AtomicBool>,
+    /// Half-open partition engaged: read and discard, forward nothing.
+    partitioned: AtomicBool,
+    /// Connection torn down (reset / torn handshake): both pumps exit.
+    dead: AtomicBool,
+    /// Server→client bytes forwarded so far.
+    down_bytes: AtomicU64,
+    /// Client→server bytes forwarded so far.
+    up_bytes: AtomicU64,
+}
+
+fn spawn_connection(
+    client: TcpStream,
+    server: TcpStream,
+    toxic: Option<Toxic>,
+    seed: u64,
+    stop: Arc<AtomicBool>,
+    counters: Arc<ToxicCounters>,
+) -> JoinHandle<()> {
+    let state = Arc::new(ConnState {
+        stop,
+        partitioned: AtomicBool::new(false),
+        dead: AtomicBool::new(false),
+        down_bytes: AtomicU64::new(0),
+        up_bytes: AtomicU64::new(0),
+    });
+    let c2s = {
+        let client = client.try_clone().expect("clone client");
+        let server = server.try_clone().expect("clone server");
+        let state = Arc::clone(&state);
+        let counters = Arc::clone(&counters);
+        std::thread::Builder::new()
+            .name("toxic-up".into())
+            .stack_size(128 * 1024)
+            .spawn(move || pump(client, server, Direction::Up, toxic, seed, state, counters))
+            .expect("spawn pump")
+    };
+    let state2 = Arc::clone(&state);
+    std::thread::Builder::new()
+        .name("toxic-down".into())
+        .stack_size(128 * 1024)
+        .spawn(move || {
+            pump(
+                server,
+                client,
+                Direction::Down,
+                toxic,
+                seed ^ 0x5bf0_3635,
+                state2,
+                counters,
+            );
+            let _ = c2s.join();
+        })
+        .expect("spawn pump")
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Direction {
+    /// client → server (hellos, acks).
+    Up,
+    /// server → client (admissions, frames, controls).
+    Down,
+}
+
+/// Forward bytes `src` → `dst`, applying the connection's toxic.
+fn pump(
+    mut src: TcpStream,
+    mut dst: TcpStream,
+    dir: Direction,
+    toxic: Option<Toxic>,
+    seed: u64,
+    state: Arc<ConnState>,
+    counters: Arc<ToxicCounters>,
+) {
+    let _ = src.set_read_timeout(Some(Duration::from_millis(20)));
+    let _ = src.set_nodelay(true);
+    let _ = dst.set_nodelay(true);
+    let mut rng = SplitMix64::new(seed);
+    let mut buf = [0u8; 4096];
+    loop {
+        if state.stop.load(Ordering::SeqCst) || state.dead.load(Ordering::SeqCst) {
+            return;
+        }
+        let n = match src.read(&mut buf) {
+            Ok(0) => {
+                // Source closed: propagate by dropping both ends.
+                state.dead.store(true, Ordering::SeqCst);
+                return;
+            }
+            Ok(n) => n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => {
+                state.dead.store(true, Ordering::SeqCst);
+                return;
+            }
+        };
+        if state.partitioned.load(Ordering::SeqCst) {
+            // Half-open: swallow the bytes, keep both sockets open.
+            continue;
+        }
+        let chunk = &buf[..n];
+        let forwarded = match toxic {
+            Some(Toxic::TornHandshake { after_bytes }) if dir == Direction::Up => {
+                let already = state.up_bytes.load(Ordering::SeqCst);
+                let allow = after_bytes.saturating_sub(already).min(n as u64) as usize;
+                if allow > 0 {
+                    let _ = dst.write_all(&chunk[..allow]);
+                }
+                counters.torn_handshakes.fetch_add(1, Ordering::SeqCst);
+                state.dead.store(true, Ordering::SeqCst);
+                return;
+            }
+            Some(Toxic::Latency { base_ms, jitter_ms }) if dir == Direction::Down => {
+                let jitter = (rng.unit_f64() * jitter_ms as f64) as u64;
+                std::thread::sleep(Duration::from_millis(base_ms + jitter));
+                dst.write_all(chunk).is_ok()
+            }
+            Some(Toxic::BandwidthCap { bytes_per_sec }) if dir == Direction::Down => {
+                let ok = dst.write_all(chunk).is_ok();
+                let secs = n as f64 / bytes_per_sec.max(1) as f64;
+                std::thread::sleep(Duration::from_secs_f64(secs.min(0.25)));
+                ok
+            }
+            Some(Toxic::SlowLoris {
+                bytes_per_tick,
+                tick_ms,
+            }) if dir == Direction::Down => {
+                let mut ok = true;
+                for piece in chunk.chunks(bytes_per_tick.max(1)) {
+                    if state.stop.load(Ordering::SeqCst) || state.dead.load(Ordering::SeqCst) {
+                        ok = false;
+                        break;
+                    }
+                    if dst.write_all(piece).is_err() {
+                        ok = false;
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(tick_ms));
+                }
+                ok
+            }
+            _ => dst.write_all(chunk).is_ok(),
+        };
+        if !forwarded {
+            state.dead.store(true, Ordering::SeqCst);
+            return;
+        }
+        let total = match dir {
+            Direction::Up => state.up_bytes.fetch_add(n as u64, Ordering::SeqCst) + n as u64,
+            Direction::Down => state.down_bytes.fetch_add(n as u64, Ordering::SeqCst) + n as u64,
+        };
+        if dir == Direction::Down {
+            match toxic {
+                Some(Toxic::Reset { after_bytes }) if total >= after_bytes => {
+                    // Close with the peer likely mid-read: on Linux a
+                    // close with unread pending data sends a real RST.
+                    counters.resets.fetch_add(1, Ordering::SeqCst);
+                    state.dead.store(true, Ordering::SeqCst);
+                    return;
+                }
+                Some(Toxic::HalfOpen { after_bytes })
+                    if total >= after_bytes && !state.partitioned.swap(true, Ordering::SeqCst) =>
+                {
+                    counters.half_opens.fetch_add(1, Ordering::SeqCst);
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Convenience: a proxied address for a server, or the server's own
+/// address when no proxy is wanted (healthy control clients).
+pub fn front(server: &FrameServer, proxy: Option<&ToxicProxy>) -> SocketAddr {
+    proxy
+        .map(|p| p.addr())
+        .or_else(|| server.addr())
+        .expect("server in a socket-serving mode")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qos::QosRung;
+    use crate::server::{RemoteViewer, ServerConfig, ViewerConfig, ViewerEnd};
+    use std::time::Instant;
+
+    #[test]
+    fn plan_is_deterministic_and_half_healthy() {
+        let plan = ToxicPlan::storm(0xfeed);
+        let a: Vec<_> = (0..64).map(|i| plan.for_connection(i)).collect();
+        let b: Vec<_> = (0..64).map(|i| plan.for_connection(i)).collect();
+        assert_eq!(a, b, "pure function of (seed, idx)");
+        let healthy = a.iter().filter(|t| t.is_none()).count();
+        assert!(
+            (16..=48).contains(&healthy),
+            "roughly half healthy, got {healthy}/64"
+        );
+        // A different seed gives a different schedule.
+        let plan2 = ToxicPlan::storm(0xbeef);
+        let c: Vec<_> = (0..64).map(|i| plan2.for_connection(i)).collect();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn healthy_passthrough_preserves_the_stream() {
+        let server = FrameServer::start(ServerConfig {
+            handshake_deadline: Duration::from_millis(500),
+            write_deadline: Duration::from_millis(500),
+            ack_deadline: Duration::from_millis(500),
+            ..ServerConfig::default()
+        })
+        .expect("bind");
+        // A plan whose connection 0 is healthy.
+        let mut seed = 1u64;
+        while ToxicPlan::storm(seed).for_connection(0).is_some() {
+            seed += 1;
+        }
+        let proxy =
+            ToxicProxy::start(server.addr().expect("addr"), ToxicPlan::storm(seed)).expect("proxy");
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        let mut viewer = RemoteViewer::new(proxy.addr(), ViewerConfig::loopback(1, 9));
+        let h = std::thread::spawn({
+            let server = server;
+            move || {
+                let t0 = Instant::now();
+                while server.connected() == 0 && t0.elapsed() < Duration::from_secs(5) {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                for i in 0..10u64 {
+                    server.publish(
+                        QosRung::TrackOnly,
+                        crate::qos::encode_fix(&viz::EyeFix {
+                            sim_minutes: i as f64,
+                            lon: 80.0,
+                            lat: 15.0,
+                            pressure_hpa: 990.0,
+                        })
+                        .to_vec(),
+                    );
+                }
+                std::thread::sleep(Duration::from_millis(300));
+                server.drain()
+            }
+        });
+        let end = viewer.run(&stop);
+        let report = h.join().expect("drain");
+        assert_eq!(end, ViewerEnd::Drained);
+        assert_eq!(viewer.stats().delivered, 10, "nothing lost in transit");
+        let c = report.counters;
+        assert_eq!(c.frames_delivered + c.frames_shed, c.cursor_advance);
+        let pr = proxy.shutdown();
+        assert_eq!(pr.connections, 1);
+        assert_eq!(pr.faulted, 0);
+    }
+
+    #[test]
+    fn torn_handshake_is_survived_via_retry() {
+        let server = FrameServer::start(ServerConfig {
+            handshake_deadline: Duration::from_millis(300),
+            write_deadline: Duration::from_millis(500),
+            ack_deadline: Duration::from_millis(500),
+            ..ServerConfig::default()
+        })
+        .expect("bind");
+        // A plan whose connection 0 tears the handshake and whose
+        // connection 1 is healthy.
+        let mut seed = 1u64;
+        loop {
+            let plan = ToxicPlan::storm(seed);
+            if matches!(plan.for_connection(0), Some(Toxic::TornHandshake { .. }))
+                && plan.for_connection(1).is_none()
+            {
+                break;
+            }
+            seed += 1;
+        }
+        let proxy =
+            ToxicProxy::start(server.addr().expect("addr"), ToxicPlan::storm(seed)).expect("proxy");
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        let mut viewer = RemoteViewer::new(proxy.addr(), ViewerConfig::loopback(2, 10));
+        let h = std::thread::spawn({
+            let server = server;
+            move || {
+                let t0 = Instant::now();
+                while server.connected() == 0 && t0.elapsed() < Duration::from_secs(10) {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                std::thread::sleep(Duration::from_millis(100));
+                server.drain()
+            }
+        });
+        let end = viewer.run(&stop);
+        let report = h.join().expect("drain");
+        assert_eq!(end, ViewerEnd::Drained, "second connection got through");
+        let pr = proxy.shutdown();
+        assert!(pr.torn_handshakes >= 1, "the tear actually happened");
+        assert!(
+            report.counters.handshake_failures >= 1,
+            "server booked the short hello"
+        );
+    }
+}

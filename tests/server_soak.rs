@@ -1,0 +1,419 @@
+//! Serving-tier chaos soak (ISSUE 9): real loopback clients through the
+//! seeded socket fault proxy, against the PR 6/7 invariant battery on
+//! *real bytes*. Each storm runs a [`FrameServer`], a [`ToxicProxy`]
+//! with a seeded fault schedule (resets, half-open partitions,
+//! slow-loris trickle, torn handshakes, latency, bandwidth caps), a
+//! healthy control group connected directly, and a faulted mob
+//! connected through the proxy; the producer streams canonical
+//! track-only fixes at a steady cadence and the battery checks:
+//!
+//! 1. exactly-once track application (per-client applied sequences
+//!    strictly increasing),
+//! 2. per-client byte-identical tracks (every applied fix bit-equal to
+//!    the canonical body for that sequence),
+//! 3. wire conservation `delivered + shed == cursor_advance` on the
+//!    server and `delivered + shed == watermark` on every client,
+//! 4. zero live-frame starvation: the healthy control group ends at the
+//!    head having shed nothing, no matter what the mob does.
+//!
+//! The fault *schedule* replays from one seed; the socket interleaving
+//! does not, so the invariants must hold for every interleaving — any
+//! violation writes a `SERVER-REPLAY` line under `target/tmp/server/`
+//! before panicking. Debug runs a pinned corpus; the full battery
+//! (≥ 20 storms, ≥ 200 clients, plus a 200-concurrent storm) runs in
+//! release under `--ignored` (CI: `cargo test --release -- --ignored
+//! server_`).
+
+use climate_adaptive::adaptive::broker::BreakerConfig;
+use climate_adaptive::adaptive::qos::{encode_fix, QosRung};
+use climate_adaptive::adaptive::resilience::BackoffPolicy;
+use climate_adaptive::adaptive::server::toxic::{ToxicPlan, ToxicProxy};
+use climate_adaptive::adaptive::server::{
+    DrainReport, FrameServer, RemoteViewer, ServerConfig, ViewerConfig, ViewerEnd,
+};
+use climate_adaptive::viz::EyeFix;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The canonical frame stream: one deterministic fix per sequence.
+fn canonical_fix(i: u64) -> EyeFix {
+    EyeFix {
+        sim_minutes: i as f64,
+        lon: 80.0 + i as f64 * 0.01,
+        lat: 15.0 + i as f64 * 0.005,
+        pressure_hpa: 990.0 - (i % 50) as f64,
+    }
+}
+
+fn canonical_body(i: u64) -> Vec<u8> {
+    encode_fix(&canonical_fix(i)).to_vec()
+}
+
+fn storm_server_config() -> ServerConfig {
+    ServerConfig {
+        retention_frames: 4096,
+        max_backlog_frames: 40,
+        handshake_deadline: Duration::from_millis(800),
+        write_deadline: Duration::from_secs(2),
+        ack_deadline: Duration::from_secs(1),
+        // Resets cost a stall each; a tolerant breaker keeps one storm
+        // from quarantining clients that are merely unlucky. A dedicated
+        // test covers the trip path.
+        breaker: BreakerConfig {
+            trip_after: 50,
+            window_secs: 600.0,
+        },
+        ..ServerConfig::default()
+    }
+}
+
+/// A soak viewer: snappy timeouts, bounded reconnect wall budget so a
+/// torn-down storm exhausts instead of spinning.
+fn storm_viewer_config(client_id: u64, seed: u64) -> ViewerConfig {
+    ViewerConfig {
+        client_id,
+        io_timeout: Duration::from_millis(400),
+        backoff: BackoffPolicy::new(seed)
+            .with_base(Duration::from_millis(5))
+            .with_cap(Duration::from_millis(60))
+            .with_max_attempts(u32::MAX)
+            .with_max_total_delay(Duration::from_secs(4)),
+    }
+}
+
+struct ViewerOutcome {
+    client_id: u64,
+    healthy: bool,
+    end: ViewerEnd,
+    last_applied: u64,
+    delivered: u64,
+    shed: u64,
+    decode_failures: u64,
+    wire_drains: u64,
+    applied_seqs: Vec<u64>,
+    applied_fix_bytes: Vec<[u8; 32]>,
+}
+
+struct StormOutcome {
+    report: DrainReport,
+    viewers: Vec<ViewerOutcome>,
+    proxy_faulted: u64,
+}
+
+/// Run one seeded storm: `n_healthy` direct clients, `n_faulted`
+/// through the proxy, `frames` canonical frames at a 2 ms cadence.
+fn run_storm(seed: u64, n_healthy: u64, n_faulted: u64, frames: u64) -> StormOutcome {
+    let server = FrameServer::start(storm_server_config()).expect("bind server");
+    let upstream = server.addr().expect("remote mode");
+    let proxy = ToxicProxy::start(upstream, ToxicPlan::storm(seed)).expect("bind proxy");
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let mut handles = Vec::new();
+    for i in 0..n_healthy + n_faulted {
+        let healthy = i < n_healthy;
+        let addr = if healthy { upstream } else { proxy.addr() };
+        let stop = Arc::clone(&stop);
+        let cfg = storm_viewer_config(i + 1, seed ^ (i + 1));
+        handles.push(std::thread::spawn(move || {
+            let mut viewer = RemoteViewer::new(addr, cfg);
+            let end = viewer.run(&stop);
+            let stats = viewer.stats();
+            ViewerOutcome {
+                client_id: i + 1,
+                healthy,
+                end,
+                last_applied: viewer.last_applied(),
+                delivered: stats.delivered,
+                shed: stats.shed,
+                decode_failures: stats.decode_failures,
+                wire_drains: stats.drains,
+                applied_seqs: viewer.applied_seqs().to_vec(),
+                applied_fix_bytes: viewer.track().fixes().iter().map(encode_fix).collect(),
+            }
+        }));
+    }
+
+    // Let the healthy control group join live before the first frame so
+    // "no starvation" is exact: they must then see *everything*.
+    let t0 = Instant::now();
+    while server.connected() < n_healthy && t0.elapsed() < Duration::from_secs(10) {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    for i in 0..frames {
+        server.publish(QosRung::TrackOnly, canonical_body(i));
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    // Grace for catch-up, then drain: connected clients are served the
+    // full backlog and handed resume cursors.
+    std::thread::sleep(Duration::from_millis(300));
+    let report = server.drain();
+    // The server is gone; release any viewer still retrying through the
+    // proxy so the storm tears down promptly.
+    stop.store(true, Ordering::SeqCst);
+    let viewers: Vec<_> = handles
+        .into_iter()
+        .map(|h| h.join().expect("viewer thread"))
+        .collect();
+    let proxy_report = proxy.shutdown();
+    StormOutcome {
+        report,
+        viewers,
+        proxy_faulted: proxy_report.faulted,
+    }
+}
+
+/// Check the invariant battery; on violation, write a replay line and
+/// panic.
+fn check_invariants(seed: u64, frames: u64, out: &StormOutcome) {
+    let mut violations = Vec::new();
+    let c = out.report.counters;
+
+    // (3) wire conservation, server side.
+    if c.frames_delivered + c.frames_shed != c.cursor_advance {
+        violations.push(format!(
+            "server conservation: delivered {} + shed {} != cursor_advance {}",
+            c.frames_delivered, c.frames_shed, c.cursor_advance
+        ));
+    }
+    if out.report.head != frames {
+        violations.push(format!(
+            "ring head {} != frames produced {frames}",
+            out.report.head
+        ));
+    }
+
+    for v in &out.viewers {
+        let who = format!(
+            "client {} ({})",
+            v.client_id,
+            if v.healthy { "healthy" } else { "faulted" }
+        );
+        // (1) exactly-once: applied wire sequences strictly increasing.
+        if !v.applied_seqs.windows(2).all(|w| w[0] < w[1]) {
+            violations.push(format!("{who}: applied sequences not strictly increasing"));
+        }
+        // (2) byte-identical track: fix i corresponds to applied seq i.
+        if v.applied_fix_bytes.len() != v.applied_seqs.len() {
+            violations.push(format!(
+                "{who}: {} fixes vs {} applied seqs",
+                v.applied_fix_bytes.len(),
+                v.applied_seqs.len()
+            ));
+        }
+        for (fix, &wire_seq) in v.applied_fix_bytes.iter().zip(&v.applied_seqs) {
+            if fix.as_slice() != canonical_body(wire_seq - 1).as_slice() {
+                violations.push(format!("{who}: frame {wire_seq} not byte-identical"));
+                break;
+            }
+        }
+        // (3) viewer-side conservation: every watermark advance was a
+        // delivery or an accounted shed.
+        if v.decode_failures != 0 {
+            violations.push(format!("{who}: {} decode failures", v.decode_failures));
+        }
+        if v.delivered + v.shed != v.last_applied {
+            violations.push(format!(
+                "{who}: delivered {} + shed {} != watermark {}",
+                v.delivered, v.shed, v.last_applied
+            ));
+        }
+        // (4) no live-frame starvation: the healthy control group ends
+        // drained, at the head, having shed nothing.
+        if v.healthy {
+            if v.end != ViewerEnd::Drained {
+                violations.push(format!("{who}: ended {:?}, not Drained", v.end));
+            }
+            if v.shed != 0 {
+                violations.push(format!("{who}: shed {} live frames", v.shed));
+            }
+            if v.last_applied != frames {
+                violations.push(format!(
+                    "{who}: stopped at {} / {frames} (starved)",
+                    v.last_applied
+                ));
+            }
+        }
+        // A faulted client that received the wire-level drain control
+        // was served its full backlog first: it reached the head via
+        // AHL2 resume. (A client turned away at admission with the
+        // draining status may legitimately hold an earlier cursor —
+        // nothing acked is lost, the cursor stays resumable.)
+        if !v.healthy
+            && v.end == ViewerEnd::Drained
+            && v.wire_drains > 0
+            && v.last_applied != frames
+        {
+            violations.push(format!(
+                "{who}: drained at watermark {} != head {frames}",
+                v.last_applied
+            ));
+        }
+    }
+
+    if !violations.is_empty() {
+        let dir = std::path::Path::new("target/tmp/server");
+        let _ = std::fs::create_dir_all(dir);
+        let line = format!(
+            "SERVER-REPLAY seed={seed:#x} frames={frames} violations={}\n{}\n",
+            violations.len(),
+            violations.join("\n")
+        );
+        let _ = std::fs::write(dir.join(format!("replay-{seed:#x}.txt")), &line);
+        panic!("{line}");
+    }
+}
+
+/// Debug-size pinned corpus: five seeded storms, twelve clients each.
+#[test]
+fn server_soak_debug_corpus_holds_the_invariants() {
+    for (k, &seed) in [
+        0x5eed_0001u64,
+        0x5eed_0002,
+        0x5eed_0003,
+        0x5eed_0004,
+        0x5eed_0005,
+    ]
+    .iter()
+    .enumerate()
+    {
+        let out = run_storm(seed, 3, 9, 100);
+        check_invariants(seed, 100, &out);
+        // The storm must actually storm: the plan faults about half the
+        // mob's connections.
+        assert!(
+            out.proxy_faulted > 0,
+            "storm {k} (seed {seed:#x}) injected no faults"
+        );
+        // And the mob still made progress through retries.
+        let faulted_delivered: u64 = out
+            .viewers
+            .iter()
+            .filter(|v| !v.healthy)
+            .map(|v| v.delivered)
+            .sum();
+        assert!(
+            faulted_delivered > 0,
+            "storm {k} (seed {seed:#x}): no faulted client ever progressed"
+        );
+    }
+}
+
+/// Full battery (release, CI): twenty seeded storms × twelve clients,
+/// then one 200-concurrent-client storm — ≥ 200 real loopback clients
+/// through ≥ 20 seeded fault storms, zero invariant violations.
+#[test]
+#[ignore]
+fn server_soak_full_battery() {
+    for i in 0..20u64 {
+        let seed = 0xbadc_0de0 + i;
+        let out = run_storm(seed, 3, 9, 120);
+        check_invariants(seed, 120, &out);
+    }
+    // The herd: 200 concurrent sockets, a quarter healthy, through one
+    // composed storm. Admission defers the burst (rate 256/s, burst 64)
+    // and every invariant still holds.
+    let seed = 0x4e4d_5eed;
+    let out = run_storm(seed, 50, 150, 150);
+    check_invariants(seed, 150, &out);
+    let drained = out
+        .viewers
+        .iter()
+        .filter(|v| v.end == ViewerEnd::Drained)
+        .count();
+    assert!(
+        drained >= 50,
+        "only {drained}/200 clients reached the drain cursor"
+    );
+}
+
+/// Graceful drain acceptance (the `fault_drill` pattern at the socket
+/// tier): a client connected mid-epoch when the server drains receives
+/// a resume cursor, reconnects to a *fresh* server instance continuing
+/// the sequence numbering, and ends with a byte-identical track — zero
+/// acknowledged frames lost.
+#[test]
+fn server_drain_handoff_resumes_byte_identically() {
+    let cfg = storm_server_config();
+    let server_a = FrameServer::start(cfg.clone()).expect("bind A");
+    let addr_a = server_a.addr().expect("remote mode");
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let viewer_thread = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut viewer = RemoteViewer::new(addr_a, storm_viewer_config(42, 0xd12a));
+            let end = viewer.run(&stop);
+            (viewer, end)
+        })
+    };
+    let t0 = Instant::now();
+    while server_a.connected() == 0 && t0.elapsed() < Duration::from_secs(10) {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    for i in 0..40 {
+        server_a.publish(QosRung::TrackOnly, canonical_body(i));
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    std::thread::sleep(Duration::from_millis(200));
+
+    // Drain mid-epoch: the client must walk away with a resume cursor.
+    let report_a = server_a.drain();
+    let (mut viewer, end_a) = viewer_thread.join().expect("viewer");
+    assert_eq!(end_a, ViewerEnd::Drained);
+    assert_eq!(report_a.head, 40);
+    assert_eq!(
+        report_a.resume_cursors.get(&42),
+        Some(&40),
+        "drain returned the client's cursor"
+    );
+    assert_eq!(viewer.last_applied(), 40, "drained at the head");
+
+    // A fresh server continues the ring where the old one stopped.
+    let server_b = FrameServer::start_resuming(cfg, report_a.head).expect("bind B");
+    let addr_b = server_b.addr().expect("remote mode");
+    viewer.set_addr(addr_b);
+    let viewer_thread = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let end = viewer.run(&stop);
+            (viewer, end)
+        })
+    };
+    let t0 = Instant::now();
+    while server_b.connected() == 0 && t0.elapsed() < Duration::from_secs(10) {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    for i in 40..80 {
+        server_b.publish(QosRung::TrackOnly, canonical_body(i));
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    std::thread::sleep(Duration::from_millis(200));
+    let report_b = server_b.drain();
+    let (viewer, end_b) = viewer_thread.join().expect("viewer");
+    assert_eq!(end_b, ViewerEnd::Drained);
+
+    // Zero acknowledged frames lost, exactly-once across the handoff,
+    // byte-identical to an uninterrupted stream.
+    assert_eq!(viewer.stats().shed, 0, "no acked frame was lost");
+    assert_eq!(viewer.last_applied(), 80);
+    let seqs = viewer.applied_seqs();
+    assert_eq!(seqs.len(), 80);
+    assert!(seqs.windows(2).all(|w| w[0] < w[1]), "exactly once");
+    assert_eq!(seqs.first(), Some(&1));
+    assert_eq!(seqs.last(), Some(&80));
+    let fixes = viewer.track().fixes();
+    assert_eq!(fixes.len(), 80);
+    for (i, f) in fixes.iter().enumerate() {
+        assert_eq!(
+            encode_fix(f).as_slice(),
+            canonical_body(i as u64).as_slice(),
+            "fix {i} bit-exact across the handoff"
+        );
+    }
+    assert_eq!(
+        report_b.resume_cursors.get(&42),
+        Some(&80),
+        "the handoff server knows the final cursor"
+    );
+}
