@@ -111,13 +111,19 @@ impl BackoffPolicy {
         self.spent
     }
 
-    /// Jittered delay before retry number `attempt` (0-based).
-    pub fn delay(&mut self, attempt: u32) -> Duration {
+    /// Jittered delay before retry number `attempt` (0-based), drawn
+    /// from the sequential RNG stream without touching `spent`.
+    fn raw_delay(&mut self, attempt: u32) -> Duration {
         let exp = self
             .base
             .saturating_mul(1u32 << attempt.min(16))
             .min(self.cap);
-        let d = exp.mul_f64(0.5 + 0.5 * self.rng.unit_f64());
+        exp.mul_f64(0.5 + 0.5 * self.rng.unit_f64())
+    }
+
+    /// Jittered delay before retry number `attempt` (0-based).
+    pub fn delay(&mut self, attempt: u32) -> Duration {
+        let d = self.raw_delay(attempt);
         self.spent = self.spent.saturating_add(d);
         d
     }
@@ -138,7 +144,11 @@ impl BackoffPolicy {
         if remaining.is_zero() {
             return None;
         }
-        let d = self.delay(attempt).min(remaining);
+        // Charge only the clamped grant: the caller sleeps the clamped
+        // value, so `spent` must track real wall time or the budget
+        // exhausts early and `total_delay_spent` over-reports.
+        let d = self.raw_delay(attempt).min(remaining);
+        self.spent = self.spent.saturating_add(d);
         Some(d)
     }
 
@@ -457,6 +467,11 @@ mod tests {
             total += d;
         }
         assert!(total <= budget);
+        assert_eq!(
+            c.total_delay_spent(),
+            total,
+            "spent must track the clamped grants actually slept"
+        );
     }
 
     #[test]

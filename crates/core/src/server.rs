@@ -600,7 +600,12 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>, conns: Arc<Mutex<Vec<
                     .stack_size(256 * 1024)
                     .spawn(move || serve_connection(stream, sh))
                     .expect("spawn connection thread");
-                conns.lock().expect("conns lock").push(handle);
+                let mut conns = conns.lock().expect("conns lock");
+                // Reap finished connections here rather than only at
+                // drain/drop, so reconnect storms on a long-lived server
+                // don't grow the handle vector without bound.
+                conns.retain(|h: &JoinHandle<()>| !h.is_finished());
+                conns.push(handle);
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(IDLE_TICK);
@@ -690,8 +695,13 @@ fn serve_connection(mut stream: TcpStream, shared: Arc<Shared>) {
             })
         });
         // Lost acks: the client proves it applied further than we
-        // booked. Those frames *were* delivered.
-        let acked = hello_applied.clamp(session.cursor, head);
+        // booked. Those frames *were* delivered. `head` is a snapshot
+        // taken before this lock, so a concurrent old-generation thread
+        // for the same client id may already have committed a fresher
+        // cursor past it (stall-shed to a newer head, reconnect race);
+        // floor with the cursor *after* capping at the snapshot so the
+        // bounds can never invert into a `clamp` panic.
+        let acked = hello_applied.min(head).max(session.cursor);
         if acked > session.cursor {
             counters.frames_delivered += acked - session.cursor;
             counters.cursor_advance += acked - session.cursor;
@@ -1066,8 +1076,10 @@ use wrf::WrfModel;
 pub struct ServingTransport<T: FrameTransport> {
     inner: T,
     server: Arc<FrameServer>,
-    /// Bodies emitted but not yet parked, in emit (== commit) order.
-    pending: VecDeque<(QosRung, Vec<u8>)>,
+    /// Bodies emitted but not yet parked, in emit order, keyed by the
+    /// frame's sim-time (strictly increasing across emits) so `park` can
+    /// match bodies to committed frames instead of trusting FIFO order.
+    pending: VecDeque<(u64, QosRung, Vec<u8>)>,
 }
 
 impl<T: FrameTransport> ServingTransport<T> {
@@ -1108,7 +1120,8 @@ impl<T: FrameTransport> FrameTransport for ServingTransport<T> {
         } else {
             rung
         };
-        self.pending.push_back((served_rung, body));
+        self.pending
+            .push_back((sim_min.to_bits(), served_rung, body));
         (disk, payload)
     }
 
@@ -1117,9 +1130,29 @@ impl<T: FrameTransport> FrameTransport for ServingTransport<T> {
     }
 
     fn park(&mut self, id: u64, sim_min: f64, payload: Vec<u8>) {
-        // Publish the oldest pending body: park order is commit order.
-        if let Some((rung, body)) = self.pending.pop_front() {
-            self.server.publish(rung, body);
+        // Publish the pending body for *this* frame, identified by its
+        // sim-time (`sim_min` crosses the engine's `FrameDone` event
+        // bit-exact and strictly increases across emits). Older leftover
+        // bodies belong to frames that were emitted but never committed
+        // (full-disk drop: no `park` follows), so they are discarded
+        // rather than published under the wrong ring sequence.
+        let key = sim_min.to_bits();
+        while self
+            .pending
+            .front()
+            .is_some_and(|&(pending_key, _, _)| f64::from_bits(pending_key) < sim_min)
+        {
+            self.pending.pop_front();
+        }
+        match self.pending.front() {
+            Some(&(pending_key, _, _)) if pending_key == key => {
+                let (_, rung, body) = self.pending.pop_front().expect("front checked");
+                self.server.publish(rung, body);
+            }
+            newer => debug_assert!(
+                newer.is_none(),
+                "serving tee parked frame {id} out of emit order"
+            ),
         }
         self.inner.park(id, sim_min, payload);
     }
@@ -1715,6 +1748,50 @@ mod tests {
         let mut admission = [0u8; ACK_BYTES];
         stream.read_exact(&mut admission).expect("admission");
         assert_eq!(admission[0], ADMIT_DRAIN);
+        let _ = server.drain();
+    }
+
+    #[test]
+    fn stale_head_snapshot_reconnect_does_not_invert_cursor_bounds() {
+        // A reconnect reads the store head, then can lose the
+        // sessions-lock race to an old-generation serving thread that
+        // commits the same client's cursor *past* that snapshot
+        // (stall-shed to a fresher head after new publishes). The
+        // admission path must tolerate cursor > head-snapshot instead of
+        // panicking in `clamp` (min > max) while holding the sessions
+        // and counters mutexes — one racy reconnect would poison them
+        // and crash the whole server.
+        let server = FrameServer::start(quick_cfg()).expect("bind");
+        let addr = server.addr().expect("remote mode");
+        for _ in 0..3 {
+            server.publish(QosRung::FullRes, vec![0u8; 16]);
+        }
+        let head = server.head();
+        // The racing old-generation commit: cursor beyond the head this
+        // connection is about to snapshot.
+        server
+            .shared
+            .sessions
+            .lock()
+            .expect("sessions lock")
+            .insert(9, Session::new(head + 5));
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        let mut hello = [0u8; HELLO_BYTES];
+        hello[..4].copy_from_slice(HANDSHAKE_MAGIC);
+        hello[4..12].copy_from_slice(&9u64.to_le_bytes());
+        // An applied watermark between the snapshot and the cursor:
+        // exactly the inverted clamp bounds.
+        hello[12..20].copy_from_slice(&(head + 3).to_le_bytes());
+        stream.write_all(&hello).expect("hello");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(2)))
+            .expect("timeout");
+        let mut admission = [0u8; ACK_BYTES];
+        stream.read_exact(&mut admission).expect("admission");
+        assert_eq!(admission[0], ADMIT_OK, "admitted without panicking");
+        let cursor = u64::from_le_bytes(admission[1..9].try_into().expect("8 bytes"));
+        assert_eq!(cursor, head + 5, "the fresher cursor never moves backward");
+        drop(stream);
         let _ = server.drain();
     }
 
