@@ -1017,7 +1017,11 @@ struct World<T, D, F> {
     link_factor: f64,
     completed: bool,
     drain: bool,
-    tables: HashMap<(u64, bool), ProcTable>,
+    /// Processor-table cache keyed by (scaling-fit fingerprint,
+    /// resolution bits, nest): a perfmodel re-fit changes the fingerprint,
+    /// so stale tables (and the ∂t/∂p decisions read off them) can never
+    /// be served against new coefficients.
+    tables: HashMap<(u64, u64, bool), ProcTable>,
     publish_config: Option<PathBuf>,
     /// Closed-loop degradation controller (`None` = ladder off).
     qos: Option<QosController>,
@@ -1062,8 +1066,8 @@ struct World<T, D, F> {
 
 impl<T: FrameTransport, D: Durability, F: FaultInjector> World<T, D, F> {
     fn proc_table(&mut self, res_km: f64, nest: bool) -> &ProcTable {
-        let key = (res_km.to_bits(), nest);
         let (site, mission) = (&self.site, &self.mission);
+        let key = (site.cluster.scaling.fingerprint(), res_km.to_bits(), nest);
         self.tables
             .entry(key)
             .or_insert_with(|| site.proc_table(mission, res_km, nest))

@@ -1,0 +1,201 @@
+//! A perfmodel re-fit must flow all the way through to reallocation.
+//!
+//! The hazard: the engine (and anything else costing steps) caches
+//! processor tables derived from the scaling law. If the profiler re-fits
+//! the law — say the lanes kernels land and a step suddenly costs a third
+//! of what it did — a consumer holding tables or ∂t/∂p values from the
+//! old coefficients would keep reallocating against a machine that no
+//! longer exists. These tests pin the invalidation contract end to end:
+//! the fit's fingerprint re-keys derived tables, the derivative is always
+//! read off the *current* coefficients, and both decision algorithms
+//! actually change their processor/output choices when the law changes.
+
+use adaptive_core::config::ApplicationConfig;
+use adaptive_core::decision::{DecisionAlgorithm, DecisionInputs, GreedyThreshold, Optimization};
+use perfmodel::{ProcTable, Sample, ScalingFit};
+use std::collections::HashMap;
+
+/// The paper's fire cluster law (sites.rs inter-department coefficients).
+fn old_fit() -> ScalingFit {
+    ScalingFit::from_coeffs([0.3, 2.2e-3, 2e-3, 0.02])
+}
+
+/// Re-fit from profiling runs of a machine whose per-point cost dropped
+/// ~3× (the lanes kernels) while the collectives overhead grew: samples
+/// are generated from that ground truth and fitted, exactly as the
+/// profiling binary does — not constructed coefficient-by-coefficient.
+fn refit() -> ScalingFit {
+    let truth = ScalingFit::from_coeffs([0.3, 0.7e-3, 2e-3, 0.06]);
+    let mut samples = Vec::new();
+    for &w in &[5e4, 1.4e5, 2.5e5] {
+        for &p in &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 48.0] {
+            samples.push(Sample {
+                procs: p,
+                work: w,
+                time: truth.predict(p, w),
+            });
+        }
+    }
+    ScalingFit::fit(&samples).expect("well-conditioned design")
+}
+
+const WORK: f64 = 1.4e5; // 404×349 parent grid, the 16 km stage
+const ALLOWED: [usize; 7] = [1, 2, 4, 8, 16, 32, 48];
+
+fn inputs<'a>(table: &'a ProcTable, current: &'a ApplicationConfig) -> DecisionInputs<'a> {
+    let capacity = 100_000_000_000u64;
+    DecisionInputs {
+        free_disk_percent: 60.0,
+        free_disk_bytes: 60_000_000_000,
+        disk_capacity_bytes: capacity,
+        bandwidth_bps: 7e6,
+        frame_bytes: 100_000_000,
+        io_secs_per_frame: 0.7,
+        proc_table: table,
+        current,
+        dt_sim_secs: 96.0,
+        min_oi_min: 3.0,
+        max_oi_min: 25.0,
+        horizon_secs: 20.0 * 3600.0,
+    }
+}
+
+#[test]
+fn fingerprint_rekeys_a_proc_table_cache() {
+    // The engine's cache pattern, in miniature: tables keyed by
+    // (fingerprint, resolution bits, nest).
+    let mut cache: HashMap<(u64, u64, bool), ProcTable> = HashMap::new();
+    let res_bits = 16.0f64.to_bits();
+
+    let old = old_fit();
+    let key_old = (old.fingerprint(), res_bits, true);
+    cache.insert(key_old, ProcTable::from_fit(&old, WORK, &ALLOWED));
+
+    let new = refit();
+    let key_new = (new.fingerprint(), res_bits, true);
+    assert_ne!(key_old, key_new, "re-fit must change the cache key");
+    assert!(
+        !cache.contains_key(&key_new),
+        "new key misses: the stale table cannot be served"
+    );
+    cache.insert(key_new, ProcTable::from_fit(&new, WORK, &ALLOWED));
+
+    // And the tables genuinely disagree — serving the old one would have
+    // been wrong, not just redundant.
+    let t_old = cache[&key_old].time_for(48).unwrap();
+    let t_new = cache[&key_new].time_for(48).unwrap();
+    assert!(
+        (t_old - t_new).abs() / t_old > 0.05,
+        "laws differ materially at 48 procs: {t_old} vs {t_new}"
+    );
+}
+
+#[test]
+fn derivative_comes_from_current_coefficients_not_a_cache() {
+    let old = old_fit();
+    let new = refit();
+    for p in [2.0, 8.0, 32.0] {
+        // Finite differences of the *new* law agree with the analytic
+        // derivative read off the new coefficients...
+        let h = 1e-5 * p;
+        let fd = (new.predict(p + h, WORK) - new.predict(p - h, WORK)) / (2.0 * h);
+        let an = new.d_dt_d_procs(p, WORK);
+        assert!(
+            (fd - an).abs() <= 1e-6 * an.abs().max(1e-9),
+            "p={p}: analytic {an} vs finite-difference {fd}"
+        );
+        // ...and disagree with the stale derivative, so any consumer that
+        // cached ∂t/∂p across the re-fit is measurably wrong.
+        let stale = old.d_dt_d_procs(p, WORK);
+        assert!(
+            (an - stale).abs() > 0.1 * an.abs().max(stale.abs()),
+            "p={p}: re-fit moved the derivative ({stale} → {an})"
+        );
+    }
+}
+
+#[test]
+fn refit_changes_where_scaling_stops_paying() {
+    // The lanes re-fit cut the work term and grew the collectives term,
+    // so ∂t/∂p = 0 (the point where adding processors stops helping)
+    // moves to *fewer* processors. Solve both laws by scan.
+    let flip = |fit: &ScalingFit| {
+        (1..=20_000)
+            .map(|p| p as f64)
+            .find(|&p| fit.d_dt_d_procs(p, WORK) > 0.0)
+            .unwrap_or(f64::INFINITY)
+    };
+    let flip_old = flip(&old_fit());
+    let flip_new = flip(&refit());
+    assert!(
+        flip_new < flip_old,
+        "re-fit pulls the scaling knee inward: {flip_old} → {flip_new}"
+    );
+}
+
+#[test]
+fn greedy_reallocation_tracks_the_refit_law() {
+    // Algorithm 1 maps wall-time targets back to processor counts through
+    // the table, so it only notices a re-fit that changes the table's
+    // *shape* (its pure W/p component cancels out of the interpolation).
+    // The lanes re-fit does exactly that: the collectives term tripled
+    // relative to the work term. At a coarse grid (small W) that moves
+    // the time landscape enough that greedy's recovery step lands on a
+    // different processor count.
+    let coarse_work = 5e3;
+    let every: Vec<usize> = (1..=48).collect();
+    let table_old = ProcTable::from_fit(&old_fit(), coarse_work, &every);
+    let table_new = ProcTable::from_fit(&refit(), coarse_work, &every);
+
+    // Slowed down earlier (8 procs), disk has recovered to 80%: greedy
+    // walks the step time halfway back toward the table's minimum.
+    let current = ApplicationConfig {
+        num_procs: 8,
+        output_interval_min: 25.0,
+        resolution_km: 48.0,
+        nest_active: false,
+        critical: false,
+    };
+    let make = |table: &ProcTable| {
+        let mut algo = GreedyThreshold::new();
+        let mut inp = inputs(table, &current);
+        inp.free_disk_percent = 80.0;
+        inp.free_disk_bytes = 80_000_000_000;
+        algo.decide(&inp)
+    };
+    let (procs_old, _) = make(&table_old);
+    let (procs_new, _) = make(&table_new);
+    assert_ne!(
+        procs_old, procs_new,
+        "greedy must react to the re-fit: old {procs_old} vs new {procs_new} procs"
+    );
+    // And the wall-time plan it implies is read off the new law, not the
+    // old one: the chosen configuration's step time changed materially.
+    let t_old = table_old.time_for(procs_old).unwrap();
+    let t_new = table_new.time_for(procs_new).unwrap();
+    assert!(
+        (t_old - t_new).abs() / t_old > 0.2,
+        "step-time plan follows the re-fit: {t_old} vs {t_new}"
+    );
+}
+
+#[test]
+fn lp_reallocation_tracks_the_refit_law() {
+    // The LP costs steps straight from the table; a 3× cheaper law
+    // changes the steady-state (procs, output-interval) optimum.
+    let current = ApplicationConfig::initial(48, 3.0, 16.0);
+    let table_old = ProcTable::from_fit(&old_fit(), WORK, &ALLOWED);
+    let table_new = ProcTable::from_fit(&refit(), WORK, &ALLOWED);
+
+    let make = |table: &ProcTable| {
+        let mut algo = Optimization::new();
+        let inp = inputs(table, &current);
+        algo.decide(&inp)
+    };
+    let (procs_old, oi_old) = make(&table_old);
+    let (procs_new, oi_new) = make(&table_new);
+    assert!(
+        procs_old != procs_new || (oi_old - oi_new).abs() > 1e-9,
+        "LP must react to the re-fit: old ({procs_old}, {oi_old}) vs new ({procs_new}, {oi_new})"
+    );
+}

@@ -1,0 +1,66 @@
+//! Criterion bench for the AQZ1 delta + quantize codec.
+//!
+//! Encodes and decodes a smooth two-field frame shaped like the model's
+//! visualization output (pressure + tracer on a 16 km-class grid slab),
+//! plus the exact `Dataset::to_bytes` wire format as the baseline the
+//! AQZ1 rung is traded against. The uncompressed payload size is printed
+//! once so per-iteration times convert directly to throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ncdf::codec::{decode_quantized, encode_quantized};
+use ncdf::{AttrValue, Data, Dataset};
+
+/// A smooth synthetic frame: 2 f64 fields on a `ny`×`nx` grid plus a
+/// byte mask, mirroring what the serving tier actually ships.
+fn frame(ny: usize, nx: usize) -> Dataset {
+    let mut ds = Dataset::new();
+    ds.set_attr("title", AttrValue::Text("bench frame".into()));
+    ds.set_attr("res_km", AttrValue::F64(16.0));
+    let y = ds.add_dim("y", ny).unwrap();
+    let x = ds.add_dim("x", nx).unwrap();
+    let field = |fy: f64, fx: f64, amp: f64| -> Vec<f64> {
+        (0..ny * nx)
+            .map(|i| {
+                let (j, k) = ((i / nx) as f64, (i % nx) as f64);
+                1000.0 + amp * ((j * fy).sin() * (k * fx).cos())
+            })
+            .collect()
+    };
+    ds.add_var("pressure", &[y, x], Data::F64(field(0.031, 0.017, 12.0)))
+        .unwrap();
+    ds.add_var("tracer", &[y, x], Data::F64(field(0.013, 0.041, 0.8)))
+        .unwrap();
+    ds.add_var("mask", &[y, x], Data::U8(vec![1; ny * nx]))
+        .unwrap();
+    ds
+}
+
+fn bench_codec(c: &mut Criterion) {
+    // 180×208 ≈ the 16 km parent grid decimated 2× for the wire.
+    let ds = frame(180, 208);
+    let payload = ds.payload_bytes();
+    let encoded = encode_quantized(&ds);
+    let exact = ds.to_bytes();
+
+    println!(
+        "aqz1: payload {payload} B, encoded {} B ({:.1}% of exact {} B)",
+        encoded.len(),
+        100.0 * encoded.len() as f64 / exact.len() as f64,
+        exact.len()
+    );
+
+    let mut g = c.benchmark_group("aqz1");
+    g.bench_function("encode", |b| b.iter(|| encode_quantized(&ds)));
+    g.bench_function("decode", |b| {
+        b.iter(|| decode_quantized(&encoded).expect("self-produced blob decodes"))
+    });
+    // The exact format bounds what AQZ1 must beat to earn its rung.
+    g.bench_function("exact_encode", |b| b.iter(|| ds.to_bytes()));
+    g.bench_function("exact_decode", |b| {
+        b.iter(|| Dataset::from_bytes(&exact).expect("self-produced blob decodes"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

@@ -91,6 +91,11 @@ impl Dataset {
         self.attrs.get(name)
     }
 
+    /// Remove a global attribute, returning its previous value.
+    pub fn remove_attr(&mut self, name: &str) -> Option<AttrValue> {
+        self.attrs.remove(name)
+    }
+
     /// All global attributes in name order.
     pub fn attrs(&self) -> impl Iterator<Item = (&str, &AttrValue)> {
         self.attrs.iter().map(|(k, v)| (k.as_str(), v))

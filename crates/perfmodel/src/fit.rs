@@ -81,13 +81,27 @@ impl ScalingFit {
         {
             return Err(FitError::InvalidSample);
         }
-        let design: Vec<Vec<f64>> = samples
+        // A basis column that is identically zero across the samples (e.g.
+        // log2 p when every run used one processor — the honest situation
+        // on a single-core profiling host) would make the normal equations
+        // singular even though the remaining columns identify a perfectly
+        // good law. Drop such columns from the solve and pin their
+        // coefficients to zero: the fit then simply claims nothing about
+        // the unobserved term.
+        let full: Vec<[f64; 4]> = samples.iter().map(|s| basis(s.procs, s.work)).collect();
+        let active: Vec<usize> = (0..4)
+            .filter(|&c| full.iter().any(|row| row[c] != 0.0))
+            .collect();
+        let design: Vec<Vec<f64>> = full
             .iter()
-            .map(|s| basis(s.procs, s.work).to_vec())
+            .map(|row| active.iter().map(|&c| row[c]).collect())
             .collect();
         let y: Vec<f64> = samples.iter().map(|s| s.time).collect();
         let beta = least_squares(&design, &y)?;
-        let coeffs = [beta[0], beta[1], beta[2], beta[3]];
+        let mut coeffs = [0.0; 4];
+        for (&c, &b) in active.iter().zip(&beta) {
+            coeffs[c] = b;
+        }
 
         // Coefficient of determination on the training samples.
         let mean = y.iter().sum::<f64>() / y.len() as f64;
@@ -123,6 +137,25 @@ impl ScalingFit {
     /// R² on the training samples (1.0 for exact fits).
     pub fn r_squared(&self) -> f64 {
         self.r2
+    }
+
+    /// Stable identity of this fit: an FNV-1a hash over the coefficient
+    /// bit patterns. Two fits with identical coefficients share a
+    /// fingerprint; any re-fit that moves a coefficient by even one ULP
+    /// gets a new one. Consumers that cache anything derived from the law
+    /// (processor tables, ∂t/∂p decisions) must key those caches by this
+    /// value so a re-fit invalidates them.
+    pub fn fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        for c in self.coeffs {
+            for byte in c.to_bits().to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        }
+        h
     }
 
     /// Predicted seconds per step for `procs` processors and workload
@@ -245,6 +278,68 @@ mod tests {
         // Scaling regime: more procs → faster. Collectives regime: slower.
         assert!(truth.d_dt_d_procs(2.0, work) < 0.0);
         assert!(truth.d_dt_d_procs(1e4, work) > 0.0);
+    }
+
+    #[test]
+    fn single_proc_design_fits_with_zero_collectives_coeff() {
+        // Every sample at p=1 (a one-core profiling host): the log2 p
+        // column is identically zero. The fit must still succeed, pin c3
+        // to exactly zero, and nail the W-dependence.
+        let truth = ScalingFit::from_coeffs([0.05, 2e-6, 1e-4, 0.0]);
+        let samples: Vec<Sample> = [2.5e5, 5e5, 1e6, 2e6, 4e6]
+            .iter()
+            .map(|&w| Sample {
+                procs: 1.0,
+                work: w,
+                time: truth.predict(1.0, w),
+            })
+            .collect();
+        let fit = ScalingFit::fit(&samples).unwrap();
+        assert_eq!(fit.coeffs()[3], 0.0, "unobserved term pinned to zero");
+        assert!(fit.r_squared() > 0.999);
+        let rel =
+            (fit.predict(1.0, 1.5e6) - truth.predict(1.0, 1.5e6)).abs() / truth.predict(1.0, 1.5e6);
+        assert!(rel < 1e-3, "rel error {rel}");
+    }
+
+    #[test]
+    fn refit_changes_fingerprint_and_derivative_together() {
+        // The stale-derivative hazard: a consumer caches ∂t/∂p (or
+        // anything derived from it) from an old fit, the profiler re-fits,
+        // and the cached value silently disagrees with the new law. The
+        // fingerprint is the invalidation key: equal coefficients hash
+        // equal, a re-fit hashes different, and the derivative read off
+        // the *new* coefficients matches the new law's finite differences.
+        let old = truth();
+        let same = ScalingFit::from_coeffs(old.coeffs());
+        assert_eq!(old.fingerprint(), same.fingerprint());
+
+        let work = 1e6;
+        let samples: Vec<Sample> = [1.0, 2.0, 4.0, 8.0, 16.0, 48.0]
+            .iter()
+            .map(|&p| Sample {
+                procs: p,
+                work,
+                time: old.predict(p, work) * 1.37, // "hardware got slower"
+            })
+            .collect();
+        let refit = ScalingFit::fit(&samples).unwrap();
+        assert_ne!(old.fingerprint(), refit.fingerprint(), "re-fit re-keys");
+
+        for p in [2.0, 8.0, 32.0] {
+            let h = 1e-5 * p;
+            let fd = (refit.predict(p + h, work) - refit.predict(p - h, work)) / (2.0 * h);
+            let an = refit.d_dt_d_procs(p, work);
+            assert!(
+                (fd - an).abs() <= 1e-6 * an.abs().max(1e-9),
+                "p={p}: derivative must come from the re-fit coefficients"
+            );
+            let stale = old.d_dt_d_procs(p, work);
+            assert!(
+                (an - stale).abs() > 1e-12,
+                "p={p}: re-fit must move the derivative"
+            );
+        }
     }
 
     #[test]

@@ -18,7 +18,7 @@ use crate::fields::Fields;
 use crate::grid::Grid2;
 use crate::model::{ModelConfig, ModelError, WrfModel};
 use crate::nest::{Nest, NestConfig};
-use crate::solver::PhysicsParams;
+use crate::solver::{KernelPath, PhysicsParams};
 use crate::vortex::{VortexParams, VortexState};
 use crate::DomainGeom;
 use ncdf::{AttrValue, Data, Dataset, DimId};
@@ -163,6 +163,7 @@ impl WrfModel {
         );
         ds.set_attr("resolution_km", AttrValue::F64(cfg.resolution_km));
         ds.set_attr("decimation", AttrValue::I64(cfg.decimation as i64));
+        ds.set_attr("kernel_path", AttrValue::I64(cfg.kernel_path.as_index()));
         ds.set_attr("sim_secs", AttrValue::F64(sim_secs));
         ds.set_attr("steps_taken", AttrValue::I64(steps as i64));
         ds.set_attr(
@@ -260,6 +261,14 @@ impl WrfModel {
             height_km: n[2],
             recenter_km: n[3],
         };
+        // Absent in pre-lanes checkpoints: default. Present but unknown:
+        // reject rather than silently run a different kernel.
+        let kernel_path = match ds.attr("kernel_path").and_then(|a| a.as_f64()) {
+            None => KernelPath::default(),
+            Some(idx) => KernelPath::from_index(idx as i64).ok_or_else(|| {
+                ModelError::BadCheckpoint(format!("unknown kernel_path index {idx}"))
+            })?,
+        };
         let cfg = ModelConfig {
             geom,
             phys,
@@ -267,6 +276,7 @@ impl WrfModel {
             nest: nest_cfg,
             resolution_km: scalar("resolution_km")?,
             decimation: scalar("decimation")? as usize,
+            kernel_path,
         };
         let vs = list("vortex_state", 3)?;
         let vortex = VortexState {
@@ -426,6 +436,35 @@ mod tests {
         // "Rescheduled on a different number of processors."
         b2.advance_steps(4, 3).unwrap();
         assert_eq!(a, b2);
+    }
+
+    #[test]
+    fn kernel_path_round_trips_and_defaults_when_absent() {
+        // Scalar path survives a checkpoint round trip.
+        let cfg = ModelConfig::aila_default()
+            .with_decimation(8)
+            .with_kernel_path(KernelPath::Scalar);
+        let mut m = WrfModel::new(cfg).unwrap();
+        m.advance_steps(3, 2).unwrap();
+        let r = WrfModel::restore(&m.checkpoint()).unwrap();
+        assert_eq!(r.config().kernel_path, KernelPath::Scalar);
+        assert_eq!(m, r);
+
+        // A pre-lanes checkpoint (no kernel_path attr) restores with the
+        // default path — old snapshots stay loadable.
+        let bytes = m.checkpoint();
+        let mut ds = Dataset::from_bytes(&bytes).unwrap();
+        ds.remove_attr("kernel_path");
+        let legacy = WrfModel::restore(&ds.to_bytes()).unwrap();
+        assert_eq!(legacy.config().kernel_path, KernelPath::default());
+
+        // An unknown index is corruption, not a silent fallback.
+        let mut ds = Dataset::from_bytes(&bytes).unwrap();
+        ds.set_attr("kernel_path", AttrValue::I64(42));
+        assert!(matches!(
+            WrfModel::restore(&ds.to_bytes()),
+            Err(ModelError::BadCheckpoint(_))
+        ));
     }
 
     #[test]

@@ -50,6 +50,7 @@ mod model;
 mod nest;
 pub mod par;
 pub mod pool;
+mod simd;
 mod solver;
 mod vortex;
 
@@ -59,7 +60,7 @@ pub use grid::Grid2;
 pub use model::{ModelConfig, ModelError, WrfModel};
 pub use nest::{Nest, NestConfig};
 pub use pool::WorkerPool;
-pub use solver::PhysicsParams;
+pub use solver::{KernelPath, PhysicsParams};
 pub use vortex::{VortexParams, VortexState, BASE_PRESSURE_HPA};
 
 /// WRF's rule of thumb tying the integration time step to resolution:

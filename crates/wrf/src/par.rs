@@ -18,16 +18,26 @@
 //!   row buffers, and per-rank full-array shims, so a reused workspace
 //!   steps without allocating.
 //!
-//! Both are tested to produce results identical (to f64 round-off — in
-//! fact bitwise, since the arithmetic per point is identical) to the
-//! serial integrator, the property that makes processor-count changes
-//! invisible to the physics, which the job handler's restart logic relies
-//! on.
+//! Both are tested to produce results bitwise identical to the serial
+//! reference *of the same kernel path* ([`crate::solver::KernelPath`]):
+//! the scalar engines against the original serial integrator, the lanes
+//! engines against the lane-ordered serial reference. That per-path
+//! invariance is what makes processor-count changes invisible to the
+//! physics, which the job handler's restart logic relies on.
+//!
+//! Within each rank's band, sweeps run in L2-sized **row tiles**
+//! (`row_tiles`): a tile's rows are processed for all fields of a pass
+//! before moving on, so the ~8 f64 streams a fused pass touches stay
+//! resident instead of being evicted across a full-band walk. Tiling is
+//! bit-neutral — rows are independent within a pass and tiles never split
+//! a row.
 
 use crate::fields::Fields;
-use crate::geom::DomainGeom;
-use crate::solver::{step_eta_q_rows, step_serial_into, step_uv_rows, PhysicsParams, StepInputs};
-use crate::vortex::{VortexParams, VortexState};
+use crate::solver::{
+    step_eta_q_rows, step_eta_q_rows_lanes, step_serial_into, step_serial_lanes_into, step_uv_rows,
+    step_uv_rows_lanes, KernelPath, LaneScratch, StepInputs,
+};
+use crate::{DomainGeom, PhysicsParams, VortexParams, VortexState};
 use crossbeam::channel::{bounded, Receiver, Sender};
 
 /// Split `n` rows into at most `parts` contiguous non-empty bands.
@@ -45,9 +55,36 @@ pub(crate) fn band_ranges(n: usize, parts: usize) -> Vec<(usize, usize)> {
     out
 }
 
+/// Working-set budget per row tile. A fused pass streams roughly eight
+/// f64 arrays (pass 1: eta/u/v/q in, eta/q out and their neighbour rows
+/// come from the same arrays; pass 2 similarly), so a tile of `R` rows
+/// touches ~`R · nx · 8 · 8` bytes. 256 KiB keeps that comfortably inside
+/// typical per-core L2 (512 KiB – 1.25 MiB) while leaving room for the
+/// halo rows above and below the tile.
+const TILE_TARGET_BYTES: usize = 256 * 1024;
+/// Distinct f64 streams a fused pass touches per row (see above).
+const TILE_STREAMS: usize = 8;
+
+/// Rows per tile for an `nx`-wide grid (at least 4, so tiny grids don't
+/// degenerate into per-row calls).
+fn rows_per_tile(nx: usize) -> usize {
+    (TILE_TARGET_BYTES / (nx.max(1) * TILE_STREAMS * std::mem::size_of::<f64>())).max(4)
+}
+
+/// Split the row range `j0..j1` into cache-sized tiles (never splitting a
+/// row, so tiling is invisible to the per-row probe contract). Allocation
+/// free — engines iterate this inside their hot step.
+pub(crate) fn row_tiles(j0: usize, j1: usize, nx: usize) -> impl Iterator<Item = (usize, usize)> {
+    let rows = rows_per_tile(nx);
+    (j0..j1)
+        .step_by(rows)
+        .map(move |t0| (t0, (t0 + rows).min(j1)))
+}
+
 /// Advance one integration step on `threads` freshly spawned workers
 /// (legacy path — two spawn/join rounds per step; see [`crate::pool`] for
-/// the persistent-team replacement).
+/// the persistent-team replacement). Always runs the scalar kernels: this
+/// is the [`KernelPath::Scalar`] parity witness and profiling baseline.
 #[allow(clippy::too_many_arguments)]
 pub fn step_spawning(
     old: &Fields,
@@ -154,6 +191,9 @@ pub struct HaloWorkspace {
     ranks: usize,
     nx: usize,
     ny: usize,
+    /// Kernel implementation this workspace runs (fixed at construction;
+    /// grid-shape rebuilds preserve it).
+    path: KernelPath,
     /// `up[r]` carries rank r's top boundary row to rank r+1.
     up: Vec<Link>,
     /// `down[r]` carries rank r+1's bottom boundary row to rank r.
@@ -163,19 +203,32 @@ pub struct HaloWorkspace {
     /// everything else is stale from earlier steps and never read, because
     /// the stencil reaches at most one row beyond the band.
     eta_full: Vec<Vec<f64>>,
-    /// Per-rank finite probes.
+    /// Per-rank finite probes (scalar path).
     probes: Vec<f64>,
+    /// Per-rank lane scratch (lanes path).
+    lane_scratch: Vec<LaneScratch>,
+    /// Per-row probe slots (lanes path): ranks write disjoint row bands,
+    /// the caller reduces in ascending row order.
+    probe_rows: Vec<f64>,
 }
 
 impl HaloWorkspace {
-    /// Workspace for `ranks` message-passing ranks on an `nx × ny` grid.
+    /// Workspace for `ranks` message-passing ranks on an `nx × ny` grid,
+    /// running the default kernel path.
     pub fn new(ranks: usize, nx: usize, ny: usize) -> Self {
+        Self::with_kernel_path(ranks, nx, ny, KernelPath::default())
+    }
+
+    /// Workspace pinned to a specific kernel path (parity tests and the
+    /// profiling baseline use `Scalar`).
+    pub fn with_kernel_path(ranks: usize, nx: usize, ny: usize, path: KernelPath) -> Self {
         let nranks = band_ranges(ny, ranks.max(1)).len();
         HaloWorkspace {
             requested: ranks.max(1),
             ranks: nranks,
             nx,
             ny,
+            path,
             up: (0..nranks.saturating_sub(1))
                 .map(|_| Link::new(nx))
                 .collect(),
@@ -184,12 +237,19 @@ impl HaloWorkspace {
                 .collect(),
             eta_full: (0..nranks).map(|_| vec![0.0; nx * ny]).collect(),
             probes: vec![0.0; nranks],
+            lane_scratch: (0..nranks).map(|_| LaneScratch::default()).collect(),
+            probe_rows: vec![0.0; ny],
         }
     }
 
     /// Number of ranks actually used (≤ requested: never more than rows).
     pub fn ranks(&self) -> usize {
         self.ranks
+    }
+
+    /// The kernel path this workspace was built with.
+    pub fn kernel_path(&self) -> KernelPath {
+        self.path
     }
 
     /// Advance one step with a real halo exchange of the freshly computed
@@ -217,15 +277,24 @@ impl HaloWorkspace {
         };
         let (nx, ny) = (old.nx(), old.ny());
         if nx != self.nx || ny != self.ny {
-            *self = Self::new(self.requested, nx, ny);
+            *self = Self::with_kernel_path(self.requested, nx, ny, self.path);
         }
         if self.ranks <= 1 {
-            return step_serial_into(&inp, out);
+            return match self.path {
+                KernelPath::Scalar => step_serial_into(&inp, out),
+                KernelPath::Lanes => step_serial_lanes_into(
+                    &inp,
+                    &mut self.lane_scratch[0],
+                    &mut self.probe_rows,
+                    out,
+                ),
+            };
         }
         out.shape_like(old);
         let bands = band_ranges(ny, self.ranks);
         let nranks = bands.len();
         debug_assert_eq!(nranks, self.ranks);
+        let path = self.path;
 
         crossbeam::thread::scope(|s| {
             let Fields { eta, u, v, q, .. } = out;
@@ -233,8 +302,10 @@ impl HaloWorkspace {
             let mut rest_u = u.data_mut();
             let mut rest_v = v.data_mut();
             let mut rest_q = q.data_mut();
+            let mut rest_rows = self.probe_rows.as_mut_slice();
             let mut shims = self.eta_full.iter_mut();
             let mut probes = self.probes.iter_mut();
+            let mut scratches = self.lane_scratch.iter_mut();
 
             for (r, &(j0, j1)) in bands.iter().enumerate() {
                 let rows = j1 - j0;
@@ -242,12 +313,15 @@ impl HaloWorkspace {
                 let (out_u, tu) = rest_u.split_at_mut(rows * nx);
                 let (out_v, tv) = rest_v.split_at_mut(rows * nx);
                 let (out_q, tq) = rest_q.split_at_mut(rows * nx);
+                let (band_rows, tr) = rest_rows.split_at_mut(rows);
                 rest_eta = te;
                 rest_u = tu;
                 rest_v = tv;
                 rest_q = tq;
+                rest_rows = tr;
                 let eta_full = shims.next().expect("one shim per rank");
                 let probe_slot = probes.next().expect("one probe per rank");
+                let scratch = scratches.next().expect("one scratch per rank");
                 let inp = &inp;
 
                 // Channel endpoints owned by this rank. Edge r joins ranks
@@ -274,8 +348,30 @@ impl HaloWorkspace {
                     // Fused continuity + tracer pass straight into this
                     // rank's band of the output (reads shared old state;
                     // its halo is implicit in that read-only borrow, like
-                    // the initial scatter of an MPI run).
-                    let mut probe = step_eta_q_rows(inp, j0, j1, out_eta, out_q);
+                    // the initial scatter of an MPI run). The lanes path
+                    // sweeps the band in cache-sized row tiles and records
+                    // per-row probes instead of a running band sum.
+                    let mut probe = 0.0;
+                    match path {
+                        KernelPath::Scalar => {
+                            probe = step_eta_q_rows(inp, j0, j1, out_eta, out_q);
+                        }
+                        KernelPath::Lanes => {
+                            scratch.prepare(inp);
+                            for (t0, t1) in row_tiles(j0, j1, nx) {
+                                let (lo, hi) = ((t0 - j0) * nx, (t1 - j0) * nx);
+                                step_eta_q_rows_lanes(
+                                    inp,
+                                    scratch,
+                                    t0,
+                                    t1,
+                                    &mut out_eta[lo..hi],
+                                    &mut out_q[lo..hi],
+                                    &mut band_rows[t0 - j0..t1 - j0],
+                                );
+                            }
+                        }
+                    }
 
                     // Halo exchange of the *new* eta: fetch a recycled
                     // buffer, fill it with the boundary row, send.
@@ -308,14 +404,38 @@ impl HaloWorkspace {
                     // Momentum pass over the shim (stale outside the
                     // window, never read there: the stencil reaches one
                     // row beyond the band at most).
-                    probe += step_uv_rows(inp, eta_full, j0, j1, out_u, out_v);
-                    *probe_slot = probe;
+                    match path {
+                        KernelPath::Scalar => {
+                            probe += step_uv_rows(inp, eta_full, j0, j1, out_u, out_v);
+                            *probe_slot = probe;
+                        }
+                        KernelPath::Lanes => {
+                            for (t0, t1) in row_tiles(j0, j1, nx) {
+                                let (lo, hi) = ((t0 - j0) * nx, (t1 - j0) * nx);
+                                step_uv_rows_lanes(
+                                    inp,
+                                    scratch,
+                                    eta_full,
+                                    t0,
+                                    t1,
+                                    &mut out_u[lo..hi],
+                                    &mut out_v[lo..hi],
+                                    &mut band_rows[t0 - j0..t1 - j0],
+                                );
+                            }
+                        }
+                    }
                 });
             }
         })
         .expect("rank panicked");
 
-        self.probes.iter().sum()
+        match self.path {
+            KernelPath::Scalar => self.probes.iter().sum(),
+            // Ascending-row reduction — the same fixed order as the serial
+            // lanes reference, independent of the band decomposition.
+            KernelPath::Lanes => self.probe_rows.iter().sum(),
+        }
     }
 }
 
@@ -365,6 +485,58 @@ mod tests {
         (fields, vortex, phys, vparams, geom)
     }
 
+    fn serial_lanes(
+        fields: &Fields,
+        vortex: &VortexState,
+        phys: &PhysicsParams,
+        vparams: &VortexParams,
+        geom: &DomainGeom,
+        dt: f64,
+    ) -> Fields {
+        let inp = StepInputs {
+            old: fields,
+            vortex,
+            phys,
+            vparams,
+            geom,
+            dt_secs: dt,
+        };
+        let mut out = Fields::zeros(fields.nx(), fields.ny(), fields.dx_km);
+        let mut scratch = LaneScratch::default();
+        let mut rows = Vec::new();
+        step_serial_lanes_into(&inp, &mut scratch, &mut rows, &mut out);
+        out
+    }
+
+    #[test]
+    fn row_tiles_cover_exactly_and_respect_minimum() {
+        for (j0, j1, nx) in [
+            (0usize, 1usize, 5usize),
+            (0, 349, 404),
+            (3, 97, 33),
+            (10, 14, 4000),
+        ] {
+            let tiles: Vec<_> = row_tiles(j0, j1, nx).collect();
+            assert_eq!(tiles[0].0, j0);
+            assert_eq!(tiles.last().unwrap().1, j1);
+            for w in tiles.windows(2) {
+                assert_eq!(w[0].1, w[1].0, "tiles contiguous");
+            }
+            // Every tile except possibly the last spans rows_per_tile ≥ 4.
+            for &(a, b) in &tiles[..tiles.len() - 1] {
+                assert!(b - a >= 4, "tile [{a},{b}) below the 4-row floor");
+            }
+        }
+        // Wide grids shrink the tile toward (but never below) the floor.
+        let wide: Vec<_> = row_tiles(0, 100, 1_000_000).collect();
+        assert!(wide.iter().all(|&(a, b)| b - a <= 4));
+        // Narrow grids get deep tiles that still fit the byte budget.
+        let narrow: Vec<_> = row_tiles(0, 10_000, 64).collect();
+        let depth = narrow[0].1 - narrow[0].0;
+        assert!(depth * 64 * 8 * 8 <= 256 * 1024);
+        assert!(depth >= 64, "narrow grids should tile deep, got {depth}");
+    }
+
     #[test]
     fn band_ranges_cover_exactly() {
         for n in [1usize, 2, 7, 30, 31] {
@@ -393,13 +565,34 @@ mod tests {
     }
 
     #[test]
-    fn halo_rank_step_matches_serial_bitwise() {
+    fn halo_rank_step_matches_lane_serial_bitwise() {
         let (fields, vortex, phys, vparams, geom) = setup();
         let dt = 6.0 * fields.dx_km;
-        let serial = step_spawning(&fields, &vortex, &phys, &vparams, &geom, dt, 1);
+        let serial = serial_lanes(&fields, &vortex, &phys, &vparams, &geom, dt);
         for ranks in [2usize, 3, 5, 8] {
             let mp = step_halo_ranks(&fields, &vortex, &phys, &vparams, &geom, dt, ranks);
             assert_eq!(serial, mp, "ranks = {ranks}");
+        }
+    }
+
+    /// Regression: the scalar path is untouched — a scalar workspace still
+    /// matches the original serial kernels byte for byte.
+    #[test]
+    fn scalar_workspace_still_matches_original_serial() {
+        let (fields, vortex, phys, vparams, geom) = setup();
+        let dt = 6.0 * fields.dx_km;
+        let serial = step_spawning(&fields, &vortex, &phys, &vparams, &geom, dt, 1);
+        for ranks in [2usize, 3, 5] {
+            let mut ws = HaloWorkspace::with_kernel_path(
+                ranks,
+                fields.nx(),
+                fields.ny(),
+                KernelPath::Scalar,
+            );
+            assert_eq!(ws.kernel_path(), KernelPath::Scalar);
+            let mut out = Fields::zeros(1, 1, 1.0);
+            ws.step(&fields, &vortex, &phys, &vparams, &geom, dt, &mut out);
+            assert_eq!(serial, out, "ranks = {ranks}");
         }
     }
 
@@ -408,9 +601,10 @@ mod tests {
         let (mut fields, mut vortex, phys, vparams, geom) = setup();
         let dt = 6.0 * fields.dx_km;
         let mut ws = HaloWorkspace::new(3, fields.nx(), fields.ny());
+        assert_eq!(ws.kernel_path(), KernelPath::Lanes);
         let mut out = Fields::zeros(1, 1, 1.0);
         for _ in 0..4 {
-            let serial = step_spawning(&fields, &vortex, &phys, &vparams, &geom, dt, 1);
+            let serial = serial_lanes(&fields, &vortex, &phys, &vparams, &geom, dt);
             let probe = ws.step(&fields, &vortex, &phys, &vparams, &geom, dt, &mut out);
             assert_eq!(serial, out);
             assert!(probe.is_finite());
@@ -423,22 +617,31 @@ mod tests {
     fn workspace_rebuilds_on_grid_change() {
         let (fields, vortex, phys, vparams, geom) = setup();
         let dt = 6.0 * fields.dx_km;
-        let mut ws = HaloWorkspace::new(3, 5, 5); // wrong shape on purpose
-        let mut out = Fields::zeros(1, 1, 1.0);
-        ws.step(&fields, &vortex, &phys, &vparams, &geom, dt, &mut out);
-        let serial = step_spawning(&fields, &vortex, &phys, &vparams, &geom, dt, 1);
-        assert_eq!(serial, out);
+        for path in [KernelPath::Scalar, KernelPath::Lanes] {
+            let mut ws = HaloWorkspace::with_kernel_path(3, 5, 5, path); // wrong shape on purpose
+            let mut out = Fields::zeros(1, 1, 1.0);
+            ws.step(&fields, &vortex, &phys, &vparams, &geom, dt, &mut out);
+            assert_eq!(ws.kernel_path(), path, "rebuild preserves the path");
+            let serial = match path {
+                KernelPath::Scalar => {
+                    step_spawning(&fields, &vortex, &phys, &vparams, &geom, dt, 1)
+                }
+                KernelPath::Lanes => serial_lanes(&fields, &vortex, &phys, &vparams, &geom, dt),
+            };
+            assert_eq!(serial, out, "{path:?}");
+        }
     }
 
     #[test]
     fn more_ranks_than_rows_is_fine() {
         let (fields, vortex, phys, vparams, geom) = setup();
         let dt = 6.0 * fields.dx_km;
-        let serial = step_spawning(&fields, &vortex, &phys, &vparams, &geom, dt, 1);
+        let serial_scalar = step_spawning(&fields, &vortex, &phys, &vparams, &geom, dt, 1);
         let par = step_spawning(&fields, &vortex, &phys, &vparams, &geom, dt, 1000);
+        assert_eq!(serial_scalar, par);
+        let lanes = serial_lanes(&fields, &vortex, &phys, &vparams, &geom, dt);
         let mp = step_halo_ranks(&fields, &vortex, &phys, &vparams, &geom, dt, 1000);
-        assert_eq!(serial, par);
-        assert_eq!(serial, mp);
+        assert_eq!(lanes, mp);
     }
 
     #[test]

@@ -33,12 +33,20 @@
 //!
 //! # Parity
 //!
-//! Every band runs exactly the serial kernels on its rows, so results are
-//! **bitwise identical** to the serial step (`solver::step_serial`, the
-//! test-only parity reference) for every team
-//! size. That property is load-bearing: the adaptive layer changes the
-//! processor count mid-run and the restart logic replays trajectories on
-//! different worker counts; parity makes both invisible to the physics.
+//! Every band runs exactly the serial kernels *of the selected path*
+//! ([`KernelPath`]) on its rows, so results are **bitwise identical** to
+//! that path's serial reference for every team size: the scalar path
+//! against `solver::step_serial`, the lanes path against the lane-ordered
+//! serial reference (`solver::step_serial_lanes_into`), whose per-row
+//! probe slots make even the finite probe's bits independent of the band
+//! and tile decomposition. That property is load-bearing: the adaptive
+//! layer changes the processor count mid-run and the restart logic replays
+//! trajectories on different worker counts; parity makes both invisible to
+//! the physics.
+//!
+//! Within a band, the lanes path sweeps in L2-sized row tiles
+//! (`par::row_tiles`) — bit-neutral, since rows are independent
+//! within a pass and tiles never split a row.
 //!
 //! # Sizing
 //!
@@ -50,8 +58,11 @@
 
 use crate::fields::Fields;
 use crate::geom::DomainGeom;
-use crate::par::band_ranges;
-use crate::solver::{step_eta_q_rows, step_serial_into, step_uv_rows, PhysicsParams, StepInputs};
+use crate::par::{band_ranges, row_tiles};
+use crate::solver::{
+    step_eta_q_rows, step_eta_q_rows_lanes, step_serial_into, step_serial_lanes_into, step_uv_rows,
+    step_uv_rows_lanes, KernelPath, LaneScratch, PhysicsParams, StepInputs,
+};
 use crate::vortex::{VortexParams, VortexState};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -110,11 +121,16 @@ struct Job {
     u: *mut f64,
     v: *mut f64,
     q: *mut f64,
-    /// One finite-probe slot per team member.
+    /// One finite-probe slot per team member (scalar path).
     probes: *mut f64,
+    /// One finite-probe slot per grid *row* (lanes path): members write the
+    /// disjoint slots of their band, the caller reduces in ascending row
+    /// order so the probe's bits are team-size-invariant.
+    probe_rows: *mut f64,
     nx: usize,
     ny: usize,
     team: usize,
+    path: KernelPath,
 }
 
 // Safety: the raw pointers are only dereferenced between the job's
@@ -139,30 +155,64 @@ struct Shared {
 /// Run this member's bands for one job: fused continuity+tracer pass,
 /// barrier, momentum pass (reading the completed new eta), barrier.
 ///
+/// `scratch` is the member's persistent lane scratch (unused on the
+/// scalar path); keeping it on the worker avoids re-allocating the column
+/// tables every step.
+///
 /// # Safety
 /// Caller must guarantee the job's pointers are valid for the duration of
 /// the call and that no other member uses the same `index`.
-unsafe fn run_member(job: &Job, index: usize, barrier: &SenseBarrier) {
+unsafe fn run_member(job: &Job, index: usize, barrier: &SenseBarrier, scratch: &mut LaneScratch) {
     let bands = band_ranges(job.ny, job.team);
     let inp: &StepInputs<'_> = &*job.inp;
     let mut probe = 0.0;
 
     if let Some(&(j0, j1)) = bands.get(index) {
-        let len = (j1 - j0) * job.nx;
-        let off = j0 * job.nx;
-        let eta = std::slice::from_raw_parts_mut(job.eta.add(off), len);
-        let q = std::slice::from_raw_parts_mut(job.q.add(off), len);
-        probe += step_eta_q_rows(inp, j0, j1, eta, q);
+        match job.path {
+            KernelPath::Scalar => {
+                let len = (j1 - j0) * job.nx;
+                let off = j0 * job.nx;
+                let eta = std::slice::from_raw_parts_mut(job.eta.add(off), len);
+                let q = std::slice::from_raw_parts_mut(job.q.add(off), len);
+                probe += step_eta_q_rows(inp, j0, j1, eta, q);
+            }
+            KernelPath::Lanes => {
+                // Column tables once per step per member, then tile sweeps.
+                scratch.prepare(inp);
+                for (t0, t1) in row_tiles(j0, j1, job.nx) {
+                    let len = (t1 - t0) * job.nx;
+                    let off = t0 * job.nx;
+                    let eta = std::slice::from_raw_parts_mut(job.eta.add(off), len);
+                    let q = std::slice::from_raw_parts_mut(job.q.add(off), len);
+                    let rows = std::slice::from_raw_parts_mut(job.probe_rows.add(t0), t1 - t0);
+                    step_eta_q_rows_lanes(inp, scratch, t0, t1, eta, q, rows);
+                }
+            }
+        }
     }
     barrier.wait();
     if let Some(&(j0, j1)) = bands.get(index) {
-        let len = (j1 - j0) * job.nx;
-        let off = j0 * job.nx;
         // The new eta is complete and no longer written: shared read view.
         let eta_new = std::slice::from_raw_parts(job.eta as *const f64, job.nx * job.ny);
-        let u = std::slice::from_raw_parts_mut(job.u.add(off), len);
-        let v = std::slice::from_raw_parts_mut(job.v.add(off), len);
-        probe += step_uv_rows(inp, eta_new, j0, j1, u, v);
+        match job.path {
+            KernelPath::Scalar => {
+                let len = (j1 - j0) * job.nx;
+                let off = j0 * job.nx;
+                let u = std::slice::from_raw_parts_mut(job.u.add(off), len);
+                let v = std::slice::from_raw_parts_mut(job.v.add(off), len);
+                probe += step_uv_rows(inp, eta_new, j0, j1, u, v);
+            }
+            KernelPath::Lanes => {
+                for (t0, t1) in row_tiles(j0, j1, job.nx) {
+                    let len = (t1 - t0) * job.nx;
+                    let off = t0 * job.nx;
+                    let u = std::slice::from_raw_parts_mut(job.u.add(off), len);
+                    let v = std::slice::from_raw_parts_mut(job.v.add(off), len);
+                    let rows = std::slice::from_raw_parts_mut(job.probe_rows.add(t0), t1 - t0);
+                    step_uv_rows_lanes(inp, scratch, eta_new, t0, t1, u, v, rows);
+                }
+            }
+        }
     }
     *job.probes.add(index) = probe;
     barrier.wait();
@@ -170,6 +220,7 @@ unsafe fn run_member(job: &Job, index: usize, barrier: &SenseBarrier) {
 
 fn worker_loop(shared: Arc<Shared>, index: usize) {
     let mut seen = 0u64;
+    let mut scratch = LaneScratch::default();
     loop {
         let job = {
             let mut g = shared.slot.lock().expect("job slot lock");
@@ -186,7 +237,7 @@ fn worker_loop(shared: Arc<Shared>, index: usize) {
         };
         // Safety: the publishing `step` frame keeps the job's pointers
         // alive until after the final barrier, and `index` is unique.
-        unsafe { run_member(&job, index, &shared.barrier) };
+        unsafe { run_member(&job, index, &shared.barrier, &mut scratch) };
     }
 }
 
@@ -197,11 +248,18 @@ pub struct WorkerPool {
     /// Actual team size, including the caller's thread.
     team: usize,
     clamp: bool,
+    /// Kernel implementation to run. Carried per job, so changing it never
+    /// requires a team rebuild.
+    path: KernelPath,
     /// `None` when `team == 1` (pure serial — no sync machinery at all).
     shared: Option<Arc<Shared>>,
     handles: Vec<JoinHandle<()>>,
-    /// Per-member finite probes, reused across steps.
+    /// Per-member finite probes, reused across steps (scalar path).
     probes: Vec<f64>,
+    /// Per-row finite probes, reused across steps (lanes path).
+    probe_rows: Vec<f64>,
+    /// The caller-thread member's lane scratch.
+    caller_scratch: LaneScratch,
 }
 
 impl std::fmt::Debug for WorkerPool {
@@ -209,6 +267,7 @@ impl std::fmt::Debug for WorkerPool {
         f.debug_struct("WorkerPool")
             .field("requested", &self.requested)
             .field("team", &self.team)
+            .field("path", &self.path)
             .finish()
     }
 }
@@ -222,19 +281,30 @@ fn host_parallelism() -> usize {
 impl WorkerPool {
     /// A pool of `workers` ranks, clamped to the host's available
     /// parallelism (oversubscription cannot help and parity makes the
-    /// clamp semantically invisible).
+    /// clamp semantically invisible). Runs the default kernel path.
     pub fn new(workers: usize) -> Self {
-        Self::build(workers, true)
+        Self::build(workers, true, KernelPath::default())
+    }
+
+    /// A clamped pool pinned to a specific kernel path (the profiling
+    /// binary uses this to time scalar vs lanes on identical teams).
+    pub fn with_kernel_path(workers: usize, path: KernelPath) -> Self {
+        Self::build(workers, true, path)
     }
 
     /// A pool with exactly `workers` ranks, no host clamp — for tests
     /// that must exercise real multi-thread interleavings even on small
-    /// hosts.
+    /// hosts. Runs the default kernel path.
     pub fn with_exact_team(workers: usize) -> Self {
-        Self::build(workers, false)
+        Self::build(workers, false, KernelPath::default())
     }
 
-    fn build(workers: usize, clamp: bool) -> Self {
+    /// An unclamped pool pinned to a specific kernel path.
+    pub fn with_exact_team_path(workers: usize, path: KernelPath) -> Self {
+        Self::build(workers, false, path)
+    }
+
+    fn build(workers: usize, clamp: bool, path: KernelPath) -> Self {
         let requested = workers.max(1);
         let team = if clamp {
             requested.min(host_parallelism())
@@ -268,9 +338,12 @@ impl WorkerPool {
             requested,
             team,
             clamp,
+            path,
             shared,
             handles,
             probes: vec![0.0; team],
+            probe_rows: Vec::new(),
+            caller_scratch: LaneScratch::default(),
         }
     }
 
@@ -282,6 +355,17 @@ impl WorkerPool {
     /// Actual team size after the host clamp (includes the caller).
     pub fn team_size(&self) -> usize {
         self.team
+    }
+
+    /// The kernel path this pool runs.
+    pub fn kernel_path(&self) -> KernelPath {
+        self.path
+    }
+
+    /// Switch kernel paths. Takes effect on the next step; the team is
+    /// untouched (the path rides in the published job).
+    pub fn set_kernel_path(&mut self, path: KernelPath) {
+        self.path = path;
     }
 
     /// Retarget the pool to `workers` ranks. A no-op when the effective
@@ -299,7 +383,7 @@ impl WorkerPool {
             return;
         }
         self.shutdown();
-        *self = Self::build(requested, self.clamp);
+        *self = Self::build(requested, self.clamp, self.path);
     }
 
     fn shutdown(&mut self) {
@@ -320,7 +404,8 @@ impl WorkerPool {
     /// (reshaped if needed; a warm buffer makes the step allocation-free).
     /// Returns the finite probe — non-finite iff some written value was.
     ///
-    /// Results are bitwise identical to `step_serial` for every team size.
+    /// Results are bitwise identical to the selected path's serial
+    /// reference for every team size.
     #[allow(clippy::too_many_arguments)]
     pub fn step(
         &mut self,
@@ -341,11 +426,21 @@ impl WorkerPool {
             dt_secs,
         };
         if self.team <= 1 {
-            return step_serial_into(&inp, out);
+            return match self.path {
+                KernelPath::Scalar => step_serial_into(&inp, out),
+                KernelPath::Lanes => step_serial_lanes_into(
+                    &inp,
+                    &mut self.caller_scratch,
+                    &mut self.probe_rows,
+                    out,
+                ),
+            };
         }
         out.shape_like(old);
         let (nx, ny) = (old.nx(), old.ny());
         self.probes.fill(0.0);
+        self.probe_rows.clear();
+        self.probe_rows.resize(ny, 0.0);
         let job = Job {
             // Lifetime erasure only — the pointee lives on this frame and
             // outlives every use (see module docs).
@@ -355,9 +450,11 @@ impl WorkerPool {
             v: out.v.data_mut().as_mut_ptr(),
             q: out.q.data_mut().as_mut_ptr(),
             probes: self.probes.as_mut_ptr(),
+            probe_rows: self.probe_rows.as_mut_ptr(),
             nx,
             ny,
             team: self.team,
+            path: self.path,
         };
         let shared = self.shared.as_ref().expect("team > 1 has workers");
         {
@@ -370,11 +467,23 @@ impl WorkerPool {
         // Safety: pointers in `job` stay valid for this whole call; the
         // final barrier inside guarantees every worker is done with them
         // before we continue.
-        unsafe { run_member(&job, self.team - 1, &shared.barrier) };
+        unsafe {
+            run_member(
+                &job,
+                self.team - 1,
+                &shared.barrier,
+                &mut self.caller_scratch,
+            )
+        };
         // Workers are parked again (their epoch matches): clear the slot so
         // the raw pointers do not dangle past this frame.
         shared.slot.lock().expect("job slot lock").job = None;
-        self.probes.iter().sum()
+        match self.path {
+            KernelPath::Scalar => self.probes.iter().sum(),
+            // Ascending-row reduction — identical bits to the serial lanes
+            // reference at every team size.
+            KernelPath::Lanes => self.probe_rows.iter().sum(),
+        }
     }
 }
 
@@ -427,18 +536,80 @@ mod tests {
         })
     }
 
+    fn lanes_reference(
+        fields: &Fields,
+        vortex: &VortexState,
+        phys: &PhysicsParams,
+        vparams: &VortexParams,
+        geom: &DomainGeom,
+        dt: f64,
+    ) -> (Fields, f64) {
+        let inp = StepInputs {
+            old: fields,
+            vortex,
+            phys,
+            vparams,
+            geom,
+            dt_secs: dt,
+        };
+        let mut out = Fields::zeros(fields.nx(), fields.ny(), fields.dx_km);
+        let mut scratch = LaneScratch::default();
+        let mut rows = Vec::new();
+        let probe = step_serial_lanes_into(&inp, &mut scratch, &mut rows, &mut out);
+        (out, probe)
+    }
+
     #[test]
     fn pooled_step_matches_serial_bitwise_for_all_team_sizes() {
         let (fields, vortex, phys, vparams, geom) = setup();
         let dt = 6.0 * fields.dx_km;
-        let serial = serial_reference(&fields, &vortex, &phys, &vparams, &geom, dt);
+        let (serial, serial_probe) = lanes_reference(&fields, &vortex, &phys, &vparams, &geom, dt);
         for team in [1usize, 2, 3, 4, 7, 8] {
             let mut pool = WorkerPool::with_exact_team(team);
+            assert_eq!(pool.kernel_path(), KernelPath::Lanes);
+            let mut out = Fields::zeros(1, 1, 1.0);
+            let probe = pool.step(&fields, &vortex, &phys, &vparams, &geom, dt, &mut out);
+            assert_eq!(serial, out, "team = {team}");
+            // The lanes probe is part of the parity contract: identical
+            // *bits*, not merely finite, at every team size.
+            assert_eq!(probe.to_bits(), serial_probe.to_bits(), "team = {team}");
+        }
+    }
+
+    /// Regression: a scalar-path pool still matches the original serial
+    /// kernels byte for byte at every team size.
+    #[test]
+    fn scalar_pool_still_matches_original_serial() {
+        let (fields, vortex, phys, vparams, geom) = setup();
+        let dt = 6.0 * fields.dx_km;
+        let serial = serial_reference(&fields, &vortex, &phys, &vparams, &geom, dt);
+        for team in [1usize, 2, 3, 5, 8] {
+            let mut pool = WorkerPool::with_exact_team_path(team, KernelPath::Scalar);
             let mut out = Fields::zeros(1, 1, 1.0);
             let probe = pool.step(&fields, &vortex, &phys, &vparams, &geom, dt, &mut out);
             assert_eq!(serial, out, "team = {team}");
             assert!(probe.is_finite());
         }
+    }
+
+    /// Switching paths on a live pool takes effect immediately and each
+    /// path keeps matching its own reference.
+    #[test]
+    fn set_kernel_path_switches_references() {
+        let (fields, vortex, phys, vparams, geom) = setup();
+        let dt = 6.0 * fields.dx_km;
+        let scalar = serial_reference(&fields, &vortex, &phys, &vparams, &geom, dt);
+        let (lanes, _) = lanes_reference(&fields, &vortex, &phys, &vparams, &geom, dt);
+        let mut pool = WorkerPool::with_exact_team(3);
+        let mut out = Fields::zeros(1, 1, 1.0);
+        pool.step(&fields, &vortex, &phys, &vparams, &geom, dt, &mut out);
+        assert_eq!(lanes, out);
+        pool.set_kernel_path(KernelPath::Scalar);
+        pool.step(&fields, &vortex, &phys, &vparams, &geom, dt, &mut out);
+        assert_eq!(scalar, out);
+        pool.set_kernel_path(KernelPath::Lanes);
+        pool.step(&fields, &vortex, &phys, &vparams, &geom, dt, &mut out);
+        assert_eq!(lanes, out);
     }
 
     #[test]
@@ -448,7 +619,7 @@ mod tests {
         let mut out = Fields::zeros(1, 1, 1.0);
         for _ in 0..5 {
             let dt = 6.0 * fields.dx_km;
-            let serial = serial_reference(&fields, &vortex, &phys, &vparams, &geom, dt);
+            let (serial, _) = lanes_reference(&fields, &vortex, &phys, &vparams, &geom, dt);
             pool.step(&fields, &vortex, &phys, &vparams, &geom, dt, &mut out);
             assert_eq!(serial, out);
             std::mem::swap(&mut fields, &mut out);
@@ -456,7 +627,7 @@ mod tests {
         // Same pool, different grid shape: `out` reshapes in place.
         let smaller = fields.resample(20, 17, 320.0);
         let dt = 6.0 * smaller.dx_km;
-        let serial = serial_reference(&smaller, &vortex, &phys, &vparams, &geom, dt);
+        let (serial, _) = lanes_reference(&smaller, &vortex, &phys, &vparams, &geom, dt);
         pool.step(&smaller, &vortex, &phys, &vparams, &geom, dt, &mut out);
         assert_eq!(serial, out);
     }
@@ -465,14 +636,16 @@ mod tests {
     fn resize_changes_team_and_preserves_results() {
         let (fields, vortex, phys, vparams, geom) = setup();
         let dt = 6.0 * fields.dx_km;
-        let serial = serial_reference(&fields, &vortex, &phys, &vparams, &geom, dt);
+        let (serial, serial_probe) = lanes_reference(&fields, &vortex, &phys, &vparams, &geom, dt);
         let mut pool = WorkerPool::with_exact_team(2);
         let mut out = Fields::zeros(1, 1, 1.0);
         for team in [4usize, 1, 3, 2] {
             pool.resize(team);
             assert_eq!(pool.team_size(), team);
-            pool.step(&fields, &vortex, &phys, &vparams, &geom, dt, &mut out);
+            assert_eq!(pool.kernel_path(), KernelPath::Lanes, "resize keeps path");
+            let probe = pool.step(&fields, &vortex, &phys, &vparams, &geom, dt, &mut out);
             assert_eq!(serial, out, "after resize to {team}");
+            assert_eq!(probe.to_bits(), serial_probe.to_bits());
         }
     }
 
@@ -495,7 +668,7 @@ mod tests {
     fn more_ranks_than_rows_is_fine() {
         let (fields, vortex, phys, vparams, geom) = setup();
         let dt = 6.0 * fields.dx_km;
-        let serial = serial_reference(&fields, &vortex, &phys, &vparams, &geom, dt);
+        let (serial, _) = lanes_reference(&fields, &vortex, &phys, &vparams, &geom, dt);
         // team > ny: trailing members idle at the barriers.
         let mut pool = WorkerPool::with_exact_team(40);
         let mut out = Fields::zeros(1, 1, 1.0);

@@ -1,0 +1,312 @@
+//! Portable f64×4 lanes for the vectorized kernels.
+//!
+//! No nightly features, no intrinsics: [`F64x4`] is a plain `[f64; 4]`
+//! with element-wise arithmetic written as fixed-count loops, the shape
+//! LLVM's autovectorizer reliably lowers to packed SSE2/AVX instructions
+//! on every x86-64 baseline (and to NEON on aarch64). The point is not to
+//! hand-schedule instructions but to present the optimizer with
+//! branch-free, stride-1, four-wide arithmetic — and to give the solver a
+//! *named*, documented lane layout its bitwise-parity contract can be
+//! stated against (see DESIGN.md §17).
+//!
+//! # Reduction-order contract
+//!
+//! [`F64x4::reduce`] always sums as `(l0 + l1) + (l2 + l3)`. The lanes
+//! kernels accumulate their per-row finite probes into one `F64x4`
+//! accumulator across the row's lane blocks, reduce it with exactly that
+//! tree, and add edge/remainder terms in left-to-right order. Row
+//! decomposition (bands across ranks, tiles within a band) never splits a
+//! row, so a row's probe is a pure function of the row's inputs and `nx` —
+//! which is what makes the pooled lanes engine bitwise-identical to the
+//! lane-ordered serial reference at every team size.
+
+/// Four f64 lanes with element-wise arithmetic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct F64x4(pub [f64; 4]);
+
+impl F64x4 {
+    /// Lane width.
+    pub const LANES: usize = 4;
+
+    /// All lanes set to `v`.
+    #[inline(always)]
+    pub fn splat(v: f64) -> Self {
+        F64x4([v; 4])
+    }
+
+    /// Load four consecutive values from `s` (must have `len >= 4`).
+    #[inline(always)]
+    pub fn load(s: &[f64]) -> Self {
+        F64x4([s[0], s[1], s[2], s[3]])
+    }
+
+    /// Store the lanes into the first four slots of `out`.
+    #[inline(always)]
+    pub fn store(self, out: &mut [f64]) {
+        out[..4].copy_from_slice(&self.0);
+    }
+
+    /// Element-wise square root (lowers to `sqrtpd`).
+    #[inline(always)]
+    pub fn sqrt(self) -> Self {
+        F64x4([
+            self.0[0].sqrt(),
+            self.0[1].sqrt(),
+            self.0[2].sqrt(),
+            self.0[3].sqrt(),
+        ])
+    }
+
+    /// Per-lane `mask ? t : f` — compiles to compare + blend, no branches.
+    #[inline(always)]
+    pub fn select(mask: [bool; 4], t: Self, f: Self) -> Self {
+        let mut out = [0.0; 4];
+        for l in 0..4 {
+            out[l] = if mask[l] { t.0[l] } else { f.0[l] };
+        }
+        F64x4(out)
+    }
+
+    /// Per-lane `self >= 0.0`.
+    #[inline(always)]
+    pub fn ge_zero(self) -> [bool; 4] {
+        [
+            self.0[0] >= 0.0,
+            self.0[1] >= 0.0,
+            self.0[2] >= 0.0,
+            self.0[3] >= 0.0,
+        ]
+    }
+
+    /// Per-lane `self <= other`.
+    #[inline(always)]
+    pub fn le(self, other: Self) -> [bool; 4] {
+        [
+            self.0[0] <= other.0[0],
+            self.0[1] <= other.0[1],
+            self.0[2] <= other.0[2],
+            self.0[3] <= other.0[3],
+        ]
+    }
+
+    /// Per-lane `self < other`.
+    #[inline(always)]
+    pub fn lt(self, other: Self) -> [bool; 4] {
+        [
+            self.0[0] < other.0[0],
+            self.0[1] < other.0[1],
+            self.0[2] < other.0[2],
+            self.0[3] < other.0[3],
+        ]
+    }
+
+    /// Horizontal sum in the *fixed* tree order `(l0 + l1) + (l2 + l3)`.
+    ///
+    /// This order is part of the kernels' bitwise-parity contract — see
+    /// the module docs. Never "optimize" it to a serial fold.
+    #[inline(always)]
+    pub fn reduce(self) -> f64 {
+        (self.0[0] + self.0[1]) + (self.0[2] + self.0[3])
+    }
+}
+
+macro_rules! lane_op {
+    ($trait:ident, $fn:ident, $op:tt) => {
+        impl std::ops::$trait for F64x4 {
+            type Output = F64x4;
+            #[inline(always)]
+            fn $fn(self, rhs: F64x4) -> F64x4 {
+                let mut out = [0.0; 4];
+                for l in 0..4 {
+                    out[l] = self.0[l] $op rhs.0[l];
+                }
+                F64x4(out)
+            }
+        }
+    };
+}
+
+lane_op!(Add, add, +);
+lane_op!(Sub, sub, -);
+lane_op!(Mul, mul, *);
+lane_op!(Div, div, /);
+
+impl std::ops::Neg for F64x4 {
+    type Output = F64x4;
+    #[inline(always)]
+    fn neg(self) -> F64x4 {
+        let mut out = self.0;
+        for v in &mut out {
+            *v = -*v;
+        }
+        F64x4(out)
+    }
+}
+
+// Argument-reduction constants for `exp4` (Cody–Waite split of ln 2, so
+// `x − k·ln2` loses no bits for |k| up to ~2^20).
+const LOG2_E: f64 = std::f64::consts::LOG2_E;
+// The extra digits are the published Cody–Waite values; they round to the
+// intended f64 pair and are kept verbatim for auditability.
+#[allow(clippy::excessive_precision)]
+const LN2_HI: f64 = 6.931_471_803_691_238_164_9e-1;
+#[allow(clippy::excessive_precision)]
+const LN2_LO: f64 = 1.908_214_929_270_587_700_02e-10;
+/// 1.5·2^52 — adding then subtracting it rounds to the nearest integer in
+/// the current (round-to-nearest) mode, branch-free.
+const ROUND_MAGIC: f64 = 6_755_399_441_055_744.0;
+/// Saturation bound: `exp4` returns 0 below −708 and +∞ above +708
+/// (slightly inside the true f64 exp range, trading the subnormal tail
+/// for a branch-free scale step). The kernels only ever pass arguments in
+/// (−60, 0], far from either bound.
+const EXP_SAT: f64 = 708.0;
+
+/// Taylor coefficients of `exp(r)` for `r ∈ [−ln2/2, ln2/2]`; the degree-12
+/// truncation error is below 2·10⁻¹⁶ relative on that interval.
+const EXP_POLY: [f64; 13] = [
+    1.0,
+    1.0,
+    1.0 / 2.0,
+    1.0 / 6.0,
+    1.0 / 24.0,
+    1.0 / 120.0,
+    1.0 / 720.0,
+    1.0 / 5040.0,
+    1.0 / 40320.0,
+    1.0 / 362880.0,
+    1.0 / 3628800.0,
+    1.0 / 39916800.0,
+    1.0 / 479001600.0,
+];
+
+/// Branch-free four-lane `exp`, accurate to ≲10⁻¹⁴ relative on
+/// `[−EXP_SAT, EXP_SAT]`, saturating (0 / +∞) outside and propagating NaN.
+///
+/// Classic `exp = 2^k · exp(r)` with `k = round(x / ln2)` (magic-number
+/// rounding), a Cody–Waite reduced remainder, a degree-12 Horner
+/// polynomial, and the power of two assembled straight into the exponent
+/// bits — every step is plain lane arithmetic the autovectorizer can pack.
+#[inline(always)]
+pub(crate) fn exp4(x: F64x4) -> F64x4 {
+    let mut out = [0.0; 4];
+    for (slot, &v) in out.iter_mut().zip(x.0.iter()) {
+        let c = v.clamp(-EXP_SAT, EXP_SAT);
+        let kf = (c * LOG2_E + ROUND_MAGIC) - ROUND_MAGIC;
+        let r = (c - kf * LN2_HI) - kf * LN2_LO;
+        let mut p = EXP_POLY[12];
+        let mut d = 11usize;
+        loop {
+            p = p * r + EXP_POLY[d];
+            if d == 0 {
+                break;
+            }
+            d -= 1;
+        }
+        let bits = (((kf as i64) + 1023) as u64) << 52;
+        let scaled = p * f64::from_bits(bits);
+        // Saturate outside the clamp window; NaN fails both compares and
+        // falls through as the (NaN) computed value.
+        *slot = if v < -EXP_SAT {
+            0.0
+        } else if v > EXP_SAT {
+            f64::INFINITY
+        } else {
+            scaled
+        };
+    }
+    F64x4(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_is_elementwise() {
+        let a = F64x4([1.0, 2.0, 3.0, 4.0]);
+        let b = F64x4([10.0, 20.0, 30.0, 40.0]);
+        assert_eq!((a + b).0, [11.0, 22.0, 33.0, 44.0]);
+        assert_eq!((b - a).0, [9.0, 18.0, 27.0, 36.0]);
+        assert_eq!((a * b).0, [10.0, 40.0, 90.0, 160.0]);
+        assert_eq!((b / a).0, [10.0, 10.0, 10.0, 10.0]);
+        assert_eq!((-a).0, [-1.0, -2.0, -3.0, -4.0]);
+        assert_eq!(F64x4::splat(9.0).0, [9.0; 4]);
+        assert_eq!(a.sqrt().0[3], 2.0);
+    }
+
+    #[test]
+    fn load_store_roundtrip() {
+        let src = [5.0, 6.0, 7.0, 8.0, 9.0];
+        let v = F64x4::load(&src[1..]);
+        let mut dst = [0.0; 6];
+        v.store(&mut dst[2..]);
+        assert_eq!(&dst[2..6], &src[1..5]);
+    }
+
+    #[test]
+    fn select_and_compares() {
+        let v = F64x4([-1.0, 0.0, 2.0, -0.0]);
+        assert_eq!(v.ge_zero(), [false, true, true, true]);
+        assert_eq!(v.lt(F64x4::splat(0.5)), [true, true, false, true]);
+        assert_eq!(v.le(F64x4::splat(0.0)), [true, true, false, true]);
+        let t = F64x4::splat(1.0);
+        let f = F64x4::splat(-1.0);
+        assert_eq!(
+            F64x4::select([true, false, true, false], t, f).0,
+            [1.0, -1.0, 1.0, -1.0]
+        );
+        // Select must mask out NaN in the unchosen lane.
+        let bad = F64x4::splat(f64::NAN);
+        let picked = F64x4::select([true; 4], t, bad);
+        assert_eq!(picked.0, [1.0; 4]);
+    }
+
+    #[test]
+    fn reduce_uses_the_documented_tree_order() {
+        // Values chosen so (l0+l1)+(l2+l3) differs in the last bits from
+        // the serial fold ((l0+l1)+l2)+l3 — the contract is the tree.
+        let v = F64x4([1.0, 1e16, -1e16, 1.0]);
+        let tree = (v.0[0] + v.0[1]) + (v.0[2] + v.0[3]);
+        let serial = ((v.0[0] + v.0[1]) + v.0[2]) + v.0[3];
+        assert_eq!(v.reduce(), tree);
+        assert_ne!(tree, serial, "test values must distinguish the orders");
+    }
+
+    #[test]
+    fn exp4_matches_libm_closely() {
+        let mut worst = 0.0f64;
+        let mut x = -60.0;
+        while x <= 30.0 {
+            let got = exp4(F64x4::splat(x)).0[0];
+            let want = x.exp();
+            let rel = (got - want).abs() / want;
+            worst = worst.max(rel);
+            x += 0.017;
+        }
+        assert!(worst < 1e-13, "worst relative error {worst:.3e}");
+    }
+
+    #[test]
+    fn exp4_mixed_lanes_and_special_values() {
+        let v = exp4(F64x4([0.0, 1.0, -700.0, 700.0]));
+        assert_eq!(v.0[0], 1.0);
+        assert!((v.0[1] - std::f64::consts::E).abs() < 1e-14);
+        assert!((v.0[2] / (-700.0f64).exp() - 1.0).abs() < 1e-12);
+        assert!((v.0[3] / (700.0f64).exp() - 1.0).abs() < 1e-12);
+
+        let sat = exp4(F64x4([-1e9, 1e9, f64::NEG_INFINITY, f64::INFINITY]));
+        assert_eq!(sat.0[0], 0.0);
+        assert_eq!(sat.0[1], f64::INFINITY);
+        assert_eq!(sat.0[2], 0.0);
+        assert_eq!(sat.0[3], f64::INFINITY);
+
+        let nan = exp4(F64x4::splat(f64::NAN));
+        assert!(nan.0.iter().all(|v| v.is_nan()), "NaN propagates");
+    }
+
+    #[test]
+    fn exp4_is_deterministic_across_calls() {
+        let x = F64x4([-3.25, -0.5, -17.125, -42.0]);
+        assert_eq!(exp4(x).0, exp4(x).0);
+    }
+}

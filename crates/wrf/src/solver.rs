@@ -26,8 +26,57 @@
 
 use crate::fields::Fields;
 use crate::geom::DomainGeom;
+use crate::simd::{exp4, F64x4};
 use crate::vortex::{VortexParams, VortexState};
 use serde::{Deserialize, Serialize};
+
+/// Which kernel implementation the engines run.
+///
+/// Both paths are full implementations of the same physics; they differ in
+/// arithmetic organization and therefore in low-order bits. Each path has
+/// its *own* serial reference and its own bitwise-parity contract across
+/// team sizes, tilings, and mid-run resizes — `Scalar` stays byte-exact
+/// with the historical kernels, `Lanes` is byte-exact with the
+/// lane-ordered serial reference (see DESIGN.md §17).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum KernelPath {
+    /// The original point-at-a-time kernels: libm transcendentals, true
+    /// divisions, left-to-right row sums. Kept selectable as the parity
+    /// baseline and the profiling reference.
+    Scalar,
+    /// f64×4 lane kernels (`wrf::simd`): separable Gaussian nudge
+    /// targets, branch-free `exp4`, reciprocal multiplies, and the fixed
+    /// per-row probe reduction order.
+    #[default]
+    Lanes,
+}
+
+impl KernelPath {
+    /// Stable integer tag used by the checkpoint attribute encoding.
+    pub fn as_index(self) -> i64 {
+        match self {
+            KernelPath::Scalar => 0,
+            KernelPath::Lanes => 1,
+        }
+    }
+
+    /// Inverse of [`KernelPath::as_index`].
+    pub fn from_index(idx: i64) -> Option<Self> {
+        match idx {
+            0 => Some(KernelPath::Scalar),
+            1 => Some(KernelPath::Lanes),
+            _ => None,
+        }
+    }
+
+    /// Lower-case label used in bench artifacts (`BENCH_physics.json`).
+    pub fn label(self) -> &'static str {
+        match self {
+            KernelPath::Scalar => "scalar",
+            KernelPath::Lanes => "lanes",
+        }
+    }
+}
 
 /// Physical and numerical parameters of the integrator.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -279,6 +328,458 @@ pub(crate) fn step_uv_rows(
     probe
 }
 
+/// Per-rank scratch for the lanes kernels, prepared once per step.
+///
+/// The expensive per-point work of the scalar kernels is transcendental:
+/// the Gaussian nudge targets cost two `exp` per point in pass 1 and a
+/// `sqrt` + `exp` per point in pass 2. The eta target and the moisture
+/// core share the same radius, and a Gaussian separates —
+/// `exp(−(Δx²+Δy²)·s) = exp(−Δx²·s) · exp(−Δy²·s)` — so pass 1 needs only
+/// an `nx`-length column table plus one row factor: `nx + ny` libm exps
+/// per rank per step instead of `2·nx·ny`. Pass 2's Rankine decay does not
+/// separate (it is a function of `r`, not `r²`) and is evaluated four-wide
+/// with [`exp4`] instead.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct LaneScratch {
+    /// `x_km(i)` per column.
+    xcol: Vec<f64>,
+    /// `exp(−(x_i − cx)²/(2·radius²))` per column — the separable half of
+    /// both pass-1 Gaussian targets.
+    gauss_col: Vec<f64>,
+    /// Per-row land/sea moisture background, filled inside pass 1.
+    qbase_row: Vec<f64>,
+}
+
+impl LaneScratch {
+    /// Rebuild the column tables for this step's grid and vortex position.
+    pub fn prepare(&mut self, inp: &StepInputs<'_>) {
+        let f = inp.old;
+        let nx = f.nx();
+        self.xcol.clear();
+        self.xcol.extend((0..nx).map(|i| f.x_km(i)));
+        let inv2s2 = 1.0 / (2.0 * inp.vparams.radius_km * inp.vparams.radius_km);
+        let cx = inp.vortex.x_km;
+        self.gauss_col.clear();
+        for &x in &self.xcol {
+            let d = x - cx;
+            self.gauss_col.push((-(d * d) * inv2s2).exp());
+        }
+        self.qbase_row.clear();
+        self.qbase_row.resize(nx, 0.0);
+    }
+}
+
+/// Lanes pass 1 (fused continuity + tracer) for rows `j0..j1`.
+///
+/// Writes the same rows as [`step_eta_q_rows`] but four columns at a time,
+/// and writes each row's finite-probe contribution into `probes[j − j0]`
+/// instead of returning a running sum. The per-row probe is computed in a
+/// *fixed* order — left boundary value, then the lane accumulator reduced
+/// as `(l0+l1)+(l2+l3)` ([`F64x4::reduce`]), then scalar remainder columns
+/// in ascending `i`, then the right boundary value; eta's row sum plus q's
+/// row sum — so a row's probe depends only on the row's inputs and `nx`,
+/// never on how rows were split into bands or tiles.
+pub(crate) fn step_eta_q_rows_lanes(
+    inp: &StepInputs<'_>,
+    scratch: &mut LaneScratch,
+    j0: usize,
+    j1: usize,
+    out_eta: &mut [f64],
+    out_q: &mut [f64],
+    probes: &mut [f64],
+) {
+    let f = inp.old;
+    let (nx, ny) = (f.nx(), f.ny());
+    debug_assert_eq!(out_eta.len(), (j1 - j0) * nx);
+    debug_assert_eq!(out_q.len(), (j1 - j0) * nx);
+    debug_assert_eq!(probes.len(), j1 - j0);
+    debug_assert_eq!(scratch.gauss_col.len(), nx, "prepare() not called");
+
+    let dx = inp.dx_m();
+    let dt = inp.dt_secs;
+    let h = inp.phys.mean_depth_m;
+    let nu = inp.nu();
+    let damp = inp.phys.rayleigh;
+    // The lanes reference multiplies by reciprocals where the scalar path
+    // divides — one of the deliberate low-order-bit differences between
+    // the two paths.
+    let inv_2dx = 1.0 / (2.0 * dx);
+    let inv_dx = 1.0 / dx;
+    let inv_dx2 = 1.0 / (dx * dx);
+    let inv_tau = 1.0 / inp.phys.nudge_tau_secs;
+    let inv_qtau = 1.0 / inp.phys.q_tau_secs;
+
+    let amp = inp.vortex.depth_hpa / inp.vparams.hpa_per_eta_m;
+    let boost = inp.phys.q_vortex_boost * (inp.vortex.depth_hpa / inp.vparams.max_depth_hpa);
+    let inv2s2 = 1.0 / (2.0 * inp.vparams.radius_km * inp.vparams.radius_km);
+    let cy = inp.vortex.y_km;
+    let (q_land, q_sea) = (inp.phys.q_land, inp.phys.q_sea);
+
+    let eta = f.eta.data();
+    let u = f.u.data();
+    let v = f.v.data();
+    let q = f.q.data();
+
+    let dt4 = F64x4::splat(dt);
+    let neg_h4 = F64x4::splat(-h);
+    let nu4 = F64x4::splat(nu);
+    let damp4 = F64x4::splat(damp);
+    let inv_2dx4 = F64x4::splat(inv_2dx);
+    let inv_dx4 = F64x4::splat(inv_dx);
+    let inv_dx2_4 = F64x4::splat(inv_dx2);
+    let inv_tau4 = F64x4::splat(inv_tau);
+    let inv_qtau4 = F64x4::splat(inv_qtau);
+    let four4 = F64x4::splat(4.0);
+    let neg_amp4 = F64x4::splat(-amp);
+    let boost4 = F64x4::splat(boost);
+
+    let LaneScratch {
+        xcol,
+        gauss_col,
+        qbase_row,
+    } = scratch;
+
+    for j in j0..j1 {
+        let y = f.y_km(j);
+        let dyk = y - cy;
+        let gy = (-(dyk * dyk) * inv2s2).exp();
+        let gy4 = F64x4::splat(gy);
+        for (slot, &x) in qbase_row.iter_mut().zip(xcol.iter()) {
+            *slot = if inp.geom.is_land_km(x, y) {
+                q_land
+            } else {
+                q_sea
+            };
+        }
+        let base = (j - j0) * nx;
+        let row_eta = &mut out_eta[base..base + nx];
+        let row_q = &mut out_q[base..base + nx];
+
+        if j == 0 || j == ny - 1 {
+            // Boundary rows are pure analytic targets; plain ascending sum.
+            for i in 0..nx {
+                row_eta[i] = (-amp) * gauss_col[i] * gy;
+                row_q[i] = qbase_row[i] + boost * gauss_col[i] * gy;
+            }
+            probes[j - j0] = row_eta.iter().sum::<f64>() + row_q.iter().sum::<f64>();
+            continue;
+        }
+
+        let ec = &eta[j * nx..(j + 1) * nx];
+        let en = &eta[(j + 1) * nx..(j + 2) * nx];
+        let es = &eta[(j - 1) * nx..j * nx];
+        let uc = &u[j * nx..(j + 1) * nx];
+        let vc = &v[j * nx..(j + 1) * nx];
+        let vn = &v[(j + 1) * nx..(j + 2) * nx];
+        let vs = &v[(j - 1) * nx..j * nx];
+        let qc = &q[j * nx..(j + 1) * nx];
+        let qn = &q[(j + 1) * nx..(j + 2) * nx];
+        let qs = &q[(j - 1) * nx..j * nx];
+
+        // --- eta row ---
+        row_eta[0] = (-amp) * gauss_col[0] * gy;
+        let mut p_eta = row_eta[0];
+        let mut acc = F64x4::splat(0.0);
+        let mut i = 1;
+        while i + F64x4::LANES < nx {
+            let e = F64x4::load(&ec[i..]);
+            let div = ((F64x4::load(&uc[i + 1..]) - F64x4::load(&uc[i - 1..]))
+                + (F64x4::load(&vn[i..]) - F64x4::load(&vs[i..])))
+                * inv_2dx4;
+            let lap = ((F64x4::load(&ec[i + 1..]) + F64x4::load(&ec[i - 1..]))
+                + (F64x4::load(&en[i..]) + F64x4::load(&es[i..]))
+                - four4 * e)
+                * inv_dx2_4;
+            let tgt = neg_amp4 * F64x4::load(&gauss_col[i..]) * gy4;
+            let val = e + dt4 * (neg_h4 * div + nu4 * lap + (tgt - e) * inv_tau4 - damp4 * e);
+            val.store(&mut row_eta[i..]);
+            acc = acc + val;
+            i += F64x4::LANES;
+        }
+        p_eta += acc.reduce();
+        while i < nx - 1 {
+            let e = ec[i];
+            let div = ((uc[i + 1] - uc[i - 1]) + (vn[i] - vs[i])) * inv_2dx;
+            let lap = ((ec[i + 1] + ec[i - 1]) + (en[i] + es[i]) - 4.0 * e) * inv_dx2;
+            let tgt = (-amp) * gauss_col[i] * gy;
+            let val = e + dt * ((-h) * div + nu * lap + (tgt - e) * inv_tau - damp * e);
+            row_eta[i] = val;
+            p_eta += val;
+            i += 1;
+        }
+        row_eta[nx - 1] = (-amp) * gauss_col[nx - 1] * gy;
+        p_eta += row_eta[nx - 1];
+
+        // --- q row ---
+        row_q[0] = qbase_row[0] + boost * gauss_col[0] * gy;
+        let mut p_q = row_q[0];
+        let mut acc = F64x4::splat(0.0);
+        let mut i = 1;
+        while i + F64x4::LANES < nx {
+            let qv = F64x4::load(&qc[i..]);
+            let ql = F64x4::load(&qc[i - 1..]);
+            let qr = F64x4::load(&qc[i + 1..]);
+            let qup = F64x4::load(&qn[i..]);
+            let qdn = F64x4::load(&qs[i..]);
+            let uv = F64x4::load(&uc[i..]);
+            let vv = F64x4::load(&vc[i..]);
+            // Upwind selects replace the scalar path's branches.
+            let dqdx = F64x4::select(uv.ge_zero(), (qv - ql) * inv_dx4, (qr - qv) * inv_dx4);
+            let dqdy = F64x4::select(vv.ge_zero(), (qv - qdn) * inv_dx4, (qup - qv) * inv_dx4);
+            let lap = ((qr + ql) + (qup + qdn) - four4 * qv) * inv_dx2_4;
+            let tgt = F64x4::load(&qbase_row[i..]) + boost4 * F64x4::load(&gauss_col[i..]) * gy4;
+            let val = qv + dt4 * (-(uv * dqdx + vv * dqdy) + nu4 * lap + (tgt - qv) * inv_qtau4);
+            val.store(&mut row_q[i..]);
+            acc = acc + val;
+            i += F64x4::LANES;
+        }
+        p_q += acc.reduce();
+        while i < nx - 1 {
+            let qv = qc[i];
+            let uv = uc[i];
+            let vv = vc[i];
+            let dqdx = if uv >= 0.0 {
+                (qv - qc[i - 1]) * inv_dx
+            } else {
+                (qc[i + 1] - qv) * inv_dx
+            };
+            let dqdy = if vv >= 0.0 {
+                (qv - qs[i]) * inv_dx
+            } else {
+                (qn[i] - qv) * inv_dx
+            };
+            let lap = ((qc[i + 1] + qc[i - 1]) + (qn[i] + qs[i]) - 4.0 * qv) * inv_dx2;
+            let tgt = qbase_row[i] + boost * gauss_col[i] * gy;
+            let val = qv + dt * (-(uv * dqdx + vv * dqdy) + nu * lap + (tgt - qv) * inv_qtau);
+            row_q[i] = val;
+            p_q += val;
+            i += 1;
+        }
+        row_q[nx - 1] = qbase_row[nx - 1] + boost * gauss_col[nx - 1] * gy;
+        p_q += row_q[nx - 1];
+
+        probes[j - j0] = p_eta + p_q;
+    }
+}
+
+/// Lanes pass 2 (momentum) for rows `j0..j1`, reading the *new* eta.
+///
+/// Adds each row's probe contribution into `probes[j − j0]` (pass 1 wrote
+/// the slot), u's row sum then v's, each in the same fixed order as pass 1.
+/// The Rankine wind target is evaluated four-wide: `sqrt` lowers to
+/// `sqrtpd`, the outside-the-eyewall decay uses [`exp4`], and the calm-eye
+/// and solid-body branches become lane selects.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn step_uv_rows_lanes(
+    inp: &StepInputs<'_>,
+    scratch: &LaneScratch,
+    eta_new: &[f64],
+    j0: usize,
+    j1: usize,
+    out_u: &mut [f64],
+    out_v: &mut [f64],
+    probes: &mut [f64],
+) {
+    let f = inp.old;
+    let (nx, ny) = (f.nx(), f.ny());
+    debug_assert_eq!(eta_new.len(), nx * ny);
+    debug_assert_eq!(out_u.len(), (j1 - j0) * nx);
+    debug_assert_eq!(out_v.len(), (j1 - j0) * nx);
+    debug_assert_eq!(probes.len(), j1 - j0);
+    debug_assert_eq!(scratch.xcol.len(), nx, "prepare() not called");
+
+    let dx = inp.dx_m();
+    let dt = inp.dt_secs;
+    let g = inp.phys.gravity;
+    let nu = inp.nu();
+    let damp = inp.phys.rayleigh;
+    let inv_2dx = 1.0 / (2.0 * dx);
+    let inv_dx2 = 1.0 / (dx * dx);
+    let inv_tau = 1.0 / inp.phys.nudge_tau_secs;
+
+    let cx = inp.vortex.x_km;
+    let cy = inp.vortex.y_km;
+    let rm = inp.vparams.radius_km;
+    let vmax = inp.vparams.wind_per_depth * inp.vortex.depth_hpa;
+    let steer_e = inp.vparams.steer_east_ms;
+    let steer_n = inp.vparams.steer_north_ms;
+
+    let u = f.u.data();
+    let v = f.v.data();
+
+    let dt4 = F64x4::splat(dt);
+    let neg_g4 = F64x4::splat(-g);
+    let nu4 = F64x4::splat(nu);
+    let damp4 = F64x4::splat(damp);
+    let inv_2dx4 = F64x4::splat(inv_2dx);
+    let inv_dx2_4 = F64x4::splat(inv_dx2);
+    let inv_tau4 = F64x4::splat(inv_tau);
+    let four4 = F64x4::splat(4.0);
+    let one4 = F64x4::splat(1.0);
+    let eps4 = F64x4::splat(1e-9);
+    let cx4 = F64x4::splat(cx);
+    let rm4 = F64x4::splat(rm);
+    let inv_rm4 = F64x4::splat(1.0 / rm);
+    let inv_2rm4 = F64x4::splat(1.0 / (2.0 * rm));
+    let vmax4 = F64x4::splat(vmax);
+    let steer_e4 = F64x4::splat(steer_e);
+    let steer_n4 = F64x4::splat(steer_n);
+
+    for j in j0..j1 {
+        let y = f.y_km(j);
+        let dyk = y - cy;
+        let dy4 = F64x4::splat(dyk);
+        let base = (j - j0) * nx;
+        let row_u = &mut out_u[base..base + nx];
+        let row_v = &mut out_v[base..base + nx];
+
+        if j == 0 || j == ny - 1 {
+            for i in 0..nx {
+                let (tu, tv) = inp.vortex.target_uv(f.x_km(i), y, inp.vparams);
+                row_u[i] = tu;
+                row_v[i] = tv;
+            }
+            probes[j - j0] += row_u.iter().sum::<f64>() + row_v.iter().sum::<f64>();
+            continue;
+        }
+
+        let uc = &u[j * nx..(j + 1) * nx];
+        let un = &u[(j + 1) * nx..(j + 2) * nx];
+        let us = &u[(j - 1) * nx..j * nx];
+        let vc = &v[j * nx..(j + 1) * nx];
+        let vn = &v[(j + 1) * nx..(j + 2) * nx];
+        let vs = &v[(j - 1) * nx..j * nx];
+        let ec = &eta_new[j * nx..(j + 1) * nx];
+        let en = &eta_new[(j + 1) * nx..(j + 2) * nx];
+        let es = &eta_new[(j - 1) * nx..j * nx];
+        let fcor = inp.phys.coriolis_at(y);
+        let fcor4 = F64x4::splat(fcor);
+
+        let (tu0, tv0) = inp.vortex.target_uv(f.x_km(0), y, inp.vparams);
+        row_u[0] = tu0;
+        row_v[0] = tv0;
+        let mut p_u = row_u[0];
+        let mut p_v = row_v[0];
+        let mut acc_u = F64x4::splat(0.0);
+        let mut acc_v = F64x4::splat(0.0);
+        let mut i = 1;
+        while i + F64x4::LANES < nx {
+            // Wind target, four points at once.
+            let dxk = F64x4::load(&scratch.xcol[i..]) - cx4;
+            let r = (dxk * dxk + dy4 * dy4).sqrt();
+            let near = r.lt(eps4);
+            let inv_r = one4 / r;
+            let decay = exp4(-((r - rm4) * inv_2rm4));
+            let vt = F64x4::select(r.le(rm4), vmax4 * r * inv_rm4, vmax4 * decay);
+            // At the exact eye r = 0 gives 0·∞ = NaN in the unselected
+            // lane; the select masks it out.
+            let tu = F64x4::select(near, steer_e4, vt * (-dy4 * inv_r) + steer_e4);
+            let tv = F64x4::select(near, steer_n4, vt * (dxk * inv_r) + steer_n4);
+
+            let uv = F64x4::load(&uc[i..]);
+            let vv = F64x4::load(&vc[i..]);
+            let detadx = (F64x4::load(&ec[i + 1..]) - F64x4::load(&ec[i - 1..])) * inv_2dx4;
+            let detady = (F64x4::load(&en[i..]) - F64x4::load(&es[i..])) * inv_2dx4;
+            let lap_u = ((F64x4::load(&uc[i + 1..]) + F64x4::load(&uc[i - 1..]))
+                + (F64x4::load(&un[i..]) + F64x4::load(&us[i..]))
+                - four4 * uv)
+                * inv_dx2_4;
+            let lap_v = ((F64x4::load(&vc[i + 1..]) + F64x4::load(&vc[i - 1..]))
+                + (F64x4::load(&vn[i..]) + F64x4::load(&vs[i..]))
+                - four4 * vv)
+                * inv_dx2_4;
+            let val_u = uv
+                + dt4
+                    * (neg_g4 * detadx + fcor4 * vv + nu4 * lap_u + (tu - uv) * inv_tau4
+                        - damp4 * uv);
+            let val_v = vv
+                + dt4
+                    * (neg_g4 * detady - fcor4 * uv + nu4 * lap_v + (tv - vv) * inv_tau4
+                        - damp4 * vv);
+            val_u.store(&mut row_u[i..]);
+            val_v.store(&mut row_v[i..]);
+            acc_u = acc_u + val_u;
+            acc_v = acc_v + val_v;
+            i += F64x4::LANES;
+        }
+        p_u += acc_u.reduce();
+        p_v += acc_v.reduce();
+        while i < nx - 1 {
+            let (tu, tv) = inp.vortex.target_uv(f.x_km(i), y, inp.vparams);
+            let uv = uc[i];
+            let vv = vc[i];
+            let detadx = (ec[i + 1] - ec[i - 1]) * inv_2dx;
+            let detady = (en[i] - es[i]) * inv_2dx;
+            let lap_u = ((uc[i + 1] + uc[i - 1]) + (un[i] + us[i]) - 4.0 * uv) * inv_dx2;
+            let lap_v = ((vc[i + 1] + vc[i - 1]) + (vn[i] + vs[i]) - 4.0 * vv) * inv_dx2;
+            let val_u = uv
+                + dt * ((-g) * detadx + fcor * vv + nu * lap_u + (tu - uv) * inv_tau - damp * uv);
+            let val_v = vv
+                + dt * ((-g) * detady - fcor * uv + nu * lap_v + (tv - vv) * inv_tau - damp * vv);
+            row_u[i] = val_u;
+            row_v[i] = val_v;
+            p_u += val_u;
+            p_v += val_v;
+            i += 1;
+        }
+        let (tu1, tv1) = inp.vortex.target_uv(f.x_km(nx - 1), y, inp.vparams);
+        row_u[nx - 1] = tu1;
+        row_v[nx - 1] = tv1;
+        p_u += row_u[nx - 1];
+        p_v += row_v[nx - 1];
+
+        probes[j - j0] += p_u + p_v;
+    }
+}
+
+/// One full serial lanes step into a caller-owned output buffer: the
+/// lane-ordered serial reference every parallel lanes engine must match
+/// bitwise. Sweeps in the same L2-sized row tiles as the parallel engines
+/// (tiling is bit-neutral — rows are independent), records per-row probes
+/// in `probe_rows`, and reduces them in ascending row order.
+pub(crate) fn step_serial_lanes_into(
+    inp: &StepInputs<'_>,
+    scratch: &mut LaneScratch,
+    probe_rows: &mut Vec<f64>,
+    out: &mut Fields,
+) -> f64 {
+    let (nx, ny) = (inp.old.nx(), inp.old.ny());
+    out.shape_like(inp.old);
+    probe_rows.clear();
+    probe_rows.resize(ny, 0.0);
+    scratch.prepare(inp);
+    {
+        let Fields { eta, q, .. } = out;
+        for (t0, t1) in crate::par::row_tiles(0, ny, nx) {
+            step_eta_q_rows_lanes(
+                inp,
+                scratch,
+                t0,
+                t1,
+                &mut eta.data_mut()[t0 * nx..t1 * nx],
+                &mut q.data_mut()[t0 * nx..t1 * nx],
+                &mut probe_rows[t0..t1],
+            );
+        }
+    }
+    let Fields { eta, u, v, .. } = out;
+    for (t0, t1) in crate::par::row_tiles(0, ny, nx) {
+        step_uv_rows_lanes(
+            inp,
+            scratch,
+            eta.data(),
+            t0,
+            t1,
+            &mut u.data_mut()[t0 * nx..t1 * nx],
+            &mut v.data_mut()[t0 * nx..t1 * nx],
+            &mut probe_rows[t0..t1],
+        );
+    }
+    // Ascending-row reduction: the probe's bits are independent of band
+    // and tile decomposition because each slot is a pure per-row value.
+    probe_rows.iter().sum()
+}
+
 /// One full serial step into a caller-owned output buffer (reshaped if its
 /// geometry differs). The kernels write every cell, so no zeroing is
 /// needed; a warm `out` makes the step allocation-free. Returns the finite
@@ -327,5 +828,162 @@ mod tests {
         let (_, y_south) = g.lonlat_to_km(90.0, -8.0);
         assert!(p.coriolis_at(y_north) > 0.0);
         assert!(p.coriolis_at(y_south) < 0.0);
+    }
+
+    #[test]
+    fn kernel_path_index_roundtrip() {
+        for path in [KernelPath::Scalar, KernelPath::Lanes] {
+            assert_eq!(KernelPath::from_index(path.as_index()), Some(path));
+        }
+        assert_eq!(KernelPath::from_index(7), None);
+        assert_eq!(KernelPath::default(), KernelPath::Lanes);
+        assert_eq!(KernelPath::Lanes.label(), "lanes");
+        assert_eq!(KernelPath::Scalar.label(), "scalar");
+    }
+
+    struct Scene {
+        fields: Fields,
+        vortex: VortexState,
+        phys: PhysicsParams,
+        vparams: VortexParams,
+        geom: DomainGeom,
+    }
+
+    fn scene(nx: usize, ny: usize) -> Scene {
+        let geom = DomainGeom::bay_of_bengal();
+        let phys = PhysicsParams::bay_of_bengal();
+        let vparams = VortexParams::aila();
+        let vortex = VortexState::genesis(&vparams, &geom);
+        let mut fields = Fields::zeros(nx, ny, 27.0);
+        // Deterministic non-trivial state with both wind signs so the
+        // upwind selects exercise every branch.
+        let mut s = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        for slot in fields.eta.data_mut() {
+            *slot = 10.0 * next();
+        }
+        for slot in fields.u.data_mut() {
+            *slot = 60.0 * next();
+        }
+        for slot in fields.v.data_mut() {
+            *slot = 60.0 * next();
+        }
+        for slot in fields.q.data_mut() {
+            *slot = 0.015 + 0.01 * next();
+        }
+        Scene {
+            fields,
+            vortex,
+            phys,
+            vparams,
+            geom,
+        }
+    }
+
+    impl Scene {
+        fn inputs(&self) -> StepInputs<'_> {
+            StepInputs {
+                old: &self.fields,
+                vortex: &self.vortex,
+                phys: &self.phys,
+                vparams: &self.vparams,
+                geom: &self.geom,
+                dt_secs: 120.0,
+            }
+        }
+    }
+
+    /// Tiling is bit-neutral: the tiled serial lanes reference must equal
+    /// one untiled kernel invocation over the whole grid.
+    #[test]
+    fn lanes_tiled_matches_untiled_bitwise() {
+        for (nx, ny) in [(4, 4), (7, 5), (33, 29), (130, 90)] {
+            let sc = scene(nx, ny);
+            let inp = sc.inputs();
+            let mut scratch = LaneScratch::default();
+            let mut probe_rows = Vec::new();
+            let mut tiled = Fields::zeros(nx, ny, 27.0);
+            let p_tiled = step_serial_lanes_into(&inp, &mut scratch, &mut probe_rows, &mut tiled);
+
+            let mut flat = Fields::zeros(nx, ny, 27.0);
+            let mut rows = vec![0.0; ny];
+            scratch.prepare(&inp);
+            {
+                let Fields { eta, q, .. } = &mut flat;
+                step_eta_q_rows_lanes(
+                    &inp,
+                    &mut scratch,
+                    0,
+                    ny,
+                    eta.data_mut(),
+                    q.data_mut(),
+                    &mut rows,
+                );
+            }
+            {
+                let Fields { eta, u, v, .. } = &mut flat;
+                step_uv_rows_lanes(
+                    &inp,
+                    &scratch,
+                    eta.data(),
+                    0,
+                    ny,
+                    u.data_mut(),
+                    v.data_mut(),
+                    &mut rows,
+                );
+            }
+            let p_flat: f64 = rows.iter().sum();
+            assert_eq!(tiled.eta.data(), flat.eta.data(), "{nx}x{ny} eta");
+            assert_eq!(tiled.u.data(), flat.u.data(), "{nx}x{ny} u");
+            assert_eq!(tiled.v.data(), flat.v.data(), "{nx}x{ny} v");
+            assert_eq!(tiled.q.data(), flat.q.data(), "{nx}x{ny} q");
+            assert_eq!(p_tiled.to_bits(), p_flat.to_bits(), "{nx}x{ny} probe");
+        }
+    }
+
+    /// The two kernel paths implement the same physics: they agree to
+    /// within stencil-arithmetic rounding, far tighter than any physical
+    /// signal, but are not (and need not be) bitwise equal.
+    #[test]
+    fn lanes_and_scalar_agree_physically() {
+        let sc = scene(90, 70);
+        let inp = sc.inputs();
+        let scalar = step_serial(&inp);
+        let mut lanes = Fields::zeros(90, 70, 27.0);
+        let mut scratch = LaneScratch::default();
+        let mut rows = Vec::new();
+        step_serial_lanes_into(&inp, &mut scratch, &mut rows, &mut lanes);
+        for (name, a, b) in [
+            ("eta", scalar.eta.data(), lanes.eta.data()),
+            ("u", scalar.u.data(), lanes.u.data()),
+            ("v", scalar.v.data(), lanes.v.data()),
+            ("q", scalar.q.data(), lanes.q.data()),
+        ] {
+            let mut worst = 0.0f64;
+            for (x, y) in a.iter().zip(b) {
+                worst = worst.max((x - y).abs());
+            }
+            assert!(worst < 1e-9, "{name}: worst |scalar − lanes| = {worst:e}");
+        }
+    }
+
+    /// The lanes probe keeps the blow-up guarantee: a non-finite value
+    /// anywhere in the written state makes the reduced probe non-finite.
+    #[test]
+    fn lanes_probe_detects_blowup() {
+        let mut sc = scene(24, 18);
+        sc.fields.u.set(11, 9, f64::NAN);
+        let inp = sc.inputs();
+        let mut scratch = LaneScratch::default();
+        let mut rows = Vec::new();
+        let mut out = Fields::zeros(24, 18, 27.0);
+        let probe = step_serial_lanes_into(&inp, &mut scratch, &mut rows, &mut out);
+        assert!(!probe.is_finite());
     }
 }

@@ -9,7 +9,8 @@
 use proptest::prelude::*;
 use wrf::par::HaloWorkspace;
 use wrf::{
-    DomainGeom, Fields, ModelConfig, PhysicsParams, VortexParams, VortexState, WorkerPool, WrfModel,
+    DomainGeom, Fields, KernelPath, ModelConfig, PhysicsParams, VortexParams, VortexState,
+    WorkerPool, WrfModel,
 };
 
 /// Deterministic splitmix64 — cheap way to fill four grids from one seed
@@ -63,8 +64,14 @@ impl Scene {
     }
 
     fn serial_step(&self, old: &Fields) -> (Fields, f64) {
-        // Team size 1 takes the serial fast path inside the pool.
-        let mut reference = WorkerPool::with_exact_team(1);
+        self.serial_step_path(old, KernelPath::default())
+    }
+
+    /// The per-path serial reference: team size 1 takes the serial fast
+    /// path inside the pool, which is `step_serial_into` for Scalar and
+    /// the lane-ordered `step_serial_lanes_into` for Lanes.
+    fn serial_step_path(&self, old: &Fields, path: KernelPath) -> (Fields, f64) {
+        let mut reference = WorkerPool::with_exact_team_path(1, path);
         let mut out = Fields::zeros(1, 1, 1.0);
         let probe = reference.step(
             old,
@@ -162,6 +169,92 @@ proptest! {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The lanes pool is bitwise identical to the lane-ordered serial
+    /// reference — fields AND probe — for any grid and team size. The
+    /// probe comparison is exact because the lanes path carries per-row
+    /// probe slots and reduces them in a documented fixed order, so the
+    /// team decomposition can never reorder the sum.
+    #[test]
+    fn lanes_pool_matches_lane_ordered_serial_bitwise(
+        nx in 4usize..40,
+        ny in 4usize..40,
+        team in 1usize..=8,
+        seed in any::<u64>(),
+    ) {
+        let scene = Scene::aila();
+        let old = random_fields(nx, ny, seed);
+        let (want, want_probe) = scene.serial_step_path(&old, KernelPath::Lanes);
+
+        let mut pool = WorkerPool::with_exact_team_path(team, KernelPath::Lanes);
+        let mut got = Fields::zeros(1, 1, 1.0);
+        let probe = pool.step(
+            &old, &scene.vortex, &scene.phys, &scene.vparams, &scene.geom, 120.0, &mut got,
+        );
+        prop_assert_eq!(&got, &want, "lanes team {} diverged from lanes serial", team);
+        prop_assert_eq!(
+            probe.to_bits(), want_probe.to_bits(),
+            "lanes probe must be bit-exact: {} vs {}", probe, want_probe
+        );
+    }
+
+    /// Regression: the scalar path is untouched by the vectorization —
+    /// a scalar pool at any team size still reproduces the original
+    /// serial kernel bit for bit.
+    #[test]
+    fn scalar_pool_still_matches_original_serial_bitwise(
+        nx in 4usize..40,
+        ny in 4usize..40,
+        team in 1usize..=8,
+        seed in any::<u64>(),
+    ) {
+        let scene = Scene::aila();
+        let old = random_fields(nx, ny, seed);
+        let (want, want_probe) = scene.serial_step_path(&old, KernelPath::Scalar);
+
+        let mut pool = WorkerPool::with_exact_team_path(team, KernelPath::Scalar);
+        let mut got = Fields::zeros(1, 1, 1.0);
+        let probe = pool.step(
+            &old, &scene.vortex, &scene.phys, &scene.vparams, &scene.geom, 120.0, &mut got,
+        );
+        prop_assert_eq!(&got, &want, "scalar team {} diverged from serial", team);
+        // The scalar probe is still reduced in band order (pre-existing
+        // contract), so only finiteness is comparable across team sizes.
+        prop_assert_eq!(probe.is_finite(), want_probe.is_finite());
+    }
+
+    /// Mid-run resizes of a lanes pool — the adaptation layer retuning
+    /// workers — keep the trajectory and every probe bit-exact against
+    /// the lane-ordered serial reference.
+    #[test]
+    fn lanes_mid_run_resizes_stay_bitwise(
+        nx in 4usize..32,
+        ny in 4usize..32,
+        teams in prop::collection::vec(1usize..=8, 2..5),
+        seed in any::<u64>(),
+    ) {
+        let scene = Scene::aila();
+        let mut serial = random_fields(nx, ny, seed);
+        let mut pooled = serial.clone();
+        let mut pool = WorkerPool::with_exact_team_path(teams[0], KernelPath::Lanes);
+        let mut out = Fields::zeros(1, 1, 1.0);
+        for &team in &teams {
+            pool.resize(team);
+            prop_assert_eq!(pool.kernel_path(), KernelPath::Lanes, "resize must keep the path");
+            let (want, want_probe) = scene.serial_step_path(&serial, KernelPath::Lanes);
+            serial = want;
+            let probe = pool.step(
+                &pooled, &scene.vortex, &scene.phys, &scene.vparams, &scene.geom, 120.0, &mut out,
+            );
+            std::mem::swap(&mut pooled, &mut out);
+            prop_assert_eq!(&pooled, &serial, "diverged after resize to {}", team);
+            prop_assert_eq!(probe.to_bits(), want_probe.to_bits(), "probe drifted at team {}", team);
+        }
+    }
+}
+
+proptest! {
     // Full-model cases integrate a real (coarse) mission grid, so run few.
     #![proptest_config(ProptestConfig::with_cases(6))]
 
@@ -171,9 +264,13 @@ proptest! {
     fn model_advance_is_thread_count_invariant(
         threads in 2usize..=6,
         with_nest in any::<bool>(),
+        scalar_path in any::<bool>(),
         steps in 1usize..3,
     ) {
-        let cfg = ModelConfig::aila_default().with_resolution(48.0);
+        let path = if scalar_path { KernelPath::Scalar } else { KernelPath::Lanes };
+        let cfg = ModelConfig::aila_default()
+            .with_resolution(48.0)
+            .with_kernel_path(path);
         let mut reference = WrfModel::new(cfg).expect("valid configuration");
         let mut parallel = reference.clone();
         if with_nest {

@@ -79,6 +79,20 @@ pub trait Deserialize: Sized {
     fn from_value(v: &Value) -> Result<Self, DeError>;
 }
 
+// A `Value` round-trips through itself, so callers can parse arbitrary
+// JSON into the tree and walk it dynamically (schema validators etc.).
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
 // --- primitives -----------------------------------------------------------
 
 impl Serialize for bool {
